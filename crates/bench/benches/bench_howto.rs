@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks for how-to optimization (Fig 9b / 11b
+//! companions): IP vs exhaustive enumeration, and bucket-count scaling.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyper_core::{HowToOptions, HyperEngine};
+
+fn parse(text: &str) -> hyper_query::HowToQuery {
+    match hyper_query::parse_query(text).unwrap() {
+        hyper_query::HypotheticalQuery::HowTo(q) => q,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_ip_vs_enumeration(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(4_000, 1);
+    let q = parse(
+        "Use german_syn HowToUpdate status, housing
+         ToMaximize Count(Post(credit) = 'Good')",
+    );
+    let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
+        HowToOptions {
+            buckets: 3,
+            max_attrs_updated: None,
+        },
+    );
+    let mut group = c.benchmark_group("howto_4k_2attrs");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("ip", |b| b.iter(|| engine.howto(&q).unwrap()));
+    group.bench_function("enumeration", |b| {
+        b.iter(|| engine.howto_bruteforce(&q).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_bucket_scaling(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn_continuous(4_000, 2);
+    let q = parse(
+        "Use german_syn HowToUpdate credit_amount
+         Limit 100 <= Post(credit_amount) <= 10000
+         ToMaximize Count(Post(credit) = 'Good')",
+    );
+    let mut group = c.benchmark_group("howto_buckets");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for k in [2usize, 4, 8] {
+        let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
+            HowToOptions {
+                buckets: k,
+                max_attrs_updated: None,
+            },
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(k), &engine, |b, e| {
+            b.iter(|| e.howto(&q).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = bench_ip_vs_enumeration, bench_bucket_scaling
+}
+criterion_main!(benches);

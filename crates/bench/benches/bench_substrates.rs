@@ -1,0 +1,108 @@
+//! Criterion microbenchmarks for the substrates: relational operators,
+//! block decomposition, forest training, and the ILP solver.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyper_causal::BlockDecomposition;
+use hyper_ip::{solve_ilp, Model, Sense};
+use hyper_ml::{ForestParams, Matrix, RandomForest};
+use hyper_storage::{col, AggExpr, AggFunc, LogicalPlan};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_storage_ops(c: &mut Criterion) {
+    let data = hyper_datasets::amazon(3_000, 9, 1);
+    let plan = LogicalPlan::scan("product")
+        .join(LogicalPlan::scan("review"), &["pid"], &["pid"])
+        .aggregate(
+            &["pid", "brand"],
+            vec![AggExpr::new(AggFunc::Avg, Some(col("rating")), "rtng")],
+        );
+    c.bench_function("join_groupby_amazon_3k", |b| {
+        b.iter(|| plan.execute(&data.db).unwrap());
+    });
+}
+
+fn bench_block_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_decomposition");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [1_000usize, 5_000, 20_000] {
+        let data = hyper_datasets::student_syn(n, 5, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, d| {
+            b.iter(|| BlockDecomposition::compute(&d.db, &d.graph).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_forest_training(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let n = 10_000;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()])
+        .collect();
+    let y: Vec<f64> = rows
+        .iter()
+        .map(|r| r[0] * 2.0 + r[1] - r[2] + 0.1 * rng.gen::<f64>())
+        .collect();
+    let x = Matrix::from_rows(&rows).unwrap();
+    let mut group = c.benchmark_group("forest_fit_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for trees in [8usize, 16] {
+        let params = ForestParams {
+            n_trees: trees,
+            ..ForestParams::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(trees), &params, |b, p| {
+            b.iter(|| RandomForest::fit(&x, &y, p).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    // The how-to IP shape: 10 attributes × 8 candidates with a budget.
+    let mut model = Model::maximize();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut groups = Vec::new();
+    for a in 0..10 {
+        let vars: Vec<usize> = (0..8)
+            .map(|j| model.add_binary(format!("d{a}_{j}"), rng.gen::<f64>()))
+            .collect();
+        model
+            .add_constraint(
+                format!("one_{a}"),
+                vars.iter().map(|&v| (v, 1.0)).collect(),
+                Sense::Le,
+                1.0,
+            )
+            .unwrap();
+        groups.push(vars);
+    }
+    model
+        .add_constraint(
+            "budget",
+            groups.iter().flatten().map(|&v| (v, 1.0)).collect(),
+            Sense::Le,
+            3.0,
+        )
+        .unwrap();
+    c.bench_function("ilp_howto_shape_80vars", |b| {
+        b.iter(|| solve_ilp(&model).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets =
+    bench_storage_ops,
+    bench_block_decomposition,
+    bench_forest_training,
+    bench_ilp
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks for what-if evaluation (Table 1 / Fig 12a
+//! companions): per-variant latency on German-Syn, plus the deterministic
+//! fast path.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyper_core::{EngineConfig, HyperEngine};
+
+fn bench_variants(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(20_000, 1);
+    let query = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+    let mut group = c.benchmark_group("whatif_variants_20k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for (name, config) in [
+        ("hyper", EngineConfig::hyper()),
+        ("hyper_nb", EngineConfig::hyper_nb()),
+        ("hyper_sampled_5k", EngineConfig::hyper_sampled(5_000)),
+        ("indep", EngineConfig::indep()),
+    ] {
+        let engine = hyper_bench::engine_for(&data.db, &data.graph, &config);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &engine, |b, e| {
+            b.iter(|| e.whatif_text(query).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataset_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("whatif_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for n in [5_000usize, 20_000, 50_000] {
+        let data = hyper_datasets::german_syn(n, 2);
+        let engine = HyperEngine::new(&data.db, Some(&data.graph));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &engine, |b, e| {
+            b.iter(|| {
+                e.whatif_text(
+                    "Use german_syn Update(savings) = 3 Output Count(Post(credit) = 'Good')",
+                )
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deterministic_path(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(20_000, 3);
+    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    c.bench_function("whatif_deterministic_20k", |b| {
+        b.iter(|| {
+            engine
+                .whatif_text("Use german_syn Update(status) = 3 Output Count(Post(status) = 3)")
+                .unwrap()
+        });
+    });
+}
+
+fn bench_view_construction(c: &mut Criterion) {
+    let data = hyper_datasets::student_syn(5_000, 5, 4);
+    let q = match hyper_query::parse_query(
+        "Use (Select S.sid, S.age, S.attendance, Avg(P.grade) As grade
+          From student As S, participation As P
+          Where S.sid = P.sid
+          Group By S.sid, S.age, S.attendance)
+         Update(attendance) = 90 Output Avg(Post(grade))",
+    )
+    .unwrap()
+    {
+        hyper_query::HypotheticalQuery::WhatIf(q) => q,
+        _ => unreachable!(),
+    };
+    c.bench_function("relevant_view_join_groupby_25k", |b| {
+        b.iter(|| hyper_core::build_relevant_view(&data.db, &q.use_clause).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets =
+    bench_variants,
+    bench_dataset_sizes,
+    bench_deterministic_path,
+    bench_view_construction
+}
+criterion_main!(benches);

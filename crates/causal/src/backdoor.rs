@@ -1,0 +1,220 @@
+//! Backdoor-criterion machinery (paper §3.3 and Appendix A.2.1-B).
+//!
+//! A set `C` satisfies the backdoor criterion w.r.t. treatment `B` and
+//! outcome `Y` when (i) no member of `C` is a descendant of `B` or `Y`, and
+//! (ii) `C` blocks every path from `B` to `Y` that starts with an edge into
+//! `B` — equivalently, `B ⫫ Y | C` in the graph with `B`'s outgoing edges
+//! removed.
+//!
+//! `minimal_backdoor_set` reproduces the paper's greedy procedure: "we start
+//! with all non-descendants of B, Y excluding B, Y as C, and remove one node
+//! at a time until we reach a minimal set".
+
+use std::collections::HashSet;
+
+use crate::dsep::d_separated;
+use crate::graph::{CausalGraph, NodeId};
+
+/// Check whether `set` satisfies the backdoor criterion for `(treatment,
+/// outcome)` in `graph`.
+pub fn is_valid_backdoor_set(
+    graph: &CausalGraph,
+    treatment: NodeId,
+    outcome: NodeId,
+    set: &HashSet<NodeId>,
+) -> bool {
+    if set.contains(&treatment) || set.contains(&outcome) {
+        return false;
+    }
+    // (i) no descendants of treatment or outcome.
+    let mut forbidden: HashSet<NodeId> = graph.descendants(treatment).into_iter().collect();
+    forbidden.extend(graph.descendants(outcome));
+    if set.iter().any(|n| forbidden.contains(n)) {
+        return false;
+    }
+    // (ii) d-separation in the treatment-outgoing-edge-deleted graph.
+    let n = graph.num_nodes();
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    for e in graph.edges() {
+        if e.from == treatment {
+            continue; // delete outgoing edges of the treatment
+        }
+        children[e.from].push(e.to);
+        parents[e.to].push(e.from);
+    }
+    d_separated(&children, &parents, treatment, outcome, set)
+}
+
+/// The paper's *canonical* backdoor set used when no causal graph is
+/// available (HypeR-NB, §2.2): every attribute except the treatment and the
+/// outcome. Not validated against any graph.
+pub fn canonical_backdoor_set(
+    all_nodes: impl IntoIterator<Item = NodeId>,
+    treatment: NodeId,
+    outcome: NodeId,
+) -> HashSet<NodeId> {
+    all_nodes
+        .into_iter()
+        .filter(|&n| n != treatment && n != outcome)
+        .collect()
+}
+
+/// Find a minimal valid backdoor set by the paper's greedy shrink, starting
+/// from all permitted non-descendants. Returns `None` if no valid starting
+/// set exists (e.g. the outcome causes the treatment through an unblockable
+/// path).
+pub fn minimal_backdoor_set(
+    graph: &CausalGraph,
+    treatment: NodeId,
+    outcome: NodeId,
+) -> Option<HashSet<NodeId>> {
+    let mut forbidden: HashSet<NodeId> = graph.descendants(treatment).into_iter().collect();
+    forbidden.extend(graph.descendants(outcome));
+    forbidden.insert(treatment);
+    forbidden.insert(outcome);
+
+    let full: HashSet<NodeId> = (0..graph.num_nodes())
+        .filter(|n| !forbidden.contains(n))
+        .collect();
+
+    let mut candidate = if is_valid_backdoor_set(graph, treatment, outcome, &full) {
+        full
+    } else {
+        // Fall back to the treatment's permitted parents, which block every
+        // backdoor path at its first hop when they are all conditionable.
+        let parents: HashSet<NodeId> = graph
+            .parents_of(treatment)
+            .iter()
+            .copied()
+            .filter(|p| !forbidden.contains(p))
+            .collect();
+        if is_valid_backdoor_set(graph, treatment, outcome, &parents) {
+            parents
+        } else {
+            return None;
+        }
+    };
+
+    // Greedy shrink: drop nodes (in deterministic id order) while validity
+    // is preserved.
+    let mut members: Vec<NodeId> = candidate.iter().copied().collect();
+    members.sort_unstable();
+    for m in members {
+        candidate.remove(&m);
+        if !is_valid_backdoor_set(graph, treatment, outcome, &candidate) {
+            candidate.insert(m);
+        }
+    }
+    Some(candidate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{amazon_example_graph, CausalGraph, EdgeKind};
+
+    /// Confounded triangle: Z → B, Z → Y, B → Y.
+    fn confounder_graph() -> (CausalGraph, NodeId, NodeId, NodeId) {
+        let mut g = CausalGraph::new();
+        let z = g.node("t", "z");
+        let b = g.node("t", "b");
+        let y = g.node("t", "y");
+        g.add_edge(z, b, EdgeKind::Intra).unwrap();
+        g.add_edge(z, y, EdgeKind::Intra).unwrap();
+        g.add_edge(b, y, EdgeKind::Intra).unwrap();
+        (g, z, b, y)
+    }
+
+    #[test]
+    fn confounder_must_be_adjusted() {
+        let (g, z, b, y) = confounder_graph();
+        assert!(!is_valid_backdoor_set(&g, b, y, &HashSet::new()));
+        let set: HashSet<_> = [z].into_iter().collect();
+        assert!(is_valid_backdoor_set(&g, b, y, &set));
+        assert_eq!(minimal_backdoor_set(&g, b, y).unwrap(), set);
+    }
+
+    #[test]
+    fn mediator_is_not_allowed() {
+        // B → M → Y: M is a descendant of B; {M} is invalid, {} is valid.
+        let mut g = CausalGraph::new();
+        let b = g.node("t", "b");
+        let m = g.node("t", "m");
+        let y = g.node("t", "y");
+        g.add_edge(b, m, EdgeKind::Intra).unwrap();
+        g.add_edge(m, y, EdgeKind::Intra).unwrap();
+        let bad: HashSet<_> = [m].into_iter().collect();
+        assert!(!is_valid_backdoor_set(&g, b, y, &bad));
+        assert!(is_valid_backdoor_set(&g, b, y, &HashSet::new()));
+        assert!(minimal_backdoor_set(&g, b, y).unwrap().is_empty());
+    }
+
+    #[test]
+    fn amazon_price_to_rating() {
+        let g = amazon_example_graph();
+        let price = g.node_id("product", "price").unwrap();
+        let rating = g.node_id("review", "rating").unwrap();
+        let set = minimal_backdoor_set(&g, price, rating).unwrap();
+        // Quality confounds price → rating; the minimal set must block it.
+        let quality = g.node_id("product", "quality").unwrap();
+        assert!(is_valid_backdoor_set(&g, price, rating, &set));
+        assert!(
+            set.contains(&quality) || {
+                // Or block further upstream via category+brand.
+                let cat = g.node_id("product", "category").unwrap();
+                let brand = g.node_id("product", "brand").unwrap();
+                set.contains(&cat) && set.contains(&brand)
+            },
+            "minimal set {set:?} must block the quality backdoor"
+        );
+    }
+
+    #[test]
+    fn minimal_set_is_minimal() {
+        let g = amazon_example_graph();
+        let price = g.node_id("product", "price").unwrap();
+        let rating = g.node_id("review", "rating").unwrap();
+        let set = minimal_backdoor_set(&g, price, rating).unwrap();
+        for &m in &set {
+            let mut smaller = set.clone();
+            smaller.remove(&m);
+            assert!(
+                !is_valid_backdoor_set(&g, price, rating, &smaller),
+                "removing {m} keeps the set valid — not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_set_excludes_endpoints() {
+        let g = amazon_example_graph();
+        let price = g.node_id("product", "price").unwrap();
+        let rating = g.node_id("review", "rating").unwrap();
+        let set = canonical_backdoor_set(0..g.num_nodes(), price, rating);
+        assert_eq!(set.len(), g.num_nodes() - 2);
+        assert!(!set.contains(&price));
+        assert!(!set.contains(&rating));
+    }
+
+    #[test]
+    fn m_bias_empty_set_valid() {
+        // M-graph: the empty set is valid, the collider alone is not.
+        let mut g = CausalGraph::new();
+        let b = g.node("t", "b");
+        let y = g.node("t", "y");
+        let k = g.node("t", "k");
+        let u1 = g.node("t", "u1");
+        let u2 = g.node("t", "u2");
+        g.add_edge(u1, b, EdgeKind::Intra).unwrap();
+        g.add_edge(u1, k, EdgeKind::Intra).unwrap();
+        g.add_edge(u2, k, EdgeKind::Intra).unwrap();
+        g.add_edge(u2, y, EdgeKind::Intra).unwrap();
+        assert!(is_valid_backdoor_set(&g, b, y, &HashSet::new()));
+        let just_k: HashSet<_> = [k].into_iter().collect();
+        assert!(!is_valid_backdoor_set(&g, b, y, &just_k));
+        // Greedy from the full non-descendant set still lands on a valid set.
+        let set = minimal_backdoor_set(&g, b, y).unwrap();
+        assert!(is_valid_backdoor_set(&g, b, y, &set));
+    }
+}

@@ -1,0 +1,285 @@
+//! Block-independent decomposition (paper §3.3, Example 7, Prop. 7).
+//!
+//! Two tuples are *independent* when no path connects any of their ground
+//! variables; blocks are the connected components of the ground graph
+//! projected onto tuples. This module computes the decomposition with a
+//! union-find over tuples, **without materializing ground edges**:
+//!
+//! * `Intra` edges never cross tuples — ignored;
+//! * `ForeignKey` edges union every child tuple with its parent tuple;
+//! * `SameValue` edges union all tuples of the relation sharing the grouping
+//!   value (chaining group members, `O(n)`), and — for cross-relation
+//!   edges — rely on the FK unions to pull the child relation in.
+//!
+//! The result is `O(n α(n))` in the number of tuples, matching the paper's
+//! "linear in the size of the causal DAG" claim.
+
+use std::collections::HashMap;
+
+use hyper_storage::{Database, Value};
+
+use crate::error::{CausalError, Result};
+use crate::graph::{CausalGraph, EdgeKind};
+use crate::ground::TupleRef;
+use crate::unionfind::UnionFind;
+
+/// The block-independent decomposition of a database.
+#[derive(Debug, Clone)]
+pub struct BlockDecomposition {
+    blocks: Vec<Vec<TupleRef>>,
+    block_of: HashMap<TupleRef, usize>,
+}
+
+impl BlockDecomposition {
+    /// Compute the decomposition of `db` under `graph`.
+    pub fn compute(db: &Database, graph: &CausalGraph) -> Result<BlockDecomposition> {
+        // Global tuple numbering: offsets per table.
+        let mut offsets = Vec::with_capacity(db.tables().len());
+        let mut total = 0usize;
+        for t in db.tables() {
+            offsets.push(total);
+            total += t.num_rows();
+        }
+        let table_idx: HashMap<&str, usize> = db
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name(), i))
+            .collect();
+        let mut uf = UnionFind::new(total);
+
+        // FK edges in the causal graph union child tuples with parents.
+        let mut need_fk_union = false;
+        for e in graph.edges() {
+            match &e.kind {
+                EdgeKind::Intra => {}
+                EdgeKind::ForeignKey => need_fk_union = true,
+                EdgeKind::SameValue { group_by } => {
+                    let rel = &graph.node_info(e.from).relation;
+                    let &ti = table_idx.get(rel.as_str()).ok_or_else(|| {
+                        CausalError::UnknownNode(format!("relation `{rel}` not in database"))
+                    })?;
+                    let table = &db.tables()[ti];
+                    let gcol = table.schema().index_of(group_by)?;
+                    // Union consecutive members of each group (chain).
+                    let mut first_of_group: HashMap<Value, usize> = HashMap::new();
+                    for row in 0..table.num_rows() {
+                        let v = table.get(row, gcol).clone();
+                        match first_of_group.get(&v) {
+                            Some(&anchor) => {
+                                uf.union(offsets[ti] + anchor, offsets[ti] + row);
+                            }
+                            None => {
+                                first_of_group.insert(v, row);
+                            }
+                        }
+                    }
+                    // Cross-relation SameValue also needs the FK unions so the
+                    // target relation's tuples join the group's component.
+                    if graph.node_info(e.to).relation != *rel {
+                        need_fk_union = true;
+                    }
+                }
+            }
+        }
+
+        if need_fk_union {
+            for fk in db.foreign_keys() {
+                let ci = table_idx[fk.child_table.as_str()];
+                let pi = table_idx[fk.parent_table.as_str()];
+                let child = db.table(&fk.child_table)?;
+                let parent = db.table(&fk.parent_table)?;
+                let ccols: Vec<usize> = fk
+                    .child_columns
+                    .iter()
+                    .map(|c| child.schema().index_of(c))
+                    .collect::<hyper_storage::Result<_>>()?;
+                let pcols: Vec<usize> = fk
+                    .parent_columns
+                    .iter()
+                    .map(|c| parent.schema().index_of(c))
+                    .collect::<hyper_storage::Result<_>>()?;
+                let mut parent_index: HashMap<Vec<Value>, usize> =
+                    HashMap::with_capacity(parent.num_rows());
+                for r in 0..parent.num_rows() {
+                    let key: Vec<Value> =
+                        pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
+                    parent_index.insert(key, r);
+                }
+                for r in 0..child.num_rows() {
+                    let key: Vec<Value> =
+                        ccols.iter().map(|&c| child.get(r, c).clone()).collect();
+                    if let Some(&p) = parent_index.get(&key) {
+                        uf.union(offsets[ci] + r, offsets[pi] + p);
+                    }
+                }
+            }
+        }
+
+        // Materialize blocks in first-occurrence order (deterministic).
+        let groups = uf.groups();
+        let mut blocks = Vec::with_capacity(groups.len());
+        let mut block_of = HashMap::with_capacity(total);
+        for group in groups {
+            let bi = blocks.len();
+            let mut tuples = Vec::with_capacity(group.len());
+            for gid in group {
+                // Invert the offset mapping.
+                let ti = match offsets.binary_search(&gid) {
+                    Ok(i) => i,
+                    Err(i) => i - 1,
+                };
+                let t = TupleRef {
+                    table: ti,
+                    row: gid - offsets[ti],
+                };
+                block_of.insert(t, bi);
+                tuples.push(t);
+            }
+            blocks.push(tuples);
+        }
+        Ok(BlockDecomposition { blocks, block_of })
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Tuples of block `i`.
+    pub fn block(&self, i: usize) -> &[TupleRef] {
+        &self.blocks[i]
+    }
+
+    /// All blocks.
+    pub fn blocks(&self) -> &[Vec<TupleRef>] {
+        &self.blocks
+    }
+
+    /// The block containing a tuple.
+    pub fn block_of(&self, t: TupleRef) -> Option<usize> {
+        self.block_of.get(&t).copied()
+    }
+
+    /// True iff the two tuples are independent (different blocks).
+    pub fn independent(&self, a: TupleRef, b: TupleRef) -> bool {
+        match (self.block_of(a), self.block_of(b)) {
+            (Some(x), Some(y)) => x != y,
+            _ => true,
+        }
+    }
+
+    /// Row indices of `table` grouped by block id (block id → rows).
+    pub fn rows_by_block(&self, table: usize) -> HashMap<usize, Vec<usize>> {
+        let mut out: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (bi, tuples) in self.blocks.iter().enumerate() {
+            for t in tuples {
+                if t.table == table {
+                    out.entry(bi).or_default().push(t.row);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::amazon_example_graph;
+    use crate::ground::tests::amazon_db;
+
+    #[test]
+    fn example7_block_structure() {
+        // Example 7: laptops {p1,p2,p3,r1..r5}, camera {p4,r6}, book {p5}.
+        let db = amazon_db();
+        let blocks = BlockDecomposition::compute(&db, &amazon_example_graph()).unwrap();
+        assert_eq!(blocks.num_blocks(), 3);
+
+        let p1 = TupleRef { table: 0, row: 0 };
+        let p2 = TupleRef { table: 0, row: 1 };
+        let p4 = TupleRef { table: 0, row: 3 };
+        let p5 = TupleRef { table: 0, row: 4 };
+        let r1 = TupleRef { table: 1, row: 0 };
+        let r5 = TupleRef { table: 1, row: 4 };
+        let r6 = TupleRef { table: 1, row: 5 };
+
+        assert_eq!(blocks.block_of(p1), blocks.block_of(p2));
+        assert_eq!(blocks.block_of(p1), blocks.block_of(r1));
+        assert_eq!(blocks.block_of(p1), blocks.block_of(r5));
+        assert_eq!(blocks.block_of(p4), blocks.block_of(r6));
+        assert!(blocks.independent(p1, p4));
+        assert!(blocks.independent(p4, p5));
+        assert!(blocks.independent(p1, p5));
+
+        let laptop_block = blocks.block(blocks.block_of(p1).unwrap());
+        assert_eq!(laptop_block.len(), 8);
+    }
+
+    #[test]
+    fn no_cross_edges_yields_fk_components() {
+        // Remove the SameValue edge: blocks become product+its reviews.
+        let mut g = crate::graph::CausalGraph::new();
+        let price = g.node("product", "price");
+        let rating = g.node("review", "rating");
+        g.add_edge(price, rating, crate::graph::EdgeKind::ForeignKey)
+            .unwrap();
+        let db = amazon_db();
+        let blocks = BlockDecomposition::compute(&db, &g).unwrap();
+        // p1+r1, p2+r2+r3, p3+r4+r5, p4+r6, p5 → 5 blocks.
+        assert_eq!(blocks.num_blocks(), 5);
+    }
+
+    #[test]
+    fn intra_only_graph_gives_singletons() {
+        let mut g = crate::graph::CausalGraph::new();
+        g.add_intra_edge("product", "quality", "price").unwrap();
+        let db = amazon_db();
+        let blocks = BlockDecomposition::compute(&db, &g).unwrap();
+        assert_eq!(blocks.num_blocks(), db.total_rows());
+    }
+
+    #[test]
+    fn rows_by_block_partitions_table() {
+        let db = amazon_db();
+        let blocks = BlockDecomposition::compute(&db, &amazon_example_graph()).unwrap();
+        let by_block = blocks.rows_by_block(0);
+        let total: usize = by_block.values().map(Vec::len).sum();
+        assert_eq!(total, db.table("product").unwrap().num_rows());
+    }
+
+    #[test]
+    fn blocks_match_ground_graph_components() {
+        // Cross-validate the union-find shortcut against the materialized
+        // ground graph's undirected components.
+        use crate::ground::GroundGraph;
+        let db = amazon_db();
+        let graph = amazon_example_graph();
+        let blocks = BlockDecomposition::compute(&db, &graph).unwrap();
+        let ground = GroundGraph::build(&db, &graph).unwrap();
+
+        // Union tuples through materialized ground edges.
+        let mut ids: HashMap<TupleRef, usize> = HashMap::new();
+        for v in 0..ground.num_vars() {
+            let t = ground.var(v).tuple;
+            let next = ids.len();
+            ids.entry(t).or_insert(next);
+        }
+        let mut uf = crate::unionfind::UnionFind::new(ids.len());
+        for v in 0..ground.num_vars() {
+            for &c in &ground.children()[v] {
+                uf.union(ids[&ground.var(v).tuple], ids[&ground.var(c).tuple]);
+            }
+        }
+        for (&ta, &ia) in &ids {
+            for (&tb, &ib) in &ids {
+                let same_ground = uf.find(ia) == uf.find(ib);
+                let same_block = blocks.block_of(ta) == blocks.block_of(tb);
+                assert_eq!(
+                    same_ground, same_block,
+                    "tuples {ta:?} and {tb:?} disagree between ground graph and union-find"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Unfolding cyclic attribute dependencies into two-layer *chain graphs* —
+//! the paper's §7 future-work idea, implemented as an extension:
+//!
+//! > "One idea that can be explored is 'unfolding' cyclic dependencies
+//! > between attributes A and B by using a time component on attributes,
+//! > and adding edges from A\[t\] to B\[t'\] and B\[t\] to A\[t'\] where
+//! > time t' > t (called 'chain graphs')."
+//!
+//! [`unfold_cyclic`] takes a possibly-cyclic edge specification and
+//! produces an acyclic [`CausalGraph`] over time-indexed attributes
+//! `A@0` / `A@1`: edges on a cycle cross layers (`A@0 → B@1`), edges not on
+//! any cycle are replicated within both layers, and every attribute gets a
+//! persistence edge `A@0 → A@1`. The result can be used everywhere a DAG is
+//! required (backdoor sets, blocks, estimation) with updates interpreted as
+//! interventions on layer 0 and outcomes read at layer 1.
+
+use std::collections::HashSet;
+
+use crate::error::{CausalError, Result};
+use crate::graph::{AttrNode, CausalGraph, EdgeKind, NodeId};
+
+/// A possibly-cyclic causal specification.
+#[derive(Debug, Clone, Default)]
+pub struct CyclicSpec {
+    nodes: Vec<AttrNode>,
+    edges: Vec<(usize, usize, EdgeKind)>,
+}
+
+impl CyclicSpec {
+    /// Empty specification.
+    pub fn new() -> Self {
+        CyclicSpec::default()
+    }
+
+    /// Add (or look up) a node.
+    pub fn node(&mut self, relation: &str, attribute: &str) -> usize {
+        if let Some(i) = self
+            .nodes
+            .iter()
+            .position(|n| n.relation == relation && n.attribute == attribute)
+        {
+            return i;
+        }
+        self.nodes.push(AttrNode::new(relation, attribute));
+        self.nodes.len() - 1
+    }
+
+    /// Add a directed edge — cycles are allowed here.
+    pub fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) -> Result<()> {
+        if from >= self.nodes.len() || to >= self.nodes.len() {
+            return Err(CausalError::UnknownNode(format!("edge {from}→{to}")));
+        }
+        self.edges.push((from, to, kind));
+        Ok(())
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the specification contains a directed cycle.
+    pub fn has_cycle(&self) -> bool {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for &(u, v, _) in &self.edges {
+            adj[u].push(v);
+        }
+        crate::topo::topological_order(&adj).is_none()
+    }
+
+    fn reachable_from(&self, start: usize) -> HashSet<usize> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for &(u, v, _) in &self.edges {
+            adj[u].push(v);
+        }
+        crate::topo::reachable(&adj, &[start]).into_iter().collect()
+    }
+}
+
+/// The unfolded chain graph plus the layer-indexed node lookup.
+#[derive(Debug, Clone)]
+pub struct UnfoldedGraph {
+    /// The acyclic two-layer graph.
+    pub graph: CausalGraph,
+    layer0: Vec<NodeId>,
+    layer1: Vec<NodeId>,
+    names: Vec<AttrNode>,
+}
+
+impl UnfoldedGraph {
+    /// The unfolded node for `(relation, attribute)` at `layer` (0 or 1).
+    pub fn node_at(&self, relation: &str, attribute: &str, layer: usize) -> Result<NodeId> {
+        let idx = self
+            .names
+            .iter()
+            .position(|n| n.relation == relation && n.attribute == attribute)
+            .ok_or_else(|| CausalError::UnknownNode(format!("{relation}.{attribute}")))?;
+        match layer {
+            0 => Ok(self.layer0[idx]),
+            1 => Ok(self.layer1[idx]),
+            other => Err(CausalError::UnknownNode(format!("layer {other}"))),
+        }
+    }
+}
+
+/// Unfold a possibly-cyclic specification into a two-layer DAG.
+pub fn unfold_cyclic(spec: &CyclicSpec) -> Result<UnfoldedGraph> {
+    let mut graph = CausalGraph::new();
+    let mut layer0 = Vec::with_capacity(spec.num_nodes());
+    let mut layer1 = Vec::with_capacity(spec.num_nodes());
+    for n in &spec.nodes {
+        layer0.push(graph.add_node(AttrNode::new(
+            n.relation.clone(),
+            format!("{}@0", n.attribute),
+        ))?);
+        layer1.push(graph.add_node(AttrNode::new(
+            n.relation.clone(),
+            format!("{}@1", n.attribute),
+        ))?);
+    }
+    // Persistence edges A@0 → A@1.
+    for i in 0..spec.num_nodes() {
+        graph.add_edge(layer0[i], layer1[i], EdgeKind::Intra)?;
+    }
+    // An edge (u, v) lies on a cycle iff u is reachable from v.
+    for &(u, v, ref kind) in &spec.edges {
+        let cyclic = spec.reachable_from(v).contains(&u);
+        if cyclic {
+            graph.add_edge(layer0[u], layer1[v], kind.clone())?;
+        } else {
+            graph.add_edge(layer0[u], layer0[v], kind.clone())?;
+            graph.add_edge(layer1[u], layer1[v], kind.clone())?;
+        }
+    }
+    Ok(UnfoldedGraph {
+        graph,
+        layer0,
+        layer1,
+        names: spec.nodes.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Demand ↔ Price feedback with an exogenous Season.
+    fn feedback_spec() -> CyclicSpec {
+        let mut spec = CyclicSpec::new();
+        let season = spec.node("t", "season");
+        let price = spec.node("t", "price");
+        let demand = spec.node("t", "demand");
+        spec.add_edge(season, demand, EdgeKind::Intra).unwrap();
+        spec.add_edge(price, demand, EdgeKind::Intra).unwrap();
+        spec.add_edge(demand, price, EdgeKind::Intra).unwrap();
+        spec
+    }
+
+    #[test]
+    fn detects_cycles() {
+        assert!(feedback_spec().has_cycle());
+        let mut acyclic = CyclicSpec::new();
+        let a = acyclic.node("t", "a");
+        let b = acyclic.node("t", "b");
+        acyclic.add_edge(a, b, EdgeKind::Intra).unwrap();
+        assert!(!acyclic.has_cycle());
+    }
+
+    #[test]
+    fn unfolds_feedback_loop_into_dag() {
+        let spec = feedback_spec();
+        let u = unfold_cyclic(&spec).unwrap();
+        // 3 attributes × 2 layers.
+        assert_eq!(u.graph.num_nodes(), 6);
+        // Cyclic edges cross layers.
+        let p0 = u.node_at("t", "price", 0).unwrap();
+        let p1 = u.node_at("t", "price", 1).unwrap();
+        let d0 = u.node_at("t", "demand", 0).unwrap();
+        let d1 = u.node_at("t", "demand", 1).unwrap();
+        assert!(u.graph.children_of(p0).contains(&d1));
+        assert!(u.graph.children_of(d0).contains(&p1));
+        // No same-layer edge between the cyclic pair.
+        assert!(!u.graph.children_of(p0).contains(&d0));
+        assert!(!u.graph.children_of(p1).contains(&d1));
+        // Persistence.
+        assert!(u.graph.children_of(p0).contains(&p1));
+        // The acyclic season edge is replicated in both layers.
+        let s0 = u.node_at("t", "season", 0).unwrap();
+        let s1 = u.node_at("t", "season", 1).unwrap();
+        assert!(u.graph.children_of(s0).contains(&d0));
+        assert!(u.graph.children_of(s1).contains(&d1));
+    }
+
+    #[test]
+    fn unfolded_graph_supports_backdoor_analysis() {
+        // Intervene on price@0, read demand@1: season@0/1 confound via
+        // demand's inputs; a valid backdoor set exists in the unfolded DAG.
+        let u = unfold_cyclic(&feedback_spec()).unwrap();
+        let p0 = u.node_at("t", "price", 0).unwrap();
+        let d1 = u.node_at("t", "demand", 1).unwrap();
+        let set = crate::backdoor::minimal_backdoor_set(&u.graph, p0, d1);
+        assert!(set.is_some(), "unfolded DAG must admit a backdoor set");
+        let set = set.unwrap();
+        assert!(crate::backdoor::is_valid_backdoor_set(&u.graph, p0, d1, &set));
+    }
+
+    #[test]
+    fn acyclic_spec_unfolds_to_two_stacked_copies() {
+        let mut spec = CyclicSpec::new();
+        let a = spec.node("t", "a");
+        let b = spec.node("t", "b");
+        spec.add_edge(a, b, EdgeKind::Intra).unwrap();
+        let u = unfold_cyclic(&spec).unwrap();
+        let a0 = u.node_at("t", "a", 0).unwrap();
+        let b0 = u.node_at("t", "b", 0).unwrap();
+        let a1 = u.node_at("t", "a", 1).unwrap();
+        let b1 = u.node_at("t", "b", 1).unwrap();
+        assert!(u.graph.children_of(a0).contains(&b0));
+        assert!(u.graph.children_of(a1).contains(&b1));
+        assert!(u.graph.children_of(a0).contains(&a1));
+        assert!(!u.graph.children_of(a0).contains(&b1));
+    }
+
+    #[test]
+    fn self_loop_unfolds_across_layers() {
+        let mut spec = CyclicSpec::new();
+        let a = spec.node("t", "a");
+        spec.add_edge(a, a, EdgeKind::Intra).unwrap();
+        assert!(spec.has_cycle());
+        let u = unfold_cyclic(&spec).unwrap();
+        let a0 = u.node_at("t", "a", 0).unwrap();
+        let a1 = u.node_at("t", "a", 1).unwrap();
+        assert!(u.graph.children_of(a0).contains(&a1));
+        assert_eq!(u.graph.num_nodes(), 2);
+    }
+
+    #[test]
+    fn bad_layer_and_unknown_node_error() {
+        let u = unfold_cyclic(&feedback_spec()).unwrap();
+        assert!(u.node_at("t", "price", 2).is_err());
+        assert!(u.node_at("t", "ghost", 0).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! d-separation on DAGs (Koller & Friedman's "reachable" / Bayes-ball
+//! algorithm), the primitive behind backdoor-set validation.
+
+use std::collections::HashSet;
+
+use crate::topo;
+
+/// Compute all nodes d-connected to any source in `xs` given conditioning
+/// set `z`, on the DAG described by `children`/`parents` adjacency.
+///
+/// Returns the set of reachable nodes (excluding members of `z`).
+pub fn d_connected_set(
+    children: &[Vec<usize>],
+    parents: &[Vec<usize>],
+    xs: &[usize],
+    z: &HashSet<usize>,
+) -> HashSet<usize> {
+    let n = children.len();
+    // Phase 1: Z and all ancestors of Z (colliders are activated when they
+    // or a descendant are conditioned on).
+    let z_vec: Vec<usize> = z.iter().copied().collect();
+    let ancestors_of_z: HashSet<usize> =
+        topo::reachable(parents, &z_vec).into_iter().collect();
+
+    // Phase 2: BFS over (node, direction) legs.
+    // direction: 0 = arrived from a child (moving up), 1 = arrived from a
+    // parent (moving down).
+    let mut visited = vec![[false; 2]; n];
+    let mut reachable: HashSet<usize> = HashSet::new();
+    let mut queue: Vec<(usize, u8)> = xs.iter().map(|&x| (x, 0u8)).collect();
+
+    while let Some((node, dir)) = queue.pop() {
+        if visited[node][dir as usize] {
+            continue;
+        }
+        visited[node][dir as usize] = true;
+
+        let in_z = z.contains(&node);
+        if !in_z {
+            reachable.insert(node);
+        }
+
+        if dir == 0 {
+            // Arrived from a child: the trail may continue up to parents or
+            // down to children, unless blocked by conditioning on this node.
+            if !in_z {
+                for &p in &parents[node] {
+                    queue.push((p, 0));
+                }
+                for &c in &children[node] {
+                    queue.push((c, 1));
+                }
+            }
+        } else {
+            // Arrived from a parent.
+            if !in_z {
+                // Chain: continue down to children.
+                for &c in &children[node] {
+                    queue.push((c, 1));
+                }
+            }
+            if ancestors_of_z.contains(&node) {
+                // Collider whose descendant (or itself) is conditioned on:
+                // the v-structure is active; continue up to parents.
+                for &p in &parents[node] {
+                    queue.push((p, 0));
+                }
+            }
+        }
+    }
+    reachable
+}
+
+/// True iff `x` and `y` are d-separated given `z` in the DAG.
+pub fn d_separated(
+    children: &[Vec<usize>],
+    parents: &[Vec<usize>],
+    x: usize,
+    y: usize,
+    z: &HashSet<usize>,
+) -> bool {
+    if x == y {
+        return false;
+    }
+    if z.contains(&x) || z.contains(&y) {
+        // Conventionally, conditioning on an endpoint separates it.
+        return true;
+    }
+    !d_connected_set(children, parents, &[x], z).contains(&y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build (children, parents) from an edge list over `n` nodes.
+    fn graph(n: usize, edges: &[(usize, usize)]) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let mut ch = vec![Vec::new(); n];
+        let mut pa = vec![Vec::new(); n];
+        for &(f, t) in edges {
+            ch[f].push(t);
+            pa[t].push(f);
+        }
+        (ch, pa)
+    }
+
+    fn z(nodes: &[usize]) -> HashSet<usize> {
+        nodes.iter().copied().collect()
+    }
+
+    #[test]
+    fn chain_blocked_by_middle() {
+        // 0 → 1 → 2
+        let (ch, pa) = graph(3, &[(0, 1), (1, 2)]);
+        assert!(!d_separated(&ch, &pa, 0, 2, &z(&[])));
+        assert!(d_separated(&ch, &pa, 0, 2, &z(&[1])));
+    }
+
+    #[test]
+    fn fork_blocked_by_root() {
+        // 1 ← 0 → 2 (confounder)
+        let (ch, pa) = graph(3, &[(0, 1), (0, 2)]);
+        assert!(!d_separated(&ch, &pa, 1, 2, &z(&[])));
+        assert!(d_separated(&ch, &pa, 1, 2, &z(&[0])));
+    }
+
+    #[test]
+    fn collider_open_when_conditioned() {
+        // 0 → 2 ← 1 (v-structure)
+        let (ch, pa) = graph(3, &[(0, 2), (1, 2)]);
+        assert!(d_separated(&ch, &pa, 0, 1, &z(&[])));
+        assert!(!d_separated(&ch, &pa, 0, 1, &z(&[2])));
+    }
+
+    #[test]
+    fn collider_opened_by_descendant() {
+        // 0 → 2 ← 1, 2 → 3: conditioning on the collider's descendant opens it.
+        let (ch, pa) = graph(4, &[(0, 2), (1, 2), (2, 3)]);
+        assert!(d_separated(&ch, &pa, 0, 1, &z(&[])));
+        assert!(!d_separated(&ch, &pa, 0, 1, &z(&[3])));
+    }
+
+    #[test]
+    fn m_bias_structure() {
+        // Classic M-graph: U1 → B, U1 → K, U2 → K, U2 → Y; B, Y otherwise
+        // unrelated. Nodes: B=0, Y=1, K=2, U1=3, U2=4.
+        let (ch, pa) = graph(5, &[(3, 0), (3, 2), (4, 2), (4, 1)]);
+        // Marginally separated.
+        assert!(d_separated(&ch, &pa, 0, 1, &z(&[])));
+        // Conditioning on K (collider) opens the path.
+        assert!(!d_separated(&ch, &pa, 0, 1, &z(&[2])));
+        // Adding U1 blocks it again.
+        assert!(d_separated(&ch, &pa, 0, 1, &z(&[2, 3])));
+    }
+
+    #[test]
+    fn endpoint_in_z_is_separated() {
+        let (ch, pa) = graph(2, &[(0, 1)]);
+        assert!(d_separated(&ch, &pa, 0, 1, &z(&[0])));
+    }
+
+    #[test]
+    fn connected_set_excludes_z() {
+        let (ch, pa) = graph(3, &[(0, 1), (1, 2)]);
+        let r = d_connected_set(&ch, &pa, &[0], &z(&[1]));
+        assert!(r.contains(&0));
+        assert!(!r.contains(&1));
+        assert!(!r.contains(&2));
+    }
+}

@@ -1,0 +1,49 @@
+//! Error type for the causal-model subsystem.
+
+use std::fmt;
+
+/// Errors raised while building or querying causal models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CausalError {
+    /// A referenced attribute node does not exist in the graph.
+    UnknownNode(String),
+    /// Adding an edge would create a directed cycle.
+    CycleDetected(String),
+    /// The same node was declared twice.
+    DuplicateNode(String),
+    /// An edge declaration is inconsistent (e.g. intra-tuple edge across
+    /// relations).
+    InvalidEdge(String),
+    /// A structural-equation specification is invalid.
+    InvalidMechanism(String),
+    /// Exact enumeration was requested for a model with non-discrete or
+    /// unbounded mechanisms.
+    NotEnumerable(String),
+    /// Propagated storage error.
+    Storage(String),
+}
+
+impl fmt::Display for CausalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CausalError::UnknownNode(n) => write!(f, "unknown causal node: {n}"),
+            CausalError::CycleDetected(m) => write!(f, "cycle detected: {m}"),
+            CausalError::DuplicateNode(n) => write!(f, "duplicate causal node: {n}"),
+            CausalError::InvalidEdge(m) => write!(f, "invalid edge: {m}"),
+            CausalError::InvalidMechanism(m) => write!(f, "invalid mechanism: {m}"),
+            CausalError::NotEnumerable(m) => write!(f, "model not enumerable: {m}"),
+            CausalError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CausalError {}
+
+impl From<hyper_storage::StorageError> for CausalError {
+    fn from(e: hyper_storage::StorageError) -> Self {
+        CausalError::Storage(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CausalError>;

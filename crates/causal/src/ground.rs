@@ -1,0 +1,494 @@
+//! Ground causal graphs (the paper's Figure 3): one variable per
+//! `(tuple, attribute)` pair, with edges instantiated from the schema-level
+//! graph according to each edge's [`EdgeKind`].
+//!
+//! Materializing the ground graph is only needed for the exact
+//! possible-world oracle and for tests; the block decomposition in
+//! [`crate::blocks`] never materializes it.
+
+use std::collections::HashMap;
+
+use hyper_storage::{Database, Value};
+
+use crate::error::{CausalError, Result};
+use crate::graph::{CausalGraph, EdgeKind};
+use crate::topo;
+
+/// A tuple reference: `(table index, row index)` in database registration
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleRef {
+    /// Index of the table in [`Database::tables`].
+    pub table: usize,
+    /// Row index within the table.
+    pub row: usize,
+}
+
+/// A ground variable `A[t]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GroundVar {
+    /// The tuple.
+    pub tuple: TupleRef,
+    /// Column index of the attribute within the tuple's table.
+    pub attr: usize,
+}
+
+/// The grounded causal graph of a database under a schema-level model.
+#[derive(Debug, Clone)]
+pub struct GroundGraph {
+    vars: Vec<GroundVar>,
+    ids: HashMap<GroundVar, usize>,
+    children: Vec<Vec<usize>>,
+    parents: Vec<Vec<usize>>,
+}
+
+impl GroundGraph {
+    /// Ground `graph` against `db`.
+    ///
+    /// Only attributes mentioned in the causal graph become ground
+    /// variables — immutable attributes outside the model (keys etc.) do not
+    /// participate.
+    pub fn build(db: &Database, graph: &CausalGraph) -> Result<GroundGraph> {
+        let mut g = GroundGraph {
+            vars: Vec::new(),
+            ids: HashMap::new(),
+            children: Vec::new(),
+            parents: Vec::new(),
+        };
+
+        // Map relation name → table index once.
+        let table_idx: HashMap<&str, usize> = db
+            .tables()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.name(), i))
+            .collect();
+
+        // Create variables for every (tuple, modeled attribute).
+        for node in graph.nodes() {
+            let &ti = table_idx.get(node.relation.as_str()).ok_or_else(|| {
+                CausalError::UnknownNode(format!("relation `{}` not in database", node.relation))
+            })?;
+            let table = &db.tables()[ti];
+            let attr = table.schema().index_of(&node.attribute)?;
+            for row in 0..table.num_rows() {
+                g.intern(GroundVar {
+                    tuple: TupleRef { table: ti, row },
+                    attr,
+                });
+            }
+        }
+
+        // Pre-compute FK links between table pairs: child row → parent row.
+        let fk_links = fk_row_links(db)?;
+
+        for edge in graph.edges() {
+            let from_node = graph.node_info(edge.from);
+            let to_node = graph.node_info(edge.to);
+            let fti = table_idx[from_node.relation.as_str()];
+            let tti = table_idx[to_node.relation.as_str()];
+            let fattr = db.tables()[fti].schema().index_of(&from_node.attribute)?;
+            let tattr = db.tables()[tti].schema().index_of(&to_node.attribute)?;
+
+            match &edge.kind {
+                EdgeKind::Intra => {
+                    for row in 0..db.tables()[fti].num_rows() {
+                        g.add_ground_edge(
+                            GroundVar { tuple: TupleRef { table: fti, row }, attr: fattr },
+                            GroundVar { tuple: TupleRef { table: tti, row }, attr: tattr },
+                        );
+                    }
+                }
+                EdgeKind::ForeignKey => {
+                    let links = fk_links.get(&ordered_pair(fti, tti)).ok_or_else(|| {
+                        CausalError::InvalidEdge(format!(
+                            "foreign-key edge {from_node} → {to_node} has no declared FK"
+                        ))
+                    })?;
+                    // links are (child_row_in_child_table, parent_row): we
+                    // need pairs as (from_table row, to_table row).
+                    for &(crow, prow) in links {
+                        let (frow, trow) = if fti == child_table_of(db, fti, tti)? {
+                            (crow, prow)
+                        } else {
+                            (prow, crow)
+                        };
+                        g.add_ground_edge(
+                            GroundVar { tuple: TupleRef { table: fti, row: frow }, attr: fattr },
+                            GroundVar { tuple: TupleRef { table: tti, row: trow }, attr: tattr },
+                        );
+                    }
+                }
+                EdgeKind::SameValue { group_by } => {
+                    ground_same_value(
+                        &mut g, db, fti, fattr, tti, tattr, group_by, &fk_links,
+                    )?;
+                }
+            }
+        }
+        Ok(g)
+    }
+
+    fn intern(&mut self, v: GroundVar) -> usize {
+        if let Some(&id) = self.ids.get(&v) {
+            return id;
+        }
+        let id = self.vars.len();
+        self.ids.insert(v, id);
+        self.vars.push(v);
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        id
+    }
+
+    fn add_ground_edge(&mut self, from: GroundVar, to: GroundVar) {
+        let f = self.intern(from);
+        let t = self.intern(to);
+        if !self.children[f].contains(&t) {
+            self.children[f].push(t);
+            self.parents[t].push(f);
+        }
+    }
+
+    /// Number of ground variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of ground edges.
+    pub fn num_edges(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Variable payload by id.
+    pub fn var(&self, id: usize) -> GroundVar {
+        self.vars[id]
+    }
+
+    /// Id of a ground variable, if it exists.
+    pub fn id_of(&self, v: GroundVar) -> Option<usize> {
+        self.ids.get(&v).copied()
+    }
+
+    /// Children adjacency.
+    pub fn children(&self) -> &[Vec<usize>] {
+        &self.children
+    }
+
+    /// Parents adjacency.
+    pub fn parents(&self) -> &[Vec<usize>] {
+        &self.parents
+    }
+
+    /// Topological order; `None` if grounding produced a cycle (possible when
+    /// cross-tuple edges connect tuples symmetrically).
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        topo::topological_order(&self.children)
+    }
+
+    /// All ground variables reachable from `start` (excluding itself).
+    pub fn descendants(&self, start: usize) -> Vec<usize> {
+        topo::reachable(&self.children, &[start])
+            .into_iter()
+            .filter(|&v| v != start)
+            .collect()
+    }
+
+    /// Tuples whose variables are reachable from any variable of `tuple` —
+    /// i.e. tuples whose post-update state can differ after intervening on
+    /// `tuple`.
+    pub fn affected_tuples(&self, sources: &[usize]) -> Vec<TupleRef> {
+        let reach = topo::reachable(&self.children, sources);
+        let mut tuples: Vec<TupleRef> = reach.into_iter().map(|v| self.vars[v].tuple).collect();
+        tuples.sort();
+        tuples.dedup();
+        tuples
+    }
+}
+
+/// Row pairs `(child_row, parent_row)` linked by a foreign key, keyed by
+/// the canonically-ordered table pair.
+type FkRowLinks = HashMap<(usize, usize), Vec<(usize, usize)>>;
+
+/// For every FK-related table pair (canonically ordered), the row pairs
+/// `(child_row, parent_row)` they link.
+fn fk_row_links(db: &Database) -> Result<FkRowLinks> {
+    let table_idx: HashMap<&str, usize> = db
+        .tables()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.name(), i))
+        .collect();
+    let mut out: HashMap<(usize, usize), Vec<(usize, usize)>> = HashMap::new();
+    for fk in db.foreign_keys() {
+        let ci = table_idx[fk.child_table.as_str()];
+        let pi = table_idx[fk.parent_table.as_str()];
+        let child = db.table(&fk.child_table)?;
+        let parent = db.table(&fk.parent_table)?;
+        let ccols: Vec<usize> = fk
+            .child_columns
+            .iter()
+            .map(|c| child.schema().index_of(c))
+            .collect::<hyper_storage::Result<_>>()?;
+        let pcols: Vec<usize> = fk
+            .parent_columns
+            .iter()
+            .map(|c| parent.schema().index_of(c))
+            .collect::<hyper_storage::Result<_>>()?;
+        let mut parent_index: HashMap<Vec<Value>, usize> = HashMap::new();
+        for r in 0..parent.num_rows() {
+            let key: Vec<Value> = pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
+            parent_index.insert(key, r);
+        }
+        let links = out.entry(ordered_pair(ci, pi)).or_default();
+        for r in 0..child.num_rows() {
+            let key: Vec<Value> = ccols.iter().map(|&c| child.get(r, c).clone()).collect();
+            if let Some(&p) = parent_index.get(&key) {
+                links.push((r, p));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn ordered_pair(a: usize, b: usize) -> (usize, usize) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Which of the two tables is the FK child.
+fn child_table_of(db: &Database, a: usize, b: usize) -> Result<usize> {
+    let names: Vec<&str> = db.tables().iter().map(|t| t.name()).collect();
+    for fk in db.foreign_keys() {
+        let ci = names.iter().position(|&n| n == fk.child_table).unwrap();
+        let pi = names.iter().position(|&n| n == fk.parent_table).unwrap();
+        if ordered_pair(ci, pi) == ordered_pair(a, b) {
+            return Ok(ci);
+        }
+    }
+    Err(CausalError::InvalidEdge(format!(
+        "no foreign key between tables {a} and {b}"
+    )))
+}
+
+/// Ground a `SameValue` edge: connect tuples grouped by `group_by` (an
+/// attribute of the `from` relation). Same-relation edges link distinct
+/// tuples in a group; cross-relation edges link a group member to the FK
+/// children of *other* members of the group.
+#[allow(clippy::too_many_arguments)]
+fn ground_same_value(
+    g: &mut GroundGraph,
+    db: &Database,
+    fti: usize,
+    fattr: usize,
+    tti: usize,
+    tattr: usize,
+    group_by: &str,
+    fk_links: &FkRowLinks,
+) -> Result<()> {
+    let from_table = &db.tables()[fti];
+    let gcol = from_table.schema().index_of(group_by)?;
+    let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
+    for row in 0..from_table.num_rows() {
+        groups
+            .entry(from_table.get(row, gcol).clone())
+            .or_default()
+            .push(row);
+    }
+    if fti == tti {
+        for rows in groups.values() {
+            for &a in rows {
+                for &b in rows {
+                    if a != b {
+                        g.add_ground_edge(
+                            GroundVar { tuple: TupleRef { table: fti, row: a }, attr: fattr },
+                            GroundVar { tuple: TupleRef { table: tti, row: b }, attr: tattr },
+                        );
+                    }
+                }
+            }
+        }
+    } else {
+        let links = fk_links.get(&ordered_pair(fti, tti)).ok_or_else(|| {
+            CausalError::InvalidEdge(format!(
+                "cross-relation SameValue edge requires a foreign key between tables {fti} and {tti}"
+            ))
+        })?;
+        // Parent row → its child rows in the `to` relation.
+        let mut children_of_parent: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(crow, prow) in links {
+            children_of_parent.entry(prow).or_default().push(crow);
+        }
+        for rows in groups.values() {
+            for &a in rows {
+                for &peer in rows {
+                    if peer == a {
+                        continue; // own children are covered by the FK edge
+                    }
+                    if let Some(kids) = children_of_parent.get(&peer) {
+                        for &k in kids {
+                            g.add_ground_edge(
+                                GroundVar { tuple: TupleRef { table: fti, row: a }, attr: fattr },
+                                GroundVar { tuple: TupleRef { table: tti, row: k }, attr: tattr },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::graph::amazon_example_graph;
+    use hyper_storage::{Field, ForeignKey, Schema, Table};
+    use hyper_storage::DataType;
+
+    /// Figure-1 database: 5 products, 6 reviews.
+    pub(crate) fn amazon_db() -> Database {
+        let mut db = Database::new();
+        let mut prod = Table::with_key(
+            "product",
+            Schema::new(vec![
+                Field::new("pid", DataType::Int),
+                Field::new("category", DataType::Str),
+                Field::new("price", DataType::Float),
+                Field::new("brand", DataType::Str),
+                Field::new("color", DataType::Str),
+                Field::new("quality", DataType::Float),
+            ])
+            .unwrap(),
+            &["pid"],
+        )
+        .unwrap();
+        for (pid, cat, price, brand, color, q) in [
+            (1, "Laptop", 999.0, "Vaio", "Silver", 0.7),
+            (2, "Laptop", 529.0, "Asus", "Black", 0.65),
+            (3, "Laptop", 599.0, "HP", "Silver", 0.5),
+            (4, "DSLR Camera", 549.0, "Canon", "Black", 0.75),
+            (5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4),
+        ] {
+            prod.push_row(vec![
+                pid.into(),
+                cat.into(),
+                price.into(),
+                brand.into(),
+                color.into(),
+                q.into(),
+            ])
+            .unwrap();
+        }
+        let mut rev = Table::with_key(
+            "review",
+            Schema::new(vec![
+                Field::new("pid", DataType::Int),
+                Field::new("review_id", DataType::Int),
+                Field::new("sentiment", DataType::Float),
+                Field::new("rating", DataType::Int),
+            ])
+            .unwrap(),
+            &["pid", "review_id"],
+        )
+        .unwrap();
+        for (pid, rid, s, r) in [
+            (1, 1, -0.95, 2),
+            (2, 2, 0.7, 4),
+            (2, 3, -0.2, 1),
+            (3, 3, 0.23, 3),
+            (3, 5, 0.95, 5),
+            (4, 5, 0.7, 4),
+        ] {
+            rev.push_row(vec![pid.into(), rid.into(), s.into(), r.into()])
+                .unwrap();
+        }
+        db.add_table(prod).unwrap();
+        db.add_table(rev).unwrap();
+        db.add_foreign_key(ForeignKey {
+            child_table: "review".into(),
+            child_columns: vec!["pid".into()],
+            parent_table: "product".into(),
+            parent_columns: vec!["pid".into()],
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn grounds_figure1_database() {
+        let db = amazon_db();
+        let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
+        // 5 products × 5 modeled attrs + 6 reviews × 2 modeled attrs = 37.
+        assert_eq!(g.num_vars(), 37);
+        assert!(g.num_edges() > 0);
+        assert!(g.topological_order().is_some());
+    }
+
+    #[test]
+    fn fk_edges_link_product_to_its_reviews() {
+        let db = amazon_db();
+        let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
+        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
+        let rating_attr = db.table("review").unwrap().schema().index_of("rating").unwrap();
+        // price[p2] (row 1) → rating[r2] (row 1, pid 2).
+        let from = g
+            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .unwrap();
+        let to = g
+            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 1 }, attr: rating_attr })
+            .unwrap();
+        assert!(g.children()[from].contains(&to));
+    }
+
+    #[test]
+    fn same_value_edges_cross_tuples_within_category() {
+        let db = amazon_db();
+        let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
+        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
+        let rating_attr = db.table("review").unwrap().schema().index_of("rating").unwrap();
+        // price[p2] (Asus laptop) → rating[r1] (review of Vaio laptop p1).
+        let from = g
+            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .unwrap();
+        let to = g
+            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 0 }, attr: rating_attr })
+            .unwrap();
+        assert!(g.children()[from].contains(&to));
+        // …but NOT to the camera's review (different category): r6 is row 5.
+        let camera_rev = g
+            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 5 }, attr: rating_attr })
+            .unwrap();
+        assert!(!g.children()[from].contains(&camera_rev));
+    }
+
+    #[test]
+    fn affected_tuples_follow_paths() {
+        let db = amazon_db();
+        let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
+        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
+        let src = g
+            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .unwrap();
+        let affected = g.affected_tuples(&[src]);
+        // Updating p2's price reaches all laptop reviews (r1..r5) plus p2
+        // itself, but not the camera review r6 or the book p5.
+        assert!(affected.contains(&TupleRef { table: 0, row: 1 }));
+        assert!(affected.contains(&TupleRef { table: 1, row: 0 }));
+        assert!(affected.contains(&TupleRef { table: 1, row: 4 }));
+        assert!(!affected.contains(&TupleRef { table: 1, row: 5 }));
+        assert!(!affected.contains(&TupleRef { table: 0, row: 4 }));
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let mut g = crate::graph::CausalGraph::new();
+        g.add_intra_edge("ghost", "a", "b").unwrap();
+        let db = amazon_db();
+        assert!(GroundGraph::build(&db, &g).is_err());
+    }
+}

@@ -1,0 +1,816 @@
+//! Structural causal models (SCMs): the generative side of the PRCM.
+//!
+//! The paper's synthetic experiments (§5.1, §5.4) generate data from known
+//! structural equations and compute *ground truth* effects of hypothetical
+//! updates by replaying the update through those equations. This module
+//! provides exactly that:
+//!
+//! * [`Scm::sample`] — draw a relation of i.i.d. units,
+//! * [`Scm::sample_paired`] — draw `(pre, post)` tables sharing exogenous
+//!   noise, where `post` applies an [`Intervention`] to units satisfying a
+//!   condition (the `When` clause) and re-propagates descendants: this is
+//!   Definition 3's post-update distribution executed literally,
+//! * [`Scm::enumerate_joint`] / [`Scm::enumerate_do`] — exact joint and
+//!   interventional distributions for all-discrete models, used by the
+//!   exact possible-world oracle in `hyper-core`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use hyper_storage::{DataType, Field, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{CausalError, Result};
+use crate::graph::{CausalGraph, EdgeKind};
+
+/// Per-(unit, node) exogenous noise: one uniform and one standard normal
+/// draw, consumed as each mechanism requires. Keeping noise explicit lets
+/// pre/post worlds share it (counterfactual consistency).
+#[derive(Debug, Clone, Copy)]
+pub struct Noise {
+    /// `U(0, 1)` draw (inverse-CDF sampling for discrete mechanisms).
+    pub uniform: f64,
+    /// `N(0, 1)` draw (additive noise for continuous mechanisms).
+    pub gauss: f64,
+}
+
+/// A deterministic structural function of parent values.
+pub type DeterministicFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// A predicate over a (pre-update) row, e.g. the `When` clause.
+pub type RowPredicate<'a> = &'a dyn Fn(&[Value]) -> bool;
+
+/// A structural equation.
+#[derive(Clone)]
+pub enum Mechanism {
+    /// Root categorical variable with the given distribution.
+    CategoricalPrior(Vec<(Value, f64)>),
+    /// Discrete conditional distribution: parent values → distribution.
+    /// Combinations missing from the table fall back to `default`.
+    DiscreteCpd {
+        /// CPD rows keyed by parent value combination.
+        table: HashMap<Vec<Value>, Vec<(Value, f64)>>,
+        /// Fallback distribution.
+        default: Vec<(Value, f64)>,
+    },
+    /// `intercept + Σ coef·parent + noise_std·ε`, optionally clamped and/or
+    /// rounded to an integer.
+    LinearGaussian {
+        /// Intercept term.
+        intercept: f64,
+        /// One coefficient per declared parent (numeric parents only).
+        coefs: Vec<f64>,
+        /// Standard deviation of the Gaussian noise.
+        noise_std: f64,
+        /// Optional `[lo, hi]` clamp.
+        clamp: Option<(f64, f64)>,
+        /// Round to nearest integer and emit `Value::Int`.
+        round: bool,
+    },
+    /// Bernoulli with `p = σ(intercept + Σ coef·parent)`, emitting
+    /// `if_true` / `if_false`.
+    Logistic {
+        /// Intercept of the linear score.
+        intercept: f64,
+        /// One coefficient per declared parent.
+        coefs: Vec<f64>,
+        /// Value emitted on success.
+        if_true: Value,
+        /// Value emitted on failure.
+        if_false: Value,
+    },
+    /// Deterministic function of the parents.
+    Deterministic(DeterministicFn),
+}
+
+impl fmt::Debug for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mechanism::CategoricalPrior(d) => write!(f, "CategoricalPrior({} classes)", d.len()),
+            Mechanism::DiscreteCpd { table, .. } => {
+                write!(f, "DiscreteCpd({} rows)", table.len())
+            }
+            Mechanism::LinearGaussian {
+                intercept, coefs, ..
+            } => write!(f, "LinearGaussian(b0={intercept}, k={})", coefs.len()),
+            Mechanism::Logistic { intercept, .. } => write!(f, "Logistic(b0={intercept})"),
+            Mechanism::Deterministic(_) => write!(f, "Deterministic(fn)"),
+        }
+    }
+}
+
+/// How an intervention transforms the pre-update value (Definition 2's `f`).
+#[derive(Debug, Clone)]
+pub enum InterventionOp {
+    /// `f(b) = const`.
+    Set(Value),
+    /// `f(b) = const × b`.
+    Scale(f64),
+    /// `f(b) = const + b`.
+    Shift(f64),
+}
+
+impl InterventionOp {
+    /// Apply to a pre-update value.
+    pub fn apply(&self, pre: &Value) -> Result<Value> {
+        match self {
+            InterventionOp::Set(v) => Ok(v.clone()),
+            InterventionOp::Scale(c) => {
+                let x = pre.as_f64().ok_or_else(|| {
+                    CausalError::InvalidMechanism(format!("cannot scale non-numeric {pre}"))
+                })?;
+                Ok(Value::Float(x * c))
+            }
+            InterventionOp::Shift(c) => {
+                let x = pre.as_f64().ok_or_else(|| {
+                    CausalError::InvalidMechanism(format!("cannot shift non-numeric {pre}"))
+                })?;
+                Ok(Value::Float(x + c))
+            }
+        }
+    }
+}
+
+/// An intervention on one attribute.
+#[derive(Debug, Clone)]
+pub struct Intervention {
+    /// Target attribute.
+    pub attr: String,
+    /// Update function.
+    pub op: InterventionOp,
+}
+
+impl Intervention {
+    /// `do(attr := f(attr))` helper.
+    pub fn new(attr: impl Into<String>, op: InterventionOp) -> Self {
+        Intervention {
+            attr: attr.into(),
+            op,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ScmNode {
+    name: String,
+    dtype: DataType,
+    parents: Vec<usize>,
+    mechanism: Mechanism,
+}
+
+/// A single-unit structural causal model over named attributes.
+///
+/// Nodes must be declared parents-first (enforced because parents are
+/// resolved by name at declaration time), so declaration order is a
+/// topological order.
+#[derive(Debug, Clone, Default)]
+pub struct Scm {
+    nodes: Vec<ScmNode>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Scm {
+    /// Empty model.
+    pub fn new() -> Self {
+        Scm::default()
+    }
+
+    /// Declare a node. Parents must already exist.
+    pub fn add_node(
+        &mut self,
+        name: impl Into<String>,
+        dtype: DataType,
+        parents: &[&str],
+        mechanism: Mechanism,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CausalError::DuplicateNode(name));
+        }
+        let parent_ids: Vec<usize> = parents
+            .iter()
+            .map(|p| {
+                self.by_name
+                    .get(*p)
+                    .copied()
+                    .ok_or_else(|| CausalError::UnknownNode((*p).to_string()))
+            })
+            .collect::<Result<_>>()?;
+        // Validate coefficient arity for linear mechanisms.
+        match &mechanism {
+            Mechanism::LinearGaussian { coefs, .. } | Mechanism::Logistic { coefs, .. } => {
+                if coefs.len() != parent_ids.len() {
+                    return Err(CausalError::InvalidMechanism(format!(
+                        "node `{name}`: {} coefficients for {} parents",
+                        coefs.len(),
+                        parent_ids.len()
+                    )));
+                }
+            }
+            Mechanism::CategoricalPrior(dist) => {
+                if !parent_ids.is_empty() {
+                    return Err(CausalError::InvalidMechanism(format!(
+                        "node `{name}`: categorical prior cannot have parents"
+                    )));
+                }
+                validate_dist(&name, dist)?;
+            }
+            Mechanism::DiscreteCpd { table, default } => {
+                validate_dist(&name, default)?;
+                for dist in table.values() {
+                    validate_dist(&name, dist)?;
+                }
+            }
+            Mechanism::Deterministic(_) => {}
+        }
+        self.by_name.insert(name.clone(), self.nodes.len());
+        self.nodes.push(ScmNode {
+            name,
+            dtype,
+            parents: parent_ids,
+            mechanism,
+        });
+        Ok(())
+    }
+
+    /// Number of attributes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Attribute names in declaration (topological) order.
+    pub fn attribute_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|n| n.name.as_str()).collect()
+    }
+
+    /// Index of an attribute.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| CausalError::UnknownNode(name.to_string()))
+    }
+
+    /// The schema of generated tables.
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.nodes
+                .iter()
+                .map(|n| Field::new(n.name.clone(), n.dtype))
+                .collect(),
+        )
+        .expect("node names are unique")
+    }
+
+    /// Export the attribute-level causal graph (all edges intra-tuple) for
+    /// relation `relation`.
+    pub fn to_causal_graph(&self, relation: &str) -> CausalGraph {
+        let mut g = CausalGraph::new();
+        let ids: Vec<_> = self
+            .nodes
+            .iter()
+            .map(|n| g.node(relation, &n.name))
+            .collect();
+        for (i, n) in self.nodes.iter().enumerate() {
+            for &p in &n.parents {
+                g.add_edge(ids[p], ids[i], EdgeKind::Intra)
+                    .expect("declaration order is topological");
+            }
+        }
+        g
+    }
+
+    fn compute(&self, node: &ScmNode, row: &[Value], noise: Noise) -> Result<Value> {
+        let parent_vals: Vec<Value> = node.parents.iter().map(|&p| row[p].clone()).collect();
+        Ok(match &node.mechanism {
+            Mechanism::CategoricalPrior(dist) => sample_discrete(dist, noise.uniform),
+            Mechanism::DiscreteCpd { table, default } => {
+                let dist = table.get(&parent_vals).unwrap_or(default);
+                sample_discrete(dist, noise.uniform)
+            }
+            Mechanism::LinearGaussian {
+                intercept,
+                coefs,
+                noise_std,
+                clamp,
+                round,
+            } => {
+                let mut x = *intercept + noise_std * noise.gauss;
+                for (c, v) in coefs.iter().zip(&parent_vals) {
+                    x += c * v.as_f64().ok_or_else(|| {
+                        CausalError::InvalidMechanism(format!(
+                            "node `{}`: non-numeric parent value {v}",
+                            node.name
+                        ))
+                    })?;
+                }
+                if let Some((lo, hi)) = clamp {
+                    x = x.clamp(*lo, *hi);
+                }
+                if *round {
+                    Value::Int(x.round() as i64)
+                } else {
+                    Value::Float(x)
+                }
+            }
+            Mechanism::Logistic {
+                intercept,
+                coefs,
+                if_true,
+                if_false,
+            } => {
+                let mut score = *intercept;
+                for (c, v) in coefs.iter().zip(&parent_vals) {
+                    score += c * v.as_f64().ok_or_else(|| {
+                        CausalError::InvalidMechanism(format!(
+                            "node `{}`: non-numeric parent value {v}",
+                            node.name
+                        ))
+                    })?;
+                }
+                let p = 1.0 / (1.0 + (-score).exp());
+                if noise.uniform < p {
+                    if_true.clone()
+                } else {
+                    if_false.clone()
+                }
+            }
+            Mechanism::Deterministic(f) => f(&parent_vals),
+        })
+    }
+
+    /// Sample `n` i.i.d. units into a table named `relation`.
+    pub fn sample(&self, relation: &str, n: usize, seed: u64) -> Result<Table> {
+        let (pre, _) = self.sample_paired(relation, n, seed, &[], None)?;
+        Ok(pre)
+    }
+
+    /// Sample `n` units and return `(pre, post)` tables sharing noise, where
+    /// `post` applies `interventions` to units whose *pre* row satisfies
+    /// `condition` (all units when `None`) and re-propagates descendants.
+    pub fn sample_paired(
+        &self,
+        relation: &str,
+        n: usize,
+        seed: u64,
+        interventions: &[Intervention],
+        condition: Option<RowPredicate<'_>>,
+    ) -> Result<(Table, Table)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let iv_idx: Vec<(usize, &InterventionOp)> = interventions
+            .iter()
+            .map(|iv| Ok((self.index_of(&iv.attr)?, &iv.op)))
+            .collect::<Result<_>>()?;
+
+        let mut pre = Table::new(relation, self.schema());
+        let mut post = Table::new(relation, self.schema());
+        pre.reserve(n);
+        post.reserve(n);
+
+        let k = self.nodes.len();
+        let mut noises: Vec<Noise> = Vec::with_capacity(k);
+        for _ in 0..n {
+            noises.clear();
+            for _ in 0..k {
+                noises.push(Noise {
+                    uniform: rng.gen::<f64>(),
+                    gauss: sample_std_normal(&mut rng),
+                });
+            }
+            // Pre world.
+            let mut pre_row: Vec<Value> = Vec::with_capacity(k);
+            for (i, node) in self.nodes.iter().enumerate() {
+                let v = self.compute(node, &pre_row, noises[i])?;
+                pre_row.push(v);
+            }
+            // Post world: same noise, intervened values substituted.
+            let applies = condition.is_none_or(|c| c(&pre_row));
+            let mut post_row: Vec<Value> = Vec::with_capacity(k);
+            for (i, node) in self.nodes.iter().enumerate() {
+                let forced = if applies {
+                    iv_idx.iter().find(|(idx, _)| *idx == i)
+                } else {
+                    None
+                };
+                let v = match forced {
+                    Some((_, op)) => op.apply(&pre_row[i])?,
+                    None => self.compute(node, &post_row, noises[i])?,
+                };
+                post_row.push(v);
+            }
+            pre.push_row(pre_row).map_err(CausalError::from)?;
+            post.push_row(post_row).map_err(CausalError::from)?;
+        }
+        Ok((pre, post))
+    }
+
+    /// Exact joint distribution for all-discrete models:
+    /// `[(row, probability)]` with rows in declaration order.
+    pub fn enumerate_joint(&self) -> Result<Vec<(Vec<Value>, f64)>> {
+        self.enumerate_with(&HashMap::new())
+    }
+
+    /// Exact joint distribution under `do(attr := value)` for each entry.
+    pub fn enumerate_do(&self, set: &[(String, Value)]) -> Result<Vec<(Vec<Value>, f64)>> {
+        let mut forced: HashMap<usize, Value> = HashMap::new();
+        for (a, v) in set {
+            forced.insert(self.index_of(a)?, v.clone());
+        }
+        self.enumerate_with(&forced)
+    }
+
+    fn enumerate_with(&self, forced: &HashMap<usize, Value>) -> Result<Vec<(Vec<Value>, f64)>> {
+        let mut worlds: Vec<(Vec<Value>, f64)> = vec![(Vec::new(), 1.0)];
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut next = Vec::with_capacity(worlds.len() * 2);
+            for (row, p) in &worlds {
+                if let Some(v) = forced.get(&i) {
+                    let mut r = row.clone();
+                    r.push(v.clone());
+                    next.push((r, *p));
+                    continue;
+                }
+                let dist: Vec<(Value, f64)> = match &node.mechanism {
+                    Mechanism::CategoricalPrior(d) => d.clone(),
+                    Mechanism::DiscreteCpd { table, default } => {
+                        let parent_vals: Vec<Value> =
+                            node.parents.iter().map(|&pi| row[pi].clone()).collect();
+                        table.get(&parent_vals).unwrap_or(default).clone()
+                    }
+                    Mechanism::Deterministic(f) => {
+                        let parent_vals: Vec<Value> =
+                            node.parents.iter().map(|&pi| row[pi].clone()).collect();
+                        vec![(f(&parent_vals), 1.0)]
+                    }
+                    m => {
+                        return Err(CausalError::NotEnumerable(format!(
+                            "node `{}` has continuous mechanism {m:?}",
+                            node.name
+                        )))
+                    }
+                };
+                for (v, q) in dist {
+                    if q <= 0.0 {
+                        continue;
+                    }
+                    let mut r = row.clone();
+                    r.push(v);
+                    next.push((r, p * q));
+                }
+            }
+            worlds = next;
+        }
+        Ok(worlds)
+    }
+}
+
+fn validate_dist(name: &str, dist: &[(Value, f64)]) -> Result<()> {
+    if dist.is_empty() {
+        return Err(CausalError::InvalidMechanism(format!(
+            "node `{name}`: empty distribution"
+        )));
+    }
+    let total: f64 = dist.iter().map(|(_, p)| p).sum();
+    if (total - 1.0).abs() > 1e-6 || dist.iter().any(|(_, p)| *p < 0.0) {
+        return Err(CausalError::InvalidMechanism(format!(
+            "node `{name}`: distribution sums to {total}, expected 1"
+        )));
+    }
+    Ok(())
+}
+
+fn sample_discrete(dist: &[(Value, f64)], u: f64) -> Value {
+    let mut acc = 0.0;
+    for (v, p) in dist {
+        acc += p;
+        if u < acc {
+            return v.clone();
+        }
+    }
+    dist.last().expect("validated non-empty").0.clone()
+}
+
+/// Box-Muller standard normal from a uniform RNG.
+fn sample_std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Z → B, Z → Y, B → Y, all binary: the canonical confounded model.
+    pub(crate) fn confounded_binary() -> Scm {
+        let mut scm = Scm::new();
+        scm.add_node(
+            "z",
+            DataType::Int,
+            &[],
+            Mechanism::CategoricalPrior(vec![(Value::Int(0), 0.6), (Value::Int(1), 0.4)]),
+        )
+        .unwrap();
+        let mut b_table = HashMap::new();
+        b_table.insert(
+            vec![Value::Int(0)],
+            vec![(Value::Int(0), 0.8), (Value::Int(1), 0.2)],
+        );
+        b_table.insert(
+            vec![Value::Int(1)],
+            vec![(Value::Int(0), 0.3), (Value::Int(1), 0.7)],
+        );
+        scm.add_node(
+            "b",
+            DataType::Int,
+            &["z"],
+            Mechanism::DiscreteCpd {
+                table: b_table,
+                default: vec![(Value::Int(0), 1.0)],
+            },
+        )
+        .unwrap();
+        let mut y_table = HashMap::new();
+        // P(y=1 | z, b)
+        for (z, b, p1) in [(0, 0, 0.1), (0, 1, 0.5), (1, 0, 0.4), (1, 1, 0.9)] {
+            y_table.insert(
+                vec![Value::Int(z), Value::Int(b)],
+                vec![(Value::Int(0), 1.0 - p1), (Value::Int(1), p1)],
+            );
+        }
+        scm.add_node(
+            "y",
+            DataType::Int,
+            &["z", "b"],
+            Mechanism::DiscreteCpd {
+                table: y_table,
+                default: vec![(Value::Int(0), 1.0)],
+            },
+        )
+        .unwrap();
+        scm
+    }
+
+    #[test]
+    fn declaration_requires_parents_first() {
+        let mut scm = Scm::new();
+        let err = scm
+            .add_node(
+                "child",
+                DataType::Int,
+                &["ghost"],
+                Mechanism::LinearGaussian {
+                    intercept: 0.0,
+                    coefs: vec![1.0],
+                    noise_std: 1.0,
+                    clamp: None,
+                    round: false,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CausalError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn coefficient_arity_checked() {
+        let mut scm = Scm::new();
+        scm.add_node(
+            "x",
+            DataType::Float,
+            &[],
+            Mechanism::LinearGaussian {
+                intercept: 0.0,
+                coefs: vec![],
+                noise_std: 1.0,
+                clamp: None,
+                round: false,
+            },
+        )
+        .unwrap();
+        let err = scm
+            .add_node(
+                "y",
+                DataType::Float,
+                &["x"],
+                Mechanism::LinearGaussian {
+                    intercept: 0.0,
+                    coefs: vec![1.0, 2.0],
+                    noise_std: 1.0,
+                    clamp: None,
+                    round: false,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, CausalError::InvalidMechanism(_)));
+    }
+
+    #[test]
+    fn bad_distribution_rejected() {
+        let mut scm = Scm::new();
+        let err = scm
+            .add_node(
+                "z",
+                DataType::Int,
+                &[],
+                Mechanism::CategoricalPrior(vec![(Value::Int(0), 0.6), (Value::Int(1), 0.6)]),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CausalError::InvalidMechanism(_)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_matches_marginals() {
+        let scm = confounded_binary();
+        let t1 = scm.sample("d", 20_000, 7).unwrap();
+        let t2 = scm.sample("d", 20_000, 7).unwrap();
+        assert_eq!(t1.column(0), t2.column(0), "same seed, same data");
+        let z1 = t1
+            .column_by_name("z")
+            .unwrap()
+            .iter()
+            .filter(|v| **v == Value::Int(1))
+            .count() as f64
+            / 20_000.0;
+        assert!((z1 - 0.4).abs() < 0.02, "P(z=1) ≈ 0.4, got {z1}");
+    }
+
+    #[test]
+    fn enumerate_joint_sums_to_one() {
+        let scm = confounded_binary();
+        let worlds = scm.enumerate_joint().unwrap();
+        assert_eq!(worlds.len(), 8);
+        let total: f64 = worlds.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn enumerate_do_matches_adjustment_formula() {
+        // P(y=1 | do(b=1)) = Σ_z P(z) P(y=1 | z, b=1)
+        //                  = 0.6·0.5 + 0.4·0.9 = 0.66
+        let scm = confounded_binary();
+        let worlds = scm
+            .enumerate_do(&[("b".into(), Value::Int(1))])
+            .unwrap();
+        let p_y1: f64 = worlds
+            .iter()
+            .filter(|(row, _)| row[2] == Value::Int(1))
+            .map(|(_, p)| p)
+            .sum();
+        assert!((p_y1 - 0.66).abs() < 1e-12, "got {p_y1}");
+        // Versus the *conditional* P(y=1 | b=1), which is confounded:
+        let joint = scm.enumerate_joint().unwrap();
+        let p_b1: f64 = joint
+            .iter()
+            .filter(|(row, _)| row[1] == Value::Int(1))
+            .map(|(_, p)| p)
+            .sum();
+        let p_y1_b1: f64 = joint
+            .iter()
+            .filter(|(row, _)| row[1] == Value::Int(1) && row[2] == Value::Int(1))
+            .map(|(_, p)| p)
+            .sum::<f64>()
+            / p_b1;
+        assert!(
+            (p_y1_b1 - p_y1).abs() > 0.01,
+            "confounding must separate conditional from interventional"
+        );
+    }
+
+    #[test]
+    fn paired_sampling_respects_condition_and_noise_sharing() {
+        let scm = confounded_binary();
+        let cond = |row: &[Value]| row[0] == Value::Int(0);
+        let (pre, post) = scm
+            .sample_paired(
+                "d",
+                5000,
+                11,
+                &[Intervention::new("b", InterventionOp::Set(Value::Int(1)))],
+                Some(&cond),
+            )
+            .unwrap();
+        for i in 0..pre.num_rows() {
+            // z is a non-descendant: identical in both worlds.
+            assert_eq!(pre.get(i, 0), post.get(i, 0));
+            if pre.get(i, 0) == &Value::Int(0) {
+                assert_eq!(post.get(i, 1), &Value::Int(1), "intervened where z=0");
+            } else {
+                assert_eq!(pre.get(i, 1), post.get(i, 1), "untouched where z=1");
+            }
+        }
+    }
+
+    #[test]
+    fn paired_sampling_interventional_mean_matches_enumeration() {
+        let scm = confounded_binary();
+        let (_, post) = scm
+            .sample_paired(
+                "d",
+                40_000,
+                3,
+                &[Intervention::new("b", InterventionOp::Set(Value::Int(1)))],
+                None,
+            )
+            .unwrap();
+        let p_y1 = post
+            .column_by_name("y")
+            .unwrap()
+            .iter()
+            .filter(|v| **v == Value::Int(1))
+            .count() as f64
+            / post.num_rows() as f64;
+        assert!((p_y1 - 0.66).abs() < 0.01, "sampled {p_y1}, exact 0.66");
+    }
+
+    #[test]
+    fn scale_and_shift_interventions() {
+        let mut scm = Scm::new();
+        scm.add_node(
+            "x",
+            DataType::Float,
+            &[],
+            Mechanism::LinearGaussian {
+                intercept: 10.0,
+                coefs: vec![],
+                noise_std: 0.0,
+                clamp: None,
+                round: false,
+            },
+        )
+        .unwrap();
+        scm.add_node(
+            "y",
+            DataType::Float,
+            &["x"],
+            Mechanism::LinearGaussian {
+                intercept: 1.0,
+                coefs: vec![2.0],
+                noise_std: 0.0,
+                clamp: None,
+                round: false,
+            },
+        )
+        .unwrap();
+        let (_, post) = scm
+            .sample_paired(
+                "d",
+                10,
+                1,
+                &[Intervention::new("x", InterventionOp::Scale(1.5))],
+                None,
+            )
+            .unwrap();
+        // x: 10 → 15, y = 1 + 2x = 31.
+        assert_eq!(post.get(0, 0), &Value::Float(15.0));
+        assert_eq!(post.get(0, 1), &Value::Float(31.0));
+
+        let (_, post) = scm
+            .sample_paired(
+                "d",
+                1,
+                1,
+                &[Intervention::new("x", InterventionOp::Shift(-4.0))],
+                None,
+            )
+            .unwrap();
+        assert_eq!(post.get(0, 0), &Value::Float(6.0));
+        assert_eq!(post.get(0, 1), &Value::Float(13.0));
+    }
+
+    #[test]
+    fn to_causal_graph_preserves_structure() {
+        let scm = confounded_binary();
+        let g = scm.to_causal_graph("d");
+        assert_eq!(g.num_nodes(), 3);
+        let z = g.node_id("d", "z").unwrap();
+        let b = g.node_id("d", "b").unwrap();
+        let y = g.node_id("d", "y").unwrap();
+        assert!(g.has_path(z, y));
+        assert!(g.has_path(b, y));
+        assert!(!g.has_path(y, b));
+    }
+
+    #[test]
+    fn enumeration_rejects_continuous() {
+        let mut scm = Scm::new();
+        scm.add_node(
+            "x",
+            DataType::Float,
+            &[],
+            Mechanism::LinearGaussian {
+                intercept: 0.0,
+                coefs: vec![],
+                noise_std: 1.0,
+                clamp: None,
+                round: false,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            scm.enumerate_joint().unwrap_err(),
+            CausalError::NotEnumerable(_)
+        ));
+    }
+}

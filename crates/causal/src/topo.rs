@@ -1,0 +1,92 @@
+//! Graph utilities shared across the crate: topological sort and reachability
+//! over plain adjacency lists.
+
+/// Kahn's algorithm. Returns `None` when the graph has a cycle.
+pub fn topological_order(children: &[Vec<usize>]) -> Option<Vec<usize>> {
+    let n = children.len();
+    let mut indeg = vec![0usize; n];
+    for adj in children {
+        for &c in adj {
+            indeg[c] += 1;
+        }
+    }
+    let mut stack: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    // Reverse so pop() yields ascending node ids first — deterministic output.
+    stack.reverse();
+    let mut order = Vec::with_capacity(n);
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &c in &children[u] {
+            indeg[c] -= 1;
+            if indeg[c] == 0 {
+                stack.push(c);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Nodes reachable from any of `starts` (including the starts themselves),
+/// by iterative DFS.
+pub fn reachable(adj: &[Vec<usize>], starts: &[usize]) -> Vec<usize> {
+    let mut seen = vec![false; adj.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for &s in starts {
+        if !seen[s] {
+            seen[s] = true;
+            stack.push(s);
+        }
+    }
+    let mut out = Vec::new();
+    while let Some(u) = stack.pop() {
+        out.push(u);
+        for &c in &adj[u] {
+            if !seen[c] {
+                seen[c] = true;
+                stack.push(c);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_dag() {
+        // 0 → 1 → 3, 0 → 2 → 3
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let order = topological_order(&adj).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, &n) in order.iter().enumerate() {
+                p[n] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let adj = vec![vec![1], vec![2], vec![0]];
+        assert!(topological_order(&adj).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(topological_order(&[]).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn reachability() {
+        let adj = vec![vec![1], vec![2], vec![], vec![2]];
+        assert_eq!(reachable(&adj, &[0]), vec![0, 1, 2]);
+        assert_eq!(reachable(&adj, &[3]), vec![2, 3]);
+        assert_eq!(reachable(&adj, &[0, 3]), vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Union-find (disjoint-set) with path halving and union by size, used for
+//! the block-independent decomposition over up to millions of tuples.
+
+/// Disjoint-set forest over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] as usize != x {
+            self.parent[x] = self.parent[self.parent[x] as usize];
+            x = self.parent[x] as usize;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Current number of disjoint sets.
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Group elements by representative, ordered by first occurrence.
+    pub fn groups(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut rep_slot: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for x in 0..n {
+            let r = self.find(x);
+            let slot = *rep_slot.entry(r).or_insert_with(|| {
+                out.push(Vec::new());
+                out.len() - 1
+            });
+            out[slot].push(x);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unions_and_finds() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 3);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn groups_preserve_first_occurrence_order() {
+        let mut uf = UnionFind::new(4);
+        uf.union(2, 3);
+        let groups = uf.groups();
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(2, 3);
+        assert_eq!(uf.find(0), uf.find(3));
+        assert_eq!(uf.num_components(), 3);
+    }
+}

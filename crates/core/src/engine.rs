@@ -1,0 +1,122 @@
+//! The top-level HypeR engine: parse, validate and evaluate hypothetical
+//! queries against a database and (optionally) a causal model.
+
+use hyper_causal::{BlockDecomposition, CausalGraph};
+use hyper_query::{parse_query, HowToQuery, HypotheticalQuery, WhatIfQuery};
+use hyper_storage::Database;
+
+use crate::config::{EngineConfig, HowToOptions};
+use crate::error::{EngineError, Result};
+use crate::howto::baseline::evaluate_howto_bruteforce;
+use crate::howto::multi::{evaluate_howto_lexicographic, LexicographicResult};
+use crate::howto::optimizer::evaluate_howto;
+use crate::howto::HowToResult;
+use crate::whatif::{evaluate_whatif, WhatIfResult};
+
+/// A configured HypeR engine bound to a database and causal model.
+pub struct HyperEngine<'a> {
+    db: &'a Database,
+    graph: Option<&'a CausalGraph>,
+    config: EngineConfig,
+    howto_opts: HowToOptions,
+}
+
+impl<'a> HyperEngine<'a> {
+    /// Engine with the default (plain HypeR) configuration.
+    pub fn new(db: &'a Database, graph: Option<&'a CausalGraph>) -> Self {
+        HyperEngine {
+            db,
+            graph,
+            config: EngineConfig::default(),
+            howto_opts: HowToOptions::default(),
+        }
+    }
+
+    /// Override the engine configuration.
+    pub fn with_config(mut self, config: EngineConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the how-to options.
+    pub fn with_howto_options(mut self, opts: HowToOptions) -> Self {
+        self.howto_opts = opts;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The bound database.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Evaluate a parsed what-if query.
+    pub fn whatif(&self, q: &WhatIfQuery) -> Result<WhatIfResult> {
+        evaluate_whatif(self.db, self.graph, &self.config, q)
+    }
+
+    /// Evaluate a parsed how-to query via the IP formulation.
+    pub fn howto(&self, q: &HowToQuery) -> Result<HowToResult> {
+        evaluate_howto(self.db, self.graph, &self.config, q, &self.howto_opts)
+    }
+
+    /// Evaluate a how-to query by exhaustive enumeration (Opt-HowTo).
+    pub fn howto_bruteforce(&self, q: &HowToQuery) -> Result<HowToResult> {
+        evaluate_howto_bruteforce(self.db, self.graph, &self.config, q, &self.howto_opts)
+    }
+
+    /// Lexicographic multi-objective how-to (§4.3 extension).
+    pub fn howto_lexicographic(&self, qs: &[HowToQuery]) -> Result<LexicographicResult> {
+        evaluate_howto_lexicographic(self.db, self.graph, &self.config, qs, &self.howto_opts)
+    }
+
+    /// Parse and evaluate query text; returns either result kind.
+    pub fn execute(&self, text: &str) -> Result<QueryOutcome> {
+        match parse_query(text)? {
+            HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(self.whatif(&q)?)),
+            HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(self.howto(&q)?)),
+        }
+    }
+
+    /// Parse and evaluate what-if text.
+    pub fn whatif_text(&self, text: &str) -> Result<WhatIfResult> {
+        match parse_query(text)? {
+            HypotheticalQuery::WhatIf(q) => self.whatif(&q),
+            HypotheticalQuery::HowTo(_) => Err(EngineError::Query(
+                "expected a what-if query, got a how-to query".into(),
+            )),
+        }
+    }
+
+    /// Parse and evaluate how-to text.
+    pub fn howto_text(&self, text: &str) -> Result<HowToResult> {
+        match parse_query(text)? {
+            HypotheticalQuery::HowTo(q) => self.howto(&q),
+            HypotheticalQuery::WhatIf(_) => Err(EngineError::Query(
+                "expected a how-to query, got a what-if query".into(),
+            )),
+        }
+    }
+
+    /// The block-independent decomposition of the bound database under the
+    /// bound causal graph (Prop. 1/Example 7).
+    pub fn block_decomposition(&self) -> Result<BlockDecomposition> {
+        let graph = self.graph.ok_or_else(|| {
+            EngineError::Causal("block decomposition requires a causal graph".into())
+        })?;
+        BlockDecomposition::compute(self.db, graph).map_err(EngineError::from)
+    }
+}
+
+/// Outcome of [`HyperEngine::execute`].
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// What-if result.
+    WhatIf(WhatIfResult),
+    /// How-to result.
+    HowTo(HowToResult),
+}

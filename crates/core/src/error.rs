@@ -1,0 +1,67 @@
+//! Error type for the HypeR engine.
+
+use std::fmt;
+
+/// Errors raised while planning or evaluating hypothetical queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Query-language error (parse/validation).
+    Query(String),
+    /// Storage-layer error.
+    Storage(String),
+    /// Causal-model error.
+    Causal(String),
+    /// ML-layer error.
+    Ml(String),
+    /// Optimization-layer error.
+    Ip(String),
+    /// The query is valid but unsupported by this engine configuration.
+    Unsupported(String),
+    /// Planning error (ambiguous attribute, missing key, …).
+    Plan(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Query(m) => write!(f, "query error: {m}"),
+            EngineError::Storage(m) => write!(f, "storage error: {m}"),
+            EngineError::Causal(m) => write!(f, "causal error: {m}"),
+            EngineError::Ml(m) => write!(f, "ml error: {m}"),
+            EngineError::Ip(m) => write!(f, "ip error: {m}"),
+            EngineError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            EngineError::Plan(m) => write!(f, "planning error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<hyper_storage::StorageError> for EngineError {
+    fn from(e: hyper_storage::StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
+impl From<hyper_query::QueryError> for EngineError {
+    fn from(e: hyper_query::QueryError) -> Self {
+        EngineError::Query(e.to_string())
+    }
+}
+impl From<hyper_causal::CausalError> for EngineError {
+    fn from(e: hyper_causal::CausalError) -> Self {
+        EngineError::Causal(e.to_string())
+    }
+}
+impl From<hyper_ml::MlError> for EngineError {
+    fn from(e: hyper_ml::MlError) -> Self {
+        EngineError::Ml(e.to_string())
+    }
+}
+impl From<hyper_ip::IpError> for EngineError {
+    fn from(e: hyper_ip::IpError) -> Self {
+        EngineError::Ip(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;

@@ -1,0 +1,343 @@
+//! Dual-world evaluation of hypothetical expressions: an [`HExpr`] is
+//! evaluated against a *pre* row and a *post* row of the relevant view,
+//! with `Pre(A)` reading the former and `Post(A)` the latter.
+
+use hyper_query::{HExpr, HOp, Temporal};
+use hyper_storage::{Schema, Value};
+
+use crate::error::{EngineError, Result};
+
+/// An `HExpr` with attribute references resolved to view column positions.
+#[derive(Debug, Clone)]
+pub enum BoundHExpr {
+    /// Attribute read: `(world, column index)`.
+    Attr(Temporal, usize),
+    /// Literal.
+    Lit(Value),
+    /// Negation.
+    Not(Box<BoundHExpr>),
+    /// Binary operation.
+    Binary(HOp, Box<BoundHExpr>, Box<BoundHExpr>),
+    /// Membership.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundHExpr>,
+        /// Candidates.
+        list: Vec<Value>,
+        /// Negated?
+        negated: bool,
+    },
+}
+
+/// Resolve a view column name case-insensitively.
+pub fn resolve_column(schema: &Schema, name: &str) -> Result<usize> {
+    if let Ok(i) = schema.index_of(name) {
+        return Ok(i);
+    }
+    let mut found: Option<usize> = None;
+    for (i, f) in schema.fields().iter().enumerate() {
+        if f.name.eq_ignore_ascii_case(name) {
+            if found.is_some() {
+                return Err(EngineError::Plan(format!(
+                    "attribute `{name}` is ambiguous in the relevant view"
+                )));
+            }
+            found = Some(i);
+        }
+    }
+    found.ok_or_else(|| {
+        EngineError::Plan(format!(
+            "attribute `{name}` is not a column of the relevant view"
+        ))
+    })
+}
+
+/// Bind an expression to the view schema, applying `default` to unmarked
+/// attribute references.
+pub fn bind_hexpr(expr: &HExpr, schema: &Schema, default: Temporal) -> Result<BoundHExpr> {
+    Ok(match expr {
+        HExpr::Attr { temporal, name } => {
+            BoundHExpr::Attr(temporal.unwrap_or(default), resolve_column(schema, name)?)
+        }
+        HExpr::Lit(v) => BoundHExpr::Lit(v.clone()),
+        HExpr::Not(e) => BoundHExpr::Not(Box::new(bind_hexpr(e, schema, default)?)),
+        HExpr::Binary { op, left, right } => BoundHExpr::Binary(
+            *op,
+            Box::new(bind_hexpr(left, schema, default)?),
+            Box::new(bind_hexpr(right, schema, default)?),
+        ),
+        HExpr::InList {
+            expr,
+            list,
+            negated,
+        } => BoundHExpr::InList {
+            expr: Box::new(bind_hexpr(expr, schema, default)?),
+            list: list.clone(),
+            negated: *negated,
+        },
+    })
+}
+
+impl BoundHExpr {
+    /// Evaluate against `(pre, post)` rows.
+    pub fn eval(&self, pre: &[Value], post: &[Value]) -> Result<Value> {
+        Ok(match self {
+            BoundHExpr::Attr(Temporal::Pre, i) => pre[*i].clone(),
+            BoundHExpr::Attr(Temporal::Post, i) => post[*i].clone(),
+            BoundHExpr::Lit(v) => v.clone(),
+            BoundHExpr::Not(e) => match e.eval(pre, post)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                v => {
+                    return Err(EngineError::Plan(format!(
+                        "Not expects boolean, got {v}"
+                    )))
+                }
+            },
+            BoundHExpr::Binary(op, l, r) => {
+                let lv = l.eval(pre, post)?;
+                // Short-circuit logical operators.
+                if *op == HOp::And && lv == Value::Bool(false) {
+                    return Ok(Value::Bool(false));
+                }
+                if *op == HOp::Or && lv == Value::Bool(true) {
+                    return Ok(Value::Bool(true));
+                }
+                let rv = r.eval(pre, post)?;
+                match op {
+                    HOp::Eq => Value::Bool(lv.sql_eq(&rv)),
+                    HOp::Ne => {
+                        if lv.is_null() || rv.is_null() {
+                            Value::Bool(false)
+                        } else {
+                            Value::Bool(!lv.sql_eq(&rv))
+                        }
+                    }
+                    HOp::Lt | HOp::Le | HOp::Gt | HOp::Ge => match lv.sql_cmp(&rv) {
+                        None => Value::Bool(false),
+                        Some(o) => Value::Bool(match op {
+                            HOp::Lt => o.is_lt(),
+                            HOp::Le => o.is_le(),
+                            HOp::Gt => o.is_gt(),
+                            HOp::Ge => o.is_ge(),
+                            _ => unreachable!(),
+                        }),
+                    },
+                    HOp::And | HOp::Or => {
+                        let lb = as_bool(&lv)?;
+                        let rb = as_bool(&rv)?;
+                        match (op, lb, rb) {
+                            (HOp::And, Some(a), Some(b)) => Value::Bool(a && b),
+                            (HOp::Or, Some(a), Some(b)) => Value::Bool(a || b),
+                            _ => Value::Null,
+                        }
+                    }
+                    HOp::Add => lv.add(&rv).map_err(EngineError::from)?,
+                    HOp::Sub => lv.sub(&rv).map_err(EngineError::from)?,
+                    HOp::Mul => lv.mul(&rv).map_err(EngineError::from)?,
+                    HOp::Div => lv.div(&rv).map_err(EngineError::from)?,
+                }
+            }
+            BoundHExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(pre, post)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let found = list.iter().any(|c| v.sql_eq(c));
+                Value::Bool(found != *negated)
+            }
+        })
+    }
+
+    /// Evaluate as a predicate (NULL → false).
+    pub fn eval_bool(&self, pre: &[Value], post: &[Value]) -> Result<bool> {
+        match self.eval(pre, post)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(EngineError::Plan(format!(
+                "predicate evaluated to non-boolean {v}"
+            ))),
+        }
+    }
+
+    /// Column indices read from the post world.
+    pub fn post_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let BoundHExpr::Attr(Temporal::Post, i) = e {
+                out.push(*i);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Column indices read from the pre world.
+    pub fn pre_columns(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let BoundHExpr::Attr(Temporal::Pre, i) = e {
+                out.push(*i);
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn walk(&self, f: &mut impl FnMut(&BoundHExpr)) {
+        f(self);
+        match self {
+            BoundHExpr::Not(e) => e.walk(f),
+            BoundHExpr::Binary(_, l, r) => {
+                l.walk(f);
+                r.walk(f);
+            }
+            BoundHExpr::InList { expr, .. } => expr.walk(f),
+            BoundHExpr::Attr(..) | BoundHExpr::Lit(_) => {}
+        }
+    }
+}
+
+fn as_bool(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        v => Err(EngineError::Plan(format!(
+            "logical operator expects boolean, got {v}"
+        ))),
+    }
+}
+
+/// Split a predicate into `(pre-only conjuncts, conjuncts touching Post)`.
+///
+/// The paper decomposes `For` into `μ_For,Pre ∧ μ_For,Post` (§A.2.1); we do
+/// the same at the top-level conjunction, leaving mixed conjuncts on the
+/// post side (they are evaluated with both worlds available).
+pub fn split_pre_post(expr: &HExpr, default: Temporal) -> (Vec<HExpr>, Vec<HExpr>) {
+    let mut pre = Vec::new();
+    let mut post = Vec::new();
+    collect_conjuncts(expr, &mut |conj| {
+        let touches_post = conj
+            .attrs_with_default(default)
+            .iter()
+            .any(|(t, _)| *t == Temporal::Post);
+        if touches_post {
+            post.push(conj.clone());
+        } else {
+            pre.push(conj.clone());
+        }
+    });
+    (pre, post)
+}
+
+fn collect_conjuncts(expr: &HExpr, f: &mut impl FnMut(&HExpr)) {
+    match expr {
+        HExpr::Binary {
+            op: HOp::And,
+            left,
+            right,
+        } => {
+            collect_conjuncts(left, f);
+            collect_conjuncts(right, f);
+        }
+        other => f(other),
+    }
+}
+
+/// Re-assemble conjuncts into a single expression (`None` when empty).
+pub fn conjoin(conjuncts: &[HExpr]) -> Option<HExpr> {
+    let mut it = conjuncts.iter().cloned();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, c| acc.and(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("price", DataType::Float),
+            Field::new("rating", DataType::Float),
+            Field::new("brand", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn pre_and_post_read_different_worlds() {
+        let e = HExpr::binary(HOp::Lt, HExpr::pre("price"), HExpr::post("price"));
+        let b = bind_hexpr(&e, &schema(), Temporal::Pre).unwrap();
+        let pre = vec![Value::Float(100.0), Value::Float(3.0), Value::str("a")];
+        let post = vec![Value::Float(110.0), Value::Float(2.5), Value::str("a")];
+        assert_eq!(b.eval(&pre, &post).unwrap(), Value::Bool(true));
+        assert_eq!(b.eval(&post, &pre).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn default_temporal_applied_at_bind() {
+        let e = HExpr::binary(HOp::Gt, HExpr::attr("rating"), HExpr::lit(2.8));
+        let pre = vec![Value::Float(100.0), Value::Float(3.0), Value::str("a")];
+        let post = vec![Value::Float(100.0), Value::Float(2.5), Value::str("a")];
+        let b = bind_hexpr(&e, &schema(), Temporal::Pre).unwrap();
+        assert_eq!(b.eval(&pre, &post).unwrap(), Value::Bool(true));
+        let b = bind_hexpr(&e, &schema(), Temporal::Post).unwrap();
+        assert_eq!(b.eval(&pre, &post).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn case_insensitive_resolution() {
+        let e = HExpr::binary(HOp::Eq, HExpr::attr("Brand"), HExpr::lit("a"));
+        let b = bind_hexpr(&e, &schema(), Temporal::Pre).unwrap();
+        let row = vec![Value::Float(0.0), Value::Float(0.0), Value::str("a")];
+        assert_eq!(b.eval(&row, &row).unwrap(), Value::Bool(true));
+        assert!(bind_hexpr(&HExpr::attr("ghost"), &schema(), Temporal::Pre).is_err());
+    }
+
+    #[test]
+    fn split_separates_conjuncts() {
+        let e = HExpr::binary(HOp::Eq, HExpr::attr("brand"), HExpr::lit("a"))
+            .and(HExpr::binary(HOp::Gt, HExpr::post("rating"), HExpr::lit(0.5)))
+            .and(HExpr::binary(
+                HOp::Lt,
+                HExpr::pre("price"),
+                HExpr::post("price"),
+            ));
+        let (pre, post) = split_pre_post(&e, Temporal::Pre);
+        assert_eq!(pre.len(), 1);
+        assert_eq!(post.len(), 2);
+        let rebuilt = conjoin(&pre).unwrap();
+        assert!(!rebuilt.mentions_post());
+    }
+
+    #[test]
+    fn post_column_collection() {
+        let e = HExpr::binary(HOp::Gt, HExpr::post("rating"), HExpr::pre("price"));
+        let b = bind_hexpr(&e, &schema(), Temporal::Pre).unwrap();
+        assert_eq!(b.post_columns(), vec![1]);
+        assert_eq!(b.pre_columns(), vec![0]);
+    }
+
+    #[test]
+    fn arithmetic_across_worlds() {
+        // Pre(price) - Post(price) < 15
+        let e = HExpr::binary(
+            HOp::Lt,
+            HExpr::binary(HOp::Sub, HExpr::pre("price"), HExpr::post("price")),
+            HExpr::lit(15.0),
+        );
+        let b = bind_hexpr(&e, &schema(), Temporal::Pre).unwrap();
+        let pre = vec![Value::Float(100.0), Value::Float(0.0), Value::str("a")];
+        let post = vec![Value::Float(90.0), Value::Float(0.0), Value::str("a")];
+        assert_eq!(b.eval(&pre, &post).unwrap(), Value::Bool(true));
+        let post = vec![Value::Float(80.0), Value::Float(0.0), Value::str("a")];
+        assert_eq!(b.eval(&pre, &post).unwrap(), Value::Bool(false));
+    }
+}

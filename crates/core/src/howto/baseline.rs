@@ -1,0 +1,95 @@
+//! The **Opt-HowTo** baseline (§5.1): "compute the optimal solution by
+//! enumerating all possible updates, evaluating what-if query output for
+//! each update and choosing the one that returns the optimal result."
+//!
+//! Deliberately exhaustive — Figures 9b and 11b measure its exponential
+//! runtime against the IP formulation.
+
+use std::time::Instant;
+
+use hyper_causal::CausalGraph;
+use hyper_query::{HowToQuery, ObjectiveDirection, UpdateSpec};
+use hyper_storage::Database;
+
+use crate::config::{EngineConfig, HowToOptions};
+use crate::error::Result;
+use crate::howto::optimizer::{candidate_whatif, HowToContext};
+use crate::howto::HowToResult;
+use crate::whatif::evaluate_whatif;
+
+/// Exhaustively search all candidate-update combinations.
+pub fn evaluate_howto_bruteforce(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &HowToQuery,
+    opts: &HowToOptions,
+) -> Result<HowToResult> {
+    let started = Instant::now();
+    let mut ctx = HowToContext::prepare(db, graph, config, q, opts)?;
+    let maximize = q.objective.direction == ObjectiveDirection::Maximize;
+
+    // Mixed-radix enumeration over (no-change + candidates) per attribute.
+    let radices: Vec<usize> = ctx.candidates.iter().map(|c| c.len() + 1).collect();
+    let mut digits = vec![0usize; radices.len()];
+    let mut best: Option<(Vec<UpdateSpec>, f64)> = Some((Vec::new(), ctx.baseline));
+
+    loop {
+        // Assemble the combination (digit 0 = no change).
+        let updates: Vec<UpdateSpec> = digits
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d > 0)
+            .map(|(i, &d)| {
+                let c = &ctx.candidates[i][d - 1];
+                UpdateSpec {
+                    attr: c.attr.clone(),
+                    func: c.func.clone(),
+                }
+            })
+            .collect();
+        let n_updated = updates.len();
+        let within_budget = opts
+            .max_attrs_updated
+            .is_none_or(|b| n_updated <= b);
+        if within_budget && !updates.is_empty() {
+            let wq = candidate_whatif(&ctx.whatif_template, updates.clone());
+            let r = evaluate_whatif(db, graph, config, &wq)?;
+            ctx.whatif_evals += 1;
+            let better = match &best {
+                None => true,
+                Some((_, b)) => {
+                    if maximize {
+                        r.value > *b + 1e-12
+                    } else {
+                        r.value < *b - 1e-12
+                    }
+                }
+            };
+            if better {
+                best = Some((updates, r.value));
+            }
+        }
+        // Increment.
+        let mut i = 0;
+        loop {
+            if i == digits.len() {
+                let (chosen, objective) = best.expect("baseline is always present");
+                return Ok(HowToResult {
+                    chosen,
+                    objective,
+                    baseline: ctx.baseline,
+                    candidates: ctx.candidates.iter().map(Vec::len).sum(),
+                    whatif_evals: ctx.whatif_evals,
+                    elapsed: started.elapsed(),
+                });
+            }
+            digits[i] += 1;
+            if digits[i] < radices[i] {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Candidate-update enumeration for how-to queries (§4.3: "for each
+//! attribute B_i ∈ U, we enumerate all permissible updates S_{B_i}" with
+//! continuous domains bucketized).
+
+use hyper_ml::{BinStrategy, Discretizer};
+use hyper_query::{HowToQuery, LimitConstraint, UpdateFunc};
+use hyper_storage::{ColumnStats, DataType, Value};
+
+use crate::error::{EngineError, Result};
+use crate::hexpr::resolve_column;
+use crate::view::RelevantView;
+
+/// One permissible update value for one attribute.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Attribute name.
+    pub attr: String,
+    /// View column.
+    pub col: usize,
+    /// The update (always an absolute `Set` after bucketization).
+    pub func: UpdateFunc,
+    /// Mean normalized L1 cost over the update set `S`.
+    pub l1_cost: f64,
+}
+
+/// Per-attribute candidate lists for a how-to query. `when_mask` marks the
+/// update set `S` (the rows whose L1 distance the `Limit` bounds).
+pub fn generate_candidates(
+    view: &RelevantView,
+    when_mask: &[bool],
+    q: &HowToQuery,
+    buckets: usize,
+) -> Result<Vec<Vec<Candidate>>> {
+    let mut out = Vec::with_capacity(q.update_attrs.len());
+    for attr in &q.update_attrs {
+        let col = resolve_column(view.table.schema(), attr)?;
+        let stats = ColumnStats::compute(&view.table, &view.table.schema().field(col).name)
+            .map_err(EngineError::from)?;
+
+        // Collect this attribute's constraints.
+        let mut lo: Option<f64> = None;
+        let mut hi: Option<f64> = None;
+        let mut in_set: Option<&[Value]> = None;
+        let mut l1: Option<f64> = None;
+        for c in &q.limits {
+            match c {
+                LimitConstraint::Range { attr: a, lo: l, hi: h }
+                    if a.eq_ignore_ascii_case(attr) =>
+                {
+                    lo = l.or(lo);
+                    hi = h.or(hi);
+                }
+                LimitConstraint::InSet { attr: a, values }
+                    if a.eq_ignore_ascii_case(attr) =>
+                {
+                    in_set = Some(values);
+                }
+                LimitConstraint::L1 { attr: a, bound }
+                    if a.eq_ignore_ascii_case(attr) =>
+                {
+                    l1 = Some(*bound);
+                }
+                _ => {}
+            }
+        }
+
+        // Pre-update values over S, for L1 costing.
+        let pre_s: Vec<&Value> = (0..view.table.num_rows())
+            .filter(|&i| when_mask[i])
+            .map(|i| view.table.get(i, col))
+            .collect();
+
+        let mean_l1 = |v: &Value| -> f64 {
+            if pre_s.is_empty() {
+                return 0.0;
+            }
+            let target = v.as_f64();
+            let total: f64 = pre_s
+                .iter()
+                .map(|p| match (target, p.as_f64()) {
+                    (Some(t), Some(x)) => (t - x).abs(),
+                    // Categorical distance: 0/1 mismatch.
+                    _ => {
+                        if p.sql_eq(v) {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                })
+                .sum();
+            total / pre_s.len() as f64
+        };
+
+        let numeric = matches!(
+            view.table.schema().field(col).data_type,
+            DataType::Int | DataType::Float
+        );
+
+        let raw_values: Vec<Value> = if let Some(values) = in_set {
+            values.to_vec()
+        } else if numeric {
+            let dom_lo = stats.min.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+            let dom_hi = stats.max.as_ref().and_then(Value::as_f64).unwrap_or(0.0);
+            let range_lo = lo.unwrap_or(dom_lo);
+            let range_hi = hi.unwrap_or(dom_hi);
+            if range_lo > range_hi {
+                Vec::new()
+            } else if range_lo == range_hi {
+                vec![Value::Float(range_lo)]
+            } else {
+                let d = Discretizer::fit(
+                    &[range_lo, range_hi],
+                    buckets.max(1),
+                    BinStrategy::EquiWidth,
+                )
+                .map_err(EngineError::from)?;
+                d.midpoints().iter().map(|&m| Value::Float(m)).collect()
+            }
+        } else {
+            // Categorical without an In-set: the observed domain.
+            stats.domain()
+        };
+
+        let mut cands = Vec::with_capacity(raw_values.len());
+        for v in raw_values {
+            // Range check (numeric candidates from In-sets too).
+            if let Some(x) = v.as_f64() {
+                if lo.is_some_and(|l| x < l) || hi.is_some_and(|h| x > h) {
+                    continue;
+                }
+            }
+            let cost = mean_l1(&v);
+            if l1.is_some_and(|b| cost > b) {
+                continue;
+            }
+            cands.push(Candidate {
+                attr: attr.clone(),
+                col,
+                func: UpdateFunc::Set(v),
+                l1_cost: cost,
+            });
+        }
+        out.push(cands);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::ColumnOrigin;
+    use hyper_query::parse_query;
+    use hyper_storage::{Field, Schema, Table};
+
+    fn view() -> RelevantView {
+        let schema = Schema::new(vec![
+            Field::new("price", DataType::Float),
+            Field::new("color", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("v", schema);
+        for (p, c) in [(529.0, "Black"), (999.0, "Silver"), (599.0, "Silver")] {
+            t.push_row(vec![p.into(), c.into()]).unwrap();
+        }
+        RelevantView {
+            origins: vec![
+                ColumnOrigin {
+                    relation: "v".into(),
+                    attribute: "price".into(),
+                    aggregated: None,
+                },
+                ColumnOrigin {
+                    relation: "v".into(),
+                    attribute: "color".into(),
+                    aggregated: None,
+                },
+            ],
+            table: t,
+        }
+    }
+
+    fn howto(text: &str) -> HowToQuery {
+        match parse_query(text).unwrap() {
+            hyper_query::HypotheticalQuery::HowTo(q) => q,
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn numeric_candidates_respect_range_and_l1() {
+        let q = howto(
+            "Use V HowToUpdate price
+             Limit 500 <= Post(price) <= 800 And L1(Pre(price), Post(price)) <= 150
+             ToMaximize Avg(Post(rating))",
+        );
+        let v = view();
+        // Update set = first row only (pre price 529).
+        let cands = generate_candidates(&v, &[true, false, false], &q, 6).unwrap();
+        assert_eq!(cands.len(), 1);
+        assert!(!cands[0].is_empty());
+        for c in &cands[0] {
+            let UpdateFunc::Set(Value::Float(x)) = c.func else { panic!() };
+            assert!((500.0..=800.0).contains(&x));
+            assert!((x - 529.0).abs() <= 150.0, "L1 violated: {x}");
+        }
+    }
+
+    #[test]
+    fn in_set_candidates() {
+        let q = howto(
+            "Use V HowToUpdate color
+             Limit Post(color) In ('Red', 'Blue')
+             ToMaximize Avg(Post(rating))",
+        );
+        let v = view();
+        let cands = generate_candidates(&v, &[true, true, true], &q, 4).unwrap();
+        assert_eq!(cands[0].len(), 2);
+    }
+
+    #[test]
+    fn categorical_defaults_to_domain() {
+        let q = howto("Use V HowToUpdate color ToMaximize Avg(Post(rating))");
+        let v = view();
+        let cands = generate_candidates(&v, &[true, true, true], &q, 4).unwrap();
+        // Observed domain: Black, Silver.
+        assert_eq!(cands[0].len(), 2);
+    }
+
+    #[test]
+    fn numeric_defaults_to_observed_range() {
+        let q = howto("Use V HowToUpdate price ToMaximize Avg(Post(rating))");
+        let v = view();
+        let cands = generate_candidates(&v, &[true, true, true], &q, 5).unwrap();
+        assert_eq!(cands[0].len(), 5);
+        for c in &cands[0] {
+            let UpdateFunc::Set(Value::Float(x)) = c.func else { panic!() };
+            assert!((529.0..=999.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn l1_costs_are_means_over_s() {
+        let q = howto(
+            "Use V HowToUpdate price Limit 600 <= Post(price) <= 600
+             ToMaximize Avg(Post(rating))",
+        );
+        let v = view();
+        let cands = generate_candidates(&v, &[true, true, true], &q, 3).unwrap();
+        assert_eq!(cands[0].len(), 1);
+        // Mean |600 - {529, 999, 599}| = (71 + 399 + 1)/3.
+        let expected = (71.0 + 399.0 + 1.0) / 3.0;
+        assert!((cands[0][0].l1_cost - expected).abs() < 1e-9);
+    }
+}

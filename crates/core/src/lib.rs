@@ -1,0 +1,51 @@
+//! # hyper-core
+//!
+//! The HypeR engine — the primary contribution of *"HypeR: Hypothetical
+//! Reasoning With What-If and How-To Queries Using a Probabilistic Causal
+//! Approach"* (SIGMOD 2022), reproduced in Rust:
+//!
+//! * **What-if queries** (§3): expected aggregate values over possible
+//!   worlds under a probabilistic relational causal model, computed by
+//!   backdoor adjustment with a random-forest conditional estimator
+//!   ([`whatif`]), an exact possible-world oracle for discrete models
+//!   ([`whatif::exact`]), and the block-decomposition optimization.
+//! * **How-to queries** (§4): optimization over candidate what-if queries
+//!   via bucketized candidate updates and a 0-1 Integer Program
+//!   ([`howto`]), with the exhaustive Opt-HowTo baseline and the
+//!   lexicographic multi-objective extension.
+//! * **Variants** of the paper's evaluation: plain HypeR, HypeR-NB (no
+//!   background graph), HypeR-sampled, and the correlational Indep
+//!   baseline ([`config`]).
+//!
+//! ```no_run
+//! use hyper_core::{HyperEngine, EngineConfig};
+//! # fn demo(db: &hyper_storage::Database, g: &hyper_causal::CausalGraph)
+//! # -> hyper_core::Result<()> {
+//! let engine = HyperEngine::new(db, Some(g)).with_config(EngineConfig::hyper());
+//! let r = engine.whatif_text(
+//!     "Use product When brand = 'Asus' \
+//!      Update(price) = 1.1 * Pre(price) \
+//!      Output Avg(Post(rating)) For Pre(category) = 'Laptop'",
+//! )?;
+//! println!("expected avg rating after the price bump: {}", r.value);
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod hexpr;
+pub mod howto;
+pub mod view;
+pub mod whatif;
+
+pub use config::{BackdoorMode, EngineConfig, EstimatorKind, HowToOptions};
+pub use engine::{HyperEngine, QueryOutcome};
+pub use error::{EngineError, Result};
+pub use howto::multi::LexicographicResult;
+pub use howto::HowToResult;
+pub use view::{build_relevant_view, ColumnOrigin, RelevantView};
+pub use whatif::exact::exact_whatif;
+pub use whatif::{evaluate_whatif, WhatIfResult};

@@ -1,0 +1,540 @@
+//! The regression-based causal estimator behind what-if queries.
+//!
+//! Implements the computation of Propositions 2/4/5 with the reductions of
+//! Eqs. (35)–(40): post-update conditionals `Pr_{D,U}(ψ | B = b, C = c)`
+//! equal pre-update conditionals `Pr_D(ψ | B = f(b), C = c)` under the
+//! backdoor criterion, and those are estimated from `D` with a single
+//! regression model (§A.4's homogeneity assumption) — a random forest, as
+//! in the paper's implementation.
+//!
+//! The §3.3 support-index optimization appears here as prediction
+//! memoization: rows sharing the same (post-update) feature combination are
+//! predicted once.
+
+use std::collections::HashMap;
+
+use hyper_causal::{CausalGraph, EdgeKind};
+use hyper_ml::{ForestParams, LinearModel, RandomForest, TableEncoder, TreeParams};
+use hyper_query::UpdateFunc;
+use hyper_storage::{AggFunc, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::{EngineError, Result};
+use crate::hexpr::BoundHExpr;
+use crate::view::RelevantView;
+use crate::whatif::apply_update;
+
+/// Cross-tuple summary feature (the distribution-preserving ψ of §2.2):
+/// the mean of an updated attribute over *peer* rows sharing a grouping
+/// value (e.g. mean competitor price within the product's category).
+#[derive(Debug, Clone)]
+pub struct PeerSummary {
+    /// The updated column being summarized.
+    pub update_col: usize,
+    /// The view column defining peer groups.
+    pub group_col: usize,
+}
+
+impl PeerSummary {
+    /// Detect whether the causal graph declares a same-value edge from an
+    /// updated attribute, and whether its grouping attribute is a view
+    /// column; returns the summary spec if so.
+    pub fn detect(
+        view: &RelevantView,
+        graph: Option<&CausalGraph>,
+        update_cols: &[(usize, UpdateFunc)],
+    ) -> Result<Option<PeerSummary>> {
+        let Some(g) = graph else { return Ok(None) };
+        for &(uc, _) in update_cols {
+            let o = &view.origins[uc];
+            let Ok(node) = g.node_id(&o.relation, &o.attribute) else {
+                continue;
+            };
+            for e in g.out_edges(node) {
+                if let EdgeKind::SameValue { group_by } = &e.kind {
+                    // Find the grouping attribute among view columns.
+                    for (c, co) in view.origins.iter().enumerate() {
+                        if co.relation == o.relation
+                            && co.attribute.eq_ignore_ascii_case(group_by)
+                            && co.aggregated.is_none()
+                        {
+                            return Ok(Some(PeerSummary {
+                                update_col: uc,
+                                group_col: c,
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Per-row peer means of `values` (leave-one-out within each group).
+    fn peer_means(&self, groups: &[Value], values: &[f64]) -> Vec<f64> {
+        let mut sum: HashMap<&Value, (f64, usize)> = HashMap::new();
+        for (g, v) in groups.iter().zip(values) {
+            let e = sum.entry(g).or_insert((0.0, 0));
+            e.0 += *v;
+            e.1 += 1;
+        }
+        groups
+            .iter()
+            .zip(values)
+            .map(|(g, v)| {
+                let (s, c) = sum[g];
+                if c <= 1 {
+                    *v // singleton group: fall back to own value
+                } else {
+                    (s - v) / (c - 1) as f64
+                }
+            })
+            .collect()
+    }
+}
+
+/// Everything needed to fit the estimator.
+pub struct EstimatorSpec<'a> {
+    /// Updated columns with their functions.
+    pub update_cols: &'a [(usize, UpdateFunc)],
+    /// Backdoor adjustment columns.
+    pub backdoor_cols: &'a [usize],
+    /// Optional cross-tuple summary feature.
+    pub peer: Option<PeerSummary>,
+    /// Training-row cap (HypeR-sampled).
+    pub sample_cap: Option<usize>,
+    /// Forest size.
+    pub n_trees: usize,
+    /// Tree depth.
+    pub max_depth: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Regression family.
+    pub kind: crate::config::EstimatorKind,
+}
+
+/// Empirical cell-mean table over encoded feature combinations: the
+/// §3.3 support-index computation executed literally. `skip` is the number
+/// of leading encoded dimensions occupied by the update attributes; the
+/// marginal table conditions only on the remaining (backdoor) dimensions
+/// and is the fallback for post-update combinations with zero support.
+struct CellTable {
+    cells: HashMap<Vec<u64>, (f64, u32)>,
+    marginal: HashMap<Vec<u64>, (f64, u32)>,
+    global: f64,
+    skip: usize,
+}
+
+impl CellTable {
+    fn fit(x: &hyper_ml::Matrix, y: &[f64], skip: usize) -> CellTable {
+        let mut cells: HashMap<Vec<u64>, (f64, u32)> = HashMap::new();
+        let mut marginal: HashMap<Vec<u64>, (f64, u32)> = HashMap::new();
+        let mut total = 0.0;
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            let key: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
+            let mkey: Vec<u64> = row[skip.min(row.len())..].iter().map(|f| f.to_bits()).collect();
+            let e = cells.entry(key).or_insert((0.0, 0));
+            e.0 += y[i];
+            e.1 += 1;
+            let m = marginal.entry(mkey).or_insert((0.0, 0));
+            m.0 += y[i];
+            m.1 += 1;
+            total += y[i];
+        }
+        CellTable {
+            cells,
+            marginal,
+            global: if x.rows() > 0 { total / x.rows() as f64 } else { 0.0 },
+            skip,
+        }
+    }
+
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let key: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
+        if let Some((s, c)) = self.cells.get(&key) {
+            return s / *c as f64;
+        }
+        let mkey: Vec<u64> = row[self.skip.min(row.len())..]
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        if let Some((s, c)) = self.marginal.get(&mkey) {
+            return s / *c as f64;
+        }
+        self.global
+    }
+}
+
+/// Either regression family, behind one prediction interface.
+enum FittedModel {
+    Forest(RandomForest),
+    Linear(LinearModel),
+    Cells(CellTable),
+}
+
+impl FittedModel {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        match self {
+            FittedModel::Forest(m) => m.predict_row(row),
+            FittedModel::Linear(m) => m.predict_row(row),
+            FittedModel::Cells(m) => m.predict_row(row),
+        }
+    }
+}
+
+/// A fitted causal estimator for one what-if query.
+pub struct CausalEstimator {
+    agg: AggFunc,
+    feature_cols: Vec<usize>,
+    update_cols: Vec<(usize, UpdateFunc)>,
+    encoder: TableEncoder,
+    /// Main model: E[target | features] where target is `1{ψ}` (Count),
+    /// `Y·1{ψ}` (Sum/Avg numerator).
+    model: FittedModel,
+    /// Denominator model for Avg when ψ exists: E[1{ψ} | features].
+    denom_model: Option<FittedModel>,
+    /// ψ and Y bound expressions for unaffected-row evaluation.
+    psi: Option<BoundHExpr>,
+    y: Option<BoundHExpr>,
+    /// Peer summary state: pre-update peer means per row + post-update peer
+    /// means per row (computed at fit time over the whole view).
+    peer: Option<(PeerSummary, Vec<f64>, Vec<f64>)>,
+    trained_rows: usize,
+}
+
+impl CausalEstimator {
+    /// Fit the estimator on the relevant view.
+    #[allow(clippy::needless_range_loop)]
+    pub fn fit(
+        view: &RelevantView,
+        spec: &EstimatorSpec<'_>,
+        psi: &Option<BoundHExpr>,
+        y: &Option<BoundHExpr>,
+        agg: AggFunc,
+    ) -> Result<CausalEstimator> {
+        let table = &view.table;
+        let n = table.num_rows();
+        if n == 0 {
+            return Err(EngineError::Plan("relevant view is empty".into()));
+        }
+
+        // Feature columns: updates first, then backdoor set.
+        let mut feature_cols: Vec<usize> =
+            spec.update_cols.iter().map(|(c, _)| *c).collect();
+        feature_cols.extend_from_slice(spec.backdoor_cols);
+        let names: Vec<String> = feature_cols
+            .iter()
+            .map(|&c| table.schema().field(c).name.clone())
+            .collect();
+        let encoder = TableEncoder::fit(table, &names)?;
+
+        // Peer summary features (pre and post variants).
+        let peer = match &spec.peer {
+            Some(p) => {
+                let groups: Vec<Value> = table.column(p.group_col).to_vec();
+                let pre_vals: Vec<f64> = table
+                    .column(p.update_col)
+                    .iter()
+                    .map(|v| v.as_f64().unwrap_or(0.0))
+                    .collect();
+                let pre_means = p.peer_means(&groups, &pre_vals);
+                // Post values of the updated column (the update applies to
+                // every row for summary purposes only when it actually
+                // applies — the caller recomputes exact post means below in
+                // evaluate(); here we seed with pre means).
+                Some((p.clone(), pre_means.clone(), pre_means))
+            }
+            None => None,
+        };
+
+        // Targets on observed rows: ψ and Y evaluated with post = pre.
+        let mut target = Vec::with_capacity(n);
+        let mut denom_target = Vec::with_capacity(n);
+        for i in 0..n {
+            let row = table.row(i);
+            let sat = match psi {
+                Some(p) => p.eval_bool(&row, &row)?,
+                None => true,
+            };
+            let base = match (agg, y) {
+                (AggFunc::Count, _) => {
+                    if sat {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                (_, Some(yv)) => {
+                    let val = yv.eval(&row, &row)?.as_f64().ok_or_else(|| {
+                        EngineError::Plan("Output expression is not numeric".into())
+                    })?;
+                    if sat {
+                        val
+                    } else {
+                        0.0
+                    }
+                }
+                _ => {
+                    return Err(EngineError::Plan(
+                        "Sum/Avg output requires a value expression".into(),
+                    ))
+                }
+            };
+            target.push(base);
+            denom_target.push(if sat { 1.0 } else { 0.0 });
+        }
+
+        // Feature matrix (with optional peer column appended).
+        let mut x = encoder.encode_table(table)?;
+        if let Some((_, pre_means, _)) = &peer {
+            let mut with_peer = hyper_ml::Matrix::zeros(0, 0);
+            for i in 0..n {
+                let mut row = x.row(i).to_vec();
+                row.push(pre_means[i]);
+                with_peer.push_row(&row).map_err(EngineError::from)?;
+            }
+            x = with_peer;
+        }
+
+        // Sampling (HypeR-sampled): train on a random subset.
+        let train_idx: Vec<u32> = match spec.sample_cap {
+            Some(cap) if cap < n => {
+                let mut rng = StdRng::seed_from_u64(spec.seed);
+                let mut idx: Vec<u32> = (0..n as u32).collect();
+                idx.shuffle(&mut rng);
+                idx.truncate(cap);
+                idx
+            }
+            _ => (0..n as u32).collect(),
+        };
+        let trained_rows = train_idx.len();
+        let (xt, yt, dt) = subset(&x, &target, &denom_target, &train_idx)?;
+
+        // Leading encoded dimensions occupied by the update attributes (for
+        // the cell estimator's marginal fallback).
+        let update_dims: usize = encoder
+            .column_widths()
+            .iter()
+            .take(spec.update_cols.len())
+            .sum();
+        let fit_model = |targets: &[f64]| -> Result<FittedModel> {
+            Ok(match spec.kind {
+                crate::config::EstimatorKind::Forest => {
+                    let params = ForestParams {
+                        n_trees: spec.n_trees,
+                        tree: TreeParams {
+                            max_depth: spec.max_depth,
+                            ..TreeParams::default()
+                        },
+                        bootstrap: true,
+                        seed: spec.seed,
+                    };
+                    FittedModel::Forest(
+                        RandomForest::fit(&xt, targets, &params).map_err(EngineError::from)?,
+                    )
+                }
+                crate::config::EstimatorKind::Linear => FittedModel::Linear(
+                    LinearModel::fit(&xt, targets, 1e-6).map_err(EngineError::from)?,
+                ),
+                crate::config::EstimatorKind::Cells => {
+                    FittedModel::Cells(CellTable::fit(&xt, targets, update_dims))
+                }
+            })
+        };
+        let model = fit_model(&yt)?;
+        let denom_model = if agg == AggFunc::Avg && psi.is_some() {
+            Some(fit_model(&dt)?)
+        } else {
+            None
+        };
+
+        Ok(CausalEstimator {
+            agg,
+            feature_cols,
+            update_cols: spec.update_cols.to_vec(),
+            encoder,
+            model,
+            denom_model,
+            psi: psi.clone(),
+            y: y.clone(),
+            peer,
+            trained_rows,
+        })
+    }
+
+    /// Rows used for training.
+    pub fn trained_rows(&self) -> usize {
+        self.trained_rows
+    }
+
+    /// Evaluate the query value over the view given the update (`when`) and
+    /// scope (`for`-pre) masks.
+    pub fn evaluate(
+        &self,
+        view: &RelevantView,
+        when_mask: &[bool],
+        scope_mask: &[bool],
+    ) -> Result<f64> {
+        let (numerator, denominator) = self.evaluate_parts(view, when_mask, scope_mask)?;
+        Ok(match self.agg {
+            AggFunc::Avg => {
+                if denominator == 0.0 {
+                    0.0
+                } else {
+                    numerator / denominator
+                }
+            }
+            _ => numerator,
+        })
+    }
+
+    /// Decomposable parts of the query value: `(numerator, denominator)`.
+    ///
+    /// For `Count`/`Sum` the numerator *is* the result; for `Avg` the result
+    /// is their ratio. Both parts are sums over scoped tuples, so they can
+    /// be accumulated per independent block and recombined (Definition 6's
+    /// `g = Sum`, Proposition 1).
+    #[allow(clippy::needless_range_loop)]
+    pub fn evaluate_parts(
+        &self,
+        view: &RelevantView,
+        when_mask: &[bool],
+        scope_mask: &[bool],
+    ) -> Result<(f64, f64)> {
+        let table = &view.table;
+        let n = table.num_rows();
+
+        // Post-update peer means (summary features see the updated world).
+        let peer_post: Option<Vec<f64>> = match &self.peer {
+            Some((p, _, _)) => {
+                let groups: Vec<Value> = table.column(p.group_col).to_vec();
+                let mut post_vals = Vec::with_capacity(n);
+                for i in 0..n {
+                    let pre = table.get(i, p.update_col);
+                    let v = if when_mask[i] {
+                        let func = &self
+                            .update_cols
+                            .iter()
+                            .find(|(c, _)| *c == p.update_col)
+                            .expect("peer summary over an updated column")
+                            .1;
+                        apply_update(func, pre)?
+                    } else {
+                        pre.clone()
+                    };
+                    post_vals.push(v.as_f64().unwrap_or(0.0));
+                }
+                Some(p.peer_means(&groups, &post_vals))
+            }
+            None => None,
+        };
+
+        // §3.3 support index: memoize predictions per feature combination.
+        let mut cache: HashMap<Vec<u64>, (f64, f64)> = HashMap::new();
+        let mut numerator = 0.0;
+        let mut denominator = 0.0;
+
+        for i in 0..n {
+            if !scope_mask[i] {
+                continue;
+            }
+            let pre = table.row(i);
+            // Indirectly affected rows: with a peer summary, unmodified rows
+            // whose peer mean changed are still predicted (cross-tuple
+            // effect); without one, they are deterministic.
+            let peer_changed = match (&self.peer, &peer_post) {
+                (Some((_, pre_means, _)), Some(post_means)) => {
+                    (pre_means[i] - post_means[i]).abs() > 1e-12
+                }
+                _ => false,
+            };
+            if !when_mask[i] && !peer_changed {
+                // Unaffected: deterministic contribution (post = pre).
+                let sat = match &self.psi {
+                    Some(p) => p.eval_bool(&pre, &pre)?,
+                    None => true,
+                };
+                if sat {
+                    match (self.agg, &self.y) {
+                        (AggFunc::Count, _) => {
+                            numerator += 1.0;
+                            denominator += 1.0;
+                        }
+                        (_, Some(yv)) => {
+                            numerator +=
+                                yv.eval(&pre, &pre)?.as_f64().ok_or_else(|| {
+                                    EngineError::Plan(
+                                        "Output expression is not numeric".into(),
+                                    )
+                                })?;
+                            denominator += 1.0;
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+                continue;
+            }
+
+            // Affected: assemble post-update features.
+            let mut feat_values: Vec<Value> = Vec::with_capacity(self.feature_cols.len());
+            for &c in &self.feature_cols {
+                let v = pre[c].clone();
+                let v = if when_mask[i] {
+                    match self.update_cols.iter().find(|(uc, _)| *uc == c) {
+                        Some((_, func)) => apply_update(func, &v)?,
+                        None => v,
+                    }
+                } else {
+                    v
+                };
+                feat_values.push(v);
+            }
+            let mut encoded = self.encoder.encode_values(&feat_values)?;
+            if let Some(post_means) = &peer_post {
+                encoded.push(post_means[i]);
+            }
+
+            let key: Vec<u64> = encoded.iter().map(|f| f.to_bits()).collect();
+            let (num, den) = match cache.get(&key) {
+                Some(&v) => v,
+                None => {
+                    let num = self.model.predict_row(&encoded);
+                    let num = match self.agg {
+                        AggFunc::Count => num.clamp(0.0, 1.0),
+                        _ => num,
+                    };
+                    let den = match &self.denom_model {
+                        Some(m) => m.predict_row(&encoded).clamp(0.0, 1.0),
+                        None => 1.0,
+                    };
+                    cache.insert(key, (num, den));
+                    (num, den)
+                }
+            };
+            numerator += num;
+            denominator += den;
+        }
+
+        Ok((numerator, denominator))
+    }
+}
+
+fn subset(
+    x: &hyper_ml::Matrix,
+    y: &[f64],
+    d: &[f64],
+    idx: &[u32],
+) -> Result<(hyper_ml::Matrix, Vec<f64>, Vec<f64>)> {
+    let mut xs = hyper_ml::Matrix::zeros(0, 0);
+    let mut ys = Vec::with_capacity(idx.len());
+    let mut ds = Vec::with_capacity(idx.len());
+    for &i in idx {
+        xs.push_row(x.row(i as usize)).map_err(EngineError::from)?;
+        ys.push(y[i as usize]);
+        ds.push(d[i as usize]);
+    }
+    Ok((xs, ys, ds))
+}

@@ -1,0 +1,539 @@
+//! Probabilistic what-if query evaluation (paper §3).
+//!
+//! The semantics (Definition 5) is an expectation over possible worlds
+//! weighted by the post-update distribution. The evaluator here follows the
+//! paper's computation strategy (§3.3):
+//!
+//! 1. build the relevant view (`Use`),
+//! 2. select the update set `S` (`When`) on pre-update values,
+//! 3. split `For` into pre and post conjuncts (§A.2.1),
+//! 4. reduce post-update probabilities to pre-update conditionals through
+//!    the backdoor criterion (Eq. 1, Eqs. 35–40) and estimate them with a
+//!    regression model trained on `D`,
+//! 5. sum per-tuple contributions — iterating only over value combinations
+//!    with support (§3.3's index optimization), decomposing by blocks when
+//!    requested (Prop. 1).
+
+pub mod estimator;
+pub mod exact;
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use hyper_causal::CausalGraph;
+use hyper_query::{validate_whatif, HExpr, OutputArg, Temporal, UpdateFunc, WhatIfQuery};
+use hyper_storage::{AggFunc, Database, Value};
+
+use crate::config::{BackdoorMode, EngineConfig};
+use crate::error::{EngineError, Result};
+use crate::hexpr::{bind_hexpr, conjoin, resolve_column, split_pre_post, BoundHExpr};
+use crate::view::{build_relevant_view, RelevantView};
+
+use estimator::{CausalEstimator, EstimatorSpec, PeerSummary};
+
+/// Result of a what-if query.
+#[derive(Debug, Clone)]
+pub struct WhatIfResult {
+    /// The expected value of the output aggregate (Definition 5).
+    pub value: f64,
+    /// Rows in the relevant view.
+    pub n_view_rows: usize,
+    /// Rows satisfying the pre-update `For` conditions.
+    pub n_scope_rows: usize,
+    /// Rows in the update set `S` (satisfying `When`).
+    pub n_updated_rows: usize,
+    /// View columns used as the backdoor adjustment set.
+    pub backdoor: Vec<String>,
+    /// Rows the estimator was trained on (≤ view rows under sampling).
+    pub trained_rows: usize,
+    /// Wall-clock evaluation time.
+    pub elapsed: Duration,
+}
+
+/// Apply an update function to a pre-update value.
+pub fn apply_update(func: &UpdateFunc, pre: &Value) -> Result<Value> {
+    match func {
+        UpdateFunc::Set(v) => Ok(v.clone()),
+        UpdateFunc::Scale(c) => {
+            let x = pre.as_f64().ok_or_else(|| {
+                EngineError::Plan(format!("cannot scale non-numeric value {pre}"))
+            })?;
+            Ok(Value::Float(x * c))
+        }
+        UpdateFunc::Shift(c) => {
+            let x = pre.as_f64().ok_or_else(|| {
+                EngineError::Plan(format!("cannot shift non-numeric value {pre}"))
+            })?;
+            Ok(Value::Float(x + c))
+        }
+    }
+}
+
+/// Evaluate a what-if query against `db` under `config`, optionally with a
+/// causal `graph` (required for [`BackdoorMode::FromGraph`]).
+#[allow(clippy::needless_range_loop)]
+pub fn evaluate_whatif(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &WhatIfQuery,
+) -> Result<WhatIfResult> {
+    let started = Instant::now();
+    let view = build_relevant_view(db, &q.use_clause)?;
+    let cols = view.column_names();
+    validate_whatif(q, Some(&cols))?;
+    let schema = view.table.schema().clone();
+    let n = view.table.num_rows();
+
+    // Update columns and their post values.
+    let mut update_cols: Vec<(usize, UpdateFunc)> = Vec::with_capacity(q.updates.len());
+    for u in &q.updates {
+        update_cols.push((resolve_column(&schema, &u.attr)?, u.func.clone()));
+    }
+    check_multi_update_validity(&view, graph, &update_cols)?;
+
+    // Masks.
+    let when_bound = q
+        .when
+        .as_ref()
+        .map(|w| bind_hexpr(w, &schema, Temporal::Pre))
+        .transpose()?;
+    let mut when_mask = vec![true; n];
+    if let Some(w) = &when_bound {
+        for i in 0..n {
+            let row = view.table.row(i);
+            when_mask[i] = w.eval_bool(&row, &row)?;
+        }
+    }
+
+    let (pre_conj, post_conj) = match &q.for_clause {
+        Some(fc) => split_pre_post(fc, Temporal::Pre),
+        None => (Vec::new(), Vec::new()),
+    };
+    let pre_bound = conjoin(&pre_conj)
+        .map(|e| bind_hexpr(&e, &schema, Temporal::Pre))
+        .transpose()?;
+    let mut scope_mask = vec![true; n];
+    if let Some(p) = &pre_bound {
+        for i in 0..n {
+            let row = view.table.row(i);
+            scope_mask[i] = p.eval_bool(&row, &row)?;
+        }
+    }
+
+    // Output decomposition: ψ (post-world predicate) and Y (post value).
+    let psi_expr: Option<HExpr>;
+    let y_expr: Option<HExpr>;
+    match (&q.output.agg, &q.output.arg) {
+        (AggFunc::Count, OutputArg::Star) => {
+            psi_expr = conjoin(&post_conj);
+            y_expr = None;
+        }
+        (AggFunc::Count, OutputArg::Expr(e)) => {
+            let mut parts = post_conj.clone();
+            parts.insert(0, e.clone());
+            psi_expr = conjoin(&parts);
+            y_expr = None;
+        }
+        (AggFunc::Sum | AggFunc::Avg, OutputArg::Expr(e)) => {
+            psi_expr = conjoin(&post_conj);
+            y_expr = Some(e.clone());
+        }
+        (agg, OutputArg::Star) => {
+            return Err(EngineError::Unsupported(format!(
+                "{agg}(*) is not a valid Output"
+            )))
+        }
+        (agg, _) => {
+            return Err(EngineError::Unsupported(format!(
+                "aggregate {agg} is not supported in Output (Count/Sum/Avg only)"
+            )))
+        }
+    }
+    let psi: Option<BoundHExpr> = psi_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .transpose()?;
+    let y: Option<BoundHExpr> = y_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .transpose()?;
+
+    let n_scope = scope_mask.iter().filter(|&&b| b).count();
+    let n_updated = when_mask.iter().filter(|&&b| b).count();
+
+    // Fast path: nothing probabilistic to estimate.
+    let post_cols: HashSet<usize> = psi
+        .iter()
+        .flat_map(|e| e.post_columns())
+        .chain(y.iter().flat_map(|e| e.post_columns()))
+        .collect();
+    let update_col_set: HashSet<usize> = update_cols.iter().map(|(c, _)| *c).collect();
+    let needs_estimation = post_cols.iter().any(|c| !update_col_set.contains(c));
+
+    if !needs_estimation {
+        // Post values are fully determined by the update functions.
+        let value = deterministic_eval(
+            &view, &update_cols, &when_mask, &scope_mask, &psi, &y, q.output.agg,
+        )?;
+        return Ok(WhatIfResult {
+            value,
+            n_view_rows: n,
+            n_scope_rows: n_scope,
+            n_updated_rows: n_updated,
+            backdoor: Vec::new(),
+            trained_rows: 0,
+            elapsed: started.elapsed(),
+        });
+    }
+
+    // `For` pre-conditions add conditioning features (§5.5: "adding
+    // conditions involving Pre values … increases the number of attributes
+    // used to train the regressor"); attributes already in the backdoor set
+    // are deduplicated, which is why the paper observes *faster* evaluation
+    // when the added attribute was in the backdoor set.
+    let for_pre_cols: HashSet<usize> = pre_bound
+        .iter()
+        .flat_map(|e| e.pre_columns())
+        .collect();
+
+    // Backdoor adjustment set over view columns.
+    let backdoor_cols = select_backdoor_columns(
+        db,
+        &view,
+        graph,
+        config,
+        &update_cols,
+        &post_cols,
+        &for_pre_cols,
+    )?;
+
+    // Optional cross-tuple peer summary (ψ of §2.2).
+    let peer = if config.peer_summaries {
+        PeerSummary::detect(&view, graph, &update_cols)?
+    } else {
+        None
+    };
+
+    let spec = EstimatorSpec {
+        update_cols: &update_cols,
+        backdoor_cols: &backdoor_cols,
+        peer,
+        sample_cap: config.sample_cap,
+        n_trees: config.n_trees,
+        max_depth: config.max_depth,
+        seed: config.seed,
+        kind: config.estimator,
+    };
+    let est = CausalEstimator::fit(&view, &spec, &psi, &y, q.output.agg)?;
+    let value = if config.use_blocks {
+        evaluate_by_blocks(db, graph, q, &view, &est, &when_mask, &scope_mask)?
+    } else {
+        est.evaluate(&view, &when_mask, &scope_mask)?
+    };
+
+    Ok(WhatIfResult {
+        value,
+        n_view_rows: n,
+        n_scope_rows: n_scope,
+        n_updated_rows: n_updated,
+        backdoor: backdoor_cols
+            .iter()
+            .map(|&c| schema.field(c).name.clone())
+            .collect(),
+        trained_rows: est.trained_rows(),
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Decomposed computation (Proposition 1): partition scoped tuples into
+/// independent blocks, evaluate the decomposed parts per block, and
+/// recombine with `g = Sum`. Yields the same value as the monolithic pass
+/// (the estimator's per-tuple contributions don't cross blocks) — this path
+/// exists to exercise and measure the paper's optimization.
+///
+/// Only available for single-table `Use` clauses (view rows correspond 1:1
+/// to base-table rows in order); other shapes fall back to one block.
+fn evaluate_by_blocks(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    q: &WhatIfQuery,
+    view: &RelevantView,
+    est: &CausalEstimator,
+    when_mask: &[bool],
+    scope_mask: &[bool],
+) -> Result<f64> {
+    use hyper_causal::BlockDecomposition;
+
+    let single_table = matches!(&q.use_clause, hyper_query::UseClause::Table(_));
+    let blocks = match (graph, single_table) {
+        (Some(g), true) => Some(BlockDecomposition::compute(db, g).map_err(EngineError::from)?),
+        _ => None,
+    };
+    let n = view.table.num_rows();
+    let (num, den) = match blocks {
+        None => est.evaluate_parts(view, when_mask, scope_mask)?,
+        Some(blocks) => {
+            let table_idx = match &q.use_clause {
+                hyper_query::UseClause::Table(name) => db
+                    .tables()
+                    .iter()
+                    .position(|t| t.name() == name.as_str())
+                    .ok_or_else(|| EngineError::Plan(format!("unknown table `{name}`")))?,
+                _ => unreachable!("single_table checked above"),
+            };
+            let mut num = 0.0;
+            let mut den = 0.0;
+            let mut block_scope = vec![false; n];
+            for bi in 0..blocks.num_blocks() {
+                // Restrict the scope mask to this block's rows.
+                block_scope.iter_mut().for_each(|b| *b = false);
+                let mut any = false;
+                for t in blocks.block(bi) {
+                    if t.table == table_idx && scope_mask[t.row] {
+                        block_scope[t.row] = true;
+                        any = true;
+                    }
+                }
+                if !any {
+                    continue;
+                }
+                let (bn, bd) = est.evaluate_parts(view, when_mask, &block_scope)?;
+                num += bn;
+                den += bd;
+            }
+            (num, den)
+        }
+    };
+    Ok(match q.output.agg {
+        hyper_storage::AggFunc::Avg => {
+            if den == 0.0 {
+                0.0
+            } else {
+                num / den
+            }
+        }
+        _ => num,
+    })
+}
+
+/// Evaluate when every post reference is an updated attribute: post values
+/// are deterministic functions of pre values.
+fn deterministic_eval(
+    view: &RelevantView,
+    update_cols: &[(usize, UpdateFunc)],
+    when_mask: &[bool],
+    scope_mask: &[bool],
+    psi: &Option<BoundHExpr>,
+    y: &Option<BoundHExpr>,
+    agg: AggFunc,
+) -> Result<f64> {
+    let mut total = 0.0;
+    let mut denom = 0.0;
+    for i in 0..view.table.num_rows() {
+        if !scope_mask[i] {
+            continue;
+        }
+        let pre = view.table.row(i);
+        let mut post = pre.clone();
+        if when_mask[i] {
+            for (c, f) in update_cols {
+                post[*c] = apply_update(f, &pre[*c])?;
+            }
+        }
+        let sat = match psi {
+            Some(p) => p.eval_bool(&pre, &post)?,
+            None => true,
+        };
+        if !sat {
+            denom += 0.0;
+            continue;
+        }
+        denom += 1.0;
+        match (agg, y) {
+            (AggFunc::Count, _) => total += 1.0,
+            (_, Some(yv)) => {
+                total += yv.eval(&pre, &post)?.as_f64().ok_or_else(|| {
+                    EngineError::Plan("Output expression is not numeric".into())
+                })?;
+            }
+            _ => unreachable!("validated in caller"),
+        }
+    }
+    Ok(match agg {
+        AggFunc::Avg => {
+            if denom == 0.0 {
+                0.0
+            } else {
+                total / denom
+            }
+        }
+        _ => total,
+    })
+}
+
+/// Reject multi-updates whose attributes are causally connected (§3.1:
+/// "provided there are no paths from any Bi[t] to any Bj[t']").
+fn check_multi_update_validity(
+    view: &RelevantView,
+    graph: Option<&CausalGraph>,
+    update_cols: &[(usize, UpdateFunc)],
+) -> Result<()> {
+    if update_cols.len() < 2 {
+        return Ok(());
+    }
+    let Some(g) = graph else { return Ok(()) };
+    let nodes: Vec<Option<usize>> = update_cols
+        .iter()
+        .map(|(c, _)| {
+            let o = &view.origins[*c];
+            g.node_id(&o.relation, &o.attribute).ok()
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        for j in i + 1..nodes.len() {
+            if let (Some(a), Some(b)) = (nodes[i], nodes[j]) {
+                if g.has_path(a, b) || g.has_path(b, a) {
+                    return Err(EngineError::Unsupported(format!(
+                        "updated attributes `{}` and `{}` are causally connected; \
+                         multi-attribute updates require independent attributes",
+                        g.node_info(a),
+                        g.node_info(b)
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Choose the adjustment columns per the configured [`BackdoorMode`],
+/// augmented with `For` pre-condition attributes (except under `Indep`,
+/// which the paper describes as not using additional attributes).
+#[allow(clippy::too_many_arguments)]
+fn select_backdoor_columns(
+    db: &Database,
+    view: &RelevantView,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    update_cols: &[(usize, UpdateFunc)],
+    post_cols: &HashSet<usize>,
+    for_pre_cols: &HashSet<usize>,
+) -> Result<Vec<usize>> {
+    let schema = view.table.schema();
+    let update_set: HashSet<usize> = update_cols.iter().map(|(c, _)| *c).collect();
+
+    // Columns that are primary keys of their source relation are never
+    // conditioning features.
+    let is_key = |c: usize| -> bool {
+        let o = &view.origins[c];
+        if o.aggregated.is_some() {
+            return false;
+        }
+        db.table(&o.relation).ok().is_some_and(|t| {
+            t.primary_key()
+                .iter()
+                .any(|&k| t.schema().field(k).name == o.attribute)
+        })
+    };
+
+    // Descendants of updated attributes must never be conditioned on (they
+    // would block the effect being measured); computable only with a graph.
+    let descendant_cols: HashSet<usize> = match graph {
+        Some(g) => {
+            let mut out = HashSet::new();
+            for &(bc, _) in update_cols {
+                let bo = &view.origins[bc];
+                if let Ok(b_node) = g.node_id(&bo.relation, &bo.attribute) {
+                    for d in g.descendants(b_node) {
+                        let info = g.node_info(d);
+                        for (c, o) in view.origins.iter().enumerate() {
+                            if o.relation == info.relation && o.attribute == info.attribute {
+                                out.insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+            out
+        }
+        None => HashSet::new(),
+    };
+    let extra_for: Vec<usize> = for_pre_cols
+        .iter()
+        .copied()
+        .filter(|c| {
+            !update_set.contains(c)
+                && !post_cols.contains(c)
+                && !descendant_cols.contains(c)
+                && !is_key(*c)
+        })
+        .collect();
+
+    match config.backdoor {
+        BackdoorMode::None => Ok(Vec::new()),
+        BackdoorMode::Canonical => {
+            let mut out: Vec<usize> = (0..schema.len())
+                .filter(|c| !update_set.contains(c) && !post_cols.contains(c) && !is_key(*c))
+                .collect();
+            for c in extra_for {
+                if !out.contains(&c) {
+                    out.push(c);
+                }
+            }
+            out.sort_unstable();
+            Ok(out)
+        }
+        BackdoorMode::FromGraph => {
+            let g = graph.ok_or_else(|| {
+                EngineError::Causal(
+                    "BackdoorMode::FromGraph requires a causal graph; use \
+                     EngineConfig::hyper_nb() when none is available"
+                        .into(),
+                )
+            })?;
+            let mut chosen: HashSet<usize> = HashSet::new();
+            for &(bc, _) in update_cols {
+                let bo = &view.origins[bc];
+                let b_node = g.node_id(&bo.relation, &bo.attribute)?;
+                for &yc in post_cols {
+                    if update_set.contains(&yc) {
+                        continue;
+                    }
+                    let yo = &view.origins[yc];
+                    let Ok(y_node) = g.node_id(&yo.relation, &yo.attribute) else {
+                        continue; // post attr outside the model: no adjustment
+                    };
+                    let set = hyper_causal::minimal_backdoor_set(g, b_node, y_node)
+                        .ok_or_else(|| {
+                            EngineError::Causal(format!(
+                                "no valid backdoor set for {} → {}",
+                                g.node_info(b_node),
+                                g.node_info(y_node)
+                            ))
+                        })?;
+                    for node in set {
+                        let info = g.node_info(node);
+                        // Map the graph node back to a view column.
+                        for (c, o) in view.origins.iter().enumerate() {
+                            if o.relation == info.relation
+                                && o.attribute == info.attribute
+                                && !update_set.contains(&c)
+                                && !post_cols.contains(&c)
+                                && !is_key(c)
+                            {
+                                chosen.insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+            for c in extra_for {
+                chosen.insert(c);
+            }
+            let mut out: Vec<usize> = chosen.into_iter().collect();
+            out.sort_unstable();
+            Ok(out)
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Simulated Amazon product database (paper Figure 1): a `product` relation
+//! and a `review` relation linked by a foreign key, generated under the
+//! Figure-2 causal graph.
+//!
+//! Qualitative calibration (§5.3): ratings fall as price rises relative to
+//! the category's typical price, with brand-dependent sensitivity ordered
+//! Apple > Dell > Toshiba > Acer > Asus, and sentiment tracks quality.
+
+use hyper_causal::{amazon_example_graph, CausalGraph};
+use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table};
+#[cfg(test)]
+use hyper_storage::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Dataset;
+
+const CATEGORIES: &[(&str, f64, &[&str])] = &[
+    ("Laptop", 800.0, &["Apple", "Dell", "Toshiba", "Acer", "Asus", "Vaio", "HP"]),
+    ("DSLR Camera", 600.0, &["Canon", "Nikon", "Sony"]),
+    ("Phone", 500.0, &["Apple", "Samsung", "Sony"]),
+    ("eBook", 15.0, &["Fantasy Press", "Penguin"]),
+];
+
+const COLORS: &[&str] = &["Black", "Silver", "Blue", "Red", "White"];
+
+/// Brand quality premium and price-sensitivity of ratings (the §5.3
+/// ordering: Apple reacts most to price cuts).
+fn brand_params(brand: &str) -> (f64, f64) {
+    match brand {
+        "Apple" => (0.25, 2.2),
+        "Dell" => (0.15, 1.9),
+        "Toshiba" => (0.10, 1.7),
+        "Acer" => (0.05, 1.55),
+        "Asus" => (0.08, 1.45),
+        "Vaio" => (0.12, 1.3),
+        "HP" => (0.10, 1.3),
+        "Canon" => (0.15, 1.2),
+        "Nikon" => (0.12, 1.2),
+        "Sony" => (0.14, 1.2),
+        _ => (0.0, 1.0),
+    }
+}
+
+/// Generate `n_products` products with ~`reviews_per_product` reviews each.
+pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut product = Table::with_key(
+        "product",
+        Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("category", DataType::Str),
+            Field::new("price", DataType::Float),
+            Field::new("brand", DataType::Str),
+            Field::new("color", DataType::Str),
+            Field::new("quality", DataType::Float),
+        ])
+        .expect("static schema"),
+        &["pid"],
+    )
+    .expect("key exists");
+    let mut review = Table::with_key(
+        "review",
+        Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("review_id", DataType::Int),
+            Field::new("sentiment", DataType::Float),
+            Field::new("rating", DataType::Int),
+        ])
+        .expect("static schema"),
+        &["review_id"],
+    )
+    .expect("key exists");
+
+    let mut review_id = 0i64;
+    for pid in 0..n_products as i64 {
+        let (category, base_price, brands) = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+        let brand = brands[rng.gen_range(0..brands.len())];
+        let color = COLORS[rng.gen_range(0..COLORS.len())];
+        let (premium, sensitivity) = brand_params(brand);
+        // quality ← brand (+ category baseline) + noise
+        let quality = (0.5 + premium + 0.1 * rng.gen::<f64>() - 0.05).clamp(0.05, 0.95);
+        // price ← category, brand, quality, color
+        let color_markup = if color == "Red" { 0.02 } else { 0.0 };
+        let price = (base_price
+            * (0.6 + 0.8 * quality + premium + color_markup)
+            * (0.85 + 0.3 * rng.gen::<f64>()))
+        .max(5.0);
+        product
+            .push_row(vec![
+                pid.into(),
+                category.into(),
+                price.into(),
+                brand.into(),
+                color.into(),
+                quality.into(),
+            ])
+            .expect("schema-conforming row");
+
+        let n_rev = 1 + rng.gen_range(0..reviews_per_product.max(1) * 2);
+        for _ in 0..n_rev {
+            // sentiment ← quality
+            let sentiment = (2.0 * quality - 1.0 + 0.6 * (rng.gen::<f64>() - 0.5))
+                .clamp(-1.0, 1.0);
+            // rating ← sentiment, quality, relative price (brand-sensitive).
+            let rel_price = price / base_price - 1.0;
+            let score = 4.05 + 1.4 * sentiment + 0.9 * (quality - 0.5)
+                - sensitivity * rel_price.clamp(-1.0, 1.5)
+                + 0.5 * (rng.gen::<f64>() - 0.5);
+            let rating = (score.round() as i64).clamp(1, 5);
+            review
+                .push_row(vec![
+                    pid.into(),
+                    review_id.into(),
+                    sentiment.into(),
+                    rating.into(),
+                ])
+                .expect("schema-conforming row");
+            review_id += 1;
+        }
+    }
+
+    let mut db = Database::new();
+    db.add_table(product).expect("fresh db");
+    db.add_table(review).expect("fresh db");
+    db.add_foreign_key(ForeignKey {
+        child_table: "review".into(),
+        child_columns: vec!["pid".into()],
+        parent_table: "product".into(),
+        parent_columns: vec!["pid".into()],
+    })
+    .expect("valid fk");
+
+    Dataset {
+        name: "amazon",
+        db,
+        graph: amazon_graph(),
+        scm: None,
+    }
+}
+
+/// The Figure-2 causal graph (re-exported so callers need not know it lives
+/// in `hyper-causal`).
+pub fn amazon_graph() -> CausalGraph {
+    amazon_example_graph()
+}
+
+/// The literal Figure-1 toy database (5 products, 6 reviews), for examples
+/// and documentation.
+pub fn amazon_figure1() -> Dataset {
+    let mut product = Table::with_key(
+        "product",
+        Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("category", DataType::Str),
+            Field::new("price", DataType::Float),
+            Field::new("brand", DataType::Str),
+            Field::new("color", DataType::Str),
+            Field::new("quality", DataType::Float),
+        ])
+        .expect("static schema"),
+        &["pid"],
+    )
+    .expect("key exists");
+    for (pid, cat, price, brand, color, q) in [
+        (1, "Laptop", 999.0, "Vaio", "Silver", 0.7),
+        (2, "Laptop", 529.0, "Asus", "Black", 0.65),
+        (3, "Laptop", 599.0, "HP", "Silver", 0.5),
+        (4, "DSLR Camera", 549.0, "Canon", "Black", 0.75),
+        (5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4),
+    ] {
+        product
+            .push_row(vec![
+                pid.into(),
+                cat.into(),
+                price.into(),
+                brand.into(),
+                color.into(),
+                q.into(),
+            ])
+            .expect("schema-conforming row");
+    }
+    let mut review = Table::with_key(
+        "review",
+        Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("review_id", DataType::Int),
+            Field::new("sentiment", DataType::Float),
+            Field::new("rating", DataType::Int),
+        ])
+        .expect("static schema"),
+        &["pid", "review_id"],
+    )
+    .expect("key exists");
+    for (pid, rid, s, r) in [
+        (1, 1, -0.95, 2),
+        (2, 2, 0.7, 4),
+        (2, 3, -0.2, 1),
+        (3, 3, 0.23, 3),
+        (3, 5, 0.95, 5),
+        (4, 5, 0.7, 4),
+    ] {
+        review
+            .push_row(vec![pid.into(), rid.into(), s.into(), r.into()])
+            .expect("schema-conforming row");
+    }
+    let mut db = Database::new();
+    db.add_table(product).expect("fresh db");
+    db.add_table(review).expect("fresh db");
+    db.add_foreign_key(ForeignKey {
+        child_table: "review".into(),
+        child_columns: vec!["pid".into()],
+        parent_table: "product".into(),
+        parent_columns: vec!["pid".into()],
+    })
+    .expect("valid fk");
+    Dataset {
+        name: "amazon-figure1",
+        db,
+        graph: amazon_graph(),
+        scm: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_fk_integrity() {
+        let d = amazon(500, 9, 4);
+        let products = d.db.table("product").unwrap();
+        let reviews = d.db.table("review").unwrap();
+        assert_eq!(products.num_rows(), 500);
+        assert!(reviews.num_rows() > 500, "multiple reviews per product");
+        // All review pids exist.
+        let pids: std::collections::HashSet<i64> = products
+            .column_by_name("pid")
+            .unwrap()
+            .iter()
+            .map(|v| v.as_i64().unwrap())
+            .collect();
+        for v in reviews.column_by_name("pid").unwrap() {
+            assert!(pids.contains(&v.as_i64().unwrap()));
+        }
+        products.check_key_unique().unwrap();
+        reviews.check_key_unique().unwrap();
+    }
+
+    #[test]
+    fn ratings_fall_with_relative_price() {
+        // Within laptops, the top price tercile should rate worse than the
+        // bottom tercile (the §5.3 percentile experiment's direction).
+        let d = amazon(1500, 9, 8);
+        let products = d.db.table("product").unwrap();
+        let reviews = d.db.table("review").unwrap();
+        let mut price_of = std::collections::HashMap::new();
+        for i in 0..products.num_rows() {
+            if products.get(i, 1).as_str() == Some("Laptop") {
+                price_of.insert(
+                    products.get(i, 0).as_i64().unwrap(),
+                    products.get(i, 2).as_f64().unwrap(),
+                );
+            }
+        }
+        let mut prices: Vec<f64> = price_of.values().copied().collect();
+        prices.sort_by(f64::total_cmp);
+        let lo_cut = prices[prices.len() / 3];
+        let hi_cut = prices[2 * prices.len() / 3];
+        let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0, 0.0, 0);
+        for i in 0..reviews.num_rows() {
+            let pid = reviews.get(i, 0).as_i64().unwrap();
+            let Some(&p) = price_of.get(&pid) else { continue };
+            let r = reviews.get(i, 3).as_f64().unwrap();
+            if p <= lo_cut {
+                lo_sum += r;
+                lo_n += 1;
+            } else if p >= hi_cut {
+                hi_sum += r;
+                hi_n += 1;
+            }
+        }
+        let lo_avg = lo_sum / lo_n as f64;
+        let hi_avg = hi_sum / hi_n as f64;
+        assert!(
+            lo_avg > hi_avg + 0.1,
+            "cheap laptops {lo_avg:.2} vs expensive {hi_avg:.2}"
+        );
+    }
+
+    #[test]
+    fn figure1_matches_paper() {
+        let d = amazon_figure1();
+        assert_eq!(d.db.table("product").unwrap().num_rows(), 5);
+        assert_eq!(d.db.table("review").unwrap().num_rows(), 6);
+        assert_eq!(
+            d.db.table("product").unwrap().get(1, 3),
+            &Value::str("Asus")
+        );
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = amazon(100, 5, 42);
+        let b = amazon(100, 5, 42);
+        assert_eq!(
+            a.db.table("product").unwrap().column(2),
+            b.db.table("product").unwrap().column(2)
+        );
+    }
+}

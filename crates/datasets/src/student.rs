@@ -1,0 +1,367 @@
+//! Student-Syn (paper §5.1): a two-relation synthetic dataset — student
+//! demographics/attendance plus per-course participation — "generated
+//! keeping in mind the effect of attendance on class discussions,
+//! announcements and grade", with roots age/gender/country.
+//!
+//! Calibration targets from §5.4/§5.5:
+//! * the single-attribute how-to that maximizes average grade picks
+//!   **attendance** (largest total causal effect);
+//! * among students who read announcements and attend a lot, **assignment**
+//!   updates move the grade most (attendance saturates);
+//! * Fig. 10b's what-if per-attribute ordering follows the structural
+//!   coefficients below.
+
+use hyper_causal::scm::{Mechanism, Scm};
+use hyper_causal::{CausalGraph, EdgeKind};
+use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Dataset;
+
+/// Student-level (flat) SCM: one unit per student, participation attributes
+/// at their per-course expected values. Used for interventional ground
+/// truth (Fig. 10b).
+pub fn student_flat_scm() -> Scm {
+    let mut scm = Scm::new();
+    scm.add_node(
+        "age",
+        DataType::Int,
+        &[],
+        Mechanism::CategoricalPrior(vec![
+            (Value::Int(0), 0.4),
+            (Value::Int(1), 0.35),
+            (Value::Int(2), 0.25),
+        ]),
+    )
+    .unwrap();
+    scm.add_node(
+        "gender",
+        DataType::Str,
+        &[],
+        Mechanism::CategoricalPrior(vec![
+            (Value::str("F"), 0.5),
+            (Value::str("M"), 0.5),
+        ]),
+    )
+    .unwrap();
+    scm.add_node(
+        "country",
+        DataType::Int,
+        &[],
+        Mechanism::CategoricalPrior(vec![
+            (Value::Int(0), 0.5),
+            (Value::Int(1), 0.3),
+            (Value::Int(2), 0.2),
+        ]),
+    )
+    .unwrap();
+    scm.add_node(
+        "attendance",
+        DataType::Float,
+        &["age", "country"],
+        Mechanism::LinearGaussian {
+            intercept: 45.0,
+            coefs: vec![5.0, 4.0],
+            noise_std: 14.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    scm.add_node(
+        "discussion",
+        DataType::Float,
+        &["attendance"],
+        Mechanism::LinearGaussian {
+            intercept: 8.0,
+            coefs: vec![0.5],
+            noise_std: 9.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    scm.add_node(
+        "announcements",
+        DataType::Float,
+        &["attendance"],
+        Mechanism::LinearGaussian {
+            intercept: 12.0,
+            coefs: vec![0.45],
+            noise_std: 9.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    scm.add_node(
+        "hand_raised",
+        DataType::Float,
+        &["discussion"],
+        Mechanism::LinearGaussian {
+            intercept: 15.0,
+            coefs: vec![0.3],
+            noise_std: 8.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    scm.add_node(
+        "assignment",
+        DataType::Float,
+        &["attendance"],
+        Mechanism::LinearGaussian {
+            intercept: 45.0,
+            coefs: vec![0.2],
+            noise_std: 15.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    // Grade: assignment is the strongest *direct* input, attendance has the
+    // largest *total* effect (direct + via discussion/announcements/
+    // assignment).
+    scm.add_node(
+        "grade",
+        DataType::Float,
+        &["assignment", "discussion", "announcements", "hand_raised", "attendance"],
+        Mechanism::LinearGaussian {
+            intercept: 5.0,
+            coefs: vec![0.45, 0.18, 0.12, 0.05, 0.25],
+            noise_std: 5.0,
+            clamp: Some((0.0, 100.0)),
+            round: false,
+        },
+    )
+    .unwrap();
+    scm
+}
+
+/// The two-relation causal graph (FK edges from student attendance into the
+/// participation attributes).
+pub fn student_graph() -> CausalGraph {
+    let mut g = CausalGraph::new();
+    let age = g.node("student", "age");
+    let country = g.node("student", "country");
+    let _gender = g.node("student", "gender");
+    let attendance = g.node("student", "attendance");
+    let discussion = g.node("participation", "discussion");
+    let announcements = g.node("participation", "announcements");
+    let hand_raised = g.node("participation", "hand_raised");
+    let assignment = g.node("participation", "assignment");
+    let grade = g.node("participation", "grade");
+
+    g.add_edge(age, attendance, EdgeKind::Intra).unwrap();
+    g.add_edge(country, attendance, EdgeKind::Intra).unwrap();
+    g.add_edge(attendance, discussion, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(attendance, announcements, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(attendance, assignment, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(attendance, grade, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(discussion, hand_raised, EdgeKind::Intra).unwrap();
+    g.add_edge(discussion, grade, EdgeKind::Intra).unwrap();
+    g.add_edge(announcements, grade, EdgeKind::Intra).unwrap();
+    g.add_edge(hand_raised, grade, EdgeKind::Intra).unwrap();
+    g.add_edge(assignment, grade, EdgeKind::Intra).unwrap();
+    g
+}
+
+/// Generate Student-Syn: `n_students` students, `courses` participation
+/// rows each (paper: 10k students × 5 courses = 50k rows).
+pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
+    let scm = student_flat_scm();
+    let flat = scm.sample("flat", n_students, seed).expect("valid scm");
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+
+    let mut student = Table::with_key(
+        "student",
+        Schema::new(vec![
+            Field::new("sid", DataType::Int),
+            Field::new("age", DataType::Int),
+            Field::new("gender", DataType::Str),
+            Field::new("country", DataType::Int),
+            Field::new("attendance", DataType::Float),
+        ])
+        .expect("static schema"),
+        &["sid"],
+    )
+    .expect("key exists");
+    let mut participation = Table::with_key(
+        "participation",
+        Schema::new(vec![
+            Field::new("sid", DataType::Int),
+            Field::new("course", DataType::Int),
+            Field::new("discussion", DataType::Float),
+            Field::new("announcements", DataType::Float),
+            Field::new("hand_raised", DataType::Float),
+            Field::new("assignment", DataType::Float),
+            Field::new("grade", DataType::Float),
+        ])
+        .expect("static schema"),
+        &["sid", "course"],
+    )
+    .expect("key exists");
+
+    let col = |name: &str| flat.schema().index_of(name).expect("flat schema");
+    let (c_age, c_gender, c_country, c_att) = (
+        col("age"),
+        col("gender"),
+        col("country"),
+        col("attendance"),
+    );
+    let (c_disc, c_ann, c_hand, c_assign, c_grade) = (
+        col("discussion"),
+        col("announcements"),
+        col("hand_raised"),
+        col("assignment"),
+        col("grade"),
+    );
+
+    for s in 0..n_students {
+        student
+            .push_row(vec![
+                (s as i64).into(),
+                flat.get(s, c_age).clone(),
+                flat.get(s, c_gender).clone(),
+                flat.get(s, c_country).clone(),
+                flat.get(s, c_att).clone(),
+            ])
+            .expect("schema-conforming row");
+        for course in 0..courses as i64 {
+            // Per-course realizations scatter around the student-level mean.
+            let jitter = |mean: f64, sd: f64, rng: &mut StdRng| -> f64 {
+                (mean + sd * (rng.gen::<f64>() - 0.5) * 2.0).clamp(0.0, 100.0)
+            };
+            let disc = jitter(flat.get(s, c_disc).as_f64().unwrap(), 6.0, &mut rng);
+            let ann = jitter(flat.get(s, c_ann).as_f64().unwrap(), 6.0, &mut rng);
+            let hand = jitter(flat.get(s, c_hand).as_f64().unwrap(), 5.0, &mut rng);
+            let assign = jitter(flat.get(s, c_assign).as_f64().unwrap(), 8.0, &mut rng);
+            let grade = jitter(flat.get(s, c_grade).as_f64().unwrap(), 4.0, &mut rng);
+            participation
+                .push_row(vec![
+                    (s as i64).into(),
+                    course.into(),
+                    disc.into(),
+                    ann.into(),
+                    hand.into(),
+                    assign.into(),
+                    grade.into(),
+                ])
+                .expect("schema-conforming row");
+        }
+    }
+
+    let mut db = Database::new();
+    db.add_table(student).expect("fresh db");
+    db.add_table(participation).expect("fresh db");
+    db.add_foreign_key(ForeignKey {
+        child_table: "participation".into(),
+        child_columns: vec!["sid".into()],
+        parent_table: "student".into(),
+        parent_columns: vec!["sid".into()],
+    })
+    .expect("valid fk");
+
+    Dataset {
+        name: "student-syn",
+        db,
+        graph: student_graph(),
+        scm: Some(scm),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_causal::{Intervention, InterventionOp};
+
+    #[test]
+    fn shape_and_keys() {
+        let d = student_syn(200, 5, 7);
+        assert_eq!(d.db.table("student").unwrap().num_rows(), 200);
+        assert_eq!(d.db.table("participation").unwrap().num_rows(), 1000);
+        d.db.table("participation").unwrap().check_key_unique().unwrap();
+    }
+
+    #[test]
+    fn attendance_has_largest_total_effect_on_grade() {
+        let scm = student_flat_scm();
+        let effect = |attr: &str| -> f64 {
+            let (pre, post) = scm
+                .sample_paired(
+                    "f",
+                    8000,
+                    99,
+                    &[Intervention::new(attr, InterventionOp::Set(Value::Float(95.0)))],
+                    None,
+                )
+                .unwrap();
+            let g = |t: &hyper_storage::Table| {
+                t.column_by_name("grade")
+                    .unwrap()
+                    .iter()
+                    .map(|v| v.as_f64().unwrap())
+                    .sum::<f64>()
+                    / t.num_rows() as f64
+            };
+            g(&post) - g(&pre)
+        };
+        let att = effect("attendance");
+        let assign = effect("assignment");
+        let disc = effect("discussion");
+        let hand = effect("hand_raised");
+        assert!(att > assign, "attendance {att:.2} vs assignment {assign:.2}");
+        assert!(assign > disc, "assignment {assign:.2} vs discussion {disc:.2}");
+        assert!(disc > hand);
+    }
+
+    #[test]
+    fn assignment_dominates_for_high_attendance_students() {
+        // §5.3's complex what-if: condition on announcement-readers with
+        // high attendance.
+        let scm = student_flat_scm();
+        let cond = |row: &[Value]| -> bool {
+            // attendance is node 3, announcements node 5 in declaration order.
+            row[3].as_f64().unwrap() > 75.0 && row[5].as_f64().unwrap() > 40.0
+        };
+        let effect = |attr: &str| -> f64 {
+            let (pre, post) = scm
+                .sample_paired(
+                    "f",
+                    20_000,
+                    101,
+                    &[Intervention::new(attr, InterventionOp::Set(Value::Float(95.0)))],
+                    Some(&cond),
+                )
+                .unwrap();
+            let mut dsum = 0.0;
+            let mut n = 0usize;
+            let gi = 8; // grade index
+            for i in 0..pre.num_rows() {
+                if cond(&pre.row(i)) {
+                    dsum += post.get(i, gi).as_f64().unwrap()
+                        - pre.get(i, gi).as_f64().unwrap();
+                    n += 1;
+                }
+            }
+            dsum / n as f64
+        };
+        let att = effect("attendance");
+        let assign = effect("assignment");
+        assert!(
+            assign > att,
+            "conditioned on high attendance, assignment {assign:.2} must beat attendance {att:.2}"
+        );
+    }
+
+    #[test]
+    fn graph_and_blocks() {
+        let d = student_syn(50, 3, 11);
+        let blocks =
+            hyper_causal::BlockDecomposition::compute(&d.db, &d.graph).unwrap();
+        // Each student + their participation rows form one block: 50 blocks.
+        assert_eq!(blocks.num_blocks(), 50);
+    }
+}

@@ -1,0 +1,216 @@
+//! Branch-and-bound 0-1/mixed-integer solver over the simplex relaxation.
+//!
+//! This is "the existing IP solver" slot of paper §4.3, built from scratch:
+//! depth-first branch & bound with LP bounds, most-fractional branching, and
+//! best-first child ordering.
+
+use crate::error::{IpError, Result};
+use crate::model::{Direction, Model, Solution};
+use crate::simplex::solve_lp_with_bounds;
+
+const INT_TOL: f64 = 1e-6;
+const MAX_NODES: usize = 200_000;
+
+/// Solve a mixed 0-1/integer model exactly.
+pub fn solve_ilp(model: &Model) -> Result<Solution> {
+    model.validate()?;
+    // Internally maximize.
+    let maximize = model.direction == Direction::Maximize;
+
+    let lower0: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+    let upper0: Vec<f64> = model.variables.iter().map(|v| v.upper).collect();
+
+    let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(lower0, upper0)];
+    let mut incumbent: Option<Solution> = None;
+    let mut nodes = 0usize;
+
+    let better = |a: f64, b: f64| if maximize { a > b + 1e-9 } else { a < b - 1e-9 };
+
+    while let Some((lo, hi)) = stack.pop() {
+        nodes += 1;
+        if nodes > MAX_NODES {
+            return Err(IpError::IterationLimit);
+        }
+        let relax = match solve_lp_with_bounds(model, &lo, &hi) {
+            Ok(s) => s,
+            Err(IpError::Infeasible) => continue,
+            Err(e) => return Err(e),
+        };
+        // Bound pruning.
+        if let Some(best) = &incumbent {
+            if !better(relax.objective, best.objective) {
+                continue;
+            }
+        }
+        // Find the most fractional integer variable.
+        let mut branch_var: Option<(usize, f64)> = None;
+        for (i, v) in model.variables.iter().enumerate() {
+            if !v.integer {
+                continue;
+            }
+            let x = relax.values[i];
+            let frac = (x - x.round()).abs();
+            if frac > INT_TOL {
+                let dist_to_half = (x - x.floor() - 0.5).abs();
+                if branch_var.is_none_or(|(_, d)| dist_to_half < d) {
+                    branch_var = Some((i, dist_to_half));
+                }
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: round integer coordinates exactly and accept.
+                let mut values = relax.values.clone();
+                for (i, v) in model.variables.iter().enumerate() {
+                    if v.integer {
+                        values[i] = values[i].round();
+                    }
+                }
+                let objective = model.objective_value(&values);
+                if incumbent
+                    .as_ref()
+                    .is_none_or(|b| better(objective, b.objective))
+                {
+                    incumbent = Some(Solution { values, objective });
+                }
+            }
+            Some((i, _)) => {
+                let x = relax.values[i];
+                let floor = x.floor();
+                // Child ordering: explore the side nearer the relaxation
+                // value first (pushed last).
+                let mut down = (lo.clone(), hi.clone());
+                down.1[i] = floor;
+                let mut up = (lo, hi);
+                up.0[i] = floor + 1.0;
+                if x - floor > 0.5 {
+                    stack.push(down);
+                    stack.push(up);
+                } else {
+                    stack.push(up);
+                    stack.push(down);
+                }
+            }
+        }
+    }
+    incumbent.ok_or(IpError::Infeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn knapsack() {
+        // Items (value, weight): (10,5) (6,4) (5,3) (7,5), capacity 10.
+        // Optimum: items 0+3 = 17 (weight 10).
+        let mut m = Model::maximize();
+        let items = [(10.0, 5.0), (6.0, 4.0), (5.0, 3.0), (7.0, 5.0)];
+        let vars: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (v, _))| m.add_binary(format!("x{i}"), *v))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&items).map(|(&v, (_, w))| (v, *w)).collect(),
+            Sense::Le,
+            10.0,
+        )
+        .unwrap();
+        let s = solve_ilp(&m).unwrap();
+        assert!((s.objective - 17.0).abs() < 1e-6, "{s}");
+        assert_eq!(s.values, vec![1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn multiple_choice_structure() {
+        // The how-to IP shape: two attributes, 3 candidates each, at most one
+        // candidate per attribute, plus a coupling budget.
+        let mut m = Model::maximize();
+        let a: Vec<usize> = (0..3)
+            .map(|i| m.add_binary(format!("a{i}"), [4.0, 9.0, 7.0][i]))
+            .collect();
+        let b: Vec<usize> = (0..3)
+            .map(|i| m.add_binary(format!("b{i}"), [3.0, 5.0, 8.0][i]))
+            .collect();
+        m.add_constraint("one_a", a.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, 1.0)
+            .unwrap();
+        m.add_constraint("one_b", b.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, 1.0)
+            .unwrap();
+        // Costs: a = [1,5,3], b = [2,4,6]; budget 8.
+        let mut coefs: Vec<(usize, f64)> = Vec::new();
+        for (i, &v) in a.iter().enumerate() {
+            coefs.push((v, [1.0, 5.0, 3.0][i]));
+        }
+        for (i, &v) in b.iter().enumerate() {
+            coefs.push((v, [2.0, 4.0, 6.0][i]));
+        }
+        m.add_constraint("budget", coefs, Sense::Le, 8.0).unwrap();
+        let s = solve_ilp(&m).unwrap();
+        // Best: a1 (9, cost 5) + b0 (3, cost 2) = 12 within budget 7…
+        // or a2 (7,3) + b2 (8,6) = 15 cost 9 → over. a1+b1 = 14 cost 9 → over.
+        // a2 (7,3) + b1 (5,4) = 12 cost 7. Tie at 12; verify objective.
+        assert!((s.objective - 12.0).abs() < 1e-6, "{s}");
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+
+    #[test]
+    fn minimization_direction() {
+        // min 3x + 2y, x + y ≥ 3, binaries insufficient → use integers 0..4.
+        let mut m = Model::minimize();
+        let x = m.add_continuous("x", 0.0, 4.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 4.0, 2.0);
+        m.variables[x].integer = true;
+        m.variables[y].integer = true;
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0)
+            .unwrap();
+        let s = solve_ilp(&m).unwrap();
+        assert!((s.objective - 6.0).abs() < 1e-6, "y=3: {s}");
+        assert_eq!(s.values[y], 3.0);
+    }
+
+    #[test]
+    fn fractional_lp_integral_ilp() {
+        // LP relaxation fractional: max x + y, 2x + 2y ≤ 3, binaries.
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        let y = m.add_binary("y", 1.0);
+        m.add_constraint("c", vec![(x, 2.0), (y, 2.0)], Sense::Le, 3.0)
+            .unwrap();
+        let s = solve_ilp(&m).unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert_eq!(solve_ilp(&m).unwrap_err(), IpError::Infeasible);
+    }
+
+    #[test]
+    fn equality_constrained_ilp() {
+        // Exactly 2 of 4 chosen, maximize values.
+        let mut m = Model::maximize();
+        let vals = [5.0, 1.0, 4.0, 2.0];
+        let vars: Vec<usize> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| m.add_binary(format!("x{i}"), v))
+            .collect();
+        m.add_constraint(
+            "pick2",
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Eq,
+            2.0,
+        )
+        .unwrap();
+        let s = solve_ilp(&m).unwrap();
+        assert!((s.objective - 9.0).abs() < 1e-6);
+        assert_eq!(s.values[0], 1.0);
+        assert_eq!(s.values[2], 1.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Exhaustive enumeration over integer assignments.
+//!
+//! This is the paper's **Opt-HowTo** baseline ("we compute the optimal
+//! solution by enumerating all possible updates"), kept deliberately naive:
+//! Figures 9b and 11b measure exactly this exponential blow-up against the
+//! IP formulation.
+
+use crate::error::{IpError, Result};
+use crate::model::{Direction, Model, Solution};
+
+/// Safety cap on the number of enumerated assignments.
+pub const MAX_ASSIGNMENTS: u128 = 1 << 24;
+
+/// Solve by trying every integer assignment. All variables must be integer
+/// with finite bounds.
+pub fn solve_by_enumeration(model: &Model) -> Result<Solution> {
+    model.validate()?;
+    let maximize = model.direction == Direction::Maximize;
+    let n = model.variables.len();
+
+    let mut radices: Vec<u64> = Vec::with_capacity(n);
+    let mut bases: Vec<i64> = Vec::with_capacity(n);
+    let mut count: u128 = 1;
+    for v in &model.variables {
+        if !v.integer {
+            return Err(IpError::InvalidModel(format!(
+                "enumeration requires integer variables; `{}` is continuous",
+                v.name
+            )));
+        }
+        let lo = v.lower.ceil() as i64;
+        let hi = v.upper.floor() as i64;
+        if lo > hi {
+            return Err(IpError::Infeasible);
+        }
+        let r = (hi - lo + 1) as u64;
+        count = count.saturating_mul(r as u128);
+        if count > MAX_ASSIGNMENTS {
+            return Err(IpError::TooLarge(format!(
+                "≥ {count} assignments (cap {MAX_ASSIGNMENTS})"
+            )));
+        }
+        radices.push(r);
+        bases.push(lo);
+    }
+
+    let mut best: Option<Solution> = None;
+    let mut digits = vec![0u64; n];
+    let mut x = vec![0.0f64; n];
+    loop {
+        for i in 0..n {
+            x[i] = (bases[i] + digits[i] as i64) as f64;
+        }
+        if model.is_feasible(&x, 1e-9) {
+            let obj = model.objective_value(&x);
+            let take = match &best {
+                None => true,
+                Some(b) => {
+                    if maximize {
+                        obj > b.objective + 1e-12
+                    } else {
+                        obj < b.objective - 1e-12
+                    }
+                }
+            };
+            if take {
+                best = Some(Solution {
+                    values: x.clone(),
+                    objective: obj,
+                });
+            }
+        }
+        // Mixed-radix increment.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best.ok_or(IpError::Infeasible);
+            }
+            digits[i] += 1;
+            if digits[i] < radices[i] {
+                break;
+            }
+            digits[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch_bound::solve_ilp;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn matches_branch_and_bound_on_knapsack() {
+        let mut m = Model::maximize();
+        let items = [(10.0, 5.0), (6.0, 4.0), (5.0, 3.0), (7.0, 5.0), (3.0, 2.0)];
+        let vars: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .map(|(i, (v, _))| m.add_binary(format!("x{i}"), *v))
+            .collect();
+        m.add_constraint(
+            "cap",
+            vars.iter().zip(&items).map(|(&v, (_, w))| (v, *w)).collect(),
+            Sense::Le,
+            11.0,
+        )
+        .unwrap();
+        let a = solve_by_enumeration(&m).unwrap();
+        let b = solve_ilp(&m).unwrap();
+        assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_ranges() {
+        // max x + 2y, x∈[0,3], y∈[0,2], x + y ≤ 4 → y=2, x=2 → 6.
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 3.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 2.0, 2.0);
+        m.variables[x].integer = true;
+        m.variables[y].integer = true;
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        let s = solve_by_enumeration(&m).unwrap();
+        assert!((s.objective - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_continuous_and_oversized() {
+        let mut m = Model::maximize();
+        m.add_continuous("x", 0.0, 1.0, 1.0);
+        assert!(matches!(
+            solve_by_enumeration(&m).unwrap_err(),
+            IpError::InvalidModel(_)
+        ));
+        let mut m = Model::maximize();
+        for i in 0..40 {
+            m.add_binary(format!("x{i}"), 1.0);
+        }
+        assert!(matches!(
+            solve_by_enumeration(&m).unwrap_err(),
+            IpError::TooLarge(_)
+        ));
+    }
+
+    #[test]
+    fn infeasible_enumeration() {
+        let mut m = Model::maximize();
+        let x = m.add_binary("x", 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert_eq!(solve_by_enumeration(&m).unwrap_err(), IpError::Infeasible);
+    }
+}

@@ -1,0 +1,35 @@
+//! Error type for the optimization subsystem.
+
+use std::fmt;
+
+/// Errors raised while building or solving models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IpError {
+    /// Malformed model (bad variable index, empty model, NaN coefficients…).
+    InvalidModel(String),
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// Iteration limit exceeded (defensive; should not occur in practice).
+    IterationLimit,
+    /// The exhaustive oracle refused a model that is too large.
+    TooLarge(String),
+}
+
+impl fmt::Display for IpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpError::InvalidModel(m) => write!(f, "invalid model: {m}"),
+            IpError::Infeasible => write!(f, "infeasible"),
+            IpError::Unbounded => write!(f, "unbounded"),
+            IpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            IpError::TooLarge(m) => write!(f, "model too large for enumeration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IpError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, IpError>;

@@ -1,0 +1,27 @@
+//! # hyper-ip
+//!
+//! The integer-programming substrate of the HypeR reproduction. Paper §4.3
+//! frames how-to queries as an Integer Program handed to "existing IP
+//! solvers"; those are closed-source/proprietary, so this crate provides the
+//! solver from scratch:
+//!
+//! * [`model`] — mixed 0-1 linear models (binary δ indicators, `Σδ ≤ 1`
+//!   per-attribute constraints, `Limit` rows, linear objective);
+//! * [`simplex`] — dense two-phase primal simplex with Bland's rule;
+//! * [`branch_bound`] — exact DFS branch & bound over the LP relaxation;
+//! * [`enumerate`] — the naive exhaustive **Opt-HowTo** baseline the paper
+//!   compares against (Figures 9b, 11b).
+
+#![warn(missing_docs)]
+
+pub mod branch_bound;
+pub mod enumerate;
+pub mod error;
+pub mod model;
+pub mod simplex;
+
+pub use branch_bound::solve_ilp;
+pub use enumerate::solve_by_enumeration;
+pub use error::{IpError, Result};
+pub use model::{Constraint, Direction, Model, Sense, Solution, Variable};
+pub use simplex::{solve_lp, solve_lp_with_bounds};

@@ -1,0 +1,258 @@
+//! Mixed 0-1 / continuous linear-program model description.
+//!
+//! The how-to optimizer (paper §4.3) builds models of this shape: one binary
+//! indicator δ per candidate update value, `Σ δ ≤ 1` per attribute, plus
+//! `Limit` constraints, with a linear objective.
+
+use std::fmt;
+
+use crate::error::{IpError, Result};
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Maximize the objective (the `ToMaximize` operator).
+    Maximize,
+    /// Minimize the objective (the `ToMinimize` operator).
+    Minimize,
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `Σ coef·x ≤ rhs`.
+    Le,
+    /// `Σ coef·x ≥ rhs`.
+    Ge,
+    /// `Σ coef·x = rhs`.
+    Eq,
+}
+
+/// A decision variable.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Display name.
+    pub name: String,
+    /// Lower bound.
+    pub lower: f64,
+    /// Upper bound.
+    pub upper: f64,
+    /// Integrality requirement.
+    pub integer: bool,
+}
+
+/// A linear constraint (sparse coefficient list).
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Display name.
+    pub name: String,
+    /// `(variable index, coefficient)` pairs.
+    pub coefs: Vec<(usize, f64)>,
+    /// Sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear optimization model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Variables in declaration order.
+    pub variables: Vec<Variable>,
+    /// Constraints in declaration order.
+    pub constraints: Vec<Constraint>,
+    /// Dense objective coefficients (one per variable).
+    pub objective: Vec<f64>,
+    /// Direction.
+    pub direction: Direction,
+}
+
+impl Model {
+    /// Empty maximization model.
+    pub fn maximize() -> Self {
+        Model {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+            direction: Direction::Maximize,
+        }
+    }
+
+    /// Empty minimization model.
+    pub fn minimize() -> Self {
+        Model {
+            variables: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+            direction: Direction::Minimize,
+        }
+    }
+
+    /// Add a binary (0/1) variable with the given objective coefficient.
+    pub fn add_binary(&mut self, name: impl Into<String>, obj: f64) -> usize {
+        self.variables.push(Variable {
+            name: name.into(),
+            lower: 0.0,
+            upper: 1.0,
+            integer: true,
+        });
+        self.objective.push(obj);
+        self.variables.len() - 1
+    }
+
+    /// Add a bounded continuous variable.
+    pub fn add_continuous(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        obj: f64,
+    ) -> usize {
+        self.variables.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            integer: false,
+        });
+        self.objective.push(obj);
+        self.variables.len() - 1
+    }
+
+    /// Add a constraint.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        coefs: Vec<(usize, f64)>,
+        sense: Sense,
+        rhs: f64,
+    ) -> Result<()> {
+        for &(v, c) in &coefs {
+            if v >= self.variables.len() {
+                return Err(IpError::InvalidModel(format!(
+                    "constraint references unknown variable {v}"
+                )));
+            }
+            if !c.is_finite() {
+                return Err(IpError::InvalidModel("non-finite coefficient".into()));
+            }
+        }
+        if !rhs.is_finite() {
+            return Err(IpError::InvalidModel("non-finite rhs".into()));
+        }
+        self.constraints.push(Constraint {
+            name: name.into(),
+            coefs,
+            sense,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Validate overall shape.
+    pub fn validate(&self) -> Result<()> {
+        if self.variables.is_empty() {
+            return Err(IpError::InvalidModel("no variables".into()));
+        }
+        for v in &self.variables {
+            if v.lower > v.upper {
+                return Err(IpError::InvalidModel(format!(
+                    "variable `{}` has lower {} > upper {}",
+                    v.name, v.lower, v.upper
+                )));
+            }
+            if !v.lower.is_finite() || !v.upper.is_finite() {
+                return Err(IpError::InvalidModel(format!(
+                    "variable `{}` has non-finite bounds (bounded variables required)",
+                    v.name
+                )));
+            }
+        }
+        if self.objective.iter().any(|c| !c.is_finite()) {
+            return Err(IpError::InvalidModel("non-finite objective".into()));
+        }
+        Ok(())
+    }
+
+    /// Objective value of an assignment.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Check feasibility of an assignment within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.variables.len() {
+            return false;
+        }
+        for (v, &xi) in self.variables.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+            if v.integer && (xi - xi.round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coefs.iter().map(|&(i, k)| k * x[i]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A solver solution.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Value per variable, in declaration order.
+    pub values: Vec<f64>,
+    /// Objective value under the model's direction.
+    pub objective: f64,
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "objective = {:.6}; x = {:?}", self.objective, self.values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_validate() {
+        let mut m = Model::maximize();
+        let a = m.add_binary("a", 1.0);
+        let b = m.add_binary("b", 2.0);
+        m.add_constraint("one", vec![(a, 1.0), (b, 1.0)], Sense::Le, 1.0)
+            .unwrap();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.objective_value(&[0.0, 1.0]), 2.0);
+        assert!(m.is_feasible(&[0.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 0.0], 1e-9), "binary integrality");
+    }
+
+    #[test]
+    fn invalid_models_rejected() {
+        let m = Model::maximize();
+        assert!(m.validate().is_err(), "no variables");
+        let mut m = Model::maximize();
+        m.add_continuous("x", 2.0, 1.0, 0.0);
+        assert!(m.validate().is_err(), "crossed bounds");
+        let mut m = Model::maximize();
+        let a = m.add_binary("a", 1.0);
+        assert!(m
+            .add_constraint("bad", vec![(a + 5, 1.0)], Sense::Le, 1.0)
+            .is_err());
+        assert!(m
+            .add_constraint("nan", vec![(a, f64::NAN)], Sense::Le, 1.0)
+            .is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Dense two-phase primal simplex for bounded LPs.
+//!
+//! Small and exact-enough for the how-to IPs (tens to a few hundred
+//! variables). Bland's anti-cycling rule is used throughout, trading a
+//! little speed for guaranteed termination.
+
+use crate::error::{IpError, Result};
+use crate::model::{Direction, Model, Sense, Solution};
+
+const EPS: f64 = 1e-9;
+const MAX_ITERS: usize = 50_000;
+
+/// Solve the LP relaxation of `model` with per-variable bound overrides
+/// (used by branch & bound). `lower`/`upper` must have one entry per
+/// variable.
+#[allow(clippy::needless_range_loop)]
+pub fn solve_lp_with_bounds(model: &Model, lower: &[f64], upper: &[f64]) -> Result<Solution> {
+    model.validate()?;
+    let n = model.variables.len();
+    if lower.len() != n || upper.len() != n {
+        return Err(IpError::InvalidModel("bound override arity".into()));
+    }
+    for i in 0..n {
+        if lower[i] > upper[i] + EPS {
+            return Err(IpError::Infeasible);
+        }
+    }
+
+    // Internal direction: maximize.
+    let sign = match model.direction {
+        Direction::Maximize => 1.0,
+        Direction::Minimize => -1.0,
+    };
+
+    // Shift variables: x = lo + x', x' ∈ [0, range]. Fixed variables
+    // (range ≈ 0) are substituted out.
+    let mut live: Vec<usize> = Vec::new(); // model index per live column
+    let mut range: Vec<f64> = Vec::new();
+    for i in 0..n {
+        let r = upper[i] - lower[i];
+        if r > EPS {
+            live.push(i);
+            range.push(r);
+        }
+    }
+    let nl = live.len();
+
+    // Objective over live columns plus the constant from lower bounds.
+    let mut c = vec![0.0f64; nl];
+    let mut obj_const = 0.0;
+    for i in 0..n {
+        obj_const += sign * model.objective[i] * lower[i];
+    }
+    for (j, &i) in live.iter().enumerate() {
+        c[j] = sign * model.objective[i];
+    }
+
+    // Rows: model constraints (rhs adjusted by lower bounds) + upper bounds
+    // of live variables.
+    struct RawRow {
+        coefs: Vec<f64>, // dense over live columns
+        sense: Sense,
+        rhs: f64,
+    }
+    let live_col: Vec<Option<usize>> = {
+        let mut m = vec![None; n];
+        for (j, &i) in live.iter().enumerate() {
+            m[i] = Some(j);
+        }
+        m
+    };
+    let mut raw: Vec<RawRow> = Vec::with_capacity(model.constraints.len() + nl);
+    for con in &model.constraints {
+        let mut coefs = vec![0.0; nl];
+        let mut rhs = con.rhs;
+        for &(i, k) in &con.coefs {
+            rhs -= k * lower[i];
+            if let Some(j) = live_col[i] {
+                coefs[j] += k;
+            }
+        }
+        // Constant-only constraint: check immediately.
+        if coefs.iter().all(|&k| k.abs() <= EPS) {
+            let ok = match con.sense {
+                Sense::Le => 0.0 <= rhs + 1e-7,
+                Sense::Ge => 0.0 >= rhs - 1e-7,
+                Sense::Eq => rhs.abs() <= 1e-7,
+            };
+            if !ok {
+                return Err(IpError::Infeasible);
+            }
+            continue;
+        }
+        raw.push(RawRow {
+            coefs,
+            sense: con.sense,
+            rhs,
+        });
+    }
+    for j in 0..nl {
+        let mut coefs = vec![0.0; nl];
+        coefs[j] = 1.0;
+        raw.push(RawRow {
+            coefs,
+            sense: Sense::Le,
+            rhs: range[j],
+        });
+    }
+
+    // Build the tableau. Columns: nl structural + slacks/surplus + artificials + rhs.
+    let m = raw.len();
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for r in &raw {
+        let flip = r.rhs < 0.0;
+        let sense = effective_sense(r.sense, flip);
+        match sense {
+            Sense::Le => n_slack += 1,
+            Sense::Ge => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            Sense::Eq => n_art += 1,
+        }
+    }
+    let total = nl + n_slack + n_art;
+    let width = total + 1; // + rhs
+    let mut tab = vec![0.0f64; m * width];
+    let mut basis = vec![0usize; m];
+    let art_start = nl + n_slack;
+
+    let mut slack_cursor = nl;
+    let mut art_cursor = art_start;
+    for (ri, r) in raw.iter().enumerate() {
+        let flip = r.rhs < 0.0;
+        let s = if flip { -1.0 } else { 1.0 };
+        for j in 0..nl {
+            tab[ri * width + j] = s * r.coefs[j];
+        }
+        tab[ri * width + total] = s * r.rhs;
+        match effective_sense(r.sense, flip) {
+            Sense::Le => {
+                tab[ri * width + slack_cursor] = 1.0;
+                basis[ri] = slack_cursor;
+                slack_cursor += 1;
+            }
+            Sense::Ge => {
+                tab[ri * width + slack_cursor] = -1.0;
+                slack_cursor += 1;
+                tab[ri * width + art_cursor] = 1.0;
+                basis[ri] = art_cursor;
+                art_cursor += 1;
+            }
+            Sense::Eq => {
+                tab[ri * width + art_cursor] = 1.0;
+                basis[ri] = art_cursor;
+                art_cursor += 1;
+            }
+        }
+    }
+
+    // Phase 1: minimize sum of artificials (as maximize of negated sum).
+    if n_art > 0 {
+        let mut cost1 = vec![0.0f64; total];
+        for j in art_start..total {
+            cost1[j] = -1.0;
+        }
+        let obj = run_simplex(&mut tab, &mut basis, m, width, &cost1)?;
+        if obj < -1e-7 {
+            return Err(IpError::Infeasible);
+        }
+        // Drive artificials out of the basis.
+        for row in 0..m {
+            if basis[row] >= art_start {
+                let mut pivoted = false;
+                for j in 0..art_start {
+                    if tab[row * width + j].abs() > 1e-7 {
+                        pivot(&mut tab, &mut basis, m, width, row, j);
+                        pivoted = true;
+                        break;
+                    }
+                }
+                if !pivoted {
+                    // Redundant row: harmless; keep (its rhs is ~0).
+                }
+            }
+        }
+        // Blank out artificial columns so phase 2 never re-enters them.
+        for row in 0..m {
+            for j in art_start..total {
+                tab[row * width + j] = 0.0;
+            }
+        }
+    }
+
+    // Phase 2: maximize the real objective (zero cost on slack columns).
+    let mut cost2 = vec![0.0f64; total];
+    cost2[..nl].copy_from_slice(&c);
+    let obj = run_simplex(&mut tab, &mut basis, m, width, &cost2)?;
+
+    // Extract solution.
+    let mut xprime = vec![0.0f64; total];
+    for row in 0..m {
+        if basis[row] < total {
+            xprime[basis[row]] = tab[row * width + total];
+        }
+    }
+    let mut values = lower.to_vec();
+    for (j, &i) in live.iter().enumerate() {
+        values[i] = lower[i] + xprime[j].clamp(0.0, range[j]);
+    }
+    let internal_obj = obj + obj_const;
+    Ok(Solution {
+        values,
+        objective: sign * internal_obj,
+    })
+}
+
+/// Solve the LP relaxation of `model` using its declared bounds.
+pub fn solve_lp(model: &Model) -> Result<Solution> {
+    let lower: Vec<f64> = model.variables.iter().map(|v| v.lower).collect();
+    let upper: Vec<f64> = model.variables.iter().map(|v| v.upper).collect();
+    solve_lp_with_bounds(model, &lower, &upper)
+}
+
+fn effective_sense(s: Sense, flipped: bool) -> Sense {
+    if !flipped {
+        return s;
+    }
+    match s {
+        Sense::Le => Sense::Ge,
+        Sense::Ge => Sense::Le,
+        Sense::Eq => Sense::Eq,
+    }
+}
+
+/// Run simplex to optimality for `maximize cost·x`; returns the objective.
+/// Uses Bland's rule (smallest eligible index) for entering and leaving
+/// variables, guaranteeing termination.
+fn run_simplex(
+    tab: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    width: usize,
+    cost: &[f64],
+) -> Result<f64> {
+    let total = width - 1;
+    for _ in 0..MAX_ITERS {
+        // Reduced costs: r_j = cost_j − Σ_i cost_basis(i)·tab[i][j].
+        // (Pricing from scratch keeps the code simple; models are small.)
+        let mut entering: Option<usize> = None;
+        for j in 0..total {
+            let mut r = cost[j];
+            for row in 0..m {
+                let cb = cost[basis[row]];
+                if cb != 0.0 {
+                    r -= cb * tab[row * width + j];
+                }
+            }
+            if r > 1e-9 {
+                entering = Some(j);
+                break; // Bland: first improving column
+            }
+        }
+        let Some(enter) = entering else {
+            // Optimal: objective = Σ cost_basis(i)·rhs_i.
+            let mut obj = 0.0;
+            for row in 0..m {
+                obj += cost[basis[row]] * tab[row * width + total];
+            }
+            return Ok(obj);
+        };
+        // Ratio test (Bland tie-break on basis variable index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for row in 0..m {
+            let a = tab[row * width + enter];
+            if a > 1e-9 {
+                let ratio = tab[row * width + total] / a;
+                let better = ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leave.is_some_and(|l| basis[row] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(row);
+                }
+            }
+        }
+        let Some(lrow) = leave else {
+            return Err(IpError::Unbounded);
+        };
+        pivot(tab, basis, m, width, lrow, enter);
+    }
+    Err(IpError::IterationLimit)
+}
+
+fn pivot(tab: &mut [f64], basis: &mut [usize], m: usize, width: usize, row: usize, col: usize) {
+    let p = tab[row * width + col];
+    debug_assert!(p.abs() > 1e-12, "pivot on ~0");
+    for j in 0..width {
+        tab[row * width + j] /= p;
+    }
+    for r in 0..m {
+        if r == row {
+            continue;
+        }
+        let factor = tab[r * width + col];
+        if factor == 0.0 {
+            continue;
+        }
+        for j in 0..width {
+            tab[r * width + j] -= factor * tab[row * width + j];
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    #[test]
+    fn textbook_lp() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18; optimum (2, 6) = 36.
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 100.0, 3.0);
+        let y = m.add_continuous("y", 0.0, 100.0, 5.0);
+        m.add_constraint("c1", vec![(x, 1.0)], Sense::Le, 4.0).unwrap();
+        m.add_constraint("c2", vec![(y, 2.0)], Sense::Le, 12.0).unwrap();
+        m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 36.0).abs() < 1e-6, "{s}");
+        assert!((s.values[x] - 2.0).abs() < 1e-6);
+        assert!((s.values[y] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ge_and_eq_constraints() {
+        // min x + y s.t. x + y ≥ 4, x − y = 1 → (2.5, 1.5), obj 4.
+        let mut m = Model::minimize();
+        let x = m.add_continuous("x", 0.0, 10.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 10.0, 1.0);
+        m.add_constraint("ge", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 4.0)
+            .unwrap();
+        m.add_constraint("eq", vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6, "{s}");
+        assert!((s.values[x] - 2.5).abs() < 1e-6);
+        assert!((s.values[y] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 1.0, 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 5.0).unwrap();
+        assert_eq!(solve_lp(&m).unwrap_err(), IpError::Infeasible);
+    }
+
+    #[test]
+    fn bounds_respected_and_overridable() {
+        let mut m = Model::maximize();
+        let _x = m.add_continuous("x", 0.0, 3.0, 1.0);
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        let s = solve_lp_with_bounds(&m, &[0.0], &[1.5]).unwrap();
+        assert!((s.objective - 1.5).abs() < 1e-9);
+        // Crossed override → infeasible.
+        assert_eq!(
+            solve_lp_with_bounds(&m, &[2.0], &[1.0]).unwrap_err(),
+            IpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn nonzero_lower_bounds() {
+        // min x + y with x ∈ [2, 5], y ∈ [1, 4], x + y ≥ 5 → 5.
+        let mut m = Model::minimize();
+        let x = m.add_continuous("x", 2.0, 5.0, 1.0);
+        let y = m.add_continuous("y", 1.0, 4.0, 1.0);
+        m.add_constraint("c", vec![(x, 1.0), (y, 1.0)], Sense::Ge, 5.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 5.0).abs() < 1e-6, "{s}");
+    }
+
+    #[test]
+    fn fixed_variables_substituted() {
+        // x fixed at 2 by bounds; max x + y, y ≤ 1 → 3.
+        let mut m = Model::maximize();
+        let _x = m.add_continuous("x", 2.0, 2.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 1.0, 1.0);
+        m.add_constraint("c", vec![(y, 1.0)], Sense::Le, 1.0).unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 3.0).abs() < 1e-9);
+        assert_eq!(s.values[0], 2.0);
+    }
+
+    #[test]
+    fn degenerate_problems_terminate() {
+        // Multiple redundant constraints (degeneracy stress).
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 0.0, 10.0, 1.0);
+        let y = m.add_continuous("y", 0.0, 10.0, 1.0);
+        for i in 0..6 {
+            m.add_constraint(
+                format!("c{i}"),
+                vec![(x, 1.0), (y, 1.0)],
+                Sense::Le,
+                4.0,
+            )
+            .unwrap();
+        }
+        m.add_constraint("tie", vec![(x, 1.0), (y, -1.0)], Sense::Eq, 0.0)
+            .unwrap();
+        let s = solve_lp(&m).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_infeasible_constraint() {
+        // All variables fixed; constraint violated by constants.
+        let mut m = Model::maximize();
+        let x = m.add_continuous("x", 1.0, 1.0, 1.0);
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        assert_eq!(solve_lp(&m).unwrap_err(), IpError::Infeasible);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests: branch & bound must agree with exhaustive enumeration on
+//! random small 0-1 models (the correctness backbone of the how-to engine).
+
+use hyper_ip::{solve_by_enumeration, solve_ilp, IpError, Model, Sense};
+use proptest::prelude::*;
+
+/// A random 0-1 model: ≤ 8 binaries, ≤ 4 Le/Ge constraints with small
+/// integer coefficients.
+fn arb_model() -> impl Strategy<Value = Model> {
+    let nvars = 1..=8usize;
+    nvars.prop_flat_map(|n| {
+        let objs = prop::collection::vec(-10..=10i32, n);
+        let ncons = 0..=4usize;
+        let cons = ncons.prop_flat_map(move |m| {
+            prop::collection::vec(
+                (
+                    prop::collection::vec(-5..=5i32, n),
+                    prop::bool::ANY,
+                    -8..=12i32,
+                ),
+                m,
+            )
+        });
+        (objs, cons).prop_map(move |(objs, cons)| {
+            let mut model = Model::maximize();
+            for (i, o) in objs.iter().enumerate() {
+                model.add_binary(format!("x{i}"), *o as f64);
+            }
+            for (ci, (coefs, is_le, rhs)) in cons.iter().enumerate() {
+                let sparse: Vec<(usize, f64)> = coefs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c != 0)
+                    .map(|(i, c)| (i, *c as f64))
+                    .collect();
+                if sparse.is_empty() {
+                    continue;
+                }
+                let sense = if *is_le { Sense::Le } else { Sense::Ge };
+                model
+                    .add_constraint(format!("c{ci}"), sparse, sense, *rhs as f64)
+                    .unwrap();
+            }
+            model
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn branch_bound_matches_enumeration(model in arb_model()) {
+        let exact = solve_by_enumeration(&model);
+        let bb = solve_ilp(&model);
+        match (exact, bb) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!(
+                    (a.objective - b.objective).abs() < 1e-6,
+                    "enumeration {} vs b&b {}",
+                    a.objective,
+                    b.objective
+                );
+                prop_assert!(model.is_feasible(&b.values, 1e-6));
+            }
+            (Err(IpError::Infeasible), Err(IpError::Infeasible)) => {}
+            (a, b) => prop_assert!(false, "solver disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn lp_relaxation_bounds_ilp(model in arb_model()) {
+        if let (Ok(lp), Ok(ilp)) = (hyper_ip::solve_lp(&model), solve_ilp(&model)) {
+            prop_assert!(
+                lp.objective >= ilp.objective - 1e-6,
+                "LP {} must upper-bound ILP {}",
+                lp.objective,
+                ilp.objective
+            );
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Discretization of continuous attributes (paper §4.3 and §5.4: "HypeR
+//! bucketizes all continuous attributes before solving the integer program";
+//! Figure 9 sweeps the number of equi-width buckets).
+
+use hyper_storage::Value;
+
+use crate::error::{MlError, Result};
+
+/// Binning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinStrategy {
+    /// Equal-width bins over `[min, max]` (the paper's choice).
+    EquiWidth,
+    /// Equal-frequency (quantile) bins.
+    EquiFrequency,
+}
+
+/// A fitted discretizer: bin edges plus representative midpoints.
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    edges: Vec<f64>,
+    midpoints: Vec<f64>,
+}
+
+impl Discretizer {
+    /// Fit `k` bins over the numeric data.
+    pub fn fit(values: &[f64], k: usize, strategy: BinStrategy) -> Result<Discretizer> {
+        if k == 0 {
+            return Err(MlError::InvalidInput("k must be ≥ 1".into()));
+        }
+        if values.is_empty() {
+            return Err(MlError::InvalidInput("no values to discretize".into()));
+        }
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return Err(MlError::InvalidInput("no finite values".into()));
+        }
+        sorted.sort_by(f64::total_cmp);
+        let lo = sorted[0];
+        let hi = *sorted.last().expect("non-empty");
+
+        let edges: Vec<f64> = match strategy {
+            BinStrategy::EquiWidth => {
+                let width = (hi - lo) / k as f64;
+                (0..=k).map(|i| lo + width * i as f64).collect()
+            }
+            BinStrategy::EquiFrequency => {
+                let n = sorted.len();
+                let mut e: Vec<f64> = (0..=k)
+                    .map(|i| {
+                        let pos = (i * (n - 1)) / k;
+                        sorted[pos]
+                    })
+                    .collect();
+                e.dedup();
+                // Degenerate distributions can collapse edges; pad to ≥ 2.
+                if e.len() < 2 {
+                    e = vec![lo, hi];
+                }
+                e
+            }
+        };
+        let midpoints = edges.windows(2).map(|w| (w[0] + w[1]) / 2.0).collect();
+        Ok(Discretizer { edges, midpoints })
+    }
+
+    /// Fit over a column of [`Value`]s (non-numeric values are an error).
+    pub fn fit_values(values: &[Value], k: usize, strategy: BinStrategy) -> Result<Discretizer> {
+        let xs: Vec<f64> = values
+            .iter()
+            .filter(|v| !v.is_null())
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| MlError::InvalidInput(format!("non-numeric value {v}")))
+            })
+            .collect::<Result<_>>()?;
+        Discretizer::fit(&xs, k, strategy)
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.midpoints.len()
+    }
+
+    /// Bin edges (length `num_bins() + 1`).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Bin midpoints — the candidate values the how-to IP enumerates.
+    pub fn midpoints(&self) -> &[f64] {
+        &self.midpoints
+    }
+
+    /// Index of the bin containing `x` (clamped to the outer bins).
+    pub fn bin_of(&self, x: f64) -> usize {
+        if x <= self.edges[0] {
+            return 0;
+        }
+        let last = self.num_bins() - 1;
+        if x >= self.edges[self.edges.len() - 1] {
+            return last;
+        }
+        // Binary search over edges.
+        let mut lo = 0usize;
+        let mut hi = self.edges.len() - 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if x < self.edges[mid] {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo.min(last)
+    }
+
+    /// Replace `x` with its bin midpoint.
+    pub fn transform(&self, x: f64) -> f64 {
+        self.midpoints[self.bin_of(x)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equi_width_edges() {
+        let d = Discretizer::fit(&[0.0, 10.0], 5, BinStrategy::EquiWidth).unwrap();
+        assert_eq!(d.num_bins(), 5);
+        assert_eq!(d.edges(), &[0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        assert_eq!(d.midpoints(), &[1.0, 3.0, 5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn bin_assignment_and_transform() {
+        let d = Discretizer::fit(&[0.0, 10.0], 5, BinStrategy::EquiWidth).unwrap();
+        assert_eq!(d.bin_of(-1.0), 0);
+        assert_eq!(d.bin_of(0.5), 0);
+        assert_eq!(d.bin_of(4.5), 2);
+        assert_eq!(d.bin_of(10.0), 4);
+        assert_eq!(d.bin_of(99.0), 4);
+        assert_eq!(d.transform(4.5), 5.0);
+    }
+
+    #[test]
+    fn equi_frequency_balances_counts() {
+        // Heavily skewed data: quantile bins adapt.
+        let mut xs: Vec<f64> = (0..90).map(|i| i as f64 / 100.0).collect();
+        xs.extend((0..10).map(|i| 100.0 + i as f64));
+        let d = Discretizer::fit(&xs, 4, BinStrategy::EquiFrequency).unwrap();
+        assert!(d.num_bins() >= 2);
+        // Most mass is below 1.0, so at least two edges are below 1.0.
+        assert!(d.edges().iter().filter(|&&e| e < 1.0).count() >= 2);
+    }
+
+    #[test]
+    fn single_bin_and_constant_data() {
+        let d = Discretizer::fit(&[5.0, 5.0, 5.0], 3, BinStrategy::EquiWidth).unwrap();
+        assert_eq!(d.transform(5.0), 5.0);
+        let d = Discretizer::fit(&[1.0, 9.0], 1, BinStrategy::EquiWidth).unwrap();
+        assert_eq!(d.num_bins(), 1);
+        assert_eq!(d.transform(3.3), 5.0);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        assert!(Discretizer::fit(&[], 3, BinStrategy::EquiWidth).is_err());
+        assert!(Discretizer::fit(&[1.0], 0, BinStrategy::EquiWidth).is_err());
+        assert!(
+            Discretizer::fit_values(&[Value::str("x")], 2, BinStrategy::EquiWidth).is_err()
+        );
+    }
+
+    #[test]
+    fn fit_values_skips_nulls() {
+        let vals = vec![Value::Float(1.0), Value::Null, Value::Float(3.0)];
+        let d = Discretizer::fit_values(&vals, 2, BinStrategy::EquiWidth).unwrap();
+        assert_eq!(d.edges(), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,229 @@
+//! Feature encoding: map relational rows to numeric feature vectors.
+//!
+//! Numeric columns pass through; categorical (string/bool) columns are
+//! one-hot encoded over the categories observed at fit time. The encoder is
+//! reused at prediction time to encode hypothetical rows consistently.
+
+use std::collections::HashMap;
+
+use hyper_storage::{Table, Value};
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+
+#[derive(Debug, Clone)]
+enum ColumnEncoding {
+    /// Pass the numeric value through (NULL → column mean seen at fit).
+    Numeric { mean: f64 },
+    /// One-hot over observed categories; unseen categories encode to all
+    /// zeros.
+    OneHot { categories: Vec<Value> },
+}
+
+/// Fitted table→matrix encoder.
+#[derive(Debug, Clone)]
+pub struct TableEncoder {
+    columns: Vec<String>,
+    encodings: Vec<ColumnEncoding>,
+    width: usize,
+}
+
+impl TableEncoder {
+    /// Fit an encoder over the named columns of `table`.
+    pub fn fit(table: &Table, columns: &[String]) -> Result<TableEncoder> {
+        let mut encodings = Vec::with_capacity(columns.len());
+        let mut width = 0usize;
+        for name in columns {
+            let idx = table.schema().index_of(name)?;
+            let values = table.column(idx);
+            let numeric = values
+                .iter()
+                .all(|v| v.is_null() || v.as_f64().is_some());
+            let has_non_null = values.iter().any(|v| !v.is_null());
+            if numeric && has_non_null {
+                let (mut sum, mut n) = (0.0, 0usize);
+                for v in values {
+                    if let Some(x) = v.as_f64() {
+                        sum += x;
+                        n += 1;
+                    }
+                }
+                encodings.push(ColumnEncoding::Numeric { mean: sum / n as f64 });
+                width += 1;
+            } else {
+                let mut cats: Vec<Value> = Vec::new();
+                let mut seen: HashMap<Value, ()> = HashMap::new();
+                for v in values {
+                    if !v.is_null() && seen.insert(v.clone(), ()).is_none() {
+                        cats.push(v.clone());
+                    }
+                }
+                cats.sort();
+                width += cats.len();
+                encodings.push(ColumnEncoding::OneHot { categories: cats });
+            }
+        }
+        Ok(TableEncoder {
+            columns: columns.to_vec(),
+            encodings,
+            width,
+        })
+    }
+
+    /// Number of output features.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encoded width contributed by each input column, in order.
+    pub fn column_widths(&self) -> Vec<usize> {
+        self.encodings
+            .iter()
+            .map(|e| match e {
+                ColumnEncoding::Numeric { .. } => 1,
+                ColumnEncoding::OneHot { categories } => categories.len(),
+            })
+            .collect()
+    }
+
+    /// The input column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Encode one logical row given as values aligned with `columns()`.
+    pub fn encode_values(&self, values: &[Value]) -> Result<Vec<f64>> {
+        if values.len() != self.encodings.len() {
+            return Err(MlError::InvalidInput(format!(
+                "expected {} values, got {}",
+                self.encodings.len(),
+                values.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.width);
+        for (v, enc) in values.iter().zip(&self.encodings) {
+            match enc {
+                ColumnEncoding::Numeric { mean } => {
+                    out.push(v.as_f64().unwrap_or(*mean));
+                }
+                ColumnEncoding::OneHot { categories } => {
+                    for c in categories {
+                        out.push(if v == c { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Encode every row of `table` (must contain the fitted columns).
+    pub fn encode_table(&self, table: &Table) -> Result<Matrix> {
+        let idxs: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|c| table.schema().index_of(c))
+            .collect::<hyper_storage::Result<_>>()?;
+        let mut m = Matrix::zeros(0, 0);
+        let mut buf: Vec<Value> = Vec::with_capacity(idxs.len());
+        for i in 0..table.num_rows() {
+            buf.clear();
+            for &c in &idxs {
+                buf.push(table.get(i, c).clone());
+            }
+            let row = self.encode_values(&buf)?;
+            m.push_row(&row)?;
+        }
+        if table.num_rows() == 0 {
+            // Preserve the width even for empty inputs.
+            m = Matrix::zeros(0, self.width);
+        }
+        Ok(m)
+    }
+
+    /// Extract a numeric target column.
+    pub fn target_vector(table: &Table, column: &str) -> Result<Vec<f64>> {
+        let idx = table.schema().index_of(column)?;
+        table
+            .column(idx)
+            .iter()
+            .map(|v| {
+                v.as_f64().ok_or_else(|| {
+                    MlError::InvalidInput(format!("non-numeric target value {v}"))
+                })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{DataType, Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("age", DataType::Int),
+            Field::new("color", DataType::Str),
+            Field::nullable("score", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![30.into(), "red".into(), 1.0.into()]).unwrap();
+        t.push_row(vec![40.into(), "blue".into(), Value::Null]).unwrap();
+        t.push_row(vec![50.into(), "red".into(), 3.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn mixed_encoding_width() {
+        let enc = TableEncoder::fit(
+            &table(),
+            &["age".into(), "color".into(), "score".into()],
+        )
+        .unwrap();
+        // age (1) + color one-hot (2) + score (1) = 4.
+        assert_eq!(enc.width(), 4);
+        let m = enc.encode_table(&table()).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        // Row 0: age=30, blue=0, red=1, score=1.0 (categories sorted).
+        assert_eq!(m.row(0), &[30.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn null_numeric_imputes_mean() {
+        let enc = TableEncoder::fit(&table(), &["score".into()]).unwrap();
+        let m = enc.encode_table(&table()).unwrap();
+        assert_eq!(m.get(1, 0), 2.0, "NULL imputed with mean of {{1, 3}}");
+    }
+
+    #[test]
+    fn unseen_category_encodes_to_zeros() {
+        let enc = TableEncoder::fit(&table(), &["color".into()]).unwrap();
+        let v = enc.encode_values(&["green".into()]).unwrap();
+        assert_eq!(v, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn value_arity_checked() {
+        let enc = TableEncoder::fit(&table(), &["color".into()]).unwrap();
+        assert!(enc.encode_values(&["red".into(), 1.into()]).is_err());
+    }
+
+    #[test]
+    fn target_vector_extraction() {
+        let y = TableEncoder::target_vector(&table(), "age").unwrap();
+        assert_eq!(y, vec![30.0, 40.0, 50.0]);
+        assert!(TableEncoder::target_vector(&table(), "color").is_err());
+    }
+
+    #[test]
+    fn empty_table_keeps_width() {
+        let t = table();
+        let enc = TableEncoder::fit(&t, &["age".into(), "color".into()]).unwrap();
+        let empty = t.gather(&[]);
+        let m = enc.encode_table(&empty).unwrap();
+        assert_eq!(m.rows(), 0);
+        assert_eq!(m.cols(), 3);
+    }
+}

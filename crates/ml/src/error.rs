@@ -1,0 +1,42 @@
+//! Error type for the ML subsystem.
+
+use std::fmt;
+
+/// Errors raised by estimators and encoders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MlError {
+    /// Training data is empty or shapes disagree.
+    InvalidInput(String),
+    /// A categorical value unseen at fit time was encountered and the
+    /// encoder is configured to reject unknowns.
+    UnknownCategory(String),
+    /// Model was used before fitting.
+    NotFitted,
+    /// Numerical failure (singular system etc.).
+    Numerical(String),
+    /// Propagated storage error.
+    Storage(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            MlError::UnknownCategory(m) => write!(f, "unknown category: {m}"),
+            MlError::NotFitted => write!(f, "model not fitted"),
+            MlError::Numerical(m) => write!(f, "numerical error: {m}"),
+            MlError::Storage(m) => write!(f, "storage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+impl From<hyper_storage::StorageError> for MlError {
+    fn from(e: hyper_storage::StorageError) -> Self {
+        MlError::Storage(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, MlError>;

@@ -1,0 +1,167 @@
+//! Random-forest regression: bagged CART trees with feature subsampling.
+//!
+//! The reproduction's stand-in for the paper's sklearn
+//! `RandomForestRegressor` (§5, "Implementation and setup"): HypeR trains
+//! one of these per conditional-probability estimate.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+use crate::tree::{RegressionTree, TreeParams};
+
+/// Hyper-parameters for the forest.
+#[derive(Debug, Clone)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters (feature subsampling defaults to √d when the
+    /// tree's `max_features` is `None`).
+    pub tree: TreeParams,
+    /// Bootstrap sample (with replacement) per tree.
+    pub bootstrap: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        ForestParams {
+            n_trees: 20,
+            tree: TreeParams::default(),
+            bootstrap: true,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fit on `(x, y)`.
+    pub fn fit(x: &Matrix, y: &[f64], params: &ForestParams) -> Result<RandomForest> {
+        if x.rows() == 0 {
+            return Err(MlError::InvalidInput("empty training set".into()));
+        }
+        if x.rows() != y.len() {
+            return Err(MlError::InvalidInput(format!(
+                "x has {} rows, y has {}",
+                x.rows(),
+                y.len()
+            )));
+        }
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidInput("n_trees must be ≥ 1".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut tree_params = params.tree.clone();
+        if tree_params.max_features.is_none() && x.cols() > 3 {
+            tree_params.max_features = Some((x.cols() as f64).sqrt().ceil() as usize);
+        }
+        let n = x.rows();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for _ in 0..params.n_trees {
+            let idx: Vec<u32> = if params.bootstrap {
+                (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
+            } else {
+                (0..n as u32).collect()
+            };
+            trees.push(RegressionTree::fit_indices(x, y, idx, &tree_params, &mut rng)?);
+        }
+        Ok(RandomForest { trees })
+    }
+
+    /// Mean prediction across trees for one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let s: f64 = self.trees.iter().map(|t| t.predict_row(row)).sum();
+        s / self.trees.len() as f64
+    }
+
+    /// Batch prediction.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+
+    /// Mean prediction clamped to `[0, 1]`, for probability targets (the
+    /// paper regresses indicator targets to estimate probabilities).
+    pub fn predict_proba_row(&self, row: &[f64]) -> f64 {
+        self.predict_row(row).clamp(0.0, 1.0)
+    }
+
+    /// Number of trees.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mse, r2};
+
+    /// Noisy quadratic regression task.
+    fn quadratic(n: usize, seed: u64) -> (Matrix, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut y = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x: f64 = rng.gen_range(-2.0..2.0);
+            rows.push(vec![x]);
+            y.push(x * x + 0.1 * rng.gen_range(-1.0..1.0));
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn beats_constant_baseline_on_quadratic() {
+        let (x, y) = quadratic(600, 1);
+        let forest = RandomForest::fit(&x, &y, &ForestParams::default()).unwrap();
+        let (xt, yt) = quadratic(200, 2);
+        let pred = forest.predict(&xt);
+        let mean = yt.iter().sum::<f64>() / yt.len() as f64;
+        let baseline = mse(&vec![mean; yt.len()], &yt);
+        let model = mse(&pred, &yt);
+        assert!(
+            model < baseline / 4.0,
+            "forest mse {model} vs baseline {baseline}"
+        );
+        assert!(r2(&pred, &yt) > 0.8);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, y) = quadratic(200, 3);
+        let p = ForestParams {
+            seed: 9,
+            ..Default::default()
+        };
+        let f1 = RandomForest::fit(&x, &y, &p).unwrap();
+        let f2 = RandomForest::fit(&x, &y, &p).unwrap();
+        assert_eq!(f1.predict_row(&[0.5]), f2.predict_row(&[0.5]));
+    }
+
+    #[test]
+    fn probability_clamping() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![0.0, 0.0, 1.0, 1.0];
+        let f = RandomForest::fit(&x, &y, &ForestParams::default()).unwrap();
+        let p = f.predict_proba_row(&[2.5]);
+        assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(RandomForest::fit(&x, &[1.0, 2.0], &ForestParams::default()).is_err());
+        let p = ForestParams {
+            n_trees: 0,
+            ..Default::default()
+        };
+        assert!(RandomForest::fit(&x, &[1.0], &p).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! # hyper-ml
+//!
+//! The ML substrate of the HypeR reproduction: the conditional-probability
+//! estimators of paper §3.3 and §A.4. HypeR "uses the input database D to
+//! learn a single regression function … to estimate the conditional
+//! probability distribution"; the authors used sklearn's
+//! `RandomForestRegressor`. Everything here is implemented from scratch:
+//!
+//! * [`matrix`] — dense feature matrices;
+//! * [`encode`] — table → feature-vector encoding (one-hot categoricals);
+//! * [`tree`] / [`forest`] — CART regression trees and bagged forests;
+//! * [`linear`] — OLS/ridge for the how-to objective linearization (§4.3);
+//! * [`discretize`] — equi-width/equi-frequency bucketization (§4.3, Fig 9);
+//! * [`metrics`] — MSE/MAE/R².
+
+#![warn(missing_docs)]
+
+pub mod discretize;
+pub mod encode;
+pub mod error;
+pub mod forest;
+pub mod linear;
+pub mod matrix;
+pub mod metrics;
+pub mod tree;
+
+pub use discretize::{BinStrategy, Discretizer};
+pub use encode::TableEncoder;
+pub use error::{MlError, Result};
+pub use forest::{ForestParams, RandomForest};
+pub use linear::LinearModel;
+pub use matrix::Matrix;
+pub use tree::{RegressionTree, TreeParams};

@@ -1,0 +1,168 @@
+//! Ordinary least squares with optional ridge regularization, solved by
+//! Gaussian elimination on the normal equations.
+//!
+//! Used by the how-to optimizer to linearize the what-if objective (§4.3:
+//! "the corresponding what-if query is estimated as a linear expression …
+//! training a regression function over the dataset").
+
+use crate::error::{MlError, Result};
+use crate::matrix::Matrix;
+
+/// A fitted linear model `y = intercept + Σ coef·x`.
+#[derive(Debug, Clone)]
+pub struct LinearModel {
+    /// Intercept term.
+    pub intercept: f64,
+    /// Per-feature coefficients.
+    pub coefs: Vec<f64>,
+}
+
+impl LinearModel {
+    /// Fit by least squares with ridge penalty `l2` (0 for plain OLS; a tiny
+    /// ridge keeps collinear systems solvable).
+    #[allow(clippy::needless_range_loop)]
+    pub fn fit(x: &Matrix, y: &[f64], l2: f64) -> Result<LinearModel> {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 {
+            return Err(MlError::InvalidInput("empty training set".into()));
+        }
+        if n != y.len() {
+            return Err(MlError::InvalidInput(format!(
+                "x has {n} rows, y has {}",
+                y.len()
+            )));
+        }
+        // Augmented design: [1, x]; normal equations A β = b with
+        // A = Xᵀ X + λ diag(0, 1, …), b = Xᵀ y.
+        let k = d + 1;
+        let mut a = vec![0.0f64; k * k];
+        let mut b = vec![0.0f64; k];
+        let mut xi = vec![0.0f64; k];
+        for i in 0..n {
+            xi[0] = 1.0;
+            xi[1..].copy_from_slice(x.row(i));
+            for r in 0..k {
+                b[r] += xi[r] * y[i];
+                for c in 0..k {
+                    a[r * k + c] += xi[r] * xi[c];
+                }
+            }
+        }
+        for r in 1..k {
+            a[r * k + r] += l2;
+        }
+        let beta = solve(&mut a, &mut b, k)?;
+        Ok(LinearModel {
+            intercept: beta[0],
+            coefs: beta[1..].to_vec(),
+        })
+    }
+
+    /// Predict one sample.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .coefs
+                .iter()
+                .zip(row)
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+    }
+
+    /// Batch prediction.
+    pub fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+    }
+}
+
+/// Solve `A β = b` in place (partial-pivot Gaussian elimination).
+fn solve(a: &mut [f64], b: &mut [f64], k: usize) -> Result<Vec<f64>> {
+    for col in 0..k {
+        // Pivot.
+        let mut pivot = col;
+        for r in col + 1..k {
+            if a[r * k + col].abs() > a[pivot * k + col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot * k + col].abs() < 1e-12 {
+            return Err(MlError::Numerical(format!(
+                "singular normal equations at column {col}"
+            )));
+        }
+        if pivot != col {
+            for c in 0..k {
+                a.swap(col * k + c, pivot * k + c);
+            }
+            b.swap(col, pivot);
+        }
+        // Eliminate below.
+        for r in col + 1..k {
+            let factor = a[r * k + col] / a[col * k + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..k {
+                a[r * k + c] -= factor * a[col * k + c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back-substitute.
+    let mut beta = vec![0.0; k];
+    for col in (0..k).rev() {
+        let mut acc = b[col];
+        for c in col + 1..k {
+            acc -= a[col * k + c] * beta[c];
+        }
+        beta[col] = acc / a[col * k + col];
+    }
+    Ok(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        // y = 3 + 2a − b.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 3.0 + 2.0 * r[0] - r[1]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let m = LinearModel::fit(&x, &y, 0.0).unwrap();
+        assert!((m.intercept - 3.0).abs() < 1e-8);
+        assert!((m.coefs[0] - 2.0).abs() < 1e-8);
+        assert!((m.coefs[1] + 1.0).abs() < 1e-8);
+        assert!((m.predict_row(&[10.0, 2.0]) - 21.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ridge_handles_collinearity() {
+        // Perfectly collinear features: OLS singular, ridge solvable.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let y: Vec<f64> = rows.iter().map(|r| r[0]).collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        assert!(LinearModel::fit(&x, &y, 0.0).is_err());
+        let m = LinearModel::fit(&x, &y, 1e-6).unwrap();
+        assert!((m.predict_row(&[10.0, 20.0]) - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn intercept_only_model() {
+        let x = Matrix::zeros(4, 0);
+        let m = LinearModel::fit(&x, &[2.0, 4.0, 6.0, 8.0], 0.0).unwrap();
+        assert!((m.intercept - 5.0).abs() < 1e-10);
+        assert!(m.coefs.is_empty());
+    }
+
+    #[test]
+    fn shape_errors() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(LinearModel::fit(&x, &[1.0, 2.0], 0.0).is_err());
+        assert!(LinearModel::fit(&Matrix::zeros(0, 1), &[], 0.0).is_err());
+    }
+}

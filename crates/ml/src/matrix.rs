@@ -1,0 +1,120 @@
+//! A minimal dense row-major matrix for feature data.
+
+use crate::error::{MlError, Result};
+
+/// Dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from row-major data.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(MlError::InvalidInput(format!(
+                "data length {} != {rows}×{cols}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { data, rows, cols })
+    }
+
+    /// Build from a slice of rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(MlError::InvalidInput("ragged rows".into()));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { data, rows: r, cols: c })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Cell accessor.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Cell mutator.
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
+        if self.rows == 0 && self.cols == 0 {
+            self.cols = row.len();
+        }
+        if row.len() != self.cols {
+            return Err(MlError::InvalidInput(format!(
+                "row length {} != {}",
+                row.len(),
+                self.cols
+            )));
+        }
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert!(Matrix::from_vec(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        assert!(Matrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+    }
+
+    #[test]
+    fn push_row_grows() {
+        let mut m = Matrix::zeros(0, 0);
+        m.push_row(&[1.0, 2.0]).unwrap();
+        m.push_row(&[3.0, 4.0]).unwrap();
+        assert!(m.push_row(&[5.0]).is_err());
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+}

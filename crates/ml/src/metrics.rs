@@ -1,0 +1,85 @@
+//! Regression quality metrics.
+
+/// Mean squared error.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let pred = [1.0, 2.0];
+        let truth = [2.0, 4.0];
+        assert_eq!(mse(&pred, &truth), (1.0 + 4.0) / 2.0);
+        assert_eq!(mae(&pred, &truth), 1.5);
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let truth = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_truth_edge_case() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&[4.0, 6.0], &[5.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,523 @@
+//! Abstract syntax of probabilistic what-if and how-to queries
+//! (paper Figures 4, 5, 7; §3.1, §4.1).
+
+use std::fmt;
+
+use hyper_storage::{AggFunc, Value};
+
+/// Whether an attribute reference reads the pre-update or post-update value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Temporal {
+    /// `Pre(A)` — value in the given database `D`.
+    Pre,
+    /// `Post(A)` — value after the hypothetical update.
+    Post,
+}
+
+impl fmt::Display for Temporal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Temporal::Pre => write!(f, "Pre"),
+            Temporal::Post => write!(f, "Post"),
+        }
+    }
+}
+
+/// A possibly-qualified column name (`T1.Price` or `Price`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualifiedName {
+    /// Table name or alias, if qualified.
+    pub qualifier: Option<String>,
+    /// Column name.
+    pub name: String,
+}
+
+impl QualifiedName {
+    /// Unqualified name.
+    pub fn bare(name: impl Into<String>) -> Self {
+        QualifiedName {
+            qualifier: None,
+            name: name.into(),
+        }
+    }
+
+    /// Qualified name.
+    pub fn qualified(q: impl Into<String>, name: impl Into<String>) -> Self {
+        QualifiedName {
+            qualifier: Some(q.into()),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for QualifiedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Comparison / logical operators in hypothetical predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HOp {
+    /// `=`.
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `AND`.
+    And,
+    /// `OR`.
+    Or,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl fmt::Display for HOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HOp::Eq => "=",
+            HOp::Ne => "<>",
+            HOp::Lt => "<",
+            HOp::Le => "<=",
+            HOp::Gt => ">",
+            HOp::Ge => ">=",
+            HOp::And => "And",
+            HOp::Or => "Or",
+            HOp::Add => "+",
+            HOp::Sub => "-",
+            HOp::Mul => "*",
+            HOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Hypothetical scalar expressions: attribute references carry an optional
+/// `Pre`/`Post` marker (`None` = clause default, resolved by the validator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExpr {
+    /// Attribute reference, e.g. `Post(Senti)` or bare `Brand`.
+    Attr {
+        /// Explicit temporal marker, if written.
+        temporal: Option<Temporal>,
+        /// Attribute name (relevant-view column).
+        name: String,
+    },
+    /// Literal.
+    Lit(Value),
+    /// Logical negation.
+    Not(Box<HExpr>),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: HOp,
+        /// Left operand.
+        left: Box<HExpr>,
+        /// Right operand.
+        right: Box<HExpr>,
+    },
+    /// `expr In (v1, …)` / `Not In`.
+    InList {
+        /// Tested expression.
+        expr: Box<HExpr>,
+        /// Candidates.
+        list: Vec<Value>,
+        /// Negated?
+        negated: bool,
+    },
+}
+
+impl HExpr {
+    /// Attribute helper.
+    pub fn attr(name: impl Into<String>) -> HExpr {
+        HExpr::Attr {
+            temporal: None,
+            name: name.into(),
+        }
+    }
+
+    /// `Pre(name)` helper.
+    pub fn pre(name: impl Into<String>) -> HExpr {
+        HExpr::Attr {
+            temporal: Some(Temporal::Pre),
+            name: name.into(),
+        }
+    }
+
+    /// `Post(name)` helper.
+    pub fn post(name: impl Into<String>) -> HExpr {
+        HExpr::Attr {
+            temporal: Some(Temporal::Post),
+            name: name.into(),
+        }
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> HExpr {
+        HExpr::Lit(v.into())
+    }
+
+    /// Binary builder.
+    pub fn binary(op: HOp, left: HExpr, right: HExpr) -> HExpr {
+        HExpr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: HExpr) -> HExpr {
+        HExpr::binary(HOp::And, self, other)
+    }
+
+    /// All attribute references in the expression, with resolved temporals
+    /// filled by `default`.
+    pub fn attrs_with_default(&self, default: Temporal) -> Vec<(Temporal, String)> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let HExpr::Attr { temporal, name } = e {
+                out.push((temporal.unwrap_or(default), name.clone()));
+            }
+        });
+        out
+    }
+
+    /// True when the expression mentions any `Post(·)` reference.
+    pub fn mentions_post(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let HExpr::Attr {
+                temporal: Some(Temporal::Post),
+                ..
+            } = e
+            {
+                found = true;
+            }
+        });
+        found
+    }
+
+    fn walk(&self, f: &mut impl FnMut(&HExpr)) {
+        f(self);
+        match self {
+            HExpr::Not(e) => e.walk(f),
+            HExpr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            HExpr::InList { expr, .. } => expr.walk(f),
+            HExpr::Attr { .. } | HExpr::Lit(_) => {}
+        }
+    }
+}
+
+impl fmt::Display for HExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HExpr::Attr { temporal, name } => match temporal {
+                Some(t) => write!(f, "{t}({name})"),
+                None => write!(f, "{name}"),
+            },
+            HExpr::Lit(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            HExpr::Lit(v) => write!(f, "{v}"),
+            HExpr::Not(e) => write!(f, "Not ({e})"),
+            HExpr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            HExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let vals: Vec<String> = list
+                    .iter()
+                    .map(|v| match v {
+                        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+                        other => other.to_string(),
+                    })
+                    .collect();
+                let kw = if *negated { "Not In" } else { "In" };
+                write!(f, "({expr} {kw} ({}))", vals.join(", "))
+            }
+        }
+    }
+}
+
+/// One item of the `Select` list inside a `Use` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// Plain column (optionally aliased).
+    Column {
+        /// Source column.
+        name: QualifiedName,
+        /// Output alias.
+        alias: Option<String>,
+    },
+    /// Aggregated column (`Avg(T2.Rating) As Rtng`).
+    Aggregate {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Aggregated column.
+        arg: QualifiedName,
+        /// Output alias (required by the paper's syntax).
+        alias: String,
+    },
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name.
+    pub table: String,
+    /// Alias, if given.
+    pub alias: Option<String>,
+}
+
+/// A `Where` conjunct in the `Use` select: either an equi-join between two
+/// qualified columns or a literal filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UseCondition {
+    /// `T1.PID = T2.PID`.
+    Join(QualifiedName, QualifiedName),
+    /// `T1.Category = 'Laptop'` (restricted filter form).
+    Filter {
+        /// Filtered column.
+        column: QualifiedName,
+        /// Comparison operator.
+        op: HOp,
+        /// Literal operand.
+        value: Value,
+    },
+}
+
+/// The SQL query inside a `Use (...)` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// `From` tables.
+    pub from: Vec<TableRef>,
+    /// `Where` conjuncts.
+    pub conditions: Vec<UseCondition>,
+    /// `Group By` columns.
+    pub group_by: Vec<QualifiedName>,
+}
+
+/// The `Use` operator: either a bare table or an embedded select.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UseClause {
+    /// `Use Review`.
+    Table(String),
+    /// `Use (Select … )`.
+    Select(SelectStmt),
+}
+
+/// Update function (Definition 2's `f`; §3.1 restricts to these forms).
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateFunc {
+    /// `Update(B) = const`.
+    Set(Value),
+    /// `Update(B) = const × Pre(B)`.
+    Scale(f64),
+    /// `Update(B) = const + Pre(B)`.
+    Shift(f64),
+}
+
+impl fmt::Display for UpdateFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateFunc::Set(Value::Str(s)) => write!(f, "'{s}'"),
+            UpdateFunc::Set(v) => write!(f, "{v}"),
+            UpdateFunc::Scale(c) => write!(f, "{c} * Pre(·)"),
+            UpdateFunc::Shift(c) => write!(f, "{c} + Pre(·)"),
+        }
+    }
+}
+
+/// One `Update(B) = f` specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateSpec {
+    /// Updated attribute.
+    pub attr: String,
+    /// Update function.
+    pub func: UpdateFunc,
+}
+
+/// Argument of the `Output` aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutputArg {
+    /// `Count(*)`.
+    Star,
+    /// Aggregate over an expression (`Avg(Post(Rtng))`,
+    /// `Count(Credit = 'Good')`).
+    Expr(HExpr),
+}
+
+/// The `Output` operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputSpec {
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Aggregated argument.
+    pub arg: OutputArg,
+}
+
+/// A complete probabilistic what-if query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WhatIfQuery {
+    /// `Use` operator (required).
+    pub use_clause: UseClause,
+    /// `When` predicate (optional; `None` = all tuples).
+    pub when: Option<HExpr>,
+    /// `Update` specifications (≥ 1; multiple connected by `And`).
+    pub updates: Vec<UpdateSpec>,
+    /// `Output` operator (required).
+    pub output: OutputSpec,
+    /// `For` predicate (optional).
+    pub for_clause: Option<HExpr>,
+}
+
+/// Objective direction of a how-to query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectiveDirection {
+    /// `ToMaximize`.
+    Maximize,
+    /// `ToMinimize`.
+    Minimize,
+}
+
+/// `ToMaximize Avg(Post(Rtng))` or `ToMaximize Count(Post(Credit) = 'Good')`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectiveSpec {
+    /// Direction.
+    pub direction: ObjectiveDirection,
+    /// Aggregate function.
+    pub agg: AggFunc,
+    /// Output attribute (always a `Post` reference).
+    pub attr: String,
+    /// Optional comparison turning the aggregate argument into a predicate
+    /// (used with `Count` to maximize e.g. the number of good-credit
+    /// individuals).
+    pub predicate: Option<(HOp, Value)>,
+}
+
+/// One `Limit` constraint (paper §4.1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LimitConstraint {
+    /// `lo ≤ Post(A)` and/or `Post(A) ≤ hi`.
+    Range {
+        /// Constrained attribute.
+        attr: String,
+        /// Lower bound, if any.
+        lo: Option<f64>,
+        /// Upper bound, if any.
+        hi: Option<f64>,
+    },
+    /// `Post(A) In (v1, v2, …)`.
+    InSet {
+        /// Constrained attribute.
+        attr: String,
+        /// Permitted values.
+        values: Vec<Value>,
+    },
+    /// `L1(Pre(A), Post(A)) ≤ bound`.
+    L1 {
+        /// Constrained attribute.
+        attr: String,
+        /// Maximum normalized L1 distance.
+        bound: f64,
+    },
+}
+
+/// A complete probabilistic how-to query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HowToQuery {
+    /// `Use` operator (required).
+    pub use_clause: UseClause,
+    /// `When` predicate (optional).
+    pub when: Option<HExpr>,
+    /// `HowToUpdate` attribute list (≥ 1).
+    pub update_attrs: Vec<String>,
+    /// `Limit` constraints.
+    pub limits: Vec<LimitConstraint>,
+    /// `ToMaximize` / `ToMinimize` objective (required).
+    pub objective: ObjectiveSpec,
+    /// `For` predicate (optional).
+    pub for_clause: Option<HExpr>,
+}
+
+/// Any hypothetical query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HypotheticalQuery {
+    /// What-if (§3).
+    WhatIf(WhatIfQuery),
+    /// How-to (§4).
+    HowTo(HowToQuery),
+}
+
+impl HypotheticalQuery {
+    /// The `Use` clause of either variant.
+    pub fn use_clause(&self) -> &UseClause {
+        match self {
+            HypotheticalQuery::WhatIf(q) => &q.use_clause,
+            HypotheticalQuery::HowTo(q) => &q.use_clause,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hexpr_builders_and_attrs() {
+        let e = HExpr::pre("Brand")
+            .and(HExpr::binary(HOp::Gt, HExpr::post("Senti"), HExpr::lit(0.5)));
+        let attrs = e.attrs_with_default(Temporal::Pre);
+        assert_eq!(
+            attrs,
+            vec![
+                (Temporal::Pre, "Brand".to_string()),
+                (Temporal::Post, "Senti".to_string())
+            ]
+        );
+        assert!(e.mentions_post());
+        assert!(!HExpr::attr("x").mentions_post());
+    }
+
+    #[test]
+    fn default_temporal_resolution() {
+        let e = HExpr::binary(HOp::Eq, HExpr::attr("Brand"), HExpr::lit("Asus"));
+        let pre = e.attrs_with_default(Temporal::Pre);
+        assert_eq!(pre[0].0, Temporal::Pre);
+        let post = e.attrs_with_default(Temporal::Post);
+        assert_eq!(post[0].0, Temporal::Post);
+    }
+
+    #[test]
+    fn display_round_readable() {
+        let e = HExpr::binary(HOp::Gt, HExpr::post("Senti"), HExpr::lit(0.5));
+        assert_eq!(e.to_string(), "(Post(Senti) > 0.5)");
+        let e = HExpr::InList {
+            expr: Box::new(HExpr::attr("Color")),
+            list: vec!["Red".into(), "Blue".into()],
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "(Color In ('Red', 'Blue'))");
+    }
+}

@@ -1,0 +1,249 @@
+//! Rendering hypothetical queries back to query text, such that
+//! `parse(render(q)) == q` (round-trip property, tested below and in the
+//! crate's property tests).
+
+use std::fmt;
+
+use hyper_storage::Value;
+
+use crate::ast::*;
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Null => "NULL".to_string(),
+        other => other.to_string(),
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectItem::Column { name, alias } => match alias {
+                Some(a) => write!(f, "{name} As {a}"),
+                None => write!(f, "{name}"),
+            },
+            SelectItem::Aggregate { func, arg, alias } => {
+                write!(f, "{func}({arg}) As {alias}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.alias {
+            Some(a) => write!(f, "{} As {a}", self.table),
+            None => write!(f, "{}", self.table),
+        }
+    }
+}
+
+impl fmt::Display for UseCondition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UseCondition::Join(l, r) => write!(f, "{l} = {r}"),
+            UseCondition::Filter { column, op, value } => {
+                write!(f, "{column} {} {}", op_symbol(*op), fmt_value(value))
+            }
+        }
+    }
+}
+
+fn op_symbol(op: HOp) -> &'static str {
+    match op {
+        HOp::Eq => "=",
+        HOp::Ne => "<>",
+        HOp::Lt => "<",
+        HOp::Le => "<=",
+        HOp::Gt => ">",
+        HOp::Ge => ">=",
+        HOp::And => "And",
+        HOp::Or => "Or",
+        HOp::Add => "+",
+        HOp::Sub => "-",
+        HOp::Mul => "*",
+        HOp::Div => "/",
+    }
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let items: Vec<String> = self.items.iter().map(|i| i.to_string()).collect();
+        let from: Vec<String> = self.from.iter().map(|t| t.to_string()).collect();
+        write!(f, "Select {} From {}", items.join(", "), from.join(", "))?;
+        if !self.conditions.is_empty() {
+            let conds: Vec<String> = self.conditions.iter().map(|c| c.to_string()).collect();
+            write!(f, " Where {}", conds.join(" And "))?;
+        }
+        if !self.group_by.is_empty() {
+            let cols: Vec<String> = self.group_by.iter().map(|g| g.to_string()).collect();
+            write!(f, " Group By {}", cols.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for UseClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UseClause::Table(t) => write!(f, "Use {t}"),
+            UseClause::Select(s) => write!(f, "Use ({s})"),
+        }
+    }
+}
+
+impl fmt::Display for UpdateSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.func {
+            UpdateFunc::Set(v) => write!(f, "Update({}) = {}", self.attr, fmt_value(v)),
+            UpdateFunc::Scale(c) => write!(f, "Update({a}) = {c} * Pre({a})", a = self.attr),
+            UpdateFunc::Shift(c) => write!(f, "Update({a}) = {c} + Pre({a})", a = self.attr),
+        }
+    }
+}
+
+impl fmt::Display for OutputSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.arg {
+            OutputArg::Star => write!(f, "Output {}(*)", self.agg),
+            OutputArg::Expr(e) => write!(f, "Output {}({e})", self.agg),
+        }
+    }
+}
+
+impl fmt::Display for WhatIfQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.use_clause)?;
+        if let Some(w) = &self.when {
+            write!(f, " When {w}")?;
+        }
+        let updates: Vec<String> = self.updates.iter().map(|u| u.to_string()).collect();
+        write!(f, " {}", updates.join(" And "))?;
+        write!(f, " {}", self.output)?;
+        if let Some(fc) = &self.for_clause {
+            write!(f, " For {fc}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LimitConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitConstraint::Range { attr, lo, hi } => match (lo, hi) {
+                (Some(l), Some(h)) => write!(f, "{l} <= Post({attr}) <= {h}"),
+                (Some(l), None) => write!(f, "Post({attr}) >= {l}"),
+                (None, Some(h)) => write!(f, "Post({attr}) <= {h}"),
+                (None, None) => write!(f, "Post({attr}) >= 0"),
+            },
+            LimitConstraint::InSet { attr, values } => {
+                let vals: Vec<String> = values.iter().map(fmt_value).collect();
+                write!(f, "Post({attr}) In ({})", vals.join(", "))
+            }
+            LimitConstraint::L1 { attr, bound } => {
+                write!(f, "L1(Pre({attr}), Post({attr})) <= {bound}")
+            }
+        }
+    }
+}
+
+impl fmt::Display for ObjectiveSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kw = match self.direction {
+            ObjectiveDirection::Maximize => "ToMaximize",
+            ObjectiveDirection::Minimize => "ToMinimize",
+        };
+        match &self.predicate {
+            Some((op, v)) => write!(
+                f,
+                "{kw} {}(Post({}) {} {})",
+                self.agg,
+                self.attr,
+                op_symbol(*op),
+                fmt_value(v)
+            ),
+            None => write!(f, "{kw} {}(Post({}))", self.agg, self.attr),
+        }
+    }
+}
+
+impl fmt::Display for HowToQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.use_clause)?;
+        if let Some(w) = &self.when {
+            write!(f, " When {w}")?;
+        }
+        write!(f, " HowToUpdate {}", self.update_attrs.join(", "))?;
+        if !self.limits.is_empty() {
+            let limits: Vec<String> = self.limits.iter().map(|l| l.to_string()).collect();
+            write!(f, " Limit {}", limits.join(" And "))?;
+        }
+        write!(f, " {}", self.objective)?;
+        if let Some(fc) = &self.for_clause {
+            write!(f, " For {fc}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for HypotheticalQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypotheticalQuery::WhatIf(q) => write!(f, "{q}"),
+            HypotheticalQuery::HowTo(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    fn round_trip(text: &str) {
+        let q1 = parse_query(text).unwrap();
+        let rendered = q1.to_string();
+        let q2 = parse_query(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse of `{rendered}` failed: {e}"));
+        assert_eq!(q1, q2, "round trip changed the AST:\n{rendered}");
+    }
+
+    #[test]
+    fn whatif_round_trips() {
+        round_trip("Use Product When Brand = 'Asus' Update(Price) = 1.1 * Pre(Price) Output Avg(Post(Rtng)) For Pre(Category) = 'Laptop'");
+        round_trip("Use D Update(B) = 500 Output Count(*)");
+        round_trip("Use D Update(B) = 'Red' And Update(C) = 2 + Pre(C) Output Sum(Post(Y)) For A In (1, 2, 3)");
+        round_trip("Use D Update(B) = -3.5 Output Count(Post(Y) > 0.5) For Not (A = 1) Or B <> 2");
+    }
+
+    #[test]
+    fn howto_round_trips() {
+        round_trip(
+            "Use P When Brand = 'Asus' HowToUpdate Price, Color \
+             Limit 500 <= Post(Price) <= 800 And L1(Pre(Price), Post(Price)) <= 400 \
+             ToMaximize Avg(Post(Rtng)) For Pre(Category) = 'Laptop'",
+        );
+        round_trip("Use D HowToUpdate X ToMinimize Sum(Post(Cost))");
+        round_trip(
+            "Use D HowToUpdate X Limit Post(X) In ('a', 'b') \
+             ToMaximize Count(Post(credit) = 'Good')",
+        );
+    }
+
+    #[test]
+    fn select_round_trips() {
+        round_trip(
+            "Use (Select T1.PID, T1.Brand, Avg(T2.Rating) As Rtng \
+              From Product As T1, Review As T2 \
+              Where T1.PID = T2.PID And T1.Price < 700 \
+              Group By T1.PID, T1.Brand) \
+             Update(Price) = 1 Output Avg(Post(Rtng))",
+        );
+    }
+
+    #[test]
+    fn string_escaping_round_trips() {
+        round_trip("Use D Update(B) = 'it''s' Output Count(Post(Y) = 'a''b')");
+    }
+}

@@ -1,0 +1,41 @@
+//! Error type for the query-language subsystem.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing or validating hypothetical queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Lexical error with byte offset.
+    Lex {
+        /// Byte position in the input.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parse error with token position.
+    Parse {
+        /// Index of the offending token.
+        pos: usize,
+        /// Description.
+        message: String,
+    },
+    /// Semantic validation error.
+    Validation(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { pos, message } => write!(f, "lex error at byte {pos}: {message}"),
+            QueryError::Parse { pos, message } => {
+                write!(f, "parse error at token {pos}: {message}")
+            }
+            QueryError::Validation(m) => write!(f, "validation error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

@@ -1,0 +1,253 @@
+//! Hand-written lexer for the extended SQL syntax.
+
+use crate::error::{QueryError, Result};
+use crate::token::{Keyword, Token};
+
+/// Tokenize `input` into a vector of tokens.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' if i + 1 >= bytes.len() || !(bytes[i + 1] as char).is_ascii_digit() => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(QueryError::Lex {
+                            pos: i,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    let cj = bytes[j] as char;
+                    if cj == quote {
+                        // Doubled quote = escaped quote.
+                        if j + 1 < bytes.len() && bytes[j + 1] as char == quote {
+                            s.push(quote);
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(cj);
+                    j += 1;
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_digit() {
+                        j += 1;
+                    } else if cj == '.' && !seen_dot && !seen_exp {
+                        seen_dot = true;
+                        j += 1;
+                    } else if (cj == 'e' || cj == 'E')
+                        && !seen_exp
+                        && j > start
+                        && j + 1 < bytes.len()
+                        && ((bytes[j + 1] as char).is_ascii_digit()
+                            || bytes[j + 1] == b'+'
+                            || bytes[j + 1] == b'-')
+                    {
+                        seen_exp = true;
+                        j += 2; // consume e and sign/digit
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..j];
+                let n: f64 = text.parse().map_err(|_| QueryError::Lex {
+                    pos: start,
+                    message: format!("bad number `{text}`"),
+                })?;
+                tokens.push(Token::Number(n));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_alphanumeric() || cj == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..j];
+                match Keyword::parse(word) {
+                    Some(kw) => tokens.push(Token::Keyword(kw)),
+                    None => tokens.push(Token::Ident(word.to_string())),
+                }
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    pos: i,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let t = tokenize("use USE Use uSe").unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.iter().all(|t| *t == Token::Keyword(Keyword::Use)));
+    }
+
+    #[test]
+    fn numbers_strings_idents() {
+        let t = tokenize("price 1.1 'Asus' 42 \"x\" 1e3 0.5e-2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("price".into()),
+                Token::Number(1.1),
+                Token::Str("Asus".into()),
+                Token::Number(42.0),
+                Token::Str("x".into()),
+                Token::Number(1000.0),
+                Token::Number(0.005),
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        let t = tokenize("<= >= <> != < > = + - * / ( ) , .").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_and_comments() {
+        let t = tokenize("'it''s' -- comment here\n 'next'").unwrap();
+        assert_eq!(t, vec![Token::Str("it's".into()), Token::Str("next".into())]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match tokenize("a ; b").unwrap_err() {
+            QueryError::Lex { pos, .. } => assert_eq!(pos, 2),
+            e => panic!("unexpected {e}"),
+        }
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn qualified_names_tokenize_with_dot() {
+        let t = tokenize("T1.Price").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("T1".into()),
+                Token::Dot,
+                Token::Ident("Price".into())
+            ]
+        );
+    }
+}

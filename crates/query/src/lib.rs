@@ -1,0 +1,38 @@
+//! # hyper-query
+//!
+//! The declarative language of HypeR (paper §3.1, §4.1): standard SQL
+//! extended with `Use / When / Update / Output / For` for probabilistic
+//! what-if queries and `Use / When / HowToUpdate / Limit / ToMaximize /
+//! ToMinimize / For` for how-to queries, including `Pre(A)` / `Post(A)`
+//! temporal attribute references and the `L1` update-cost operator.
+//!
+//! ```
+//! use hyper_query::{parse_query, HypotheticalQuery};
+//!
+//! let q = parse_query(
+//!     "Use Product When Brand = 'Asus' \
+//!      Update(Price) = 1.1 * Pre(Price) \
+//!      Output Avg(Post(Rating)) \
+//!      For Pre(Category) = 'Laptop'",
+//! ).unwrap();
+//! assert!(matches!(q, HypotheticalQuery::WhatIf(_)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+pub mod validate;
+
+pub use ast::{
+    HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection,
+    ObjectiveSpec, OutputArg, OutputSpec, QualifiedName, SelectItem, SelectStmt, TableRef,
+    Temporal, UpdateFunc, UpdateSpec, UseClause, UseCondition, WhatIfQuery,
+};
+pub use error::{QueryError, Result};
+pub use parser::{parse_query, parse_select};
+pub use validate::{validate, validate_howto, validate_whatif};

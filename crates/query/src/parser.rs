@@ -1,0 +1,1024 @@
+//! Recursive-descent parser for the extended SQL syntax.
+//!
+//! Grammar (paper Figures 4, 5, 7):
+//!
+//! ```text
+//! query    := USE use_body rest
+//! use_body := IDENT | '(' select ')'
+//! rest     := [WHEN pred] whatif_rest | [WHEN pred] howto_rest
+//! whatif_rest := UPDATE '(' IDENT ')' '=' updfn (AND UPDATE '(' IDENT ')' '=' updfn)*
+//!                OUTPUT aggfn '(' ('*' | pred_or_attr) ')' [FOR pred]
+//! howto_rest  := HOWTOUPDATE IDENT (',' IDENT)* [LIMIT limit (AND limit)*]
+//!                (TOMAXIMIZE | TOMINIMIZE) aggfn '(' POST '(' IDENT ')' ')' [FOR pred]
+//! ```
+
+use hyper_storage::{AggFunc, Value};
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+use crate::lexer::tokenize;
+use crate::token::{Keyword, Token};
+
+/// Parse a complete hypothetical query.
+pub fn parse_query(input: &str) -> Result<HypotheticalQuery> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse just a `Use (...)` select statement (useful for tests/tools).
+pub fn parse_select(input: &str) -> Result<SelectStmt> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword(Keyword::Select)?;
+    let s = p.parse_select_body()?;
+    p.expect_eof()?;
+    Ok(s)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+/// Keywords that terminate a clause-level predicate.
+const CLAUSE_STARTERS: &[Keyword] = &[
+    Keyword::Update,
+    Keyword::Output,
+    Keyword::For,
+    Keyword::HowToUpdate,
+    Keyword::Limit,
+    Keyword::ToMaximize,
+    Keyword::ToMinimize,
+];
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, k: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + k)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T> {
+        Err(QueryError::Parse {
+            pos: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        match self.peek() {
+            Some(tok) if tok == t => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(tok) => {
+                let tok = tok.clone();
+                self.err(format!("expected `{t}`, found `{tok}`"))
+            }
+            None => self.err(format!("expected `{t}`, found end of input")),
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword) -> Result<()> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek() == Some(&Token::Keyword(k)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found `{t}`"))
+            }
+            None => self.err("expected identifier, found end of input"),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(n),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Number(n)) => Ok(-n),
+                _ => self.err("expected number after `-`"),
+            },
+            Some(t) => {
+                self.pos -= 1;
+                self.err(format!("expected number, found `{t}`"))
+            }
+            None => self.err("expected number, found end of input"),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err(format!(
+                "unexpected trailing input starting at `{}`",
+                self.tokens[self.pos]
+            ))
+        }
+    }
+
+    // ---- top level ----------------------------------------------------
+
+    fn parse_query(&mut self) -> Result<HypotheticalQuery> {
+        self.expect_keyword(Keyword::Use)?;
+        let use_clause = self.parse_use_body()?;
+        let when = if self.eat_keyword(Keyword::When) {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Update)) => {
+                let q = self.parse_whatif_rest(use_clause, when)?;
+                Ok(HypotheticalQuery::WhatIf(q))
+            }
+            Some(Token::Keyword(Keyword::HowToUpdate)) => {
+                let q = self.parse_howto_rest(use_clause, when)?;
+                Ok(HypotheticalQuery::HowTo(q))
+            }
+            Some(t) => {
+                let t = t.clone();
+                self.err(format!("expected Update or HowToUpdate, found `{t}`"))
+            }
+            None => self.err("expected Update or HowToUpdate, found end of input"),
+        }
+    }
+
+    fn parse_use_body(&mut self) -> Result<UseClause> {
+        match self.peek() {
+            Some(Token::Ident(_)) => Ok(UseClause::Table(self.expect_ident()?)),
+            Some(Token::LParen) => {
+                self.advance();
+                self.expect_keyword(Keyword::Select)?;
+                let stmt = self.parse_select_body()?;
+                self.expect(&Token::RParen)?;
+                Ok(UseClause::Select(stmt))
+            }
+            _ => self.err("expected table name or (Select …) after Use"),
+        }
+    }
+
+    // ---- Use select ----------------------------------------------------
+
+    fn parse_select_body(&mut self) -> Result<SelectStmt> {
+        let mut items = vec![self.parse_select_item()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword(Keyword::From)?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            from.push(self.parse_table_ref()?);
+        }
+        let mut conditions = Vec::new();
+        if self.eat_keyword(Keyword::Where) {
+            conditions.push(self.parse_use_condition()?);
+            while self.eat_keyword(Keyword::And) {
+                conditions.push(self.parse_use_condition()?);
+            }
+        }
+        let mut group_by = Vec::new();
+        if self.eat_keyword(Keyword::Group) {
+            self.expect_keyword(Keyword::By)?;
+            group_by.push(self.parse_qualified()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.advance();
+                group_by.push(self.parse_qualified()?);
+            }
+        }
+        Ok(SelectStmt {
+            items,
+            from,
+            conditions,
+            group_by,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        // Aggregate form: IDENT '(' qualified ')' AS IDENT where IDENT is an
+        // aggregate function name.
+        if let (Some(Token::Ident(name)), Some(Token::LParen)) = (self.peek(), self.peek_at(1)) {
+            if let Some(func) = AggFunc::parse(name) {
+                self.advance(); // fn name
+                self.advance(); // (
+                let arg = self.parse_qualified()?;
+                self.expect(&Token::RParen)?;
+                self.expect_keyword(Keyword::As)?;
+                let alias = self.expect_ident()?;
+                return Ok(SelectItem::Aggregate { func, arg, alias });
+            }
+        }
+        let name = self.parse_qualified()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Column { name, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef> {
+        let table = self.expect_ident()?;
+        let alias = if self.eat_keyword(Keyword::As) {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    fn parse_qualified(&mut self) -> Result<QualifiedName> {
+        let first = self.expect_ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.advance();
+            let second = self.expect_ident()?;
+            Ok(QualifiedName::qualified(first, second))
+        } else {
+            Ok(QualifiedName::bare(first))
+        }
+    }
+
+    fn parse_use_condition(&mut self) -> Result<UseCondition> {
+        let left = self.parse_qualified()?;
+        let op = match self.advance() {
+            Some(Token::Eq) => HOp::Eq,
+            Some(Token::Ne) => HOp::Ne,
+            Some(Token::Lt) => HOp::Lt,
+            Some(Token::Le) => HOp::Le,
+            Some(Token::Gt) => HOp::Gt,
+            Some(Token::Ge) => HOp::Ge,
+            other => {
+                return self.err(format!(
+                    "expected comparison in Where, found `{}`",
+                    other.map_or("eof".to_string(), |t| t.to_string())
+                ))
+            }
+        };
+        // Join: rhs is another qualified column; Filter: rhs is a literal.
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                if op != HOp::Eq {
+                    return self.err("join conditions must use `=`");
+                }
+                let right = self.parse_qualified()?;
+                Ok(UseCondition::Join(left, right))
+            }
+            _ => {
+                let value = self.parse_literal()?;
+                Ok(UseCondition::Filter {
+                    column: left,
+                    op,
+                    value,
+                })
+            }
+        }
+    }
+
+    fn parse_literal(&mut self) -> Result<Value> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(number_value(n)),
+            Some(Token::Minus) => match self.advance() {
+                Some(Token::Number(n)) => Ok(number_value(-n)),
+                _ => self.err("expected number after `-`"),
+            },
+            Some(Token::Str(s)) => Ok(Value::str(s)),
+            Some(Token::Keyword(Keyword::True)) => Ok(Value::Bool(true)),
+            Some(Token::Keyword(Keyword::False)) => Ok(Value::Bool(false)),
+            Some(Token::Keyword(Keyword::Null)) => Ok(Value::Null),
+            other => self.err(format!(
+                "expected literal, found `{}`",
+                other.map_or("eof".to_string(), |t| t.to_string())
+            )),
+        }
+    }
+
+    // ---- what-if -------------------------------------------------------
+
+    fn parse_whatif_rest(
+        &mut self,
+        use_clause: UseClause,
+        when: Option<HExpr>,
+    ) -> Result<WhatIfQuery> {
+        let mut updates = vec![self.parse_update_spec()?];
+        while self.peek() == Some(&Token::Keyword(Keyword::And))
+            && self.peek_at(1) == Some(&Token::Keyword(Keyword::Update))
+        {
+            self.advance(); // And
+            updates.push(self.parse_update_spec()?);
+        }
+        self.expect_keyword(Keyword::Output)?;
+        let output = self.parse_output_spec()?;
+        let for_clause = if self.eat_keyword(Keyword::For) {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        Ok(WhatIfQuery {
+            use_clause,
+            when,
+            updates,
+            output,
+            for_clause,
+        })
+    }
+
+    fn parse_update_spec(&mut self) -> Result<UpdateSpec> {
+        self.expect_keyword(Keyword::Update)?;
+        self.expect(&Token::LParen)?;
+        let attr = self.expect_ident()?;
+        self.expect(&Token::RParen)?;
+        self.expect(&Token::Eq)?;
+        let func = self.parse_update_func(&attr)?;
+        Ok(UpdateSpec { attr, func })
+    }
+
+    /// `const`, `const * Pre(B)`, `const + Pre(B)`, or the reversed
+    /// `Pre(B) * const` / `Pre(B) + const` forms.
+    fn parse_update_func(&mut self, attr: &str) -> Result<UpdateFunc> {
+        if self.peek() == Some(&Token::Keyword(Keyword::Pre)) {
+            let name = self.parse_pre_ref()?;
+            self.check_update_pre(attr, &name)?;
+            return match self.advance() {
+                Some(Token::Star) => Ok(UpdateFunc::Scale(self.expect_number()?)),
+                Some(Token::Plus) => Ok(UpdateFunc::Shift(self.expect_number()?)),
+                Some(Token::Minus) => Ok(UpdateFunc::Shift(-self.expect_number()?)),
+                _ => self.err("expected `*`, `+` or `-` after Pre(attr) in Update"),
+            };
+        }
+        // Try: number followed by * or + Pre(attr).
+        let save = self.pos;
+        if let Ok(n) = self.expect_number() {
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.advance();
+                    let name = self.parse_pre_ref()?;
+                    self.check_update_pre(attr, &name)?;
+                    return Ok(UpdateFunc::Scale(n));
+                }
+                Some(Token::Plus) => {
+                    self.advance();
+                    let name = self.parse_pre_ref()?;
+                    self.check_update_pre(attr, &name)?;
+                    return Ok(UpdateFunc::Shift(n));
+                }
+                _ => return Ok(UpdateFunc::Set(number_value(n))),
+            }
+        }
+        self.pos = save;
+        Ok(UpdateFunc::Set(self.parse_literal()?))
+    }
+
+    fn parse_pre_ref(&mut self) -> Result<String> {
+        self.expect_keyword(Keyword::Pre)?;
+        self.expect(&Token::LParen)?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::RParen)?;
+        Ok(name)
+    }
+
+    fn check_update_pre(&self, attr: &str, pre_name: &str) -> Result<()> {
+        if !attr.eq_ignore_ascii_case(pre_name) {
+            return Err(QueryError::Parse {
+                pos: self.pos,
+                message: format!(
+                    "Update({attr}) may only reference Pre({attr}), found Pre({pre_name})"
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn parse_output_spec(&mut self) -> Result<OutputSpec> {
+        let fname = self.expect_ident()?;
+        let agg = AggFunc::parse(&fname).ok_or_else(|| QueryError::Parse {
+            pos: self.pos,
+            message: format!("unknown aggregate `{fname}`"),
+        })?;
+        self.expect(&Token::LParen)?;
+        let arg = if self.peek() == Some(&Token::Star) {
+            self.advance();
+            OutputArg::Star
+        } else {
+            OutputArg::Expr(self.parse_pred()?)
+        };
+        self.expect(&Token::RParen)?;
+        Ok(OutputSpec { agg, arg })
+    }
+
+    // ---- how-to --------------------------------------------------------
+
+    fn parse_howto_rest(
+        &mut self,
+        use_clause: UseClause,
+        when: Option<HExpr>,
+    ) -> Result<HowToQuery> {
+        self.expect_keyword(Keyword::HowToUpdate)?;
+        let mut update_attrs = vec![self.expect_ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            update_attrs.push(self.expect_ident()?);
+        }
+        let mut limits = Vec::new();
+        if self.eat_keyword(Keyword::Limit) {
+            limits.push(self.parse_limit()?);
+            while self.peek() == Some(&Token::Keyword(Keyword::And))
+                && !self.next_is_clause_start(1)
+            {
+                self.advance();
+                limits.push(self.parse_limit()?);
+            }
+        }
+        let direction = match self.advance() {
+            Some(Token::Keyword(Keyword::ToMaximize)) => ObjectiveDirection::Maximize,
+            Some(Token::Keyword(Keyword::ToMinimize)) => ObjectiveDirection::Minimize,
+            other => {
+                return self.err(format!(
+                    "expected ToMaximize or ToMinimize, found `{}`",
+                    other.map_or("eof".to_string(), |t| t.to_string())
+                ))
+            }
+        };
+        let fname = self.expect_ident()?;
+        let agg = AggFunc::parse(&fname).ok_or_else(|| QueryError::Parse {
+            pos: self.pos,
+            message: format!("unknown aggregate `{fname}`"),
+        })?;
+        self.expect(&Token::LParen)?;
+        // Post(attr) — Post optional for convenience, attr alone accepted.
+        let attr = if self.peek() == Some(&Token::Keyword(Keyword::Post)) {
+            self.advance();
+            self.expect(&Token::LParen)?;
+            let a = self.expect_ident()?;
+            self.expect(&Token::RParen)?;
+            a
+        } else {
+            self.expect_ident()?
+        };
+        // Optional predicate: `Count(Post(Credit) = 'Good')`.
+        let predicate = match self.peek() {
+            Some(Token::Eq) | Some(Token::Ne) | Some(Token::Lt) | Some(Token::Le)
+            | Some(Token::Gt) | Some(Token::Ge) => {
+                let op = match self.advance() {
+                    Some(Token::Eq) => HOp::Eq,
+                    Some(Token::Ne) => HOp::Ne,
+                    Some(Token::Lt) => HOp::Lt,
+                    Some(Token::Le) => HOp::Le,
+                    Some(Token::Gt) => HOp::Gt,
+                    Some(Token::Ge) => HOp::Ge,
+                    _ => unreachable!("peeked above"),
+                };
+                Some((op, self.parse_literal()?))
+            }
+            _ => None,
+        };
+        self.expect(&Token::RParen)?;
+        let for_clause = if self.eat_keyword(Keyword::For) {
+            Some(self.parse_pred()?)
+        } else {
+            None
+        };
+        Ok(HowToQuery {
+            use_clause,
+            when,
+            update_attrs,
+            limits,
+            objective: ObjectiveSpec {
+                direction,
+                agg,
+                attr,
+                predicate,
+            },
+            for_clause,
+        })
+    }
+
+    fn parse_limit(&mut self) -> Result<LimitConstraint> {
+        match self.peek() {
+            // `L1(Pre(A), Post(A)) <= bound`
+            Some(Token::Keyword(Keyword::L1)) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let pre = self.parse_pre_ref()?;
+                self.expect(&Token::Comma)?;
+                self.expect_keyword(Keyword::Post)?;
+                self.expect(&Token::LParen)?;
+                let post = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                self.expect(&Token::RParen)?;
+                if !pre.eq_ignore_ascii_case(&post) {
+                    return self.err(format!("L1 over mismatched attributes {pre}/{post}"));
+                }
+                self.expect(&Token::Le)?;
+                let bound = self.expect_number()?;
+                Ok(LimitConstraint::L1 { attr: pre, bound })
+            }
+            // `lo <= Post(A) [<= hi]`
+            Some(Token::Number(_)) | Some(Token::Minus) => {
+                let lo = self.expect_number()?;
+                self.expect(&Token::Le)?;
+                self.expect_keyword(Keyword::Post)?;
+                self.expect(&Token::LParen)?;
+                let attr = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                let hi = if self.peek() == Some(&Token::Le) {
+                    self.advance();
+                    Some(self.expect_number()?)
+                } else {
+                    None
+                };
+                Ok(LimitConstraint::Range {
+                    attr,
+                    lo: Some(lo),
+                    hi,
+                })
+            }
+            // `Post(A) <= hi`, `Post(A) >= lo`, `Post(A) In (…)`
+            Some(Token::Keyword(Keyword::Post)) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let attr = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                match self.advance() {
+                    Some(Token::Le) => Ok(LimitConstraint::Range {
+                        attr,
+                        lo: None,
+                        hi: Some(self.expect_number()?),
+                    }),
+                    Some(Token::Ge) => Ok(LimitConstraint::Range {
+                        attr,
+                        lo: Some(self.expect_number()?),
+                        hi: None,
+                    }),
+                    Some(Token::Keyword(Keyword::In)) => {
+                        self.expect(&Token::LParen)?;
+                        let mut values = vec![self.parse_literal()?];
+                        while self.peek() == Some(&Token::Comma) {
+                            self.advance();
+                            values.push(self.parse_literal()?);
+                        }
+                        self.expect(&Token::RParen)?;
+                        Ok(LimitConstraint::InSet { attr, values })
+                    }
+                    other => self.err(format!(
+                        "expected `<=`, `>=` or In after Post({attr}), found `{}`",
+                        other.map_or("eof".to_string(), |t| t.to_string())
+                    )),
+                }
+            }
+            _ => self.err("expected Limit constraint"),
+        }
+    }
+
+    // ---- hypothetical predicates ----------------------------------------
+
+    fn next_is_clause_start(&self, k: usize) -> bool {
+        matches!(
+            self.peek_at(k),
+            Some(Token::Keyword(kw)) if CLAUSE_STARTERS.contains(kw)
+        )
+    }
+
+    fn parse_pred(&mut self) -> Result<HExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<HExpr> {
+        let mut left = self.parse_and()?;
+        while self.peek() == Some(&Token::Keyword(Keyword::Or)) && !self.next_is_clause_start(1) {
+            self.advance();
+            let right = self.parse_and()?;
+            left = HExpr::binary(HOp::Or, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<HExpr> {
+        let mut left = self.parse_not()?;
+        while self.peek() == Some(&Token::Keyword(Keyword::And)) && !self.next_is_clause_start(1) {
+            self.advance();
+            let right = self.parse_not()?;
+            left = HExpr::binary(HOp::And, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<HExpr> {
+        if self.eat_keyword(Keyword::Not) {
+            Ok(HExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<HExpr> {
+        let left = self.parse_additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(HOp::Eq),
+            Some(Token::Ne) => Some(HOp::Ne),
+            Some(Token::Lt) => Some(HOp::Lt),
+            Some(Token::Le) => Some(HOp::Le),
+            Some(Token::Gt) => Some(HOp::Gt),
+            Some(Token::Ge) => Some(HOp::Ge),
+            Some(Token::Keyword(Keyword::In)) => {
+                self.advance();
+                return self.parse_in_list(left, false);
+            }
+            Some(Token::Keyword(Keyword::Not))
+                if self.peek_at(1) == Some(&Token::Keyword(Keyword::In)) =>
+            {
+                self.advance();
+                self.advance();
+                return self.parse_in_list(left, true);
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => {
+                self.advance();
+                let right = self.parse_additive()?;
+                // Support chained comparisons `a <= x <= b` as a conjunction.
+                if matches!(op, HOp::Le | HOp::Lt)
+                    && matches!(self.peek(), Some(Token::Le) | Some(Token::Lt))
+                {
+                    let op2 = if self.peek() == Some(&Token::Le) {
+                        HOp::Le
+                    } else {
+                        HOp::Lt
+                    };
+                    self.advance();
+                    let third = self.parse_additive()?;
+                    let first = HExpr::binary(op, left, right.clone());
+                    let second = HExpr::binary(op2, right, third);
+                    return Ok(first.and(second));
+                }
+                Ok(HExpr::binary(op, left, right))
+            }
+            None => Ok(left),
+        }
+    }
+
+    fn parse_in_list(&mut self, expr: HExpr, negated: bool) -> Result<HExpr> {
+        self.expect(&Token::LParen)?;
+        let mut list = vec![self.parse_literal()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.advance();
+            list.push(self.parse_literal()?);
+        }
+        self.expect(&Token::RParen)?;
+        Ok(HExpr::InList {
+            expr: Box::new(expr),
+            list,
+            negated,
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<HExpr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => HOp::Add,
+                Some(Token::Minus) => HOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_multiplicative()?;
+            left = HExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<HExpr> {
+        let mut left = self.parse_primary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => HOp::Mul,
+                Some(Token::Slash) => HOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_primary()?;
+            left = HExpr::binary(op, left, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self) -> Result<HExpr> {
+        match self.peek() {
+            Some(Token::Keyword(Keyword::Pre)) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let name = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                Ok(HExpr::pre(name))
+            }
+            Some(Token::Keyword(Keyword::Post)) => {
+                self.advance();
+                self.expect(&Token::LParen)?;
+                let name = self.expect_ident()?;
+                self.expect(&Token::RParen)?;
+                Ok(HExpr::post(name))
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.expect_ident()?;
+                Ok(HExpr::attr(name))
+            }
+            Some(Token::LParen) => {
+                self.advance();
+                let e = self.parse_or()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Number(_))
+            | Some(Token::Minus)
+            | Some(Token::Str(_))
+            | Some(Token::Keyword(Keyword::True))
+            | Some(Token::Keyword(Keyword::False))
+            | Some(Token::Keyword(Keyword::Null)) => Ok(HExpr::Lit(self.parse_literal()?)),
+            other => {
+                let msg = format!(
+                    "expected expression, found `{}`",
+                    other.map_or("eof".to_string(), |t| t.to_string())
+                );
+                self.err(msg)
+            }
+        }
+    }
+}
+
+/// Numbers lex as f64; integral values become `Value::Int` to match column
+/// types (SQL-ish behaviour).
+fn number_value(n: f64) -> Value {
+    if n.fract() == 0.0 && n.abs() < 9e15 {
+        Value::Int(n as i64)
+    } else {
+        Value::Float(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-4 what-if query, verbatim modulo identifier spelling.
+    const FIGURE4: &str = "
+        Use RelevantView As (
+          Select T1.PID, T1.Category, T1.Price, T1.Brand,
+                 Avg(Sentiment) As Senti, Avg(T2.Rating) As Rtng
+          From Product As T1, Review As T2
+          Where T1.PID = T2.PID
+          Group By T1.PID, T1.Category, T1.Price, T1.Brand )
+        When Brand = 'Asus'
+        Update(Price) = 1.1 * Pre(Price)
+        Output Avg(Post(Rtng))
+        For Pre(Category) = 'Laptop' And Pre(Brand) = 'Asus' And Post(Senti) > 0.5";
+
+    // Our grammar drops the view-naming sugar `RelevantView As`; accept the
+    // plain parenthesized select.
+    fn figure4_text() -> String {
+        FIGURE4.replace("Use RelevantView As (", "Use (")
+    }
+
+    #[test]
+    fn parses_figure4_whatif() {
+        let q = parse_query(&figure4_text()).unwrap();
+        let HypotheticalQuery::WhatIf(q) = q else {
+            panic!("expected what-if")
+        };
+        let UseClause::Select(sel) = &q.use_clause else {
+            panic!("expected select")
+        };
+        assert_eq!(sel.items.len(), 6);
+        assert_eq!(sel.from.len(), 2);
+        assert_eq!(sel.conditions.len(), 1);
+        assert_eq!(sel.group_by.len(), 4);
+        assert_eq!(
+            q.when,
+            Some(HExpr::binary(
+                HOp::Eq,
+                HExpr::attr("Brand"),
+                HExpr::lit("Asus")
+            ))
+        );
+        assert_eq!(q.updates.len(), 1);
+        assert_eq!(q.updates[0].attr, "Price");
+        assert_eq!(q.updates[0].func, UpdateFunc::Scale(1.1));
+        assert_eq!(q.output.agg, AggFunc::Avg);
+        assert!(matches!(&q.output.arg, OutputArg::Expr(HExpr::Attr {
+            temporal: Some(Temporal::Post), name }) if name == "Rtng"));
+        let for_clause = q.for_clause.unwrap();
+        assert!(for_clause.mentions_post());
+    }
+
+    #[test]
+    fn parses_figure5_howto() {
+        let text = "
+            Use Product
+            When Brand = 'Asus' And Category = 'Laptop'
+            HowToUpdate Price, Color
+            Limit 500 <= Post(Price) <= 800 And
+                  L1(Pre(Price), Post(Price)) <= 400
+            ToMaximize Avg(Post(Rtng))
+            For (Pre(Category) = 'Laptop' Or Pre(Category) = 'DSLR Camera')
+                And Brand = 'Asus'";
+        let HypotheticalQuery::HowTo(q) = parse_query(text).unwrap() else {
+            panic!("expected how-to")
+        };
+        assert_eq!(q.update_attrs, vec!["Price", "Color"]);
+        assert_eq!(q.limits.len(), 2);
+        assert_eq!(
+            q.limits[0],
+            LimitConstraint::Range {
+                attr: "Price".into(),
+                lo: Some(500.0),
+                hi: Some(800.0)
+            }
+        );
+        assert_eq!(
+            q.limits[1],
+            LimitConstraint::L1 {
+                attr: "Price".into(),
+                bound: 400.0
+            }
+        );
+        assert_eq!(q.objective.direction, ObjectiveDirection::Maximize);
+        assert_eq!(q.objective.agg, AggFunc::Avg);
+        assert_eq!(q.objective.attr, "Rtng");
+        assert!(q.for_clause.is_some());
+    }
+
+    #[test]
+    fn parses_figure7a_german_template() {
+        // Fig 7a: Use D Update(B) = b Output Count(Credit = 'Good') For Pre(A) = a
+        let text = "Use D Update(Status) = 4
+                    Output Count(Credit = 'Good')
+                    For Pre(Age) = 30";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.updates[0].func, UpdateFunc::Set(Value::Int(4)));
+        assert_eq!(q.output.agg, AggFunc::Count);
+        let OutputArg::Expr(e) = &q.output.arg else { panic!() };
+        assert_eq!(
+            *e,
+            HExpr::binary(HOp::Eq, HExpr::attr("Credit"), HExpr::lit("Good"))
+        );
+    }
+
+    #[test]
+    fn parses_figure7b_adult_template() {
+        // Count(*) with Post condition in For.
+        let text = "Use D Update(Marital) = 'Married'
+                    Output Count(*)
+                    For Post(Income) > 50000 And Pre(Sex) = 'Female'";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.output.arg, OutputArg::Star);
+        let f = q.for_clause.unwrap();
+        assert!(f.mentions_post());
+    }
+
+    #[test]
+    fn multiple_updates_with_and() {
+        let text = "Use Product
+                    Update(Price) = 500 And Update(Color) = 'Red'
+                    Output Avg(Post(Quality))";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        assert_eq!(q.updates.len(), 2);
+        assert_eq!(q.updates[1].func, UpdateFunc::Set(Value::str("Red")));
+    }
+
+    #[test]
+    fn shift_update_forms() {
+        let q = parse_query("Use T Update(X) = 100 + Pre(X) Output Avg(Post(Y))").unwrap();
+        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        assert_eq!(q.updates[0].func, UpdateFunc::Shift(100.0));
+        let q = parse_query("Use T Update(X) = Pre(X) * 2 Output Avg(Post(Y))").unwrap();
+        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        assert_eq!(q.updates[0].func, UpdateFunc::Scale(2.0));
+        let q = parse_query("Use T Update(X) = Pre(X) - 5 Output Avg(Post(Y))").unwrap();
+        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        assert_eq!(q.updates[0].func, UpdateFunc::Shift(-5.0));
+    }
+
+    #[test]
+    fn update_pre_must_match_attr() {
+        let err =
+            parse_query("Use T Update(X) = 1.1 * Pre(Y) Output Avg(Post(Z))").unwrap_err();
+        assert!(matches!(err, QueryError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn in_set_limit_and_post_bounds() {
+        let text = "Use T HowToUpdate Color, Price
+                    Limit Post(Color) In ('Red', 'Blue') And Post(Price) >= 10
+                    ToMinimize Sum(Post(Cost))";
+        let HypotheticalQuery::HowTo(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            q.limits[0],
+            LimitConstraint::InSet {
+                attr: "Color".into(),
+                values: vec!["Red".into(), "Blue".into()]
+            }
+        );
+        assert_eq!(
+            q.limits[1],
+            LimitConstraint::Range {
+                attr: "Price".into(),
+                lo: Some(10.0),
+                hi: None
+            }
+        );
+        assert_eq!(q.objective.direction, ObjectiveDirection::Minimize);
+    }
+
+    #[test]
+    fn predicate_precedence() {
+        let text = "Use T Update(X) = 1 Output Count(*)
+                    For A = 1 Or B = 2 And C = 3";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        // AND binds tighter: A=1 OR (B=2 AND C=3).
+        let HExpr::Binary { op: HOp::Or, .. } = q.for_clause.unwrap() else {
+            panic!("OR must be at the root")
+        };
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        let text = "Use T Update(X) = 1 Output Count(*)
+                    For Pre(A) - Post(A) < 2";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        let HExpr::Binary { op: HOp::Lt, left, .. } = q.for_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(*left, HExpr::Binary { op: HOp::Sub, .. }));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("Use T Update(X) = 1 Output Count(*) garbage").is_err());
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        assert!(parse_query("Use T Update(X) = 1").is_err());
+    }
+
+    #[test]
+    fn in_predicate_with_negation() {
+        let text = "Use T Update(X) = 1 Output Count(*) For A Not In (1, 2)";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            q.for_clause.unwrap(),
+            HExpr::InList { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn chained_comparison_desugars() {
+        let text = "Use T Update(X) = 1 Output Count(*) For 1 <= Post(A) <= 5";
+        let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
+            panic!()
+        };
+        let HExpr::Binary { op: HOp::And, .. } = q.for_clause.unwrap() else {
+            panic!("chained comparison must desugar to a conjunction")
+        };
+    }
+}

@@ -1,0 +1,161 @@
+//! Tokens of the extended SQL syntax (paper §3.1, §4.1).
+
+use std::fmt;
+
+/// Keywords, case-insensitive in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Keyword {
+    /// `USE`.
+    Use,
+    /// `SELECT`.
+    Select,
+    /// `FROM`.
+    From,
+    /// `WHERE`.
+    Where,
+    /// `GROUP`.
+    Group,
+    /// `BY`.
+    By,
+    /// `AS`.
+    As,
+    /// `WHEN`.
+    When,
+    /// `UPDATE`.
+    Update,
+    /// `OUTPUT`.
+    Output,
+    /// `FOR`.
+    For,
+    /// `AND`.
+    And,
+    /// `OR`.
+    Or,
+    /// `NOT`.
+    Not,
+    /// `IN`.
+    In,
+    /// `PRE`.
+    Pre,
+    /// `POST`.
+    Post,
+    /// `HOWTOUPDATE`.
+    HowToUpdate,
+    /// `LIMIT`.
+    Limit,
+    /// `TOMAXIMIZE`.
+    ToMaximize,
+    /// `TOMINIMIZE`.
+    ToMinimize,
+    /// `L1`.
+    L1,
+    /// `TRUE`.
+    True,
+    /// `FALSE`.
+    False,
+    /// `NULL`.
+    Null,
+    /// `IS`.
+    Is,
+}
+
+impl Keyword {
+    /// Parse a keyword from a (case-insensitive) word.
+    pub fn parse(word: &str) -> Option<Keyword> {
+        Some(match word.to_ascii_uppercase().as_str() {
+            "USE" => Keyword::Use,
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "GROUP" => Keyword::Group,
+            "BY" => Keyword::By,
+            "AS" => Keyword::As,
+            "WHEN" => Keyword::When,
+            "UPDATE" => Keyword::Update,
+            "OUTPUT" => Keyword::Output,
+            "FOR" => Keyword::For,
+            "AND" => Keyword::And,
+            "OR" => Keyword::Or,
+            "NOT" => Keyword::Not,
+            "IN" => Keyword::In,
+            "PRE" => Keyword::Pre,
+            "POST" => Keyword::Post,
+            "HOWTOUPDATE" => Keyword::HowToUpdate,
+            "LIMIT" => Keyword::Limit,
+            "TOMAXIMIZE" => Keyword::ToMaximize,
+            "TOMINIMIZE" => Keyword::ToMinimize,
+            "L1" => Keyword::L1,
+            "TRUE" => Keyword::True,
+            "FALSE" => Keyword::False,
+            "NULL" => Keyword::Null,
+            "IS" => Keyword::Is,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword.
+    Keyword(Keyword),
+    /// Identifier (table, column, function name).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (single- or double-quoted).
+    Str(String),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `=`.
+    Eq,
+    /// `<>` or `!=`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+        }
+    }
+}

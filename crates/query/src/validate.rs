@@ -1,0 +1,246 @@
+//! Structural validation of hypothetical queries (the rules of §3.1/§4.1
+//! that don't need data): `When` is pre-update only, updates are distinct,
+//! `Limit` constraints refer to `HowToUpdate` attributes, and — when the
+//! relevant view's columns are known — every referenced attribute exists.
+
+use std::collections::HashSet;
+
+use crate::ast::*;
+use crate::error::{QueryError, Result};
+
+/// Validate a what-if query; `view_columns` (if provided) is the set of
+/// columns of the relevant view produced by the `Use` clause.
+pub fn validate_whatif(q: &WhatIfQuery, view_columns: Option<&[String]>) -> Result<()> {
+    if q.updates.is_empty() {
+        return Err(QueryError::Validation("what-if query has no Update".into()));
+    }
+    let mut seen = HashSet::new();
+    for u in &q.updates {
+        if !seen.insert(u.attr.to_ascii_lowercase()) {
+            return Err(QueryError::Validation(format!(
+                "attribute `{}` updated twice",
+                u.attr
+            )));
+        }
+    }
+    if let Some(w) = &q.when {
+        if w.mentions_post() {
+            return Err(QueryError::Validation(
+                "When may only reference Pre values (the update set is chosen \
+                 before the update is applied)"
+                    .into(),
+            ));
+        }
+    }
+    if let Some(cols) = view_columns {
+        let lookup: HashSet<String> = cols.iter().map(|c| c.to_ascii_lowercase()).collect();
+        let check = |name: &str, clause: &str| -> Result<()> {
+            if !lookup.contains(&name.to_ascii_lowercase()) {
+                return Err(QueryError::Validation(format!(
+                    "attribute `{name}` in {clause} is not a column of the relevant view"
+                )));
+            }
+            Ok(())
+        };
+        for u in &q.updates {
+            check(&u.attr, "Update")?;
+        }
+        if let Some(w) = &q.when {
+            for (_, a) in w.attrs_with_default(Temporal::Pre) {
+                check(&a, "When")?;
+            }
+        }
+        if let OutputArg::Expr(e) = &q.output.arg {
+            for (_, a) in e.attrs_with_default(Temporal::Post) {
+                check(&a, "Output")?;
+            }
+        }
+        if let Some(fc) = &q.for_clause {
+            for (_, a) in fc.attrs_with_default(Temporal::Pre) {
+                check(&a, "For")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate a how-to query.
+pub fn validate_howto(q: &HowToQuery, view_columns: Option<&[String]>) -> Result<()> {
+    if q.update_attrs.is_empty() {
+        return Err(QueryError::Validation(
+            "how-to query has no HowToUpdate attributes".into(),
+        ));
+    }
+    let mut seen = HashSet::new();
+    for a in &q.update_attrs {
+        if !seen.insert(a.to_ascii_lowercase()) {
+            return Err(QueryError::Validation(format!(
+                "attribute `{a}` listed twice in HowToUpdate"
+            )));
+        }
+    }
+    if let Some(w) = &q.when {
+        if w.mentions_post() {
+            return Err(QueryError::Validation(
+                "When may only reference Pre values".into(),
+            ));
+        }
+    }
+    // Limits must constrain HowToUpdate attributes and be self-consistent.
+    for l in &q.limits {
+        let attr = match l {
+            LimitConstraint::Range { attr, lo, hi } => {
+                if let (Some(lo), Some(hi)) = (lo, hi) {
+                    if lo > hi {
+                        return Err(QueryError::Validation(format!(
+                            "Limit range for `{attr}` has lower bound {lo} > upper bound {hi}"
+                        )));
+                    }
+                }
+                attr
+            }
+            LimitConstraint::InSet { attr, values } => {
+                if values.is_empty() {
+                    return Err(QueryError::Validation(format!(
+                        "Limit In-set for `{attr}` is empty"
+                    )));
+                }
+                attr
+            }
+            LimitConstraint::L1 { attr, bound } => {
+                if *bound < 0.0 {
+                    return Err(QueryError::Validation(format!(
+                        "Limit L1 bound for `{attr}` is negative"
+                    )));
+                }
+                attr
+            }
+        };
+        if !seen.contains(&attr.to_ascii_lowercase()) {
+            return Err(QueryError::Validation(format!(
+                "Limit constrains `{attr}`, which is not in HowToUpdate"
+            )));
+        }
+    }
+    if q.update_attrs
+        .iter()
+        .any(|a| a.eq_ignore_ascii_case(&q.objective.attr))
+    {
+        return Err(QueryError::Validation(format!(
+            "objective attribute `{}` cannot itself be updated",
+            q.objective.attr
+        )));
+    }
+    if let Some(cols) = view_columns {
+        let lookup: HashSet<String> = cols.iter().map(|c| c.to_ascii_lowercase()).collect();
+        let check = |name: &str, clause: &str| -> Result<()> {
+            if !lookup.contains(&name.to_ascii_lowercase()) {
+                return Err(QueryError::Validation(format!(
+                    "attribute `{name}` in {clause} is not a column of the relevant view"
+                )));
+            }
+            Ok(())
+        };
+        for a in &q.update_attrs {
+            check(a, "HowToUpdate")?;
+        }
+        check(&q.objective.attr, "ToMaximize/ToMinimize")?;
+        if let Some(w) = &q.when {
+            for (_, a) in w.attrs_with_default(Temporal::Pre) {
+                check(&a, "When")?;
+            }
+        }
+        if let Some(fc) = &q.for_clause {
+            for (_, a) in fc.attrs_with_default(Temporal::Pre) {
+                check(&a, "For")?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validate either query kind.
+pub fn validate(q: &HypotheticalQuery, view_columns: Option<&[String]>) -> Result<()> {
+    match q {
+        HypotheticalQuery::WhatIf(w) => validate_whatif(w, view_columns),
+        HypotheticalQuery::HowTo(h) => validate_howto(h, view_columns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn whatif(text: &str) -> WhatIfQuery {
+        match parse_query(text).unwrap() {
+            HypotheticalQuery::WhatIf(q) => q,
+            _ => panic!("expected what-if"),
+        }
+    }
+
+    fn howto(text: &str) -> HowToQuery {
+        match parse_query(text).unwrap() {
+            HypotheticalQuery::HowTo(q) => q,
+            _ => panic!("expected how-to"),
+        }
+    }
+
+    #[test]
+    fn when_with_post_rejected() {
+        let q = whatif(
+            "Use T When Post(A) = 1 Update(B) = 2 Output Count(*)",
+        );
+        assert!(validate_whatif(&q, None).is_err());
+    }
+
+    #[test]
+    fn duplicate_updates_rejected() {
+        let q = whatif("Use T Update(B) = 1 And Update(B) = 2 Output Count(*)");
+        assert!(validate_whatif(&q, None).is_err());
+    }
+
+    #[test]
+    fn view_column_binding() {
+        let q = whatif(
+            "Use T When Brand = 'x' Update(Price) = 1 Output Avg(Post(Rating)) For Quality > 0",
+        );
+        let cols: Vec<String> = ["Brand", "Price", "Rating", "Quality"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(validate_whatif(&q, Some(&cols)).is_ok());
+        let missing: Vec<String> = vec!["Brand".into(), "Price".into()];
+        assert!(validate_whatif(&q, Some(&missing)).is_err());
+    }
+
+    #[test]
+    fn limit_must_reference_howtoupdate_attrs() {
+        let q = howto(
+            "Use T HowToUpdate Price Limit Post(Color) In ('Red') ToMaximize Avg(Post(R))",
+        );
+        assert!(validate_howto(&q, None).is_err());
+        let q = howto(
+            "Use T HowToUpdate Price, Color Limit Post(Color) In ('Red') ToMaximize Avg(Post(R))",
+        );
+        assert!(validate_howto(&q, None).is_ok());
+    }
+
+    #[test]
+    fn crossed_range_rejected() {
+        let q = howto("Use T HowToUpdate P Limit 800 <= Post(P) <= 500 ToMaximize Avg(Post(R))");
+        assert!(validate_howto(&q, None).is_err());
+    }
+
+    #[test]
+    fn objective_cannot_be_updated() {
+        let q = howto("Use T HowToUpdate R, P ToMaximize Avg(Post(R))");
+        assert!(validate_howto(&q, None).is_err());
+    }
+
+    #[test]
+    fn case_insensitive_duplicate_detection() {
+        let q = howto("Use T HowToUpdate Price, PRICE ToMaximize Avg(Post(R))");
+        assert!(validate_howto(&q, None).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property test: rendering any generated query AST and re-parsing it
+//! yields the same AST (`parse ∘ render = id`).
+
+use hyper_query::{
+    parse_query, HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint,
+    ObjectiveDirection, ObjectiveSpec, OutputArg, OutputSpec, UpdateFunc, UpdateSpec,
+    UseClause, WhatIfQuery,
+};
+use hyper_storage::{AggFunc, Value};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,6}x".prop_map(|s| s)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        // Strictly non-integral floats: integral ones would re-parse as
+        // Int (SQL-ish literal typing), which is correct but not identical.
+        (-100i32..100).prop_map(|i| Value::Float(i as f64 + 0.5)),
+        "[a-zA-Z '0-9]{0,8}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = HOp> {
+    prop_oneof![
+        Just(HOp::Eq),
+        Just(HOp::Ne),
+        Just(HOp::Lt),
+        Just(HOp::Le),
+        Just(HOp::Gt),
+        Just(HOp::Ge),
+    ]
+}
+
+/// Simple predicates: comparisons, In-lists and conjunctions/disjunctions
+/// over them.
+fn arb_pred() -> impl Strategy<Value = HExpr> {
+    let leaf = prop_oneof![
+        (arb_ident(), arb_cmp(), arb_value()).prop_map(|(a, op, v)| HExpr::binary(
+            op,
+            HExpr::attr(a),
+            HExpr::Lit(v)
+        )),
+        (arb_ident(), arb_cmp(), arb_value()).prop_map(|(a, op, v)| HExpr::binary(
+            op,
+            HExpr::post(a),
+            HExpr::Lit(v)
+        )),
+        (arb_ident(), prop::collection::vec(arb_value(), 1..4), any::<bool>()).prop_map(
+            |(a, list, negated)| HExpr::InList {
+                expr: Box::new(HExpr::pre(a)),
+                list,
+                negated,
+            }
+        ),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| HExpr::binary(HOp::And, a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| HExpr::binary(HOp::Or, a, b)),
+        ]
+    })
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateSpec> {
+    (
+        arb_ident(),
+        prop_oneof![
+            arb_value().prop_map(UpdateFunc::Set),
+            (1i32..40).prop_map(|c| UpdateFunc::Scale(c as f64 / 8.0)),
+            (-50i32..50).prop_map(|c| UpdateFunc::Shift(c as f64)),
+        ],
+    )
+        .prop_map(|(attr, func)| UpdateSpec { attr, func })
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Avg)]
+}
+
+fn arb_whatif() -> impl Strategy<Value = WhatIfQuery> {
+    (
+        arb_ident(),
+        prop::option::of(arb_pred()),
+        prop::collection::vec(arb_update(), 1..3),
+        arb_agg(),
+        prop::option::of(arb_pred()),
+        prop::option::of(arb_ident()),
+    )
+        .prop_map(|(table, when, mut updates, agg, for_clause, out_attr)| {
+            // Distinct update attributes.
+            updates.dedup_by(|a, b| a.attr == b.attr);
+            let arg = match (agg, out_attr) {
+                (AggFunc::Count, None) => OutputArg::Star,
+                (_, attr) => OutputArg::Expr(HExpr::post(attr.unwrap_or_else(|| "yx".into()))),
+            };
+            WhatIfQuery {
+                use_clause: UseClause::Table(table),
+                when,
+                updates,
+                output: OutputSpec { agg, arg },
+                for_clause,
+            }
+        })
+}
+
+fn arb_howto() -> impl Strategy<Value = HowToQuery> {
+    (
+        arb_ident(),
+        prop::option::of(arb_pred()),
+        prop::collection::vec(arb_ident(), 1..4),
+        arb_agg(),
+        arb_ident(),
+        any::<bool>(),
+        prop::option::of((0i32..100, 100i32..500)),
+    )
+        .prop_map(|(table, when, mut attrs, agg, obj_attr, maximize, range)| {
+            attrs.sort();
+            attrs.dedup();
+            let limits = match range {
+                Some((lo, hi)) => vec![LimitConstraint::Range {
+                    attr: attrs[0].clone(),
+                    lo: Some(lo as f64),
+                    hi: Some(hi as f64),
+                }],
+                None => Vec::new(),
+            };
+            HowToQuery {
+                use_clause: UseClause::Table(table),
+                when,
+                update_attrs: attrs,
+                limits,
+                objective: ObjectiveSpec {
+                    direction: if maximize {
+                        ObjectiveDirection::Maximize
+                    } else {
+                        ObjectiveDirection::Minimize
+                    },
+                    agg,
+                    attr: obj_attr,
+                    predicate: None,
+                },
+                for_clause: None,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn whatif_render_parse_roundtrip(q in arb_whatif()) {
+        let text = HypotheticalQuery::WhatIf(q.clone()).to_string();
+        let parsed = parse_query(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{text}`: {e}")))?;
+        prop_assert_eq!(HypotheticalQuery::WhatIf(q), parsed, "{}", text);
+    }
+
+    #[test]
+    fn howto_render_parse_roundtrip(q in arb_howto()) {
+        let text = HypotheticalQuery::HowTo(q.clone()).to_string();
+        let parsed = parse_query(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{text}`: {e}")))?;
+        prop_assert_eq!(HypotheticalQuery::HowTo(q), parsed, "{}", text);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal CSV import/export for tables (debugging, experiment dumps).
+//!
+//! Supports quoted fields with embedded commas/quotes; types are taken from
+//! the target schema on import.
+
+use std::fmt::Write as _;
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Serialize a table to CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| escape(&f.name))
+        .collect();
+    let _ = writeln!(out, "{}", names.join(","));
+    for i in 0..table.num_rows() {
+        let cells: Vec<String> = (0..table.num_columns())
+            .map(|c| match table.get(i, c) {
+                Value::Null => String::new(),
+                Value::Str(s) => escape(s),
+                v => v.to_string(),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", cells.join(","));
+    }
+    out
+}
+
+/// Parse CSV text (header row required) into a table using `schema` types.
+pub fn from_csv(name: &str, schema: Schema, text: &str) -> Result<Table> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Csv("empty input".into()))?;
+    let cols = split_line(header)?;
+    if cols.len() != schema.len() {
+        return Err(StorageError::Csv(format!(
+            "header has {} columns, schema has {}",
+            cols.len(),
+            schema.len()
+        )));
+    }
+    for (h, f) in cols.iter().zip(schema.fields()) {
+        if h != &f.name {
+            return Err(StorageError::Csv(format!(
+                "header column `{h}` does not match schema column `{}`",
+                f.name
+            )));
+        }
+    }
+    let mut table = Table::new(name, schema);
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_line(line)?;
+        if cells.len() != table.num_columns() {
+            return Err(StorageError::Csv(format!(
+                "line {}: expected {} cells, got {}",
+                lineno + 2,
+                table.num_columns(),
+                cells.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(cells.len());
+        for (cell, f) in cells.iter().zip(table.schema().fields().to_vec()) {
+            row.push(parse_cell(cell, f.data_type, f.nullable, lineno + 2)?);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+fn parse_cell(cell: &str, dt: DataType, nullable: bool, lineno: usize) -> Result<Value> {
+    if cell.is_empty() {
+        return if nullable {
+            Ok(Value::Null)
+        } else {
+            Err(StorageError::Csv(format!(
+                "line {lineno}: empty cell in non-nullable column"
+            )))
+        };
+    }
+    let parsed = match dt {
+        DataType::Int => cell.parse::<i64>().ok().map(Value::Int),
+        DataType::Float => cell.parse::<f64>().ok().map(Value::Float),
+        DataType::Bool => match cell {
+            "true" | "TRUE" | "1" => Some(Value::Bool(true)),
+            "false" | "FALSE" | "0" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        DataType::Str => Some(Value::str(cell)),
+    };
+    parsed.ok_or_else(|| {
+        StorageError::Csv(format!("line {lineno}: cannot parse `{cell}` as {dt}"))
+    })
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_line(line: &str) -> Result<Vec<String>> {
+    let mut cells = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    cur.push('"');
+                }
+                '"' => in_quotes = false,
+                c => cur.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => cells.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Csv("unterminated quote".into()));
+    }
+    cells.push(cur);
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::nullable("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut t = Table::new("t", schema());
+        t.push_row(vec![1.into(), "plain".into(), 0.5.into()]).unwrap();
+        t.push_row(vec![2.into(), "with,comma".into(), Value::Null]).unwrap();
+        t.push_row(vec![3.into(), "with\"quote".into(), 1.5.into()]).unwrap();
+        let csv = to_csv(&t);
+        let back = from_csv("t", schema(), &csv).unwrap();
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.get(1, 1), &Value::str("with,comma"));
+        assert_eq!(back.get(1, 2), &Value::Null);
+        assert_eq!(back.get(2, 1), &Value::str("with\"quote"));
+    }
+
+    #[test]
+    fn header_mismatch_rejected() {
+        let err = from_csv("t", schema(), "id,wrong,score\n1,a,0.5\n").unwrap_err();
+        assert!(matches!(err, StorageError::Csv(_)));
+    }
+
+    #[test]
+    fn type_errors_carry_line_numbers() {
+        let err = from_csv("t", schema(), "id,name,score\nxx,a,0.5\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn empty_cell_null_handling() {
+        let t = from_csv("t", schema(), "id,name,score\n1,a,\n").unwrap();
+        assert_eq!(t.get(0, 2), &Value::Null);
+        let err = from_csv("t", schema(), "id,name,score\n,a,1.0\n").unwrap_err();
+        assert!(matches!(err, StorageError::Csv(_)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Error type shared by all storage operations.
+
+use std::fmt;
+
+/// Errors raised by the relational storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced table does not exist in the database.
+    UnknownTable(String),
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A row's arity or a value's type does not match the schema.
+    SchemaMismatch(String),
+    /// Two values could not be combined by an operator (e.g. `"a" + 1`).
+    TypeError(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A column with this name already exists in the schema.
+    DuplicateColumn(String),
+    /// A primary-key constraint was violated on insert.
+    DuplicateKey(String),
+    /// Invalid plan or expression (e.g. aggregate outside `Aggregate`).
+    InvalidPlan(String),
+    /// Malformed CSV input.
+    Csv(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::TypeError(m) => write!(f, "type error: {m}"),
+            StorageError::DuplicateTable(t) => write!(f, "duplicate table: {t}"),
+            StorageError::DuplicateColumn(c) => write!(f, "duplicate column: {c}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate primary key: {k}"),
+            StorageError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            StorageError::Csv(m) => write!(f, "csv error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,503 @@
+//! Scalar expressions over rows: comparison, boolean logic, arithmetic.
+//!
+//! Expressions are written against column *names* and bound to a concrete
+//! [`Schema`] before evaluation, compiling name lookups into positional
+//! accesses (a pattern borrowed from DataFusion's physical expressions).
+
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `=` (SQL equality with numeric coercion).
+    Eq,
+    /// `<>`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// Logical AND (NULL-rejecting).
+    And,
+    /// Logical OR.
+    Or,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Numeric negation.
+    Neg,
+}
+
+/// An unbound scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// Literal value.
+    Lit(Value),
+    /// Unary application.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary application.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr IN (v1, v2, …)` (or NOT IN).
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Value>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// `expr IS NULL` (or IS NOT NULL).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Negation flag.
+        negated: bool,
+    },
+}
+
+/// Shorthand: column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// Shorthand: literal.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Lit(v.into())
+}
+
+impl Expr {
+    /// Combine with AND.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::And, Box::new(self), Box::new(other))
+    }
+    /// Combine with OR.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Or, Box::new(self), Box::new(other))
+    }
+    /// Equality comparison.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(other))
+    }
+    /// Inequality comparison.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ne, Box::new(self), Box::new(other))
+    }
+    /// Less-than comparison.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(other))
+    }
+    /// Less-or-equal comparison.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(other))
+    }
+    /// Greater-than comparison.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Gt, Box::new(self), Box::new(other))
+    }
+    /// Greater-or-equal comparison.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Ge, Box::new(self), Box::new(other))
+    }
+    /// Logical negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(self))
+    }
+    /// Arithmetic sum.
+    pub fn plus(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(other))
+    }
+    /// Arithmetic product.
+    pub fn times(self, other: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(other))
+    }
+    /// Membership test.
+    pub fn in_list(self, list: Vec<Value>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+
+    /// All column names referenced by this expression (deduplicated, sorted).
+    pub fn referenced_columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Lit(_) => {}
+            Expr::Unary(_, e) => e.collect_columns(out),
+            Expr::Binary(_, l, r) => {
+                l.collect_columns(out);
+                r.collect_columns(out);
+            }
+            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => {
+                expr.collect_columns(out)
+            }
+        }
+    }
+
+    /// Bind column names to positions in `schema`.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr> {
+        Ok(match self {
+            Expr::Column(name) => BoundExpr::Column(schema.index_of(name)?),
+            Expr::Lit(v) => BoundExpr::Lit(v.clone()),
+            Expr::Unary(op, e) => BoundExpr::Unary(*op, Box::new(e.bind(schema)?)),
+            Expr::Binary(op, l, r) => {
+                BoundExpr::Binary(*op, Box::new(l.bind(schema)?), Box::new(r.bind(schema)?))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => BoundExpr::InList {
+                expr: Box::new(expr.bind(schema)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+            Expr::IsNull { expr, negated } => BoundExpr::IsNull {
+                expr: Box::new(expr.bind(schema)?),
+                negated: *negated,
+            },
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{s}'"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Unary(UnaryOp::Not, e) => write!(f, "NOT ({e})"),
+            Expr::Unary(UnaryOp::Neg, e) => write!(f, "-({e})"),
+            Expr::Binary(op, l, r) => write!(f, "({l} {op} {r})"),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let items: Vec<String> = list.iter().map(|v| v.to_string()).collect();
+                let kw = if *negated { "NOT IN" } else { "IN" };
+                write!(f, "({expr} {kw} ({}))", items.join(", "))
+            }
+            Expr::IsNull { expr, negated } => {
+                let kw = if *negated { "IS NOT NULL" } else { "IS NULL" };
+                write!(f, "({expr} {kw})")
+            }
+        }
+    }
+}
+
+/// An expression with column references resolved to positions.
+#[derive(Debug, Clone)]
+pub enum BoundExpr {
+    /// Positional column reference.
+    Column(usize),
+    /// Literal.
+    Lit(Value),
+    /// Unary application.
+    Unary(UnaryOp, Box<BoundExpr>),
+    /// Binary application.
+    Binary(BinOp, Box<BoundExpr>, Box<BoundExpr>),
+    /// Membership test.
+    InList {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Candidate values.
+        list: Vec<Value>,
+        /// Negation flag.
+        negated: bool,
+    },
+    /// NULL test.
+    IsNull {
+        /// Tested expression.
+        expr: Box<BoundExpr>,
+        /// Negation flag.
+        negated: bool,
+    },
+}
+
+impl BoundExpr {
+    /// Evaluate against a materialized row.
+    pub fn eval_row(&self, row: &[Value]) -> Result<Value> {
+        self.eval_with(&mut |idx| row[idx].clone())
+    }
+
+    /// Evaluate against row `i` of a columnar table without materializing it.
+    pub fn eval_at(&self, table: &Table, i: usize) -> Result<Value> {
+        self.eval_with(&mut |idx| table.get(i, idx).clone())
+    }
+
+    /// Core evaluator over an arbitrary cell accessor.
+    pub fn eval_with(&self, get: &mut dyn FnMut(usize) -> Value) -> Result<Value> {
+        Ok(match self {
+            BoundExpr::Column(i) => get(*i),
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Unary(UnaryOp::Not, e) => match e.eval_with(get)? {
+                Value::Bool(b) => Value::Bool(!b),
+                Value::Null => Value::Null,
+                v => {
+                    return Err(StorageError::TypeError(format!(
+                        "NOT expects boolean, got {v}"
+                    )))
+                }
+            },
+            BoundExpr::Unary(UnaryOp::Neg, e) => {
+                let v = e.eval_with(get)?;
+                match v {
+                    Value::Int(i) => Value::Int(-i),
+                    Value::Float(f) => Value::Float(-f),
+                    Value::Null => Value::Null,
+                    v => {
+                        return Err(StorageError::TypeError(format!(
+                            "negation expects numeric, got {v}"
+                        )))
+                    }
+                }
+            }
+            BoundExpr::Binary(op, l, r) => {
+                let lv = l.eval_with(get)?;
+                // Short-circuit logical operators.
+                match op {
+                    BinOp::And => {
+                        if lv == Value::Bool(false) {
+                            return Ok(Value::Bool(false));
+                        }
+                        let rv = r.eval_with(get)?;
+                        return eval_logical(BinOp::And, &lv, &rv);
+                    }
+                    BinOp::Or => {
+                        if lv == Value::Bool(true) {
+                            return Ok(Value::Bool(true));
+                        }
+                        let rv = r.eval_with(get)?;
+                        return eval_logical(BinOp::Or, &lv, &rv);
+                    }
+                    _ => {}
+                }
+                let rv = r.eval_with(get)?;
+                match op {
+                    BinOp::Eq => Value::Bool(lv.sql_eq(&rv)),
+                    BinOp::Ne => {
+                        if lv.is_null() || rv.is_null() {
+                            Value::Bool(false)
+                        } else {
+                            Value::Bool(!lv.sql_eq(&rv))
+                        }
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        match lv.sql_cmp(&rv) {
+                            None => Value::Bool(false),
+                            Some(ord) => Value::Bool(match op {
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::Le => ord.is_le(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::Ge => ord.is_ge(),
+                                _ => unreachable!(),
+                            }),
+                        }
+                    }
+                    BinOp::Add => lv.add(&rv)?,
+                    BinOp::Sub => lv.sub(&rv)?,
+                    BinOp::Mul => lv.mul(&rv)?,
+                    BinOp::Div => lv.div(&rv)?,
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                }
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval_with(get)?;
+                if v.is_null() {
+                    return Ok(Value::Bool(false));
+                }
+                let found = list.iter().any(|cand| v.sql_eq(cand));
+                Value::Bool(found != *negated)
+            }
+            BoundExpr::IsNull { expr, negated } => {
+                let v = expr.eval_with(get)?;
+                Value::Bool(v.is_null() != *negated)
+            }
+        })
+    }
+
+    /// Evaluate as a predicate: non-boolean results are an error; NULL is
+    /// treated as `false` (three-valued logic collapsed).
+    pub fn eval_predicate_at(&self, table: &Table, i: usize) -> Result<bool> {
+        match self.eval_at(table, i)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(StorageError::TypeError(format!(
+                "predicate evaluated to non-boolean {v}"
+            ))),
+        }
+    }
+}
+
+fn eval_logical(op: BinOp, l: &Value, r: &Value) -> Result<Value> {
+    let lb = coerce_bool(l)?;
+    let rb = coerce_bool(r)?;
+    Ok(match (op, lb, rb) {
+        (BinOp::And, Some(a), Some(b)) => Value::Bool(a && b),
+        (BinOp::And, Some(false), _) | (BinOp::And, _, Some(false)) => Value::Bool(false),
+        (BinOp::Or, Some(a), Some(b)) => Value::Bool(a || b),
+        (BinOp::Or, Some(true), _) | (BinOp::Or, _, Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    })
+}
+
+fn coerce_bool(v: &Value) -> Result<Option<bool>> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        v => Err(StorageError::TypeError(format!(
+            "logical operator expects boolean, got {v}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::nullable("c", DataType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn eval(e: &Expr, row: &[Value]) -> Value {
+        e.bind(&schema()).unwrap().eval_row(row).unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let row = vec![Value::Int(5), Value::Float(2.5), Value::str("x")];
+        assert_eq!(eval(&col("a").gt(lit(4)), &row), Value::Bool(true));
+        assert_eq!(eval(&col("a").le(lit(4)), &row), Value::Bool(false));
+        assert_eq!(eval(&col("b").eq(lit(2.5)), &row), Value::Bool(true));
+        assert_eq!(eval(&col("c").eq(lit("x")), &row), Value::Bool(true));
+        assert_eq!(eval(&col("a").eq(lit(5.0)), &row), Value::Bool(true));
+    }
+
+    #[test]
+    fn logic_and_null_handling() {
+        let row = vec![Value::Int(5), Value::Float(2.5), Value::Null];
+        let e = col("a").gt(lit(0)).and(col("c").eq(lit("x")));
+        assert_eq!(eval(&e, &row), Value::Bool(false));
+        let e = col("a").gt(lit(0)).or(col("c").eq(lit("x")));
+        assert_eq!(eval(&e, &row), Value::Bool(true));
+        let e = Expr::IsNull {
+            expr: Box::new(col("c")),
+            negated: false,
+        };
+        assert_eq!(eval(&e, &row), Value::Bool(true));
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let row = vec![Value::Int(4), Value::Float(0.5), Value::Null];
+        let e = col("a").times(lit(2)).plus(col("b"));
+        assert_eq!(eval(&e, &row), Value::Float(8.5));
+        let e = Expr::Binary(BinOp::Div, Box::new(col("a")), Box::new(lit(2)));
+        assert_eq!(eval(&e, &row), Value::Float(2.0));
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let row = vec![Value::Int(4), Value::Float(0.5), Value::str("red")];
+        let e = col("c").in_list(vec!["red".into(), "blue".into()]);
+        assert_eq!(eval(&e, &row), Value::Bool(true));
+        let e = Expr::InList {
+            expr: Box::new(col("a")),
+            list: vec![1.into(), 2.into()],
+            negated: true,
+        };
+        assert_eq!(eval(&e, &row), Value::Bool(true));
+    }
+
+    #[test]
+    fn bind_rejects_unknown_columns() {
+        assert!(col("zzz").eq(lit(1)).bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn referenced_columns_deduplicates() {
+        let e = col("a").gt(lit(1)).and(col("a").lt(col("b")));
+        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // RHS would type-error (NOT over Int), but AND short-circuits.
+        let row = vec![Value::Int(1), Value::Float(0.0), Value::Null];
+        let e = col("a")
+            .gt(lit(100))
+            .and(Expr::Unary(UnaryOp::Not, Box::new(col("a"))));
+        assert_eq!(eval(&e, &row), Value::Bool(false));
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = col("a").gt(lit(1)).and(col("c").eq(lit("x")));
+        assert_eq!(e.to_string(), "((a > 1) AND (c = 'x'))");
+    }
+}

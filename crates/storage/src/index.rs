@@ -1,0 +1,157 @@
+//! Multi-attribute support index.
+//!
+//! §3.3 of the paper: "the majority of the values in `Dom(C)` would have
+//! zero-support in the database … we build an index of values in `Dom(C)` to
+//! efficiently identify the set of values that would generate a positive
+//! probability-value. This optimization ensures that the runtime is linear
+//! in the database size."
+//!
+//! [`SupportIndex`] maps each observed combination of values of a column set
+//! to the row ids exhibiting it, so estimators iterate only over supported
+//! combinations (`O(n)`) instead of the full cartesian domain product.
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::{Row, Value};
+
+/// Index from observed value-combinations of a column set to row ids.
+#[derive(Debug, Clone)]
+pub struct SupportIndex {
+    columns: Vec<String>,
+    col_idx: Vec<usize>,
+    groups: HashMap<Row, Vec<u32>>,
+    num_rows: usize,
+}
+
+impl SupportIndex {
+    /// Build the index over `columns` of `table`.
+    pub fn build(table: &Table, columns: &[String]) -> Result<SupportIndex> {
+        let col_idx: Vec<usize> = columns
+            .iter()
+            .map(|c| table.schema().index_of(c))
+            .collect::<Result<_>>()?;
+        let mut groups: HashMap<Row, Vec<u32>> = HashMap::new();
+        for i in 0..table.num_rows() {
+            let key: Row = col_idx.iter().map(|&c| table.get(i, c).clone()).collect();
+            groups.entry(key).or_default().push(i as u32);
+        }
+        Ok(SupportIndex {
+            columns: columns.to_vec(),
+            col_idx,
+            groups,
+            num_rows: table.num_rows(),
+        })
+    }
+
+    /// The indexed column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Positions of the indexed columns in the base table.
+    pub fn column_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Number of observed (supported) combinations — at most `num_rows`.
+    pub fn num_supported(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Row ids exhibiting a combination, or `None` for zero-support values.
+    pub fn rows_for(&self, key: &[Value]) -> Option<&[u32]> {
+        self.groups.get(key).map(Vec::as_slice)
+    }
+
+    /// Empirical probability of a combination: `support / n`.
+    pub fn probability(&self, key: &[Value]) -> f64 {
+        if self.num_rows == 0 {
+            return 0.0;
+        }
+        self.groups
+            .get(key)
+            .map_or(0.0, |rows| rows.len() as f64 / self.num_rows as f64)
+    }
+
+    /// Iterate over `(combination, row ids)` pairs, unordered.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &[u32])> {
+        self.groups.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// All supported combinations, sorted for deterministic iteration.
+    pub fn supported_sorted(&self) -> Vec<Row> {
+        let mut keys: Vec<Row> = self.groups.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Total rows indexed.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Str),
+            Field::new("b", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for (a, b) in [("x", 1), ("x", 1), ("x", 2), ("y", 1)] {
+            t.push_row(vec![a.into(), b.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn groups_rows_by_combination() {
+        let idx = SupportIndex::build(&table(), &["a".into(), "b".into()]).unwrap();
+        assert_eq!(idx.num_supported(), 3);
+        assert_eq!(
+            idx.rows_for(&["x".into(), 1.into()]).unwrap(),
+            &[0u32, 1]
+        );
+        assert!(idx.rows_for(&["y".into(), 2.into()]).is_none());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let idx = SupportIndex::build(&table(), &["a".into()]).unwrap();
+        let total: f64 = idx
+            .supported_sorted()
+            .iter()
+            .map(|k| idx.probability(k))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!((idx.probability(&["x".into()]) - 0.75).abs() < 1e-12);
+        assert_eq!(idx.probability(&["zzz".into()]), 0.0);
+    }
+
+    #[test]
+    fn supported_combinations_bounded_by_rows() {
+        // The §3.3 guarantee: supported combos ≤ n regardless of domain size.
+        let idx = SupportIndex::build(&table(), &["a".into(), "b".into()]).unwrap();
+        assert!(idx.num_supported() <= idx.num_rows());
+    }
+
+    #[test]
+    fn empty_column_set_groups_everything() {
+        let idx = SupportIndex::build(&table(), &[]).unwrap();
+        assert_eq!(idx.num_supported(), 1);
+        assert_eq!(idx.probability(&[]), 1.0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(SupportIndex::build(&table(), &["nope".into()]).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # hyper-storage
+//!
+//! The relational substrate of the HypeR reproduction: an in-memory,
+//! columnar, multi-relation database with the query operators the paper's
+//! `Use` clause requires (selection, hash equi-join, group-by aggregation,
+//! projection), per-column domain statistics, and the multi-attribute
+//! *support index* that makes backdoor-adjustment estimation linear in the
+//! data (paper §3.3).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hyper_storage::{
+//!     col, lit, AggExpr, AggFunc, Database, Field, LogicalPlan, Schema, Table, DataType,
+//! };
+//!
+//! let mut db = Database::new();
+//! let mut t = Table::with_key(
+//!     "product",
+//!     Schema::new(vec![
+//!         Field::new("pid", DataType::Int),
+//!         Field::new("price", DataType::Float),
+//!     ]).unwrap(),
+//!     &["pid"],
+//! ).unwrap();
+//! t.push_row(vec![1.into(), 999.0.into()]).unwrap();
+//! t.push_row(vec![2.into(), 529.0.into()]).unwrap();
+//! db.add_table(t).unwrap();
+//!
+//! let plan = LogicalPlan::scan("product")
+//!     .filter(col("price").lt(lit(700.0)))
+//!     .aggregate(&[], vec![AggExpr::new(AggFunc::Count, None, "n")]);
+//! let out = plan.execute(&db).unwrap();
+//! assert_eq!(out.get(0, 0).as_i64(), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod database;
+pub mod error;
+pub mod expr;
+pub mod index;
+pub mod ops;
+pub mod plan;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use database::{Database, ForeignKey};
+pub use error::{Result, StorageError};
+pub use expr::{col, lit, BinOp, BoundExpr, Expr, UnaryOp};
+pub use index::SupportIndex;
+pub use ops::{AggExpr, AggFunc};
+pub use plan::LogicalPlan;
+pub use schema::{Field, Schema};
+pub use stats::ColumnStats;
+pub use table::Table;
+pub use value::{DataType, Row, Value};

@@ -1,0 +1,392 @@
+//! Group-by aggregation with the decomposable aggregates HypeR supports
+//! (`Count`, `Sum`, `Avg` — Definition 6 of the paper) plus `Min`/`Max`
+//! for statistics.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::expr::Expr;
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Row, Value};
+
+/// Aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(expr)`; counts `true`s when the input expression
+    /// is boolean (the paper writes `Count(Credit = Good)`), otherwise counts
+    /// non-NULL values.
+    Count,
+    /// Sum of numeric values (NULLs skipped).
+    Sum,
+    /// Arithmetic mean of numeric values (NULLs skipped).
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse a (case-insensitive) function name.
+    pub fn parse(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" | "AVERAGE" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Whether this aggregate is decomposable in the sense of Definition 6
+    /// (can be computed per block and recombined with `g = Sum`).
+    pub fn is_decomposable(&self) -> bool {
+        matches!(self, AggFunc::Count | AggFunc::Sum | AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An aggregate expression `func(input) AS alias`. `input = None` means `*`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression; `None` for `COUNT(*)`.
+    pub input: Option<Expr>,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl AggExpr {
+    /// Construct an aggregate expression.
+    pub fn new(func: AggFunc, input: Option<Expr>, alias: impl Into<String>) -> Self {
+        AggExpr {
+            func,
+            input,
+            alias: alias.into(),
+        }
+    }
+
+    fn output_type(&self) -> DataType {
+        match self.func {
+            AggFunc::Count => DataType::Int,
+            _ => DataType::Float,
+        }
+    }
+}
+
+/// Incremental accumulator for one (group, aggregate) pair.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    count: i64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    /// Fresh accumulator for `func`.
+    pub fn new(func: AggFunc) -> Self {
+        Accumulator {
+            func,
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Fold one input value (already the evaluated aggregate argument; pass
+    /// `Value::Int(1)` per row for `COUNT(*)`).
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        match self.func {
+            AggFunc::Count => match v {
+                Value::Null => {}
+                Value::Bool(true) => self.count += 1,
+                Value::Bool(false) => {}
+                _ => self.count += 1,
+            },
+            AggFunc::Sum | AggFunc::Avg => {
+                if !v.is_null() {
+                    let x = v.as_f64().ok_or_else(|| {
+                        StorageError::TypeError(format!("{} expects numeric, got {v}", self.func))
+                    })?;
+                    self.sum += x;
+                    self.count += 1;
+                }
+            }
+            AggFunc::Min => {
+                if !v.is_null() {
+                    let replace = match &self.min {
+                        None => true,
+                        Some(cur) => v.sql_cmp(cur).is_some_and(|o| o.is_lt()),
+                    };
+                    if replace {
+                        self.min = Some(v.clone());
+                    }
+                }
+            }
+            AggFunc::Max => {
+                if !v.is_null() {
+                    let replace = match &self.max {
+                        None => true,
+                        Some(cur) => v.sql_cmp(cur).is_some_and(|o| o.is_gt()),
+                    };
+                    if replace {
+                        self.max = Some(v.clone());
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value of the aggregate.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Group `input` by the named columns and compute the aggregates.
+///
+/// With an empty `group_by`, produces exactly one row (global aggregates),
+/// even over an empty input.
+pub fn aggregate(input: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result<Table> {
+    let group_idx: Vec<usize> = group_by
+        .iter()
+        .map(|c| input.schema().index_of(c))
+        .collect::<Result<_>>()?;
+    let bound_inputs: Vec<Option<crate::expr::BoundExpr>> = aggs
+        .iter()
+        .map(|a| a.input.as_ref().map(|e| e.bind(input.schema())).transpose())
+        .collect::<Result<_>>()?;
+
+    // Output schema: group columns then aggregate aliases.
+    let mut fields: Vec<Field> = group_idx
+        .iter()
+        .map(|&i| input.schema().field(i).clone())
+        .collect();
+    for a in aggs {
+        fields.push(Field::nullable(a.alias.clone(), a.output_type()));
+    }
+    let schema = Schema::new(fields)?;
+    let mut out = Table::new(format!("agg({})", input.name()), schema);
+
+    // Group states, with insertion order preserved for deterministic output.
+    let mut states: HashMap<Row, usize> = HashMap::new();
+    let mut order: Vec<(Row, Vec<Accumulator>)> = Vec::new();
+
+    for i in 0..input.num_rows() {
+        let key: Row = group_idx.iter().map(|&c| input.get(i, c).clone()).collect();
+        let slot = match states.get(&key) {
+            Some(&s) => s,
+            None => {
+                let accs = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+                order.push((key.clone(), accs));
+                states.insert(key, order.len() - 1);
+                order.len() - 1
+            }
+        };
+        for (a, b) in order[slot].1.iter_mut().zip(&bound_inputs) {
+            let v = match b {
+                Some(expr) => expr.eval_at(input, i)?,
+                None => Value::Int(1),
+            };
+            a.update(&v)?;
+        }
+    }
+
+    if order.is_empty() && group_by.is_empty() {
+        // Global aggregate over empty input: COUNT = 0, others NULL.
+        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
+        order.push((Vec::new(), accs));
+    }
+
+    for (key, accs) in order {
+        let mut row = key;
+        row.extend(accs.iter().map(Accumulator::finish));
+        out.push_row_unchecked(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("brand", DataType::Str),
+            Field::new("rating", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("r", schema);
+        for (b, r) in [("asus", 4), ("asus", 2), ("hp", 3), ("hp", 5), ("vaio", 2)] {
+            t.push_row(vec![b.into(), r.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn group_by_with_avg_and_count() {
+        let t = table();
+        let out = aggregate(
+            &t,
+            &["brand".into()],
+            &[
+                AggExpr::new(AggFunc::Avg, Some(col("rating")), "avg_r"),
+                AggExpr::new(AggFunc::Count, None, "n"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // First group (insertion order) is asus.
+        assert_eq!(out.get(0, 0), &Value::str("asus"));
+        assert_eq!(out.get(0, 1), &Value::Float(3.0));
+        assert_eq!(out.get(0, 2), &Value::Int(2));
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let t = table();
+        let out = aggregate(
+            &t,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Sum, Some(col("rating")), "s"),
+                AggExpr::new(AggFunc::Min, Some(col("rating")), "lo"),
+                AggExpr::new(AggFunc::Max, Some(col("rating")), "hi"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.get(0, 0), &Value::Float(16.0));
+        assert_eq!(out.get(0, 1), &Value::Int(2));
+        assert_eq!(out.get(0, 2), &Value::Int(5));
+    }
+
+    #[test]
+    fn count_of_boolean_counts_trues() {
+        let t = table();
+        let out = aggregate(
+            &t,
+            &[],
+            &[AggExpr::new(
+                AggFunc::Count,
+                Some(col("rating").ge(lit(3))),
+                "good",
+            )],
+        )
+        .unwrap();
+        assert_eq!(out.get(0, 0), &Value::Int(3));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate() {
+        let t = Table::new(
+            "e",
+            Schema::new(vec![Field::new("x", DataType::Int)]).unwrap(),
+        );
+        let out = aggregate(
+            &t,
+            &[],
+            &[
+                AggExpr::new(AggFunc::Count, None, "n"),
+                AggExpr::new(AggFunc::Avg, Some(col("x")), "m"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.get(0, 0), &Value::Int(0));
+        assert_eq!(out.get(0, 1), &Value::Null);
+    }
+
+    #[test]
+    fn empty_input_grouped_aggregate_is_empty() {
+        let t = Table::new(
+            "e",
+            Schema::new(vec![
+                Field::new("g", DataType::Str),
+                Field::new("x", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let out = aggregate(
+            &t,
+            &["g".into()],
+            &[AggExpr::new(AggFunc::Count, None, "n")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn sum_type_error_on_strings() {
+        let t = table();
+        let err = aggregate(
+            &t,
+            &[],
+            &[AggExpr::new(AggFunc::Sum, Some(col("brand")), "s")],
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::TypeError(_)));
+    }
+
+    #[test]
+    fn avg_decomposition_matches_definition6() {
+        // Avg(D) = (1/|D|) * Σ_i Sum(D_i): the decomposable-aggregate law the
+        // block optimization relies on (Example 8 of the paper).
+        let t = table();
+        let full = aggregate(
+            &t,
+            &[],
+            &[AggExpr::new(AggFunc::Avg, Some(col("rating")), "m")],
+        )
+        .unwrap();
+        let m = full.get(0, 0).as_f64().unwrap();
+
+        let blocks = [vec![0usize, 1], vec![2, 3], vec![4]];
+        let n = t.num_rows() as f64;
+        let mut recombined = 0.0;
+        for b in &blocks {
+            let part = t.gather(b);
+            let s = aggregate(
+                &part,
+                &[],
+                &[AggExpr::new(AggFunc::Sum, Some(col("rating")), "s")],
+            )
+            .unwrap();
+            recombined += s.get(0, 0).as_f64().unwrap() / n;
+        }
+        assert!((m - recombined).abs() < 1e-12);
+    }
+}

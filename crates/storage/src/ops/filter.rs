@@ -1,0 +1,72 @@
+//! Selection (σ): keep rows satisfying a predicate.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::table::Table;
+
+/// Filter `input` by `predicate`, returning a new table with the same schema.
+pub fn filter(input: &Table, predicate: &Expr) -> Result<Table> {
+    let bound = predicate.bind(input.schema())?;
+    let mut keep = Vec::new();
+    for i in 0..input.num_rows() {
+        if bound.eval_predicate_at(input, i)? {
+            keep.push(i);
+        }
+    }
+    Ok(input.gather(&keep))
+}
+
+/// Return the row indices of `input` satisfying `predicate`.
+pub fn matching_rows(input: &Table, predicate: &Expr) -> Result<Vec<usize>> {
+    let bound = predicate.bind(input.schema())?;
+    let mut keep = Vec::new();
+    for i in 0..input.num_rows() {
+        if bound.eval_predicate_at(input, i)? {
+            keep.push(i);
+        }
+    }
+    Ok(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("tag", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for (x, tag) in [(1, "a"), (2, "b"), (3, "a"), (4, "c")] {
+            t.push_row(vec![x.into(), tag.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn filters_rows() {
+        let t = table();
+        let out = filter(&t, &col("tag").eq(lit("a"))).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.column_by_name("x").unwrap(), &[1.into(), 3.into()]);
+    }
+
+    #[test]
+    fn empty_result_keeps_schema() {
+        let t = table();
+        let out = filter(&t, &col("x").gt(lit(100))).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn matching_rows_returns_indices() {
+        let t = table();
+        assert_eq!(matching_rows(&t, &col("x").ge(lit(3))).unwrap(), vec![2, 3]);
+    }
+}

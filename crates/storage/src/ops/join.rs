@@ -1,0 +1,175 @@
+//! Hash equi-join (inner).
+
+use std::collections::HashMap;
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Inner hash equi-join of `left` and `right` on positional key pairs
+/// `left_on[i] = right_on[i]`.
+///
+/// The output schema is all left columns followed by the right columns,
+/// except that right-side join keys (which duplicate the left keys) are
+/// dropped. Any other column-name collision is an error; callers should
+/// project/rename first (the query layer qualifies names before joining).
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    left_on: &[String],
+    right_on: &[String],
+) -> Result<Table> {
+    if left_on.len() != right_on.len() || left_on.is_empty() {
+        return Err(StorageError::InvalidPlan(
+            "join requires equal, non-empty key lists".into(),
+        ));
+    }
+    let lkeys: Vec<usize> = left_on
+        .iter()
+        .map(|c| left.schema().index_of(c))
+        .collect::<Result<_>>()?;
+    let rkeys: Vec<usize> = right_on
+        .iter()
+        .map(|c| right.schema().index_of(c))
+        .collect::<Result<_>>()?;
+
+    // Output schema: left ++ (right \ join keys); reject other collisions.
+    let mut fields = left.schema().fields().to_vec();
+    let mut right_cols: Vec<usize> = Vec::new();
+    for (i, f) in right.schema().fields().iter().enumerate() {
+        if rkeys.contains(&i) && left.schema().contains(&f.name) {
+            continue; // duplicate key column, dropped
+        }
+        if left.schema().contains(&f.name) {
+            return Err(StorageError::DuplicateColumn(format!(
+                "join output would contain `{}` twice; rename before joining",
+                f.name
+            )));
+        }
+        fields.push(f.clone());
+        right_cols.push(i);
+    }
+    let schema = Schema::new(fields)?;
+    let mut out = Table::new(format!("{}⋈{}", left.name(), right.name()), schema);
+
+    // Build side: smaller input.
+    let (build, probe, build_keys, probe_keys, build_is_left) =
+        if left.num_rows() <= right.num_rows() {
+            (left, right, &lkeys, &rkeys, true)
+        } else {
+            (right, left, &rkeys, &lkeys, false)
+        };
+
+    let mut index: HashMap<Vec<Value>, Vec<usize>> =
+        HashMap::with_capacity(build.num_rows());
+    for i in 0..build.num_rows() {
+        let key: Vec<Value> = build_keys.iter().map(|&c| build.get(i, c).clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue; // NULL never joins
+        }
+        index.entry(key).or_default().push(i);
+    }
+
+    let mut row_buf: Vec<Value> = Vec::with_capacity(out.num_columns());
+    for p in 0..probe.num_rows() {
+        let key: Vec<Value> = probe_keys.iter().map(|&c| probe.get(p, c).clone()).collect();
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
+        if let Some(matches) = index.get(&key) {
+            for &b in matches {
+                let (li, ri) = if build_is_left { (b, p) } else { (p, b) };
+                row_buf.clear();
+                for c in 0..left.num_columns() {
+                    row_buf.push(left.get(li, c).clone());
+                }
+                for &c in &right_cols {
+                    row_buf.push(right.get(ri, c).clone());
+                }
+                out.push_row_unchecked(std::mem::take(&mut row_buf));
+                row_buf = Vec::with_capacity(out.num_columns());
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::value::DataType;
+
+    fn products() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("brand", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("product", schema);
+        for (pid, brand) in [(1, "vaio"), (2, "asus"), (3, "hp")] {
+            t.push_row(vec![pid.into(), brand.into()]).unwrap();
+        }
+        t
+    }
+
+    fn reviews() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("pid", DataType::Int),
+            Field::new("rating", DataType::Int),
+        ])
+        .unwrap();
+        let mut t = Table::new("review", schema);
+        for (pid, rating) in [(1, 2), (2, 4), (2, 1), (3, 3), (3, 5), (9, 5)] {
+            t.push_row(vec![pid.into(), rating.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn joins_matching_rows() {
+        let out = hash_join(&products(), &reviews(), &["pid".into()], &["pid".into()]).unwrap();
+        assert_eq!(out.num_rows(), 5, "pid=9 has no product");
+        assert_eq!(out.schema().names(), vec!["pid", "brand", "rating"]);
+        // asus (pid 2) appears twice.
+        let brands = out.column_by_name("brand").unwrap();
+        let asus = brands.iter().filter(|b| b.as_str() == Some("asus")).count();
+        assert_eq!(asus, 2);
+    }
+
+    #[test]
+    fn join_key_order_is_respected() {
+        // Swap: probe/build selection must not change semantics.
+        let out = hash_join(&reviews(), &products(), &["pid".into()], &["pid".into()]).unwrap();
+        assert_eq!(out.num_rows(), 5);
+        assert_eq!(out.schema().names(), vec!["pid", "rating", "brand"]);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let schema = Schema::new(vec![Field::nullable("pid", DataType::Int)]).unwrap();
+        let mut l = Table::new("l", schema.clone());
+        l.push_row(vec![Value::Null]).unwrap();
+        l.push_row(vec![1.into()]).unwrap();
+        let mut r = Table::new("r", Schema::new(vec![Field::nullable("k", DataType::Int)]).unwrap());
+        r.push_row(vec![Value::Null]).unwrap();
+        r.push_row(vec![1.into()]).unwrap();
+        let out = hash_join(&l, &r, &["pid".into()], &["k".into()]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn name_collision_is_rejected() {
+        let mut p2 = products();
+        p2.add_column(Field::new("rating", DataType::Int), vec![1.into(), 2.into(), 3.into()])
+            .unwrap();
+        let err = hash_join(&p2, &reviews(), &["pid".into()], &["pid".into()]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn empty_key_list_rejected() {
+        assert!(hash_join(&products(), &reviews(), &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! Physical relational operators: filter, hash join, group-by aggregation.
+
+pub mod aggregate;
+pub mod filter;
+pub mod join;
+
+pub use aggregate::{aggregate, AggExpr, AggFunc};
+pub use filter::filter;
+pub use join::hash_join;

@@ -1,0 +1,395 @@
+//! A small logical plan and executor, enough to run the SQL subset the
+//! `Use` operator of HypeR queries needs: scan → filter → join → group-by
+//! aggregation → projection → sort.
+
+use std::fmt;
+
+use crate::database::Database;
+use crate::error::{Result, StorageError};
+use crate::expr::Expr;
+use crate::ops::{aggregate, filter, hash_join, AggExpr};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+
+/// A logical query plan node.
+#[derive(Debug, Clone)]
+pub enum LogicalPlan {
+    /// Scan a stored table by name.
+    Scan(String),
+    /// A literal table (used for tests and derived inputs).
+    Values(Table),
+    /// σ: keep rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Inner hash equi-join.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Left join keys.
+        left_on: Vec<String>,
+        /// Right join keys.
+        right_on: Vec<String>,
+    },
+    /// Group-by aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping columns.
+        group_by: Vec<String>,
+        /// Aggregate expressions.
+        aggs: Vec<AggExpr>,
+    },
+    /// π: compute expressions with output aliases.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// `(expression, output name)` pairs.
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Rename columns positionally (`new_names.len()` must match).
+    Rename {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// New names, one per column.
+        new_names: Vec<String>,
+    },
+    /// Stable ascending sort by one column.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort column.
+        by: String,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Scan helper.
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan(table.into())
+    }
+
+    /// Wrap in a filter.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wrap in a join.
+    pub fn join(self, right: LogicalPlan, left_on: &[&str], right_on: &[&str]) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            left_on: left_on.iter().map(|s| s.to_string()).collect(),
+            right_on: right_on.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Wrap in an aggregation.
+    pub fn aggregate(self, group_by: &[&str], aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by.iter().map(|s| s.to_string()).collect(),
+            aggs,
+        }
+    }
+
+    /// Wrap in a projection.
+    pub fn project(self, exprs: Vec<(Expr, String)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Wrap in a sort.
+    pub fn sort(self, by: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            by: by.into(),
+        }
+    }
+
+    /// Execute the plan against `db`, materializing a table.
+    pub fn execute(&self, db: &Database) -> Result<Table> {
+        match self {
+            LogicalPlan::Scan(name) => Ok(db.table(name)?.clone()),
+            LogicalPlan::Values(t) => Ok(t.clone()),
+            LogicalPlan::Filter { input, predicate } => {
+                let t = input.execute(db)?;
+                filter(&t, predicate)
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                left_on,
+                right_on,
+            } => {
+                let l = left.execute(db)?;
+                let r = right.execute(db)?;
+                hash_join(&l, &r, left_on, right_on)
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let t = input.execute(db)?;
+                aggregate(&t, group_by, aggs)
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let t = input.execute(db)?;
+                project(&t, exprs)
+            }
+            LogicalPlan::Rename { input, new_names } => {
+                let t = input.execute(db)?;
+                rename(&t, new_names)
+            }
+            LogicalPlan::Sort { input, by } => {
+                let t = input.execute(db)?;
+                t.sort_by_column(by)
+            }
+            LogicalPlan::Limit { input, n } => {
+                let t = input.execute(db)?;
+                let take: Vec<usize> = (0..t.num_rows().min(*n)).collect();
+                Ok(t.gather(&take))
+            }
+        }
+    }
+}
+
+/// Compute a projection: each output column is an expression over the input.
+pub fn project(input: &Table, exprs: &[(Expr, String)]) -> Result<Table> {
+    let mut fields = Vec::with_capacity(exprs.len());
+    let mut bound = Vec::with_capacity(exprs.len());
+    for (e, alias) in exprs {
+        let b = e.bind(input.schema())?;
+        // Infer the output type from the expression shape: plain column
+        // references keep their type; everything else is typed by probing the
+        // first row (falling back to Float for empty inputs).
+        let dt = match e {
+            Expr::Column(name) => input.schema().field(input.schema().index_of(name)?).data_type,
+            _ => {
+                if input.num_rows() > 0 {
+                    b.eval_at(input, 0)?
+                        .data_type()
+                        .unwrap_or(crate::value::DataType::Float)
+                } else {
+                    crate::value::DataType::Float
+                }
+            }
+        };
+        fields.push(Field::nullable(alias.clone(), dt));
+        bound.push(b);
+    }
+    let schema = Schema::new(fields)?;
+    let mut out = Table::new(format!("π({})", input.name()), schema);
+    for i in 0..input.num_rows() {
+        let mut row = Vec::with_capacity(bound.len());
+        for b in &bound {
+            row.push(b.eval_at(input, i)?);
+        }
+        out.push_row_unchecked(row);
+    }
+    Ok(out)
+}
+
+/// Rename all columns positionally.
+pub fn rename(input: &Table, new_names: &[String]) -> Result<Table> {
+    if new_names.len() != input.num_columns() {
+        return Err(StorageError::InvalidPlan(format!(
+            "rename expects {} names, got {}",
+            input.num_columns(),
+            new_names.len()
+        )));
+    }
+    let fields: Vec<Field> = input
+        .schema()
+        .fields()
+        .iter()
+        .zip(new_names)
+        .map(|(f, n)| Field {
+            name: n.clone(),
+            data_type: f.data_type,
+            nullable: f.nullable,
+        })
+        .collect();
+    let schema = Schema::new(fields)?;
+    let mut out = Table::new(input.name(), schema);
+    for i in 0..input.num_rows() {
+        out.push_row_unchecked(input.row(i));
+    }
+    Ok(out)
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn indent(plan: &LogicalPlan, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+            let pad = "  ".repeat(depth);
+            match plan {
+                LogicalPlan::Scan(t) => writeln!(f, "{pad}Scan {t}"),
+                LogicalPlan::Values(t) => writeln!(f, "{pad}Values [{} rows]", t.num_rows()),
+                LogicalPlan::Filter { input, predicate } => {
+                    writeln!(f, "{pad}Filter {predicate}")?;
+                    indent(input, f, depth + 1)
+                }
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    left_on,
+                    right_on,
+                } => {
+                    writeln!(f, "{pad}Join on {left_on:?} = {right_on:?}")?;
+                    indent(left, f, depth + 1)?;
+                    indent(right, f, depth + 1)
+                }
+                LogicalPlan::Aggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    let names: Vec<&str> = aggs.iter().map(|a| a.alias.as_str()).collect();
+                    writeln!(f, "{pad}Aggregate group_by={group_by:?} aggs={names:?}")?;
+                    indent(input, f, depth + 1)
+                }
+                LogicalPlan::Project { input, exprs } => {
+                    let names: Vec<&str> = exprs.iter().map(|(_, a)| a.as_str()).collect();
+                    writeln!(f, "{pad}Project {names:?}")?;
+                    indent(input, f, depth + 1)
+                }
+                LogicalPlan::Rename { input, new_names } => {
+                    writeln!(f, "{pad}Rename {new_names:?}")?;
+                    indent(input, f, depth + 1)
+                }
+                LogicalPlan::Sort { input, by } => {
+                    writeln!(f, "{pad}Sort by {by}")?;
+                    indent(input, f, depth + 1)
+                }
+                LogicalPlan::Limit { input, n } => {
+                    writeln!(f, "{pad}Limit {n}")?;
+                    indent(input, f, depth + 1)
+                }
+            }
+        }
+        indent(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::ops::AggFunc;
+    use crate::value::{DataType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut prod = Table::with_key(
+            "product",
+            Schema::new(vec![
+                Field::new("pid", DataType::Int),
+                Field::new("brand", DataType::Str),
+                Field::new("price", DataType::Float),
+            ])
+            .unwrap(),
+            &["pid"],
+        )
+        .unwrap();
+        for (pid, brand, price) in [(1, "vaio", 999.0), (2, "asus", 529.0), (3, "hp", 599.0)] {
+            prod.push_row(vec![pid.into(), brand.into(), price.into()]).unwrap();
+        }
+        let mut rev = Table::with_key(
+            "review",
+            Schema::new(vec![
+                Field::new("pid", DataType::Int),
+                Field::new("rid", DataType::Int),
+                Field::new("rating", DataType::Int),
+            ])
+            .unwrap(),
+            &["pid", "rid"],
+        )
+        .unwrap();
+        for (pid, rid, rating) in [(1, 1, 2), (2, 2, 4), (2, 3, 1), (3, 4, 3), (3, 5, 5)] {
+            rev.push_row(vec![pid.into(), rid.into(), rating.into()]).unwrap();
+        }
+        db.add_table(prod).unwrap();
+        db.add_table(rev).unwrap();
+        db
+    }
+
+    #[test]
+    fn use_operator_shape_join_groupby() {
+        // The Figure-4 Use query: join product ⋈ review, group by product
+        // attributes, average the ratings.
+        let plan = LogicalPlan::scan("product")
+            .join(LogicalPlan::scan("review"), &["pid"], &["pid"])
+            .aggregate(
+                &["pid", "brand", "price"],
+                vec![AggExpr::new(AggFunc::Avg, Some(col("rating")), "rtng")],
+            );
+        let out = plan.execute(&db()).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        let rtng = out.column_by_name("rtng").unwrap();
+        assert_eq!(rtng[0], Value::Float(2.0)); // vaio
+        assert_eq!(rtng[1], Value::Float(2.5)); // asus
+        assert_eq!(rtng[2], Value::Float(4.0)); // hp
+    }
+
+    #[test]
+    fn filter_then_project() {
+        let plan = LogicalPlan::scan("product")
+            .filter(col("price").lt(lit(700.0)))
+            .project(vec![
+                (col("brand"), "brand".into()),
+                (col("price").times(lit(1.1)), "bumped".into()),
+            ]);
+        let out = plan.execute(&db()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.schema().names(), vec!["brand", "bumped"]);
+        let b = out.column_by_name("bumped").unwrap();
+        assert!((b[0].as_f64().unwrap() - 529.0 * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rename_and_sort_and_limit() {
+        let plan = LogicalPlan::Rename {
+            input: Box::new(LogicalPlan::scan("product").sort("price")),
+            new_names: vec!["id".into(), "b".into(), "p".into()],
+        };
+        let plan = LogicalPlan::Limit {
+            input: Box::new(plan),
+            n: 2,
+        };
+        let out = plan.execute(&db()).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.schema().names(), vec!["id", "b", "p"]);
+        assert_eq!(out.get(0, 1), &Value::str("asus"));
+    }
+
+    #[test]
+    fn scan_unknown_table_errors() {
+        assert!(LogicalPlan::scan("ghost").execute(&db()).is_err());
+    }
+
+    #[test]
+    fn plan_display_is_indented() {
+        let plan = LogicalPlan::scan("product").filter(col("price").lt(lit(700.0)));
+        let s = plan.to_string();
+        assert!(s.contains("Filter"));
+        assert!(s.contains("  Scan product"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Relation schemas: named, typed columns plus key metadata.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::value::{DataType, Value};
+
+/// A single column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name (unique within the schema).
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// Ordered collection of fields with O(1) name lookup.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Build a schema from fields, rejecting duplicate names.
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(StorageError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Position of the named column.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownColumn(name.to_string()))
+    }
+
+    /// True iff the column exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Append a field, rejecting duplicates.
+    pub fn push(&mut self, field: Field) -> Result<usize> {
+        if self.by_name.contains_key(&field.name) {
+            return Err(StorageError::DuplicateColumn(field.name));
+        }
+        let idx = self.fields.len();
+        self.by_name.insert(field.name.clone(), idx);
+        self.fields.push(field);
+        Ok(idx)
+    }
+
+    /// Validate that `row` matches this schema (arity, types, nullability).
+    pub fn check_row(&self, row: &[Value]) -> Result<()> {
+        if row.len() != self.fields.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.fields.len()
+            )));
+        }
+        for (v, f) in row.iter().zip(&self.fields) {
+            match v.data_type() {
+                None if f.nullable => {}
+                None => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "NULL in non-nullable column `{}`",
+                        f.name
+                    )))
+                }
+                // Ints are accepted into float columns (common when data
+                // generators emit round numbers).
+                Some(DataType::Int) if f.data_type == DataType::Float => {}
+                Some(dt) if dt == f.data_type => {}
+                Some(dt) => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "column `{}` expects {}, got {} ({v})",
+                        f.name, f.data_type, dt
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fld| format!("{} {}", fld.name, fld.data_type))
+            .collect();
+        write!(f, "({})", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::nullable("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.index_of("name").unwrap(), 1);
+        assert!(s.index_of("missing").is_err());
+        assert!(s.contains("score"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn rejects_duplicate_columns() {
+        let err = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("a", DataType::Str),
+        ])
+        .unwrap_err();
+        assert_eq!(err, StorageError::DuplicateColumn("a".into()));
+    }
+
+    #[test]
+    fn check_row_validates() {
+        let s = schema();
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("x"), Value::Float(0.5)])
+            .is_ok());
+        // Int accepted into Float column.
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("x"), Value::Int(2)])
+            .is_ok());
+        // NULL only where nullable.
+        assert!(s
+            .check_row(&[Value::Int(1), Value::str("x"), Value::Null])
+            .is_ok());
+        assert!(s
+            .check_row(&[Value::Null, Value::str("x"), Value::Null])
+            .is_err());
+        // Arity.
+        assert!(s.check_row(&[Value::Int(1)]).is_err());
+        // Type.
+        assert!(s
+            .check_row(&[Value::str("1"), Value::str("x"), Value::Null])
+            .is_err());
+    }
+
+    #[test]
+    fn push_extends() {
+        let mut s = schema();
+        let idx = s.push(Field::new("extra", DataType::Bool)).unwrap();
+        assert_eq!(idx, 3);
+        assert!(s.push(Field::new("extra", DataType::Int)).is_err());
+    }
+}

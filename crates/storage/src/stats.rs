@@ -1,0 +1,180 @@
+//! Per-column domain statistics: distinct values, min/max, percentiles.
+//!
+//! HypeR needs these for (a) "update attribute to its domain min/max"
+//! experiments (Fig. 8), (b) percentile-based updates (the Amazon use case),
+//! and (c) bucketizing continuous attributes before the how-to IP (§4.3).
+
+use std::collections::HashMap;
+
+use crate::error::Result;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Summary of one column's observed domain.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Number of non-NULL values.
+    pub count: usize,
+    /// Number of NULLs.
+    pub null_count: usize,
+    /// Distinct non-NULL values with their frequencies, sorted by value.
+    pub distinct: Vec<(Value, usize)>,
+    /// Minimum (total order), if any non-NULL value exists.
+    pub min: Option<Value>,
+    /// Maximum.
+    pub max: Option<Value>,
+    /// Mean of numeric values, if the column is numeric.
+    pub mean: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Compute statistics for the named column of `table`.
+    pub fn compute(table: &Table, column: &str) -> Result<ColumnStats> {
+        let idx = table.schema().index_of(column)?;
+        let values = table.column(idx);
+        let mut freq: HashMap<Value, usize> = HashMap::new();
+        let mut null_count = 0usize;
+        let mut sum = 0.0f64;
+        let mut numeric = 0usize;
+        for v in values {
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            *freq.entry(v.clone()).or_insert(0) += 1;
+            if let Some(x) = v.as_f64() {
+                sum += x;
+                numeric += 1;
+            }
+        }
+        let mut distinct: Vec<(Value, usize)> = freq.into_iter().collect();
+        distinct.sort_by(|a, b| a.0.cmp(&b.0));
+        let count = values.len() - null_count;
+        Ok(ColumnStats {
+            name: column.to_string(),
+            count,
+            null_count,
+            min: distinct.first().map(|(v, _)| v.clone()),
+            max: distinct.last().map(|(v, _)| v.clone()),
+            mean: if numeric == count && count > 0 {
+                Some(sum / count as f64)
+            } else {
+                None
+            },
+            distinct,
+        })
+    }
+
+    /// Number of distinct non-NULL values.
+    pub fn num_distinct(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// The distinct values only (sorted).
+    pub fn domain(&self) -> Vec<Value> {
+        self.distinct.iter().map(|(v, _)| v.clone()).collect()
+    }
+
+    /// Empirical `p`-th percentile (0 ≤ p ≤ 100) of a numeric column using
+    /// the nearest-rank method; `None` for non-numeric or empty columns.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let mut xs: Vec<f64> = Vec::with_capacity(self.count);
+        for (v, n) in &self.distinct {
+            let x = v.as_f64()?;
+            for _ in 0..*n {
+                xs.push(x);
+            }
+        }
+        // `distinct` is value-sorted, so xs is already ascending.
+        let rank = ((p / 100.0) * xs.len() as f64).ceil() as usize;
+        Some(xs[rank.clamp(1, xs.len()) - 1])
+    }
+
+    /// `k` equi-width bucket midpoints spanning `[min, max]` of a numeric
+    /// column (the paper's bucketization for how-to candidate updates).
+    pub fn equi_width_midpoints(&self, k: usize) -> Option<Vec<f64>> {
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        let lo = self.min.as_ref()?.as_f64()?;
+        let hi = self.max.as_ref()?.as_f64()?;
+        if !(lo.is_finite() && hi.is_finite()) {
+            return None;
+        }
+        let width = (hi - lo) / k as f64;
+        Some(
+            (0..k)
+                .map(|i| lo + width * (i as f64 + 0.5))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::nullable("x", DataType::Float),
+            Field::new("c", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        for x in [10.0, 20.0, 20.0, 40.0, 100.0] {
+            t.push_row(vec![x.into(), "a".into()]).unwrap();
+        }
+        t.push_row(vec![Value::Null, "b".into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = ColumnStats::compute(&table(), "x").unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.num_distinct(), 4);
+        assert_eq!(s.min, Some(Value::Float(10.0)));
+        assert_eq!(s.max, Some(Value::Float(100.0)));
+        assert!((s.mean.unwrap() - 38.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_stats_have_no_mean() {
+        let s = ColumnStats::compute(&table(), "c").unwrap();
+        assert_eq!(s.mean, None);
+        assert_eq!(s.num_distinct(), 2);
+        assert_eq!(s.min, Some(Value::str("a")));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s = ColumnStats::compute(&table(), "x").unwrap();
+        assert_eq!(s.percentile(50.0), Some(20.0));
+        assert_eq!(s.percentile(80.0), Some(40.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn equi_width_midpoints_span_domain() {
+        let s = ColumnStats::compute(&table(), "x").unwrap();
+        let mids = s.equi_width_midpoints(3).unwrap();
+        assert_eq!(mids.len(), 3);
+        assert!((mids[0] - 25.0).abs() < 1e-9);
+        assert!((mids[2] - 85.0).abs() < 1e-9);
+        assert_eq!(s.equi_width_midpoints(0).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(ColumnStats::compute(&table(), "nope").is_err());
+    }
+}

@@ -1,0 +1,306 @@
+//! In-memory tables with columnar storage.
+
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::schema::{Field, Schema};
+use crate::value::{Row, Value};
+
+/// A named relation: schema + columnar data + optional primary key.
+///
+/// Storage is column-major (`Vec<Vec<Value>>`), which keeps aggregate scans
+/// and per-attribute statistics cache-friendly; row views are materialized on
+/// demand.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Vec<Value>>,
+    /// Indices of the primary-key columns (possibly empty for derived views).
+    primary_key: Vec<usize>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let columns = (0..schema.len()).map(|_| Vec::new()).collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Create an empty table and declare its primary-key columns by name.
+    pub fn with_key(
+        name: impl Into<String>,
+        schema: Schema,
+        key_columns: &[&str],
+    ) -> Result<Self> {
+        let mut t = Table::new(name, schema);
+        let mut key = Vec::with_capacity(key_columns.len());
+        for k in key_columns {
+            key.push(t.schema.index_of(k)?);
+        }
+        t.primary_key = key;
+        Ok(t)
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (used when registering derived views).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Primary-key column indices.
+    pub fn primary_key(&self) -> &[usize] {
+        &self.primary_key
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Vec::len)
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Reserve capacity for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.columns {
+            c.reserve(additional);
+        }
+    }
+
+    /// Append a row after validating it against the schema.
+    pub fn push_row(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        Ok(())
+    }
+
+    /// Append a row without schema validation (hot path for operators whose
+    /// output schema is constructed alongside the data).
+    pub(crate) fn push_row_unchecked(&mut self, row: Row) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+
+    /// Full column by index.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// Full column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+        Ok(self.column(self.schema.index_of(name)?))
+    }
+
+    /// Mutable access to a cell (used by hypothetical-update application).
+    pub fn set(&mut self, row: usize, col: usize, v: Value) {
+        self.columns[col][row] = v;
+    }
+
+    /// Cell value.
+    pub fn get(&self, row: usize, col: usize) -> &Value {
+        &self.columns[col][row]
+    }
+
+    /// Materialize row `i`.
+    pub fn row(&self, i: usize) -> Row {
+        self.columns.iter().map(|c| c[i].clone()).collect()
+    }
+
+    /// Iterate over materialized rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        (0..self.num_rows()).map(move |i| self.row(i))
+    }
+
+    /// Build a new table containing only the rows at `indices` (in order).
+    pub fn gather(&self, indices: &[usize]) -> Table {
+        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(self.columns.len());
+        for c in &self.columns {
+            let mut out = Vec::with_capacity(indices.len());
+            for &i in indices {
+                out.push(c[i].clone());
+            }
+            columns.push(out);
+        }
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns,
+            primary_key: self.primary_key.clone(),
+        }
+    }
+
+    /// Project to the named columns, producing a new table.
+    pub fn project(&self, names: &[&str]) -> Result<Table> {
+        let mut fields = Vec::with_capacity(names.len());
+        let mut idxs = Vec::with_capacity(names.len());
+        for n in names {
+            let i = self.schema.index_of(n)?;
+            fields.push(self.schema.field(i).clone());
+            idxs.push(i);
+        }
+        let schema = Schema::new(fields)?;
+        let columns = idxs.iter().map(|&i| self.columns[i].clone()).collect();
+        Ok(Table {
+            name: self.name.clone(),
+            schema,
+            columns,
+            primary_key: Vec::new(),
+        })
+    }
+
+    /// Add a new column with the given values.
+    pub fn add_column(&mut self, field: Field, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.num_rows() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "column `{}` has {} values, table has {} rows",
+                field.name,
+                values.len(),
+                self.num_rows()
+            )));
+        }
+        self.schema.push(field)?;
+        self.columns.push(values);
+        Ok(())
+    }
+
+    /// Sort rows by the given column (ascending), stable.
+    pub fn sort_by_column(&self, name: &str) -> Result<Table> {
+        let idx = self.schema.index_of(name)?;
+        let mut order: Vec<usize> = (0..self.num_rows()).collect();
+        order.sort_by(|&a, &b| self.columns[idx][a].cmp(&self.columns[idx][b]));
+        Ok(self.gather(&order))
+    }
+
+    /// Verify the declared primary key is unique; returns the offending key
+    /// rendering on failure.
+    pub fn check_key_unique(&self) -> Result<()> {
+        if self.primary_key.is_empty() {
+            return Ok(());
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.num_rows());
+        for i in 0..self.num_rows() {
+            let key: Vec<&Value> = self.primary_key.iter().map(|&c| &self.columns[c][i]).collect();
+            if !seen.insert(key.iter().map(|v| (*v).clone()).collect::<Vec<_>>()) {
+                let rendered: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+                return Err(StorageError::DuplicateKey(rendered.join(",")));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} {}", self.name, self.schema)?;
+        let n = self.num_rows().min(20);
+        for i in 0..n {
+            let cells: Vec<String> = (0..self.num_columns())
+                .map(|c| self.get(i, c).to_string())
+                .collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.num_rows() > n {
+            writeln!(f, "  … {} more rows", self.num_rows() - n)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    fn sample() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("brand", DataType::Str),
+            Field::new("price", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::with_key("product", schema, &["id"]).unwrap();
+        t.push_row(vec![1.into(), "vaio".into(), 999.0.into()]).unwrap();
+        t.push_row(vec![2.into(), "asus".into(), 529.0.into()]).unwrap();
+        t.push_row(vec![3.into(), "hp".into(), 599.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.get(1, 1), &Value::str("asus"));
+        assert_eq!(t.row(2), vec![3.into(), "hp".into(), 599.0.into()]);
+    }
+
+    #[test]
+    fn push_rejects_bad_rows() {
+        let mut t = sample();
+        assert!(t.push_row(vec![4.into(), 5.into(), 1.0.into()]).is_err());
+        assert!(t.push_row(vec![4.into()]).is_err());
+        assert_eq!(t.num_rows(), 3, "failed insert must not partially apply");
+    }
+
+    #[test]
+    fn gather_and_project() {
+        let t = sample();
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.get(0, 1), &Value::str("hp"));
+        let p = t.project(&["brand"]).unwrap();
+        assert_eq!(p.num_columns(), 1);
+        assert_eq!(p.column(0).len(), 3);
+        assert!(t.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn sort_by_column_orders_rows() {
+        let t = sample();
+        let s = t.sort_by_column("price").unwrap();
+        assert_eq!(s.get(0, 1), &Value::str("asus"));
+        assert_eq!(s.get(2, 1), &Value::str("vaio"));
+    }
+
+    #[test]
+    fn key_uniqueness() {
+        let mut t = sample();
+        assert!(t.check_key_unique().is_ok());
+        t.push_row(vec![2.into(), "dup".into(), 1.0.into()]).unwrap();
+        assert!(t.check_key_unique().is_err());
+    }
+
+    #[test]
+    fn add_column_validates_length() {
+        let mut t = sample();
+        assert!(t
+            .add_column(
+                Field::new("stock", DataType::Int),
+                vec![1.into(), 2.into(), 3.into()]
+            )
+            .is_ok());
+        assert!(t
+            .add_column(Field::new("bad", DataType::Int), vec![1.into()])
+            .is_err());
+    }
+}

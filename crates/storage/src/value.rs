@@ -1,0 +1,405 @@
+//! Dynamically-typed values stored in relations.
+//!
+//! `Value` is the cell type of every table. It must be usable as a group-by
+//! and index key, so it implements a *strict* `Eq`/`Hash`/`Ord` (variant-aware,
+//! bit-exact for floats), while SQL-style comparisons with numeric coercion
+//! are exposed separately via [`Value::sql_eq`] and [`Value::sql_cmp`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::error::{Result, StorageError};
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string (categorical attributes).
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "BOOL"),
+            DataType::Int => write!(f, "INT"),
+            DataType::Float => write!(f, "FLOAT"),
+            DataType::Str => write!(f, "STR"),
+        }
+    }
+}
+
+/// A single cell value.
+///
+/// Strings are reference-counted so cloning rows is cheap (see the heap
+/// allocation guidance in the Rust performance book).
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL / missing.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// String.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Create a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The data type of this value, or `None` for NULL.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Str(_) => Some(DataType::Str),
+        }
+    }
+
+    /// True iff the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value (Int and Float coerce; Bool maps to 0/1).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats truncate only when exactly integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() => Some(*f as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: numeric variants coerce (`Int(1) = Float(1.0)`), NULL
+    /// compares equal to nothing (including NULL), mirroring three-valued
+    /// logic collapsed to `false`.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x == y,
+                _ => a == b,
+            },
+        }
+    }
+
+    /// SQL ordering comparison with numeric coercion.
+    ///
+    /// Returns `None` when either side is NULL or the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.partial_cmp(&y),
+                _ => None,
+            },
+        }
+    }
+
+    /// Arithmetic addition with numeric coercion.
+    pub fn add(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, "+", |x, y| x + y, i64::checked_add)
+    }
+
+    /// Arithmetic subtraction with numeric coercion.
+    pub fn sub(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, "-", |x, y| x - y, i64::checked_sub)
+    }
+
+    /// Arithmetic multiplication with numeric coercion.
+    pub fn mul(&self, other: &Value) -> Result<Value> {
+        numeric_binop(self, other, "*", |x, y| x * y, i64::checked_mul)
+    }
+
+    /// Arithmetic division; always produces a float, errors on division by 0.
+    pub fn div(&self, other: &Value) -> Result<Value> {
+        match (self.as_f64(), other.as_f64()) {
+            (Some(_), Some(0.0)) => {
+                Err(StorageError::TypeError("division by zero".into()))
+            }
+            (Some(x), Some(y)) => Ok(Value::Float(x / y)),
+            _ => Err(StorageError::TypeError(format!(
+                "cannot divide {self} by {other}"
+            ))),
+        }
+    }
+
+    /// Rank used to totally order heterogeneous values.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Canonical float bits: normalizes `-0.0` and all NaNs so that
+    /// `Hash`/`Eq` agree.
+    fn canonical_f64_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0.0f64.to_bits()
+        } else {
+            f.to_bits()
+        }
+    }
+}
+
+fn numeric_binop(
+    a: &Value,
+    b: &Value,
+    op: &str,
+    f: fn(f64, f64) -> f64,
+    g: fn(i64, i64) -> Option<i64>,
+) -> Result<Value> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => match g(*x, *y) {
+            Some(v) => Ok(Value::Int(v)),
+            None => Ok(Value::Float(f(*x as f64, *y as f64))),
+        },
+        _ => match (a.as_f64(), b.as_f64()) {
+            (Some(x), Some(y)) => Ok(Value::Float(f(x, y))),
+            _ => Err(StorageError::TypeError(format!(
+                "cannot apply `{op}` to {a} and {b}"
+            ))),
+        },
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_f64_bits(*a) == Value::canonical_f64_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.variant_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            Value::Float(f) => Value::canonical_f64_bits(*f).hash(state),
+            Value::Str(s) => s.hash(state),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: numerics compare by value first with a variant tie-break,
+    /// other variants compare by rank then payload. Consistent with `Eq`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64)
+                .total_cmp(b)
+                .then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a
+                .total_cmp(&(*b as f64))
+                .then(Ordering::Greater),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (a, b) => a.variant_rank().cmp(&b.variant_rank()),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+/// A row is a vector of values, positionally aligned with a schema.
+pub type Row = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn strict_eq_is_variant_aware() {
+        assert_ne!(Value::Int(1), Value::Float(1.0));
+        assert_eq!(Value::Float(0.0), Value::Float(-0.0));
+        assert_eq!(Value::Float(f64::NAN), Value::Float(f64::NAN));
+        assert_eq!(Value::str("a"), Value::str("a"));
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        assert_eq!(
+            hash_of(&Value::Float(0.0)),
+            hash_of(&Value::Float(-0.0))
+        );
+        assert_eq!(
+            hash_of(&Value::Float(f64::NAN)),
+            hash_of(&Value::Float(f64::NAN))
+        );
+    }
+
+    #[test]
+    fn sql_eq_coerces_numerics() {
+        assert!(Value::Int(1).sql_eq(&Value::Float(1.0)));
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert!(!Value::Int(1).sql_eq(&Value::str("1")));
+    }
+
+    #[test]
+    fn sql_cmp_orders_numerics() {
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::str("a").sql_cmp(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
+    }
+
+    #[test]
+    fn total_order_is_consistent() {
+        let mut vals = [Value::str("z"),
+            Value::Float(1.5),
+            Value::Int(2),
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-4)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert!(matches!(vals[1], Value::Bool(true)));
+        assert_eq!(vals[2], Value::Int(-4));
+        assert_eq!(vals[3], Value::Float(1.5));
+        assert_eq!(vals[4], Value::Int(2));
+        assert_eq!(vals[5], Value::str("z"));
+    }
+
+    #[test]
+    fn arithmetic_coerces_and_checks() {
+        assert_eq!(Value::Int(2).add(&Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            Value::Int(2).mul(&Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(Value::Int(1).div(&Value::Int(0)).is_err());
+        assert!(Value::str("a").add(&Value::Int(1)).is_err());
+        // Overflow falls back to float instead of panicking.
+        assert!(matches!(
+            Value::Int(i64::MAX).add(&Value::Int(1)).unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn integral_float_as_i64() {
+        assert_eq!(Value::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Float(3.5).as_i64(), None);
+        assert_eq!(Value::Bool(true).as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,86 @@
+//! Amazon pricing analysis (paper §5.3, "Amazon" paragraph).
+//!
+//! "We evaluated the effect of changing price of products of different
+//! brands on their rating. When all products have price more than the 80th
+//! percentile, around 32% of the products have average rating of more than
+//! 4. On further reducing the laptop prices to 60th and 40th percentiles,
+//! more than 60% of the products get an average rating of more than 4."
+//!
+//! ```sh
+//! cargo run --release --example amazon_pricing
+//! ```
+
+use hyper_repro::prelude::*;
+use hyper_repro::storage::ColumnStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = hyper_repro::datasets::amazon(2000, 9, 7);
+    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+
+    // Percentiles of laptop prices.
+    let products = data.db.table("product")?;
+    let laptops = hyper_repro::storage::ops::filter::filter(
+        products,
+        &hyper_repro::storage::col("category").eq(hyper_repro::storage::lit("Laptop")),
+    )?;
+    let stats = ColumnStats::compute(&laptops, "price")?;
+    println!(
+        "laptop prices: min {:.0}, median {:.0}, max {:.0}",
+        stats.min.as_ref().unwrap().as_f64().unwrap(),
+        stats.percentile(50.0).unwrap(),
+        stats.max.as_ref().unwrap().as_f64().unwrap()
+    );
+
+    let view = "
+        Use (Select T1.pid, T1.category, T1.price, T1.brand, T1.quality,
+                    Avg(T2.rating) As rtng
+             From product As T1, review As T2
+             Where T1.pid = T2.pid And T1.category = 'Laptop'
+             Group By T1.pid, T1.category, T1.price, T1.brand, T1.quality)";
+
+    // What fraction of laptops would rate > 4 if every laptop's price were
+    // set to the given percentile?
+    println!("\nprice level → share of laptops with expected avg rating > 4");
+    for pct in [80.0, 60.0, 40.0] {
+        let price = stats.percentile(pct).unwrap();
+        let q = format!(
+            "{view}
+             Update(price) = {price}
+             Output Count(Post(rtng) > 4)"
+        );
+        let r = engine.whatif_text(&q)?;
+        let share = r.value / r.n_scope_rows as f64;
+        println!("  {pct:>3}th percentile ({price:>7.0}) → {:5.1}%", share * 100.0);
+    }
+
+    // Brand sensitivity: which brand's ratings react most to a 25% cut?
+    println!("\nbrand → expected avg-rating gain from a 25% price cut");
+    let mut gains: Vec<(String, f64)> = Vec::new();
+    for brand in ["Apple", "Dell", "Toshiba", "Acer", "Asus"] {
+        let base = format!(
+            "{view}
+             When brand = '{brand}'
+             Update(price) = 1.0 * Pre(price)
+             Output Avg(Post(rtng))
+             For Pre(brand) = '{brand}'"
+        );
+        let cut = base.replace("1.0 * Pre(price)", "0.75 * Pre(price)");
+        let v0 = engine.whatif_text(&base)?.value;
+        let v1 = engine.whatif_text(&cut)?.value;
+        gains.push((brand.to_string(), v1 - v0));
+    }
+    for (brand, gain) in &gains {
+        println!("  {brand:<8} {gain:+.3}");
+    }
+    let apple = gains.iter().find(|(b, _)| b == "Apple").unwrap().1;
+    let max_other = gains
+        .iter()
+        .filter(|(b, _)| b != "Apple")
+        .map(|(_, g)| *g)
+        .fold(f64::MIN, f64::max);
+    println!(
+        "\nApple reacts most: {}",
+        if apple >= max_other { "yes (matches §5.3)" } else { "no (noise this run)" }
+    );
+    Ok(())
+}

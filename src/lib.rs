@@ -1,0 +1,60 @@
+//! # HypeR — hypothetical reasoning with what-if and how-to queries
+//!
+//! A Rust reproduction of *"HypeR: Hypothetical Reasoning With What-If and
+//! How-To Queries Using a Probabilistic Causal Approach"* (SIGMOD 2022).
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`storage`] | in-memory relational engine (tables, joins, group-by, stats, support index) |
+//! | [`causal`]  | causal graphs, ground graphs, blocks, backdoor sets, SCMs |
+//! | [`ml`]      | regression forests, linear models, encoders, discretizers |
+//! | [`ip`]      | simplex LP + branch-and-bound 0-1 ILP + enumeration oracle |
+//! | [`query`]   | the extended SQL language (`Use`/`When`/`Update`/`Output`/`For`, `HowToUpdate`/`Limit`/`ToMaximize`) |
+//! | [`core`]    | the HypeR engine: what-if estimation and how-to optimization |
+//! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hyper_repro::prelude::*;
+//!
+//! // Figure 1's toy Amazon database with the Figure 2 causal graph.
+//! let data = hyper_repro::datasets::amazon::amazon_figure1();
+//! let engine = HyperEngine::new(&data.db, Some(&data.graph));
+//!
+//! // The Figure 4 what-if query.
+//! let result = engine.whatif_text(
+//!     "Use (Select T1.pid, T1.category, T1.price, T1.brand,
+//!              Avg(sentiment) As senti, Avg(T2.rating) As rtng
+//!           From product As T1, review As T2
+//!           Where T1.pid = T2.pid
+//!           Group By T1.pid, T1.category, T1.price, T1.brand)
+//!      When brand = 'Asus'
+//!      Update(price) = 1.1 * Pre(price)
+//!      Output Avg(Post(rtng))
+//!      For Pre(category) = 'Laptop'",
+//! ).unwrap();
+//! assert!(result.value >= 1.0 && result.value <= 5.0);
+//! ```
+
+pub use hyper_causal as causal;
+pub use hyper_core as core;
+pub use hyper_datasets as datasets;
+pub use hyper_ip as ip;
+pub use hyper_ml as ml;
+pub use hyper_query as query;
+pub use hyper_storage as storage;
+
+/// Common imports for applications.
+pub mod prelude {
+    pub use hyper_causal::{BlockDecomposition, CausalGraph, Intervention, InterventionOp, Scm};
+    pub use hyper_core::{
+        exact_whatif, BackdoorMode, EngineConfig, HowToOptions, HowToResult, HyperEngine,
+        QueryOutcome, WhatIfResult,
+    };
+    pub use hyper_datasets::Dataset;
+    pub use hyper_query::{parse_query, HypotheticalQuery};
+    pub use hyper_storage::{Database, Table, Value};
+}
