@@ -1,9 +1,18 @@
 //! Criterion microbenchmarks for how-to optimization (Fig 9b / 11b
 //! companions): IP vs exhaustive enumeration, and bucket-count scaling.
 
+//!
+//! Measures the *cold* single-shot path (free `evaluate_howto*` functions)
+//! so every iteration pays candidate generation and estimator training, as
+//! the paper's figures do. Session-cached how-to latency is covered by
+//! `bench_session`.
+
 use std::time::Duration;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyper_core::{HowToOptions, HyperEngine};
+use hyper_core::howto::baseline::evaluate_howto_bruteforce;
+use hyper_core::howto::optimizer::evaluate_howto;
+use hyper_core::{EngineConfig, HowToOptions};
 
 fn parse(text: &str) -> hyper_query::HowToQuery {
     match hyper_query::parse_query(text).unwrap() {
@@ -18,19 +27,22 @@ fn bench_ip_vs_enumeration(c: &mut Criterion) {
         "Use german_syn HowToUpdate status, housing
          ToMaximize Count(Post(credit) = 'Good')",
     );
-    let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
-        HowToOptions {
-            buckets: 3,
-            max_attrs_updated: None,
-        },
-    );
+    let config = EngineConfig::hyper();
+    let opts = HowToOptions {
+        buckets: 3,
+        max_attrs_updated: None,
+    };
     let mut group = c.benchmark_group("howto_4k_2attrs");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
-    group.bench_function("ip", |b| b.iter(|| engine.howto(&q).unwrap()));
+    group.bench_function("ip", |b| {
+        b.iter(|| evaluate_howto(&data.db, Some(&data.graph), &config, &q, &opts).unwrap())
+    });
     group.bench_function("enumeration", |b| {
-        b.iter(|| engine.howto_bruteforce(&q).unwrap())
+        b.iter(|| {
+            evaluate_howto_bruteforce(&data.db, Some(&data.graph), &config, &q, &opts).unwrap()
+        })
     });
     group.finish();
 }
@@ -46,15 +58,14 @@ fn bench_bucket_scaling(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
+    let config = EngineConfig::hyper();
     for k in [2usize, 4, 8] {
-        let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
-            HowToOptions {
-                buckets: k,
-                max_attrs_updated: None,
-            },
-        );
-        group.bench_with_input(BenchmarkId::from_parameter(k), &engine, |b, e| {
-            b.iter(|| e.howto(&q).unwrap());
+        let opts = HowToOptions {
+            buckets: k,
+            max_attrs_updated: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &opts, |b, o| {
+            b.iter(|| evaluate_howto(&data.db, Some(&data.graph), &config, &q, o).unwrap());
         });
     }
     group.finish();

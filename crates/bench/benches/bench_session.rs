@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks for the session layer: what the artifact
+//! cache buys on the German credit workload (German-Syn, 10k rows).
+//!
+//! * `whatif_cold_vs_prepared` — one what-if evaluated (a) cold through
+//!   the single-shot path (view rebuilt + estimator retrained every time)
+//!   vs (b) through a prepared query over a warm session cache.
+//! * `sweep12_sequential_vs_batch` — a 12-query parameter sweep executed
+//!   one-by-one vs fanned out by `execute_batch` (shared cache + worker
+//!   threads), plus the steady-state re-execution over a warm cache.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyper_core::{evaluate_whatif, EngineConfig, HyperSession};
+use hyper_query::WhatIfQuery;
+
+const QUERY: &str = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+
+fn parse_whatif(text: &str) -> WhatIfQuery {
+    match hyper_query::parse_query(text).unwrap() {
+        hyper_query::HypotheticalQuery::WhatIf(q) => q,
+        _ => unreachable!(),
+    }
+}
+
+fn bench_cold_vs_prepared(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(10_000, 1);
+    let config = EngineConfig::hyper();
+    let q = parse_whatif(QUERY);
+
+    let mut group = c.benchmark_group("whatif_cold_vs_prepared_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("cold_single_shot", |b| {
+        b.iter(|| evaluate_whatif(&data.db, Some(&data.graph), &config, &q).unwrap());
+    });
+
+    let session = HyperSession::builder(data.db.clone())
+        .graph(data.graph.clone())
+        .config(config.clone())
+        .build();
+    let prepared = session.prepare(QUERY).unwrap();
+    prepared.execute().unwrap(); // warm the view + estimator caches
+    group.bench_function("prepared_cached", |b| {
+        b.iter(|| prepared.execute_whatif().unwrap());
+    });
+    group.finish();
+}
+
+/// A 12-query parameter sweep over one scenario: same `Use` clause,
+/// different update attributes/values — the prepare-once/execute-many
+/// workload the session API is built for.
+fn sweep_queries() -> Vec<String> {
+    let mut qs = Vec::new();
+    for status in 1..=4 {
+        qs.push(format!(
+            "Use german_syn Update(status) = {status} Output Count(Post(credit) = 'Good')"
+        ));
+    }
+    for savings in 1..=4 {
+        qs.push(format!(
+            "Use german_syn Update(savings) = {savings} Output Count(Post(credit) = 'Good')"
+        ));
+    }
+    for housing in 0..=3 {
+        qs.push(format!(
+            "Use german_syn Update(housing) = {housing} Output Count(Post(credit) = 'Good')"
+        ));
+    }
+    qs
+}
+
+fn bench_sequential_vs_batch(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(10_000, 2);
+    let queries = sweep_queries();
+
+    let mut group = c.benchmark_group("sweep12_sequential_vs_batch_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("sequential_fresh_session", |b| {
+        b.iter(|| {
+            let session = HyperSession::builder(data.db.clone())
+                .graph(data.graph.clone())
+                .build();
+            for q in &queries {
+                session.execute(q).unwrap();
+            }
+        });
+    });
+    group.bench_function("parallel_batch_fresh_session", |b| {
+        b.iter(|| {
+            let session = HyperSession::builder(data.db.clone())
+                .graph(data.graph.clone())
+                .build();
+            for r in session.execute_batch(&queries) {
+                r.unwrap();
+            }
+        });
+    });
+    // Steady state: the sweep re-executed over an already-warm cache.
+    let warm = HyperSession::builder(data.db.clone())
+        .graph(data.graph.clone())
+        .build();
+    warm.execute_batch(&queries);
+    group.bench_function("parallel_batch_warm_cache", |b| {
+        b.iter(|| {
+            for r in warm.execute_batch(&queries) {
+                r.unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
+    targets = bench_cold_vs_prepared, bench_sequential_vs_batch
+}
+criterion_main!(benches);

@@ -1,7 +1,6 @@
 //! Criterion microbenchmarks for the substrates: relational operators,
 //! block decomposition, forest training, and the ILP solver.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hyper_causal::BlockDecomposition;
 use hyper_ip::{solve_ilp, Model, Sense};
@@ -9,6 +8,7 @@ use hyper_ml::{ForestParams, Matrix, RandomForest};
 use hyper_storage::{col, AggExpr, AggFunc, LogicalPlan};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::Duration;
 
 fn bench_storage_ops(c: &mut Criterion) {
     let data = hyper_datasets::amazon(3_000, 9, 1);

@@ -7,8 +7,8 @@
 //! cargo run --release -p hyper-bench --bin fig10 [--quick|--full]
 //! ```
 
-use hyper_bench::{engine_for, ground_truth_mean, ground_truth_share, print_table, Flags};
-use hyper_core::{EngineConfig, HowToOptions, HyperEngine};
+use hyper_bench::{ground_truth_mean, ground_truth_share, print_table, session_for, Flags};
+use hyper_core::{EngineConfig, HowToOptions, HyperSession};
 use hyper_storage::Value;
 
 fn main() {
@@ -44,7 +44,7 @@ fn main() {
         let mut configs = hyper_bench::variants();
         configs.insert(1, ("HypeR-sampled", EngineConfig::hyper_sampled(50_000)));
         for (_, config) in configs {
-            let engine = engine_for(&data.db, &data.graph, &config);
+            let engine = session_for(&data.db, &data.graph, &config);
             let r = engine.whatif_text(&query).expect("query evaluates");
             cells.push(format!("{:.3}", r.value / r.n_view_rows as f64));
         }
@@ -52,7 +52,14 @@ fn main() {
     }
     print_table(
         &format!("Fig 10a: German-Syn ({n}) — share good credit after do(attr := max)"),
-        &["attribute", "GroundTruth", "HypeR", "HypeR-sampled", "HypeR-NB", "Indep"],
+        &[
+            "attribute",
+            "GroundTruth",
+            "HypeR",
+            "HypeR-sampled",
+            "HypeR-NB",
+            "Indep",
+        ],
         &rows,
     );
     println!("expected shape: HypeR/sampled/NB within ~5% of ground truth;");
@@ -73,7 +80,13 @@ fn main() {
          Where S.sid = P.sid
          Group By S.sid, S.age, S.country, S.attendance)";
     let mut rows = Vec::new();
-    for attr in ["assignment", "attendance", "announcements", "hand_raised", "discussion"] {
+    for attr in [
+        "assignment",
+        "attendance",
+        "announcements",
+        "hand_raised",
+        "discussion",
+    ] {
         let truth = ground_truth_mean(sscm, gt_n, 98, attr, Value::Float(95.0), "grade");
         let query = format!(
             "{view}
@@ -82,7 +95,7 @@ fn main() {
         );
         let mut cells = vec![attr.to_string(), format!("{truth:.2}")];
         for (_, config) in hyper_bench::variants() {
-            let engine = engine_for(&sdata.db, &sdata.graph, &config);
+            let engine = session_for(&sdata.db, &sdata.graph, &config);
             let r = engine.whatif_text(&query).expect("query evaluates");
             cells.push(format!("{:.2}", r.value));
         }
@@ -98,12 +111,11 @@ fn main() {
 
     // ---------------- §5.4 how-to quality ----------------
     let hdata = hyper_datasets::german_syn(flags.size(4_000, 20_000, 20_000), 5);
-    let engine = HyperEngine::new(&hdata.db, Some(&hdata.graph)).with_howto_options(
-        HowToOptions {
+    let engine =
+        HyperSession::new(hdata.db.clone(), Some(&hdata.graph)).with_howto_options(HowToOptions {
             buckets: 4,
             max_attrs_updated: Some(2),
-        },
-    );
+        });
     let howto = "Use german_syn
                  HowToUpdate status, savings, housing, credit_amount
                  ToMaximize Count(Post(credit) = 'Good')";
@@ -116,22 +128,30 @@ fn main() {
     println!("\n== §5.4: German-Syn how-to (maximize good credit, ≤2 attrs) ==");
     println!(
         "  HypeR (IP):      {}  → objective {:.0}",
-        ip.render(&["status".into(), "savings".into(), "housing".into(), "credit_amount".into()]),
+        ip.render(&[
+            "status".into(),
+            "savings".into(),
+            "housing".into(),
+            "credit_amount".into()
+        ]),
         ip.objective
     );
     println!(
         "  Opt-HowTo:       objective {:.0}  (match: {})",
         brute.objective,
-        if (ip.objective - brute.objective).abs() < 1e-6 { "exact" } else { "≈" }
+        if (ip.objective - brute.objective).abs() < 1e-6 {
+            "exact"
+        } else {
+            "≈"
+        }
     );
 
     // Student-Syn budget-1 how-to: attendance should win.
-    let sengine = HyperEngine::new(&sdata.db, Some(&sdata.graph)).with_howto_options(
-        HowToOptions {
+    let sengine =
+        HyperSession::new(sdata.db.clone(), Some(&sdata.graph)).with_howto_options(HowToOptions {
             buckets: 4,
             max_attrs_updated: Some(1),
-        },
-    );
+        });
     let showto = format!(
         "{view}
          HowToUpdate attendance, assignment, discussion, announcements

@@ -7,8 +7,13 @@
 //! cargo run --release -p hyper-bench --bin fig11 [--quick]
 //! ```
 
+//! Times the *cold* single-shot evaluation path, as the paper's figures
+//! do — a session cache would collapse the repeated runs into cache hits.
+
 use hyper_bench::{pad_with_noise, print_table, secs, time_avg, Flags};
-use hyper_core::{HowToOptions, HyperEngine};
+use hyper_core::howto::baseline::evaluate_howto_bruteforce;
+use hyper_core::howto::optimizer::evaluate_howto;
+use hyper_core::{evaluate_whatif, EngineConfig, HowToOptions};
 
 fn main() {
     let flags = Flags::parse();
@@ -34,7 +39,7 @@ fn main() {
 
     // -------- (a) what-if: attributes in For --------
     let reps = if flags.quick { 1 } else { 2 };
-    let engine = HyperEngine::new(&db, Some(&graph));
+    let config = EngineConfig::hyper();
     let mut rows = Vec::new();
     for k in [0usize, 2, 5, 8, 10] {
         let mut conds: Vec<String> = (0..k).map(|i| format!("Pre(pad_{i}) >= 0")).collect();
@@ -46,12 +51,17 @@ fn main() {
              For {}",
             conds.join(" And ")
         );
-        let d = time_avg(reps, || engine.whatif_text(&q).expect("query evaluates"));
-        let r = engine.whatif_text(&q).expect("query evaluates");
+        let parsed = match hyper_query::parse_query(&q).unwrap() {
+            hyper_query::HypotheticalQuery::WhatIf(w) => w,
+            _ => unreachable!(),
+        };
+        let d = time_avg(reps, || {
+            evaluate_whatif(&db, Some(&graph), &config, &parsed).expect("query evaluates")
+        });
+        let r = evaluate_whatif(&db, Some(&graph), &config, &parsed).expect("query evaluates");
         rows.push(vec![
             k.to_string(),
-            d.as_secs_f64().to_string()[..6.min(d.as_secs_f64().to_string().len())]
-                .to_string(),
+            d.as_secs_f64().to_string()[..6.min(d.as_secs_f64().to_string().len())].to_string(),
             r.backdoor.len().to_string(),
         ]);
     }
@@ -65,7 +75,11 @@ fn main() {
 
     // -------- (b) how-to: attributes in HowToUpdate --------
     let attrs_pool: Vec<String> = (0..10).map(|i| format!("pad_{i}")).collect();
-    let counts: &[usize] = if flags.quick { &[2, 4] } else { &[2, 4, 6, 8, 10] };
+    let counts: &[usize] = if flags.quick {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10]
+    };
     let mut rows = Vec::new();
     for &k in counts {
         let attrs = attrs_pool[..k].join(", ");
@@ -78,17 +92,21 @@ fn main() {
             hyper_query::HypotheticalQuery::HowTo(h) => h,
             _ => unreachable!(),
         };
-        let engine = HyperEngine::new(&db, Some(&graph)).with_howto_options(HowToOptions {
+        let opts = HowToOptions {
             buckets: 3,
             max_attrs_updated: None,
+        };
+        let (ip, ip_d) = hyper_bench::time(|| {
+            evaluate_howto(&db, Some(&graph), &config, &parsed, &opts).expect("IP solves")
         });
-        let (ip, ip_d) = hyper_bench::time(|| engine.howto(&parsed).expect("IP solves"));
         // Opt-HowTo enumerates (buckets+1)^k combinations — cap the sweep
         // where it stays tractable, mirroring the paper's ">90 minutes for
         // 10 attributes" observation without burning the harness budget.
         let brute_cell = if (4usize).pow(k as u32) <= 300 || flags.full {
-            let (b, d) =
-                hyper_bench::time(|| engine.howto_bruteforce(&parsed).expect("enumerates"));
+            let (b, d) = hyper_bench::time(|| {
+                evaluate_howto_bruteforce(&db, Some(&graph), &config, &parsed, &opts)
+                    .expect("enumerates")
+            });
             format!("{} ({} evals)", secs(d), b.whatif_evals)
         } else {
             let evals = (4usize).pow(k as u32);

@@ -7,7 +7,7 @@
 //! ```
 
 use hyper_bench::{print_table, secs, time, Flags};
-use hyper_core::{EngineConfig, HowToOptions, HyperEngine};
+use hyper_core::{EngineConfig, HowToOptions};
 
 const WHATIF_QUERIES: &[&str] = &[
     "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')",
@@ -38,10 +38,22 @@ fn main() {
             ("HypeR-sampled", EngineConfig::hyper_sampled(cap)),
             ("Indep", EngineConfig::indep()),
         ] {
-            let engine = hyper_bench::engine_for(&data.db, &data.graph, &config);
+            // Cold single-shot path: each query pays its own view build +
+            // training, as the figure's per-query times require.
+            let graph = match config.backdoor {
+                hyper_core::BackdoorMode::FromGraph => Some(&data.graph),
+                _ => None,
+            };
             let mut total = std::time::Duration::ZERO;
             for q in WHATIF_QUERIES {
-                let (_, d) = time(|| engine.whatif_text(q).expect("query evaluates"));
+                let parsed = match hyper_query::parse_query(q).unwrap() {
+                    hyper_query::HypotheticalQuery::WhatIf(w) => w,
+                    _ => unreachable!(),
+                };
+                let (_, d) = time(|| {
+                    hyper_core::evaluate_whatif(&data.db, graph, &config, &parsed)
+                        .expect("query evaluates")
+                });
                 total += d;
             }
             let _ = label;
@@ -74,16 +86,29 @@ fn main() {
         let data = hyper_datasets::german_syn(n, 22);
         let mut cells = vec![n.to_string()];
         for config in [EngineConfig::hyper(), EngineConfig::hyper_sampled(cap)] {
-            let engine = HyperEngine::new(&data.db, Some(&data.graph))
-                .with_config(config)
-                .with_howto_options(opts.clone());
-            let (_, d) = time(|| engine.howto(&q).expect("how-to evaluates"));
+            let (_, d) = time(|| {
+                hyper_core::howto::optimizer::evaluate_howto(
+                    &data.db,
+                    Some(&data.graph),
+                    &config,
+                    &q,
+                    &opts,
+                )
+                .expect("how-to evaluates")
+            });
             cells.push(secs(d));
         }
-        // Opt-HowTo on the same (small) candidate space.
-        let engine = HyperEngine::new(&data.db, Some(&data.graph))
-            .with_howto_options(opts.clone());
-        let (_, d) = time(|| engine.howto_bruteforce(&q).expect("enumerates"));
+        // Opt-HowTo on the same (small) candidate space, also cold.
+        let (_, d) = time(|| {
+            hyper_core::howto::baseline::evaluate_howto_bruteforce(
+                &data.db,
+                Some(&data.graph),
+                &EngineConfig::hyper(),
+                &q,
+                &opts,
+            )
+            .expect("enumerates")
+        });
         cells.push(secs(d));
         rows.push(cells);
     }

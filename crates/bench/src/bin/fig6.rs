@@ -6,7 +6,7 @@
 //! ```
 
 use hyper_bench::{print_table, secs, time, Flags};
-use hyper_core::{EngineConfig, HyperEngine};
+use hyper_core::{EngineConfig, HyperSession};
 
 fn main() {
     let flags = Flags::parse();
@@ -23,9 +23,13 @@ fn main() {
     } else {
         &[1_000, 10_000, 50_000, 100_000, 200_000]
     };
-    let seeds: &[u64] = if flags.quick { &[1, 2, 3] } else { &[1, 2, 3, 4, 5] };
+    let seeds: &[u64] = if flags.quick {
+        &[1, 2, 3]
+    } else {
+        &[1, 2, 3, 4, 5]
+    };
 
-    let full_engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let full_engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     let (full, full_time) = time(|| full_engine.whatif_text(query).unwrap());
     let full_share = full.value / full.n_view_rows as f64;
 
@@ -42,14 +46,14 @@ fn main() {
                 seed,
                 ..EngineConfig::hyper_sampled(cap)
             };
-            let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_config(config);
+            let engine = HyperSession::new(data.db.clone(), Some(&data.graph)).with_config(config);
             let (r, d) = time(|| engine.whatif_text(query).unwrap());
             outputs.push(r.value / r.n_view_rows as f64);
             elapsed += d;
         }
         let mean = outputs.iter().sum::<f64>() / outputs.len() as f64;
-        let var = outputs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>()
-            / outputs.len() as f64;
+        let var =
+            outputs.iter().map(|o| (o - mean) * (o - mean)).sum::<f64>() / outputs.len() as f64;
         let std = var.sqrt();
         rows.push(vec![
             cap.to_string(),
@@ -57,10 +61,7 @@ fn main() {
             format!("{std:.4}"),
             format!("{:.2}%", 100.0 * std / mean),
         ]);
-        time_rows.push(vec![
-            cap.to_string(),
-            secs(elapsed / seeds.len() as u32),
-        ]);
+        time_rows.push(vec![cap.to_string(), secs(elapsed / seeds.len() as u32)]);
     }
     print_table(
         &format!("Fig 6a: HypeR-sampled output vs sample size (n = {n})"),

@@ -6,7 +6,7 @@
 //! cargo run --release -p hyper-bench --bin fig7
 //! ```
 
-use hyper_core::HyperEngine;
+use hyper_core::HyperSession;
 use hyper_query::parse_query;
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     let q = parse_query(german_template).expect("template parses");
     println!("  parsed ✓  rendered: {q}");
     let german = hyper_datasets::german(1);
-    let r = HyperEngine::new(&german.db, Some(&german.graph))
+    let r = HyperSession::new(german.db.clone(), Some(&german.graph))
         .whatif_text(german_template)
         .expect("template evaluates");
     println!(
@@ -39,7 +39,7 @@ fn main() {
     let q = parse_query(adult_template).expect("template parses");
     println!("  parsed ✓  rendered: {q}");
     let adult = hyper_datasets::adult(8000, 2);
-    let r = HyperEngine::new(&adult.db, Some(&adult.graph))
+    let r = HyperSession::new(adult.db.clone(), Some(&adult.graph))
         .whatif_text(adult_template)
         .expect("template evaluates");
     println!(

@@ -7,7 +7,7 @@
 //! ```
 
 use hyper_bench::{print_table, Flags};
-use hyper_core::HyperEngine;
+use hyper_core::HyperSession;
 use hyper_storage::Value;
 
 fn main() {
@@ -15,7 +15,7 @@ fn main() {
 
     // ---------------- (a) German ----------------
     let german = hyper_datasets::german(1);
-    let engine = HyperEngine::new(&german.db, Some(&german.graph));
+    let engine = HyperSession::new(german.db.clone(), Some(&german.graph));
     let n = german.total_rows() as f64;
     let mut rows = Vec::new();
     for (attr, min, max) in [
@@ -50,14 +50,18 @@ fn main() {
     // ---------------- (b) Adult ----------------
     let adult_n = flags.size(4_000, 32_000, 32_000);
     let adult = hyper_datasets::adult(adult_n, 2);
-    let engine = HyperEngine::new(&adult.db, Some(&adult.graph));
+    let engine = HyperSession::new(adult.db.clone(), Some(&adult.graph));
     let n = adult.total_rows() as f64;
     let mut rows = Vec::new();
 
     // Attribute → (min value, max value) in effect order; categorical
     // attributes use their weakest/strongest levels.
     let cases: Vec<(&str, Value, Value)> = vec![
-        ("marital", Value::str("Never-married"), Value::str("Married")),
+        (
+            "marital",
+            Value::str("Never-married"),
+            Value::str("Married"),
+        ),
         ("occupation", Value::Int(0), Value::Int(3)),
         ("education", Value::Int(0), Value::Int(3)),
         ("class", Value::str("Private"), Value::str("Self-emp")),

@@ -9,7 +9,7 @@
 //! ```
 
 use hyper_bench::{ground_truth_share, print_table, secs, time, Flags};
-use hyper_core::{HowToOptions, HyperEngine};
+use hyper_core::HowToOptions;
 use hyper_storage::Value;
 
 fn main() {
@@ -51,29 +51,49 @@ fn main() {
         .fold(f64::MIN, f64::max);
     println!("reference Opt-HowTo (fine grid ground truth): {opt_truth:.4}");
 
-    let buckets: &[usize] = if flags.quick { &[1, 2, 4] } else { &[1, 2, 4, 6, 8, 10] };
+    let buckets: &[usize] = if flags.quick {
+        &[1, 2, 4]
+    } else {
+        &[1, 2, 4, 6, 8, 10]
+    };
     let mut rows = Vec::new();
     for &k in buckets {
-        let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
-            HowToOptions {
-                buckets: k,
-                max_attrs_updated: None,
-            },
-        );
-        let (ip, ip_time) = time(|| engine.howto(&q).expect("how-to evaluates"));
-        let (brute, brute_time) =
-            time(|| engine.howto_bruteforce(&q).expect("brute force evaluates"));
+        // Time each solver cold (no shared session cache): the figure
+        // compares IP vs enumeration runtime, so the second solver must
+        // not inherit the first one's fitted candidate estimators.
+        let config = hyper_core::EngineConfig::hyper();
+        let opts = HowToOptions {
+            buckets: k,
+            max_attrs_updated: None,
+        };
+        let (ip, ip_time) = time(|| {
+            hyper_core::howto::optimizer::evaluate_howto(
+                &data.db,
+                Some(&data.graph),
+                &config,
+                &q,
+                &opts,
+            )
+            .expect("how-to evaluates")
+        });
+        let (brute, brute_time) = time(|| {
+            hyper_core::howto::baseline::evaluate_howto_bruteforce(
+                &data.db,
+                Some(&data.graph),
+                &config,
+                &q,
+                &opts,
+            )
+            .expect("brute force evaluates")
+        });
 
         // Quality: evaluate the *chosen* update under the true structural
         // equations, as a ratio to the fine-grid optimum.
         let quality = |r: &hyper_core::HowToResult| -> f64 {
-            let amount = r
-                .chosen
-                .first()
-                .and_then(|u| match &u.func {
-                    hyper_query::UpdateFunc::Set(v) => v.as_f64(),
-                    _ => None,
-                });
+            let amount = r.chosen.first().and_then(|u| match &u.func {
+                hyper_query::UpdateFunc::Set(v) => v.as_f64(),
+                _ => None,
+            });
             match amount {
                 Some(a) => truth_of(a) / opt_truth,
                 None => {
@@ -99,7 +119,13 @@ fn main() {
     }
     print_table(
         &format!("Fig 9: how-to vs bucket count (German-Syn-continuous, {n} rows)"),
-        &["buckets", "HypeR quality", "Opt-discrete quality", "HypeR time", "Opt-discrete time"],
+        &[
+            "buckets",
+            "HypeR quality",
+            "Opt-discrete quality",
+            "HypeR time",
+            "Opt-discrete time",
+        ],
         &rows,
     );
     println!("\nexpected shape: quality climbs toward 1.0 with more buckets");

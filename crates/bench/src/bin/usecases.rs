@@ -11,7 +11,7 @@
 //! ```
 
 use hyper_bench::{print_table, Flags};
-use hyper_core::HyperEngine;
+use hyper_core::HyperSession;
 use hyper_storage::ColumnStats;
 
 fn main() {
@@ -19,16 +19,14 @@ fn main() {
 
     // ---------------- German ----------------
     let german = hyper_datasets::german(1);
-    let engine = HyperEngine::new(&german.db, Some(&german.graph));
+    let engine = HyperSession::new(german.db.clone(), Some(&german.graph));
     let n = german.total_rows() as f64;
     let share = |q: &str| engine.whatif_text(q).expect("query evaluates").value / n;
 
-    let hi_status =
-        share("Use german Update(status) = 3 Output Count(Post(credit) = 'Good')");
+    let hi_status = share("Use german Update(status) = 3 Output Count(Post(credit) = 'Good')");
     let hi_history =
         share("Use german Update(credit_history) = 3 Output Count(Post(credit) = 'Good')");
-    let lo_status =
-        share("Use german Update(status) = 0 Output Count(Post(credit) = 'Good')");
+    let lo_status = share("Use german Update(status) = 0 Output Count(Post(credit) = 'Good')");
     let both = share(
         "Use german Update(status) = 3 And Update(credit_history) = 3
          Output Count(Post(credit) = 'Good')",
@@ -42,21 +40,20 @@ fn main() {
 
     // ---------------- Adult ----------------
     let adult = hyper_datasets::adult(flags.size(4_000, 32_000, 32_000), 2);
-    let engine = HyperEngine::new(&adult.db, Some(&adult.graph));
+    let engine = HyperSession::new(adult.db.clone(), Some(&adult.graph));
     let n = adult.total_rows() as f64;
     let share = |q: &str| engine.whatif_text(q).expect("query evaluates").value / n;
     let married =
         share("Use adult Update(marital) = 'Married' Output Count(Post(income) = '>50K')");
-    let never = share(
-        "Use adult Update(marital) = 'Never-married' Output Count(Post(income) = '>50K')",
-    );
+    let never =
+        share("Use adult Update(marital) = 'Never-married' Output Count(Post(income) = '>50K')");
     println!("\n== Adult (§5.3) ==");
     println!("  share >50K if everyone married:   {married:.2}  (paper: ≈ 0.38)");
     println!("  share >50K if everyone unmarried: {never:.2}  (paper: < 0.09)");
 
     // ---------------- Amazon ----------------
     let amazon = hyper_datasets::amazon(flags.size(600, 2_000, 3_000), 9, 7);
-    let engine = HyperEngine::new(&amazon.db, Some(&amazon.graph));
+    let engine = HyperSession::new(amazon.db.clone(), Some(&amazon.graph));
     let laptops = hyper_storage::ops::filter::filter(
         amazon.db.table("product").expect("table exists"),
         &hyper_storage::col("category").eq(hyper_storage::lit("Laptop")),

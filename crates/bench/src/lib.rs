@@ -22,7 +22,7 @@
 use std::time::{Duration, Instant};
 
 use hyper_causal::{CausalGraph, Scm};
-use hyper_core::{EngineConfig, HyperEngine};
+use hyper_core::{EngineConfig, HyperSession};
 use hyper_storage::{DataType, Database, Field, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -194,18 +194,17 @@ pub fn variants() -> Vec<(&'static str, EngineConfig)> {
     ]
 }
 
-/// Build an engine for a dataset + config (graph dropped for NB/Indep, as
+/// Build a session for a dataset + config (graph dropped for NB/Indep, as
 /// in the paper's setup).
-pub fn engine_for<'a>(
-    db: &'a Database,
-    graph: &'a CausalGraph,
-    config: &EngineConfig,
-) -> HyperEngine<'a> {
+pub fn session_for(db: &Database, graph: &CausalGraph, config: &EngineConfig) -> HyperSession {
     let g = match config.backdoor {
-        hyper_core::BackdoorMode::FromGraph => Some(graph),
+        hyper_core::BackdoorMode::FromGraph => Some(graph.clone()),
         _ => None,
     };
-    HyperEngine::new(db, g).with_config(config.clone())
+    HyperSession::builder(db.clone())
+        .maybe_graph(g)
+        .config(config.clone())
+        .build()
 }
 
 #[cfg(test)]
@@ -214,10 +213,27 @@ mod tests {
 
     #[test]
     fn flags_defaults() {
-        let f = Flags { full: false, quick: false };
+        let f = Flags {
+            full: false,
+            quick: false,
+        };
         assert_eq!(f.size(1, 2, 3), 2);
-        assert_eq!(Flags { full: true, quick: false }.size(1, 2, 3), 3);
-        assert_eq!(Flags { full: false, quick: true }.size(1, 2, 3), 1);
+        assert_eq!(
+            Flags {
+                full: true,
+                quick: false
+            }
+            .size(1, 2, 3),
+            3
+        );
+        assert_eq!(
+            Flags {
+                full: false,
+                quick: true
+            }
+            .size(1, 2, 3),
+            1
+        );
     }
 
     #[test]

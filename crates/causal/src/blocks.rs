@@ -102,13 +102,11 @@ impl BlockDecomposition {
                 let mut parent_index: HashMap<Vec<Value>, usize> =
                     HashMap::with_capacity(parent.num_rows());
                 for r in 0..parent.num_rows() {
-                    let key: Vec<Value> =
-                        pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
+                    let key: Vec<Value> = pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
                     parent_index.insert(key, r);
                 }
                 for r in 0..child.num_rows() {
-                    let key: Vec<Value> =
-                        ccols.iter().map(|&c| child.get(r, c).clone()).collect();
+                    let key: Vec<Value> = ccols.iter().map(|&c| child.get(r, c).clone()).collect();
                     if let Some(&p) = parent_index.get(&key) {
                         uf.union(offsets[ci] + r, offsets[pi] + p);
                     }

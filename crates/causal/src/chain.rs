@@ -201,7 +201,9 @@ mod tests {
         let set = crate::backdoor::minimal_backdoor_set(&u.graph, p0, d1);
         assert!(set.is_some(), "unfolded DAG must admit a backdoor set");
         let set = set.unwrap();
-        assert!(crate::backdoor::is_valid_backdoor_set(&u.graph, p0, d1, &set));
+        assert!(crate::backdoor::is_valid_backdoor_set(
+            &u.graph, p0, d1, &set
+        ));
     }
 
     #[test]

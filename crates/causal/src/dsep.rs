@@ -19,8 +19,7 @@ pub fn d_connected_set(
     // Phase 1: Z and all ancestors of Z (colliders are activated when they
     // or a descendant are conditioned on).
     let z_vec: Vec<usize> = z.iter().copied().collect();
-    let ancestors_of_z: HashSet<usize> =
-        topo::reachable(parents, &z_vec).into_iter().collect();
+    let ancestors_of_z: HashSet<usize> = topo::reachable(parents, &z_vec).into_iter().collect();
 
     // Phase 2: BFS over (node, direction) legs.
     // direction: 0 = arrived from a child (moving up), 1 = arrived from a

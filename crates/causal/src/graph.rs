@@ -170,12 +170,7 @@ impl CausalGraph {
     }
 
     /// Convenience: add an intra-tuple edge by attribute names.
-    pub fn add_intra_edge(
-        &mut self,
-        relation: &str,
-        from_attr: &str,
-        to_attr: &str,
-    ) -> Result<()> {
+    pub fn add_intra_edge(&mut self, relation: &str, from_attr: &str, to_attr: &str) -> Result<()> {
         let f = self.node(relation, from_attr);
         let t = self.node(relation, to_attr);
         self.add_edge(f, t, EdgeKind::Intra)
@@ -321,7 +316,8 @@ pub fn amazon_example_graph() -> CausalGraph {
     // Product attributes affect this product's reviews via the FK.
     g.add_edge(price, rating, EdgeKind::ForeignKey).unwrap();
     g.add_edge(quality, rating, EdgeKind::ForeignKey).unwrap();
-    g.add_edge(quality, sentiment, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(quality, sentiment, EdgeKind::ForeignKey)
+        .unwrap();
     g.add_edge(sentiment, rating, EdgeKind::Intra).unwrap();
     // Competitor price affects ratings of same-category products (dashed).
     g.add_edge(
@@ -401,8 +397,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let g = amazon_example_graph();
         let order = g.topological_order();
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for e in g.edges() {
             assert!(pos[&e.from] < pos[&e.to], "edge {e:?} violates order");
         }

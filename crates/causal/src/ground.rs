@@ -94,8 +94,14 @@ impl GroundGraph {
                 EdgeKind::Intra => {
                     for row in 0..db.tables()[fti].num_rows() {
                         g.add_ground_edge(
-                            GroundVar { tuple: TupleRef { table: fti, row }, attr: fattr },
-                            GroundVar { tuple: TupleRef { table: tti, row }, attr: tattr },
+                            GroundVar {
+                                tuple: TupleRef { table: fti, row },
+                                attr: fattr,
+                            },
+                            GroundVar {
+                                tuple: TupleRef { table: tti, row },
+                                attr: tattr,
+                            },
                         );
                     }
                 }
@@ -114,15 +120,25 @@ impl GroundGraph {
                             (prow, crow)
                         };
                         g.add_ground_edge(
-                            GroundVar { tuple: TupleRef { table: fti, row: frow }, attr: fattr },
-                            GroundVar { tuple: TupleRef { table: tti, row: trow }, attr: tattr },
+                            GroundVar {
+                                tuple: TupleRef {
+                                    table: fti,
+                                    row: frow,
+                                },
+                                attr: fattr,
+                            },
+                            GroundVar {
+                                tuple: TupleRef {
+                                    table: tti,
+                                    row: trow,
+                                },
+                                attr: tattr,
+                            },
                         );
                     }
                 }
                 EdgeKind::SameValue { group_by } => {
-                    ground_same_value(
-                        &mut g, db, fti, fattr, tti, tattr, group_by, &fk_links,
-                    )?;
+                    ground_same_value(&mut g, db, fti, fattr, tti, tattr, group_by, &fk_links)?;
                 }
             }
         }
@@ -304,8 +320,14 @@ fn ground_same_value(
                 for &b in rows {
                     if a != b {
                         g.add_ground_edge(
-                            GroundVar { tuple: TupleRef { table: fti, row: a }, attr: fattr },
-                            GroundVar { tuple: TupleRef { table: tti, row: b }, attr: tattr },
+                            GroundVar {
+                                tuple: TupleRef { table: fti, row: a },
+                                attr: fattr,
+                            },
+                            GroundVar {
+                                tuple: TupleRef { table: tti, row: b },
+                                attr: tattr,
+                            },
                         );
                     }
                 }
@@ -331,8 +353,14 @@ fn ground_same_value(
                     if let Some(kids) = children_of_parent.get(&peer) {
                         for &k in kids {
                             g.add_ground_edge(
-                                GroundVar { tuple: TupleRef { table: fti, row: a }, attr: fattr },
-                                GroundVar { tuple: TupleRef { table: tti, row: k }, attr: tattr },
+                                GroundVar {
+                                    tuple: TupleRef { table: fti, row: a },
+                                    attr: fattr,
+                                },
+                                GroundVar {
+                                    tuple: TupleRef { table: tti, row: k },
+                                    attr: tattr,
+                                },
                             );
                         }
                     }
@@ -347,8 +375,8 @@ fn ground_same_value(
 pub(crate) mod tests {
     use super::*;
     use crate::graph::amazon_example_graph;
-    use hyper_storage::{Field, ForeignKey, Schema, Table};
     use hyper_storage::DataType;
+    use hyper_storage::{Field, ForeignKey, Schema, Table};
 
     /// Figure-1 database: 5 products, 6 reviews.
     pub(crate) fn amazon_db() -> Database {
@@ -433,14 +461,30 @@ pub(crate) mod tests {
     fn fk_edges_link_product_to_its_reviews() {
         let db = amazon_db();
         let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
-        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
-        let rating_attr = db.table("review").unwrap().schema().index_of("rating").unwrap();
+        let price_attr = db
+            .table("product")
+            .unwrap()
+            .schema()
+            .index_of("price")
+            .unwrap();
+        let rating_attr = db
+            .table("review")
+            .unwrap()
+            .schema()
+            .index_of("rating")
+            .unwrap();
         // price[p2] (row 1) → rating[r2] (row 1, pid 2).
         let from = g
-            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 0, row: 1 },
+                attr: price_attr,
+            })
             .unwrap();
         let to = g
-            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 1 }, attr: rating_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 1, row: 1 },
+                attr: rating_attr,
+            })
             .unwrap();
         assert!(g.children()[from].contains(&to));
     }
@@ -449,19 +493,38 @@ pub(crate) mod tests {
     fn same_value_edges_cross_tuples_within_category() {
         let db = amazon_db();
         let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
-        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
-        let rating_attr = db.table("review").unwrap().schema().index_of("rating").unwrap();
+        let price_attr = db
+            .table("product")
+            .unwrap()
+            .schema()
+            .index_of("price")
+            .unwrap();
+        let rating_attr = db
+            .table("review")
+            .unwrap()
+            .schema()
+            .index_of("rating")
+            .unwrap();
         // price[p2] (Asus laptop) → rating[r1] (review of Vaio laptop p1).
         let from = g
-            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 0, row: 1 },
+                attr: price_attr,
+            })
             .unwrap();
         let to = g
-            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 0 }, attr: rating_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 1, row: 0 },
+                attr: rating_attr,
+            })
             .unwrap();
         assert!(g.children()[from].contains(&to));
         // …but NOT to the camera's review (different category): r6 is row 5.
         let camera_rev = g
-            .id_of(GroundVar { tuple: TupleRef { table: 1, row: 5 }, attr: rating_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 1, row: 5 },
+                attr: rating_attr,
+            })
             .unwrap();
         assert!(!g.children()[from].contains(&camera_rev));
     }
@@ -470,9 +533,17 @@ pub(crate) mod tests {
     fn affected_tuples_follow_paths() {
         let db = amazon_db();
         let g = GroundGraph::build(&db, &amazon_example_graph()).unwrap();
-        let price_attr = db.table("product").unwrap().schema().index_of("price").unwrap();
+        let price_attr = db
+            .table("product")
+            .unwrap()
+            .schema()
+            .index_of("price")
+            .unwrap();
         let src = g
-            .id_of(GroundVar { tuple: TupleRef { table: 0, row: 1 }, attr: price_attr })
+            .id_of(GroundVar {
+                tuple: TupleRef { table: 0, row: 1 },
+                attr: price_attr,
+            })
             .unwrap();
         let affected = g.affected_tuples(&[src]);
         // Updating p2's price reaches all laptop reviews (r1..r5) plus p2

@@ -16,8 +16,8 @@
 #![warn(missing_docs)]
 
 pub mod backdoor;
-pub mod chain;
 pub mod blocks;
+pub mod chain;
 pub mod dsep;
 pub mod error;
 pub mod graph;

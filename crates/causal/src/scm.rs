@@ -650,9 +650,7 @@ mod tests {
         // P(y=1 | do(b=1)) = Σ_z P(z) P(y=1 | z, b=1)
         //                  = 0.6·0.5 + 0.4·0.9 = 0.66
         let scm = confounded_binary();
-        let worlds = scm
-            .enumerate_do(&[("b".into(), Value::Int(1))])
-            .unwrap();
+        let worlds = scm.enumerate_do(&[("b".into(), Value::Int(1))]).unwrap();
         let p_y1: f64 = worlds
             .iter()
             .filter(|(row, _)| row[2] == Value::Int(1))

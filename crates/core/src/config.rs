@@ -135,7 +135,10 @@ mod tests {
         assert_eq!(EngineConfig::hyper().backdoor, BackdoorMode::FromGraph);
         assert_eq!(EngineConfig::hyper_nb().backdoor, BackdoorMode::Canonical);
         assert_eq!(EngineConfig::indep().backdoor, BackdoorMode::None);
-        assert_eq!(EngineConfig::hyper_sampled(100_000).sample_cap, Some(100_000));
+        assert_eq!(
+            EngineConfig::hyper_sampled(100_000).sample_cap,
+            Some(100_000)
+        );
         assert!(EngineConfig::hyper().sample_cap.is_none());
     }
 }

@@ -1,5 +1,9 @@
-//! The top-level HypeR engine: parse, validate and evaluate hypothetical
-//! queries against a database and (optionally) a causal model.
+//! The legacy borrow-based engine façade, kept as a thin deprecated shim
+//! over the free evaluation functions so existing call sites keep
+//! compiling. New code should use [`crate::HyperSession`], which owns its
+//! database/graph, caches the expensive artifacts (relevant views, block
+//! decompositions, fitted estimators), supports prepared queries, and
+//! executes batches in parallel.
 
 use hyper_causal::{BlockDecomposition, CausalGraph};
 use hyper_query::{parse_query, HowToQuery, HypotheticalQuery, WhatIfQuery};
@@ -13,7 +17,19 @@ use crate::howto::optimizer::evaluate_howto;
 use crate::howto::HowToResult;
 use crate::whatif::{evaluate_whatif, WhatIfResult};
 
-/// A configured HypeR engine bound to a database and causal model.
+pub use crate::session::QueryOutcome;
+
+/// A configured HypeR engine borrowing a database and causal model.
+///
+/// Every call re-derives every intermediate artifact — the behaviour of a
+/// single-use [`crate::HyperSession`] with an empty cache. The session API
+/// exists precisely because that recomputation dominates latency for
+/// repeated or batched hypothetical queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `HyperSession`, which caches views/estimators, supports \
+            prepared queries, and executes batches in parallel"
+)]
 pub struct HyperEngine<'a> {
     db: &'a Database,
     graph: Option<&'a CausalGraph>,
@@ -21,6 +37,7 @@ pub struct HyperEngine<'a> {
     howto_opts: HowToOptions,
 }
 
+#[allow(deprecated)]
 impl<'a> HyperEngine<'a> {
     /// Engine with the default (plain HypeR) configuration.
     pub fn new(db: &'a Database, graph: Option<&'a CausalGraph>) -> Self {
@@ -110,13 +127,4 @@ impl<'a> HyperEngine<'a> {
         })?;
         BlockDecomposition::compute(self.db, graph).map_err(EngineError::from)
     }
-}
-
-/// Outcome of [`HyperEngine::execute`].
-#[derive(Debug, Clone)]
-pub enum QueryOutcome {
-    /// What-if result.
-    WhatIf(WhatIfResult),
-    /// How-to result.
-    HowTo(HowToResult),
 }

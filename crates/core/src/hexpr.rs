@@ -88,11 +88,7 @@ impl BoundHExpr {
             BoundHExpr::Not(e) => match e.eval(pre, post)? {
                 Value::Bool(b) => Value::Bool(!b),
                 Value::Null => Value::Null,
-                v => {
-                    return Err(EngineError::Plan(format!(
-                        "Not expects boolean, got {v}"
-                    )))
-                }
+                v => return Err(EngineError::Plan(format!("Not expects boolean, got {v}"))),
             },
             BoundHExpr::Binary(op, l, r) => {
                 let lv = l.eval(pre, post)?;
@@ -304,7 +300,11 @@ mod tests {
     #[test]
     fn split_separates_conjuncts() {
         let e = HExpr::binary(HOp::Eq, HExpr::attr("brand"), HExpr::lit("a"))
-            .and(HExpr::binary(HOp::Gt, HExpr::post("rating"), HExpr::lit(0.5)))
+            .and(HExpr::binary(
+                HOp::Gt,
+                HExpr::post("rating"),
+                HExpr::lit(0.5),
+            ))
             .and(HExpr::binary(
                 HOp::Lt,
                 HExpr::pre("price"),

@@ -15,7 +15,8 @@ use crate::config::{EngineConfig, HowToOptions};
 use crate::error::Result;
 use crate::howto::optimizer::{candidate_whatif, HowToContext};
 use crate::howto::HowToResult;
-use crate::whatif::evaluate_whatif;
+use crate::session::cache::ArtifactCache;
+use crate::whatif::evaluate_whatif_maybe_cached;
 
 /// Exhaustively search all candidate-update combinations.
 pub fn evaluate_howto_bruteforce(
@@ -25,8 +26,22 @@ pub fn evaluate_howto_bruteforce(
     q: &HowToQuery,
     opts: &HowToOptions,
 ) -> Result<HowToResult> {
+    evaluate_howto_bruteforce_cached(db, graph, config, q, opts, None)
+}
+
+/// Exhaustive search, optionally sharing a session's artifact cache: all
+/// enumerated combinations reuse one relevant view, and re-runs reuse the
+/// per-combination estimators.
+pub(crate) fn evaluate_howto_bruteforce_cached(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &HowToQuery,
+    opts: &HowToOptions,
+    cache: Option<&ArtifactCache>,
+) -> Result<HowToResult> {
     let started = Instant::now();
-    let mut ctx = HowToContext::prepare(db, graph, config, q, opts)?;
+    let mut ctx = HowToContext::prepare(db, graph, config, q, opts, cache)?;
     let maximize = q.objective.direction == ObjectiveDirection::Maximize;
 
     // Mixed-radix enumeration over (no-change + candidates) per attribute.
@@ -49,12 +64,10 @@ pub fn evaluate_howto_bruteforce(
             })
             .collect();
         let n_updated = updates.len();
-        let within_budget = opts
-            .max_attrs_updated
-            .is_none_or(|b| n_updated <= b);
+        let within_budget = opts.max_attrs_updated.is_none_or(|b| n_updated <= b);
         if within_budget && !updates.is_empty() {
             let wq = candidate_whatif(&ctx.whatif_template, updates.clone());
-            let r = evaluate_whatif(db, graph, config, &wq)?;
+            let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?;
             ctx.whatif_evals += 1;
             let better = match &best {
                 None => true,

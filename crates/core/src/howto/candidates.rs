@@ -44,20 +44,18 @@ pub fn generate_candidates(
         let mut l1: Option<f64> = None;
         for c in &q.limits {
             match c {
-                LimitConstraint::Range { attr: a, lo: l, hi: h }
-                    if a.eq_ignore_ascii_case(attr) =>
-                {
+                LimitConstraint::Range {
+                    attr: a,
+                    lo: l,
+                    hi: h,
+                } if a.eq_ignore_ascii_case(attr) => {
                     lo = l.or(lo);
                     hi = h.or(hi);
                 }
-                LimitConstraint::InSet { attr: a, values }
-                    if a.eq_ignore_ascii_case(attr) =>
-                {
+                LimitConstraint::InSet { attr: a, values } if a.eq_ignore_ascii_case(attr) => {
                     in_set = Some(values);
                 }
-                LimitConstraint::L1 { attr: a, bound }
-                    if a.eq_ignore_ascii_case(attr) =>
-                {
+                LimitConstraint::L1 { attr: a, bound } if a.eq_ignore_ascii_case(attr) => {
                     l1 = Some(*bound);
                 }
                 _ => {}
@@ -200,7 +198,9 @@ mod tests {
         assert_eq!(cands.len(), 1);
         assert!(!cands[0].is_empty());
         for c in &cands[0] {
-            let UpdateFunc::Set(Value::Float(x)) = c.func else { panic!() };
+            let UpdateFunc::Set(Value::Float(x)) = c.func else {
+                panic!()
+            };
             assert!((500.0..=800.0).contains(&x));
             assert!((x - 529.0).abs() <= 150.0, "L1 violated: {x}");
         }
@@ -234,7 +234,9 @@ mod tests {
         let cands = generate_candidates(&v, &[true, true, true], &q, 5).unwrap();
         assert_eq!(cands[0].len(), 5);
         for c in &cands[0] {
-            let UpdateFunc::Set(Value::Float(x)) = c.func else { panic!() };
+            let UpdateFunc::Set(Value::Float(x)) = c.func else {
+                panic!()
+            };
             assert!((529.0..=999.0).contains(&x));
         }
     }

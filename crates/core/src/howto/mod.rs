@@ -34,11 +34,7 @@ impl HowToResult {
     pub fn render(&self, all_attrs: &[String]) -> String {
         let mut parts = Vec::with_capacity(all_attrs.len());
         for a in all_attrs {
-            match self
-                .chosen
-                .iter()
-                .find(|u| u.attr.eq_ignore_ascii_case(a))
-            {
+            match self.chosen.iter().find(|u| u.attr.eq_ignore_ascii_case(a)) {
                 Some(u) => parts.push(format!("{a}: {}", u.func)),
                 None => parts.push(format!("{a}: no change")),
             }

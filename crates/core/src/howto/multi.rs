@@ -14,6 +14,7 @@ use crate::config::{EngineConfig, HowToOptions};
 use crate::error::{EngineError, Result};
 use crate::howto::optimizer::HowToContext;
 use crate::howto::HowToResult;
+use crate::session::cache::ArtifactCache;
 
 /// Result of a lexicographic optimization: the final chosen updates plus
 /// the achieved value of every objective, in preference order.
@@ -34,6 +35,19 @@ pub fn evaluate_howto_lexicographic(
     queries: &[HowToQuery],
     opts: &HowToOptions,
 ) -> Result<LexicographicResult> {
+    evaluate_howto_lexicographic_cached(db, graph, config, queries, opts, None)
+}
+
+/// Lexicographic optimization, optionally sharing a session's artifact
+/// cache across the per-objective candidate evaluations.
+pub(crate) fn evaluate_howto_lexicographic_cached(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    queries: &[HowToQuery],
+    opts: &HowToOptions,
+    cache: Option<&ArtifactCache>,
+) -> Result<LexicographicResult> {
     let started = Instant::now();
     let Some(first) = queries.first() else {
         return Err(EngineError::Plan("no objectives given".into()));
@@ -53,7 +67,7 @@ pub fn evaluate_howto_lexicographic(
     // Candidate values per objective.
     let mut contexts: Vec<HowToContext> = Vec::with_capacity(queries.len());
     for q in queries {
-        contexts.push(HowToContext::prepare(db, graph, config, q, opts)?);
+        contexts.push(HowToContext::prepare(db, graph, config, q, opts, cache)?);
     }
     let candidates = &contexts[0].candidates;
 
@@ -123,11 +137,7 @@ pub fn evaluate_howto_lexicographic(
         }
 
         let sol = solve_ilp(&model).map_err(EngineError::from)?;
-        let delta_value: f64 = flat_coefs
-            .iter()
-            .zip(&sol.values)
-            .map(|(c, x)| c * x)
-            .sum();
+        let delta_value: f64 = flat_coefs.iter().zip(&sol.values).map(|(c, x)| c * x).sum();
         achieved.push(contexts[k].baseline + delta_value);
         pinned.push((flat_coefs, q.objective.direction, delta_value));
         final_solution = Some(sol.values);
@@ -154,11 +164,10 @@ pub fn evaluate_howto_lexicographic(
     let mut whatif_evals: usize = contexts.iter().map(|c| c.whatif_evals).sum();
     if !chosen.is_empty() {
         for (k, ctx) in contexts.iter().enumerate() {
-            let wq = crate::howto::optimizer::candidate_whatif(
-                &ctx.whatif_template,
-                chosen.clone(),
-            );
-            achieved[k] = crate::whatif::evaluate_whatif(db, graph, config, &wq)?.value;
+            let wq =
+                crate::howto::optimizer::candidate_whatif(&ctx.whatif_template, chosen.clone());
+            achieved[k] =
+                crate::whatif::evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value;
             whatif_evals += 1;
         }
     }

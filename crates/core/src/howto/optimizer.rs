@@ -9,18 +9,21 @@ use std::time::Instant;
 use hyper_causal::CausalGraph;
 use hyper_ip::{solve_ilp, Direction, Model, Sense};
 use hyper_query::{
-    validate_howto, HowToQuery, ObjectiveDirection, OutputArg, OutputSpec, Temporal,
-    UpdateSpec, WhatIfQuery,
+    validate_howto, HowToQuery, ObjectiveDirection, OutputArg, OutputSpec, Temporal, UpdateSpec,
+    WhatIfQuery,
 };
 use hyper_storage::Database;
+
+use std::sync::Arc;
 
 use crate::config::{EngineConfig, HowToOptions};
 use crate::error::{EngineError, Result};
 use crate::hexpr::bind_hexpr;
 use crate::howto::candidates::{generate_candidates, Candidate};
 use crate::howto::HowToResult;
-use crate::view::build_relevant_view;
-use crate::whatif::evaluate_whatif;
+use crate::session::cache::ArtifactCache;
+use crate::view::{build_relevant_view, RelevantView};
+use crate::whatif::evaluate_whatif_maybe_cached;
 
 /// Shared pre-processing for the optimizer, the brute-force baseline, and
 /// the lexicographic extension.
@@ -48,8 +51,14 @@ impl HowToContext {
         config: &EngineConfig,
         q: &HowToQuery,
         opts: &HowToOptions,
+        cache: Option<&ArtifactCache>,
     ) -> Result<HowToContext> {
-        let view = build_relevant_view(db, &q.use_clause)?;
+        // Every candidate what-if shares this view; inside a session it is
+        // also shared with every other query over the same `Use` clause.
+        let view = match cache {
+            Some(c) => c.view(db, &q.use_clause)?.0,
+            None => Arc::new(build_relevant_view(db, &q.use_clause)?),
+        };
         let cols = view.column_names();
         validate_howto(q, Some(&cols))?;
         let schema = view.table.schema();
@@ -91,14 +100,9 @@ impl HowToContext {
         // Baseline: objective with no hypothetical update. Evaluated
         // deterministically (identity update on the first attribute would
         // need numeric types; instead evaluate with an empty candidate by
-        // updating nothing: When ∩ S handled by a no-op update).
-        let baseline = {
-            // An update that sets the attribute to its own pre value is the
-            // identity for both numeric and categorical attributes — but Set
-            // needs a constant. Use a Scale(1.0)/no-op alternative: evaluate
-            // the aggregate directly over the view.
-            evaluate_identity_objective(db, config, &whatif_template)?
-        };
+        // updating nothing: When ∩ S handled by a no-op update) over the
+        // already-materialized view.
+        let baseline = evaluate_identity_objective(&view, &whatif_template)?;
 
         // Evaluate every candidate's what-if value.
         let mut values = Vec::with_capacity(candidates.len());
@@ -113,7 +117,7 @@ impl HowToContext {
                         func: c.func.clone(),
                     }],
                 );
-                let r = evaluate_whatif(db, graph, config, &wq)?;
+                let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?;
                 whatif_evals += 1;
                 vs.push(r.value);
             }
@@ -131,20 +135,14 @@ impl HowToContext {
 }
 
 /// Evaluate the objective aggregate with no update applied.
-fn evaluate_identity_objective(
-    db: &Database,
-    config: &EngineConfig,
-    template: &WhatIfQuery,
-) -> Result<f64> {
+fn evaluate_identity_objective(view: &RelevantView, template: &WhatIfQuery) -> Result<f64> {
     // With an empty When set (`When FALSE` is unexpressible) the cleanest
     // identity evaluation reuses the deterministic path: an update on a
     // fresh attribute is impossible, so instead evaluate the aggregate over
     // the view under `post = pre`.
     use hyper_storage::AggFunc;
 
-    let view = build_relevant_view(db, &template.use_clause)?;
     let schema = view.table.schema().clone();
-    let _ = config;
     let (pre_conj, post_conj) = match &template.for_clause {
         Some(fc) => crate::hexpr::split_pre_post(fc, Temporal::Pre),
         None => (Vec::new(), Vec::new()),
@@ -184,9 +182,10 @@ fn evaluate_identity_objective(
         }
         count += 1.0;
         total += match &y {
-            Some(yv) => yv.eval(&row, &row)?.as_f64().ok_or_else(|| {
-                EngineError::Plan("objective attribute is not numeric".into())
-            })?,
+            Some(yv) => yv
+                .eval(&row, &row)?
+                .as_f64()
+                .ok_or_else(|| EngineError::Plan("objective attribute is not numeric".into()))?,
             None => 1.0,
         };
     }
@@ -202,7 +201,9 @@ fn evaluate_identity_objective(
     })
 }
 
-/// Solve a how-to query with the IP formulation.
+/// Solve a how-to query with the IP formulation (uncached single-shot
+/// path; sessions share their artifact cache across the candidate
+/// what-if evaluations via [`evaluate_howto_cached`]).
 pub fn evaluate_howto(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -210,8 +211,21 @@ pub fn evaluate_howto(
     q: &HowToQuery,
     opts: &HowToOptions,
 ) -> Result<HowToResult> {
+    evaluate_howto_cached(db, graph, config, q, opts, None)
+}
+
+/// Solve a how-to query with the IP formulation, optionally resolving
+/// views and estimators through a session's artifact cache.
+pub(crate) fn evaluate_howto_cached(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &HowToQuery,
+    opts: &HowToOptions,
+    cache: Option<&ArtifactCache>,
+) -> Result<HowToResult> {
     let started = Instant::now();
-    let ctx = HowToContext::prepare(db, graph, config, q, opts)?;
+    let ctx = HowToContext::prepare(db, graph, config, q, opts, cache)?;
 
     // Build the IP (Eqs. 7–9).
     let maximize = q.objective.direction == ObjectiveDirection::Maximize;
@@ -248,11 +262,7 @@ pub fn evaluate_howto(
             .map_err(EngineError::from)?;
     }
     if let Some(budget) = opts.max_attrs_updated {
-        let coefs: Vec<(usize, f64)> = var_map
-            .iter()
-            .flatten()
-            .map(|&v| (v, 1.0))
-            .collect();
+        let coefs: Vec<(usize, f64)> = var_map.iter().flatten().map(|&v| (v, 1.0)).collect();
         model
             .add_constraint("attr_budget", coefs, Sense::Le, budget as f64)
             .map_err(EngineError::from)?;
@@ -290,7 +300,7 @@ pub fn evaluate_howto(
     } else {
         let wq = candidate_whatif(&ctx.whatif_template, chosen.clone());
         whatif_evals += 1;
-        evaluate_whatif(db, graph, config, &wq)?.value
+        evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value
     };
 
     Ok(HowToResult {

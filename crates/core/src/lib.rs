@@ -17,19 +17,45 @@
 //!   background graph), HypeR-sampled, and the correlational Indep
 //!   baseline ([`config`]).
 //!
+//! ## Sessions: prepare once, execute many
+//!
+//! The entry point is [`HyperSession`] — an owned, `Send + Sync`, cheaply
+//! cloneable handle over `Arc<Database>` + `Arc<CausalGraph>` that caches
+//! the expensive intermediates of the paper's §3.3 computation strategy
+//! (relevant views, the Prop.-1 block decomposition, fitted estimators)
+//! across queries, prepared executions, and threads:
+//!
 //! ```no_run
-//! use hyper_core::{HyperEngine, EngineConfig};
-//! # fn demo(db: &hyper_storage::Database, g: &hyper_causal::CausalGraph)
+//! use hyper_core::{EngineConfig, HyperSession};
+//! # fn demo(db: hyper_storage::Database, g: hyper_causal::CausalGraph)
 //! # -> hyper_core::Result<()> {
-//! let engine = HyperEngine::new(db, Some(g)).with_config(EngineConfig::hyper());
-//! let r = engine.whatif_text(
+//! let session = HyperSession::builder(db)
+//!     .graph(g)
+//!     .config(EngineConfig::hyper())
+//!     .build();
+//!
+//! // Prepared query: parsed, validated, and view-resolved once.
+//! let q = session.prepare(
 //!     "Use product When brand = 'Asus' \
 //!      Update(price) = 1.1 * Pre(price) \
 //!      Output Avg(Post(rating)) For Pre(category) = 'Laptop'",
 //! )?;
-//! println!("expected avg rating after the price bump: {}", r.value);
+//! let first = q.execute_whatif()?; // trains the estimator
+//! let again = q.execute_whatif()?; // pure cache hit
+//! assert_eq!(first.value, again.value);
+//! assert!(session.stats().estimator_hits > 0);
+//!
+//! // Parallel batch over the shared cache.
+//! let results = session.execute_batch(&[
+//!     "Use product Update(price) = 0.9 * Pre(price) Output Avg(Post(rating))",
+//!     "Use product Update(price) = 1.1 * Pre(price) Output Avg(Post(rating))",
+//! ]);
+//! assert!(results.iter().all(|r| r.is_ok()));
 //! # Ok(()) }
 //! ```
+//!
+//! The borrow-based [`HyperEngine`] remains as a deprecated shim that
+//! recomputes every artifact per call.
 
 #![warn(missing_docs)]
 
@@ -38,14 +64,19 @@ pub mod engine;
 pub mod error;
 pub mod hexpr;
 pub mod howto;
+pub mod session;
 pub mod view;
 pub mod whatif;
 
 pub use config::{BackdoorMode, EngineConfig, EstimatorKind, HowToOptions};
-pub use engine::{HyperEngine, QueryOutcome};
+#[allow(deprecated)]
+pub use engine::HyperEngine;
 pub use error::{EngineError, Result};
 pub use howto::multi::LexicographicResult;
 pub use howto::HowToResult;
+pub use session::{
+    ArtifactCache, HyperSession, PreparedQuery, QueryOutcome, SessionBuilder, SessionStats,
+};
 pub use view::{build_relevant_view, ColumnOrigin, RelevantView};
 pub use whatif::exact::exact_whatif;
 pub use whatif::{evaluate_whatif, WhatIfResult};

@@ -1,0 +1,294 @@
+//! The session artifact cache.
+//!
+//! HypeR's §3.3/§5 computation strategy produces three expensive,
+//! *query-independent or query-family-independent* artifacts:
+//!
+//! 1. **relevant views** — one per distinct `Use` clause; building one may
+//!    join and aggregate the whole database,
+//! 2. **block decompositions** (Prop. 1) — one per (database, graph) pair,
+//!    i.e. exactly one per session,
+//! 3. **fitted causal estimators** — one per (view, update set, output,
+//!    adjustment set, estimator configuration); training the random forest
+//!    dominates what-if latency.
+//!
+//! The cache keys each artifact by a canonical textual fingerprint, wraps
+//! it in an [`Arc`] so concurrent executions share it without copying, and
+//! counts hits/misses for [`super::SessionStats`]. All entries are
+//! `Send + Sync`, which is what lets [`super::HyperSession::execute_batch`]
+//! fan work across threads over one shared cache.
+//!
+//! Concurrency: each key has a *single-flight* slot — when several threads
+//! miss the same key at once, exactly one builds the artifact (holding only
+//! that key's init lock, never the whole map) and the rest wait for it, so
+//! an expensive estimator is never trained twice and every miss counter
+//! increment corresponds to one real build. A failed build caches nothing;
+//! the next requester retries. That holds for panics too: the locks only
+//! guard a write-once [`OnceLock`] whose state stays consistent across an
+//! unwinding builder, so lock poisoning is deliberately recovered from
+//! rather than propagated.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use hyper_causal::{BlockDecomposition, CausalGraph};
+use hyper_query::{UseClause, WhatIfQuery};
+use hyper_storage::Database;
+
+use crate::config::EngineConfig;
+use crate::error::Result;
+use crate::view::{build_relevant_view, RelevantView};
+use crate::whatif::estimator::CausalEstimator;
+
+/// Cache hit/miss counters, exposed through [`super::SessionStats`].
+#[derive(Debug, Default)]
+pub(crate) struct CacheCounters {
+    pub view_hits: AtomicU64,
+    pub view_misses: AtomicU64,
+    pub estimator_hits: AtomicU64,
+    pub estimator_misses: AtomicU64,
+    pub block_hits: AtomicU64,
+    pub block_misses: AtomicU64,
+}
+
+/// One cache entry: a write-once cell plus the per-key init lock that
+/// serializes builders without blocking other keys.
+struct Slot<T> {
+    cell: OnceLock<Arc<T>>,
+    init: Mutex<()>,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Slot<T> {
+        Slot {
+            cell: OnceLock::new(),
+            init: Mutex::new(()),
+        }
+    }
+}
+
+/// A keyed single-flight cache of immutable artifacts.
+struct KeyedCache<T> {
+    map: RwLock<HashMap<String, Arc<Slot<T>>>>,
+}
+
+impl<T> KeyedCache<T> {
+    fn new() -> KeyedCache<T> {
+        KeyedCache {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Fetch `key`, building via `build` on first use. `hits`/`misses` are
+    /// bumped so that exactly one miss is recorded per successful build.
+    fn get_or_build(
+        &self,
+        key: &str,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        build: impl FnOnce() -> Result<T>,
+    ) -> Result<Arc<T>> {
+        // Fast path: filled slot under the read lock.
+        if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(key) {
+            if let Some(v) = slot.cell.get() {
+                hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(v));
+            }
+        }
+        // Get-or-create this key's slot (brief write lock; no building).
+        let slot = {
+            let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key.to_string()).or_default())
+        };
+        // Serialize builders per key; re-check after acquiring. A builder
+        // that panicked poisons this mutex but leaves the OnceLock empty
+        // and consistent — recover and retry rather than propagate.
+        let _guard = slot.init.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = slot.cell.get() {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(v));
+        }
+        let built = Arc::new(build()?);
+        slot.cell
+            .set(Arc::clone(&built))
+            .unwrap_or_else(|_| unreachable!("init lock held"));
+        misses.fetch_add(1, Ordering::Relaxed);
+        Ok(built)
+    }
+
+    /// Number of *built* entries (unfilled race slots don't count).
+    fn len(&self) -> usize {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|slot| slot.cell.get().is_some())
+            .count()
+    }
+}
+
+/// Shared store of session artifacts: relevant views, the block
+/// decomposition, and fitted estimators.
+pub struct ArtifactCache {
+    views: KeyedCache<RelevantView>,
+    estimators: KeyedCache<CausalEstimator>,
+    blocks: KeyedCache<BlockDecomposition>,
+    pub(crate) counters: CacheCounters,
+}
+
+impl std::fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactCache")
+            .field("views", &self.views.len())
+            .field("estimators", &self.estimators.len())
+            .field("counters", &self.counters)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub(crate) fn new() -> ArtifactCache {
+        ArtifactCache {
+            views: KeyedCache::new(),
+            estimators: KeyedCache::new(),
+            blocks: KeyedCache::new(),
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Canonical key of a `Use` clause: the AST rendered back to text.
+    /// Rendering normalizes spacing and keyword spelling (one token stream
+    /// per structure), and parse∘render = id (property-tested in
+    /// hyper-query), so equal keys imply equal ASTs imply equal semantics.
+    ///
+    /// Deliberately **no case folding**: string-literal comparison is
+    /// case-sensitive (`'Asus'` ≠ `'ASUS'`), and so is table lookup
+    /// (`Use D` must fail identically on a cold and a warm cache when the
+    /// table is named `d`). Spelling an identifier differently therefore
+    /// costs at most a duplicate cache entry — never a wrong answer.
+    pub fn view_key(use_clause: &UseClause) -> String {
+        use_clause.to_string()
+    }
+
+    /// Fingerprint of everything a fitted estimator depends on: the view it
+    /// was trained over, the update set, the output (ψ and Y), the `For`
+    /// clause (whose pre-conjuncts feed the adjustment set), the resolved
+    /// adjustment columns, and the estimator-relevant configuration. The
+    /// `When` clause is deliberately absent — it only masks rows at
+    /// evaluation time and does not influence training (§3.3).
+    pub(crate) fn estimator_key(
+        view_key: &str,
+        q: &WhatIfQuery,
+        backdoor_cols: &[usize],
+        config: &EngineConfig,
+    ) -> String {
+        use std::fmt::Write as _;
+        let mut key = String::with_capacity(view_key.len() + 128);
+        key.push_str(view_key);
+        key.push('\u{1f}');
+        for u in &q.updates {
+            let _ = write!(key, "{u};");
+        }
+        key.push('\u{1f}');
+        let _ = write!(key, "{}", q.output);
+        key.push('\u{1f}');
+        if let Some(fc) = &q.for_clause {
+            let _ = write!(key, "{fc}");
+        }
+        key.push('\u{1f}');
+        let _ = write!(key, "{backdoor_cols:?}");
+        key.push('\u{1f}');
+        let _ = write!(
+            key,
+            "{:?}|{:?}|{:?}|{}|{}|{}|{}",
+            config.backdoor,
+            config.estimator,
+            config.sample_cap,
+            config.n_trees,
+            config.max_depth,
+            config.seed,
+            config.peer_summaries,
+        );
+        // Same case discipline as `view_key`: exact text, no folding
+        // (`Update(color) = 'Red'` ≠ `= 'red'`).
+        key
+    }
+
+    /// The relevant view for `use_clause`, building and caching it on first
+    /// use. Returns the shared view and its canonical key.
+    pub(crate) fn view(
+        &self,
+        db: &Database,
+        use_clause: &UseClause,
+    ) -> Result<(Arc<RelevantView>, String)> {
+        let key = Self::view_key(use_clause);
+        let view = self.views.get_or_build(
+            &key,
+            &self.counters.view_hits,
+            &self.counters.view_misses,
+            || build_relevant_view(db, use_clause),
+        )?;
+        Ok((view, key))
+    }
+
+    /// The fitted estimator for `key`, fitting via `fit` on a miss.
+    pub(crate) fn estimator(
+        &self,
+        key: &str,
+        fit: impl FnOnce() -> Result<CausalEstimator>,
+    ) -> Result<Arc<CausalEstimator>> {
+        self.estimators.get_or_build(
+            key,
+            &self.counters.estimator_hits,
+            &self.counters.estimator_misses,
+            fit,
+        )
+    }
+
+    /// The session's block decomposition (Prop. 1), computed once per
+    /// (database, graph) pair — which a session fixes at construction.
+    pub(crate) fn blocks(
+        &self,
+        db: &Database,
+        graph: &CausalGraph,
+    ) -> Result<Arc<BlockDecomposition>> {
+        self.blocks.get_or_build(
+            "",
+            &self.counters.block_hits,
+            &self.counters.block_misses,
+            || BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from),
+        )
+    }
+
+    /// Number of distinct cached views (diagnostics).
+    pub(crate) fn cached_views(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Number of distinct cached estimators (diagnostics).
+    pub(crate) fn cached_estimators(&self) -> usize {
+        self.estimators.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ArtifactCache;
+    use hyper_query::UseClause;
+
+    #[test]
+    fn view_keys_are_exact_text() {
+        // Literal and identifier case differences both produce distinct
+        // keys: spelling differences can only cost a duplicate entry,
+        // never serve the wrong artifact (table lookup and string-value
+        // comparison are case-sensitive).
+        let a = ArtifactCache::view_key(&UseClause::Table("german_syn".into()));
+        let b = ArtifactCache::view_key(&UseClause::Table("GERMAN_SYN".into()));
+        assert_ne!(a, b);
+        assert_eq!(
+            a,
+            ArtifactCache::view_key(&UseClause::Table("german_syn".into()))
+        );
+    }
+}

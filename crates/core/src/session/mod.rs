@@ -1,0 +1,525 @@
+//! The owned, shareable HypeR session: prepare-once / execute-many
+//! hypothetical reasoning over a fixed database and causal model.
+//!
+//! [`HyperSession`] is the primary entry point of the engine. Unlike the
+//! deprecated borrow-based [`crate::HyperEngine`], a session *owns* its
+//! database and graph (behind [`Arc`]s), is `Send + Sync + Clone`, and
+//! keeps an [`ArtifactCache`] of the expensive intermediates of the
+//! paper's computation strategy (§3.3): relevant views, the block
+//! decomposition (Prop. 1), and fitted causal estimators. The intended
+//! workload — many small parameter-varying hypothetical queries over one
+//! fixed scenario — pays the view build and estimator training once and
+//! reuses them across:
+//!
+//! * repeated [`PreparedQuery::execute`] calls,
+//! * ad-hoc [`HyperSession::execute`] / [`HyperSession::whatif_text`] calls,
+//! * parallel [`HyperSession::execute_batch`] fan-out, and
+//! * candidate enumeration inside how-to optimization, whose hundreds of
+//!   candidate what-if queries all share one relevant view.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hyper_core::{EngineConfig, HyperSession};
+//! # fn demo(db: hyper_storage::Database, g: hyper_causal::CausalGraph)
+//! # -> hyper_core::Result<()> {
+//! let session = HyperSession::builder(db)
+//!     .graph(g)
+//!     .config(EngineConfig::hyper())
+//!     .build();
+//! let q = session.prepare(
+//!     "Use product When brand = 'Asus' \
+//!      Update(price) = 1.1 * Pre(price) \
+//!      Output Avg(Post(rating)) For Pre(category) = 'Laptop'",
+//! )?;
+//! let first = q.execute()?;  // builds the view, trains the estimator
+//! let again = q.execute()?;  // pure cache hits
+//! assert!(session.stats().estimator_hits > 0);
+//! # Ok(()) }
+//! ```
+
+pub mod cache;
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use hyper_causal::{BlockDecomposition, CausalGraph};
+use hyper_query::{
+    parse_query, validate_howto, validate_whatif, HowToQuery, HypotheticalQuery, WhatIfQuery,
+};
+use hyper_storage::Database;
+
+use crate::config::{EngineConfig, HowToOptions};
+use crate::error::{EngineError, Result};
+use crate::howto::baseline::evaluate_howto_bruteforce_cached;
+use crate::howto::multi::{evaluate_howto_lexicographic_cached, LexicographicResult};
+use crate::howto::optimizer::evaluate_howto_cached;
+use crate::howto::HowToResult;
+use crate::view::RelevantView;
+use crate::whatif::{evaluate_whatif_cached, evaluate_whatif_on_view, WhatIfResult};
+
+pub use cache::ArtifactCache;
+
+/// Outcome of executing hypothetical query text: either kind of result.
+#[derive(Debug, Clone)]
+pub enum QueryOutcome {
+    /// What-if result.
+    WhatIf(WhatIfResult),
+    /// How-to result.
+    HowTo(HowToResult),
+}
+
+/// Snapshot of a session's cache and execution counters.
+///
+/// Hits/misses are cumulative over the session's lifetime; `*_cached` are
+/// the current number of distinct artifacts held.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Relevant-view cache hits.
+    pub view_hits: u64,
+    /// Relevant-view cache misses (views built).
+    pub view_misses: u64,
+    /// Fitted-estimator cache hits.
+    pub estimator_hits: u64,
+    /// Fitted-estimator cache misses (estimators trained).
+    pub estimator_misses: u64,
+    /// Block-decomposition cache hits.
+    pub block_hits: u64,
+    /// Block-decomposition cache misses (at most 1 per session).
+    pub block_misses: u64,
+    /// Distinct relevant views currently cached.
+    pub views_cached: usize,
+    /// Distinct fitted estimators currently cached.
+    pub estimators_cached: usize,
+    /// Queries prepared via [`HyperSession::prepare`].
+    pub queries_prepared: u64,
+    /// Queries executed (ad-hoc, prepared, and batch items).
+    pub queries_executed: u64,
+}
+
+struct SessionInner {
+    db: Arc<Database>,
+    graph: Option<Arc<CausalGraph>>,
+    config: EngineConfig,
+    howto_opts: HowToOptions,
+    cache: ArtifactCache,
+    queries_prepared: AtomicU64,
+    queries_executed: AtomicU64,
+}
+
+/// Builder for [`HyperSession`].
+pub struct SessionBuilder {
+    db: Arc<Database>,
+    graph: Option<Arc<CausalGraph>>,
+    config: EngineConfig,
+    howto_opts: HowToOptions,
+}
+
+impl SessionBuilder {
+    /// Start a builder over the given database.
+    pub fn new(db: impl Into<Arc<Database>>) -> SessionBuilder {
+        SessionBuilder {
+            db: db.into(),
+            graph: None,
+            config: EngineConfig::default(),
+            howto_opts: HowToOptions::default(),
+        }
+    }
+
+    /// Attach the schema-level causal graph (required for
+    /// [`crate::BackdoorMode::FromGraph`], i.e. plain HypeR).
+    pub fn graph(mut self, graph: impl Into<Arc<CausalGraph>>) -> SessionBuilder {
+        self.graph = Some(graph.into());
+        self
+    }
+
+    /// Attach an optional graph (convenience for variant sweeps).
+    pub fn maybe_graph(mut self, graph: Option<impl Into<Arc<CausalGraph>>>) -> SessionBuilder {
+        self.graph = graph.map(Into::into);
+        self
+    }
+
+    /// Override the engine configuration.
+    pub fn config(mut self, config: EngineConfig) -> SessionBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Override the how-to options.
+    pub fn howto_options(mut self, opts: HowToOptions) -> SessionBuilder {
+        self.howto_opts = opts;
+        self
+    }
+
+    /// Finish: an owned, shareable session with an empty artifact cache.
+    pub fn build(self) -> HyperSession {
+        HyperSession {
+            inner: Arc::new(SessionInner {
+                db: self.db,
+                graph: self.graph,
+                config: self.config,
+                howto_opts: self.howto_opts,
+                cache: ArtifactCache::new(),
+                queries_prepared: AtomicU64::new(0),
+                queries_executed: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// An owned, cache-backed HypeR session. Cheap to clone (clones share the
+/// cache), `Send + Sync`, safe to use from many threads at once.
+#[derive(Clone)]
+pub struct HyperSession {
+    inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for HyperSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyperSession")
+            .field("tables", &self.inner.db.tables().len())
+            .field("graph", &self.inner.graph.is_some())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl HyperSession {
+    /// Builder over the given database.
+    pub fn builder(db: impl Into<Arc<Database>>) -> SessionBuilder {
+        SessionBuilder::new(db)
+    }
+
+    /// Session with the default (plain HypeR) configuration. The graph is
+    /// cloned into the session; use [`HyperSession::builder`] with
+    /// [`SessionBuilder::graph`] to share an existing `Arc`.
+    pub fn new(db: impl Into<Arc<Database>>, graph: Option<&CausalGraph>) -> HyperSession {
+        SessionBuilder {
+            db: db.into(),
+            graph: graph.map(|g| Arc::new(g.clone())),
+            config: EngineConfig::default(),
+            howto_opts: HowToOptions::default(),
+        }
+        .build()
+    }
+
+    /// Replace the configuration, returning a session over the same
+    /// database/graph with a **fresh, empty cache** (cached artifacts
+    /// depend on the configuration).
+    pub fn with_config(self, config: EngineConfig) -> HyperSession {
+        SessionBuilder {
+            db: Arc::clone(&self.inner.db),
+            graph: self.inner.graph.clone(),
+            config,
+            howto_opts: self.inner.howto_opts.clone(),
+        }
+        .build()
+    }
+
+    /// Replace the how-to options, returning a session over the same
+    /// database/graph with a fresh, empty cache.
+    pub fn with_howto_options(self, opts: HowToOptions) -> HyperSession {
+        SessionBuilder {
+            db: Arc::clone(&self.inner.db),
+            graph: self.inner.graph.clone(),
+            config: self.inner.config.clone(),
+            howto_opts: opts,
+        }
+        .build()
+    }
+
+    /// The bound database.
+    pub fn database(&self) -> &Database {
+        &self.inner.db
+    }
+
+    /// The bound causal graph, if any.
+    pub fn graph(&self) -> Option<&CausalGraph> {
+        self.inner.graph.as_deref()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The active how-to options.
+    pub fn howto_options(&self) -> &HowToOptions {
+        &self.inner.howto_opts
+    }
+
+    /// Snapshot of cache and execution counters.
+    pub fn stats(&self) -> SessionStats {
+        let c = &self.inner.cache.counters;
+        SessionStats {
+            view_hits: c.view_hits.load(Ordering::Relaxed),
+            view_misses: c.view_misses.load(Ordering::Relaxed),
+            estimator_hits: c.estimator_hits.load(Ordering::Relaxed),
+            estimator_misses: c.estimator_misses.load(Ordering::Relaxed),
+            block_hits: c.block_hits.load(Ordering::Relaxed),
+            block_misses: c.block_misses.load(Ordering::Relaxed),
+            views_cached: self.inner.cache.cached_views(),
+            estimators_cached: self.inner.cache.cached_estimators(),
+            queries_prepared: self.inner.queries_prepared.load(Ordering::Relaxed),
+            queries_executed: self.inner.queries_executed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Parse, validate, resolve the `Use` clause, and plan `text` once,
+    /// returning a handle that can be executed many times. The relevant
+    /// view is built (or fetched) here, so the first
+    /// [`PreparedQuery::execute`] only pays estimator training, and later
+    /// ones only mask evaluation.
+    pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
+        let query = parse_query(text)?;
+        let use_clause = match &query {
+            HypotheticalQuery::WhatIf(q) => &q.use_clause,
+            HypotheticalQuery::HowTo(q) => &q.use_clause,
+        };
+        let (view, view_key) = self.inner.cache.view(&self.inner.db, use_clause)?;
+        let cols = view.column_names();
+        match &query {
+            HypotheticalQuery::WhatIf(q) => validate_whatif(q, Some(&cols))?,
+            HypotheticalQuery::HowTo(q) => validate_howto(q, Some(&cols))?,
+        }
+        self.inner.queries_prepared.fetch_add(1, Ordering::Relaxed);
+        Ok(PreparedQuery {
+            session: self.clone(),
+            text: text.to_string(),
+            query,
+            view,
+            view_key,
+        })
+    }
+
+    /// Parse and evaluate query text; returns either result kind.
+    pub fn execute(&self, text: &str) -> Result<QueryOutcome> {
+        match parse_query(text)? {
+            HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(self.whatif(&q)?)),
+            HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(self.howto(&q)?)),
+        }
+    }
+
+    /// Evaluate many queries concurrently over the shared artifact cache,
+    /// preserving input order in the output. Queries fan out across up to
+    /// `available_parallelism` worker threads; results are identical to
+    /// executing each query sequentially (estimator training is seeded and
+    /// deterministic, and cached artifacts are immutable once built).
+    pub fn execute_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> Vec<Result<QueryOutcome>> {
+        let n = queries.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if workers <= 1 {
+            return queries.iter().map(|q| self.execute(q.as_ref())).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<Result<QueryOutcome>>> = (0..n).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = self.execute(queries[i].as_ref());
+                    let _ = slots[i].set(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every batch slot is filled"))
+            .collect()
+    }
+
+    /// Evaluate a parsed what-if query through the artifact cache.
+    pub fn whatif(&self, q: &WhatIfQuery) -> Result<WhatIfResult> {
+        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        evaluate_whatif_cached(
+            &self.inner.db,
+            self.graph(),
+            &self.inner.config,
+            q,
+            &self.inner.cache,
+        )
+    }
+
+    /// Evaluate a parsed how-to query via the IP formulation; the candidate
+    /// what-if evaluations share the session caches.
+    pub fn howto(&self, q: &HowToQuery) -> Result<HowToResult> {
+        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        evaluate_howto_cached(
+            &self.inner.db,
+            self.graph(),
+            &self.inner.config,
+            q,
+            &self.inner.howto_opts,
+            Some(&self.inner.cache),
+        )
+    }
+
+    /// Evaluate a how-to query by exhaustive enumeration (Opt-HowTo).
+    pub fn howto_bruteforce(&self, q: &HowToQuery) -> Result<HowToResult> {
+        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        evaluate_howto_bruteforce_cached(
+            &self.inner.db,
+            self.graph(),
+            &self.inner.config,
+            q,
+            &self.inner.howto_opts,
+            Some(&self.inner.cache),
+        )
+    }
+
+    /// Lexicographic multi-objective how-to (§4.3 extension).
+    pub fn howto_lexicographic(&self, qs: &[HowToQuery]) -> Result<LexicographicResult> {
+        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        evaluate_howto_lexicographic_cached(
+            &self.inner.db,
+            self.graph(),
+            &self.inner.config,
+            qs,
+            &self.inner.howto_opts,
+            Some(&self.inner.cache),
+        )
+    }
+
+    /// Parse and evaluate what-if text.
+    pub fn whatif_text(&self, text: &str) -> Result<WhatIfResult> {
+        match parse_query(text)? {
+            HypotheticalQuery::WhatIf(q) => self.whatif(&q),
+            HypotheticalQuery::HowTo(_) => Err(EngineError::Query(
+                "expected a what-if query, got a how-to query".into(),
+            )),
+        }
+    }
+
+    /// Parse and evaluate how-to text.
+    pub fn howto_text(&self, text: &str) -> Result<HowToResult> {
+        match parse_query(text)? {
+            HypotheticalQuery::HowTo(q) => self.howto(&q),
+            HypotheticalQuery::WhatIf(_) => Err(EngineError::Query(
+                "expected a how-to query, got a what-if query".into(),
+            )),
+        }
+    }
+
+    /// The block-independent decomposition of the bound database under the
+    /// bound causal graph (Prop. 1/Example 7), computed once and cached.
+    pub fn block_decomposition(&self) -> Result<Arc<BlockDecomposition>> {
+        let graph = self.graph().ok_or_else(|| {
+            EngineError::Causal("block decomposition requires a causal graph".into())
+        })?;
+        self.inner.cache.blocks(&self.inner.db, graph)
+    }
+}
+
+/// A query parsed, validated, and planned once against a session; execute
+/// it as many times as needed. Cheap to clone; clones share the session and
+/// the resolved view. `Send + Sync`, so prepared queries can be executed
+/// from worker threads directly.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    session: HyperSession,
+    text: String,
+    query: HypotheticalQuery,
+    view: Arc<RelevantView>,
+    view_key: String,
+}
+
+impl std::fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("text", &self.text)
+            .field("view_rows", &self.view.table.num_rows())
+            .finish()
+    }
+}
+
+impl PreparedQuery {
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed query.
+    pub fn query(&self) -> &HypotheticalQuery {
+        &self.query
+    }
+
+    /// Rows in the resolved relevant view.
+    pub fn view_rows(&self) -> usize {
+        self.view.table.num_rows()
+    }
+
+    /// Execute the prepared query.
+    ///
+    /// What-if queries skip parsing and view resolution (the view was
+    /// resolved at prepare time) and fetch the fitted estimator from the
+    /// session cache — training it on the first call only, which is where
+    /// nearly all the latency lives. Per-execution work that remains:
+    /// re-validating against the view schema, binding the `When`/`For`
+    /// masks, and backdoor-set selection (all linear scans, no training).
+    /// How-to queries reuse the session caches for their candidate
+    /// what-if evaluations.
+    pub fn execute(&self) -> Result<QueryOutcome> {
+        let inner = &self.session.inner;
+        inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        match &self.query {
+            HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(evaluate_whatif_on_view(
+                &inner.db,
+                self.session.graph(),
+                &inner.config,
+                q,
+                &self.view,
+                &self.view_key,
+                Some(&inner.cache),
+            )?)),
+            HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(evaluate_howto_cached(
+                &inner.db,
+                self.session.graph(),
+                &inner.config,
+                q,
+                &inner.howto_opts,
+                Some(&inner.cache),
+            )?)),
+        }
+    }
+
+    /// Execute and expect a what-if result.
+    pub fn execute_whatif(&self) -> Result<WhatIfResult> {
+        match self.execute()? {
+            QueryOutcome::WhatIf(r) => Ok(r),
+            QueryOutcome::HowTo(_) => Err(EngineError::Query(
+                "expected a what-if query, got a how-to query".into(),
+            )),
+        }
+    }
+
+    /// Execute and expect a how-to result.
+    pub fn execute_howto(&self) -> Result<HowToResult> {
+        match self.execute()? {
+            QueryOutcome::HowTo(r) => Ok(r),
+            QueryOutcome::WhatIf(_) => Err(EngineError::Query(
+                "expected a how-to query, got a what-if query".into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_types_are_send_sync_and_clone() {
+        fn assert_send_sync_clone<T: Send + Sync + Clone>() {}
+        assert_send_sync_clone::<HyperSession>();
+        assert_send_sync_clone::<PreparedQuery>();
+        assert_send_sync_clone::<SessionStats>();
+    }
+}

@@ -8,9 +8,7 @@
 use std::collections::HashMap;
 
 use hyper_query::{QualifiedName, SelectItem, SelectStmt, UseClause, UseCondition};
-use hyper_storage::{
-    col, AggExpr, AggFunc, BinOp, Database, Expr, LogicalPlan, Table,
-};
+use hyper_storage::{col, AggExpr, AggFunc, BinOp, Database, Expr, LogicalPlan, Table};
 
 use crate::error::{EngineError, Result};
 
@@ -111,9 +109,7 @@ fn lower_select(db: &Database, stmt: &SelectStmt) -> Result<RelevantView> {
                 let info = aliases
                     .iter()
                     .find(|a| a.alias.eq_ignore_ascii_case(qual))
-                    .ok_or_else(|| {
-                        EngineError::Plan(format!("unknown table alias `{qual}`"))
-                    })?;
+                    .ok_or_else(|| EngineError::Plan(format!("unknown table alias `{qual}`")))?;
                 let table = db.table(&info.table)?;
                 let idx = resolve_in_table(table, &q.name)?;
                 Ok(format!("{}.{}", info.alias, table.schema().field(idx).name))
@@ -129,16 +125,10 @@ fn lower_select(db: &Database, stmt: &SelectStmt) -> Result<RelevantView> {
                                 q.name
                             )));
                         }
-                        found = Some(format!(
-                            "{}.{}",
-                            info.alias,
-                            table.schema().field(idx).name
-                        ));
+                        found = Some(format!("{}.{}", info.alias, table.schema().field(idx).name));
                     }
                 }
-                found.ok_or_else(|| {
-                    EngineError::Plan(format!("unknown attribute `{}`", q.name))
-                })
+                found.ok_or_else(|| EngineError::Plan(format!("unknown attribute `{}`", q.name)))
             }
         }
     };
@@ -187,9 +177,8 @@ fn lower_select(db: &Database, stmt: &SelectStmt) -> Result<RelevantView> {
 
     // Join order: start from the first table, greedily attach tables
     // connected by a join condition.
-    let alias_of = |qualified: &str| -> String {
-        qualified.split('.').next().unwrap_or("").to_string()
-    };
+    let alias_of =
+        |qualified: &str| -> String { qualified.split('.').next().unwrap_or("").to_string() };
     let mut joined: Vec<String> = vec![aliases[0].alias.clone()];
     let mut plan = plan_for(&aliases[0])?;
     let mut remaining: Vec<&AliasInfo> = aliases.iter().skip(1).collect();
@@ -252,11 +241,7 @@ fn lower_select(db: &Database, stmt: &SelectStmt) -> Result<RelevantView> {
         .items
         .iter()
         .any(|i| matches!(i, SelectItem::Aggregate { .. }));
-    let group_cols: Vec<String> = stmt
-        .group_by
-        .iter()
-        .map(&resolve)
-        .collect::<Result<_>>()?;
+    let group_cols: Vec<String> = stmt.group_by.iter().map(&resolve).collect::<Result<_>>()?;
 
     let mut origins: Vec<ColumnOrigin> = Vec::with_capacity(stmt.items.len());
     let mut out_names: Vec<String> = Vec::with_capacity(stmt.items.len());

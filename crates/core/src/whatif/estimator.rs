@@ -132,22 +132,29 @@ impl CellTable {
         let mut cells: HashMap<Vec<u64>, (f64, u32)> = HashMap::new();
         let mut marginal: HashMap<Vec<u64>, (f64, u32)> = HashMap::new();
         let mut total = 0.0;
-        for i in 0..x.rows() {
+        for (i, &yi) in y.iter().enumerate().take(x.rows()) {
             let row = x.row(i);
             let key: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
-            let mkey: Vec<u64> = row[skip.min(row.len())..].iter().map(|f| f.to_bits()).collect();
+            let mkey: Vec<u64> = row[skip.min(row.len())..]
+                .iter()
+                .map(|f| f.to_bits())
+                .collect();
             let e = cells.entry(key).or_insert((0.0, 0));
-            e.0 += y[i];
+            e.0 += yi;
             e.1 += 1;
             let m = marginal.entry(mkey).or_insert((0.0, 0));
-            m.0 += y[i];
+            m.0 += yi;
             m.1 += 1;
-            total += y[i];
+            total += yi;
         }
         CellTable {
             cells,
             marginal,
-            global: if x.rows() > 0 { total / x.rows() as f64 } else { 0.0 },
+            global: if x.rows() > 0 {
+                total / x.rows() as f64
+            } else {
+                0.0
+            },
             skip,
         }
     }
@@ -222,8 +229,7 @@ impl CausalEstimator {
         }
 
         // Feature columns: updates first, then backdoor set.
-        let mut feature_cols: Vec<usize> =
-            spec.update_cols.iter().map(|(c, _)| *c).collect();
+        let mut feature_cols: Vec<usize> = spec.update_cols.iter().map(|(c, _)| *c).collect();
         feature_cols.extend_from_slice(spec.backdoor_cols);
         let names: Vec<String> = feature_cols
             .iter()
@@ -464,12 +470,9 @@ impl CausalEstimator {
                             denominator += 1.0;
                         }
                         (_, Some(yv)) => {
-                            numerator +=
-                                yv.eval(&pre, &pre)?.as_f64().ok_or_else(|| {
-                                    EngineError::Plan(
-                                        "Output expression is not numeric".into(),
-                                    )
-                                })?;
+                            numerator += yv.eval(&pre, &pre)?.as_f64().ok_or_else(|| {
+                                EngineError::Plan("Output expression is not numeric".into())
+                            })?;
                             denominator += 1.0;
                         }
                         _ => unreachable!(),

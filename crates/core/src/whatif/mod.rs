@@ -18,6 +18,7 @@ pub mod estimator;
 pub mod exact;
 
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use hyper_causal::CausalGraph;
@@ -27,6 +28,7 @@ use hyper_storage::{AggFunc, Database, Value};
 use crate::config::{BackdoorMode, EngineConfig};
 use crate::error::{EngineError, Result};
 use crate::hexpr::{bind_hexpr, conjoin, resolve_column, split_pre_post, BoundHExpr};
+use crate::session::cache::ArtifactCache;
 use crate::view::{build_relevant_view, RelevantView};
 
 use estimator::{CausalEstimator, EstimatorSpec, PeerSummary};
@@ -71,15 +73,64 @@ pub fn apply_update(func: &UpdateFunc, pre: &Value) -> Result<Value> {
 
 /// Evaluate a what-if query against `db` under `config`, optionally with a
 /// causal `graph` (required for [`BackdoorMode::FromGraph`]).
-#[allow(clippy::needless_range_loop)]
+///
+/// This is the uncached single-shot path: the relevant view is built and
+/// the estimator trained from scratch. Sessions
+/// ([`crate::HyperSession::whatif`]) go through
+/// [`evaluate_whatif_cached`] instead and reuse both artifacts.
 pub fn evaluate_whatif(
     db: &Database,
     graph: Option<&CausalGraph>,
     config: &EngineConfig,
     q: &WhatIfQuery,
 ) -> Result<WhatIfResult> {
+    let view = Arc::new(build_relevant_view(db, &q.use_clause)?);
+    evaluate_whatif_on_view(db, graph, config, q, &view, "", None)
+}
+
+/// Evaluate a what-if query, resolving the relevant view and the fitted
+/// estimator through a session's artifact cache.
+pub(crate) fn evaluate_whatif_cached(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &WhatIfQuery,
+    cache: &ArtifactCache,
+) -> Result<WhatIfResult> {
+    let (view, view_key) = cache.view(db, &q.use_clause)?;
+    evaluate_whatif_on_view(db, graph, config, q, &view, &view_key, Some(cache))
+}
+
+/// Dispatch helper for call sites (the how-to optimizers) that may or may
+/// not run inside a session.
+pub(crate) fn evaluate_whatif_maybe_cached(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &WhatIfQuery,
+    cache: Option<&ArtifactCache>,
+) -> Result<WhatIfResult> {
+    match cache {
+        Some(c) => evaluate_whatif_cached(db, graph, config, q, c),
+        None => evaluate_whatif(db, graph, config, q),
+    }
+}
+
+/// Core what-if evaluation over an already-resolved relevant view
+/// (§3.3 steps 2–5). `view_key` is the cache key of `view` (empty outside
+/// a session); when `cache` is present the fitted estimator is fetched
+/// from / inserted into it under a fingerprint derived from `view_key`.
+#[allow(clippy::needless_range_loop)]
+pub(crate) fn evaluate_whatif_on_view(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &WhatIfQuery,
+    view: &Arc<RelevantView>,
+    view_key: &str,
+    cache: Option<&ArtifactCache>,
+) -> Result<WhatIfResult> {
     let started = Instant::now();
-    let view = build_relevant_view(db, &q.use_clause)?;
     let cols = view.column_names();
     validate_whatif(q, Some(&cols))?;
     let schema = view.table.schema().clone();
@@ -90,7 +141,7 @@ pub fn evaluate_whatif(
     for u in &q.updates {
         update_cols.push((resolve_column(&schema, &u.attr)?, u.func.clone()));
     }
-    check_multi_update_validity(&view, graph, &update_cols)?;
+    check_multi_update_validity(view, graph, &update_cols)?;
 
     // Masks.
     let when_bound = q
@@ -174,7 +225,13 @@ pub fn evaluate_whatif(
     if !needs_estimation {
         // Post values are fully determined by the update functions.
         let value = deterministic_eval(
-            &view, &update_cols, &when_mask, &scope_mask, &psi, &y, q.output.agg,
+            view,
+            &update_cols,
+            &when_mask,
+            &scope_mask,
+            &psi,
+            &y,
+            q.output.agg,
         )?;
         return Ok(WhatIfResult {
             value,
@@ -192,15 +249,12 @@ pub fn evaluate_whatif(
     // used to train the regressor"); attributes already in the backdoor set
     // are deduplicated, which is why the paper observes *faster* evaluation
     // when the added attribute was in the backdoor set.
-    let for_pre_cols: HashSet<usize> = pre_bound
-        .iter()
-        .flat_map(|e| e.pre_columns())
-        .collect();
+    let for_pre_cols: HashSet<usize> = pre_bound.iter().flat_map(|e| e.pre_columns()).collect();
 
     // Backdoor adjustment set over view columns.
     let backdoor_cols = select_backdoor_columns(
         db,
-        &view,
+        view,
         graph,
         config,
         &update_cols,
@@ -210,7 +264,7 @@ pub fn evaluate_whatif(
 
     // Optional cross-tuple peer summary (ψ of §2.2).
     let peer = if config.peer_summaries {
-        PeerSummary::detect(&view, graph, &update_cols)?
+        PeerSummary::detect(view, graph, &update_cols)?
     } else {
         None
     };
@@ -225,11 +279,22 @@ pub fn evaluate_whatif(
         seed: config.seed,
         kind: config.estimator,
     };
-    let est = CausalEstimator::fit(&view, &spec, &psi, &y, q.output.agg)?;
+    // Inside a session, fitted estimators are cached under a fingerprint of
+    // (view, update set, output, adjustment set, estimator config): a
+    // repeated prepared query skips training entirely.
+    let est: Arc<CausalEstimator> = match cache {
+        Some(c) => {
+            let key = ArtifactCache::estimator_key(view_key, q, &backdoor_cols, config);
+            c.estimator(&key, || {
+                CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)
+            })?
+        }
+        None => Arc::new(CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)?),
+    };
     let value = if config.use_blocks {
-        evaluate_by_blocks(db, graph, q, &view, &est, &when_mask, &scope_mask)?
+        evaluate_by_blocks(db, graph, q, view, &est, &when_mask, &scope_mask, cache)?
     } else {
-        est.evaluate(&view, &when_mask, &scope_mask)?
+        est.evaluate(view, &when_mask, &scope_mask)?
     };
 
     Ok(WhatIfResult {
@@ -254,6 +319,7 @@ pub fn evaluate_whatif(
 ///
 /// Only available for single-table `Use` clauses (view rows correspond 1:1
 /// to base-table rows in order); other shapes fall back to one block.
+#[allow(clippy::too_many_arguments)]
 fn evaluate_by_blocks(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -262,12 +328,18 @@ fn evaluate_by_blocks(
     est: &CausalEstimator,
     when_mask: &[bool],
     scope_mask: &[bool],
+    cache: Option<&ArtifactCache>,
 ) -> Result<f64> {
     use hyper_causal::BlockDecomposition;
 
     let single_table = matches!(&q.use_clause, hyper_query::UseClause::Table(_));
     let blocks = match (graph, single_table) {
-        (Some(g), true) => Some(BlockDecomposition::compute(db, g).map_err(EngineError::from)?),
+        // The decomposition depends only on (database, graph), both fixed
+        // for a session's lifetime: compute it once and cache it.
+        (Some(g), true) => Some(match cache {
+            Some(c) => c.blocks(db, g)?,
+            None => Arc::new(BlockDecomposition::compute(db, g).map_err(EngineError::from)?),
+        }),
         _ => None,
     };
     let n = view.table.num_rows();
@@ -353,9 +425,10 @@ fn deterministic_eval(
         match (agg, y) {
             (AggFunc::Count, _) => total += 1.0,
             (_, Some(yv)) => {
-                total += yv.eval(&pre, &post)?.as_f64().ok_or_else(|| {
-                    EngineError::Plan("Output expression is not numeric".into())
-                })?;
+                total += yv
+                    .eval(&pre, &post)?
+                    .as_f64()
+                    .ok_or_else(|| EngineError::Plan("Output expression is not numeric".into()))?;
             }
             _ => unreachable!("validated in caller"),
         }
@@ -504,8 +577,8 @@ fn select_backdoor_columns(
                     let Ok(y_node) = g.node_id(&yo.relation, &yo.attribute) else {
                         continue; // post attr outside the model: no adjustment
                     };
-                    let set = hyper_causal::minimal_backdoor_set(g, b_node, y_node)
-                        .ok_or_else(|| {
+                    let set =
+                        hyper_causal::minimal_backdoor_set(g, b_node, y_node).ok_or_else(|| {
                             EngineError::Causal(format!(
                                 "no valid backdoor set for {} → {}",
                                 g.node_info(b_node),

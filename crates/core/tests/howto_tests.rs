@@ -1,6 +1,10 @@
 //! How-to engine integration tests: the IP optimizer must agree with the
 //! exhaustive Opt-HowTo baseline (§5.4), respect Limit constraints, and
 //! support the lexicographic multi-objective extension.
+// These tests deliberately run through the deprecated `HyperEngine` shim:
+// they double as coverage that the shim still delegates to the same
+// evaluation pipeline the `HyperSession` API uses.
+#![allow(deprecated)]
 
 mod common;
 
@@ -84,7 +88,9 @@ fn range_limit_bounds_candidates() {
     });
     let r = engine.howto(&q).unwrap();
     for u in &r.chosen {
-        let UpdateFunc::Set(v) = &u.func else { panic!() };
+        let UpdateFunc::Set(v) = &u.func else {
+            panic!()
+        };
         let x = v.as_f64().unwrap();
         assert!((0.0..=1.0).contains(&x), "candidate {x} out of range");
     }

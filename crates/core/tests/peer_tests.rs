@@ -2,6 +2,10 @@
 //! price update on one set of products move the predicted ratings of
 //! *competitor* products in the same category (the dashed edges of
 //! Figure 2).
+// These tests deliberately run through the deprecated `HyperEngine` shim:
+// they double as coverage that the shim still delegates to the same
+// evaluation pipeline the `HyperSession` API uses.
+#![allow(deprecated)]
 
 use hyper_core::{EngineConfig, HyperEngine};
 use hyper_query::{parse_query, HypotheticalQuery, WhatIfQuery};
@@ -43,7 +47,11 @@ fn market_db(n: usize, seed: u64) -> Database {
     }
     for (pid, cat, brand, price) in rows {
         let (s, c) = sums[cat];
-        let peer_mean = if c > 1 { (s - price) / (c - 1) as f64 } else { price };
+        let peer_mean = if c > 1 {
+            (s - price) / (c - 1) as f64
+        } else {
+            price
+        };
         let rating = 3.0 + (peer_mean - price) / 100.0 + 0.2 * (rng.gen::<f64>() - 0.5);
         t.push_row(vec![
             pid.into(),

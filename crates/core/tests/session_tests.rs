@@ -1,0 +1,340 @@
+//! Session-layer integration tests: prepared queries must hit the view and
+//! estimator caches on re-execution, batch execution must agree exactly
+//! with sequential execution, caching must not change any result, and the
+//! shared cache must be safe to hammer from many threads.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{confounded_db, credit_db};
+use hyper_core::{EngineConfig, HowToOptions, HyperSession, QueryOutcome};
+
+const WHATIF: &str = "Use d Update(b) = 1 Output Count(Post(y) = 1)";
+
+#[test]
+fn second_execution_of_a_prepared_whatif_is_all_cache_hits() {
+    let (db, _, graph) = confounded_db(800, 7);
+    let session = HyperSession::builder(db).graph(graph).build();
+
+    let prepared = session.prepare(WHATIF).unwrap();
+    let after_prepare = session.stats();
+    assert_eq!(after_prepare.view_misses, 1, "prepare builds the view once");
+    assert_eq!(after_prepare.estimator_misses, 0, "prepare does not train");
+    assert_eq!(after_prepare.queries_prepared, 1);
+
+    let first = prepared.execute_whatif().unwrap();
+    let mid = session.stats();
+    assert_eq!(mid.view_misses, 1, "execution reuses the prepared view");
+    assert_eq!(mid.estimator_misses, 1, "first execution trains once");
+    assert_eq!(mid.estimator_hits, 0);
+
+    let second = prepared.execute_whatif().unwrap();
+    let done = session.stats();
+    assert_eq!(second.value, first.value, "cached estimator, same answer");
+    assert_eq!(done.view_misses, 1, "second execution builds no view");
+    assert_eq!(done.estimator_misses, 1, "second execution trains nothing");
+    assert!(
+        done.estimator_hits > 0,
+        "second execution hits the estimator cache"
+    );
+    assert_eq!(done.views_cached, 1);
+    assert_eq!(done.estimators_cached, 1);
+    assert_eq!(done.queries_executed, 2);
+}
+
+#[test]
+fn ad_hoc_text_shares_the_prepared_query_caches() {
+    let (db, _, graph) = confounded_db(600, 11);
+    let session = HyperSession::builder(db).graph(graph).build();
+
+    let prepared = session.prepare(WHATIF).unwrap();
+    let a = prepared.execute_whatif().unwrap();
+    // The same query as ad-hoc text resolves to the same artifacts.
+    let b = session.whatif_text(WHATIF).unwrap();
+    assert_eq!(a.value, b.value);
+    let stats = session.stats();
+    assert_eq!(stats.view_misses, 1);
+    assert_eq!(stats.estimator_misses, 1);
+    assert!(stats.view_hits >= 1);
+    assert!(stats.estimator_hits >= 1);
+}
+
+#[test]
+fn caching_does_not_change_results() {
+    let (db, _, graph) = confounded_db(700, 3);
+    // Uncached path (single-shot free function via the deprecated shim).
+    #[allow(deprecated)]
+    let uncached = hyper_core::HyperEngine::new(&db, Some(&graph))
+        .whatif_text(WHATIF)
+        .unwrap();
+    // Cached path, executed twice (second run exercises the hit path).
+    let session = HyperSession::builder(db).graph(graph).build();
+    let c1 = session.whatif_text(WHATIF).unwrap();
+    let c2 = session.whatif_text(WHATIF).unwrap();
+    assert_eq!(
+        uncached.value, c1.value,
+        "cache must be semantically invisible"
+    );
+    assert_eq!(c1.value, c2.value);
+    assert_eq!(uncached.backdoor, c1.backdoor);
+}
+
+#[test]
+fn execute_batch_matches_sequential_execution_exactly() {
+    let (db, _, graph) = credit_db(900, 5);
+    let queries: Vec<String> = vec![
+        "Use d Update(status) = 1 Output Count(Post(credit) = 'Good')".into(),
+        "Use d Update(income) = 1 Output Count(Post(credit) = 'Good')".into(),
+        "Use d When edu = 0 Update(status) = 1 Output Count(Post(credit) = 'Good')".into(),
+        "Use d Update(status) = 0 Output Count(Post(credit) = 'Bad')".into(),
+        "Use d Update(income) = 0 Output Count(Post(credit) = 'Good') For Pre(age) = 1".into(),
+        // Repeats: exercise cache hits inside the batch itself.
+        "Use d Update(status) = 1 Output Count(Post(credit) = 'Good')".into(),
+    ];
+
+    let sequential_session = HyperSession::builder(db.clone())
+        .graph(graph.clone())
+        .build();
+    let sequential: Vec<f64> = queries
+        .iter()
+        .map(|q| match sequential_session.execute(q).unwrap() {
+            QueryOutcome::WhatIf(r) => r.value,
+            QueryOutcome::HowTo(_) => unreachable!(),
+        })
+        .collect();
+
+    let batch_session = HyperSession::builder(db).graph(graph).build();
+    let batch = batch_session.execute_batch(&queries);
+    assert_eq!(batch.len(), queries.len());
+    for (i, (seq, out)) in sequential.iter().zip(&batch).enumerate() {
+        match out {
+            Ok(QueryOutcome::WhatIf(r)) => {
+                assert_eq!(
+                    r.value, *seq,
+                    "query {i} diverged between batch and sequential"
+                )
+            }
+            other => panic!("query {i}: unexpected outcome {other:?}"),
+        }
+    }
+    // All six queries share one relevant view.
+    let stats = batch_session.stats();
+    assert_eq!(stats.view_misses, 1);
+    assert_eq!(stats.queries_executed, queries.len() as u64);
+}
+
+#[test]
+fn batch_reports_per_query_errors_without_failing_the_rest() {
+    let (db, _, graph) = confounded_db(300, 2);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let out = session.execute_batch(&[
+        WHATIF,
+        "Use d utter nonsense",
+        "Use ghost_table Update(b) = 1 Output Count(*)",
+    ]);
+    assert!(out[0].is_ok());
+    assert!(out[1].is_err(), "parse error surfaces in its slot");
+    assert!(out[2].is_err(), "unknown table surfaces in its slot");
+}
+
+#[test]
+fn concurrent_prepared_executions_agree() {
+    let (db, _, graph) = confounded_db(500, 13);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let prepared = session.prepare(WHATIF).unwrap();
+    let reference = prepared.execute_whatif().unwrap().value;
+
+    let prepared = Arc::new(prepared);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let p = Arc::clone(&prepared);
+            scope.spawn(move || {
+                let r = p.execute_whatif().unwrap();
+                assert_eq!(r.value, reference);
+            });
+        }
+    });
+    let stats = session.stats();
+    assert_eq!(
+        stats.estimator_misses, 1,
+        "one training even under contention"
+    );
+    assert!(stats.estimator_hits >= 8);
+}
+
+#[test]
+fn cold_concurrent_identical_queries_build_each_artifact_once() {
+    // Eight copies of the same query hitting an empty cache from parallel
+    // workers: the single-flight slots must hand seven of them the one
+    // view/estimator the eighth builds.
+    let (db, _, graph) = confounded_db(600, 17);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let queries = vec![WHATIF; 8];
+    let out = session.execute_batch(&queries);
+    let mut values = Vec::new();
+    for o in out {
+        match o.unwrap() {
+            QueryOutcome::WhatIf(r) => values.push(r.value),
+            QueryOutcome::HowTo(_) => unreachable!(),
+        }
+    }
+    assert!(
+        values.windows(2).all(|w| w[0] == w[1]),
+        "all equal: {values:?}"
+    );
+    let stats = session.stats();
+    assert_eq!(
+        stats.view_misses, 1,
+        "view built exactly once under contention"
+    );
+    assert_eq!(stats.estimator_misses, 1, "estimator trained exactly once");
+    assert_eq!(stats.estimator_hits, 7);
+}
+
+#[test]
+fn howto_through_a_session_reuses_one_view_and_matches_the_shim() {
+    let (db, _, graph) = credit_db(800, 9);
+    let text = "Use d HowToUpdate status, income ToMaximize Count(Post(credit) = 'Good')";
+    let opts = HowToOptions {
+        buckets: 3,
+        max_attrs_updated: Some(1),
+    };
+
+    #[allow(deprecated)]
+    let uncached = hyper_core::HyperEngine::new(&db, Some(&graph))
+        .with_howto_options(opts.clone())
+        .howto_text(text)
+        .unwrap();
+
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .howto_options(opts)
+        .build();
+    let cached = session.howto_text(text).unwrap();
+    assert_eq!(cached.objective, uncached.objective);
+    assert_eq!(cached.baseline, uncached.baseline);
+    assert_eq!(cached.chosen.len(), uncached.chosen.len());
+
+    let stats = session.stats();
+    assert_eq!(
+        stats.view_misses, 1,
+        "all candidate what-ifs share the session's relevant view"
+    );
+    assert!(stats.view_hits as usize >= cached.whatif_evals - 1);
+
+    // Re-running the same how-to hits the per-candidate estimator cache.
+    let before = session.stats().estimator_misses;
+    let rerun = session.howto_text(text).unwrap();
+    assert_eq!(rerun.objective, cached.objective);
+    assert_eq!(
+        session.stats().estimator_misses,
+        before,
+        "second how-to trains no new estimators"
+    );
+}
+
+#[test]
+fn block_decomposition_is_computed_once() {
+    let (db, _, graph) = confounded_db(200, 1);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let a = session.block_decomposition().unwrap();
+    let b = session.block_decomposition().unwrap();
+    assert!(Arc::ptr_eq(&a, &b), "same shared decomposition");
+    let stats = session.stats();
+    assert_eq!(stats.block_misses, 1);
+    assert!(stats.block_hits >= 1);
+}
+
+#[test]
+fn sessions_with_different_configs_do_not_share_estimators() {
+    let (db, _, graph) = confounded_db(600, 21);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .config(EngineConfig::hyper())
+        .build();
+    let hyper = session.whatif_text(WHATIF).unwrap();
+    // Reconfiguring returns a fresh session (and fresh cache) — the Indep
+    // baseline must not see HypeR's cached estimator.
+    let session = session.with_config(EngineConfig::indep());
+    assert_eq!(session.stats().estimator_hits, 0);
+    assert_eq!(session.stats().estimator_misses, 0);
+    let indep = session.whatif_text(WHATIF).unwrap();
+    assert!(indep.backdoor.is_empty());
+    assert!(!hyper.backdoor.is_empty());
+}
+
+#[test]
+fn string_literal_case_differences_do_not_share_cache_entries() {
+    // Value comparison is case-sensitive, so `= 'Good'` and `= 'GOOD'`
+    // are different queries: the cache must key them separately (while
+    // identifier/keyword case still folds into one entry).
+    let (db, _, graph) = credit_db(600, 8);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let good = session
+        .whatif_text("Use d Update(status) = 1 Output Count(Post(credit) = 'Good')")
+        .unwrap();
+    let shouty = session
+        .whatif_text("Use d Update(status) = 1 Output Count(Post(credit) = 'GOOD')")
+        .unwrap();
+    assert!(good.value > 0.0);
+    assert_eq!(shouty.value, 0.0, "no row has credit == 'GOOD'");
+    assert_eq!(
+        session.stats().estimator_misses,
+        2,
+        "literal-case variants train separate estimators"
+    );
+
+    // Attribute-name case variants agree in value (the engine resolves
+    // attributes case-insensitively) but keys are exact text, so the
+    // variant trains its own estimator over the same shared view.
+    let upper = session
+        .whatif_text("Use d Update(STATUS) = 1 Output Count(Post(credit) = 'Good')")
+        .unwrap();
+    assert_eq!(upper.value, good.value);
+    assert_eq!(session.stats().estimator_misses, 3);
+    assert_eq!(
+        session.stats().views_cached,
+        1,
+        "same `Use d` clause, one view"
+    );
+
+    // Table lookup is case-sensitive, and the cache must not change that:
+    // `Use D` fails identically on this warm session and on a cold one.
+    let warm_err = session
+        .whatif_text("Use D Update(status) = 1 Output Count(Post(credit) = 'Good')")
+        .unwrap_err();
+    let (db2, _, graph2) = credit_db(600, 8);
+    let cold_err = HyperSession::builder(db2)
+        .graph(graph2)
+        .build()
+        .whatif_text("Use D Update(status) = 1 Output Count(Post(credit) = 'Good')")
+        .unwrap_err();
+    assert_eq!(
+        warm_err.to_string(),
+        cold_err.to_string(),
+        "cache warmth must not change query semantics"
+    );
+}
+
+#[test]
+fn prepare_rejects_invalid_queries_eagerly() {
+    let (db, _, graph) = confounded_db(100, 4);
+    let session = HyperSession::builder(db).graph(graph).build();
+    assert!(
+        session.prepare("Use d nonsense").is_err(),
+        "parse error at prepare"
+    );
+    assert!(
+        session
+            .prepare("Use d Update(nope) = 1 Output Count(*)")
+            .is_err(),
+        "unknown update attribute caught at prepare, not execute"
+    );
+    assert!(
+        session
+            .prepare("Use ghost Update(b) = 1 Output Count(*)")
+            .is_err(),
+        "unknown table caught at prepare"
+    );
+}

@@ -1,6 +1,10 @@
 //! What-if engine integration tests: the estimator must track the exact
 //! possible-world oracle, the variants must behave as the paper describes
 //! (Fig. 10: HypeR ≈ ground truth, Indep biased by confounding).
+// These tests deliberately run through the deprecated `HyperEngine` shim:
+// they double as coverage that the shim still delegates to the same
+// evaluation pipeline the `HyperSession` API uses.
+#![allow(deprecated)]
 
 mod common;
 
@@ -93,9 +97,7 @@ fn sampled_variant_stays_accurate() {
 fn when_clause_restricts_update_set() {
     let (db, scm, graph) = confounded_db(N, 19);
     // Update only z=0 rows; z=1 rows keep observational behaviour.
-    let q = whatif(
-        "Use d When z = 0 Update(b) = 1 Output Count(Post(y) = 1)",
-    );
+    let q = whatif("Use d When z = 0 Update(b) = 1 Output Count(Post(y) = 1)");
     let exact = exact_whatif(&scm, db.table("d").unwrap(), &q).unwrap();
     let est = HyperEngine::new(&db, Some(&graph)).whatif(&q).unwrap();
     let rel = (est.value - exact).abs() / exact;
@@ -108,9 +110,7 @@ fn when_clause_restricts_update_set() {
 #[test]
 fn for_clause_pre_conditions_select_scope() {
     let (db, scm, graph) = confounded_db(N, 23);
-    let q = whatif(
-        "Use d Update(b) = 1 Output Count(Post(y) = 1) For Pre(z) = 1",
-    );
+    let q = whatif("Use d Update(b) = 1 Output Count(Post(y) = 1) For Pre(z) = 1");
     let exact = exact_whatif(&scm, db.table("d").unwrap(), &q).unwrap();
     let est = HyperEngine::new(&db, Some(&graph)).whatif(&q).unwrap();
     // All scoped rows have z=1: P(y=1 | z=1, do(b=1)) = 0.9.
@@ -314,7 +314,10 @@ fn cells_estimator_is_nearly_exact_on_discrete_data() {
         .whatif(&q)
         .unwrap();
     let rel = (cells.value - exact).abs() / exact;
-    assert!(rel < 0.02, "cells estimator err {rel:.4} (should be ~exact)");
+    assert!(
+        rel < 0.02,
+        "cells estimator err {rel:.4} (should be ~exact)"
+    );
 }
 
 #[test]

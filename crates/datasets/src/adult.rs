@@ -44,11 +44,7 @@ fn build_adult_scm() -> Scm {
         "race",
         DataType::Str,
         &[],
-        Mechanism::CategoricalPrior(cats(&[
-            ("White", 0.85),
-            ("Black", 0.10),
-            ("Other", 0.05),
-        ])),
+        Mechanism::CategoricalPrior(cats(&[("White", 0.85), ("Black", 0.10), ("Other", 0.05)])),
     )
     .unwrap();
     scm.add_node(
@@ -251,10 +247,7 @@ fn build_adult_scm() -> Scm {
                                 Value::str(c),
                                 Value::Int(a),
                             ],
-                            vec![
-                                (Value::str("<=50K"), 1.0 - p),
-                                (Value::str(">50K"), p),
-                            ],
+                            vec![(Value::str("<=50K"), 1.0 - p), (Value::str(">50K"), p)],
                         );
                     }
                 }
@@ -345,7 +338,10 @@ mod tests {
             (0.30..0.46).contains(&married),
             "do(Married) → {married}, expected ≈ 0.38"
         );
-        assert!(never < 0.12, "do(Never-married) → {never}, expected < 0.09-ish");
+        assert!(
+            never < 0.12,
+            "do(Never-married) → {never}, expected < 0.09-ish"
+        );
     }
 
     #[test]

@@ -7,16 +7,20 @@
 //! Apple > Dell > Toshiba > Acer > Asus, and sentiment tracks quality.
 
 use hyper_causal::{amazon_example_graph, CausalGraph};
-use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table};
 #[cfg(test)]
 use hyper_storage::Value;
+use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::Dataset;
 
 const CATEGORIES: &[(&str, f64, &[&str])] = &[
-    ("Laptop", 800.0, &["Apple", "Dell", "Toshiba", "Acer", "Asus", "Vaio", "HP"]),
+    (
+        "Laptop",
+        800.0,
+        &["Apple", "Dell", "Toshiba", "Acer", "Asus", "Vaio", "HP"],
+    ),
     ("DSLR Camera", 600.0, &["Canon", "Nikon", "Sony"]),
     ("Phone", 500.0, &["Apple", "Samsung", "Sony"]),
     ("eBook", 15.0, &["Fantasy Press", "Penguin"]),
@@ -101,8 +105,7 @@ pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Datas
         let n_rev = 1 + rng.gen_range(0..reviews_per_product.max(1) * 2);
         for _ in 0..n_rev {
             // sentiment ← quality
-            let sentiment = (2.0 * quality - 1.0 + 0.6 * (rng.gen::<f64>() - 0.5))
-                .clamp(-1.0, 1.0);
+            let sentiment = (2.0 * quality - 1.0 + 0.6 * (rng.gen::<f64>() - 0.5)).clamp(-1.0, 1.0);
             // rating ← sentiment, quality, relative price (brand-sensitive).
             let rel_price = price / base_price - 1.0;
             let score = 4.05 + 1.4 * sentiment + 0.9 * (quality - 0.5)
@@ -271,7 +274,9 @@ mod tests {
         let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0, 0.0, 0);
         for i in 0..reviews.num_rows() {
             let pid = reviews.get(i, 0).as_i64().unwrap();
-            let Some(&p) = price_of.get(&pid) else { continue };
+            let Some(&p) = price_of.get(&pid) else {
+                continue;
+            };
             let r = reviews.get(i, 3).as_f64().unwrap();
             if p <= lo_cut {
                 lo_sum += r;

@@ -129,7 +129,9 @@ pub fn german_syn_scm() -> Scm {
         DataType::Int,
         &["age", "sex"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L2], 4, |p| 0.5 * p[0] as f64 + 0.3 * p[1] as f64 - 0.4),
+            table: leveled_cpd(&[L3, L2], 4, |p| {
+                0.5 * p[0] as f64 + 0.3 * p[1] as f64 - 0.4
+            }),
             default: discrete(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]),
         },
     )
@@ -139,7 +141,9 @@ pub fn german_syn_scm() -> Scm {
         DataType::Int,
         &["age", "sex"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L2], 4, |p| 0.35 * p[0] as f64 + 0.2 * p[1] as f64 - 0.3),
+            table: leveled_cpd(&[L3, L2], 4, |p| {
+                0.35 * p[0] as f64 + 0.2 * p[1] as f64 - 0.3
+            }),
             default: discrete(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]),
         },
     )
@@ -159,7 +163,9 @@ pub fn german_syn_scm() -> Scm {
         DataType::Int,
         &["age", "sex"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L2], 4, |p| 0.25 * p[0] as f64 + 0.15 * p[1] as f64 - 0.2),
+            table: leveled_cpd(&[L3, L2], 4, |p| {
+                0.25 * p[0] as f64 + 0.15 * p[1] as f64 - 0.2
+            }),
             default: discrete(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]),
         },
     )
@@ -264,7 +270,9 @@ pub fn german_syn_continuous(n: usize, seed: u64) -> Dataset {
         DataType::Int,
         &["age", "sex"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L2], 4, |p| 0.5 * p[0] as f64 + 0.3 * p[1] as f64 - 0.4),
+            table: leveled_cpd(&[L3, L2], 4, |p| {
+                0.5 * p[0] as f64 + 0.3 * p[1] as f64 - 0.4
+            }),
             default: discrete(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]),
         },
     )
@@ -342,7 +350,9 @@ pub fn german(seed: u64) -> Dataset {
         DataType::Int,
         &["age", "employment"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L3], 4, |p| 0.35 * p[0] as f64 + 0.4 * p[1] as f64 - 0.5),
+            table: leveled_cpd(&[L3, L3], 4, |p| {
+                0.35 * p[0] as f64 + 0.4 * p[1] as f64 - 0.5
+            }),
             default: discrete(&[(0, 0.25), (1, 0.25), (2, 0.25), (3, 0.25)]),
         },
     )
@@ -362,7 +372,9 @@ pub fn german(seed: u64) -> Dataset {
         DataType::Int,
         &["age", "employment"],
         Mechanism::DiscreteCpd {
-            table: leveled_cpd(&[L3, L3], 3, |p| 0.25 * p[0] as f64 + 0.2 * p[1] as f64 - 0.2),
+            table: leveled_cpd(&[L3, L3], 3, |p| {
+                0.25 * p[0] as f64 + 0.2 * p[1] as f64 - 0.2
+            }),
             default: discrete(&[(0, 0.34), (1, 0.33), (2, 0.33)]),
         },
     )
@@ -416,7 +428,7 @@ pub fn german(seed: u64) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyper_core::HyperEngine;
+    use hyper_core::HyperSession;
 
     #[test]
     fn german_syn_shape_and_determinism() {
@@ -489,7 +501,7 @@ mod tests {
     #[test]
     fn engine_runs_on_german_syn() {
         let d = german_syn(4000, 21);
-        let engine = HyperEngine::new(&d.db, Some(&d.graph));
+        let engine = HyperSession::new(d.db.clone(), Some(&d.graph));
         let r = engine
             .whatif_text(
                 "Use german_syn Update(status) = 3

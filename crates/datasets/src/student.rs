@@ -39,10 +39,7 @@ pub fn student_flat_scm() -> Scm {
         "gender",
         DataType::Str,
         &[],
-        Mechanism::CategoricalPrior(vec![
-            (Value::str("F"), 0.5),
-            (Value::str("M"), 0.5),
-        ]),
+        Mechanism::CategoricalPrior(vec![(Value::str("F"), 0.5), (Value::str("M"), 0.5)]),
     )
     .unwrap();
     scm.add_node(
@@ -127,7 +124,13 @@ pub fn student_flat_scm() -> Scm {
     scm.add_node(
         "grade",
         DataType::Float,
-        &["assignment", "discussion", "announcements", "hand_raised", "attendance"],
+        &[
+            "assignment",
+            "discussion",
+            "announcements",
+            "hand_raised",
+            "attendance",
+        ],
         Mechanism::LinearGaussian {
             intercept: 5.0,
             coefs: vec![0.45, 0.18, 0.12, 0.05, 0.25],
@@ -156,11 +159,15 @@ pub fn student_graph() -> CausalGraph {
 
     g.add_edge(age, attendance, EdgeKind::Intra).unwrap();
     g.add_edge(country, attendance, EdgeKind::Intra).unwrap();
-    g.add_edge(attendance, discussion, EdgeKind::ForeignKey).unwrap();
-    g.add_edge(attendance, announcements, EdgeKind::ForeignKey).unwrap();
-    g.add_edge(attendance, assignment, EdgeKind::ForeignKey).unwrap();
+    g.add_edge(attendance, discussion, EdgeKind::ForeignKey)
+        .unwrap();
+    g.add_edge(attendance, announcements, EdgeKind::ForeignKey)
+        .unwrap();
+    g.add_edge(attendance, assignment, EdgeKind::ForeignKey)
+        .unwrap();
     g.add_edge(attendance, grade, EdgeKind::ForeignKey).unwrap();
-    g.add_edge(discussion, hand_raised, EdgeKind::Intra).unwrap();
+    g.add_edge(discussion, hand_raised, EdgeKind::Intra)
+        .unwrap();
     g.add_edge(discussion, grade, EdgeKind::Intra).unwrap();
     g.add_edge(announcements, grade, EdgeKind::Intra).unwrap();
     g.add_edge(hand_raised, grade, EdgeKind::Intra).unwrap();
@@ -205,12 +212,8 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
     .expect("key exists");
 
     let col = |name: &str| flat.schema().index_of(name).expect("flat schema");
-    let (c_age, c_gender, c_country, c_att) = (
-        col("age"),
-        col("gender"),
-        col("country"),
-        col("attendance"),
-    );
+    let (c_age, c_gender, c_country, c_att) =
+        (col("age"), col("gender"), col("country"), col("attendance"));
     let (c_disc, c_ann, c_hand, c_assign, c_grade) = (
         col("discussion"),
         col("announcements"),
@@ -282,7 +285,10 @@ mod tests {
         let d = student_syn(200, 5, 7);
         assert_eq!(d.db.table("student").unwrap().num_rows(), 200);
         assert_eq!(d.db.table("participation").unwrap().num_rows(), 1000);
-        d.db.table("participation").unwrap().check_key_unique().unwrap();
+        d.db.table("participation")
+            .unwrap()
+            .check_key_unique()
+            .unwrap();
     }
 
     #[test]
@@ -294,7 +300,10 @@ mod tests {
                     "f",
                     8000,
                     99,
-                    &[Intervention::new(attr, InterventionOp::Set(Value::Float(95.0)))],
+                    &[Intervention::new(
+                        attr,
+                        InterventionOp::Set(Value::Float(95.0)),
+                    )],
                     None,
                 )
                 .unwrap();
@@ -312,8 +321,14 @@ mod tests {
         let assign = effect("assignment");
         let disc = effect("discussion");
         let hand = effect("hand_raised");
-        assert!(att > assign, "attendance {att:.2} vs assignment {assign:.2}");
-        assert!(assign > disc, "assignment {assign:.2} vs discussion {disc:.2}");
+        assert!(
+            att > assign,
+            "attendance {att:.2} vs assignment {assign:.2}"
+        );
+        assert!(
+            assign > disc,
+            "assignment {assign:.2} vs discussion {disc:.2}"
+        );
         assert!(disc > hand);
     }
 
@@ -332,7 +347,10 @@ mod tests {
                     "f",
                     20_000,
                     101,
-                    &[Intervention::new(attr, InterventionOp::Set(Value::Float(95.0)))],
+                    &[Intervention::new(
+                        attr,
+                        InterventionOp::Set(Value::Float(95.0)),
+                    )],
                     Some(&cond),
                 )
                 .unwrap();
@@ -341,8 +359,7 @@ mod tests {
             let gi = 8; // grade index
             for i in 0..pre.num_rows() {
                 if cond(&pre.row(i)) {
-                    dsum += post.get(i, gi).as_f64().unwrap()
-                        - pre.get(i, gi).as_f64().unwrap();
+                    dsum += post.get(i, gi).as_f64().unwrap() - pre.get(i, gi).as_f64().unwrap();
                     n += 1;
                 }
             }
@@ -359,8 +376,7 @@ mod tests {
     #[test]
     fn graph_and_blocks() {
         let d = student_syn(50, 3, 11);
-        let blocks =
-            hyper_causal::BlockDecomposition::compute(&d.db, &d.graph).unwrap();
+        let blocks = hyper_causal::BlockDecomposition::compute(&d.db, &d.graph).unwrap();
         // Each student + their participation rows form one block: 50 blocks.
         assert_eq!(blocks.num_blocks(), 50);
     }

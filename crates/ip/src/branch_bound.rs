@@ -114,7 +114,10 @@ mod tests {
             .collect();
         m.add_constraint(
             "cap",
-            vars.iter().zip(&items).map(|(&v, (_, w))| (v, *w)).collect(),
+            vars.iter()
+                .zip(&items)
+                .map(|(&v, (_, w))| (v, *w))
+                .collect(),
             Sense::Le,
             10.0,
         )
@@ -135,10 +138,20 @@ mod tests {
         let b: Vec<usize> = (0..3)
             .map(|i| m.add_binary(format!("b{i}"), [3.0, 5.0, 8.0][i]))
             .collect();
-        m.add_constraint("one_a", a.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, 1.0)
-            .unwrap();
-        m.add_constraint("one_b", b.iter().map(|&v| (v, 1.0)).collect(), Sense::Le, 1.0)
-            .unwrap();
+        m.add_constraint(
+            "one_a",
+            a.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Le,
+            1.0,
+        )
+        .unwrap();
+        m.add_constraint(
+            "one_b",
+            b.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Le,
+            1.0,
+        )
+        .unwrap();
         // Costs: a = [1,5,3], b = [2,4,6]; budget 8.
         let mut coefs: Vec<(usize, f64)> = Vec::new();
         for (i, &v) in a.iter().enumerate() {
@@ -187,7 +200,8 @@ mod tests {
     fn infeasible_ilp() {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);
-        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
         assert_eq!(solve_ilp(&m).unwrap_err(), IpError::Infeasible);
     }
 

@@ -103,7 +103,10 @@ mod tests {
             .collect();
         m.add_constraint(
             "cap",
-            vars.iter().zip(&items).map(|(&v, (_, w))| (v, *w)).collect(),
+            vars.iter()
+                .zip(&items)
+                .map(|(&v, (_, w))| (v, *w))
+                .collect(),
             Sense::Le,
             11.0,
         )
@@ -149,7 +152,8 @@ mod tests {
     fn infeasible_enumeration() {
         let mut m = Model::maximize();
         let x = m.add_binary("x", 1.0);
-        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
         assert_eq!(solve_by_enumeration(&m).unwrap_err(), IpError::Infeasible);
     }
 }

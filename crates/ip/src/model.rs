@@ -217,7 +217,11 @@ pub struct Solution {
 
 impl fmt::Display for Solution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "objective = {:.6}; x = {:?}", self.objective, self.values)
+        write!(
+            f,
+            "objective = {:.6}; x = {:?}",
+            self.objective, self.values
+        )
     }
 }
 

@@ -278,8 +278,7 @@ fn run_simplex(
             if a > 1e-9 {
                 let ratio = tab[row * width + total] / a;
                 let better = ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leave.is_some_and(|l| basis[row] < basis[l]));
+                    || (ratio < best_ratio + 1e-12 && leave.is_some_and(|l| basis[row] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(row);
@@ -326,8 +325,10 @@ mod tests {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, 100.0, 3.0);
         let y = m.add_continuous("y", 0.0, 100.0, 5.0);
-        m.add_constraint("c1", vec![(x, 1.0)], Sense::Le, 4.0).unwrap();
-        m.add_constraint("c2", vec![(y, 2.0)], Sense::Le, 12.0).unwrap();
+        m.add_constraint("c1", vec![(x, 1.0)], Sense::Le, 4.0)
+            .unwrap();
+        m.add_constraint("c2", vec![(y, 2.0)], Sense::Le, 12.0)
+            .unwrap();
         m.add_constraint("c3", vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0)
             .unwrap();
         let s = solve_lp(&m).unwrap();
@@ -356,7 +357,8 @@ mod tests {
     fn infeasible_detected() {
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 0.0, 1.0, 1.0);
-        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 5.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 5.0)
+            .unwrap();
         assert_eq!(solve_lp(&m).unwrap_err(), IpError::Infeasible);
     }
 
@@ -393,7 +395,8 @@ mod tests {
         let mut m = Model::maximize();
         let _x = m.add_continuous("x", 2.0, 2.0, 1.0);
         let y = m.add_continuous("y", 0.0, 1.0, 1.0);
-        m.add_constraint("c", vec![(y, 1.0)], Sense::Le, 1.0).unwrap();
+        m.add_constraint("c", vec![(y, 1.0)], Sense::Le, 1.0)
+            .unwrap();
         let s = solve_lp(&m).unwrap();
         assert!((s.objective - 3.0).abs() < 1e-9);
         assert_eq!(s.values[0], 2.0);
@@ -406,13 +409,8 @@ mod tests {
         let x = m.add_continuous("x", 0.0, 10.0, 1.0);
         let y = m.add_continuous("y", 0.0, 10.0, 1.0);
         for i in 0..6 {
-            m.add_constraint(
-                format!("c{i}"),
-                vec![(x, 1.0), (y, 1.0)],
-                Sense::Le,
-                4.0,
-            )
-            .unwrap();
+            m.add_constraint(format!("c{i}"), vec![(x, 1.0), (y, 1.0)], Sense::Le, 4.0)
+                .unwrap();
         }
         m.add_constraint("tie", vec![(x, 1.0), (y, -1.0)], Sense::Eq, 0.0)
             .unwrap();
@@ -425,7 +423,8 @@ mod tests {
         // All variables fixed; constraint violated by constants.
         let mut m = Model::maximize();
         let x = m.add_continuous("x", 1.0, 1.0, 1.0);
-        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0).unwrap();
+        m.add_constraint("c", vec![(x, 1.0)], Sense::Ge, 2.0)
+            .unwrap();
         assert_eq!(solve_lp(&m).unwrap_err(), IpError::Infeasible);
     }
 }

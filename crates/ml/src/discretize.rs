@@ -168,9 +168,7 @@ mod tests {
     fn invalid_inputs() {
         assert!(Discretizer::fit(&[], 3, BinStrategy::EquiWidth).is_err());
         assert!(Discretizer::fit(&[1.0], 0, BinStrategy::EquiWidth).is_err());
-        assert!(
-            Discretizer::fit_values(&[Value::str("x")], 2, BinStrategy::EquiWidth).is_err()
-        );
+        assert!(Discretizer::fit_values(&[Value::str("x")], 2, BinStrategy::EquiWidth).is_err());
     }
 
     #[test]

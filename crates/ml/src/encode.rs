@@ -36,9 +36,7 @@ impl TableEncoder {
         for name in columns {
             let idx = table.schema().index_of(name)?;
             let values = table.column(idx);
-            let numeric = values
-                .iter()
-                .all(|v| v.is_null() || v.as_f64().is_some());
+            let numeric = values.iter().all(|v| v.is_null() || v.as_f64().is_some());
             let has_non_null = values.iter().any(|v| !v.is_null());
             if numeric && has_non_null {
                 let (mut sum, mut n) = (0.0, 0usize);
@@ -48,7 +46,9 @@ impl TableEncoder {
                         n += 1;
                     }
                 }
-                encodings.push(ColumnEncoding::Numeric { mean: sum / n as f64 });
+                encodings.push(ColumnEncoding::Numeric {
+                    mean: sum / n as f64,
+                });
                 width += 1;
             } else {
                 let mut cats: Vec<Value> = Vec::new();
@@ -147,9 +147,8 @@ impl TableEncoder {
             .column(idx)
             .iter()
             .map(|v| {
-                v.as_f64().ok_or_else(|| {
-                    MlError::InvalidInput(format!("non-numeric target value {v}"))
-                })
+                v.as_f64()
+                    .ok_or_else(|| MlError::InvalidInput(format!("non-numeric target value {v}")))
             })
             .collect()
     }
@@ -168,19 +167,19 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new("t", schema);
-        t.push_row(vec![30.into(), "red".into(), 1.0.into()]).unwrap();
-        t.push_row(vec![40.into(), "blue".into(), Value::Null]).unwrap();
-        t.push_row(vec![50.into(), "red".into(), 3.0.into()]).unwrap();
+        t.push_row(vec![30.into(), "red".into(), 1.0.into()])
+            .unwrap();
+        t.push_row(vec![40.into(), "blue".into(), Value::Null])
+            .unwrap();
+        t.push_row(vec![50.into(), "red".into(), 3.0.into()])
+            .unwrap();
         t
     }
 
     #[test]
     fn mixed_encoding_width() {
-        let enc = TableEncoder::fit(
-            &table(),
-            &["age".into(), "color".into(), "score".into()],
-        )
-        .unwrap();
+        let enc =
+            TableEncoder::fit(&table(), &["age".into(), "color".into(), "score".into()]).unwrap();
         // age (1) + color one-hot (2) + score (1) = 4.
         assert_eq!(enc.width(), 4);
         let m = enc.encode_table(&table()).unwrap();

@@ -71,7 +71,13 @@ impl RandomForest {
             } else {
                 (0..n as u32).collect()
             };
-            trees.push(RegressionTree::fit_indices(x, y, idx, &tree_params, &mut rng)?);
+            trees.push(RegressionTree::fit_indices(
+                x,
+                y,
+                idx,
+                &tree_params,
+                &mut rng,
+            )?);
         }
         Ok(RandomForest { trees })
     }

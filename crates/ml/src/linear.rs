@@ -61,13 +61,7 @@ impl LinearModel {
 
     /// Predict one sample.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        self.intercept
-            + self
-                .coefs
-                .iter()
-                .zip(row)
-                .map(|(c, x)| c * x)
-                .sum::<f64>()
+        self.intercept + self.coefs.iter().zip(row).map(|(c, x)| c * x).sum::<f64>()
     }
 
     /// Batch prediction.

@@ -42,7 +42,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { data, rows: r, cols: c })
+        Ok(Matrix {
+            data,
+            rows: r,
+            cols: c,
+        })
     }
 
     /// Number of rows.

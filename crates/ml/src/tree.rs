@@ -136,10 +136,7 @@ impl RegressionTree {
 
         let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, score)
         for &f in &features {
-            idx.sort_unstable_by(|&a, &b| {
-                x.get(a as usize, f)
-                    .total_cmp(&x.get(b as usize, f))
-            });
+            idx.sort_unstable_by(|&a, &b| x.get(a as usize, f).total_cmp(&x.get(b as usize, f)));
             // Prefix sums for O(n) split scan.
             let mut left_sum = 0.0;
             let mut left_sq = 0.0;
@@ -209,7 +206,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    cur = if row[*feature] <= *threshold { *left } else { *right };
+                    cur = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -244,7 +245,10 @@ mod tests {
     fn fits_step_function_exactly() {
         // y = 1 if x > 0.5 else 0 — one split suffices.
         let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let y: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let x = Matrix::from_rows(&rows).unwrap();
         let tree = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng()).unwrap();
         assert_eq!(tree.predict_row(&[0.2]), 0.0);

@@ -486,8 +486,11 @@ mod tests {
 
     #[test]
     fn hexpr_builders_and_attrs() {
-        let e = HExpr::pre("Brand")
-            .and(HExpr::binary(HOp::Gt, HExpr::post("Senti"), HExpr::lit(0.5)));
+        let e = HExpr::pre("Brand").and(HExpr::binary(
+            HOp::Gt,
+            HExpr::post("Senti"),
+            HExpr::lit(0.5),
+        ));
         let attrs = e.attrs_with_default(Temporal::Pre);
         assert_eq!(
             attrs,

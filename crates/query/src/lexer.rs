@@ -226,7 +226,10 @@ mod tests {
     #[test]
     fn escaped_quotes_and_comments() {
         let t = tokenize("'it''s' -- comment here\n 'next'").unwrap();
-        assert_eq!(t, vec![Token::Str("it's".into()), Token::Str("next".into())]);
+        assert_eq!(
+            t,
+            vec![Token::Str("it's".into()), Token::Str("next".into())]
+        );
     }
 
     #[test]

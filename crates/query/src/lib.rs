@@ -29,9 +29,9 @@ pub mod token;
 pub mod validate;
 
 pub use ast::{
-    HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection,
-    ObjectiveSpec, OutputArg, OutputSpec, QualifiedName, SelectItem, SelectStmt, TableRef,
-    Temporal, UpdateFunc, UpdateSpec, UseClause, UseCondition, WhatIfQuery,
+    HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection, ObjectiveSpec,
+    OutputArg, OutputSpec, QualifiedName, SelectItem, SelectStmt, TableRef, Temporal, UpdateFunc,
+    UpdateSpec, UseClause, UseCondition, WhatIfQuery,
 };
 pub use error::{QueryError, Result};
 pub use parser::{parse_query, parse_select};

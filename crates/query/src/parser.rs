@@ -884,7 +884,9 @@ mod tests {
         };
         assert_eq!(q.updates[0].func, UpdateFunc::Set(Value::Int(4)));
         assert_eq!(q.output.agg, AggFunc::Count);
-        let OutputArg::Expr(e) = &q.output.arg else { panic!() };
+        let OutputArg::Expr(e) = &q.output.arg else {
+            panic!()
+        };
         assert_eq!(
             *e,
             HExpr::binary(HOp::Eq, HExpr::attr("Credit"), HExpr::lit("Good"))
@@ -920,20 +922,25 @@ mod tests {
     #[test]
     fn shift_update_forms() {
         let q = parse_query("Use T Update(X) = 100 + Pre(X) Output Avg(Post(Y))").unwrap();
-        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        let HypotheticalQuery::WhatIf(q) = q else {
+            panic!()
+        };
         assert_eq!(q.updates[0].func, UpdateFunc::Shift(100.0));
         let q = parse_query("Use T Update(X) = Pre(X) * 2 Output Avg(Post(Y))").unwrap();
-        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        let HypotheticalQuery::WhatIf(q) = q else {
+            panic!()
+        };
         assert_eq!(q.updates[0].func, UpdateFunc::Scale(2.0));
         let q = parse_query("Use T Update(X) = Pre(X) - 5 Output Avg(Post(Y))").unwrap();
-        let HypotheticalQuery::WhatIf(q) = q else { panic!() };
+        let HypotheticalQuery::WhatIf(q) = q else {
+            panic!()
+        };
         assert_eq!(q.updates[0].func, UpdateFunc::Shift(-5.0));
     }
 
     #[test]
     fn update_pre_must_match_attr() {
-        let err =
-            parse_query("Use T Update(X) = 1.1 * Pre(Y) Output Avg(Post(Z))").unwrap_err();
+        let err = parse_query("Use T Update(X) = 1.1 * Pre(Y) Output Avg(Post(Z))").unwrap_err();
         assert!(matches!(err, QueryError::Parse { .. }), "{err}");
     }
 
@@ -983,7 +990,10 @@ mod tests {
         let HypotheticalQuery::WhatIf(q) = parse_query(text).unwrap() else {
             panic!()
         };
-        let HExpr::Binary { op: HOp::Lt, left, .. } = q.for_clause.unwrap() else {
+        let HExpr::Binary {
+            op: HOp::Lt, left, ..
+        } = q.for_clause.unwrap()
+        else {
             panic!()
         };
         assert!(matches!(*left, HExpr::Binary { op: HOp::Sub, .. }));

@@ -188,9 +188,7 @@ mod tests {
 
     #[test]
     fn when_with_post_rejected() {
-        let q = whatif(
-            "Use T When Post(A) = 1 Update(B) = 2 Output Count(*)",
-        );
+        let q = whatif("Use T When Post(A) = 1 Update(B) = 2 Output Count(*)");
         assert!(validate_whatif(&q, None).is_err());
     }
 
@@ -216,9 +214,8 @@ mod tests {
 
     #[test]
     fn limit_must_reference_howtoupdate_attrs() {
-        let q = howto(
-            "Use T HowToUpdate Price Limit Post(Color) In ('Red') ToMaximize Avg(Post(R))",
-        );
+        let q =
+            howto("Use T HowToUpdate Price Limit Post(Color) In ('Red') ToMaximize Avg(Post(R))");
         assert!(validate_howto(&q, None).is_err());
         let q = howto(
             "Use T HowToUpdate Price, Color Limit Post(Color) In ('Red') ToMaximize Avg(Post(R))",

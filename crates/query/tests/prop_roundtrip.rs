@@ -2,9 +2,8 @@
 //! yields the same AST (`parse ∘ render = id`).
 
 use hyper_query::{
-    parse_query, HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint,
-    ObjectiveDirection, ObjectiveSpec, OutputArg, OutputSpec, UpdateFunc, UpdateSpec,
-    UseClause, WhatIfQuery,
+    parse_query, HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection,
+    ObjectiveSpec, OutputArg, OutputSpec, UpdateFunc, UpdateSpec, UseClause, WhatIfQuery,
 };
 use hyper_storage::{AggFunc, Value};
 use proptest::prelude::*;
@@ -50,13 +49,16 @@ fn arb_pred() -> impl Strategy<Value = HExpr> {
             HExpr::post(a),
             HExpr::Lit(v)
         )),
-        (arb_ident(), prop::collection::vec(arb_value(), 1..4), any::<bool>()).prop_map(
-            |(a, list, negated)| HExpr::InList {
+        (
+            arb_ident(),
+            prop::collection::vec(arb_value(), 1..4),
+            any::<bool>()
+        )
+            .prop_map(|(a, list, negated)| HExpr::InList {
                 expr: Box::new(HExpr::pre(a)),
                 list,
                 negated,
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
         prop_oneof![

@@ -98,9 +98,7 @@ fn parse_cell(cell: &str, dt: DataType, nullable: bool, lineno: usize) -> Result
         },
         DataType::Str => Some(Value::str(cell)),
     };
-    parsed.ok_or_else(|| {
-        StorageError::Csv(format!("line {lineno}: cannot parse `{cell}` as {dt}"))
-    })
+    parsed.ok_or_else(|| StorageError::Csv(format!("line {lineno}: cannot parse `{cell}` as {dt}")))
 }
 
 fn escape(s: &str) -> String {
@@ -158,9 +156,12 @@ mod tests {
     #[test]
     fn round_trip() {
         let mut t = Table::new("t", schema());
-        t.push_row(vec![1.into(), "plain".into(), 0.5.into()]).unwrap();
-        t.push_row(vec![2.into(), "with,comma".into(), Value::Null]).unwrap();
-        t.push_row(vec![3.into(), "with\"quote".into(), 1.5.into()]).unwrap();
+        t.push_row(vec![1.into(), "plain".into(), 0.5.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "with,comma".into(), Value::Null])
+            .unwrap();
+        t.push_row(vec![3.into(), "with\"quote".into(), 1.5.into()])
+            .unwrap();
         let csv = to_csv(&t);
         let back = from_csv("t", schema(), &csv).unwrap();
         assert_eq!(back.num_rows(), 3);

@@ -40,7 +40,8 @@ impl Database {
         if self.by_name.contains_key(table.name()) {
             return Err(StorageError::DuplicateTable(table.name().to_string()));
         }
-        self.by_name.insert(table.name().to_string(), self.tables.len());
+        self.by_name
+            .insert(table.name().to_string(), self.tables.len());
         self.tables.push(table);
         Ok(())
     }

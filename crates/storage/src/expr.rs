@@ -181,9 +181,7 @@ impl Expr {
                 l.collect_columns(out);
                 r.collect_columns(out);
             }
-            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => {
-                expr.collect_columns(out)
-            }
+            Expr::InList { expr, .. } | Expr::IsNull { expr, .. } => expr.collect_columns(out),
         }
     }
 
@@ -336,18 +334,16 @@ impl BoundExpr {
                             Value::Bool(!lv.sql_eq(&rv))
                         }
                     }
-                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        match lv.sql_cmp(&rv) {
-                            None => Value::Bool(false),
-                            Some(ord) => Value::Bool(match op {
-                                BinOp::Lt => ord.is_lt(),
-                                BinOp::Le => ord.is_le(),
-                                BinOp::Gt => ord.is_gt(),
-                                BinOp::Ge => ord.is_ge(),
-                                _ => unreachable!(),
-                            }),
-                        }
-                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => match lv.sql_cmp(&rv) {
+                        None => Value::Bool(false),
+                        Some(ord) => Value::Bool(match op {
+                            BinOp::Lt => ord.is_lt(),
+                            BinOp::Le => ord.is_le(),
+                            BinOp::Gt => ord.is_gt(),
+                            BinOp::Ge => ord.is_ge(),
+                            _ => unreachable!(),
+                        }),
+                    },
                     BinOp::Add => lv.add(&rv)?,
                     BinOp::Sub => lv.sub(&rv)?,
                     BinOp::Mul => lv.mul(&rv)?,
@@ -482,7 +478,10 @@ mod tests {
     #[test]
     fn referenced_columns_deduplicates() {
         let e = col("a").gt(lit(1)).and(col("a").lt(col("b")));
-        assert_eq!(e.referenced_columns(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(
+            e.referenced_columns(),
+            vec!["a".to_string(), "b".to_string()]
+        );
     }
 
     #[test]

@@ -116,10 +116,7 @@ mod tests {
     fn groups_rows_by_combination() {
         let idx = SupportIndex::build(&table(), &["a".into(), "b".into()]).unwrap();
         assert_eq!(idx.num_supported(), 3);
-        assert_eq!(
-            idx.rows_for(&["x".into(), 1.into()]).unwrap(),
-            &[0u32, 1]
-        );
+        assert_eq!(idx.rows_for(&["x".into(), 1.into()]).unwrap(), &[0u32, 1]);
         assert!(idx.rows_for(&["y".into(), 2.into()]).is_none());
     }
 

@@ -61,10 +61,12 @@ pub fn hash_join(
             (right, left, &rkeys, &lkeys, false)
         };
 
-    let mut index: HashMap<Vec<Value>, Vec<usize>> =
-        HashMap::with_capacity(build.num_rows());
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.num_rows());
     for i in 0..build.num_rows() {
-        let key: Vec<Value> = build_keys.iter().map(|&c| build.get(i, c).clone()).collect();
+        let key: Vec<Value> = build_keys
+            .iter()
+            .map(|&c| build.get(i, c).clone())
+            .collect();
         if key.iter().any(Value::is_null) {
             continue; // NULL never joins
         }
@@ -73,7 +75,10 @@ pub fn hash_join(
 
     let mut row_buf: Vec<Value> = Vec::with_capacity(out.num_columns());
     for p in 0..probe.num_rows() {
-        let key: Vec<Value> = probe_keys.iter().map(|&c| probe.get(p, c).clone()).collect();
+        let key: Vec<Value> = probe_keys
+            .iter()
+            .map(|&c| probe.get(p, c).clone())
+            .collect();
         if key.iter().any(Value::is_null) {
             continue;
         }
@@ -152,7 +157,10 @@ mod tests {
         let mut l = Table::new("l", schema.clone());
         l.push_row(vec![Value::Null]).unwrap();
         l.push_row(vec![1.into()]).unwrap();
-        let mut r = Table::new("r", Schema::new(vec![Field::nullable("k", DataType::Int)]).unwrap());
+        let mut r = Table::new(
+            "r",
+            Schema::new(vec![Field::nullable("k", DataType::Int)]).unwrap(),
+        );
         r.push_row(vec![Value::Null]).unwrap();
         r.push_row(vec![1.into()]).unwrap();
         let out = hash_join(&l, &r, &["pid".into()], &["k".into()]).unwrap();
@@ -162,8 +170,11 @@ mod tests {
     #[test]
     fn name_collision_is_rejected() {
         let mut p2 = products();
-        p2.add_column(Field::new("rating", DataType::Int), vec![1.into(), 2.into(), 3.into()])
-            .unwrap();
+        p2.add_column(
+            Field::new("rating", DataType::Int),
+            vec![1.into(), 2.into(), 3.into()],
+        )
+        .unwrap();
         let err = hash_join(&p2, &reviews(), &["pid".into()], &["pid".into()]).unwrap_err();
         assert!(matches!(err, StorageError::DuplicateColumn(_)));
     }

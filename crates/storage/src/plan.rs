@@ -182,7 +182,12 @@ pub fn project(input: &Table, exprs: &[(Expr, String)]) -> Result<Table> {
         // references keep their type; everything else is typed by probing the
         // first row (falling back to Float for empty inputs).
         let dt = match e {
-            Expr::Column(name) => input.schema().field(input.schema().index_of(name)?).data_type,
+            Expr::Column(name) => {
+                input
+                    .schema()
+                    .field(input.schema().index_of(name)?)
+                    .data_type
+            }
             _ => {
                 if input.num_rows() > 0 {
                     b.eval_at(input, 0)?
@@ -310,7 +315,8 @@ mod tests {
         )
         .unwrap();
         for (pid, brand, price) in [(1, "vaio", 999.0), (2, "asus", 529.0), (3, "hp", 599.0)] {
-            prod.push_row(vec![pid.into(), brand.into(), price.into()]).unwrap();
+            prod.push_row(vec![pid.into(), brand.into(), price.into()])
+                .unwrap();
         }
         let mut rev = Table::with_key(
             "review",
@@ -324,7 +330,8 @@ mod tests {
         )
         .unwrap();
         for (pid, rid, rating) in [(1, 1, 2), (2, 2, 4), (2, 3, 1), (3, 4, 3), (3, 5, 5)] {
-            rev.push_row(vec![pid.into(), rid.into(), rating.into()]).unwrap();
+            rev.push_row(vec![pid.into(), rid.into(), rating.into()])
+                .unwrap();
         }
         db.add_table(prod).unwrap();
         db.add_table(rev).unwrap();

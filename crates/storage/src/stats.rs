@@ -107,11 +107,7 @@ impl ColumnStats {
             return None;
         }
         let width = (hi - lo) / k as f64;
-        Some(
-            (0..k)
-                .map(|i| lo + width * (i as f64 + 0.5))
-                .collect(),
-        )
+        Some((0..k).map(|i| lo + width * (i as f64 + 0.5)).collect())
     }
 }
 

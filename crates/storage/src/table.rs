@@ -33,11 +33,7 @@ impl Table {
     }
 
     /// Create an empty table and declare its primary-key columns by name.
-    pub fn with_key(
-        name: impl Into<String>,
-        schema: Schema,
-        key_columns: &[&str],
-    ) -> Result<Self> {
+    pub fn with_key(name: impl Into<String>, schema: Schema, key_columns: &[&str]) -> Result<Self> {
         let mut t = Table::new(name, schema);
         let mut key = Vec::with_capacity(key_columns.len());
         for k in key_columns {
@@ -200,7 +196,11 @@ impl Table {
         }
         let mut seen = std::collections::HashSet::with_capacity(self.num_rows());
         for i in 0..self.num_rows() {
-            let key: Vec<&Value> = self.primary_key.iter().map(|&c| &self.columns[c][i]).collect();
+            let key: Vec<&Value> = self
+                .primary_key
+                .iter()
+                .map(|&c| &self.columns[c][i])
+                .collect();
             if !seen.insert(key.iter().map(|v| (*v).clone()).collect::<Vec<_>>()) {
                 let rendered: Vec<String> = key.iter().map(|v| v.to_string()).collect();
                 return Err(StorageError::DuplicateKey(rendered.join(",")));
@@ -240,9 +240,12 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::with_key("product", schema, &["id"]).unwrap();
-        t.push_row(vec![1.into(), "vaio".into(), 999.0.into()]).unwrap();
-        t.push_row(vec![2.into(), "asus".into(), 529.0.into()]).unwrap();
-        t.push_row(vec![3.into(), "hp".into(), 599.0.into()]).unwrap();
+        t.push_row(vec![1.into(), "vaio".into(), 999.0.into()])
+            .unwrap();
+        t.push_row(vec![2.into(), "asus".into(), 529.0.into()])
+            .unwrap();
+        t.push_row(vec![3.into(), "hp".into(), 599.0.into()])
+            .unwrap();
         t
     }
 
@@ -286,7 +289,8 @@ mod tests {
     fn key_uniqueness() {
         let mut t = sample();
         assert!(t.check_key_unique().is_ok());
-        t.push_row(vec![2.into(), "dup".into(), 1.0.into()]).unwrap();
+        t.push_row(vec![2.into(), "dup".into(), 1.0.into()])
+            .unwrap();
         assert!(t.check_key_unique().is_err());
     }
 

@@ -158,9 +158,7 @@ impl Value {
     /// Arithmetic division; always produces a float, errors on division by 0.
     pub fn div(&self, other: &Value) -> Result<Value> {
         match (self.as_f64(), other.as_f64()) {
-            (Some(_), Some(0.0)) => {
-                Err(StorageError::TypeError("division by zero".into()))
-            }
+            (Some(_), Some(0.0)) => Err(StorageError::TypeError("division by zero".into())),
             (Some(x), Some(y)) => Ok(Value::Float(x / y)),
             _ => Err(StorageError::TypeError(format!(
                 "cannot divide {self} by {other}"
@@ -256,12 +254,8 @@ impl Ord for Value {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
-            (Value::Int(a), Value::Float(b)) => (*a as f64)
-                .total_cmp(b)
-                .then(Ordering::Less),
-            (Value::Float(a), Value::Int(b)) => a
-                .total_cmp(&(*b as f64))
-                .then(Ordering::Greater),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).total_cmp(b).then(Ordering::Less),
+            (Value::Float(a), Value::Int(b)) => a.total_cmp(&(*b as f64)).then(Ordering::Greater),
             (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (a, b) => a.variant_rank().cmp(&b.variant_rank()),
@@ -336,10 +330,7 @@ mod tests {
 
     #[test]
     fn hash_agrees_with_eq() {
-        assert_eq!(
-            hash_of(&Value::Float(0.0)),
-            hash_of(&Value::Float(-0.0))
-        );
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
         assert_eq!(
             hash_of(&Value::Float(f64::NAN)),
             hash_of(&Value::Float(f64::NAN))
@@ -359,18 +350,23 @@ mod tests {
             Value::Int(2).sql_cmp(&Value::Float(2.5)),
             Some(Ordering::Less)
         );
-        assert_eq!(Value::str("a").sql_cmp(&Value::str("b")), Some(Ordering::Less));
+        assert_eq!(
+            Value::str("a").sql_cmp(&Value::str("b")),
+            Some(Ordering::Less)
+        );
         assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), None);
     }
 
     #[test]
     fn total_order_is_consistent() {
-        let mut vals = [Value::str("z"),
+        let mut vals = [
+            Value::str("z"),
             Value::Float(1.5),
             Value::Int(2),
             Value::Null,
             Value::Bool(true),
-            Value::Int(-4)];
+            Value::Int(-4),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert!(matches!(vals[1], Value::Bool(true)));

@@ -15,7 +15,7 @@ use hyper_repro::storage::ColumnStats;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = hyper_repro::datasets::amazon(2000, 9, 7);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let session = HyperSession::new(data.db.clone(), Some(&data.graph));
 
     // Percentiles of laptop prices.
     let products = data.db.table("product")?;
@@ -48,9 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              Update(price) = {price}
              Output Count(Post(rtng) > 4)"
         );
-        let r = engine.whatif_text(&q)?;
+        let r = session.whatif_text(&q)?;
         let share = r.value / r.n_scope_rows as f64;
-        println!("  {pct:>3}th percentile ({price:>7.0}) → {:5.1}%", share * 100.0);
+        println!(
+            "  {pct:>3}th percentile ({price:>7.0}) → {:5.1}%",
+            share * 100.0
+        );
     }
 
     // Brand sensitivity: which brand's ratings react most to a 25% cut?
@@ -65,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              For Pre(brand) = '{brand}'"
         );
         let cut = base.replace("1.0 * Pre(price)", "0.75 * Pre(price)");
-        let v0 = engine.whatif_text(&base)?.value;
-        let v1 = engine.whatif_text(&cut)?.value;
+        let v0 = session.whatif_text(&base)?.value;
+        let v1 = session.whatif_text(&cut)?.value;
         gains.push((brand.to_string(), v1 - v0));
     }
     for (brand, gain) in &gains {
@@ -80,7 +83,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .fold(f64::MIN, f64::max);
     println!(
         "\nApple reacts most: {}",
-        if apple >= max_other { "yes (matches §5.3)" } else { "no (noise this run)" }
+        if apple >= max_other {
+            "yes (matches §5.3)"
+        } else {
+            "no (noise this run)"
+        }
     );
     Ok(())
 }

@@ -13,12 +13,11 @@ use hyper_repro::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = hyper_repro::datasets::german_syn_extended(20_000, 1);
     println!("German-Syn: {} rows", data.total_rows());
-    let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
-        HowToOptions {
+    let session =
+        HyperSession::new(data.db.clone(), Some(&data.graph)).with_howto_options(HowToOptions {
             buckets: 4,
             max_attrs_updated: Some(2),
-        },
-    );
+        });
 
     // §5.4: "a how-to query that aims to maximize the fraction of
     // individuals receiving good credit … Status, Savings, Housing and
@@ -28,11 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HowToUpdate status, savings, housing, credit_amount
         ToMaximize Count(Post(credit) = 'Good')";
 
-    let ip = engine.howto_text(howto)?;
+    let ip = session.howto_text(howto)?;
     println!("\nIP optimizer:");
     println!(
         "  update = {}",
-        ip.render(&["status".into(), "savings".into(), "housing".into(), "credit_amount".into()])
+        ip.render(&[
+            "status".into(),
+            "savings".into(),
+            "housing".into(),
+            "credit_amount".into()
+        ])
     );
     println!(
         "  good-credit count {:.0} (baseline {:.0}), {} candidates, took {:?}",
@@ -44,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HypotheticalQuery::HowTo(q) => q,
         _ => unreachable!(),
     };
-    let brute = engine.howto_bruteforce(&q)?;
+    let brute = session.howto_bruteforce(&q)?;
     println!("\nOpt-HowTo (exhaustive baseline):");
     println!(
         "  objective {:.0}, {} what-if evaluations, took {:?}",
@@ -52,7 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  agreement with IP: {}",
-        if (brute.objective - ip.objective).abs() < 1e-6 { "exact" } else { "approximate" }
+        if (brute.objective - ip.objective).abs() < 1e-6 {
+            "exact"
+        } else {
+            "approximate"
+        }
     );
 
     // Lexicographic: maximize good credit first, then (subject to that)
@@ -65,7 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         HypotheticalQuery::HowTo(q) => q,
         _ => unreachable!(),
     };
-    let lex = engine.howto_lexicographic(&[q, q2])?;
+    let lex = session.howto_lexicographic(&[q, q2])?;
     println!("\nlexicographic (good credit ≫ low interest rate):");
     println!(
         "  update = {}",

@@ -1,8 +1,10 @@
-//! Quickstart: run the paper's running example end to end.
+//! Quickstart: run the paper's running example end to end through the
+//! session API.
 //!
 //! Builds the Figure-1 Amazon toy database, attaches the Figure-2 causal
-//! graph, and evaluates the Figure-4 what-if query and the Figure-5 how-to
-//! query.
+//! graph, opens a `HyperSession`, and evaluates the Figure-4 what-if
+//! query (as a prepared query, executed repeatedly with different update
+//! factors via a parallel batch) and the Figure-5 how-to query.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -19,16 +21,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.db.table("review")?.num_rows()
     );
 
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    // One session owns the database + graph and caches relevant views,
+    // the block decomposition, and fitted estimators across every query
+    // below.
+    let session = HyperSession::builder(data.db).graph(data.graph).build();
 
     // Block-independent decomposition (paper Example 7): categories are
     // independent blocks.
-    let blocks = engine.block_decomposition()?;
-    println!("block-independent decomposition: {} blocks", blocks.num_blocks());
+    let blocks = session.block_decomposition()?;
+    println!(
+        "block-independent decomposition: {} blocks",
+        blocks.num_blocks()
+    );
 
     // ------------------------------------------------------------------
     // Figure 4: "If the prices of all Asus products increased by 10%, what
-    // would be the average rating of Asus laptops?"
+    // would be the average rating of Asus laptops?" — prepared once,
+    // executed twice (the second run is answered from the cache).
     // ------------------------------------------------------------------
     let whatif = "
         Use (Select T1.pid, T1.category, T1.price, T1.brand, T1.quality,
@@ -40,22 +49,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Update(price) = 1.1 * Pre(price)
         Output Avg(Post(rtng))
         For Pre(category) = 'Laptop' And Pre(brand) = 'Asus'";
-    let r = engine.whatif_text(whatif)?;
+    let prepared = session.prepare(whatif)?;
+    let r = prepared.execute_whatif()?;
     println!("\nFigure 4 what-if (Asus laptops, +10% price):");
     println!("  expected avg rating = {:.3}", r.value);
     println!(
         "  view rows = {}, updated = {}, backdoor = {:?}, took {:?}",
         r.n_view_rows, r.n_updated_rows, r.backdoor, r.elapsed
     );
-
-    // Compare: a 20% price *cut*.
-    let cheaper = whatif.replace("1.1 * Pre(price)", "0.8 * Pre(price)");
-    let r_cut = engine.whatif_text(&cheaper)?;
-    println!("  …with a 20% cut instead: {:.3}", r_cut.value);
+    let cached = prepared.execute_whatif()?;
     println!(
-        "  (cutting prices should help: {:.3} > {:.3})",
-        r_cut.value, r.value
+        "  re-executed from cache in {:?} (first run {:?})",
+        cached.elapsed, r.elapsed
     );
+
+    // A price-sensitivity sweep as a parallel batch: every variant shares
+    // the session's relevant view.
+    let factors = ["0.8", "0.9", "1.0", "1.2"];
+    let sweep: Vec<String> = factors
+        .iter()
+        .map(|f| whatif.replace("1.1 * Pre(price)", &format!("{f} * Pre(price)")))
+        .collect();
+    println!("\nPrice sweep (parallel batch):");
+    for (factor, outcome) in factors.iter().zip(session.execute_batch(&sweep)) {
+        if let QueryOutcome::WhatIf(r) = outcome? {
+            println!("  price x {factor}: expected avg rating = {:.3}", r.value);
+        }
+    }
 
     // ------------------------------------------------------------------
     // Figure 5: "How to maximize the average rating of Asus laptops by
@@ -72,12 +92,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Limit 500 <= Post(price) <= 800 And L1(Pre(price), Post(price)) <= 400
         ToMaximize Avg(Post(rtng))
         For Pre(category) = 'Laptop' And brand = 'Asus'";
-    let h = engine.howto_text(howto)?;
+    let h = session.howto_text(howto)?;
     println!("\nFigure 5 how-to (maximize Asus laptop rating):");
     println!("  recommended update: {}", h.render(&["price".into()]));
     println!(
         "  predicted rating {:.3} (baseline {:.3}), {} candidates, {} what-if evals, {:?}",
         h.objective, h.baseline, h.candidates, h.whatif_evals, h.elapsed
+    );
+
+    let stats = session.stats();
+    println!(
+        "\nsession stats: {} queries over {} views / {} estimators \
+         (view hits {}, estimator hits {})",
+        stats.queries_executed,
+        stats.views_cached,
+        stats.estimators_cached,
+        stats.view_hits,
+        stats.estimator_hits,
     );
     Ok(())
 }

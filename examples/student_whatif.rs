@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.db.table("student")?.num_rows(),
         data.db.table("participation")?.num_rows()
     );
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let session = HyperSession::new(data.db.clone(), Some(&data.graph));
 
     let view = "
         Use (Select S.sid, S.age, S.country, S.attendance,
@@ -37,13 +37,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              Update({attr}) = 95
              Output Avg(Post(grade))"
         );
-        let r = engine.whatif_text(&q)?;
+        let r = session.whatif_text(&q)?;
         // Ground truth: replay through the structural equations.
         let (_, post) = scm.sample_paired(
             "flat",
             30_000,
             17,
-            &[Intervention::new(attr, InterventionOp::Set(Value::Float(95.0)))],
+            &[Intervention::new(
+                attr,
+                InterventionOp::Set(Value::Float(95.0)),
+            )],
             None,
         )?;
         let truth = post
@@ -65,7 +68,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
              Output Avg(Post(grade))
              For Pre(attendance) > 75 And Pre(announcements) > 40"
         );
-        let r = engine.whatif_text(&q)?;
+        let r = session.whatif_text(&q)?;
         println!(
             "  set {attr:<11} → avg grade {:6.2} over {} students",
             r.value, r.n_scope_rows

@@ -12,20 +12,26 @@
 //! | [`ml`]      | regression forests, linear models, encoders, discretizers |
 //! | [`ip`]      | simplex LP + branch-and-bound 0-1 ILP + enumeration oracle |
 //! | [`query`]   | the extended SQL language (`Use`/`When`/`Update`/`Output`/`For`, `HowToUpdate`/`Limit`/`ToMaximize`) |
-//! | [`core`]    | the HypeR engine: what-if estimation and how-to optimization |
+//! | [`core`]    | the HypeR engine: sessions, prepared queries, what-if estimation, how-to optimization |
 //! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
 //!
 //! ## Quickstart
+//!
+//! The entry point is a [`HyperSession`](core::HyperSession): an owned,
+//! thread-safe handle over a database and its causal graph that caches the
+//! expensive intermediates (relevant views, block decompositions, fitted
+//! estimators) across queries. Prepare a query once, execute it as often
+//! as you like, and fan batches out across threads:
 //!
 //! ```
 //! use hyper_repro::prelude::*;
 //!
 //! // Figure 1's toy Amazon database with the Figure 2 causal graph.
 //! let data = hyper_repro::datasets::amazon::amazon_figure1();
-//! let engine = HyperEngine::new(&data.db, Some(&data.graph));
+//! let session = HyperSession::builder(data.db).graph(data.graph).build();
 //!
-//! // The Figure 4 what-if query.
-//! let result = engine.whatif_text(
+//! // The Figure 4 what-if query, prepared once.
+//! let prepared = session.prepare(
 //!     "Use (Select T1.pid, T1.category, T1.price, T1.brand,
 //!              Avg(sentiment) As senti, Avg(T2.rating) As rtng
 //!           From product As T1, review As T2
@@ -36,7 +42,22 @@
 //!      Output Avg(Post(rtng))
 //!      For Pre(category) = 'Laptop'",
 //! ).unwrap();
+//!
+//! // First execution builds the view and trains the estimator…
+//! let result = prepared.execute_whatif().unwrap();
 //! assert!(result.value >= 1.0 && result.value <= 5.0);
+//!
+//! // …repeat executions are pure cache hits.
+//! let again = prepared.execute_whatif().unwrap();
+//! assert_eq!(result.value, again.value);
+//! assert!(session.stats().estimator_hits > 0);
+//!
+//! // Ad-hoc text and parallel batches share the same cache.
+//! let outcomes = session.execute_batch(&[
+//!     "Use product Update(price) = 0.9 * Pre(price) Output Count(*)",
+//!     "Use product Update(price) = 1.2 * Pre(price) Output Count(*)",
+//! ]);
+//! assert!(outcomes.iter().all(|o| o.is_ok()));
 //! ```
 
 pub use hyper_causal as causal;
@@ -50,9 +71,11 @@ pub use hyper_storage as storage;
 /// Common imports for applications.
 pub mod prelude {
     pub use hyper_causal::{BlockDecomposition, CausalGraph, Intervention, InterventionOp, Scm};
+    #[allow(deprecated)]
+    pub use hyper_core::HyperEngine;
     pub use hyper_core::{
-        exact_whatif, BackdoorMode, EngineConfig, HowToOptions, HowToResult, HyperEngine,
-        QueryOutcome, WhatIfResult,
+        exact_whatif, BackdoorMode, EngineConfig, HowToOptions, HowToResult, HyperSession,
+        PreparedQuery, QueryOutcome, SessionBuilder, SessionStats, WhatIfResult,
     };
     pub use hyper_datasets::Dataset;
     pub use hyper_query::{parse_query, HypotheticalQuery};

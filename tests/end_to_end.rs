@@ -8,7 +8,7 @@ use hyper_repro::storage::csv;
 #[test]
 fn figure4_pipeline_on_simulated_amazon() {
     let data = hyper_repro::datasets::amazon(600, 8, 11);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     let r = engine
         .whatif_text(
             "Use (Select T1.pid, T1.category, T1.price, T1.brand, T1.quality,
@@ -22,7 +22,11 @@ fn figure4_pipeline_on_simulated_amazon() {
          For Pre(category) = 'Laptop'",
         )
         .unwrap();
-    assert!(r.value >= 1.0 && r.value <= 5.0, "rating in range: {}", r.value);
+    assert!(
+        r.value >= 1.0 && r.value <= 5.0,
+        "rating in range: {}",
+        r.value
+    );
     assert!(r.n_scope_rows > 0);
     assert!(r.n_updated_rows > 0);
     // The graph-derived backdoor must include quality (the confounder of
@@ -37,7 +41,7 @@ fn figure4_pipeline_on_simulated_amazon() {
 #[test]
 fn whatif_is_deterministic_for_a_fixed_config() {
     let data = hyper_repro::datasets::german_syn(5000, 2);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     let q = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
     let a = engine.whatif_text(q).unwrap();
     let b = engine.whatif_text(q).unwrap();
@@ -47,7 +51,7 @@ fn whatif_is_deterministic_for_a_fixed_config() {
 #[test]
 fn german_syn_estimate_tracks_structural_ground_truth() {
     let data = hyper_repro::datasets::german_syn(20_000, 4);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     let est = engine
         .whatif_text("Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')")
         .unwrap();
@@ -82,7 +86,7 @@ fn german_syn_estimate_tracks_structural_ground_truth() {
 #[test]
 fn student_multirelation_view_and_blocks() {
     let data = hyper_repro::datasets::student_syn(400, 5, 9);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     // One block per student.
     let blocks = engine.block_decomposition().unwrap();
     assert_eq!(blocks.num_blocks(), 400);
@@ -115,12 +119,11 @@ fn student_multirelation_view_and_blocks() {
 #[test]
 fn howto_pipeline_ip_vs_bruteforce_on_german_syn() {
     let data = hyper_repro::datasets::german_syn(4000, 6);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph)).with_howto_options(
-        HowToOptions {
+    let engine =
+        HyperSession::new(data.db.clone(), Some(&data.graph)).with_howto_options(HowToOptions {
             buckets: 3,
             max_attrs_updated: Some(1),
-        },
-    );
+        });
     let text = "Use german_syn
                 HowToUpdate status, housing
                 ToMaximize Count(Post(credit) = 'Good')";
@@ -134,13 +137,16 @@ fn howto_pipeline_ip_vs_bruteforce_on_german_syn() {
     // Status dominates housing in the credit equation.
     assert_eq!(ip.chosen.len(), 1);
     assert!(ip.chosen[0].attr.eq_ignore_ascii_case("status"));
-    assert!(brute.whatif_evals > ip.whatif_evals, "brute force works harder");
+    assert!(
+        brute.whatif_evals > ip.whatif_evals,
+        "brute force works harder"
+    );
 }
 
 #[test]
 fn execute_dispatch_and_error_paths() {
     let data = hyper_repro::datasets::german_syn(1000, 8);
-    let engine = HyperEngine::new(&data.db, Some(&data.graph));
+    let engine = HyperSession::new(data.db.clone(), Some(&data.graph));
     let out = engine
         .execute("Use german_syn Update(status) = 1 Output Count(Post(credit) = 'Good')")
         .unwrap();
@@ -151,6 +157,39 @@ fn execute_dispatch_and_error_paths() {
     assert!(engine
         .howto_text("Use german_syn Update(status) = 1 Output Count(*)")
         .is_err());
+}
+
+#[test]
+fn prepared_queries_and_batches_through_the_umbrella_crate() {
+    let data = hyper_repro::datasets::german_syn(4000, 3);
+    let session = HyperSession::builder(data.db).graph(data.graph).build();
+    let q = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+
+    let prepared = session.prepare(q).unwrap();
+    let a = prepared.execute_whatif().unwrap();
+    let b = prepared.execute_whatif().unwrap();
+    assert_eq!(a.value, b.value);
+    let stats = session.stats();
+    assert_eq!(stats.view_misses, 1);
+    assert_eq!(stats.estimator_misses, 1);
+    assert!(stats.estimator_hits >= 1, "second run came from the cache");
+
+    // A batch over variations of the same scenario shares the view.
+    let batch = session.execute_batch(&[
+        "Use german_syn Update(status) = 1 Output Count(Post(credit) = 'Good')",
+        "Use german_syn Update(status) = 2 Output Count(Post(credit) = 'Good')",
+        q, // already cached: free
+    ]);
+    assert!(batch.iter().all(|r| r.is_ok()));
+    match &batch[2] {
+        Ok(QueryOutcome::WhatIf(r)) => assert_eq!(r.value, a.value),
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    assert_eq!(
+        session.stats().view_misses,
+        1,
+        "one view for the whole session"
+    );
 }
 
 #[test]
@@ -170,18 +209,18 @@ fn variants_run_on_the_same_query() {
     let data = hyper_repro::datasets::german_syn(6000, 12);
     let q = "Use german_syn Update(savings) = 3 Output Count(Post(credit) = 'Good')";
 
-    let hyper = HyperEngine::new(&data.db, Some(&data.graph))
+    let hyper = HyperSession::new(data.db.clone(), Some(&data.graph))
         .whatif_text(q)
         .unwrap();
-    let nb = HyperEngine::new(&data.db, None)
+    let nb = HyperSession::new(data.db.clone(), None)
         .with_config(EngineConfig::hyper_nb())
         .whatif_text(q)
         .unwrap();
-    let sampled = HyperEngine::new(&data.db, Some(&data.graph))
+    let sampled = HyperSession::new(data.db.clone(), Some(&data.graph))
         .with_config(EngineConfig::hyper_sampled(2000))
         .whatif_text(q)
         .unwrap();
-    let indep = HyperEngine::new(&data.db, None)
+    let indep = HyperSession::new(data.db.clone(), None)
         .with_config(EngineConfig::indep())
         .whatif_text(q)
         .unwrap();

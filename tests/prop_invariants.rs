@@ -34,7 +34,13 @@ fn arb_scm() -> impl Strategy<Value = ScmSpec> {
         200usize..800,
         0u64..1000,
     )
-        .prop_map(|(pz, pb, py, n, seed)| ScmSpec { pz, pb, py, n, seed })
+        .prop_map(|(pz, pb, py, n, seed)| ScmSpec {
+            pz,
+            pb,
+            py,
+            n,
+            seed,
+        })
 }
 
 fn build(spec: &ScmSpec) -> (Scm, Database) {
@@ -137,7 +143,7 @@ proptest! {
     fn estimator_counts_in_range(spec in arb_scm()) {
         let (scm, db) = build(&spec);
         let graph = scm.to_causal_graph("d");
-        let engine = HyperEngine::new(&db, Some(&graph))
+        let engine = HyperSession::new(db.clone(), Some(&graph))
             .with_config(EngineConfig { n_trees: 8, max_depth: 6, ..EngineConfig::hyper() });
         let r = engine
             .whatif_text("Use d Update(b) = 1 Output Count(Post(y) = 1)")
@@ -150,7 +156,7 @@ proptest! {
     fn estimator_avg_in_domain(spec in arb_scm()) {
         let (scm, db) = build(&spec);
         let graph = scm.to_causal_graph("d");
-        let engine = HyperEngine::new(&db, Some(&graph))
+        let engine = HyperSession::new(db.clone(), Some(&graph))
             .with_config(EngineConfig { n_trees: 8, max_depth: 6, ..EngineConfig::hyper() });
         let r = engine
             .whatif_text("Use d Update(b) = 0 Output Avg(Post(y))")

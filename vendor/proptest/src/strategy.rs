@@ -1,0 +1,396 @@
+//! The [`Strategy`] trait and the combinators/primitive strategies the
+//! workspace's property tests use. Generation only — no shrinking.
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map {
+            source: self,
+            map: f,
+        }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap {
+            source: self,
+            derive: f,
+        }
+    }
+
+    /// Recursive structures: `recurse` receives the strategy for the
+    /// previous depth and returns the strategy for one level deeper; every
+    /// level keeps an even chance of falling back to a leaf, bounding the
+    /// expansion at `depth` levels.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase the strategy (cheaply cloneable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Always the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    derive: F,
+}
+
+impl<S: Strategy, D: Strategy, F: Fn(S::Value) -> D> Strategy for FlatMap<S, F> {
+    type Value = D::Value;
+    fn new_value(&self, rng: &mut TestRng) -> D::Value {
+        let seed = self.source.new_value(rng);
+        (self.derive)(seed).new_value(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (backs `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union of the given options; panics when empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng().gen_range(0..self.options.len());
+        self.options[i].new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitive strategies: ranges, tuples, arrays, regex-ish strings.
+// ---------------------------------------------------------------------
+
+macro_rules! numeric_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategies! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7, S8 8, S9 9);
+}
+
+impl<S: Strategy, const N: usize> Strategy for [S; N] {
+    type Value = [S::Value; N];
+    fn new_value(&self, rng: &mut TestRng) -> [S::Value; N] {
+        std::array::from_fn(|i| self[i].new_value(rng))
+    }
+}
+
+/// String strategy from a regex-like pattern (`&'static str` in proptest).
+///
+/// Supported subset: literal characters, `\`-escapes, `[...]` classes with
+/// `a-z` ranges and literal members, and `{n}` / `{m,n}` quantifiers on the
+/// preceding atom. This covers the patterns used in the workspace's tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+fn parse_pattern(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms: Vec<(Atom, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut members: Vec<(char, char)> = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        members.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        members.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern `{pattern}`");
+                i += 1; // consume ']'
+                Atom::Class(members)
+            }
+            '\\' => {
+                i += 1;
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n: usize = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, lo, hi));
+    }
+    atoms
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for (atom, lo, hi) in parse_pattern(pattern) {
+        let reps = if lo == hi {
+            lo
+        } else {
+            rng.rng().gen_range(lo..hi + 1)
+        };
+        for _ in 0..reps {
+            match &atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(members) => {
+                    let (start, end) = members[rng.rng().gen_range(0..members.len())];
+                    let span = end as u32 - start as u32 + 1;
+                    let c = char::from_u32(start as u32 + rng.rng().gen_range(0..span))
+                        .expect("class range stays in char space");
+                    out.push(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_identifier_shape() {
+        let mut rng = TestRng::deterministic("pattern_identifier_shape");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}x".new_value(&mut rng);
+            assert!(s.len() >= 2 && s.len() <= 8, "bad length: {s}");
+            assert!(s.ends_with('x'));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn pattern_with_space_and_quote_class() {
+        let mut rng = TestRng::deterministic("pattern_space_quote");
+        for _ in 0..100 {
+            let s = "[a-zA-Z '0-9]{0,8}".new_value(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '\''));
+        }
+    }
+
+    #[test]
+    fn union_and_recursive_terminate() {
+        let mut rng = TestRng::deterministic("union_recursive");
+        let leaf = (0i64..10).prop_map(|n| n.to_string());
+        let tree = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| format!("({a} {b})"))
+        });
+        for _ in 0..100 {
+            let v = tree.new_value(&mut rng);
+            assert!(!v.is_empty());
+        }
+    }
+
+    #[test]
+    fn ranges_tuples_arrays() {
+        let mut rng = TestRng::deterministic("ranges_tuples_arrays");
+        for _ in 0..100 {
+            let (a, b) = (0u32..5, [0i64..3, 0i64..3]).new_value(&mut rng);
+            assert!(a < 5);
+            assert!(b.iter().all(|&x| (0..3).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Test-runner support: configuration, the deterministic per-test RNG, and
+//! the error type `prop_assert!` returns.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with the given reason.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError(reason.into())
+    }
+
+    /// Alias kept for API compatibility: rejects are treated as failures.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The RNG handed to strategies. Seeded from the test's fully qualified
+/// name, so every run generates the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic RNG for the named test.
+    pub fn deterministic(name: &str) -> TestRng {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
