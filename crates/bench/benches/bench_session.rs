@@ -7,12 +7,16 @@
 //! * `sweep12_sequential_vs_batch` — a 12-query parameter sweep executed
 //!   one-by-one vs fanned out by `execute_batch` (shared cache + worker
 //!   threads), plus the steady-state re-execution over a warm cache.
+//! * `sweep12_rebound_vs_text` — the same sweep as ONE parameterized
+//!   prepared template rebound per value vs re-submitted query text
+//!   (both warm: isolates the parse + prepare overhead the `Bindings`
+//!   API removes).
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hyper_core::{evaluate_whatif, EngineConfig, HyperSession};
-use hyper_query::WhatIfQuery;
+use hyper_query::{Bindings, HExpr, WhatIf, WhatIfQuery};
 
 const QUERY: &str = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
 
@@ -116,9 +120,68 @@ fn bench_sequential_vs_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// The 12-value sweep of `sweep_queries`, but expressed as three typed
+/// templates (one per attribute) with a `Param(level)` placeholder, over a
+/// warm cache — vs the same scenario re-submitted as text per value.
+fn bench_param_rebinding(c: &mut Criterion) {
+    let data = hyper_datasets::german_syn(10_000, 4);
+    let session = HyperSession::builder(data.db.clone())
+        .graph(data.graph.clone())
+        .build();
+
+    let template = |attr: &str| {
+        session
+            .prepare(
+                WhatIf::over("german_syn")
+                    .set_param(attr, "level")
+                    .output_count(HExpr::post("credit").eq("Good")),
+            )
+            .unwrap()
+    };
+    let sweep: Vec<(hyper_core::PreparedQuery, Vec<i64>)> = vec![
+        (template("status"), (1..=4).collect()),
+        (template("savings"), (1..=4).collect()),
+        (template("housing"), (0..=3).collect()),
+    ];
+    let texts = sweep_queries();
+
+    // Warm every estimator once so both variants measure steady state.
+    for (prepared, levels) in &sweep {
+        for &v in levels {
+            prepared
+                .execute_with(&Bindings::new().set("level", v))
+                .unwrap();
+        }
+    }
+
+    let mut group = c.benchmark_group("sweep12_rebound_vs_text_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("rebound_prepared_warm", |b| {
+        b.iter(|| {
+            for (prepared, levels) in &sweep {
+                for &v in levels {
+                    prepared
+                        .execute_with(&Bindings::new().set("level", v))
+                        .unwrap();
+                }
+            }
+        });
+    });
+    group.bench_function("text_resubmitted_warm", |b| {
+        b.iter(|| {
+            for t in &texts {
+                session.execute(t.as_str()).unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(500)).measurement_time(Duration::from_secs(3));
-    targets = bench_cold_vs_prepared, bench_sequential_vs_batch
+    targets = bench_cold_vs_prepared, bench_sequential_vs_batch, bench_param_rebinding
 }
 criterion_main!(benches);

@@ -75,6 +75,12 @@ pub fn bind_hexpr(expr: &HExpr, schema: &Schema, default: Temporal) -> Result<Bo
             list: list.clone(),
             negated: *negated,
         },
+        HExpr::Param(name) => {
+            return Err(EngineError::Query(format!(
+                "unresolved parameter `Param({name})`; supply a value through \
+                 Bindings (e.g. PreparedQuery::execute_with) before evaluation"
+            )))
+        }
     })
 }
 

@@ -66,7 +66,7 @@ pub(crate) fn evaluate_howto_bruteforce_cached(
         let n_updated = updates.len();
         let within_budget = opts.max_attrs_updated.is_none_or(|b| n_updated <= b);
         if within_budget && !updates.is_empty() {
-            let wq = candidate_whatif(&ctx.whatif_template, updates.clone());
+            let wq = candidate_whatif(&ctx.whatif_template, updates.clone())?;
             let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?;
             ctx.whatif_evals += 1;
             let better = match &best {

@@ -165,7 +165,7 @@ pub(crate) fn evaluate_howto_lexicographic_cached(
     if !chosen.is_empty() {
         for (k, ctx) in contexts.iter().enumerate() {
             let wq =
-                crate::howto::optimizer::candidate_whatif(&ctx.whatif_template, chosen.clone());
+                crate::howto::optimizer::candidate_whatif(&ctx.whatif_template, chosen.clone())?;
             achieved[k] =
                 crate::whatif::evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value;
             whatif_evals += 1;

@@ -9,12 +9,13 @@ use std::time::Instant;
 use hyper_causal::CausalGraph;
 use hyper_ip::{solve_ilp, Direction, Model, Sense};
 use hyper_query::{
-    validate_howto, HowToQuery, ObjectiveDirection, OutputArg, OutputSpec, Temporal, UpdateSpec,
-    WhatIfQuery,
+    validate_howto, HExpr, HowToQuery, ObjectiveDirection, OutputArg, OutputSpec, Temporal,
+    UpdateSpec, WhatIf, WhatIfQuery,
 };
 use hyper_storage::Database;
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::config::{EngineConfig, HowToOptions};
 use crate::error::{EngineError, Result};
@@ -30,18 +31,19 @@ use crate::whatif::evaluate_whatif_maybe_cached;
 pub(crate) struct HowToContext {
     pub candidates: Vec<Vec<Candidate>>,
     pub baseline: f64,
-    pub whatif_template: WhatIfQuery,
+    /// The Definition-7 what-if *template*: an unfinished [`WhatIf`]
+    /// builder carrying the shared `Use`/`When`/`Output`/`For` clauses;
+    /// each candidate adds its update list and `build()`s (which
+    /// re-validates) to obtain a complete query.
+    pub whatif_template: WhatIf,
     pub whatif_evals: usize,
     /// Per-attribute per-candidate what-if values.
     pub values: Vec<Vec<f64>>,
 }
 
 /// Build the Definition-7 candidate what-if query for a set of updates.
-pub(crate) fn candidate_whatif(template: &WhatIfQuery, updates: Vec<UpdateSpec>) -> WhatIfQuery {
-    WhatIfQuery {
-        updates,
-        ..template.clone()
-    }
+pub(crate) fn candidate_whatif(template: &WhatIf, updates: Vec<UpdateSpec>) -> Result<WhatIfQuery> {
+    Ok(template.clone().updates(updates).build()?)
 }
 
 impl HowToContext {
@@ -77,7 +79,9 @@ impl HowToContext {
 
         // The Definition-7 what-if template: same Use/When/For, Output from
         // the objective. A predicate objective (`Count(Post(credit) =
-        // 'Good')`) becomes a boolean output expression.
+        // 'Good')`) becomes a boolean output expression. Kept as a typed
+        // [`WhatIf`] builder so each candidate's query is assembled — and
+        // re-validated — through the same path API callers use.
         let output_expr = match &q.objective.predicate {
             Some((op, value)) => hyper_query::HExpr::binary(
                 *op,
@@ -86,42 +90,74 @@ impl HowToContext {
             ),
             None => hyper_query::HExpr::post(q.objective.attr.clone()),
         };
-        let whatif_template = WhatIfQuery {
-            use_clause: q.use_clause.clone(),
-            when: q.when.clone(),
-            updates: Vec::new(), // filled per candidate
-            output: OutputSpec {
-                agg: q.objective.agg,
-                arg: OutputArg::Expr(output_expr),
-            },
-            for_clause: q.for_clause.clone(),
+        let output_spec = OutputSpec {
+            agg: q.objective.agg,
+            arg: OutputArg::Expr(output_expr),
         };
+        let whatif_template = WhatIf::over_clause(q.use_clause.clone())
+            .maybe_when(q.when.clone())
+            .output(output_spec.agg, output_spec.arg.clone())
+            .maybe_filter(q.for_clause.clone());
 
         // Baseline: objective with no hypothetical update. Evaluated
         // deterministically (identity update on the first attribute would
         // need numeric types; instead evaluate with an empty candidate by
         // updating nothing: When ∩ S handled by a no-op update) over the
         // already-materialized view.
-        let baseline = evaluate_identity_objective(&view, &whatif_template)?;
+        let baseline = evaluate_identity_objective(&view, &q.for_clause, &output_spec)?;
 
-        // Evaluate every candidate's what-if value.
-        let mut values = Vec::with_capacity(candidates.len());
-        let mut whatif_evals = 0usize;
-        for cands in &candidates {
-            let mut vs = Vec::with_capacity(cands.len());
-            for c in cands {
+        // Assemble every candidate's what-if query, then evaluate. Inside a
+        // session the candidates fan out across a scoped thread pool: the
+        // artifact cache is thread-safe and single-flight, so concurrent
+        // candidates share one relevant view, each estimator is trained at
+        // most once, and the values are identical to a sequential pass
+        // (training is seeded and order-independent).
+        let mut flat: Vec<(usize, usize, WhatIfQuery)> = Vec::new();
+        for (i, cands) in candidates.iter().enumerate() {
+            for (j, c) in cands.iter().enumerate() {
                 let wq = candidate_whatif(
                     &whatif_template,
                     vec![UpdateSpec {
                         attr: c.attr.clone(),
                         func: c.func.clone(),
                     }],
-                );
-                let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?;
-                whatif_evals += 1;
-                vs.push(r.value);
+                )?;
+                flat.push((i, j, wq));
             }
-            values.push(vs);
+        }
+        let whatif_evals = flat.len();
+        let mut values: Vec<Vec<f64>> = candidates.iter().map(|c| vec![0.0; c.len()]).collect();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(flat.len());
+        // Fan out only with a (thread-safe, single-flight) cache to share
+        // artifacts through, and never from inside an `execute_batch`
+        // worker — that would nest P threads per batch worker (P² total).
+        if cache.is_some() && workers > 1 && !crate::session::in_session_worker() {
+            let next = AtomicUsize::new(0);
+            let slots: Vec<OnceLock<Result<f64>>> =
+                (0..flat.len()).map(|_| OnceLock::new()).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= flat.len() {
+                            break;
+                        }
+                        let r = evaluate_whatif_maybe_cached(db, graph, config, &flat[k].2, cache)
+                            .map(|r| r.value);
+                        let _ = slots[k].set(r);
+                    });
+                }
+            });
+            for ((i, j, _), slot) in flat.iter().zip(slots) {
+                values[*i][*j] = slot.into_inner().expect("every candidate slot is filled")?;
+            }
+        } else {
+            for (i, j, wq) in &flat {
+                values[*i][*j] = evaluate_whatif_maybe_cached(db, graph, config, wq, cache)?.value;
+            }
         }
 
         Ok(HowToContext {
@@ -135,33 +171,35 @@ impl HowToContext {
 }
 
 /// Evaluate the objective aggregate with no update applied.
-fn evaluate_identity_objective(view: &RelevantView, template: &WhatIfQuery) -> Result<f64> {
+fn evaluate_identity_objective(
+    view: &RelevantView,
+    for_clause: &Option<HExpr>,
+    output: &OutputSpec,
+) -> Result<f64> {
     // With an empty When set (`When FALSE` is unexpressible) the cleanest
     // identity evaluation reuses the deterministic path: an update on a
     // fresh attribute is impossible, so instead evaluate the aggregate over
-    // the view under `post = pre`.
+    // the view under `post = pre`. The ψ/Y decomposition is the shared
+    // what-if one, so the baseline can never diverge from candidate
+    // evaluation.
     use hyper_storage::AggFunc;
 
     let schema = view.table.schema().clone();
-    let (pre_conj, post_conj) = match &template.for_clause {
+    let (pre_conj, post_conj) = match for_clause {
         Some(fc) => crate::hexpr::split_pre_post(fc, Temporal::Pre),
         None => (Vec::new(), Vec::new()),
     };
     let pre = crate::hexpr::conjoin(&pre_conj)
         .map(|e| bind_hexpr(&e, &schema, Temporal::Pre))
         .transpose()?;
-    let mut post_parts = post_conj.clone();
-    let y = match (&template.output.agg, &template.output.arg) {
-        (AggFunc::Count, OutputArg::Star) => None,
-        (AggFunc::Count, OutputArg::Expr(e)) => {
-            post_parts.insert(0, e.clone());
-            None
-        }
-        (_, OutputArg::Expr(e)) => Some(bind_hexpr(e, &schema, Temporal::Post)?),
-        _ => return Err(EngineError::Unsupported("objective aggregate".into())),
-    };
-    let psi = crate::hexpr::conjoin(&post_parts)
-        .map(|e| bind_hexpr(&e, &schema, Temporal::Post))
+    let (psi_expr, y_expr) = crate::whatif::output_decomposition(output, &post_conj)?;
+    let psi = psi_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .transpose()?;
+    let y = y_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
         .transpose()?;
 
     let mut total = 0.0;
@@ -189,7 +227,7 @@ fn evaluate_identity_objective(view: &RelevantView, template: &WhatIfQuery) -> R
             None => 1.0,
         };
     }
-    Ok(match template.output.agg {
+    Ok(match output.agg {
         AggFunc::Avg => {
             if count == 0.0 {
                 0.0
@@ -298,7 +336,7 @@ pub(crate) fn evaluate_howto_cached(
     let objective = if chosen.is_empty() {
         ctx.baseline
     } else {
-        let wq = candidate_whatif(&ctx.whatif_template, chosen.clone());
+        let wq = candidate_whatif(&ctx.whatif_template, chosen.clone())?;
         whatif_evals += 1;
         evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value
     };

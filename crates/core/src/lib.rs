@@ -23,29 +23,48 @@
 //! cloneable handle over `Arc<Database>` + `Arc<CausalGraph>` that caches
 //! the expensive intermediates of the paper's §3.3 computation strategy
 //! (relevant views, the Prop.-1 block decomposition, fitted estimators)
-//! across queries, prepared executions, and threads:
+//! across queries, prepared executions, and threads.
+//! [`HyperSession::prepare`] accepts query text, a parsed AST, or the
+//! typed [`WhatIf`](hyper_query::WhatIf) / [`HowTo`](hyper_query::HowTo)
+//! builders — all three produce the same IR and key into the same cache
+//! entries:
 //!
 //! ```no_run
-//! use hyper_core::{EngineConfig, HyperSession};
+//! use hyper_core::{CacheBudget, EngineConfig, HyperSession};
+//! use hyper_query::{Bindings, HExpr, WhatIf};
 //! # fn demo(db: hyper_storage::Database, g: hyper_causal::CausalGraph)
 //! # -> hyper_core::Result<()> {
 //! let session = HyperSession::builder(db)
 //!     .graph(g)
 //!     .config(EngineConfig::hyper())
+//!     .cache_budget(CacheBudget::estimators(512)) // LRU-bounded
 //!     .build();
 //!
-//! // Prepared query: parsed, validated, and view-resolved once.
+//! // A typed, parameterized template: validated and view-resolved once.
 //! let q = session.prepare(
-//!     "Use product When brand = 'Asus' \
-//!      Update(price) = 1.1 * Pre(price) \
-//!      Output Avg(Post(rating)) For Pre(category) = 'Laptop'",
+//!     WhatIf::over("product")
+//!         .when(HExpr::attr("brand").eq("Asus"))
+//!         .scale_param("price", "mult")
+//!         .output_avg_post("rating")
+//!         .filter(HExpr::pre("category").eq("Laptop")),
 //! )?;
-//! let first = q.execute_whatif()?; // trains the estimator
-//! let again = q.execute_whatif()?; // pure cache hit
-//! assert_eq!(first.value, again.value);
-//! assert!(session.stats().estimator_hits > 0);
 //!
-//! // Parallel batch over the shared cache.
+//! // Sweep the multiplier: one view build for the whole sweep, one
+//! // estimator training per distinct binding, zero parses.
+//! for i in 0..50 {
+//!     let mult = 1.0 + 0.01 * i as f64;
+//!     let r = q.execute_whatif_with(&Bindings::new().set("mult", mult))?;
+//!     println!("x{mult:.2} -> {:.3}", r.value);
+//! }
+//! assert_eq!(session.stats().view_misses, 1);
+//! assert_eq!(session.stats().texts_parsed, 0);
+//!
+//! // explain(): the plan (view source/size, block count, adjustment set,
+//! // estimator config) plus per-artifact cache provenance — no training.
+//! println!("{}", q.explain_with(&Bindings::new().set("mult", 1.1))?);
+//!
+//! // Text still works everywhere, including parallel batches over the
+//! // shared cache.
 //! let results = session.execute_batch(&[
 //!     "Use product Update(price) = 0.9 * Pre(price) Output Avg(Post(rating))",
 //!     "Use product Update(price) = 1.1 * Pre(price) Output Avg(Post(rating))",
@@ -75,7 +94,9 @@ pub use error::{EngineError, Result};
 pub use howto::multi::LexicographicResult;
 pub use howto::HowToResult;
 pub use session::{
-    ArtifactCache, HyperSession, PreparedQuery, QueryOutcome, SessionBuilder, SessionStats,
+    ArtifactCache, BlockPlan, CacheBudget, EstimatorPlan, ExplainReport, HowToPlan, HyperSession,
+    IntoQuery, PreparedQuery, Provenance, QueryInput, QueryKind, QueryOutcome, SessionBuilder,
+    SessionStats, ViewPlan,
 };
 pub use view::{build_relevant_view, ColumnOrigin, RelevantView};
 pub use whatif::exact::exact_whatif;

@@ -17,9 +17,16 @@
 //! * candidate enumeration inside how-to optimization, whose hundreds of
 //!   candidate what-if queries all share one relevant view.
 //!
+//! Queries enter as text, as parsed ASTs, or through the typed
+//! [`WhatIf`]/[`HowTo`] builders — all three share cache entries, because
+//! keys are derived structurally from the IR ([`hyper_query::QueryKey`]).
+//! Templates with `Param(…)` placeholders are prepared once and executed
+//! per [`Bindings`]; [`HyperSession::explain`] reports the plan with cache
+//! provenance.
+//!
 //! ```no_run
-//! use std::sync::Arc;
 //! use hyper_core::{EngineConfig, HyperSession};
+//! use hyper_query::{Bindings, HExpr, WhatIf};
 //! # fn demo(db: hyper_storage::Database, g: hyper_causal::CausalGraph)
 //! # -> hyper_core::Result<()> {
 //! let session = HyperSession::builder(db)
@@ -27,24 +34,29 @@
 //!     .config(EngineConfig::hyper())
 //!     .build();
 //! let q = session.prepare(
-//!     "Use product When brand = 'Asus' \
-//!      Update(price) = 1.1 * Pre(price) \
-//!      Output Avg(Post(rating)) For Pre(category) = 'Laptop'",
+//!     WhatIf::over("product")
+//!         .when(HExpr::attr("brand").eq("Asus"))
+//!         .scale_param("price", "mult")
+//!         .output_avg_post("rating")
+//!         .filter(HExpr::pre("category").eq("Laptop")),
 //! )?;
-//! let first = q.execute()?;  // builds the view, trains the estimator
-//! let again = q.execute()?;  // pure cache hits
+//! let first = q.execute_whatif_with(&Bindings::new().set("mult", 1.1))?;
+//! let again = q.execute_whatif_with(&Bindings::new().set("mult", 1.1))?;
+//! assert_eq!(first.value, again.value); // second run: pure cache hits
 //! assert!(session.stats().estimator_hits > 0);
 //! # Ok(()) }
 //! ```
 
 pub mod cache;
+pub mod explain;
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hyper_causal::{BlockDecomposition, CausalGraph};
 use hyper_query::{
-    parse_query, validate_howto, validate_whatif, HowToQuery, HypotheticalQuery, WhatIfQuery,
+    parse_query, validate_howto, validate_whatif, Bindings, HowTo, HowToQuery, HypotheticalQuery,
+    QueryKey, WhatIf, WhatIfQuery,
 };
 use hyper_storage::Database;
 
@@ -57,7 +69,23 @@ use crate::howto::HowToResult;
 use crate::view::RelevantView;
 use crate::whatif::{evaluate_whatif_cached, evaluate_whatif_on_view, WhatIfResult};
 
-pub use cache::ArtifactCache;
+pub use cache::{ArtifactCache, CacheBudget};
+pub use explain::{
+    BlockPlan, EstimatorPlan, ExplainReport, HowToPlan, Provenance, QueryKind, ViewPlan,
+};
+
+thread_local! {
+    /// True on worker threads spawned by [`HyperSession::execute_batch`].
+    /// Inner fan-outs (the how-to candidate evaluator) check this so a
+    /// batch of how-to queries spawns P workers total, not P per query.
+    static IN_SESSION_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Is the current thread already a session batch worker? (Nested
+/// parallelism guard — see [`HyperSession::execute_batch`].)
+pub(crate) fn in_session_worker() -> bool {
+    IN_SESSION_WORKER.with(|f| f.get())
+}
 
 /// Outcome of executing hypothetical query text: either kind of result.
 #[derive(Debug, Clone)]
@@ -78,10 +106,14 @@ pub struct SessionStats {
     pub view_hits: u64,
     /// Relevant-view cache misses (views built).
     pub view_misses: u64,
+    /// Relevant views evicted under a [`CacheBudget`].
+    pub view_evictions: u64,
     /// Fitted-estimator cache hits.
     pub estimator_hits: u64,
     /// Fitted-estimator cache misses (estimators trained).
     pub estimator_misses: u64,
+    /// Fitted estimators evicted under a [`CacheBudget`].
+    pub estimator_evictions: u64,
     /// Block-decomposition cache hits.
     pub block_hits: u64,
     /// Block-decomposition cache misses (at most 1 per session).
@@ -94,6 +126,10 @@ pub struct SessionStats {
     pub queries_prepared: u64,
     /// Queries executed (ad-hoc, prepared, and batch items).
     pub queries_executed: u64,
+    /// Query *texts* parsed by this session. Typed-builder inputs and
+    /// re-executions of prepared queries never parse, so a parameter sweep
+    /// over one `PreparedQuery` leaves this unchanged.
+    pub texts_parsed: u64,
 }
 
 struct SessionInner {
@@ -101,9 +137,11 @@ struct SessionInner {
     graph: Option<Arc<CausalGraph>>,
     config: EngineConfig,
     howto_opts: HowToOptions,
+    cache_budget: CacheBudget,
     cache: ArtifactCache,
     queries_prepared: AtomicU64,
     queries_executed: AtomicU64,
+    texts_parsed: AtomicU64,
 }
 
 /// Builder for [`HyperSession`].
@@ -112,6 +150,7 @@ pub struct SessionBuilder {
     graph: Option<Arc<CausalGraph>>,
     config: EngineConfig,
     howto_opts: HowToOptions,
+    cache_budget: CacheBudget,
 }
 
 impl SessionBuilder {
@@ -122,6 +161,7 @@ impl SessionBuilder {
             graph: None,
             config: EngineConfig::default(),
             howto_opts: HowToOptions::default(),
+            cache_budget: CacheBudget::default(),
         }
     }
 
@@ -150,6 +190,16 @@ impl SessionBuilder {
         self
     }
 
+    /// Bound the artifact cache: at most `budget.max_views` relevant views
+    /// and `budget.max_estimators` fitted estimators are kept, evicting the
+    /// least-recently-used entry past a cap. Unbounded by default — set
+    /// this for long-lived sessions running how-to optimization, which
+    /// otherwise accumulates one estimator per distinct candidate update.
+    pub fn cache_budget(mut self, budget: CacheBudget) -> SessionBuilder {
+        self.cache_budget = budget;
+        self
+    }
+
     /// Finish: an owned, shareable session with an empty artifact cache.
     pub fn build(self) -> HyperSession {
         HyperSession {
@@ -158,11 +208,109 @@ impl SessionBuilder {
                 graph: self.graph,
                 config: self.config,
                 howto_opts: self.howto_opts,
-                cache: ArtifactCache::new(),
+                cache: ArtifactCache::new(self.cache_budget),
+                cache_budget: self.cache_budget,
                 queries_prepared: AtomicU64::new(0),
                 queries_executed: AtomicU64::new(0),
+                texts_parsed: AtomicU64::new(0),
             }),
         }
+    }
+}
+
+/// Anything [`HyperSession::prepare`] / [`HyperSession::execute`] /
+/// [`HyperSession::explain`] accepts as a query: raw text (parsed by the
+/// session, counted in [`SessionStats::texts_parsed`]), an already-parsed
+/// AST, or an unfinished [`WhatIf`] / [`HowTo`] builder (finished — and
+/// validated — on entry).
+pub enum QueryInput {
+    /// Query text to parse.
+    Text(String),
+    /// A ready AST (from the parser, the builders, or constructed by hand;
+    /// boxed — query ASTs are large relative to the text variant).
+    Ast(Box<HypotheticalQuery>),
+}
+
+/// Conversion into [`QueryInput`]. Implemented for `&str`/`String`
+/// (parsed), the query ASTs (used as-is), and the typed builders
+/// (validated by their `build()`).
+pub trait IntoQuery {
+    /// Convert into a query input. Builder inputs surface their
+    /// validation errors here.
+    fn into_query_input(self) -> Result<QueryInput>;
+}
+
+impl IntoQuery for &str {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Text(self.to_string()))
+    }
+}
+
+impl IntoQuery for &String {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Text(self.clone()))
+    }
+}
+
+impl IntoQuery for String {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Text(self))
+    }
+}
+
+impl IntoQuery for HypotheticalQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(self)))
+    }
+}
+
+impl IntoQuery for &HypotheticalQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(self.clone())))
+    }
+}
+
+impl IntoQuery for WhatIfQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::WhatIf(self))))
+    }
+}
+
+impl IntoQuery for &WhatIfQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::WhatIf(
+            self.clone(),
+        ))))
+    }
+}
+
+impl IntoQuery for HowToQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::HowTo(self))))
+    }
+}
+
+impl IntoQuery for &HowToQuery {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::HowTo(
+            self.clone(),
+        ))))
+    }
+}
+
+impl IntoQuery for WhatIf {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::WhatIf(
+            self.build()?,
+        ))))
+    }
+}
+
+impl IntoQuery for HowTo {
+    fn into_query_input(self) -> Result<QueryInput> {
+        Ok(QueryInput::Ast(Box::new(HypotheticalQuery::HowTo(
+            self.build()?,
+        ))))
     }
 }
 
@@ -198,6 +346,7 @@ impl HyperSession {
             graph: graph.map(|g| Arc::new(g.clone())),
             config: EngineConfig::default(),
             howto_opts: HowToOptions::default(),
+            cache_budget: CacheBudget::default(),
         }
         .build()
     }
@@ -211,6 +360,7 @@ impl HyperSession {
             graph: self.inner.graph.clone(),
             config,
             howto_opts: self.inner.howto_opts.clone(),
+            cache_budget: self.inner.cache_budget,
         }
         .build()
     }
@@ -223,6 +373,7 @@ impl HyperSession {
             graph: self.inner.graph.clone(),
             config: self.inner.config.clone(),
             howto_opts: opts,
+            cache_budget: self.inner.cache_budget,
         }
         .build()
     }
@@ -253,24 +404,49 @@ impl HyperSession {
         SessionStats {
             view_hits: c.view_hits.load(Ordering::Relaxed),
             view_misses: c.view_misses.load(Ordering::Relaxed),
+            view_evictions: c.view_evictions.load(Ordering::Relaxed),
             estimator_hits: c.estimator_hits.load(Ordering::Relaxed),
             estimator_misses: c.estimator_misses.load(Ordering::Relaxed),
+            estimator_evictions: c.estimator_evictions.load(Ordering::Relaxed),
             block_hits: c.block_hits.load(Ordering::Relaxed),
             block_misses: c.block_misses.load(Ordering::Relaxed),
             views_cached: self.inner.cache.cached_views(),
             estimators_cached: self.inner.cache.cached_estimators(),
             queries_prepared: self.inner.queries_prepared.load(Ordering::Relaxed),
             queries_executed: self.inner.queries_executed.load(Ordering::Relaxed),
+            texts_parsed: self.inner.texts_parsed.load(Ordering::Relaxed),
         }
     }
 
-    /// Parse, validate, resolve the `Use` clause, and plan `text` once,
-    /// returning a handle that can be executed many times. The relevant
-    /// view is built (or fetched) here, so the first
+    /// Parse `text`, counting the parse in
+    /// [`SessionStats::texts_parsed`].
+    fn parse_text(&self, text: &str) -> Result<HypotheticalQuery> {
+        self.inner.texts_parsed.fetch_add(1, Ordering::Relaxed);
+        Ok(parse_query(text)?)
+    }
+
+    /// Resolve any [`IntoQuery`] input to an AST, parsing only text inputs.
+    fn resolve_input(&self, input: impl IntoQuery) -> Result<HypotheticalQuery> {
+        match input.into_query_input()? {
+            QueryInput::Text(text) => self.parse_text(&text),
+            QueryInput::Ast(q) => Ok(*q),
+        }
+    }
+
+    /// Validate, resolve the `Use` clause, and plan a query once, returning
+    /// a handle that can be executed many times. Accepts text (parsed
+    /// here — never again), a typed [`WhatIf`]/[`HowTo`] builder, or an
+    /// AST. The relevant view is built (or fetched) here, so the first
     /// [`PreparedQuery::execute`] only pays estimator training, and later
     /// ones only mask evaluation.
-    pub fn prepare(&self, text: &str) -> Result<PreparedQuery> {
-        let query = parse_query(text)?;
+    ///
+    /// A prepared query may contain `Param(name)` placeholders; execute it
+    /// with [`PreparedQuery::execute_with`], supplying a [`Bindings`] map
+    /// per call. The view (and its cache entry) is shared across every
+    /// binding; only the estimator re-keys when the resolved update/output
+    /// literals actually differ.
+    pub fn prepare(&self, input: impl IntoQuery) -> Result<PreparedQuery> {
+        let query = self.resolve_input(input)?;
         let use_clause = match &query {
             HypotheticalQuery::WhatIf(q) => &q.use_clause,
             HypotheticalQuery::HowTo(q) => &q.use_clause,
@@ -282,18 +458,22 @@ impl HyperSession {
             HypotheticalQuery::HowTo(q) => validate_howto(q, Some(&cols))?,
         }
         self.inner.queries_prepared.fetch_add(1, Ordering::Relaxed);
+        let params = query.param_names();
         Ok(PreparedQuery {
             session: self.clone(),
-            text: text.to_string(),
+            text: query.to_string(),
             query,
+            params,
             view,
             view_key,
         })
     }
 
-    /// Parse and evaluate query text; returns either result kind.
-    pub fn execute(&self, text: &str) -> Result<QueryOutcome> {
-        match parse_query(text)? {
+    /// Evaluate a query; returns either result kind. Accepts the same
+    /// inputs as [`HyperSession::prepare`] (text is parsed once, builders
+    /// and ASTs skip parsing entirely).
+    pub fn execute(&self, input: impl IntoQuery) -> Result<QueryOutcome> {
+        match self.resolve_input(input)? {
             HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(self.whatif(&q)?)),
             HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(self.howto(&q)?)),
         }
@@ -320,13 +500,19 @@ impl HyperSession {
         let slots: Vec<OnceLock<Result<QueryOutcome>>> = (0..n).map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // Mark this thread so nested evaluators (how-to
+                    // candidate fan-out) stay sequential instead of
+                    // spawning P threads per batch worker.
+                    IN_SESSION_WORKER.with(|f| f.set(true));
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = self.execute(queries[i].as_ref());
+                        let _ = slots[i].set(r);
                     }
-                    let r = self.execute(queries[i].as_ref());
-                    let _ = slots[i].set(r);
                 });
             }
         });
@@ -390,7 +576,7 @@ impl HyperSession {
 
     /// Parse and evaluate what-if text.
     pub fn whatif_text(&self, text: &str) -> Result<WhatIfResult> {
-        match parse_query(text)? {
+        match self.parse_text(text)? {
             HypotheticalQuery::WhatIf(q) => self.whatif(&q),
             HypotheticalQuery::HowTo(_) => Err(EngineError::Query(
                 "expected a what-if query, got a how-to query".into(),
@@ -400,7 +586,7 @@ impl HyperSession {
 
     /// Parse and evaluate how-to text.
     pub fn howto_text(&self, text: &str) -> Result<HowToResult> {
-        match parse_query(text)? {
+        match self.parse_text(text)? {
             HypotheticalQuery::HowTo(q) => self.howto(&q),
             HypotheticalQuery::WhatIf(_) => Err(EngineError::Query(
                 "expected a how-to query, got a what-if query".into(),
@@ -418,37 +604,52 @@ impl HyperSession {
     }
 }
 
-/// A query parsed, validated, and planned once against a session; execute
-/// it as many times as needed. Cheap to clone; clones share the session and
-/// the resolved view. `Send + Sync`, so prepared queries can be executed
-/// from worker threads directly.
+/// A query validated and planned once against a session; execute it as
+/// many times as needed. Cheap to clone; clones share the session and the
+/// resolved view. `Send + Sync`, so prepared queries can be executed from
+/// worker threads directly.
+///
+/// A prepared query may be a *template* containing `Param(name)`
+/// placeholders; [`PreparedQuery::execute_with`] resolves them against a
+/// [`Bindings`] map per call, keeping the relevant view (and, for how-to,
+/// the block decomposition) shared across the whole sweep while the
+/// estimator re-keys only when the resolved literals differ.
 #[derive(Clone)]
 pub struct PreparedQuery {
     session: HyperSession,
     text: String,
     query: HypotheticalQuery,
+    params: Vec<String>,
     view: Arc<RelevantView>,
-    view_key: String,
+    view_key: QueryKey,
 }
 
 impl std::fmt::Debug for PreparedQuery {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PreparedQuery")
             .field("text", &self.text)
+            .field("params", &self.params)
             .field("view_rows", &self.view.table.num_rows())
             .finish()
     }
 }
 
 impl PreparedQuery {
-    /// The original query text.
+    /// The canonical query text (the rendering of the prepared AST; for
+    /// text inputs this is the normalized form of what was parsed).
     pub fn text(&self) -> &str {
         &self.text
     }
 
-    /// The parsed query.
+    /// The prepared query AST.
     pub fn query(&self) -> &HypotheticalQuery {
         &self.query
+    }
+
+    /// Names of unbound `Param(…)` placeholders (empty for a concrete
+    /// query).
+    pub fn params(&self) -> &[String] {
+        &self.params
     }
 
     /// Rows in the resolved relevant view.
@@ -456,7 +657,13 @@ impl PreparedQuery {
         self.view.table.num_rows()
     }
 
-    /// Execute the prepared query.
+    /// The session this query was prepared against.
+    pub fn session(&self) -> &HyperSession {
+        &self.session
+    }
+
+    /// Execute the prepared query (which must be concrete — see
+    /// [`PreparedQuery::execute_with`] for templates).
     ///
     /// What-if queries skip parsing and view resolution (the view was
     /// resolved at prepare time) and fetch the fitted estimator from the
@@ -467,16 +674,58 @@ impl PreparedQuery {
     /// How-to queries reuse the session caches for their candidate
     /// what-if evaluations.
     pub fn execute(&self) -> Result<QueryOutcome> {
+        if !self.params.is_empty() {
+            return Err(EngineError::Query(format!(
+                "prepared query has unbound parameter(s) [{}]; use execute_with(bindings)",
+                self.params.join(", ")
+            )));
+        }
+        self.execute_query(&self.query)
+    }
+
+    /// Resolve the template's `Param(…)` placeholders against `bindings`
+    /// and execute. No parsing and no view resolution happens here — a
+    /// sweep of N bindings over one prepared query costs one view build
+    /// total, plus one estimator training per *distinct* resolved
+    /// update/output combination.
+    pub fn execute_with(&self, bindings: &Bindings) -> Result<QueryOutcome> {
+        let bound = self.query.bind(bindings).map_err(EngineError::from)?;
+        self.execute_query(&bound)
+    }
+
+    /// Execute and expect a what-if result, resolving placeholders first.
+    pub fn execute_whatif_with(&self, bindings: &Bindings) -> Result<WhatIfResult> {
+        match self.execute_with(bindings)? {
+            QueryOutcome::WhatIf(r) => Ok(r),
+            QueryOutcome::HowTo(_) => Err(EngineError::Query(
+                "expected a what-if query, got a how-to query".into(),
+            )),
+        }
+    }
+
+    /// Explain this prepared query's plan (see [`HyperSession::explain`]);
+    /// templates must be resolved with [`PreparedQuery::explain_with`].
+    pub fn explain(&self) -> Result<explain::ExplainReport> {
+        self.session.explain(&self.query)
+    }
+
+    /// Explain the plan of this template resolved against `bindings`.
+    pub fn explain_with(&self, bindings: &Bindings) -> Result<explain::ExplainReport> {
+        let bound = self.query.bind(bindings).map_err(EngineError::from)?;
+        self.session.explain(bound)
+    }
+
+    fn execute_query(&self, query: &HypotheticalQuery) -> Result<QueryOutcome> {
         let inner = &self.session.inner;
         inner.queries_executed.fetch_add(1, Ordering::Relaxed);
-        match &self.query {
+        match query {
             HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(evaluate_whatif_on_view(
                 &inner.db,
                 self.session.graph(),
                 &inner.config,
                 q,
                 &self.view,
-                &self.view_key,
+                self.view_key.as_str(),
                 Some(&inner.cache),
             )?)),
             HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(evaluate_howto_cached(

@@ -68,7 +68,143 @@ pub fn apply_update(func: &UpdateFunc, pre: &Value) -> Result<Value> {
             })?;
             Ok(Value::Float(x + c))
         }
+        UpdateFunc::Param { name, .. } => Err(EngineError::Query(format!(
+            "unresolved parameter `Param({name})` in Update; bind it before evaluation"
+        ))),
     }
+}
+
+/// Error out early (with the offending name) when a query still carries
+/// unresolved `Param(…)` placeholders.
+fn reject_unresolved_params(q: &WhatIfQuery) -> Result<()> {
+    let names = q.param_names();
+    if names.is_empty() {
+        Ok(())
+    } else {
+        Err(EngineError::Query(format!(
+            "query has {} unresolved parameter(s) [{}]; supply Bindings \
+             (e.g. PreparedQuery::execute_with) before evaluation",
+            names.len(),
+            names.join(", ")
+        )))
+    }
+}
+
+/// Decompose the `Output` operator into ψ (the post-world predicate) and Y
+/// (the post-world value expression) per §3.3/§A.2.1, folding the post
+/// conjuncts of the `For` clause into ψ. Shared by evaluation, by
+/// [`plan_whatif`] (which backs `HyperSession::explain`), and by the
+/// how-to optimizer's identity-objective baseline.
+pub(crate) fn output_decomposition(
+    output: &hyper_query::OutputSpec,
+    post_conj: &[HExpr],
+) -> Result<(Option<HExpr>, Option<HExpr>)> {
+    match (&output.agg, &output.arg) {
+        (AggFunc::Count, OutputArg::Star) => Ok((conjoin(post_conj), None)),
+        (AggFunc::Count, OutputArg::Expr(e)) => {
+            let mut parts = post_conj.to_vec();
+            parts.insert(0, e.clone());
+            Ok((conjoin(&parts), None))
+        }
+        (AggFunc::Sum | AggFunc::Avg, OutputArg::Expr(e)) => {
+            Ok((conjoin(post_conj), Some(e.clone())))
+        }
+        (agg, OutputArg::Star) => Err(EngineError::Unsupported(format!(
+            "{agg}(*) is not a valid Output"
+        ))),
+        (agg, _) => Err(EngineError::Unsupported(format!(
+            "aggregate {agg} is not supported in Output (Count/Sum/Avg only)"
+        ))),
+    }
+}
+
+/// The static plan of a what-if query over an already-resolved view:
+/// everything `HyperSession::explain` reports without executing — update
+/// columns, whether the deterministic fast path applies, the chosen
+/// adjustment set, and the estimator cache key. Mirrors the decisions
+/// [`evaluate_whatif_on_view`] makes (through the same helpers).
+#[derive(Debug, Clone)]
+pub(crate) struct WhatIfQueryPlan {
+    /// False when every post reference is an updated attribute (the
+    /// deterministic fast path: no estimator is trained).
+    pub needs_estimation: bool,
+    /// Chosen backdoor adjustment columns (names, view schema order).
+    pub backdoor: Vec<String>,
+    /// The estimator cache key, when estimation is needed.
+    pub estimator_key: Option<String>,
+}
+
+/// Compute the static plan of `q` over `view` (no masks, no training).
+pub(crate) fn plan_whatif(
+    db: &Database,
+    graph: Option<&CausalGraph>,
+    config: &EngineConfig,
+    q: &WhatIfQuery,
+    view: &RelevantView,
+    view_key: &str,
+) -> Result<WhatIfQueryPlan> {
+    reject_unresolved_params(q)?;
+    let cols = view.column_names();
+    validate_whatif(q, Some(&cols))?;
+    let schema = view.table.schema().clone();
+
+    let mut update_cols: Vec<(usize, UpdateFunc)> = Vec::with_capacity(q.updates.len());
+    for u in &q.updates {
+        update_cols.push((resolve_column(&schema, &u.attr)?, u.func.clone()));
+    }
+    check_multi_update_validity(view, graph, &update_cols)?;
+
+    let (pre_conj, post_conj) = match &q.for_clause {
+        Some(fc) => split_pre_post(fc, Temporal::Pre),
+        None => (Vec::new(), Vec::new()),
+    };
+    let pre_bound = conjoin(&pre_conj)
+        .map(|e| bind_hexpr(&e, &schema, Temporal::Pre))
+        .transpose()?;
+    let (psi_expr, y_expr) = output_decomposition(&q.output, &post_conj)?;
+    let psi = psi_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .transpose()?;
+    let y = y_expr
+        .as_ref()
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .transpose()?;
+
+    let post_cols: HashSet<usize> = psi
+        .iter()
+        .flat_map(|e| e.post_columns())
+        .chain(y.iter().flat_map(|e| e.post_columns()))
+        .collect();
+    let update_col_set: HashSet<usize> = update_cols.iter().map(|(c, _)| *c).collect();
+    let needs_estimation = post_cols.iter().any(|c| !update_col_set.contains(c));
+    if !needs_estimation {
+        return Ok(WhatIfQueryPlan {
+            needs_estimation: false,
+            backdoor: Vec::new(),
+            estimator_key: None,
+        });
+    }
+
+    let for_pre_cols: HashSet<usize> = pre_bound.iter().flat_map(|e| e.pre_columns()).collect();
+    let backdoor_cols = select_backdoor_columns(
+        db,
+        view,
+        graph,
+        config,
+        &update_cols,
+        &post_cols,
+        &for_pre_cols,
+    )?;
+    let estimator_key = ArtifactCache::estimator_key(view_key, q, &backdoor_cols, config);
+    Ok(WhatIfQueryPlan {
+        needs_estimation: true,
+        backdoor: backdoor_cols
+            .iter()
+            .map(|&c| schema.field(c).name.clone())
+            .collect(),
+        estimator_key: Some(estimator_key),
+    })
 }
 
 /// Evaluate a what-if query against `db` under `config`, optionally with a
@@ -98,7 +234,7 @@ pub(crate) fn evaluate_whatif_cached(
     cache: &ArtifactCache,
 ) -> Result<WhatIfResult> {
     let (view, view_key) = cache.view(db, &q.use_clause)?;
-    evaluate_whatif_on_view(db, graph, config, q, &view, &view_key, Some(cache))
+    evaluate_whatif_on_view(db, graph, config, q, &view, view_key.as_str(), Some(cache))
 }
 
 /// Dispatch helper for call sites (the how-to optimizers) that may or may
@@ -131,6 +267,7 @@ pub(crate) fn evaluate_whatif_on_view(
     cache: Option<&ArtifactCache>,
 ) -> Result<WhatIfResult> {
     let started = Instant::now();
+    reject_unresolved_params(q)?;
     let cols = view.column_names();
     validate_whatif(q, Some(&cols))?;
     let schema = view.table.schema().clone();
@@ -173,34 +310,7 @@ pub(crate) fn evaluate_whatif_on_view(
     }
 
     // Output decomposition: ψ (post-world predicate) and Y (post value).
-    let psi_expr: Option<HExpr>;
-    let y_expr: Option<HExpr>;
-    match (&q.output.agg, &q.output.arg) {
-        (AggFunc::Count, OutputArg::Star) => {
-            psi_expr = conjoin(&post_conj);
-            y_expr = None;
-        }
-        (AggFunc::Count, OutputArg::Expr(e)) => {
-            let mut parts = post_conj.clone();
-            parts.insert(0, e.clone());
-            psi_expr = conjoin(&parts);
-            y_expr = None;
-        }
-        (AggFunc::Sum | AggFunc::Avg, OutputArg::Expr(e)) => {
-            psi_expr = conjoin(&post_conj);
-            y_expr = Some(e.clone());
-        }
-        (agg, OutputArg::Star) => {
-            return Err(EngineError::Unsupported(format!(
-                "{agg}(*) is not a valid Output"
-            )))
-        }
-        (agg, _) => {
-            return Err(EngineError::Unsupported(format!(
-                "aggregate {agg} is not supported in Output (Count/Sum/Avg only)"
-            )))
-        }
-    }
+    let (psi_expr, y_expr) = output_decomposition(&q.output, &post_conj)?;
     let psi: Option<BoundHExpr> = psi_expr
         .as_ref()
         .map(|e| bind_hexpr(e, &schema, Temporal::Post))

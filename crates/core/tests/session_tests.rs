@@ -8,7 +8,8 @@ mod common;
 use std::sync::Arc;
 
 use common::{confounded_db, credit_db};
-use hyper_core::{EngineConfig, HowToOptions, HyperSession, QueryOutcome};
+use hyper_core::{CacheBudget, EngineConfig, HowToOptions, HyperSession, Provenance, QueryOutcome};
+use hyper_query::{Bindings, HExpr, WhatIf};
 
 const WHATIF: &str = "Use d Update(b) = 1 Output Count(Post(y) = 1)";
 
@@ -314,6 +315,199 @@ fn string_literal_case_differences_do_not_share_cache_entries() {
         warm_err.to_string(),
         cold_err.to_string(),
         "cache warmth must not change query semantics"
+    );
+}
+
+/// The acceptance scenario of the typed-builder redesign: one prepared
+/// parameterized query swept over ≥ 20 bindings costs exactly one view
+/// build and zero text parses; only the estimator re-keys per binding.
+#[test]
+fn parameterized_sweep_reuses_view_and_never_parses() {
+    let (db, _, graph) = confounded_db(700, 7);
+    let session = HyperSession::builder(db).graph(graph).build();
+
+    let template = WhatIf::over("d")
+        .scale_param("b", "mult")
+        .output_count(HExpr::post("y").eq(1));
+    let prepared = session.prepare(template).unwrap();
+    assert_eq!(prepared.params(), &["mult".to_string()]);
+    assert_eq!(session.stats().view_misses, 1, "prepare builds the view");
+
+    // A template with unbound parameters refuses plain execution.
+    assert!(prepared.execute().is_err());
+    // …and unbinding errors name the missing parameter.
+    let err = prepared.execute_with(&Bindings::new()).unwrap_err();
+    assert!(err.to_string().contains("mult"), "{err}");
+
+    let mut values = Vec::new();
+    for i in 0..24 {
+        let mult = 1.01 + 0.02 * i as f64;
+        let r = prepared
+            .execute_whatif_with(&Bindings::new().set("mult", mult))
+            .unwrap();
+        values.push(r.value);
+    }
+    let stats = session.stats();
+    assert_eq!(stats.view_misses, 1, "whole sweep shares one view");
+    assert_eq!(stats.texts_parsed, 0, "no text was ever parsed");
+    assert_eq!(
+        stats.estimator_misses, 24,
+        "each distinct binding re-keys (and trains) its estimator"
+    );
+    assert_eq!(stats.queries_executed, 24);
+
+    // Re-running a binding is a pure cache hit.
+    let again = prepared
+        .execute_whatif_with(&Bindings::new().set("mult", 1.01))
+        .unwrap();
+    assert_eq!(again.value, values[0]);
+    let done = session.stats();
+    assert_eq!(done.estimator_misses, 24, "no new training on a re-run");
+    assert!(done.estimator_hits >= 1);
+}
+
+/// A builder-made query and its parsed rendering share cache entries:
+/// preparing/executing both moves only hit counters after the first build.
+#[test]
+fn built_and_parsed_queries_share_cache_entries() {
+    let (db, _, graph) = confounded_db(600, 5);
+    let session = HyperSession::builder(db).graph(graph).build();
+
+    let built = WhatIf::over("d")
+        .set("b", 1)
+        .output_count(HExpr::post("y").eq(1))
+        .build()
+        .unwrap();
+    let text = hyper_query::HypotheticalQuery::WhatIf(built.clone()).to_string();
+
+    let a = session.prepare(built).unwrap().execute_whatif().unwrap();
+    let warm = session.stats();
+    assert_eq!(warm.view_misses, 1);
+    assert_eq!(warm.estimator_misses, 1);
+    assert_eq!(warm.texts_parsed, 0, "builder input parses nothing");
+
+    // The rendered text parses to the same IR → same QueryKey → pure hits.
+    let b = session.whatif_text(&text).unwrap();
+    assert_eq!(a.value, b.value);
+    let done = session.stats();
+    assert_eq!(done.view_misses, 1, "no extra view build for the text form");
+    assert!(done.view_hits > warm.view_hits, "view_hits incremented");
+    assert_eq!(done.estimator_misses, 1, "no retraining for the text form");
+    assert!(done.estimator_hits >= 1);
+    assert_eq!(done.texts_parsed, 1);
+}
+
+/// `explain()` is deterministic in everything but cache provenance: a
+/// cold report and a warm report agree after normalization, and the
+/// provenance markers move from miss/would-build to hit.
+#[test]
+fn explain_is_stable_across_cache_warmth_except_provenance() {
+    let (db, _, graph) = confounded_db(500, 3);
+    let session = HyperSession::builder(db).graph(graph).build();
+
+    let cold = session.explain(WHATIF).unwrap();
+    assert_eq!(cold.view.provenance, Provenance::Miss, "cold view is built");
+    let est = cold.estimator.as_ref().expect("probabilistic what-if");
+    assert_eq!(
+        est.provenance,
+        Provenance::WouldBuild,
+        "explain never trains"
+    );
+    assert_eq!(
+        session.stats().estimator_misses,
+        0,
+        "explain trained nothing"
+    );
+    let blocks = cold.blocks.as_ref().expect("graph + single table");
+    assert!(blocks.count > 0);
+    assert!(!cold.adjustment.is_empty(), "FromGraph chose an adjustment");
+    assert_eq!(cold.view.source_tables, vec!["d".to_string()]);
+
+    // Execute for real, then explain again on the warm cache.
+    session.whatif_text(WHATIF).unwrap();
+    let warm = session.explain(WHATIF).unwrap();
+    assert_eq!(warm.view.provenance, Provenance::Hit);
+    assert_eq!(warm.estimator.as_ref().unwrap().provenance, Provenance::Hit);
+    assert_eq!(warm.blocks.as_ref().unwrap().provenance, Provenance::Hit);
+    assert_eq!(
+        cold.normalized(),
+        warm.normalized(),
+        "everything but provenance is identical"
+    );
+    assert_ne!(cold, warm, "provenance itself did change");
+
+    // The rendered report mentions the provenance markers.
+    let text = warm.to_string();
+    assert!(text.contains("[hit]"), "{text}");
+}
+
+/// Deterministic what-ifs (every Post reference updated) explain without
+/// an estimator section.
+#[test]
+fn explain_reports_deterministic_fast_path() {
+    let (db, _, graph) = confounded_db(300, 2);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let report = session
+        .explain("Use d Update(b) = 1 Output Count(Post(b) = 1)")
+        .unwrap();
+    assert!(report.deterministic);
+    assert!(report.estimator.is_none());
+    assert!(report.adjustment.is_empty());
+}
+
+/// A how-to explain surfaces the optimizer plan without enumerating or
+/// evaluating any candidate.
+#[test]
+fn explain_describes_howto_plans() {
+    let (db, _, graph) = credit_db(400, 6);
+    let session = HyperSession::builder(db).graph(graph).build();
+    let report = session
+        .explain("Use d HowToUpdate status, income ToMaximize Count(Post(credit) = 'Good')")
+        .unwrap();
+    let plan = report.howto.expect("how-to plan");
+    assert_eq!(plan.update_attrs, vec!["status", "income"]);
+    assert_eq!(session.stats().estimator_misses, 0, "nothing was evaluated");
+}
+
+/// A `CacheBudget` caps the estimator store with LRU eviction; evicted
+/// estimators retrain on their next use.
+#[test]
+fn cache_budget_evicts_least_recently_used_estimators() {
+    let (db, _, graph) = credit_db(500, 4);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .cache_budget(CacheBudget::estimators(2))
+        .build();
+    let q = |attr: &str, v: i64| {
+        format!("Use d Update({attr}) = {v} Output Count(Post(credit) = 'Good')")
+    };
+
+    session.whatif_text(&q("status", 1)).unwrap();
+    session.whatif_text(&q("income", 1)).unwrap();
+    // Touch the first estimator so `income` becomes least-recent…
+    session.whatif_text(&q("status", 1)).unwrap();
+    // …then overflow the budget: `income` is evicted.
+    session.whatif_text(&q("status", 0)).unwrap();
+
+    let stats = session.stats();
+    assert_eq!(stats.estimator_misses, 3);
+    assert_eq!(stats.estimator_evictions, 1);
+    assert_eq!(stats.estimators_cached, 2);
+
+    // The survivor still hits; the evicted query retrains.
+    session.whatif_text(&q("status", 1)).unwrap();
+    assert_eq!(session.stats().estimator_misses, 3);
+    session.whatif_text(&q("income", 1)).unwrap();
+    let done = session.stats();
+    assert_eq!(done.estimator_misses, 4, "evicted estimator retrained");
+    assert_eq!(done.estimators_cached, 2);
+
+    // Eviction must never change answers: a fresh unbounded session agrees.
+    let (db2, _, graph2) = credit_db(500, 4);
+    let unbounded = HyperSession::builder(db2).graph(graph2).build();
+    assert_eq!(
+        unbounded.whatif_text(&q("income", 1)).unwrap().value,
+        session.whatif_text(&q("income", 1)).unwrap().value
     );
 }
 

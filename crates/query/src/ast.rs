@@ -141,6 +141,11 @@ pub enum HExpr {
         /// Negated?
         negated: bool,
     },
+    /// `Param(name)` — a named literal placeholder, supplied at execution
+    /// time through a [`crate::Bindings`] map. A query containing
+    /// parameters can be prepared (parsed, validated, view-resolved) once
+    /// and executed many times with different literals.
+    Param(String),
 }
 
 impl HExpr {
@@ -171,6 +176,11 @@ impl HExpr {
     /// Literal helper.
     pub fn lit(v: impl Into<Value>) -> HExpr {
         HExpr::Lit(v.into())
+    }
+
+    /// `Param(name)` placeholder helper.
+    pub fn param(name: impl Into<String>) -> HExpr {
+        HExpr::Param(name.into())
     }
 
     /// Binary builder.
@@ -214,7 +224,21 @@ impl HExpr {
         found
     }
 
-    fn walk(&self, f: &mut impl FnMut(&HExpr)) {
+    /// Parameter names mentioned in the expression, in first-occurrence
+    /// order, deduplicated.
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let HExpr::Param(name) = e {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    pub(crate) fn walk(&self, f: &mut impl FnMut(&HExpr)) {
         f(self);
         match self {
             HExpr::Not(e) => e.walk(f),
@@ -223,7 +247,7 @@ impl HExpr {
                 right.walk(f);
             }
             HExpr::InList { expr, .. } => expr.walk(f),
-            HExpr::Attr { .. } | HExpr::Lit(_) => {}
+            HExpr::Attr { .. } | HExpr::Lit(_) | HExpr::Param(_) => {}
         }
     }
 }
@@ -254,6 +278,7 @@ impl fmt::Display for HExpr {
                 let kw = if *negated { "Not In" } else { "In" };
                 write!(f, "({expr} {kw} ({}))", vals.join(", "))
             }
+            HExpr::Param(name) => write!(f, "Param({name})"),
         }
     }
 }
@@ -327,6 +352,18 @@ pub enum UseClause {
     Select(SelectStmt),
 }
 
+/// Which concrete update form a [`UpdateFunc::Param`] placeholder resolves
+/// to once its constant is supplied by a [`crate::Bindings`] map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamMode {
+    /// `Update(B) = Param(name)` → [`UpdateFunc::Set`].
+    Set,
+    /// `Update(B) = Param(name) * Pre(B)` → [`UpdateFunc::Scale`].
+    Scale,
+    /// `Update(B) = Param(name) + Pre(B)` → [`UpdateFunc::Shift`].
+    Shift,
+}
+
 /// Update function (Definition 2's `f`; §3.1 restricts to these forms).
 #[derive(Debug, Clone, PartialEq)]
 pub enum UpdateFunc {
@@ -336,6 +373,24 @@ pub enum UpdateFunc {
     Scale(f64),
     /// `Update(B) = const + Pre(B)`.
     Shift(f64),
+    /// A named placeholder for the update constant, bound at execution
+    /// time; `mode` decides which of the three concrete forms it becomes.
+    Param {
+        /// Binding name.
+        name: String,
+        /// Concrete form after binding.
+        mode: ParamMode,
+    },
+}
+
+impl UpdateFunc {
+    /// The parameter name, if this is a placeholder.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            UpdateFunc::Param { name, .. } => Some(name),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for UpdateFunc {
@@ -345,6 +400,18 @@ impl fmt::Display for UpdateFunc {
             UpdateFunc::Set(v) => write!(f, "{v}"),
             UpdateFunc::Scale(c) => write!(f, "{c} * Pre(·)"),
             UpdateFunc::Shift(c) => write!(f, "{c} + Pre(·)"),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Set,
+            } => write!(f, "Param({name})"),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Scale,
+            } => write!(f, "Param({name}) * Pre(·)"),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Shift,
+            } => write!(f, "Param({name}) + Pre(·)"),
         }
     }
 }
@@ -477,6 +544,73 @@ impl HypotheticalQuery {
             HypotheticalQuery::WhatIf(q) => &q.use_clause,
             HypotheticalQuery::HowTo(q) => &q.use_clause,
         }
+    }
+
+    /// Parameter names of either variant (first occurrence order).
+    pub fn param_names(&self) -> Vec<String> {
+        match self {
+            HypotheticalQuery::WhatIf(q) => q.param_names(),
+            HypotheticalQuery::HowTo(q) => q.param_names(),
+        }
+    }
+}
+
+impl From<WhatIfQuery> for HypotheticalQuery {
+    fn from(q: WhatIfQuery) -> Self {
+        HypotheticalQuery::WhatIf(q)
+    }
+}
+
+impl From<HowToQuery> for HypotheticalQuery {
+    fn from(q: HowToQuery) -> Self {
+        HypotheticalQuery::HowTo(q)
+    }
+}
+
+fn push_unique(out: &mut Vec<String>, names: Vec<String>) {
+    for n in names {
+        if !out.contains(&n) {
+            out.push(n);
+        }
+    }
+}
+
+impl WhatIfQuery {
+    /// Parameter names mentioned anywhere in the query, in first-occurrence
+    /// order (`When`, then `Update`, then `Output`, then `For`).
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(w) = &self.when {
+            push_unique(&mut out, w.param_names());
+        }
+        for u in &self.updates {
+            if let Some(n) = u.func.param_name() {
+                push_unique(&mut out, vec![n.to_string()]);
+            }
+        }
+        if let OutputArg::Expr(e) = &self.output.arg {
+            push_unique(&mut out, e.param_names());
+        }
+        if let Some(fc) = &self.for_clause {
+            push_unique(&mut out, fc.param_names());
+        }
+        out
+    }
+}
+
+impl HowToQuery {
+    /// Parameter names mentioned in the `When` and `For` predicates
+    /// (`HowToUpdate`/`Limit`/objective carry no expressions that admit
+    /// placeholders).
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(w) = &self.when {
+            push_unique(&mut out, w.param_names());
+        }
+        if let Some(fc) = &self.for_clause {
+            push_unique(&mut out, fc.param_names());
+        }
+        out
     }
 }
 

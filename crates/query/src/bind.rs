@@ -1,0 +1,273 @@
+//! Parameter bindings: named literal placeholders (`Param(name)`) and
+//! their resolution into concrete queries.
+//!
+//! A query built (or parsed) with placeholders is a *template*: it can be
+//! prepared once — parsed, validated, view-resolved — and then resolved
+//! against many [`Bindings`] maps, one per execution. Resolution is pure
+//! substitution over the AST; the result contains no [`HExpr::Param`] /
+//! [`UpdateFunc::Param`] nodes and evaluates exactly like a query written
+//! with the literals inline.
+//!
+//! ```
+//! use hyper_query::{Bindings, WhatIf};
+//!
+//! let template = WhatIf::over("product")
+//!     .scale_param("price", "mult")
+//!     .output_avg_post("rating")
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(template.param_names(), vec!["mult"]);
+//!
+//! let concrete = template.bind(&Bindings::new().set("mult", 1.1)).unwrap();
+//! assert!(concrete.param_names().is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hyper_storage::Value;
+
+use crate::ast::{
+    HExpr, HowToQuery, HypotheticalQuery, OutputArg, ParamMode, UpdateFunc, UpdateSpec, WhatIfQuery,
+};
+use crate::error::{QueryError, Result};
+
+/// A name → literal map supplying the values of `Param(name)` placeholders
+/// for one execution. Ordered (BTreeMap) so that iteration — and anything
+/// derived from it, like cache keys of resolved queries — is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bindings {
+    map: BTreeMap<String, Value>,
+}
+
+impl Bindings {
+    /// An empty binding set.
+    pub fn new() -> Bindings {
+        Bindings::default()
+    }
+
+    /// Chainable insert: `Bindings::new().set("mult", 1.1).set("lo", 500)`.
+    pub fn set(mut self, name: impl Into<String>, value: impl Into<Value>) -> Bindings {
+        self.map.insert(name.into(), value.into());
+        self
+    }
+
+    /// In-place insert.
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.map.insert(name.into(), value.into());
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no bindings are present.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.map.iter()
+    }
+
+    fn require(&self, name: &str) -> Result<&Value> {
+        self.map
+            .get(name)
+            .ok_or_else(|| QueryError::Binding(format!("parameter `{name}` has no bound value")))
+    }
+
+    fn require_f64(&self, name: &str) -> Result<f64> {
+        let v = self.require(name)?;
+        v.as_f64().ok_or_else(|| {
+            QueryError::Binding(format!(
+                "parameter `{name}` must be numeric for a scale/shift update, got {v}"
+            ))
+        })
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Bindings {
+    fn from_iter<I: IntoIterator<Item = (N, V)>>(iter: I) -> Bindings {
+        Bindings {
+            map: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.map.iter().map(|(n, v)| format!("{n} = {v}")).collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+impl HExpr {
+    /// Substitute every `Param(name)` with its bound literal. Errors on an
+    /// unbound name; bindings not mentioned by the expression are ignored.
+    pub fn bind(&self, bindings: &Bindings) -> Result<HExpr> {
+        Ok(match self {
+            HExpr::Param(name) => HExpr::Lit(bindings.require(name)?.clone()),
+            HExpr::Attr { .. } | HExpr::Lit(_) => self.clone(),
+            HExpr::Not(e) => HExpr::Not(Box::new(e.bind(bindings)?)),
+            HExpr::Binary { op, left, right } => HExpr::Binary {
+                op: *op,
+                left: Box::new(left.bind(bindings)?),
+                right: Box::new(right.bind(bindings)?),
+            },
+            HExpr::InList {
+                expr,
+                list,
+                negated,
+            } => HExpr::InList {
+                expr: Box::new(expr.bind(bindings)?),
+                list: list.clone(),
+                negated: *negated,
+            },
+        })
+    }
+}
+
+impl UpdateFunc {
+    /// Resolve a placeholder update into its concrete form. Scale/shift
+    /// parameters must bind to numeric values.
+    pub fn bind(&self, bindings: &Bindings) -> Result<UpdateFunc> {
+        Ok(match self {
+            UpdateFunc::Param { name, mode } => match mode {
+                ParamMode::Set => UpdateFunc::Set(bindings.require(name)?.clone()),
+                ParamMode::Scale => UpdateFunc::Scale(bindings.require_f64(name)?),
+                ParamMode::Shift => UpdateFunc::Shift(bindings.require_f64(name)?),
+            },
+            concrete => concrete.clone(),
+        })
+    }
+}
+
+fn bind_opt(e: &Option<HExpr>, bindings: &Bindings) -> Result<Option<HExpr>> {
+    e.as_ref().map(|e| e.bind(bindings)).transpose()
+}
+
+impl WhatIfQuery {
+    /// Resolve every placeholder against `bindings`, yielding a concrete
+    /// query (no `Param` nodes remain). Errors on any unbound parameter.
+    pub fn bind(&self, bindings: &Bindings) -> Result<WhatIfQuery> {
+        Ok(WhatIfQuery {
+            use_clause: self.use_clause.clone(),
+            when: bind_opt(&self.when, bindings)?,
+            updates: self
+                .updates
+                .iter()
+                .map(|u| {
+                    Ok(UpdateSpec {
+                        attr: u.attr.clone(),
+                        func: u.func.bind(bindings)?,
+                    })
+                })
+                .collect::<Result<Vec<_>>>()?,
+            output: crate::ast::OutputSpec {
+                agg: self.output.agg,
+                arg: match &self.output.arg {
+                    OutputArg::Star => OutputArg::Star,
+                    OutputArg::Expr(e) => OutputArg::Expr(e.bind(bindings)?),
+                },
+            },
+            for_clause: bind_opt(&self.for_clause, bindings)?,
+        })
+    }
+}
+
+impl HowToQuery {
+    /// Resolve every placeholder against `bindings` (see
+    /// [`WhatIfQuery::bind`]).
+    pub fn bind(&self, bindings: &Bindings) -> Result<HowToQuery> {
+        Ok(HowToQuery {
+            use_clause: self.use_clause.clone(),
+            when: bind_opt(&self.when, bindings)?,
+            update_attrs: self.update_attrs.clone(),
+            limits: self.limits.clone(),
+            objective: self.objective.clone(),
+            for_clause: bind_opt(&self.for_clause, bindings)?,
+        })
+    }
+}
+
+impl HypotheticalQuery {
+    /// Resolve every placeholder against `bindings`.
+    pub fn bind(&self, bindings: &Bindings) -> Result<HypotheticalQuery> {
+        Ok(match self {
+            HypotheticalQuery::WhatIf(q) => HypotheticalQuery::WhatIf(q.bind(bindings)?),
+            HypotheticalQuery::HowTo(q) => HypotheticalQuery::HowTo(q.bind(bindings)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::HOp;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn expr_param_substitution() {
+        let e = HExpr::binary(HOp::Gt, HExpr::post("rating"), HExpr::param("floor"));
+        let bound = e.bind(&Bindings::new().set("floor", 3.5)).unwrap();
+        assert_eq!(
+            bound,
+            HExpr::binary(HOp::Gt, HExpr::post("rating"), HExpr::lit(3.5))
+        );
+        assert!(e.bind(&Bindings::new()).is_err(), "unbound param errors");
+    }
+
+    #[test]
+    fn update_param_modes() {
+        let b = Bindings::new().set("c", 2).set("color", "Red");
+        let scale = UpdateFunc::Param {
+            name: "c".into(),
+            mode: ParamMode::Scale,
+        };
+        assert_eq!(scale.bind(&b).unwrap(), UpdateFunc::Scale(2.0));
+        let set = UpdateFunc::Param {
+            name: "color".into(),
+            mode: ParamMode::Set,
+        };
+        assert_eq!(set.bind(&b).unwrap(), UpdateFunc::Set(Value::str("Red")));
+        let bad = UpdateFunc::Param {
+            name: "color".into(),
+            mode: ParamMode::Shift,
+        };
+        assert!(bad.bind(&b).is_err(), "non-numeric shift constant");
+    }
+
+    #[test]
+    fn parsed_param_query_binds_to_parsed_literal_query() {
+        let template = parse_query(
+            "Use d Update(b) = Param(mult) * Pre(b) \
+             Output Count(Post(y) = Param(target))",
+        )
+        .unwrap();
+        assert_eq!(template.param_names(), vec!["mult", "target"]);
+        let bound = template
+            .bind(&Bindings::new().set("mult", 1.5).set("target", 1))
+            .unwrap();
+        let literal =
+            parse_query("Use d Update(b) = 1.5 * Pre(b) Output Count(Post(y) = 1)").unwrap();
+        assert_eq!(bound, literal);
+        assert!(bound.param_names().is_empty());
+    }
+
+    #[test]
+    fn extra_bindings_are_ignored() {
+        let e = HExpr::param("x");
+        let b = Bindings::new().set("x", 1).set("unused", 2);
+        assert_eq!(e.bind(&b).unwrap(), HExpr::lit(1));
+    }
+}

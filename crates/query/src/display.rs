@@ -100,6 +100,18 @@ impl fmt::Display for UpdateSpec {
             UpdateFunc::Set(v) => write!(f, "Update({}) = {}", self.attr, fmt_value(v)),
             UpdateFunc::Scale(c) => write!(f, "Update({a}) = {c} * Pre({a})", a = self.attr),
             UpdateFunc::Shift(c) => write!(f, "Update({a}) = {c} + Pre({a})", a = self.attr),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Set,
+            } => write!(f, "Update({}) = Param({name})", self.attr),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Scale,
+            } => write!(f, "Update({a}) = Param({name}) * Pre({a})", a = self.attr),
+            UpdateFunc::Param {
+                name,
+                mode: ParamMode::Shift,
+            } => write!(f, "Update({a}) = Param({name}) + Pre({a})", a = self.attr),
         }
     }
 }
@@ -245,5 +257,16 @@ mod tests {
     #[test]
     fn string_escaping_round_trips() {
         round_trip("Use D Update(B) = 'it''s' Output Count(Post(Y) = 'a''b')");
+    }
+
+    #[test]
+    fn param_round_trips() {
+        round_trip("Use D Update(B) = Param(v) Output Count(*)");
+        round_trip("Use D Update(B) = Param(mult) * Pre(B) Output Avg(Post(Y))");
+        round_trip("Use D Update(B) = Param(d) + Pre(B) Output Avg(Post(Y))");
+        round_trip(
+            "Use D When A = Param(sel) Update(B) = 1 \
+             Output Count(Post(Y) > Param(floor)) For Pre(C) = Param(scope)",
+        );
     }
 }

@@ -21,6 +21,9 @@ pub enum QueryError {
     },
     /// Semantic validation error.
     Validation(String),
+    /// Parameter-binding error (unbound placeholder, non-numeric constant
+    /// for a scale/shift parameter, …).
+    Binding(String),
 }
 
 impl fmt::Display for QueryError {
@@ -31,6 +34,7 @@ impl fmt::Display for QueryError {
                 write!(f, "parse error at token {pos}: {message}")
             }
             QueryError::Validation(m) => write!(f, "validation error: {m}"),
+            QueryError::Binding(m) => write!(f, "binding error: {m}"),
         }
     }
 }

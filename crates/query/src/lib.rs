@@ -17,12 +17,34 @@
 //! ).unwrap();
 //! assert!(matches!(q, HypotheticalQuery::WhatIf(_)));
 //! ```
+//!
+//! The same queries can be composed **without text** through the typed
+//! builders [`WhatIf`] and [`HowTo`], which produce the identical AST the
+//! parser yields (property-tested: `parse(display(built)) == built`), and
+//! may carry named [`Bindings`] placeholders (`Param(name)`) resolved per
+//! execution:
+//!
+//! ```
+//! use hyper_query::{Bindings, HExpr, WhatIf};
+//!
+//! let template = WhatIf::over("Product")
+//!     .when(HExpr::attr("Brand").eq("Asus"))
+//!     .scale_param("Price", "mult")
+//!     .output_avg_post("Rating")
+//!     .build()
+//!     .unwrap();
+//! let concrete = template.bind(&Bindings::new().set("mult", 1.1)).unwrap();
+//! assert!(concrete.param_names().is_empty());
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod bind;
+pub mod builder;
 pub mod display;
 pub mod error;
+pub mod key;
 pub mod lexer;
 pub mod parser;
 pub mod token;
@@ -30,9 +52,12 @@ pub mod validate;
 
 pub use ast::{
     HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection, ObjectiveSpec,
-    OutputArg, OutputSpec, QualifiedName, SelectItem, SelectStmt, TableRef, Temporal, UpdateFunc,
-    UpdateSpec, UseClause, UseCondition, WhatIfQuery,
+    OutputArg, OutputSpec, ParamMode, QualifiedName, SelectItem, SelectStmt, TableRef, Temporal,
+    UpdateFunc, UpdateSpec, UseClause, UseCondition, WhatIfQuery,
 };
+pub use bind::Bindings;
+pub use builder::{HowTo, WhatIf};
 pub use error::{QueryError, Result};
+pub use key::QueryKey;
 pub use parser::{parse_query, parse_select};
 pub use validate::{validate, validate_howto, validate_whatif};

@@ -359,18 +359,67 @@ impl Parser {
         Ok(UpdateSpec { attr, func })
     }
 
-    /// `const`, `const * Pre(B)`, `const + Pre(B)`, or the reversed
-    /// `Pre(B) * const` / `Pre(B) + const` forms.
+    /// `const`, `const * Pre(B)`, `const + Pre(B)`, the reversed
+    /// `Pre(B) * const` / `Pre(B) + const` forms, or any of these with
+    /// `Param(name)` in place of the constant.
     fn parse_update_func(&mut self, attr: &str) -> Result<UpdateFunc> {
         if self.peek() == Some(&Token::Keyword(Keyword::Pre)) {
             let name = self.parse_pre_ref()?;
             self.check_update_pre(attr, &name)?;
             return match self.advance() {
-                Some(Token::Star) => Ok(UpdateFunc::Scale(self.expect_number()?)),
-                Some(Token::Plus) => Ok(UpdateFunc::Shift(self.expect_number()?)),
+                Some(Token::Star) => {
+                    if self.peek_is_param_ref() {
+                        Ok(UpdateFunc::Param {
+                            name: self.parse_param_ref()?,
+                            mode: ParamMode::Scale,
+                        })
+                    } else {
+                        Ok(UpdateFunc::Scale(self.expect_number()?))
+                    }
+                }
+                Some(Token::Plus) => {
+                    if self.peek_is_param_ref() {
+                        Ok(UpdateFunc::Param {
+                            name: self.parse_param_ref()?,
+                            mode: ParamMode::Shift,
+                        })
+                    } else {
+                        Ok(UpdateFunc::Shift(self.expect_number()?))
+                    }
+                }
                 Some(Token::Minus) => Ok(UpdateFunc::Shift(-self.expect_number()?)),
                 _ => self.err("expected `*`, `+` or `-` after Pre(attr) in Update"),
             };
+        }
+        // `Param(name)` optionally followed by `* Pre(attr)` / `+ Pre(attr)`.
+        if self.peek_is_param_ref() {
+            let name = self.parse_param_ref()?;
+            match self.peek() {
+                Some(Token::Star) => {
+                    self.advance();
+                    let pre = self.parse_pre_ref()?;
+                    self.check_update_pre(attr, &pre)?;
+                    return Ok(UpdateFunc::Param {
+                        name,
+                        mode: ParamMode::Scale,
+                    });
+                }
+                Some(Token::Plus) => {
+                    self.advance();
+                    let pre = self.parse_pre_ref()?;
+                    self.check_update_pre(attr, &pre)?;
+                    return Ok(UpdateFunc::Param {
+                        name,
+                        mode: ParamMode::Shift,
+                    });
+                }
+                _ => {
+                    return Ok(UpdateFunc::Param {
+                        name,
+                        mode: ParamMode::Set,
+                    })
+                }
+            }
         }
         // Try: number followed by * or + Pre(attr).
         let save = self.pos;
@@ -397,6 +446,34 @@ impl Parser {
 
     fn parse_pre_ref(&mut self) -> Result<String> {
         self.expect_keyword(Keyword::Pre)?;
+        self.expect(&Token::LParen)?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::RParen)?;
+        Ok(name)
+    }
+
+    /// `Param` is deliberately NOT a reserved word — `param` remains a
+    /// valid table/column identifier. A placeholder is recognized
+    /// contextually: the identifier `param` (any case) immediately
+    /// followed by `(` — a position no attribute reference can occupy
+    /// (the grammar has no function calls over attributes).
+    fn peek_is_param_ref(&self) -> bool {
+        matches!(
+            (self.peek(), self.peek_at(1)),
+            (Some(Token::Ident(s)), Some(Token::LParen)) if s.eq_ignore_ascii_case("param")
+        )
+    }
+
+    fn parse_param_ref(&mut self) -> Result<String> {
+        match self.advance() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("param") => {}
+            other => {
+                return self.err(format!(
+                    "expected Param(...), found `{}`",
+                    other.map_or("eof".to_string(), |t| t.to_string())
+                ))
+            }
+        }
         self.expect(&Token::LParen)?;
         let name = self.expect_ident()?;
         self.expect(&Token::RParen)?;
@@ -745,6 +822,9 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(HExpr::post(name))
             }
+            Some(Token::Ident(_)) if self.peek_is_param_ref() => {
+                Ok(HExpr::Param(self.parse_param_ref()?))
+            }
             Some(Token::Ident(_)) => {
                 let name = self.expect_ident()?;
                 Ok(HExpr::attr(name))
@@ -997,6 +1077,39 @@ mod tests {
             panic!()
         };
         assert!(matches!(*left, HExpr::Binary { op: HOp::Sub, .. }));
+    }
+
+    #[test]
+    fn param_placeholders_parse_without_reserving_the_word() {
+        // Placeholder positions.
+        let HypotheticalQuery::WhatIf(q) =
+            parse_query("Use T Update(X) = Param(mult) * Pre(X) Output Avg(Post(Y))").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            q.updates[0].func,
+            UpdateFunc::Param {
+                name: "mult".into(),
+                mode: ParamMode::Scale
+            }
+        );
+        let HypotheticalQuery::WhatIf(q) =
+            parse_query("Use T Update(X) = 1 Output Count(*) For A = param(scope)").unwrap()
+        else {
+            panic!()
+        };
+        assert!(q.for_clause.unwrap().param_names() == vec!["scope"]);
+
+        // `param` is NOT reserved: tables, columns, and predicates may
+        // still use it as a plain identifier.
+        let HypotheticalQuery::WhatIf(q) =
+            parse_query("Use param When param = 1 Update(param) = 2 Output Count(*)").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(q.use_clause, UseClause::Table("param".into()));
+        assert_eq!(q.updates[0].attr, "param");
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Property tests for builder ↔ parser equivalence: a query assembled with
+//! the typed builders renders to text that re-parses to the *same* AST
+//! (`parse ∘ display ∘ build = build`), and builder-made and parser-made
+//! queries produce identical structural [`QueryKey`]s — the invariant that
+//! lets them share session cache entries.
+
+use hyper_query::{
+    parse_query, Bindings, HExpr, HOp, HowTo, HypotheticalQuery, QueryKey, UpdateFunc, WhatIf,
+    WhatIfQuery,
+};
+use hyper_storage::{AggFunc, Value};
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // Identifiers that cannot collide with keywords.
+    "[a-z][a-z0-9_]{0,6}x".prop_map(|s| s)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Value::Int),
+        // Strictly non-integral floats: integral ones would re-parse as
+        // Int (SQL-ish literal typing), which is correct but not identical.
+        (-100i32..100).prop_map(|i| Value::Float(i as f64 + 0.5)),
+        "[a-zA-Z '0-9]{0,8}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn arb_cmp() -> impl Strategy<Value = HOp> {
+    prop_oneof![
+        Just(HOp::Eq),
+        Just(HOp::Ne),
+        Just(HOp::Lt),
+        Just(HOp::Le),
+        Just(HOp::Gt),
+        Just(HOp::Ge),
+    ]
+}
+
+/// Predicates assembled through the expression helpers the builders use,
+/// including `Param(…)` leaves.
+fn arb_pred() -> impl Strategy<Value = HExpr> {
+    let leaf = prop_oneof![
+        (arb_ident(), arb_cmp(), arb_value()).prop_map(|(a, op, v)| HExpr::binary(
+            op,
+            HExpr::attr(a),
+            HExpr::Lit(v)
+        )),
+        (arb_ident(), arb_cmp(), arb_value()).prop_map(|(a, op, v)| HExpr::binary(
+            op,
+            HExpr::post(a),
+            HExpr::Lit(v)
+        )),
+        (arb_ident(), arb_cmp(), arb_ident()).prop_map(|(a, op, p)| HExpr::binary(
+            op,
+            HExpr::pre(a),
+            HExpr::param(p)
+        )),
+        (arb_ident(), prop::collection::vec(arb_value(), 1..4),)
+            .prop_map(|(a, list)| HExpr::pre(a).in_list(list)),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+fn arb_update_func() -> impl Strategy<Value = UpdateFunc> {
+    prop_oneof![
+        arb_value().prop_map(UpdateFunc::Set),
+        (1i32..40).prop_map(|c| UpdateFunc::Scale(c as f64 / 8.0)),
+        (-50i32..50).prop_map(|c| UpdateFunc::Shift(c as f64)),
+        arb_ident().prop_map(|name| UpdateFunc::Param {
+            name,
+            mode: hyper_query::ParamMode::Set,
+        }),
+        arb_ident().prop_map(|name| UpdateFunc::Param {
+            name,
+            mode: hyper_query::ParamMode::Scale,
+        }),
+        arb_ident().prop_map(|name| UpdateFunc::Param {
+            name,
+            mode: hyper_query::ParamMode::Shift,
+        }),
+    ]
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop_oneof![Just(AggFunc::Count), Just(AggFunc::Sum), Just(AggFunc::Avg)]
+}
+
+/// A what-if query composed entirely through the [`WhatIf`] builder.
+fn arb_built_whatif() -> impl Strategy<Value = WhatIfQuery> {
+    (
+        arb_ident(),
+        prop::option::of(arb_pred()),
+        prop::collection::vec((arb_ident(), arb_update_func()), 1..3),
+        arb_agg(),
+        prop::option::of(arb_pred()),
+        prop::option::of(arb_ident()),
+    )
+        .prop_map(|(table, when, mut updates, agg, for_clause, out_attr)| {
+            // Distinct update attributes (the validator rejects duplicates).
+            updates.sort_by(|a, b| a.0.cmp(&b.0));
+            updates.dedup_by(|a, b| a.0 == b.0);
+            let mut b = WhatIf::over(table);
+            // `When` may only reference Pre values: strip Post-mentioning
+            // predicates the way a caller would.
+            if let Some(w) = when.filter(|w| !w.mentions_post()) {
+                b = b.when(w);
+            }
+            for (attr, func) in updates {
+                b = b.update(attr, func);
+            }
+            b = match (agg, out_attr) {
+                (AggFunc::Count, None) => b.output_count_star(),
+                (AggFunc::Count, Some(attr)) => b.output_count(HExpr::post(attr).gt(0)),
+                (AggFunc::Avg, attr) => b.output_avg_post(attr.unwrap_or_else(|| "yx".into())),
+                (AggFunc::Sum, attr) => {
+                    b.output_sum(HExpr::post(attr.unwrap_or_else(|| "yx".into())))
+                }
+                _ => b.output_count_star(),
+            };
+            if let Some(fc) = for_clause {
+                b = b.filter(fc);
+            }
+            b.build().expect("builder assembled a valid query")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse(display(built)) == built`.
+    #[test]
+    fn built_whatif_survives_render_parse(q in arb_built_whatif()) {
+        let text = HypotheticalQuery::WhatIf(q.clone()).to_string();
+        let parsed = parse_query(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{text}`: {e}")))?;
+        prop_assert_eq!(HypotheticalQuery::WhatIf(q), parsed, "{}", text);
+    }
+
+    /// A built query and its parsed rendering key identically (so they
+    /// share cache entries in a session).
+    #[test]
+    fn built_and_parsed_share_query_keys(q in arb_built_whatif()) {
+        let built = HypotheticalQuery::WhatIf(q);
+        let parsed = parse_query(&built.to_string()).unwrap();
+        prop_assert_eq!(QueryKey::of_query(&built), QueryKey::of_query(&parsed));
+        prop_assert_eq!(
+            QueryKey::of_use(built.use_clause()),
+            QueryKey::of_use(parsed.use_clause()),
+            "view cache keys must agree"
+        );
+    }
+
+    /// Binding a template is pure substitution: rendering the bound query
+    /// and binding the re-parsed template commute.
+    #[test]
+    fn bind_commutes_with_render_parse(q in arb_built_whatif()) {
+        let mut bindings = Bindings::new();
+        for (i, name) in q.param_names().into_iter().enumerate() {
+            bindings.insert(name, Value::Int(i as i64 + 1));
+        }
+        let bound = match q.bind(&bindings) {
+            Ok(b) => b,
+            Err(e) => return Err(TestCaseError::fail(format!("bind failed: {e}"))),
+        };
+        prop_assert!(bound.param_names().is_empty());
+        let reparsed = parse_query(&HypotheticalQuery::WhatIf(q).to_string()).unwrap();
+        let rebound = reparsed.bind(&bindings).unwrap();
+        prop_assert_eq!(HypotheticalQuery::WhatIf(bound), rebound);
+    }
+
+    /// The same holds for how-to queries built with [`HowTo`].
+    #[test]
+    fn built_howto_survives_render_parse(
+        (table, obj_attr, attrs) in (arb_ident(), arb_ident(), prop::collection::vec(arb_ident(), 1..3)),
+        maximize in any::<bool>(),
+        range in prop::option::of((0i32..100, 100i32..500)),
+    ) {
+        let mut attrs = attrs;
+        attrs.sort();
+        attrs.dedup();
+        attrs.retain(|a| *a != obj_attr);
+        if attrs.is_empty() {
+            return Ok(()); // nothing updatable left after dedup
+        }
+        let mut b = if maximize {
+            HowTo::maximize(AggFunc::Avg, obj_attr)
+        } else {
+            HowTo::minimize(AggFunc::Avg, obj_attr)
+        }
+        .over(table);
+        for a in &attrs {
+            b = b.update(a.clone());
+        }
+        if let Some((lo, hi)) = range {
+            b = b.limit_range(attrs[0].clone(), Some(lo as f64), Some(hi as f64));
+        }
+        let q = b.build().expect("valid how-to");
+        let text = HypotheticalQuery::HowTo(q.clone()).to_string();
+        let parsed = parse_query(&text)
+            .map_err(|e| TestCaseError::fail(format!("re-parse of `{text}`: {e}")))?;
+        prop_assert_eq!(
+            QueryKey::of_howto(&q),
+            QueryKey::of_query(&parsed),
+            "{}", text
+        );
+        prop_assert_eq!(HypotheticalQuery::HowTo(q), parsed, "{}", text);
+    }
+}

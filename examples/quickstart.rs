@@ -3,8 +3,8 @@
 //!
 //! Builds the Figure-1 Amazon toy database, attaches the Figure-2 causal
 //! graph, opens a `HyperSession`, and evaluates the Figure-4 what-if
-//! query (as a prepared query, executed repeatedly with different update
-//! factors via a parallel batch) and the Figure-5 how-to query.
+//! query (as one prepared `Param(mult)` template, rebound per update
+//! factor) and the Figure-5 how-to query.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -63,18 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cached.elapsed, r.elapsed
     );
 
-    // A price-sensitivity sweep as a parallel batch: every variant shares
-    // the session's relevant view.
-    let factors = ["0.8", "0.9", "1.0", "1.2"];
-    let sweep: Vec<String> = factors
-        .iter()
-        .map(|f| whatif.replace("1.1 * Pre(price)", &format!("{f} * Pre(price)")))
-        .collect();
-    println!("\nPrice sweep (parallel batch):");
-    for (factor, outcome) in factors.iter().zip(session.execute_batch(&sweep)) {
-        if let QueryOutcome::WhatIf(r) = outcome? {
-            println!("  price x {factor}: expected avg rating = {:.3}", r.value);
-        }
+    // A price-sensitivity sweep over ONE parameterized template: the
+    // multiplier is a `Param(…)` placeholder bound per execution, so the
+    // query is validated and view-resolved exactly once — no string
+    // surgery, no re-parsing.
+    let sweep = session.prepare(whatif.replace("1.1 * Pre(price)", "Param(mult) * Pre(price)"))?;
+    println!("\nPrice sweep (one prepared template, rebound per factor):");
+    for factor in [0.8, 0.9, 1.0, 1.2] {
+        let r = sweep.execute_whatif_with(&Bindings::new().set("mult", factor))?;
+        println!("  price x {factor}: expected avg rating = {:.3}", r.value);
     }
 
     // ------------------------------------------------------------------

@@ -20,8 +20,11 @@
 //! The entry point is a [`HyperSession`](core::HyperSession): an owned,
 //! thread-safe handle over a database and its causal graph that caches the
 //! expensive intermediates (relevant views, block decompositions, fitted
-//! estimators) across queries. Prepare a query once, execute it as often
-//! as you like, and fan batches out across threads:
+//! estimators) across queries. Queries are composed either as text or with
+//! the typed builders ([`WhatIf`](query::WhatIf) / [`HowTo`](query::HowTo)
+//! — both yield the same validated IR and share cache entries), may carry
+//! `Param(name)` placeholders bound per execution, and can be `explain`ed
+//! before (or after) running:
 //!
 //! ```
 //! use hyper_repro::prelude::*;
@@ -30,27 +33,42 @@
 //! let data = hyper_repro::datasets::amazon::amazon_figure1();
 //! let session = HyperSession::builder(data.db).graph(data.graph).build();
 //!
-//! // The Figure 4 what-if query, prepared once.
-//! let prepared = session.prepare(
-//!     "Use (Select T1.pid, T1.category, T1.price, T1.brand,
-//!              Avg(sentiment) As senti, Avg(T2.rating) As rtng
-//!           From product As T1, review As T2
-//!           Where T1.pid = T2.pid
-//!           Group By T1.pid, T1.category, T1.price, T1.brand)
-//!      When brand = 'Asus'
-//!      Update(price) = 1.1 * Pre(price)
-//!      Output Avg(Post(rtng))
-//!      For Pre(category) = 'Laptop'",
+//! // The Figure 4 scenario as a typed, parameterized template: the
+//! // relevant view is an embedded select, the price multiplier is a
+//! // named placeholder. No query text is ever parsed.
+//! let view = hyper_repro::query::parse_select(
+//!     "Select T1.pid, T1.category, T1.price, T1.brand,
+//!             Avg(sentiment) As senti, Avg(T2.rating) As rtng
+//!      From product As T1, review As T2
+//!      Where T1.pid = T2.pid
+//!      Group By T1.pid, T1.category, T1.price, T1.brand",
 //! ).unwrap();
+//! let template = WhatIf::over_select(view)
+//!     .when(HExpr::attr("brand").eq("Asus"))
+//!     .scale_param("price", "mult")
+//!     .output_avg_post("rtng")
+//!     .filter(HExpr::pre("category").eq("Laptop"));
 //!
-//! // First execution builds the view and trains the estimator…
-//! let result = prepared.execute_whatif().unwrap();
-//! assert!(result.value >= 1.0 && result.value <= 5.0);
+//! // Prepared once: validated and view-resolved here, executed many
+//! // times with different bindings — the view build is paid once.
+//! let prepared = session.prepare(template).unwrap();
+//! for mult in [0.9, 1.0, 1.1] {
+//!     let r = prepared
+//!         .execute_whatif_with(&Bindings::new().set("mult", mult))
+//!         .unwrap();
+//!     assert!(r.value >= 1.0 && r.value <= 5.0);
+//! }
+//! assert_eq!(session.stats().view_misses, 1);
+//! assert_eq!(session.stats().texts_parsed, 0);
 //!
-//! // …repeat executions are pure cache hits.
-//! let again = prepared.execute_whatif().unwrap();
-//! assert_eq!(result.value, again.value);
-//! assert!(session.stats().estimator_hits > 0);
+//! // explain(): the structured plan — view source + size, block count,
+//! // adjustment set, estimator config — with per-artifact cache
+//! // provenance (hit / miss / would-build). Nothing is trained.
+//! let report = session
+//!     .explain("Use product Update(price) = 500 Output Count(Post(price) > 400)")
+//!     .unwrap();
+//! assert!(report.deterministic);
+//! println!("{report}");
 //!
 //! // Ad-hoc text and parallel batches share the same cache.
 //! let outcomes = session.execute_batch(&[
@@ -74,10 +92,13 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use hyper_core::HyperEngine;
     pub use hyper_core::{
-        exact_whatif, BackdoorMode, EngineConfig, HowToOptions, HowToResult, HyperSession,
-        PreparedQuery, QueryOutcome, SessionBuilder, SessionStats, WhatIfResult,
+        exact_whatif, BackdoorMode, CacheBudget, EngineConfig, ExplainReport, HowToOptions,
+        HowToResult, HyperSession, IntoQuery, PreparedQuery, Provenance, QueryOutcome,
+        SessionBuilder, SessionStats, WhatIfResult,
     };
     pub use hyper_datasets::Dataset;
-    pub use hyper_query::{parse_query, HypotheticalQuery};
-    pub use hyper_storage::{Database, Table, Value};
+    pub use hyper_query::{
+        parse_query, Bindings, HExpr, HowTo, HypotheticalQuery, QueryKey, WhatIf,
+    };
+    pub use hyper_storage::{AggFunc, Database, Table, Value};
 }
