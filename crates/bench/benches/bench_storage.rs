@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks for the typed columnar storage layer: what
+//! vectorized execution buys over the `Value`-per-cell paths on German-Syn
+//! 10k.
+//!
+//! * `filter_scan` — vectorized selection ([`hyper_storage::BoundExpr::
+//!   eval_selection`] + typed gather) vs the row-at-a-time reference
+//!   (`eval_predicate_at` per row, the seed's filter loop) vs the fully
+//!   materializing `row(i)` + `eval_row` variant.
+//! * `table_encode` — column-wise [`TableEncoder::encode_table`] (slice
+//!   reads, dictionary-code one-hot) vs the per-row `row(i)` +
+//!   `encode_values` + `push_row` loop the seed used.
+//! * `forest_predict` — batch prediction over the encoded matrix.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyper_bench::storage_baseline::{
+    encode_row_reference, encoder_columns, filter_row_reference, german_predicate,
+};
+use hyper_ml::{ForestParams, RandomForest, TableEncoder};
+use hyper_storage::ops::{filter, matching_rows};
+use hyper_storage::{Expr, Table};
+
+const N: usize = 10_000;
+
+fn table() -> Table {
+    let data = hyper_datasets::german_syn(N, 1);
+    data.db.table("german_syn").unwrap().clone()
+}
+
+/// Fully materializing variant: clone each row, evaluate over the `Row`.
+fn filter_materialized_rows(t: &Table, pred: &Expr) -> usize {
+    let bound = pred.bind(t.schema()).unwrap();
+    let mut kept = 0;
+    for i in 0..t.num_rows() {
+        let row = t.row(i);
+        if matches!(
+            bound.eval_row(&row).unwrap(),
+            hyper_storage::Value::Bool(true)
+        ) {
+            kept += 1;
+        }
+    }
+    kept
+}
+
+fn bench_filter_scan(c: &mut Criterion) {
+    let t = table();
+    let pred = german_predicate();
+    let mut group = c.benchmark_group("filter_scan_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("vectorized", |b| {
+        b.iter(|| filter(&t, &pred).unwrap().num_rows());
+    });
+    group.bench_function("selection_only", |b| {
+        b.iter(|| matching_rows(&t, &pred).unwrap().len());
+    });
+    group.bench_function("value_per_cell", |b| {
+        b.iter(|| filter_row_reference(&t, &pred).num_rows());
+    });
+    group.bench_function("materialized_rows", |b| {
+        b.iter(|| filter_materialized_rows(&t, &pred));
+    });
+    group.finish();
+}
+
+fn bench_table_encode(c: &mut Criterion) {
+    let t = table();
+    let enc = TableEncoder::fit(&t, &encoder_columns()).unwrap();
+    let mut group = c.benchmark_group("table_encode_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("columnar", |b| {
+        b.iter(|| enc.encode_table(&t).unwrap().rows());
+    });
+    group.bench_function("value_per_cell", |b| {
+        b.iter(|| encode_row_reference(&enc, &t).rows());
+    });
+    group.finish();
+}
+
+fn bench_forest_predict(c: &mut Criterion) {
+    let t = table();
+    let enc = TableEncoder::fit(&t, &encoder_columns()).unwrap();
+    let x = enc.encode_table(&t).unwrap();
+    let y: Vec<f64> = (0..x.rows()).map(|i| x.get(i, 0)).collect();
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        &ForestParams {
+            n_trees: 16,
+            ..ForestParams::default()
+        },
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("forest_predict_german_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(300));
+    group.measurement_time(Duration::from_secs(2));
+    group.bench_function("batch", |b| {
+        b.iter(|| forest.predict(&x).len());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(2));
+    targets = bench_filter_scan, bench_table_encode, bench_forest_predict
+}
+criterion_main!(benches);

@@ -1,0 +1,168 @@
+//! Reduced-iteration benchmark smoke run: times the storage-layer
+//! microbenchmarks (filter scan, table encode, forest predict — vectorized
+//! vs `Value`-per-cell) and the session-layer cold vs prepared what-if on
+//! German-Syn 10k, then writes a machine-readable throughput summary.
+//!
+//! Used by the CI `bench-smoke` job to seed the perf trajectory: each run
+//! produces a `BENCH_3.json` artifact (override the path with
+//! `--out <path>` or the `BENCH_OUT` environment variable). Iteration
+//! counts are deliberately small — this guards against order-of-magnitude
+//! regressions, not microsecond drift.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use hyper_bench::storage_baseline::{
+    encode_row_reference, encoder_columns, filter_row_reference, german_predicate,
+};
+use hyper_bench::time_avg;
+use hyper_core::{evaluate_whatif, EngineConfig, HyperSession};
+use hyper_ml::{ForestParams, RandomForest, TableEncoder};
+use hyper_storage::ops::filter;
+
+const N: usize = 10_000;
+
+struct Entry {
+    name: &'static str,
+    micros: f64,
+    baseline_micros: Option<f64>,
+}
+
+fn secs_to_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_3.json".to_string());
+    let reps: usize = std::env::var("BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let data = hyper_datasets::german_syn(N, 1);
+    let t = data.db.table("german_syn").unwrap().clone();
+    let pred = german_predicate();
+    let enc = TableEncoder::fit(&t, &encoder_columns()).unwrap();
+    let x = enc.encode_table(&t).unwrap();
+    let y: Vec<f64> = (0..x.rows()).map(|i| x.get(i, 0)).collect();
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        &ForestParams {
+            n_trees: 16,
+            ..ForestParams::default()
+        },
+    )
+    .unwrap();
+
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // Storage: filter scan.
+    let vec_t = time_avg(reps, || filter(&t, &pred).unwrap().num_rows());
+    let ref_t = time_avg(reps, || filter_row_reference(&t, &pred).num_rows());
+    entries.push(Entry {
+        name: "filter_scan_german_10k",
+        micros: secs_to_us(vec_t),
+        baseline_micros: Some(secs_to_us(ref_t)),
+    });
+
+    // Storage: table encode.
+    let vec_t = time_avg(reps, || enc.encode_table(&t).unwrap().rows());
+    let ref_t = time_avg(reps, || encode_row_reference(&enc, &t).rows());
+    entries.push(Entry {
+        name: "table_encode_german_10k",
+        micros: secs_to_us(vec_t),
+        baseline_micros: Some(secs_to_us(ref_t)),
+    });
+
+    // ML: batch forest prediction.
+    let pred_t = time_avg(reps, || forest.predict(&x).len());
+    entries.push(Entry {
+        name: "forest_predict_german_10k",
+        micros: secs_to_us(pred_t),
+        baseline_micros: None,
+    });
+
+    // Session: cold single-shot what-if vs prepared over a warm cache.
+    let q = match hyper_query::parse_query(
+        "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')",
+    )
+    .unwrap()
+    {
+        hyper_query::HypotheticalQuery::WhatIf(q) => q,
+        _ => unreachable!(),
+    };
+    let config = EngineConfig::hyper();
+    let cold_reps = reps.clamp(1, 3);
+    let cold_t = time_avg(cold_reps, || {
+        evaluate_whatif(&data.db, Some(&data.graph), &config, &q).unwrap()
+    });
+    let session = HyperSession::builder(data.db.clone())
+        .graph(data.graph.clone())
+        .config(config)
+        .build();
+    let prepared = session.prepare(&q).unwrap();
+    prepared.execute().unwrap(); // warm
+    let warm_t = time_avg(reps, || prepared.execute_whatif().unwrap());
+    entries.push(Entry {
+        name: "whatif_prepared_german_10k",
+        micros: secs_to_us(warm_t),
+        baseline_micros: Some(secs_to_us(cold_t)),
+    });
+    entries.push(Entry {
+        name: "whatif_cold_german_10k",
+        micros: secs_to_us(cold_t),
+        baseline_micros: None,
+    });
+
+    // Render JSON by hand (no serde in the offline workspace).
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"mean_us\": {:.1}",
+            e.name, e.micros
+        );
+        if let Some(b) = e.baseline_micros {
+            let _ = write!(
+                json,
+                ", \"baseline_mean_us\": {:.1}, \"speedup\": {:.2}",
+                b,
+                b / e.micros
+            );
+        }
+        json.push('}');
+        if i + 1 < entries.len() {
+            json.push(',');
+        }
+        json.push('\n');
+    }
+    let _ = write!(
+        json,
+        "  ],\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 3\n}}\n"
+    );
+
+    std::fs::write(&out_path, &json).expect("write benchmark summary");
+    println!("{json}");
+    println!("wrote {out_path}");
+
+    // Guard the acceptance criterion: vectorized filter/encode must stay
+    // well ahead of the Value-per-cell baselines.
+    for e in &entries {
+        if let Some(b) = e.baseline_micros {
+            let speedup = b / e.micros;
+            if (e.name.starts_with("filter_scan") || e.name.starts_with("table_encode"))
+                && speedup < 3.0
+            {
+                eprintln!("REGRESSION: {} speedup {speedup:.2} < 3.0", e.name);
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -184,6 +184,66 @@ pub fn pad_with_noise(
     }
 }
 
+/// Shared `Value`-per-cell baselines for the storage microbenchmarks
+/// (`benches/bench_storage.rs`) and the CI smoke run (`bin/bench_smoke.rs`)
+/// — one definition so the criterion numbers and the CI speedup gate
+/// always measure against the same reference loops.
+pub mod storage_baseline {
+    use hyper_ml::{Matrix, TableEncoder};
+    use hyper_storage::{col, lit, Expr, Table};
+
+    /// The benchmark predicate over German-Syn: string equality
+    /// (dictionary fast path) plus integer comparisons.
+    pub fn german_predicate() -> Expr {
+        col("credit")
+            .eq(lit("Good"))
+            .and(col("status").ge(lit(2)))
+            .or(col("savings").eq(lit(0)))
+    }
+
+    /// The feature columns both encode benchmarks fit over.
+    pub fn encoder_columns() -> Vec<String> {
+        ["status", "savings", "housing", "credit"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    /// The seed's `Value`-per-cell filter: bind once, evaluate the
+    /// predicate row by row through the compatibility cell API, gather
+    /// survivors.
+    pub fn filter_row_reference(t: &Table, pred: &Expr) -> Table {
+        let bound = pred.bind(t.schema()).unwrap();
+        let mut keep = Vec::new();
+        for i in 0..t.num_rows() {
+            if bound.eval_predicate_at(t, i).unwrap() {
+                keep.push(i);
+            }
+        }
+        t.gather(&keep)
+    }
+
+    /// The seed's per-row encode loop: materialize each row's feature
+    /// cells, encode, push into the matrix.
+    pub fn encode_row_reference(enc: &TableEncoder, t: &Table) -> Matrix {
+        let idxs: Vec<usize> = enc
+            .columns()
+            .iter()
+            .map(|c| t.schema().index_of(c).unwrap())
+            .collect();
+        let mut m = Matrix::zeros(0, 0);
+        let mut buf = Vec::with_capacity(idxs.len());
+        for i in 0..t.num_rows() {
+            buf.clear();
+            for &c in &idxs {
+                buf.push(t.get(i, c));
+            }
+            m.push_row(&enc.encode_values(&buf).unwrap()).unwrap();
+        }
+        m
+    }
+}
+
 /// The engine variants of §5 (HypeR-sampled is added per-experiment with
 /// the experiment's sample cap).
 pub fn variants() -> Vec<(&'static str, EngineConfig)> {

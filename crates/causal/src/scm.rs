@@ -630,7 +630,7 @@ mod tests {
             .column_by_name("z")
             .unwrap()
             .iter()
-            .filter(|v| **v == Value::Int(1))
+            .filter(|v| *v == Value::Int(1))
             .count() as f64
             / 20_000.0;
         assert!((z1 - 0.4).abs() < 0.02, "P(z=1) ≈ 0.4, got {z1}");
@@ -692,8 +692,8 @@ mod tests {
         for i in 0..pre.num_rows() {
             // z is a non-descendant: identical in both worlds.
             assert_eq!(pre.get(i, 0), post.get(i, 0));
-            if pre.get(i, 0) == &Value::Int(0) {
-                assert_eq!(post.get(i, 1), &Value::Int(1), "intervened where z=0");
+            if pre.get(i, 0) == Value::Int(0) {
+                assert_eq!(post.get(i, 1), Value::Int(1), "intervened where z=0");
             } else {
                 assert_eq!(pre.get(i, 1), post.get(i, 1), "untouched where z=1");
             }
@@ -716,7 +716,7 @@ mod tests {
             .column_by_name("y")
             .unwrap()
             .iter()
-            .filter(|v| **v == Value::Int(1))
+            .filter(|v| *v == Value::Int(1))
             .count() as f64
             / post.num_rows() as f64;
         assert!((p_y1 - 0.66).abs() < 0.01, "sampled {p_y1}, exact 0.66");
@@ -761,8 +761,8 @@ mod tests {
             )
             .unwrap();
         // x: 10 → 15, y = 1 + 2x = 31.
-        assert_eq!(post.get(0, 0), &Value::Float(15.0));
-        assert_eq!(post.get(0, 1), &Value::Float(31.0));
+        assert_eq!(post.get(0, 0), Value::Float(15.0));
+        assert_eq!(post.get(0, 1), Value::Float(31.0));
 
         let (_, post) = scm
             .sample_paired(
@@ -773,8 +773,8 @@ mod tests {
                 None,
             )
             .unwrap();
-        assert_eq!(post.get(0, 0), &Value::Float(6.0));
-        assert_eq!(post.get(0, 1), &Value::Float(13.0));
+        assert_eq!(post.get(0, 0), Value::Float(6.0));
+        assert_eq!(post.get(0, 1), Value::Float(13.0));
     }
 
     #[test]

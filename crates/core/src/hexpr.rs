@@ -3,7 +3,7 @@
 //! with `Pre(A)` reading the former and `Post(A)` the latter.
 
 use hyper_query::{HExpr, HOp, Temporal};
-use hyper_storage::{Schema, Value};
+use hyper_storage::{Schema, Table, Value};
 
 use crate::error::{EngineError, Result};
 
@@ -85,19 +85,56 @@ pub fn bind_hexpr(expr: &HExpr, schema: &Schema, default: Temporal) -> Result<Bo
 }
 
 impl BoundHExpr {
+    /// Evaluate against row `i` of columnar `(pre, post)` tables, reading
+    /// cells straight off the typed columns — no row materialization.
+    /// `pre` and `post` may be the same table (the unmodified world).
+    pub fn eval_at(&self, pre: &Table, post: &Table, i: usize) -> Result<Value> {
+        self.eval_with(&mut |t, c| match t {
+            Temporal::Pre => pre.get(i, c),
+            Temporal::Post => post.get(i, c),
+        })
+    }
+
+    /// Evaluate row `i` as a predicate (NULL → false), reading the typed
+    /// columns directly.
+    pub fn eval_bool_at(&self, pre: &Table, post: &Table, i: usize) -> Result<bool> {
+        match self.eval_at(pre, post, i)? {
+            Value::Bool(b) => Ok(b),
+            Value::Null => Ok(false),
+            v => Err(EngineError::Plan(format!(
+                "predicate evaluated to non-boolean {v}"
+            ))),
+        }
+    }
+
+    /// Evaluate the predicate over every row of `table` with `post = pre`
+    /// (the mask-construction helper for `When`/`For` clauses).
+    pub fn eval_mask(&self, table: &Table) -> Result<Vec<bool>> {
+        (0..table.num_rows())
+            .map(|i| self.eval_bool_at(table, table, i))
+            .collect()
+    }
+
     /// Evaluate against `(pre, post)` rows.
     pub fn eval(&self, pre: &[Value], post: &[Value]) -> Result<Value> {
+        self.eval_with(&mut |t, c| match t {
+            Temporal::Pre => pre[c].clone(),
+            Temporal::Post => post[c].clone(),
+        })
+    }
+
+    /// Core evaluator over an arbitrary `(world, column) → Value` accessor.
+    pub(crate) fn eval_with(&self, get: &mut dyn FnMut(Temporal, usize) -> Value) -> Result<Value> {
         Ok(match self {
-            BoundHExpr::Attr(Temporal::Pre, i) => pre[*i].clone(),
-            BoundHExpr::Attr(Temporal::Post, i) => post[*i].clone(),
+            BoundHExpr::Attr(t, i) => get(*t, *i),
             BoundHExpr::Lit(v) => v.clone(),
-            BoundHExpr::Not(e) => match e.eval(pre, post)? {
+            BoundHExpr::Not(e) => match e.eval_with(get)? {
                 Value::Bool(b) => Value::Bool(!b),
                 Value::Null => Value::Null,
                 v => return Err(EngineError::Plan(format!("Not expects boolean, got {v}"))),
             },
             BoundHExpr::Binary(op, l, r) => {
-                let lv = l.eval(pre, post)?;
+                let lv = l.eval_with(get)?;
                 // Short-circuit logical operators.
                 if *op == HOp::And && lv == Value::Bool(false) {
                     return Ok(Value::Bool(false));
@@ -105,7 +142,7 @@ impl BoundHExpr {
                 if *op == HOp::Or && lv == Value::Bool(true) {
                     return Ok(Value::Bool(true));
                 }
-                let rv = r.eval(pre, post)?;
+                let rv = r.eval_with(get)?;
                 match op {
                     HOp::Eq => Value::Bool(lv.sql_eq(&rv)),
                     HOp::Ne => {
@@ -145,7 +182,7 @@ impl BoundHExpr {
                 list,
                 negated,
             } => {
-                let v = expr.eval(pre, post)?;
+                let v = expr.eval_with(get)?;
                 if v.is_null() {
                     return Ok(Value::Bool(false));
                 }

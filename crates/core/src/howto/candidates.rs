@@ -37,7 +37,18 @@ pub fn generate_candidates(
         let stats = ColumnStats::compute(&view.table, &view.table.schema().field(col).name)
             .map_err(EngineError::from)?;
 
-        // Collect this attribute's constraints.
+        // Collect this attribute's constraints. Bounds must be resolved
+        // by now — a template with `Param(…)` bounds is bound per
+        // execution (`PreparedQuery::execute_with`) before reaching here.
+        let resolve = |b: &hyper_query::Bound| -> Result<f64> {
+            b.as_f64().ok_or_else(|| {
+                EngineError::Query(format!(
+                    "unresolved parameter `Param({})` in Limit; supply Bindings \
+                     (e.g. PreparedQuery::execute_with) before evaluation",
+                    b.param_name().unwrap_or("?")
+                ))
+            })
+        };
         let mut lo: Option<f64> = None;
         let mut hi: Option<f64> = None;
         let mut in_set: Option<&[Value]> = None;
@@ -49,21 +60,25 @@ pub fn generate_candidates(
                     lo: l,
                     hi: h,
                 } if a.eq_ignore_ascii_case(attr) => {
-                    lo = l.or(lo);
-                    hi = h.or(hi);
+                    if let Some(b) = l {
+                        lo = Some(resolve(b)?);
+                    }
+                    if let Some(b) = h {
+                        hi = Some(resolve(b)?);
+                    }
                 }
                 LimitConstraint::InSet { attr: a, values } if a.eq_ignore_ascii_case(attr) => {
                     in_set = Some(values);
                 }
                 LimitConstraint::L1 { attr: a, bound } if a.eq_ignore_ascii_case(attr) => {
-                    l1 = Some(*bound);
+                    l1 = Some(resolve(bound)?);
                 }
                 _ => {}
             }
         }
 
         // Pre-update values over S, for L1 costing.
-        let pre_s: Vec<&Value> = (0..view.table.num_rows())
+        let pre_s: Vec<Value> = (0..view.table.num_rows())
             .filter(|&i| when_mask[i])
             .map(|i| view.table.get(i, col))
             .collect();

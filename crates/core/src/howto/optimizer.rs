@@ -65,15 +65,12 @@ impl HowToContext {
         validate_howto(q, Some(&cols))?;
         let schema = view.table.schema();
 
-        // When mask for candidate costing.
-        let mut when_mask = vec![true; view.table.num_rows()];
-        if let Some(w) = &q.when {
-            let b = bind_hexpr(w, schema, Temporal::Pre)?;
-            for (i, m) in when_mask.iter_mut().enumerate() {
-                let row = view.table.row(i);
-                *m = b.eval_bool(&row, &row)?;
-            }
-        }
+        // When mask for candidate costing (typed-column scan, no row
+        // materialization).
+        let when_mask = match &q.when {
+            Some(w) => bind_hexpr(w, schema, Temporal::Pre)?.eval_mask(&view.table)?,
+            None => vec![true; view.table.num_rows()],
+        };
 
         let candidates = generate_candidates(&view, &when_mask, q, opts.buckets)?;
 
@@ -202,17 +199,17 @@ fn evaluate_identity_objective(
         .map(|e| bind_hexpr(e, &schema, Temporal::Post))
         .transpose()?;
 
+    let table = &view.table;
     let mut total = 0.0;
     let mut count = 0.0;
-    for i in 0..view.table.num_rows() {
-        let row = view.table.row(i);
+    for i in 0..table.num_rows() {
         if let Some(p) = &pre {
-            if !p.eval_bool(&row, &row)? {
+            if !p.eval_bool_at(table, table, i)? {
                 continue;
             }
         }
         let sat = match &psi {
-            Some(p) => p.eval_bool(&row, &row)?,
+            Some(p) => p.eval_bool_at(table, table, i)?,
             None => true,
         };
         if !sat {
@@ -221,7 +218,7 @@ fn evaluate_identity_objective(
         count += 1.0;
         total += match &y {
             Some(yv) => yv
-                .eval(&row, &row)?
+                .eval_at(table, table, i)?
                 .as_f64()
                 .ok_or_else(|| EngineError::Plan("objective attribute is not numeric".into()))?,
             None => 1.0,

@@ -426,9 +426,9 @@ mod tests {
         let pid = v.table.column_by_name("PID").unwrap();
         let rtng = v.table.column_by_name("Rtng").unwrap();
         let senti = v.table.column_by_name("Senti").unwrap();
-        let asus = pid.iter().position(|p| *p == Value::Int(2)).unwrap();
-        assert_eq!(rtng[asus], Value::Float(2.5));
-        assert!((senti[asus].as_f64().unwrap() - 0.25).abs() < 1e-9);
+        let asus = pid.iter().position(|p| p == Value::Int(2)).unwrap();
+        assert_eq!(rtng.value(asus), Value::Float(2.5));
+        assert!((senti.value(asus).as_f64().unwrap() - 0.25).abs() < 1e-9);
     }
 
     #[test]

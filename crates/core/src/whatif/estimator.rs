@@ -12,11 +12,12 @@
 //! predicted once.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use hyper_causal::{CausalGraph, EdgeKind};
-use hyper_ml::{ForestParams, LinearModel, RandomForest, TableEncoder, TreeParams};
+use hyper_ml::{ForestParams, LinearModel, Matrix, RandomForest, TableEncoder, TreeParams};
 use hyper_query::UpdateFunc;
-use hyper_storage::{AggFunc, Value};
+use hyper_storage::{AggFunc, Column, Value};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -73,18 +74,27 @@ impl PeerSummary {
     }
 
     /// Per-row peer means of `values` (leave-one-out within each group).
-    fn peer_means(&self, groups: &[Value], values: &[f64]) -> Vec<f64> {
-        let mut sum: HashMap<&Value, (f64, usize)> = HashMap::new();
-        for (g, v) in groups.iter().zip(values) {
-            let e = sum.entry(g).or_insert((0.0, 0));
+    /// Groups are keyed by the typed column's `(tag, bits)` key parts — no
+    /// `Value` materialization or hashing.
+    fn peer_means(&self, groups: &Column, values: &[f64]) -> Vec<f64> {
+        let mut buf: Vec<u64> = Vec::with_capacity(2);
+        let keys: Vec<[u64; 2]> = (0..groups.len())
+            .map(|i| {
+                buf.clear();
+                groups.write_key_part(i, &mut buf);
+                [buf[0], buf[1]]
+            })
+            .collect();
+        let mut sum: HashMap<[u64; 2], (f64, usize)> = HashMap::new();
+        for (k, v) in keys.iter().zip(values) {
+            let e = sum.entry(*k).or_insert((0.0, 0));
             e.0 += *v;
             e.1 += 1;
         }
-        groups
-            .iter()
+        keys.iter()
             .zip(values)
-            .map(|(g, v)| {
-                let (s, c) = sum[g];
+            .map(|(k, v)| {
+                let (s, c) = sum[k];
                 if c <= 1 {
                     *v // singleton group: fall back to own value
                 } else {
@@ -183,11 +193,13 @@ enum FittedModel {
 }
 
 impl FittedModel {
-    fn predict_row(&self, row: &[f64]) -> f64 {
+    /// Batch prediction over a feature matrix (the forest walks every tree
+    /// per row without re-dispatching through the enum per cell).
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
         match self {
-            FittedModel::Forest(m) => m.predict_row(row),
-            FittedModel::Linear(m) => m.predict_row(row),
-            FittedModel::Cells(m) => m.predict_row(row),
+            FittedModel::Forest(m) => m.predict(x),
+            FittedModel::Linear(m) => m.predict(x),
+            FittedModel::Cells(m) => (0..x.rows()).map(|i| m.predict_row(x.row(i))).collect(),
         }
     }
 }
@@ -203,9 +215,11 @@ pub struct CausalEstimator {
     model: FittedModel,
     /// Denominator model for Avg when ψ exists: E[1{ψ} | features].
     denom_model: Option<FittedModel>,
-    /// ψ and Y bound expressions for unaffected-row evaluation.
-    psi: Option<BoundHExpr>,
-    y: Option<BoundHExpr>,
+    /// ψ and Y bound expressions for unaffected-row evaluation — shared
+    /// with the caller via `Arc` (one estimator per candidate update would
+    /// otherwise deep-clone both trees per fit).
+    psi: Option<Arc<BoundHExpr>>,
+    y: Option<Arc<BoundHExpr>>,
     /// Peer summary state: pre-update peer means per row + post-update peer
     /// means per row (computed at fit time over the whole view).
     peer: Option<(PeerSummary, Vec<f64>, Vec<f64>)>,
@@ -213,13 +227,14 @@ pub struct CausalEstimator {
 }
 
 impl CausalEstimator {
-    /// Fit the estimator on the relevant view.
-    #[allow(clippy::needless_range_loop)]
+    /// Fit the estimator on the relevant view. Training targets are
+    /// evaluated per row straight off the typed columns, and the feature
+    /// matrix is filled column-wise ([`TableEncoder::encode_table`]).
     pub fn fit(
         view: &RelevantView,
         spec: &EstimatorSpec<'_>,
-        psi: &Option<BoundHExpr>,
-        y: &Option<BoundHExpr>,
+        psi: &Option<Arc<BoundHExpr>>,
+        y: &Option<Arc<BoundHExpr>>,
         agg: AggFunc,
     ) -> Result<CausalEstimator> {
         let table = &view.table;
@@ -240,13 +255,11 @@ impl CausalEstimator {
         // Peer summary features (pre and post variants).
         let peer = match &spec.peer {
             Some(p) => {
-                let groups: Vec<Value> = table.column(p.group_col).to_vec();
-                let pre_vals: Vec<f64> = table
-                    .column(p.update_col)
-                    .iter()
-                    .map(|v| v.as_f64().unwrap_or(0.0))
+                let update_col = table.column(p.update_col);
+                let pre_vals: Vec<f64> = (0..n)
+                    .map(|i| update_col.f64_at(i).unwrap_or(0.0))
                     .collect();
-                let pre_means = p.peer_means(&groups, &pre_vals);
+                let pre_means = p.peer_means(table.column(p.group_col), &pre_vals);
                 // Post values of the updated column (the update applies to
                 // every row for summary purposes only when it actually
                 // applies — the caller recomputes exact post means below in
@@ -256,13 +269,13 @@ impl CausalEstimator {
             None => None,
         };
 
-        // Targets on observed rows: ψ and Y evaluated with post = pre.
+        // Targets on observed rows: ψ and Y evaluated with post = pre,
+        // reading cells off the typed columns (no row clones).
         let mut target = Vec::with_capacity(n);
         let mut denom_target = Vec::with_capacity(n);
         for i in 0..n {
-            let row = table.row(i);
             let sat = match psi {
-                Some(p) => p.eval_bool(&row, &row)?,
+                Some(p) => p.eval_bool_at(table, table, i)?,
                 None => true,
             };
             let base = match (agg, y) {
@@ -274,7 +287,7 @@ impl CausalEstimator {
                     }
                 }
                 (_, Some(yv)) => {
-                    let val = yv.eval(&row, &row)?.as_f64().ok_or_else(|| {
+                    let val = yv.eval_at(table, table, i)?.as_f64().ok_or_else(|| {
                         EngineError::Plan("Output expression is not numeric".into())
                     })?;
                     if sat {
@@ -296,13 +309,9 @@ impl CausalEstimator {
         // Feature matrix (with optional peer column appended).
         let mut x = encoder.encode_table(table)?;
         if let Some((_, pre_means, _)) = &peer {
-            let mut with_peer = hyper_ml::Matrix::zeros(0, 0);
-            for i in 0..n {
-                let mut row = x.row(i).to_vec();
-                row.push(pre_means[i]);
-                with_peer.push_row(&row).map_err(EngineError::from)?;
-            }
-            x = with_peer;
+            x = x
+                .with_appended_column(pre_means)
+                .map_err(EngineError::from)?;
         }
 
         // Sampling (HypeR-sampled): train on a random subset.
@@ -403,7 +412,12 @@ impl CausalEstimator {
     /// is their ratio. Both parts are sums over scoped tuples, so they can
     /// be accumulated per independent block and recombined (Definition 6's
     /// `g = Sum`, Proposition 1).
-    #[allow(clippy::needless_range_loop)]
+    ///
+    /// Vectorized evaluation: unaffected rows contribute deterministically
+    /// via typed-column reads; affected rows are gathered, their
+    /// post-update feature columns assembled as typed buffers, encoded
+    /// column-wise, deduplicated per feature combination (the §3.3 support
+    /// index), and predicted in **one batch** per model.
     pub fn evaluate_parts(
         &self,
         view: &RelevantView,
@@ -416,41 +430,37 @@ impl CausalEstimator {
         // Post-update peer means (summary features see the updated world).
         let peer_post: Option<Vec<f64>> = match &self.peer {
             Some((p, _, _)) => {
-                let groups: Vec<Value> = table.column(p.group_col).to_vec();
+                let update_col = table.column(p.update_col);
+                let func = &self
+                    .update_cols
+                    .iter()
+                    .find(|(c, _)| *c == p.update_col)
+                    .expect("peer summary over an updated column")
+                    .1;
                 let mut post_vals = Vec::with_capacity(n);
-                for i in 0..n {
-                    let pre = table.get(i, p.update_col);
-                    let v = if when_mask[i] {
-                        let func = &self
-                            .update_cols
-                            .iter()
-                            .find(|(c, _)| *c == p.update_col)
-                            .expect("peer summary over an updated column")
-                            .1;
-                        apply_update(func, pre)?
+                for (i, &updated) in when_mask.iter().enumerate() {
+                    let v = if updated {
+                        apply_update(func, &update_col.value(i))?
                     } else {
-                        pre.clone()
+                        update_col.value(i)
                     };
                     post_vals.push(v.as_f64().unwrap_or(0.0));
                 }
-                Some(p.peer_means(&groups, &post_vals))
+                Some(p.peer_means(table.column(p.group_col), &post_vals))
             }
             None => None,
         };
 
-        // §3.3 support index: memoize predictions per feature combination.
-        let mut cache: HashMap<Vec<u64>, (f64, f64)> = HashMap::new();
+        // Partition scoped rows: deterministic (unaffected) vs predicted
+        // (affected directly by the update or indirectly through a changed
+        // peer mean).
         let mut numerator = 0.0;
         let mut denominator = 0.0;
-
+        let mut affected: Vec<usize> = Vec::new();
         for i in 0..n {
             if !scope_mask[i] {
                 continue;
             }
-            let pre = table.row(i);
-            // Indirectly affected rows: with a peer summary, unmodified rows
-            // whose peer mean changed are still predicted (cross-tuple
-            // effect); without one, they are deterministic.
             let peer_changed = match (&self.peer, &peer_post) {
                 (Some((_, pre_means, _)), Some(post_means)) => {
                     (pre_means[i] - post_means[i]).abs() > 1e-12
@@ -460,7 +470,7 @@ impl CausalEstimator {
             if !when_mask[i] && !peer_changed {
                 // Unaffected: deterministic contribution (post = pre).
                 let sat = match &self.psi {
-                    Some(p) => p.eval_bool(&pre, &pre)?,
+                    Some(p) => p.eval_bool_at(table, table, i)?,
                     None => true,
                 };
                 if sat {
@@ -470,55 +480,121 @@ impl CausalEstimator {
                             denominator += 1.0;
                         }
                         (_, Some(yv)) => {
-                            numerator += yv.eval(&pre, &pre)?.as_f64().ok_or_else(|| {
-                                EngineError::Plan("Output expression is not numeric".into())
-                            })?;
+                            numerator +=
+                                yv.eval_at(table, table, i)?.as_f64().ok_or_else(|| {
+                                    EngineError::Plan("Output expression is not numeric".into())
+                                })?;
                             denominator += 1.0;
                         }
                         _ => unreachable!(),
                     }
                 }
-                continue;
+            } else {
+                affected.push(i);
             }
+        }
+        if affected.is_empty() {
+            return Ok((numerator, denominator));
+        }
 
-            // Affected: assemble post-update features.
-            let mut feat_values: Vec<Value> = Vec::with_capacity(self.feature_cols.len());
-            for &c in &self.feature_cols {
-                let v = pre[c].clone();
-                let v = if when_mask[i] {
-                    match self.update_cols.iter().find(|(uc, _)| *uc == c) {
-                        Some((_, func)) => apply_update(func, &v)?,
-                        None => v,
+        // Assemble post-update feature columns for the affected rows:
+        // non-updated features are a typed gather; updated features are
+        // rebuilt with the update applied where `When` holds (re-typed, as
+        // e.g. scaling an integer column produces floats). When a `Set`
+        // update mixes value types within one column (e.g. a string
+        // literal over a numeric column, or peer-affected rows keeping
+        // their pre values), no single column type fits — fall back to
+        // per-row encoding, which handles heterogeneous values exactly
+        // like the row-oriented evaluator did.
+        let mut feat_cols: Vec<Column> = Vec::with_capacity(self.feature_cols.len());
+        let mut post_value_cols: Vec<Option<Vec<Value>>> = vec![None; self.feature_cols.len()];
+        let mut typed_ok = true;
+        for (k, &c) in self.feature_cols.iter().enumerate() {
+            let src = table.column(c);
+            match self.update_cols.iter().find(|(uc, _)| *uc == c) {
+                None => feat_cols.push(src.gather(&affected)),
+                Some((_, func)) => {
+                    let mut post_vals = Vec::with_capacity(affected.len());
+                    for &i in &affected {
+                        let v = src.value(i);
+                        post_vals.push(if when_mask[i] {
+                            apply_update(func, &v)?
+                        } else {
+                            v
+                        });
                     }
-                } else {
-                    v
-                };
-                feat_values.push(v);
+                    match Column::from_values_inferred(&post_vals) {
+                        Ok(col) => feat_cols.push(col),
+                        Err(_) => {
+                            typed_ok = false;
+                            feat_cols.push(src.gather(&affected)); // placeholder
+                        }
+                    }
+                    post_value_cols[k] = Some(post_vals);
+                }
             }
-            let mut encoded = self.encoder.encode_values(&feat_values)?;
-            if let Some(post_means) = &peer_post {
-                encoded.push(post_means[i]);
+        }
+        let mut x = if typed_ok {
+            let col_refs: Vec<&Column> = feat_cols.iter().collect();
+            self.encoder.encode_columns(&col_refs)?
+        } else {
+            let mut m = Matrix::zeros(0, 0);
+            let mut buf: Vec<Value> = Vec::with_capacity(self.feature_cols.len());
+            for (row, &i) in affected.iter().enumerate() {
+                buf.clear();
+                for (k, &c) in self.feature_cols.iter().enumerate() {
+                    buf.push(match &post_value_cols[k] {
+                        Some(vals) => vals[row].clone(),
+                        None => table.get(i, c),
+                    });
+                }
+                m.push_row(&self.encoder.encode_values(&buf)?)
+                    .map_err(EngineError::from)?;
             }
+            m
+        };
+        if let Some(post_means) = &peer_post {
+            let peer_vals: Vec<f64> = affected.iter().map(|&i| post_means[i]).collect();
+            x = x
+                .with_appended_column(&peer_vals)
+                .map_err(EngineError::from)?;
+        }
 
-            let key: Vec<u64> = encoded.iter().map(|f| f.to_bits()).collect();
-            let (num, den) = match cache.get(&key) {
-                Some(&v) => v,
+        // §3.3 support index: deduplicate feature combinations, then
+        // batch-predict the unique rows once per model.
+        let mut unique: HashMap<Vec<u64>, usize> = HashMap::new();
+        let mut row_slot: Vec<usize> = Vec::with_capacity(affected.len());
+        let mut unique_x = Matrix::zeros(0, 0);
+        for k in 0..x.rows() {
+            let row = x.row(k);
+            let key: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
+            let slot = match unique.get(&key) {
+                Some(&s) => s,
                 None => {
-                    let num = self.model.predict_row(&encoded);
-                    let num = match self.agg {
-                        AggFunc::Count => num.clamp(0.0, 1.0),
-                        _ => num,
-                    };
-                    let den = match &self.denom_model {
-                        Some(m) => m.predict_row(&encoded).clamp(0.0, 1.0),
-                        None => 1.0,
-                    };
-                    cache.insert(key, (num, den));
-                    (num, den)
+                    unique_x.push_row(row).map_err(EngineError::from)?;
+                    let s = unique_x.rows() - 1;
+                    unique.insert(key, s);
+                    s
                 }
             };
-            numerator += num;
-            denominator += den;
+            row_slot.push(slot);
+        }
+        let mut nums = self.model.predict(&unique_x);
+        if self.agg == AggFunc::Count {
+            for v in &mut nums {
+                *v = v.clamp(0.0, 1.0);
+            }
+        }
+        let dens: Option<Vec<f64>> = self.denom_model.as_ref().map(|m| {
+            let mut d = m.predict(&unique_x);
+            for v in &mut d {
+                *v = v.clamp(0.0, 1.0);
+            }
+            d
+        });
+        for &slot in &row_slot {
+            numerator += nums[slot];
+            denominator += dens.as_ref().map_or(1.0, |d| d[slot]);
         }
 
         Ok((numerator, denominator))

@@ -286,13 +286,10 @@ pub(crate) fn evaluate_whatif_on_view(
         .as_ref()
         .map(|w| bind_hexpr(w, &schema, Temporal::Pre))
         .transpose()?;
-    let mut when_mask = vec![true; n];
-    if let Some(w) = &when_bound {
-        for i in 0..n {
-            let row = view.table.row(i);
-            when_mask[i] = w.eval_bool(&row, &row)?;
-        }
-    }
+    let when_mask = match &when_bound {
+        Some(w) => w.eval_mask(&view.table)?,
+        None => vec![true; n],
+    };
 
     let (pre_conj, post_conj) = match &q.for_clause {
         Some(fc) => split_pre_post(fc, Temporal::Pre),
@@ -301,23 +298,22 @@ pub(crate) fn evaluate_whatif_on_view(
     let pre_bound = conjoin(&pre_conj)
         .map(|e| bind_hexpr(&e, &schema, Temporal::Pre))
         .transpose()?;
-    let mut scope_mask = vec![true; n];
-    if let Some(p) = &pre_bound {
-        for i in 0..n {
-            let row = view.table.row(i);
-            scope_mask[i] = p.eval_bool(&row, &row)?;
-        }
-    }
+    let scope_mask = match &pre_bound {
+        Some(p) => p.eval_mask(&view.table)?,
+        None => vec![true; n],
+    };
 
     // Output decomposition: ψ (post-world predicate) and Y (post value).
     let (psi_expr, y_expr) = output_decomposition(&q.output, &post_conj)?;
-    let psi: Option<BoundHExpr> = psi_expr
+    // ψ and Y are shared (not deep-cloned) by every estimator fitted from
+    // this query — one how-to run fits hundreds of candidate estimators.
+    let psi: Option<Arc<BoundHExpr>> = psi_expr
         .as_ref()
-        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post).map(Arc::new))
         .transpose()?;
-    let y: Option<BoundHExpr> = y_expr
+    let y: Option<Arc<BoundHExpr>> = y_expr
         .as_ref()
-        .map(|e| bind_hexpr(e, &schema, Temporal::Post))
+        .map(|e| bind_hexpr(e, &schema, Temporal::Post).map(Arc::new))
         .transpose()?;
 
     let n_scope = scope_mask.iter().filter(|&&b| b).count();
@@ -500,35 +496,67 @@ fn evaluate_by_blocks(
 }
 
 /// Evaluate when every post reference is an updated attribute: post values
-/// are deterministic functions of pre values.
+/// are deterministic functions of pre values. Post values for the updated
+/// columns are materialized once per column (scoped `When` rows only);
+/// everything else reads the typed view columns in place — no per-row
+/// `Row` clones.
 fn deterministic_eval(
     view: &RelevantView,
     update_cols: &[(usize, UpdateFunc)],
     when_mask: &[bool],
     scope_mask: &[bool],
-    psi: &Option<BoundHExpr>,
-    y: &Option<BoundHExpr>,
+    psi: &Option<Arc<BoundHExpr>>,
+    y: &Option<Arc<BoundHExpr>>,
     agg: AggFunc,
 ) -> Result<f64> {
-    let mut total = 0.0;
-    let mut denom = 0.0;
-    for i in 0..view.table.num_rows() {
-        if !scope_mask[i] {
-            continue;
-        }
-        let pre = view.table.row(i);
-        let mut post = pre.clone();
-        if when_mask[i] {
-            for (c, f) in update_cols {
-                post[*c] = apply_update(f, &pre[*c])?;
+    let table = &view.table;
+    let n = table.num_rows();
+    // Post values of each updated column; `None` where post = pre.
+    let mut post_vals: Vec<(usize, Vec<Option<Value>>)> = Vec::with_capacity(update_cols.len());
+    for (c, f) in update_cols {
+        let src = table.column(*c);
+        let mut vals: Vec<Option<Value>> = vec![None; n];
+        for (i, slot) in vals.iter_mut().enumerate() {
+            if scope_mask[i] && when_mask[i] {
+                *slot = Some(apply_update(f, &src.value(i))?);
             }
         }
+        post_vals.push((*c, vals));
+    }
+    let post_at = |i: usize, c: usize| -> Value {
+        for (uc, vals) in &post_vals {
+            if *uc == c {
+                if let Some(v) = &vals[i] {
+                    return v.clone();
+                }
+            }
+        }
+        table.get(i, c)
+    };
+
+    let mut total = 0.0;
+    let mut denom = 0.0;
+    for (i, &scoped) in scope_mask.iter().enumerate() {
+        if !scoped {
+            continue;
+        }
+        let mut get = |t: Temporal, c: usize| match t {
+            Temporal::Pre => table.get(i, c),
+            Temporal::Post => post_at(i, c),
+        };
         let sat = match psi {
-            Some(p) => p.eval_bool(&pre, &post)?,
+            Some(p) => match p.eval_with(&mut get)? {
+                Value::Bool(b) => b,
+                Value::Null => false,
+                v => {
+                    return Err(EngineError::Plan(format!(
+                        "predicate evaluated to non-boolean {v}"
+                    )))
+                }
+            },
             None => true,
         };
         if !sat {
-            denom += 0.0;
             continue;
         }
         denom += 1.0;
@@ -536,7 +564,7 @@ fn deterministic_eval(
             (AggFunc::Count, _) => total += 1.0,
             (_, Some(yv)) => {
                 total += yv
-                    .eval(&pre, &post)?
+                    .eval_with(&mut get)?
                     .as_f64()
                     .ok_or_else(|| EngineError::Plan("Output expression is not numeric".into()))?;
             }

@@ -532,3 +532,84 @@ fn prepare_rejects_invalid_queries_eagerly() {
         "unknown table caught at prepare"
     );
 }
+
+/// A how-to template with `Param(…)` Limit bounds sweeps candidate grids
+/// through `Bindings`: the relevant view is built once at prepare time and
+/// shared by every bound combination — only the optimizer (candidate
+/// enumeration + per-candidate estimators) re-runs per binding.
+#[test]
+fn howto_limit_bound_sweep_rebuilds_only_the_optimizer() {
+    use hyper_query::{Bound, HowTo};
+    use hyper_storage::AggFunc;
+
+    let (db, _, graph) = credit_db(3_000, 11);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .howto_options(HowToOptions {
+            buckets: 3,
+            ..HowToOptions::default()
+        })
+        .build();
+
+    let template = HowTo::maximize(AggFunc::Avg, "income")
+        .over("d")
+        .update("age")
+        .limit_range_bounds("edu", Some(Bound::param("lo")), None)
+        .build();
+    // A parameterized limit over a non-updated attr still fails validation.
+    assert!(template.is_err(), "limit on non-updated attribute rejected");
+
+    let template = HowTo::maximize(AggFunc::Avg, "income")
+        .over("d")
+        .update("age")
+        .limit_range_bounds("age", Some(Bound::param("lo")), Some(Bound::param("hi")));
+    let prepared = session.prepare(template).unwrap();
+    assert_eq!(
+        prepared.params(),
+        &["lo".to_string(), "hi".to_string()],
+        "limit bounds surface as template parameters"
+    );
+    assert_eq!(session.stats().view_misses, 1, "prepare builds the view");
+
+    // Unbound execution refuses and names the parameters.
+    let err = prepared.execute().unwrap_err();
+    assert!(err.to_string().contains("lo"), "{err}");
+
+    // Two-bound sweep: each binding re-keys only the optimizer work.
+    let tight = prepared
+        .execute_with(&Bindings::new().set("lo", 0.0).set("hi", 0.4))
+        .unwrap();
+    let wide = prepared
+        .execute_with(&Bindings::new().set("lo", 0.0).set("hi", 1.0))
+        .unwrap();
+    let (QueryOutcome::HowTo(tight), QueryOutcome::HowTo(wide)) = (tight, wide) else {
+        panic!("expected how-to results");
+    };
+    let stats = session.stats();
+    assert_eq!(stats.view_misses, 1, "whole sweep shares one view build");
+    assert_eq!(stats.texts_parsed, 0, "no text round-trips");
+    assert!(
+        wide.candidates >= tight.candidates,
+        "wider bounds admit at least as many candidates ({} vs {})",
+        wide.candidates,
+        tight.candidates
+    );
+    for u in tight.chosen.iter().chain(&wide.chosen) {
+        let hyper_query::UpdateFunc::Set(v) = &u.func else {
+            panic!("bucketized candidates are Set updates")
+        };
+        let x = v.as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&x), "chosen update within bounds: {x}");
+    }
+
+    // Re-running a binding hits the estimator cache (no new training).
+    let before = session.stats().estimator_misses;
+    prepared
+        .execute_with(&Bindings::new().set("lo", 0.0).set("hi", 0.4))
+        .unwrap();
+    assert_eq!(
+        session.stats().estimator_misses,
+        before,
+        "repeated bound binding retrains nothing"
+    );
+}

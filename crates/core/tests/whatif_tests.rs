@@ -165,7 +165,7 @@ fn count_star_with_post_free_for_is_plain_count() {
         .column_by_name("z")
         .unwrap()
         .iter()
-        .filter(|v| **v == hyper_storage::Value::Int(0))
+        .filter(|v| *v == hyper_storage::Value::Int(0))
         .count();
     assert_eq!(est.value, z0 as f64);
 }

@@ -244,7 +244,7 @@ mod tests {
             .iter()
             .map(|v| v.as_i64().unwrap())
             .collect();
-        for v in reviews.column_by_name("pid").unwrap() {
+        for v in reviews.column_by_name("pid").unwrap().iter() {
             assert!(pids.contains(&v.as_i64().unwrap()));
         }
         products.check_key_unique().unwrap();
@@ -299,10 +299,7 @@ mod tests {
         let d = amazon_figure1();
         assert_eq!(d.db.table("product").unwrap().num_rows(), 5);
         assert_eq!(d.db.table("review").unwrap().num_rows(), 6);
-        assert_eq!(
-            d.db.table("product").unwrap().get(1, 3),
-            &Value::str("Asus")
-        );
+        assert_eq!(d.db.table("product").unwrap().get(1, 3), Value::str("Asus"));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use std::collections::HashMap;
 
-use hyper_storage::{Table, Value};
+use hyper_storage::{Column, DataType, Table, Value};
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
@@ -29,35 +29,60 @@ pub struct TableEncoder {
 }
 
 impl TableEncoder {
-    /// Fit an encoder over the named columns of `table`.
+    /// Fit an encoder over the named columns of `table`. Statistics come
+    /// straight off the typed buffers: numeric means are slice sums, and
+    /// string categories are the dictionary codes observed in the column
+    /// (no per-cell `Value` hashing).
     pub fn fit(table: &Table, columns: &[String]) -> Result<TableEncoder> {
         let mut encodings = Vec::with_capacity(columns.len());
         let mut width = 0usize;
         for name in columns {
             let idx = table.schema().index_of(name)?;
-            let values = table.column(idx);
-            let numeric = values.iter().all(|v| v.is_null() || v.as_f64().is_some());
-            let has_non_null = values.iter().any(|v| !v.is_null());
-            if numeric && has_non_null {
-                let (mut sum, mut n) = (0.0, 0usize);
-                for v in values {
-                    if let Some(x) = v.as_f64() {
+            let col = table.column(idx);
+            let non_null = col.len() - col.null_count();
+            let numeric = matches!(
+                col.data_type(),
+                DataType::Int | DataType::Float | DataType::Bool
+            );
+            if numeric && non_null > 0 {
+                let mut sum = 0.0;
+                for i in 0..col.len() {
+                    if let Some(x) = col.f64_at(i) {
                         sum += x;
-                        n += 1;
                     }
                 }
                 encodings.push(ColumnEncoding::Numeric {
-                    mean: sum / n as f64,
+                    mean: sum / non_null as f64,
                 });
                 width += 1;
             } else {
-                let mut cats: Vec<Value> = Vec::new();
-                let mut seen: HashMap<Value, ()> = HashMap::new();
-                for v in values {
-                    if !v.is_null() && seen.insert(v.clone(), ()).is_none() {
-                        cats.push(v.clone());
+                let mut cats: Vec<Value> = match col.as_str() {
+                    Some((codes, dict, nulls)) => {
+                        // Observed codes only — a gathered column shares a
+                        // dictionary that may be a superset of its rows.
+                        let mut seen = vec![false; dict.len()];
+                        for (i, &c) in codes.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                seen[c as usize] = true;
+                            }
+                        }
+                        seen.iter()
+                            .enumerate()
+                            .filter(|(_, &s)| s)
+                            .map(|(c, _)| Value::Str(std::sync::Arc::clone(dict.get(c as u32))))
+                            .collect()
                     }
-                }
+                    None => {
+                        let mut seen: HashMap<Value, ()> = HashMap::new();
+                        let mut cats = Vec::new();
+                        for v in col.iter() {
+                            if !v.is_null() && seen.insert(v.clone(), ()).is_none() {
+                                cats.push(v);
+                            }
+                        }
+                        cats
+                    }
+                };
                 cats.sort();
                 width += cats.len();
                 encodings.push(ColumnEncoding::OneHot { categories: cats });
@@ -117,27 +142,97 @@ impl TableEncoder {
     }
 
     /// Encode every row of `table` (must contain the fitted columns).
+    ///
+    /// The feature matrix is filled **column-wise** off the typed buffers:
+    /// numeric features are slice reads with mean imputation, and one-hot
+    /// features over string columns resolve each fitted category to a
+    /// dictionary code once, then compare codes per row — no per-cell
+    /// `Value` materialization or hashing.
     pub fn encode_table(&self, table: &Table) -> Result<Matrix> {
-        let idxs: Vec<usize> = self
+        let cols: Vec<&Column> = self
             .columns
             .iter()
-            .map(|c| table.schema().index_of(c))
+            .map(|c| table.column_by_name(c))
             .collect::<hyper_storage::Result<_>>()?;
-        let mut m = Matrix::zeros(0, 0);
-        let mut buf: Vec<Value> = Vec::with_capacity(idxs.len());
-        for i in 0..table.num_rows() {
-            buf.clear();
-            for &c in &idxs {
-                buf.push(table.get(i, c).clone());
-            }
-            let row = self.encode_values(&buf)?;
-            m.push_row(&row)?;
+        self.encode_columns(&cols)
+    }
+
+    /// Encode typed columns positionally aligned with [`TableEncoder::
+    /// columns`] (the no-schema variant of [`TableEncoder::encode_table`],
+    /// used when callers assemble hypothetical post-update columns).
+    pub fn encode_columns(&self, cols: &[&Column]) -> Result<Matrix> {
+        if cols.len() != self.encodings.len() {
+            return Err(MlError::InvalidInput(format!(
+                "expected {} columns, got {}",
+                self.encodings.len(),
+                cols.len()
+            )));
         }
-        if table.num_rows() == 0 {
-            // Preserve the width even for empty inputs.
-            m = Matrix::zeros(0, self.width);
+        let n = cols.first().map_or(0, |c| c.len());
+        if cols.iter().any(|c| c.len() != n) {
+            return Err(MlError::InvalidInput("ragged input columns".into()));
+        }
+        let mut m = Matrix::zeros(n, self.width);
+        let mut offset = 0usize;
+        for (&col, enc) in cols.iter().zip(&self.encodings) {
+            match enc {
+                ColumnEncoding::Numeric { mean } => {
+                    self.fill_numeric(&mut m, col, offset, *mean);
+                    offset += 1;
+                }
+                ColumnEncoding::OneHot { categories } => {
+                    self.fill_one_hot(&mut m, col, offset, categories);
+                    offset += categories.len();
+                }
+            }
         }
         Ok(m)
+    }
+
+    fn fill_numeric(&self, m: &mut Matrix, col: &Column, j: usize, mean: f64) {
+        match col.as_float() {
+            Some((values, nulls)) if !nulls.any_null() => {
+                for (i, &x) in values.iter().enumerate() {
+                    m.set(i, j, x);
+                }
+            }
+            _ => {
+                for i in 0..col.len() {
+                    m.set(i, j, col.f64_at(i).unwrap_or(mean));
+                }
+            }
+        }
+    }
+
+    fn fill_one_hot(&self, m: &mut Matrix, col: &Column, offset: usize, categories: &[Value]) {
+        if let Some((codes, dict, nulls)) = col.as_str() {
+            // Map each dictionary code to its category slot (if fitted).
+            let mut slot_of_code: Vec<Option<usize>> = vec![None; dict.len()];
+            for (k, cat) in categories.iter().enumerate() {
+                if let Some(code) = cat.as_str().and_then(|s| dict.code_of(s)) {
+                    slot_of_code[code as usize] = Some(k);
+                }
+            }
+            for (i, &code) in codes.iter().enumerate() {
+                if nulls.is_null(i) {
+                    continue;
+                }
+                if let Some(k) = slot_of_code[code as usize] {
+                    m.set(i, offset + k, 1.0);
+                }
+            }
+        } else {
+            // Fallback for non-string one-hot columns (e.g. re-typed
+            // inputs): strict Value comparison, as in `encode_values`.
+            for i in 0..col.len() {
+                let v = col.value(i);
+                for (k, cat) in categories.iter().enumerate() {
+                    if v == *cat {
+                        m.set(i, offset + k, 1.0);
+                    }
+                }
+            }
+        }
     }
 
     /// Extract a numeric target column.

@@ -74,6 +74,29 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
+    /// A new matrix with `col` appended as an extra trailing column
+    /// (re-laid out row-major in one pass).
+    pub fn with_appended_column(&self, col: &[f64]) -> Result<Matrix> {
+        if col.len() != self.rows {
+            return Err(MlError::InvalidInput(format!(
+                "appended column has {} values, matrix has {} rows",
+                col.len(),
+                self.rows
+            )));
+        }
+        let cols = self.cols + 1;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for (i, &extra) in col.iter().enumerate() {
+            data.extend_from_slice(self.row(i));
+            data.push(extra);
+        }
+        Ok(Matrix {
+            data,
+            rows: self.rows,
+            cols,
+        })
+    }
+
     /// Append a row.
     pub fn push_row(&mut self, row: &[f64]) -> Result<()> {
         if self.rows == 0 && self.cols == 0 {

@@ -483,6 +483,57 @@ pub struct ObjectiveSpec {
     pub predicate: Option<(HOp, Value)>,
 }
 
+/// A numeric bound of a `Limit` constraint: either a literal or a
+/// `Param(name)` placeholder supplied per execution through a
+/// [`crate::Bindings`] map — so one prepared how-to template can sweep
+/// candidate grids (`Limit Param(lo) <= Post(price) <= Param(hi)`) without
+/// re-preparing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bound {
+    /// Literal bound.
+    Lit(f64),
+    /// Named placeholder, bound at execution time.
+    Param(String),
+}
+
+impl Bound {
+    /// Placeholder helper.
+    pub fn param(name: impl Into<String>) -> Bound {
+        Bound::Param(name.into())
+    }
+
+    /// The literal value, if resolved.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Bound::Lit(x) => Some(*x),
+            Bound::Param(_) => None,
+        }
+    }
+
+    /// The parameter name, if this is a placeholder.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            Bound::Param(name) => Some(name),
+            Bound::Lit(_) => None,
+        }
+    }
+}
+
+impl From<f64> for Bound {
+    fn from(x: f64) -> Bound {
+        Bound::Lit(x)
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Lit(x) => write!(f, "{x}"),
+            Bound::Param(name) => write!(f, "Param({name})"),
+        }
+    }
+}
+
 /// One `Limit` constraint (paper §4.1).
 #[derive(Debug, Clone, PartialEq)]
 pub enum LimitConstraint {
@@ -491,9 +542,9 @@ pub enum LimitConstraint {
         /// Constrained attribute.
         attr: String,
         /// Lower bound, if any.
-        lo: Option<f64>,
+        lo: Option<Bound>,
         /// Upper bound, if any.
-        hi: Option<f64>,
+        hi: Option<Bound>,
     },
     /// `Post(A) In (v1, v2, …)`.
     InSet {
@@ -507,8 +558,31 @@ pub enum LimitConstraint {
         /// Constrained attribute.
         attr: String,
         /// Maximum normalized L1 distance.
-        bound: f64,
+        bound: Bound,
     },
+}
+
+impl LimitConstraint {
+    /// Parameter names referenced by this constraint's bounds.
+    pub fn param_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        match self {
+            LimitConstraint::Range { lo, hi, .. } => {
+                for b in [lo, hi].into_iter().flatten() {
+                    if let Some(n) = b.param_name() {
+                        out.push(n.to_string());
+                    }
+                }
+            }
+            LimitConstraint::L1 { bound, .. } => {
+                if let Some(n) = bound.param_name() {
+                    out.push(n.to_string());
+                }
+            }
+            LimitConstraint::InSet { .. } => {}
+        }
+        out
+    }
 }
 
 /// A complete probabilistic how-to query.
@@ -599,13 +673,15 @@ impl WhatIfQuery {
 }
 
 impl HowToQuery {
-    /// Parameter names mentioned in the `When` and `For` predicates
-    /// (`HowToUpdate`/`Limit`/objective carry no expressions that admit
-    /// placeholders).
+    /// Parameter names mentioned anywhere in the query, in clause order
+    /// (`When`, then `Limit` bounds, then `For`), first occurrence only.
     pub fn param_names(&self) -> Vec<String> {
         let mut out = Vec::new();
         if let Some(w) = &self.when {
             push_unique(&mut out, w.param_names());
+        }
+        for l in &self.limits {
+            push_unique(&mut out, l.param_names());
         }
         if let Some(fc) = &self.for_clause {
             push_unique(&mut out, fc.param_names());

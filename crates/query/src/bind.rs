@@ -28,7 +28,8 @@ use std::fmt;
 use hyper_storage::Value;
 
 use crate::ast::{
-    HExpr, HowToQuery, HypotheticalQuery, OutputArg, ParamMode, UpdateFunc, UpdateSpec, WhatIfQuery,
+    Bound, HExpr, HowToQuery, HypotheticalQuery, LimitConstraint, OutputArg, ParamMode, UpdateFunc,
+    UpdateSpec, WhatIfQuery,
 };
 use crate::error::{QueryError, Result};
 
@@ -87,7 +88,7 @@ impl Bindings {
         let v = self.require(name)?;
         v.as_f64().ok_or_else(|| {
             QueryError::Binding(format!(
-                "parameter `{name}` must be numeric for a scale/shift update, got {v}"
+                "parameter `{name}` must be numeric (scale/shift constant or Limit bound), got {v}"
             ))
         })
     }
@@ -156,6 +157,34 @@ fn bind_opt(e: &Option<HExpr>, bindings: &Bindings) -> Result<Option<HExpr>> {
     e.as_ref().map(|e| e.bind(bindings)).transpose()
 }
 
+impl Bound {
+    /// Resolve a placeholder bound into its literal (numeric) value.
+    pub fn bind(&self, bindings: &Bindings) -> Result<Bound> {
+        Ok(match self {
+            Bound::Param(name) => Bound::Lit(bindings.require_f64(name)?),
+            lit => lit.clone(),
+        })
+    }
+}
+
+impl LimitConstraint {
+    /// Resolve every placeholder bound against `bindings`.
+    pub fn bind(&self, bindings: &Bindings) -> Result<LimitConstraint> {
+        Ok(match self {
+            LimitConstraint::Range { attr, lo, hi } => LimitConstraint::Range {
+                attr: attr.clone(),
+                lo: lo.as_ref().map(|b| b.bind(bindings)).transpose()?,
+                hi: hi.as_ref().map(|b| b.bind(bindings)).transpose()?,
+            },
+            LimitConstraint::L1 { attr, bound } => LimitConstraint::L1 {
+                attr: attr.clone(),
+                bound: bound.bind(bindings)?,
+            },
+            in_set @ LimitConstraint::InSet { .. } => in_set.clone(),
+        })
+    }
+}
+
 impl WhatIfQuery {
     /// Resolve every placeholder against `bindings`, yielding a concrete
     /// query (no `Param` nodes remain). Errors on any unbound parameter.
@@ -193,7 +222,11 @@ impl HowToQuery {
             use_clause: self.use_clause.clone(),
             when: bind_opt(&self.when, bindings)?,
             update_attrs: self.update_attrs.clone(),
-            limits: self.limits.clone(),
+            limits: self
+                .limits
+                .iter()
+                .map(|l| l.bind(bindings))
+                .collect::<Result<_>>()?,
             objective: self.objective.clone(),
             for_clause: bind_opt(&self.for_clause, bindings)?,
         })
@@ -262,6 +295,31 @@ mod tests {
             parse_query("Use d Update(b) = 1.5 * Pre(b) Output Count(Post(y) = 1)").unwrap();
         assert_eq!(bound, literal);
         assert!(bound.param_names().is_empty());
+    }
+
+    #[test]
+    fn limit_bounds_bind_to_literals() {
+        let template = parse_query(
+            "Use d HowToUpdate p Limit Param(lo) <= Post(p) <= Param(hi) \
+             And L1(Pre(p), Post(p)) <= Param(c) ToMaximize Avg(Post(r))",
+        )
+        .unwrap();
+        assert_eq!(template.param_names(), vec!["lo", "hi", "c"]);
+        let bound = template
+            .bind(&Bindings::new().set("lo", 10).set("hi", 20.5).set("c", 3))
+            .unwrap();
+        let literal = parse_query(
+            "Use d HowToUpdate p Limit 10 <= Post(p) <= 20.5 \
+             And L1(Pre(p), Post(p)) <= 3 ToMaximize Avg(Post(r))",
+        )
+        .unwrap();
+        assert_eq!(bound, literal);
+        assert!(bound.param_names().is_empty());
+        // Non-numeric bound values are rejected.
+        let err = template
+            .bind(&Bindings::new().set("lo", "x").set("hi", 1).set("c", 1))
+            .unwrap_err();
+        assert!(err.to_string().contains("lo"), "{err}");
     }
 
     #[test]

@@ -35,7 +35,7 @@
 use hyper_storage::{AggFunc, Value};
 
 use crate::ast::{
-    HExpr, HOp, HowToQuery, LimitConstraint, ObjectiveDirection, ObjectiveSpec, OutputArg,
+    Bound, HExpr, HOp, HowToQuery, LimitConstraint, ObjectiveDirection, ObjectiveSpec, OutputArg,
     OutputSpec, ParamMode, SelectStmt, UpdateFunc, UpdateSpec, UseClause, WhatIfQuery,
 };
 use crate::error::{QueryError, Result};
@@ -376,6 +376,22 @@ impl HowTo {
     pub fn limit_range(self, attr: impl Into<String>, lo: Option<f64>, hi: Option<f64>) -> HowTo {
         self.limit(LimitConstraint::Range {
             attr: attr.into(),
+            lo: lo.map(Bound::Lit),
+            hi: hi.map(Bound::Lit),
+        })
+    }
+
+    /// `Limit lo <= Post(attr) <= hi` with [`Bound`]s, so either end can be
+    /// a `Param(name)` placeholder swept through [`crate::Bindings`]:
+    /// `limit_range_bounds("price", Some(Bound::param("lo")), Some(800.0.into()))`.
+    pub fn limit_range_bounds(
+        self,
+        attr: impl Into<String>,
+        lo: Option<Bound>,
+        hi: Option<Bound>,
+    ) -> HowTo {
+        self.limit(LimitConstraint::Range {
+            attr: attr.into(),
             lo,
             hi,
         })
@@ -397,7 +413,15 @@ impl HowTo {
     pub fn limit_l1(self, attr: impl Into<String>, bound: f64) -> HowTo {
         self.limit(LimitConstraint::L1 {
             attr: attr.into(),
-            bound,
+            bound: Bound::Lit(bound),
+        })
+    }
+
+    /// `Limit L1(Pre(attr), Post(attr)) <= Param(name)`.
+    pub fn limit_l1_param(self, attr: impl Into<String>, name: impl Into<String>) -> HowTo {
+        self.limit(LimitConstraint::L1 {
+            attr: attr.into(),
+            bound: Bound::param(name),
         })
     }
 

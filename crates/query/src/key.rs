@@ -259,22 +259,31 @@ pub fn write_output(out: &mut String, o: &OutputSpec) {
     }
 }
 
-fn write_limit(out: &mut String, l: &LimitConstraint) {
+fn write_bound(out: &mut String, prefix: char, b: &Bound) {
     use std::fmt::Write as _;
+    out.push(prefix);
+    match b {
+        Bound::Lit(x) => {
+            let _ = write!(out, "{:016x}", x.to_bits());
+        }
+        Bound::Param(name) => {
+            out.push('$');
+            write_str(out, name);
+        }
+    }
+}
+
+fn write_limit(out: &mut String, l: &LimitConstraint) {
     match l {
         LimitConstraint::Range { attr, lo, hi } => {
             out.push('R');
             write_str(out, attr);
             match lo {
-                Some(x) => {
-                    let _ = write!(out, "l{:016x}", x.to_bits());
-                }
+                Some(b) => write_bound(out, 'l', b),
                 None => out.push('-'),
             }
             match hi {
-                Some(x) => {
-                    let _ = write!(out, "h{:016x}", x.to_bits());
-                }
+                Some(b) => write_bound(out, 'h', b),
                 None => out.push('-'),
             }
         }
@@ -290,7 +299,7 @@ fn write_limit(out: &mut String, l: &LimitConstraint) {
         LimitConstraint::L1 { attr, bound } => {
             out.push('1');
             write_str(out, attr);
-            let _ = write!(out, "{:016x}", bound.to_bits());
+            write_bound(out, 'b', bound);
         }
     }
 }

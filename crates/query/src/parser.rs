@@ -480,6 +480,35 @@ impl Parser {
         Ok(name)
     }
 
+    /// A `Limit` bound: a (possibly negative) number or `Param(name)`.
+    fn parse_bound(&mut self) -> Result<Bound> {
+        if self.peek_is_param_ref() {
+            Ok(Bound::Param(self.parse_param_ref()?))
+        } else {
+            Ok(Bound::Lit(self.expect_number()?))
+        }
+    }
+
+    /// The rest of `lo <= Post(A) [<= hi]` once `lo` is parsed.
+    fn parse_range_rest(&mut self, lo: Bound) -> Result<LimitConstraint> {
+        self.expect(&Token::Le)?;
+        self.expect_keyword(Keyword::Post)?;
+        self.expect(&Token::LParen)?;
+        let attr = self.expect_ident()?;
+        self.expect(&Token::RParen)?;
+        let hi = if self.peek() == Some(&Token::Le) {
+            self.advance();
+            Some(self.parse_bound()?)
+        } else {
+            None
+        };
+        Ok(LimitConstraint::Range {
+            attr,
+            lo: Some(lo),
+            hi,
+        })
+    }
+
     fn check_update_pre(&self, attr: &str, pre_name: &str) -> Result<()> {
         if !attr.eq_ignore_ascii_case(pre_name) {
             return Err(QueryError::Parse {
@@ -613,28 +642,17 @@ impl Parser {
                     return self.err(format!("L1 over mismatched attributes {pre}/{post}"));
                 }
                 self.expect(&Token::Le)?;
-                let bound = self.expect_number()?;
+                let bound = self.parse_bound()?;
                 Ok(LimitConstraint::L1 { attr: pre, bound })
             }
-            // `lo <= Post(A) [<= hi]`
+            // `lo <= Post(A) [<= hi]` — `lo` a number or `Param(name)`
             Some(Token::Number(_)) | Some(Token::Minus) => {
-                let lo = self.expect_number()?;
-                self.expect(&Token::Le)?;
-                self.expect_keyword(Keyword::Post)?;
-                self.expect(&Token::LParen)?;
-                let attr = self.expect_ident()?;
-                self.expect(&Token::RParen)?;
-                let hi = if self.peek() == Some(&Token::Le) {
-                    self.advance();
-                    Some(self.expect_number()?)
-                } else {
-                    None
-                };
-                Ok(LimitConstraint::Range {
-                    attr,
-                    lo: Some(lo),
-                    hi,
-                })
+                let lo = self.parse_bound()?;
+                self.parse_range_rest(lo)
+            }
+            Some(Token::Ident(_)) if self.peek_is_param_ref() => {
+                let lo = self.parse_bound()?;
+                self.parse_range_rest(lo)
             }
             // `Post(A) <= hi`, `Post(A) >= lo`, `Post(A) In (…)`
             Some(Token::Keyword(Keyword::Post)) => {
@@ -646,11 +664,11 @@ impl Parser {
                     Some(Token::Le) => Ok(LimitConstraint::Range {
                         attr,
                         lo: None,
-                        hi: Some(self.expect_number()?),
+                        hi: Some(self.parse_bound()?),
                     }),
                     Some(Token::Ge) => Ok(LimitConstraint::Range {
                         attr,
-                        lo: Some(self.expect_number()?),
+                        lo: Some(self.parse_bound()?),
                         hi: None,
                     }),
                     Some(Token::Keyword(Keyword::In)) => {
@@ -936,15 +954,15 @@ mod tests {
             q.limits[0],
             LimitConstraint::Range {
                 attr: "Price".into(),
-                lo: Some(500.0),
-                hi: Some(800.0)
+                lo: Some(Bound::Lit(500.0)),
+                hi: Some(Bound::Lit(800.0))
             }
         );
         assert_eq!(
             q.limits[1],
             LimitConstraint::L1 {
                 attr: "Price".into(),
-                bound: 400.0
+                bound: Bound::Lit(400.0)
             }
         );
         assert_eq!(q.objective.direction, ObjectiveDirection::Maximize);
@@ -1043,11 +1061,75 @@ mod tests {
             q.limits[1],
             LimitConstraint::Range {
                 attr: "Price".into(),
-                lo: Some(10.0),
+                lo: Some(Bound::Lit(10.0)),
                 hi: None
             }
         );
         assert_eq!(q.objective.direction, ObjectiveDirection::Minimize);
+    }
+
+    #[test]
+    fn param_limit_bounds_parse_and_roundtrip() {
+        let text = "Use T HowToUpdate Price
+                    Limit Param(lo) <= Post(Price) <= Param(hi)
+                    And L1(Pre(Price), Post(Price)) <= Param(budget)
+                    ToMaximize Avg(Post(R))";
+        let q = parse_query(text).unwrap();
+        let HypotheticalQuery::HowTo(ht) = &q else {
+            panic!()
+        };
+        assert_eq!(
+            ht.limits[0],
+            LimitConstraint::Range {
+                attr: "Price".into(),
+                lo: Some(Bound::param("lo")),
+                hi: Some(Bound::param("hi")),
+            }
+        );
+        assert_eq!(
+            ht.limits[1],
+            LimitConstraint::L1 {
+                attr: "Price".into(),
+                bound: Bound::param("budget"),
+            }
+        );
+        assert_eq!(q.param_names(), vec!["lo", "hi", "budget"]);
+        // Display → parse round-trip preserves the placeholders.
+        let rendered = q.to_string();
+        assert_eq!(parse_query(&rendered).unwrap(), q, "{rendered}");
+    }
+
+    #[test]
+    fn param_post_bound_forms() {
+        let q =
+            parse_query("Use T HowToUpdate P Limit Post(P) <= Param(cap) ToMaximize Avg(Post(R))")
+                .unwrap();
+        let HypotheticalQuery::HowTo(ht) = &q else {
+            panic!()
+        };
+        assert_eq!(
+            ht.limits[0],
+            LimitConstraint::Range {
+                attr: "P".into(),
+                lo: None,
+                hi: Some(Bound::param("cap")),
+            }
+        );
+        let q = parse_query(
+            "Use T HowToUpdate P Limit Post(P) >= Param(floor) ToMaximize Avg(Post(R))",
+        )
+        .unwrap();
+        let HypotheticalQuery::HowTo(ht) = &q else {
+            panic!()
+        };
+        assert_eq!(
+            ht.limits[0],
+            LimitConstraint::Range {
+                attr: "P".into(),
+                lo: Some(Bound::param("floor")),
+                hi: None,
+            }
+        );
     }
 
     #[test]

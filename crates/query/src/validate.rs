@@ -90,7 +90,9 @@ pub fn validate_howto(q: &HowToQuery, view_columns: Option<&[String]>) -> Result
     for l in &q.limits {
         let attr = match l {
             LimitConstraint::Range { attr, lo, hi } => {
-                if let (Some(lo), Some(hi)) = (lo, hi) {
+                // Only literal bound pairs are checkable here; `Param(…)`
+                // bounds are validated once resolved (at bind time).
+                if let (Some(Bound::Lit(lo)), Some(Bound::Lit(hi))) = (lo.as_ref(), hi.as_ref()) {
                     if lo > hi {
                         return Err(QueryError::Validation(format!(
                             "Limit range for `{attr}` has lower bound {lo} > upper bound {hi}"
@@ -108,7 +110,7 @@ pub fn validate_howto(q: &HowToQuery, view_columns: Option<&[String]>) -> Result
                 attr
             }
             LimitConstraint::L1 { attr, bound } => {
-                if *bound < 0.0 {
+                if matches!(bound, Bound::Lit(b) if *b < 0.0) {
                     return Err(QueryError::Validation(format!(
                         "Limit L1 bound for `{attr}` is negative"
                     )));

@@ -126,8 +126,8 @@ fn arb_howto() -> impl Strategy<Value = HowToQuery> {
             let limits = match range {
                 Some((lo, hi)) => vec![LimitConstraint::Range {
                     attr: attrs[0].clone(),
-                    lo: Some(lo as f64),
-                    hi: Some(hi as f64),
+                    lo: Some((lo as f64).into()),
+                    hi: Some((hi as f64).into()),
                 }],
                 None => Vec::new(),
             };

@@ -24,7 +24,7 @@ pub fn to_csv(table: &Table) -> String {
         let cells: Vec<String> = (0..table.num_columns())
             .map(|c| match table.get(i, c) {
                 Value::Null => String::new(),
-                Value::Str(s) => escape(s),
+                Value::Str(s) => escape(&s),
                 v => v.to_string(),
             })
             .collect();
@@ -165,9 +165,9 @@ mod tests {
         let csv = to_csv(&t);
         let back = from_csv("t", schema(), &csv).unwrap();
         assert_eq!(back.num_rows(), 3);
-        assert_eq!(back.get(1, 1), &Value::str("with,comma"));
-        assert_eq!(back.get(1, 2), &Value::Null);
-        assert_eq!(back.get(2, 1), &Value::str("with\"quote"));
+        assert_eq!(back.get(1, 1), Value::str("with,comma"));
+        assert_eq!(back.get(1, 2), Value::Null);
+        assert_eq!(back.get(2, 1), Value::str("with\"quote"));
     }
 
     #[test]
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn empty_cell_null_handling() {
         let t = from_csv("t", schema(), "id,name,score\n1,a,\n").unwrap();
-        assert_eq!(t.get(0, 2), &Value::Null);
+        assert_eq!(t.get(0, 2), Value::Null);
         let err = from_csv("t", schema(), "id,name,score\n,a,1.0\n").unwrap_err();
         assert!(matches!(err, StorageError::Csv(_)));
     }

@@ -4,8 +4,11 @@
 //! [`Schema`] before evaluation, compiling name lookups into positional
 //! accesses (a pattern borrowed from DataFusion's physical expressions).
 
+use std::borrow::Cow;
 use std::fmt;
+use std::sync::Arc;
 
+use crate::column::{Column, NullBitmap, StrDict};
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::table::Table;
@@ -274,7 +277,7 @@ impl BoundExpr {
 
     /// Evaluate against row `i` of a columnar table without materializing it.
     pub fn eval_at(&self, table: &Table, i: usize) -> Result<Value> {
-        self.eval_with(&mut |idx| table.get(i, idx).clone())
+        self.eval_with(&mut |idx| table.get(i, idx))
     }
 
     /// Core evaluator over an arbitrary cell accessor.
@@ -381,6 +384,697 @@ impl BoundExpr {
             ))),
         }
     }
+
+    /// Vectorized evaluation: one typed [`Column`] holding the expression's
+    /// value for every row of `table`. Column references are borrowed, so
+    /// `col("a").eval_column(t)` costs one buffer clone at most; kernels
+    /// run over typed slices (dictionary codes for string equality) with no
+    /// per-cell [`Value`] boxing.
+    pub fn eval_column(&self, table: &Table) -> Result<Column> {
+        let n = table.num_rows();
+        Ok(match self.eval_vec(table)? {
+            Ev::Col(c) => c.into_owned(),
+            Ev::Scalar(v) => broadcast(&v, n),
+        })
+    }
+
+    /// Vectorized predicate: the selection vector of rows where the
+    /// expression is `true` (NULL collapses to `false`, as in
+    /// [`BoundExpr::eval_predicate_at`]).
+    pub fn eval_selection(&self, table: &Table) -> Result<Vec<usize>> {
+        let n = table.num_rows();
+        match self.eval_vec(table)? {
+            Ev::Scalar(Value::Bool(true)) => Ok((0..n).collect()),
+            Ev::Scalar(Value::Bool(false)) | Ev::Scalar(Value::Null) => Ok(Vec::new()),
+            Ev::Scalar(v) => {
+                if n == 0 {
+                    Ok(Vec::new())
+                } else {
+                    Err(StorageError::TypeError(format!(
+                        "predicate evaluated to non-boolean {v}"
+                    )))
+                }
+            }
+            Ev::Col(c) => selection_from_column(&c),
+        }
+    }
+
+    /// Internal vectorized evaluator; literals stay scalar until a kernel
+    /// needs them, so `price < 700` never materializes a broadcast column.
+    fn eval_vec<'a>(&'a self, table: &'a Table) -> Result<Ev<'a>> {
+        let n = table.num_rows();
+        Ok(match self {
+            BoundExpr::Column(i) => Ev::Col(Cow::Borrowed(table.column(*i))),
+            BoundExpr::Lit(v) => Ev::Scalar(v.clone()),
+            BoundExpr::Unary(UnaryOp::Not, e) => kernel_not(e.eval_vec(table)?, n)?,
+            BoundExpr::Unary(UnaryOp::Neg, e) => kernel_neg(e.eval_vec(table)?, n)?,
+            BoundExpr::Binary(op, l, r) => {
+                let lv = l.eval_vec(table)?;
+                match op {
+                    // Logical connectives: the row evaluator short-circuits
+                    // (a false AND-side suppresses both right-hand
+                    // evaluation errors *and* a non-boolean right side), so
+                    // when the eager vectorized path fails — RHS evaluation
+                    // or the boolean combine itself — re-run this node
+                    // row-at-a-time: rows decided by the left side never
+                    // touch the right side, exactly as in
+                    // `eval_predicate_at`.
+                    BinOp::And | BinOp::Or => {
+                        let vectorized = r
+                            .eval_vec(table)
+                            .and_then(|rv| kernel_logic(*op, lv, rv, n));
+                        match vectorized {
+                            Ok(ev) => ev,
+                            Err(_) => row_fallback(self, table, n)?,
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        kernel_compare(*op, lv, r.eval_vec(table)?, n)?
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                        kernel_arith(*op, lv, r.eval_vec(table)?, n)?
+                    }
+                }
+            }
+            BoundExpr::InList {
+                expr,
+                list,
+                negated,
+            } => kernel_in_list(expr.eval_vec(table)?, list, *negated, n)?,
+            BoundExpr::IsNull { expr, negated } => match expr.eval_vec(table)? {
+                Ev::Scalar(v) => Ev::Scalar(Value::Bool(v.is_null() != *negated)),
+                Ev::Col(c) => {
+                    let nulls = c.nulls();
+                    let values: Vec<bool> = (0..n).map(|i| nulls.is_null(i) != *negated).collect();
+                    Ev::Col(Cow::Owned(Column::Bool {
+                        values,
+                        nulls: NullBitmap::all_valid(n),
+                    }))
+                }
+            },
+        })
+    }
+}
+
+/// A lazily-broadcast evaluation result: a full column or a scalar that
+/// every row shares.
+enum Ev<'a> {
+    Col(Cow<'a, Column>),
+    Scalar(Value),
+}
+
+/// Row-at-a-time re-evaluation of a logical node whose vectorized path
+/// failed: reproduces the row evaluator's short-circuit semantics exactly
+/// (errors surface only on rows that actually evaluate the failing side).
+fn row_fallback<'a>(expr: &BoundExpr, table: &Table, n: usize) -> Result<Ev<'a>> {
+    let mut values = Vec::with_capacity(n);
+    let mut nulls = NullBitmap::all_valid(n);
+    for i in 0..n {
+        match expr.eval_at(table, i)? {
+            Value::Bool(b) => values.push(b),
+            Value::Null => {
+                values.push(false);
+                nulls.set(i, true);
+            }
+            v => {
+                return Err(StorageError::TypeError(format!(
+                    "logical operator expects boolean, got {v}"
+                )))
+            }
+        }
+    }
+    Ok(Ev::Col(Cow::Owned(Column::Bool { values, nulls })))
+}
+
+/// Materialize a scalar as a column of length `n`. NULL broadcasts as an
+/// all-null Float column (the same Float fallback the row-oriented
+/// projection used for untyped expressions).
+fn broadcast(v: &Value, n: usize) -> Column {
+    match v {
+        Value::Int(x) => Column::Int {
+            values: vec![*x; n],
+            nulls: NullBitmap::all_valid(n),
+        },
+        Value::Float(x) => Column::Float {
+            values: vec![*x; n],
+            nulls: NullBitmap::all_valid(n),
+        },
+        Value::Bool(b) => Column::Bool {
+            values: vec![*b; n],
+            nulls: NullBitmap::all_valid(n),
+        },
+        Value::Str(_) | Value::Null => {
+            let mut c = Column::new(match v {
+                Value::Str(_) => crate::value::DataType::Str,
+                _ => crate::value::DataType::Float,
+            });
+            c.reserve(n);
+            for _ in 0..n {
+                c.push(v).expect("broadcast of a matching value");
+            }
+            c
+        }
+    }
+}
+
+/// Selection vector from an evaluated predicate column: `true` rows only;
+/// NULL → skipped; a non-boolean column with any non-NULL row is an error.
+fn selection_from_column(c: &Column) -> Result<Vec<usize>> {
+    match c.as_bool() {
+        Some((values, nulls)) => {
+            let mut keep = Vec::new();
+            if nulls.any_null() {
+                for (i, &v) in values.iter().enumerate() {
+                    if v && !nulls.is_null(i) {
+                        keep.push(i);
+                    }
+                }
+            } else {
+                for (i, &v) in values.iter().enumerate() {
+                    if v {
+                        keep.push(i);
+                    }
+                }
+            }
+            Ok(keep)
+        }
+        None => {
+            if c.null_count() == c.len() {
+                Ok(Vec::new()) // all-NULL predicate: uniformly false
+            } else {
+                let i = (0..c.len()).find(|&i| !c.is_null(i)).unwrap_or(0);
+                Err(StorageError::TypeError(format!(
+                    "predicate evaluated to non-boolean {}",
+                    c.value(i)
+                )))
+            }
+        }
+    }
+}
+
+/// Per-row numeric accessor over a typed column or scalar (the `as_f64`
+/// coercion: Int/Float pass through, Bool maps to 0/1, NULL and strings
+/// are `None`).
+enum NumSrc<'a> {
+    I(&'a [i64], &'a NullBitmap),
+    F(&'a [f64], &'a NullBitmap),
+    B(&'a [bool], &'a NullBitmap),
+    Const(Option<f64>),
+}
+
+impl NumSrc<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Option<f64> {
+        match self {
+            NumSrc::I(v, nulls) => (!nulls.is_null(i)).then(|| v[i] as f64),
+            NumSrc::F(v, nulls) => (!nulls.is_null(i)).then(|| v[i]),
+            NumSrc::B(v, nulls) => (!nulls.is_null(i)).then(|| if v[i] { 1.0 } else { 0.0 }),
+            NumSrc::Const(x) => *x,
+        }
+    }
+}
+
+/// Classify an evaluated side for the comparison/arithmetic kernels.
+enum Side<'a> {
+    Num(NumSrc<'a>),
+    Str(StrSrc<'a>),
+    NullScalar,
+}
+
+enum StrSrc<'a> {
+    Col(&'a [u32], &'a StrDict, &'a NullBitmap),
+    Const(&'a Arc<str>),
+}
+
+impl StrSrc<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Option<&str> {
+        match self {
+            StrSrc::Col(codes, dict, nulls) => {
+                (!nulls.is_null(i)).then(|| dict.get(codes[i]).as_ref())
+            }
+            StrSrc::Const(s) => Some(s.as_ref()),
+        }
+    }
+}
+
+fn classify<'a>(ev: &'a Ev<'a>) -> Side<'a> {
+    match ev {
+        Ev::Col(c) => match c.as_ref() {
+            Column::Int { values, nulls } => Side::Num(NumSrc::I(values, nulls)),
+            Column::Float { values, nulls } => Side::Num(NumSrc::F(values, nulls)),
+            Column::Bool { values, nulls } => Side::Num(NumSrc::B(values, nulls)),
+            Column::Str { codes, dict, nulls } => Side::Str(StrSrc::Col(codes, dict, nulls)),
+        },
+        Ev::Scalar(Value::Int(x)) => Side::Num(NumSrc::Const(Some(*x as f64))),
+        Ev::Scalar(Value::Float(x)) => Side::Num(NumSrc::Const(Some(*x))),
+        Ev::Scalar(Value::Bool(b)) => Side::Num(NumSrc::Const(Some(if *b { 1.0 } else { 0.0 }))),
+        Ev::Scalar(Value::Str(s)) => Side::Str(StrSrc::Const(s)),
+        Ev::Scalar(Value::Null) => Side::NullScalar,
+    }
+}
+
+fn bool_col(values: Vec<bool>) -> Ev<'static> {
+    let n = values.len();
+    Ev::Col(Cow::Owned(Column::Bool {
+        values,
+        nulls: NullBitmap::all_valid(n),
+    }))
+}
+
+/// Comparison kernel (`=`, `<>`, `<`, `<=`, `>`, `>=`): SQL semantics with
+/// numeric coercion, NULL compares false under every operator, and
+/// cross-type comparisons collapse to `false` (`<>` to `true` on non-NULL
+/// pairs), exactly like [`Value::sql_eq`] / [`Value::sql_cmp`].
+fn kernel_compare<'a>(op: BinOp, l: Ev<'a>, r: Ev<'a>, n: usize) -> Result<Ev<'a>> {
+    let apply_ord = |ord: Option<std::cmp::Ordering>| -> bool {
+        match ord {
+            None => false,
+            Some(o) => match op {
+                BinOp::Lt => o.is_lt(),
+                BinOp::Le => o.is_le(),
+                BinOp::Gt => o.is_gt(),
+                BinOp::Ge => o.is_ge(),
+                _ => unreachable!(),
+            },
+        }
+    };
+    let out = match (classify(&l), classify(&r)) {
+        // NULL operand: every comparison is false.
+        (Side::NullScalar, _) | (_, Side::NullScalar) => vec![false; n],
+        (Side::Num(a), Side::Num(b)) => match op {
+            BinOp::Eq => (0..n)
+                .map(|i| matches!((a.at(i), b.at(i)), (Some(x), Some(y)) if x == y))
+                .collect(),
+            BinOp::Ne => (0..n)
+                .map(|i| matches!((a.at(i), b.at(i)), (Some(x), Some(y)) if x != y))
+                .collect(),
+            _ => (0..n)
+                .map(|i| match (a.at(i), b.at(i)) {
+                    (Some(x), Some(y)) => apply_ord(x.partial_cmp(&y)),
+                    _ => false,
+                })
+                .collect(),
+        },
+        (Side::Str(a), Side::Str(b)) => match (op, &a, &b) {
+            // Dictionary fast path: equality against a string literal
+            // compares codes, not characters.
+            (BinOp::Eq | BinOp::Ne, StrSrc::Col(codes, dict, nulls), StrSrc::Const(s))
+            | (BinOp::Eq | BinOp::Ne, StrSrc::Const(s), StrSrc::Col(codes, dict, nulls)) => {
+                let target = dict.code_of(s);
+                let want_eq = op == BinOp::Eq;
+                (0..n)
+                    .map(|i| {
+                        if nulls.is_null(i) {
+                            false
+                        } else {
+                            (target == Some(codes[i])) == want_eq
+                        }
+                    })
+                    .collect()
+            }
+            (BinOp::Eq, _, _) => (0..n)
+                .map(|i| matches!((a.at(i), b.at(i)), (Some(x), Some(y)) if x == y))
+                .collect(),
+            (BinOp::Ne, _, _) => (0..n)
+                .map(|i| matches!((a.at(i), b.at(i)), (Some(x), Some(y)) if x != y))
+                .collect(),
+            _ => (0..n)
+                .map(|i| match (a.at(i), b.at(i)) {
+                    (Some(x), Some(y)) => apply_ord(Some(x.cmp(y))),
+                    _ => false,
+                })
+                .collect(),
+        },
+        // Mixed string/numeric: never equal, never ordered; `<>` is true
+        // exactly where both sides are non-NULL.
+        (Side::Str(a), Side::Num(b)) => {
+            mixed_compare(op, |i| a.at(i).is_some(), |i| b.at(i).is_some(), n)
+        }
+        (Side::Num(a), Side::Str(b)) => {
+            mixed_compare(op, |i| a.at(i).is_some(), |i| b.at(i).is_some(), n)
+        }
+    };
+    Ok(bool_col(out))
+}
+
+fn mixed_compare(
+    op: BinOp,
+    l_valid: impl Fn(usize) -> bool,
+    r_valid: impl Fn(usize) -> bool,
+    n: usize,
+) -> Vec<bool> {
+    match op {
+        BinOp::Ne => (0..n).map(|i| l_valid(i) && r_valid(i)).collect(),
+        _ => vec![false; n],
+    }
+}
+
+/// Arithmetic kernel. Matches the row-oriented semantics: `Int ∘ Int`
+/// stays integer (checked, overflowing rows fall back to float — and
+/// promote the whole column), any float/bool operand produces floats,
+/// NULL or non-numeric operands are per-row type errors, and division
+/// always yields floats and rejects zero divisors.
+fn kernel_arith<'a>(op: BinOp, l: Ev<'a>, r: Ev<'a>, n: usize) -> Result<Ev<'a>> {
+    if n == 0 {
+        return Ok(Ev::Col(Cow::Owned(Column::new(
+            crate::value::DataType::Float,
+        ))));
+    }
+    let err = |i: usize| -> StorageError {
+        let (a, b) = (ev_value(&l, i), ev_value(&r, i));
+        let sym = match op {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            _ => "/",
+        };
+        if op == BinOp::Div {
+            StorageError::TypeError(format!("cannot divide {a} by {b}"))
+        } else {
+            StorageError::TypeError(format!("cannot apply `{sym}` to {a} and {b}"))
+        }
+    };
+    // Integer fast path: both sides integer-typed.
+    if op != BinOp::Div {
+        if let (Some((la, ln)), Some((ra, rn))) = (ev_int(&l), ev_int(&r)) {
+            let g = match op {
+                BinOp::Add => i64::checked_add,
+                BinOp::Sub => i64::checked_sub,
+                BinOp::Mul => i64::checked_mul,
+                _ => unreachable!(),
+            };
+            let f = float_op(op);
+            let mut values = Vec::with_capacity(n);
+            let mut overflowed = false;
+            for i in 0..n {
+                let (x, y) = match (la.get(i, ln), ra.get(i, rn)) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => return Err(err(i)),
+                };
+                match g(x, y) {
+                    Some(v) => values.push(v),
+                    None => {
+                        overflowed = true;
+                        break;
+                    }
+                }
+            }
+            if !overflowed {
+                return Ok(Ev::Col(Cow::Owned(Column::Int {
+                    values,
+                    nulls: NullBitmap::all_valid(n),
+                })));
+            }
+            // Rare overflow: redo in floats (per-row fallback promotes the
+            // whole column; row values match the scalar fallback). NULL
+            // rows past the overflow point still error like the row
+            // evaluator — the checked loop above stopped before seeing
+            // them.
+            let mut values = Vec::with_capacity(n);
+            for i in 0..n {
+                let (x, y) = match (la.get(i, ln), ra.get(i, rn)) {
+                    (Some(x), Some(y)) => (x, y),
+                    _ => return Err(err(i)),
+                };
+                values.push(match g(x, y) {
+                    Some(v) => v as f64,
+                    None => f(x as f64, y as f64),
+                });
+            }
+            return Ok(Ev::Col(Cow::Owned(Column::Float {
+                values,
+                nulls: NullBitmap::all_valid(n),
+            })));
+        }
+    }
+    let (a, b) = match (classify(&l), classify(&r)) {
+        (Side::Num(a), Side::Num(b)) => (a, b),
+        _ => return Err(err(0)),
+    };
+    let f = float_op(op);
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        match (a.at(i), b.at(i)) {
+            (Some(x), Some(y)) => {
+                if op == BinOp::Div && y == 0.0 {
+                    return Err(StorageError::TypeError("division by zero".into()));
+                }
+                values.push(f(x, y));
+            }
+            _ => return Err(err(i)),
+        }
+    }
+    Ok(Ev::Col(Cow::Owned(Column::Float {
+        values,
+        nulls: NullBitmap::all_valid(n),
+    })))
+}
+
+fn float_op(op: BinOp) -> fn(f64, f64) -> f64 {
+    match op {
+        BinOp::Add => |x, y| x + y,
+        BinOp::Sub => |x, y| x - y,
+        BinOp::Mul => |x, y| x * y,
+        BinOp::Div => |x, y| x / y,
+        _ => unreachable!(),
+    }
+}
+
+/// Integer view of a side for the integer arithmetic fast path.
+enum IntSrc<'a> {
+    Slice(&'a [i64]),
+    Const(i64),
+}
+
+impl IntSrc<'_> {
+    #[inline]
+    fn get(&self, i: usize, nulls: Option<&NullBitmap>) -> Option<i64> {
+        if nulls.is_some_and(|b| b.is_null(i)) {
+            return None;
+        }
+        Some(match self {
+            IntSrc::Slice(v) => v[i],
+            IntSrc::Const(x) => *x,
+        })
+    }
+}
+
+fn ev_int<'a>(ev: &'a Ev<'a>) -> Option<(IntSrc<'a>, Option<&'a NullBitmap>)> {
+    match ev {
+        Ev::Col(c) => c
+            .as_int()
+            .map(|(values, nulls)| (IntSrc::Slice(values), Some(nulls))),
+        Ev::Scalar(Value::Int(x)) => Some((IntSrc::Const(*x), None)),
+        _ => None,
+    }
+}
+
+fn ev_value(ev: &Ev<'_>, i: usize) -> Value {
+    match ev {
+        Ev::Col(c) => c.value(i),
+        Ev::Scalar(v) => v.clone(),
+    }
+}
+
+/// Kleene three-valued AND/OR over boolean columns/scalars. A non-boolean
+/// operand with any non-NULL row is a type error (as in the row evaluator).
+fn kernel_logic<'a>(op: BinOp, l: Ev<'a>, r: Ev<'a>, n: usize) -> Result<Ev<'a>> {
+    let lb = ev_bool(&l, n)?;
+    let rb = ev_bool(&r, n)?;
+    let mut values = Vec::with_capacity(n);
+    let mut nulls = NullBitmap::all_valid(n);
+    for i in 0..n {
+        let v = match op {
+            BinOp::And => match (lb.at(i), rb.at(i)) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            _ => match (lb.at(i), rb.at(i)) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+        };
+        match v {
+            Some(b) => values.push(b),
+            None => {
+                values.push(false);
+                nulls.set(i, true);
+            }
+        }
+    }
+    Ok(Ev::Col(Cow::Owned(Column::Bool { values, nulls })))
+}
+
+enum BoolSrc<'a> {
+    Col(&'a [bool], &'a NullBitmap),
+    Const(Option<bool>),
+}
+
+impl BoolSrc<'_> {
+    #[inline]
+    fn at(&self, i: usize) -> Option<bool> {
+        match self {
+            BoolSrc::Col(v, nulls) => (!nulls.is_null(i)).then(|| v[i]),
+            BoolSrc::Const(b) => *b,
+        }
+    }
+}
+
+fn ev_bool<'a>(ev: &'a Ev<'a>, n: usize) -> Result<BoolSrc<'a>> {
+    match ev {
+        Ev::Col(c) => match c.as_bool() {
+            Some((values, nulls)) => Ok(BoolSrc::Col(values, nulls)),
+            None if c.null_count() == c.len() => Ok(BoolSrc::Const(None)),
+            None => {
+                let i = (0..c.len()).find(|&i| !c.is_null(i)).unwrap_or(0);
+                Err(StorageError::TypeError(format!(
+                    "logical operator expects boolean, got {}",
+                    c.value(i)
+                )))
+            }
+        },
+        Ev::Scalar(Value::Bool(b)) => Ok(BoolSrc::Const(Some(*b))),
+        Ev::Scalar(Value::Null) => Ok(BoolSrc::Const(None)),
+        Ev::Scalar(v) => {
+            if n == 0 {
+                Ok(BoolSrc::Const(None))
+            } else {
+                Err(StorageError::TypeError(format!(
+                    "logical operator expects boolean, got {v}"
+                )))
+            }
+        }
+    }
+}
+
+fn kernel_not<'a>(e: Ev<'a>, n: usize) -> Result<Ev<'a>> {
+    match &e {
+        Ev::Scalar(Value::Bool(b)) => return Ok(Ev::Scalar(Value::Bool(!b))),
+        Ev::Scalar(Value::Null) => return Ok(Ev::Scalar(Value::Null)),
+        Ev::Scalar(v) => {
+            return if n == 0 {
+                Ok(Ev::Scalar(Value::Null))
+            } else {
+                Err(StorageError::TypeError(format!(
+                    "NOT expects boolean, got {v}"
+                )))
+            }
+        }
+        Ev::Col(_) => {}
+    }
+    let src = match &e {
+        Ev::Col(c) => ev_bool(&e, n).map_err(|_| {
+            let i = (0..c.len()).find(|&i| !c.is_null(i)).unwrap_or(0);
+            StorageError::TypeError(format!("NOT expects boolean, got {}", c.value(i)))
+        })?,
+        _ => unreachable!(),
+    };
+    let mut values = Vec::with_capacity(n);
+    let mut nulls = NullBitmap::all_valid(n);
+    for i in 0..n {
+        match src.at(i) {
+            Some(b) => values.push(!b),
+            None => {
+                values.push(false);
+                nulls.set(i, true);
+            }
+        }
+    }
+    Ok(Ev::Col(Cow::Owned(Column::Bool { values, nulls })))
+}
+
+fn kernel_neg<'a>(e: Ev<'a>, n: usize) -> Result<Ev<'a>> {
+    match e {
+        Ev::Scalar(Value::Int(x)) => Ok(Ev::Scalar(Value::Int(-x))),
+        Ev::Scalar(Value::Float(x)) => Ok(Ev::Scalar(Value::Float(-x))),
+        Ev::Scalar(Value::Null) => Ok(Ev::Scalar(Value::Null)),
+        Ev::Scalar(v) => {
+            if n == 0 {
+                Ok(Ev::Scalar(Value::Null))
+            } else {
+                Err(StorageError::TypeError(format!(
+                    "negation expects numeric, got {v}"
+                )))
+            }
+        }
+        Ev::Col(c) => match c.as_ref() {
+            Column::Int { values, nulls } => Ok(Ev::Col(Cow::Owned(Column::Int {
+                values: values.iter().map(|x| x.wrapping_neg()).collect(),
+                nulls: nulls.clone(),
+            }))),
+            Column::Float { values, nulls } => Ok(Ev::Col(Cow::Owned(Column::Float {
+                values: values.iter().map(|x| -x).collect(),
+                nulls: nulls.clone(),
+            }))),
+            other if other.null_count() == other.len() => Ok(Ev::Col(Cow::Owned(Column::Float {
+                values: vec![0.0; n],
+                nulls: all_null(n),
+            }))),
+            other => {
+                let i = (0..other.len()).find(|&i| !other.is_null(i)).unwrap_or(0);
+                Err(StorageError::TypeError(format!(
+                    "negation expects numeric, got {}",
+                    other.value(i)
+                )))
+            }
+        },
+    }
+}
+
+fn all_null(n: usize) -> NullBitmap {
+    let mut b = NullBitmap::new();
+    for _ in 0..n {
+        b.push(true);
+    }
+    b
+}
+
+/// `IN` membership kernel (SQL equality against each candidate, NULL tested
+/// value → false). String columns match by dictionary code.
+fn kernel_in_list<'a>(e: Ev<'a>, list: &[Value], negated: bool, n: usize) -> Result<Ev<'a>> {
+    if let Ev::Scalar(v) = &e {
+        if v.is_null() {
+            return Ok(Ev::Scalar(Value::Bool(false)));
+        }
+        let found = list.iter().any(|cand| v.sql_eq(cand));
+        return Ok(Ev::Scalar(Value::Bool(found != negated)));
+    }
+    let out = match classify(&e) {
+        Side::NullScalar => unreachable!("scalar handled above"),
+        Side::Str(StrSrc::Col(codes, dict, nulls)) => {
+            // Candidate strings resolve to codes once; non-string
+            // candidates can never equal a string value.
+            let mut target_codes: Vec<u32> = list
+                .iter()
+                .filter_map(|v| v.as_str().and_then(|s| dict.code_of(s)))
+                .collect();
+            target_codes.sort_unstable();
+            target_codes.dedup();
+            (0..n)
+                .map(|i| {
+                    if nulls.is_null(i) {
+                        false
+                    } else {
+                        target_codes.binary_search(&codes[i]).is_ok() != negated
+                    }
+                })
+                .collect()
+        }
+        Side::Str(StrSrc::Const(_)) => unreachable!("scalar handled above"),
+        Side::Num(src) => {
+            let nums: Vec<f64> = list.iter().filter_map(Value::as_f64).collect();
+            (0..n)
+                .map(|i| match src.at(i) {
+                    None => false,
+                    Some(x) => nums.contains(&x) != negated,
+                })
+                .collect()
+        }
+    };
+    Ok(bool_col(out))
 }
 
 fn eval_logical(op: BinOp, l: &Value, r: &Value) -> Result<Value> {

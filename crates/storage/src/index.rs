@@ -34,7 +34,7 @@ impl SupportIndex {
             .collect::<Result<_>>()?;
         let mut groups: HashMap<Row, Vec<u32>> = HashMap::new();
         for i in 0..table.num_rows() {
-            let key: Row = col_idx.iter().map(|&c| table.get(i, c).clone()).collect();
+            let key: Row = col_idx.iter().map(|&c| table.get(i, c)).collect();
             groups.entry(key).or_default().push(i as u32);
         }
         Ok(SupportIndex {

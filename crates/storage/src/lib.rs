@@ -1,11 +1,26 @@
 //! # hyper-storage
 //!
 //! The relational substrate of the HypeR reproduction: an in-memory,
-//! columnar, multi-relation database with the query operators the paper's
-//! `Use` clause requires (selection, hash equi-join, group-by aggregation,
-//! projection), per-column domain statistics, and the multi-attribute
-//! *support index* that makes backdoor-adjustment estimation linear in the
-//! data (paper §3.3).
+//! **typed-columnar**, multi-relation database with the query operators the
+//! paper's `Use` clause requires (selection, hash equi-join, group-by
+//! aggregation, projection), per-column domain statistics, and the
+//! multi-attribute *support index* that makes backdoor-adjustment
+//! estimation linear in the data (paper §3.3).
+//!
+//! ## Storage layout
+//!
+//! Each [`Table`] column is a typed [`Column`]: `Int` is `Vec<i64>`,
+//! `Float` is `Vec<f64>`, `Bool` is `Vec<bool>`, and `Str` is
+//! dictionary-encoded (`Vec<u32>` codes into an `Arc`-shared [`StrDict`]);
+//! every column carries a [`NullBitmap`] (a set bit marks a NULL row; the
+//! payload slot holds an unobserved default). Execution is vectorized on
+//! top of this layout: predicates compile once ([`Expr::bind`]) and
+//! evaluate column-at-a-time ([`BoundExpr::eval_column`] /
+//! [`BoundExpr::eval_selection`]) into selection vectors, `gather` and
+//! projection are typed buffer copies that share string dictionaries, and
+//! joins/aggregations key on `(tag, bits)` parts read straight off the
+//! buffers. The row-oriented API (`push_row`, `row`, `iter_rows`, `get`)
+//! remains as a compatibility layer for loaders and tests.
 //!
 //! ## Quick example
 //!
@@ -36,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod csv;
 pub mod database;
 pub mod error;
@@ -48,6 +64,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use column::{Column, NullBitmap, StrDict};
 pub use database::{Database, ForeignKey};
 pub use error::{Result, StorageError};
 pub use expr::{col, lit, BinOp, BoundExpr, Expr, UnaryOp};

@@ -5,11 +5,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::expr::Expr;
 use crate::schema::{Field, Schema};
 use crate::table::Table;
-use crate::value::{DataType, Row, Value};
+use crate::value::{DataType, Value};
 
 /// Aggregate function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,9 +83,13 @@ impl AggExpr {
         }
     }
 
-    fn output_type(&self) -> DataType {
+    /// Output column type. `Min`/`Max` preserve the evaluated input's type
+    /// (they return observed values verbatim); `Count` is integer, the
+    /// arithmetic aggregates are float.
+    fn output_type(&self, evaluated_input: Option<&Column>) -> DataType {
         match self.func {
             AggFunc::Count => DataType::Int,
+            AggFunc::Min | AggFunc::Max => evaluated_input.map_or(DataType::Int, Column::data_type),
             _ => DataType::Float,
         }
     }
@@ -179,14 +184,25 @@ impl Accumulator {
 ///
 /// With an empty `group_by`, produces exactly one row (global aggregates),
 /// even over an empty input.
+///
+/// Vectorized: every aggregate input expression is evaluated once over the
+/// whole table ([`crate::BoundExpr::eval_column`]), group keys are hashed
+/// as typed `(tag, bits)` parts straight off the column buffers, and the
+/// output's group columns are a typed `gather` of each group's first row.
 pub fn aggregate(input: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result<Table> {
     let group_idx: Vec<usize> = group_by
         .iter()
         .map(|c| input.schema().index_of(c))
         .collect::<Result<_>>()?;
-    let bound_inputs: Vec<Option<crate::expr::BoundExpr>> = aggs
+    // Evaluate each aggregate's input over all rows, once.
+    let input_cols: Vec<Option<Column>> = aggs
         .iter()
-        .map(|a| a.input.as_ref().map(|e| e.bind(input.schema())).transpose())
+        .map(|a| {
+            a.input
+                .as_ref()
+                .map(|e| e.bind(input.schema())?.eval_column(input))
+                .transpose()
+        })
         .collect::<Result<_>>()?;
 
     // Output schema: group columns then aggregate aliases.
@@ -194,48 +210,63 @@ pub fn aggregate(input: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result
         .iter()
         .map(|&i| input.schema().field(i).clone())
         .collect();
-    for a in aggs {
-        fields.push(Field::nullable(a.alias.clone(), a.output_type()));
+    for (a, col) in aggs.iter().zip(&input_cols) {
+        fields.push(Field::nullable(
+            a.alias.clone(),
+            a.output_type(col.as_ref()),
+        ));
     }
     let schema = Schema::new(fields)?;
-    let mut out = Table::new(format!("agg({})", input.name()), schema);
 
-    // Group states, with insertion order preserved for deterministic output.
-    let mut states: HashMap<Row, usize> = HashMap::new();
-    let mut order: Vec<(Row, Vec<Accumulator>)> = Vec::new();
+    // Group states keyed by typed parts; first-occurrence order preserved
+    // for deterministic output, with a representative row per group.
+    let group_cols: Vec<&Column> = group_idx.iter().map(|&c| input.column(c)).collect();
+    let mut states: HashMap<Vec<u64>, usize> = HashMap::new();
+    let mut reps: Vec<usize> = Vec::new();
+    let mut accs: Vec<Vec<Accumulator>> = Vec::new();
+    let mut key: Vec<u64> = Vec::with_capacity(group_cols.len() * 2);
 
     for i in 0..input.num_rows() {
-        let key: Row = group_idx.iter().map(|&c| input.get(i, c).clone()).collect();
+        key.clear();
+        for c in &group_cols {
+            c.write_key_part(i, &mut key);
+        }
         let slot = match states.get(&key) {
             Some(&s) => s,
             None => {
-                let accs = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
-                order.push((key.clone(), accs));
-                states.insert(key, order.len() - 1);
-                order.len() - 1
+                reps.push(i);
+                accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                states.insert(key.clone(), accs.len() - 1);
+                accs.len() - 1
             }
         };
-        for (a, b) in order[slot].1.iter_mut().zip(&bound_inputs) {
-            let v = match b {
-                Some(expr) => expr.eval_at(input, i)?,
-                None => Value::Int(1),
-            };
-            a.update(&v)?;
+        for (a, col) in accs[slot].iter_mut().zip(&input_cols) {
+            match col {
+                Some(c) => a.update(&c.value(i))?,
+                None => a.update(&Value::Int(1))?,
+            }
         }
     }
 
-    if order.is_empty() && group_by.is_empty() {
+    if reps.is_empty() && group_by.is_empty() && !aggs.is_empty() {
         // Global aggregate over empty input: COUNT = 0, others NULL.
-        let accs: Vec<Accumulator> = aggs.iter().map(|a| Accumulator::new(a.func)).collect();
-        order.push((Vec::new(), accs));
+        accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
     }
 
-    for (key, accs) in order {
-        let mut row = key;
-        row.extend(accs.iter().map(Accumulator::finish));
-        out.push_row_unchecked(row);
+    // Assemble output columns: gathered group columns + aggregate results.
+    let mut columns: Vec<Column> = group_cols.iter().map(|c| c.gather(&reps)).collect();
+    for (k, (a, col)) in aggs.iter().zip(&input_cols).enumerate() {
+        let mut out_col = Column::with_capacity(a.output_type(col.as_ref()), accs.len());
+        for group in &accs {
+            out_col.push(&group[k].finish())?;
+        }
+        columns.push(out_col);
     }
-    Ok(out)
+    Ok(Table::from_columns(
+        format!("agg({})", input.name()),
+        schema,
+        columns,
+    ))
 }
 
 #[cfg(test)]
@@ -270,9 +301,9 @@ mod tests {
         .unwrap();
         assert_eq!(out.num_rows(), 3);
         // First group (insertion order) is asus.
-        assert_eq!(out.get(0, 0), &Value::str("asus"));
-        assert_eq!(out.get(0, 1), &Value::Float(3.0));
-        assert_eq!(out.get(0, 2), &Value::Int(2));
+        assert_eq!(out.get(0, 0), Value::str("asus"));
+        assert_eq!(out.get(0, 1), Value::Float(3.0));
+        assert_eq!(out.get(0, 2), Value::Int(2));
     }
 
     #[test]
@@ -289,9 +320,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.get(0, 0), &Value::Float(16.0));
-        assert_eq!(out.get(0, 1), &Value::Int(2));
-        assert_eq!(out.get(0, 2), &Value::Int(5));
+        assert_eq!(out.get(0, 0), Value::Float(16.0));
+        assert_eq!(out.get(0, 1), Value::Int(2));
+        assert_eq!(out.get(0, 2), Value::Int(5));
     }
 
     #[test]
@@ -307,7 +338,7 @@ mod tests {
             )],
         )
         .unwrap();
-        assert_eq!(out.get(0, 0), &Value::Int(3));
+        assert_eq!(out.get(0, 0), Value::Int(3));
     }
 
     #[test]
@@ -326,8 +357,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.get(0, 0), &Value::Int(0));
-        assert_eq!(out.get(0, 1), &Value::Null);
+        assert_eq!(out.get(0, 0), Value::Int(0));
+        assert_eq!(out.get(0, 1), Value::Null);
     }
 
     #[test]

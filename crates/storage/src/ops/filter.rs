@@ -4,28 +4,19 @@ use crate::error::Result;
 use crate::expr::Expr;
 use crate::table::Table;
 
-/// Filter `input` by `predicate`, returning a new table with the same schema.
+/// Filter `input` by `predicate`, returning a new table with the same
+/// schema. The predicate is evaluated vectorized ([`crate::BoundExpr::
+/// eval_selection`]) into a selection vector, then the surviving rows are
+/// gathered as typed buffer copies.
 pub fn filter(input: &Table, predicate: &Expr) -> Result<Table> {
-    let bound = predicate.bind(input.schema())?;
-    let mut keep = Vec::new();
-    for i in 0..input.num_rows() {
-        if bound.eval_predicate_at(input, i)? {
-            keep.push(i);
-        }
-    }
+    let keep = matching_rows(input, predicate)?;
     Ok(input.gather(&keep))
 }
 
-/// Return the row indices of `input` satisfying `predicate`.
+/// Return the row indices of `input` satisfying `predicate` (the selection
+/// vector of the vectorized scan).
 pub fn matching_rows(input: &Table, predicate: &Expr) -> Result<Vec<usize>> {
-    let bound = predicate.bind(input.schema())?;
-    let mut keep = Vec::new();
-    for i in 0..input.num_rows() {
-        if bound.eval_predicate_at(input, i)? {
-            keep.push(i);
-        }
-    }
-    Ok(keep)
+    predicate.bind(input.schema())?.eval_selection(input)
 }
 
 #[cfg(test)]
@@ -53,7 +44,10 @@ mod tests {
         let t = table();
         let out = filter(&t, &col("tag").eq(lit("a"))).unwrap();
         assert_eq!(out.num_rows(), 2);
-        assert_eq!(out.column_by_name("x").unwrap(), &[1.into(), 3.into()]);
+        assert_eq!(
+            out.column_by_name("x").unwrap().to_values(),
+            vec![1.into(), 3.into()]
+        );
     }
 
     #[test]
@@ -62,6 +56,58 @@ mod tests {
         let out = filter(&t, &col("x").gt(lit(100))).unwrap();
         assert_eq!(out.num_rows(), 0);
         assert_eq!(out.num_columns(), 2);
+    }
+
+    #[test]
+    fn short_circuit_suppresses_rhs_errors_like_the_row_evaluator() {
+        // `x <> 0 AND 10/x > 2`: the division by zero on the first row is
+        // guarded by the left side; both evaluators must keep row x=4 and
+        // never surface the error.
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![0.into()]).unwrap();
+        t.push_row(vec![4.into()]).unwrap();
+        let ten_over_x = Expr::Binary(
+            crate::expr::BinOp::Div,
+            Box::new(lit(10)),
+            Box::new(col("x")),
+        );
+        let pred = col("x").ne(lit(0)).and(ten_over_x.gt(lit(2)));
+        assert_eq!(matching_rows(&t, &pred).unwrap(), vec![1]);
+        // An unguarded error still propagates (x=0 not filtered out).
+        let bare = Expr::Binary(
+            crate::expr::BinOp::Div,
+            Box::new(lit(10)),
+            Box::new(col("x")),
+        )
+        .gt(lit(2));
+        assert!(matching_rows(&t, &bare).is_err());
+    }
+
+    #[test]
+    fn short_circuit_suppresses_non_boolean_rhs_like_the_row_evaluator() {
+        // `x = 999 AND x` — the RHS evaluates fine but is not boolean; the
+        // row evaluator never type-checks it because the LHS is false on
+        // every row. The vectorized path must agree (empty result, no
+        // error), while an unguarded non-boolean operand still errors.
+        let t = table();
+        let pred = col("x").eq(lit(999)).and(col("x"));
+        assert_eq!(matching_rows(&t, &pred).unwrap(), Vec::<usize>::new());
+        let unguarded = col("x").ge(lit(0)).and(col("x"));
+        assert!(matching_rows(&t, &unguarded).is_err());
+    }
+
+    #[test]
+    fn int_overflow_with_trailing_null_errors_instead_of_panicking() {
+        let schema = Schema::new(vec![Field::nullable("x", DataType::Int)]).unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![i64::MAX.into()]).unwrap();
+        t.push_row(vec![crate::value::Value::Null]).unwrap();
+        // Row 0 overflows the checked add (promoting the column to float);
+        // row 1's NULL operand is a type error, exactly as in the row
+        // evaluator — not a panic.
+        let pred = col("x").plus(lit(1)).gt(lit(0));
+        assert!(matching_rows(&t, &pred).is_err());
     }
 
     #[test]

@@ -1,10 +1,17 @@
-//! Hash equi-join (inner).
+//! Hash equi-join (inner), vectorized: join keys are encoded as typed
+//! `(tag, bits)` parts read straight off the column buffers (string keys
+//! resolve through a join-local dictionary remap instead of hashing
+//! characters per row), and the output is assembled with two typed
+//! `gather`s over the matched row indices — no per-cell `Value` cloning.
 
 use std::collections::HashMap;
 
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::table::Table;
+use crate::value::canonical_f64_bits;
+#[cfg(test)]
 use crate::value::Value;
 
 /// Inner hash equi-join of `left` and `right` on positional key pairs
@@ -51,7 +58,6 @@ pub fn hash_join(
         right_cols.push(i);
     }
     let schema = Schema::new(fields)?;
-    let mut out = Table::new(format!("{}⋈{}", left.name(), right.name()), schema);
 
     // Build side: smaller input.
     let (build, probe, build_keys, probe_keys, build_is_left) =
@@ -61,43 +67,149 @@ pub fn hash_join(
             (right, left, &rkeys, &lkeys, false)
         };
 
-    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build.num_rows());
-    for i in 0..build.num_rows() {
-        let key: Vec<Value> = build_keys
-            .iter()
-            .map(|&c| build.get(i, c).clone())
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue; // NULL never joins
+    // Per key-column encoders producing `u64` parts such that equal parts
+    // ⇔ strictly equal values across the two tables.
+    let encoders: Vec<KeyEncoder> = build_keys
+        .iter()
+        .zip(probe_keys.iter())
+        .map(|(&bc, &pc)| KeyEncoder::new(build.column(bc), probe.column(pc)))
+        .collect();
+
+    let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(build.num_rows());
+    let mut key: Vec<u64> = Vec::with_capacity(encoders.len());
+    'build: for i in 0..build.num_rows() {
+        key.clear();
+        for e in &encoders {
+            match e.build_part(i) {
+                Some(p) => key.push(p),
+                None => continue 'build, // NULL never joins
+            }
         }
-        index.entry(key).or_default().push(i);
+        index.entry(key.clone()).or_default().push(i);
     }
 
-    let mut row_buf: Vec<Value> = Vec::with_capacity(out.num_columns());
-    for p in 0..probe.num_rows() {
-        let key: Vec<Value> = probe_keys
-            .iter()
-            .map(|&c| probe.get(p, c).clone())
-            .collect();
-        if key.iter().any(Value::is_null) {
-            continue;
+    // Probe, collecting matched (left, right) row indices.
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<usize> = Vec::new();
+    'probe: for p in 0..probe.num_rows() {
+        key.clear();
+        for e in &encoders {
+            match e.probe_part(p) {
+                Some(part) => key.push(part),
+                None => continue 'probe, // NULL or unmatched dictionary code
+            }
         }
         if let Some(matches) = index.get(&key) {
             for &b in matches {
                 let (li, ri) = if build_is_left { (b, p) } else { (p, b) };
-                row_buf.clear();
-                for c in 0..left.num_columns() {
-                    row_buf.push(left.get(li, c).clone());
-                }
-                for &c in &right_cols {
-                    row_buf.push(right.get(ri, c).clone());
-                }
-                out.push_row_unchecked(std::mem::take(&mut row_buf));
-                row_buf = Vec::with_capacity(out.num_columns());
+                left_idx.push(li);
+                right_idx.push(ri);
             }
         }
     }
-    Ok(out)
+
+    // Assemble with typed gathers: left columns, then the kept right ones.
+    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
+    for c in 0..left.num_columns() {
+        columns.push(left.column(c).gather(&left_idx));
+    }
+    for &c in &right_cols {
+        columns.push(right.column(c).gather(&right_idx));
+    }
+    Ok(Table::from_columns(
+        format!("{}⋈{}", left.name(), right.name()),
+        schema,
+        columns,
+    ))
+}
+
+/// Encodes one key-column pair into cross-table-comparable `u64` parts.
+///
+/// Because each column is uniformly typed, a key position needs no
+/// per-value variant tag: a same-typed pair encodes canonical payload bits
+/// (raw `i64`, canonical `f64` bits, bool), a string pair remaps probe
+/// dictionary codes onto the *build* side's codes (strings absent from the
+/// build dictionary can never match), and a differently-typed pair can
+/// never produce strictly-equal values at all — matching the strict
+/// `Value` equality the row-oriented join keyed on (`Int(1) ≠ Float(1.0)`).
+enum KeyEncoder<'a> {
+    /// Same non-string type on both sides.
+    Typed {
+        build: &'a Column,
+        probe: &'a Column,
+    },
+    /// String pair: probe codes translate through `remap`.
+    Str {
+        build: &'a Column,
+        probe: &'a Column,
+        /// Probe dictionary code → build-side code (as `u64`).
+        remap: Vec<Option<u64>>,
+    },
+    /// Type-mismatched pair: no row ever joins.
+    Never,
+}
+
+impl<'a> KeyEncoder<'a> {
+    fn new(build: &'a Column, probe: &'a Column) -> KeyEncoder<'a> {
+        if let (Some((_, build_dict, _)), Some((_, probe_dict, _))) =
+            (build.as_str(), probe.as_str())
+        {
+            let remap = probe_dict
+                .strings()
+                .iter()
+                .map(|s| build_dict.code_of(s).map(|c| c as u64))
+                .collect();
+            return KeyEncoder::Str {
+                build,
+                probe,
+                remap,
+            };
+        }
+        if build.data_type() == probe.data_type() {
+            KeyEncoder::Typed { build, probe }
+        } else {
+            KeyEncoder::Never
+        }
+    }
+
+    fn build_part(&self, i: usize) -> Option<u64> {
+        match self {
+            KeyEncoder::Typed { build, .. } => scalar_bits(build, i),
+            KeyEncoder::Str { build, .. } => {
+                let (codes, _, nulls) = build.as_str().expect("Str encoder over Str column");
+                (!nulls.is_null(i)).then(|| codes[i] as u64)
+            }
+            KeyEncoder::Never => None,
+        }
+    }
+
+    fn probe_part(&self, i: usize) -> Option<u64> {
+        match self {
+            KeyEncoder::Typed { probe, .. } => scalar_bits(probe, i),
+            KeyEncoder::Str { probe, remap, .. } => {
+                let (codes, _, nulls) = probe.as_str().expect("Str encoder over Str column");
+                if nulls.is_null(i) {
+                    None
+                } else {
+                    remap[codes[i] as usize]
+                }
+            }
+            KeyEncoder::Never => None,
+        }
+    }
+}
+
+/// Canonical payload bits of a non-string cell; `None` for NULL.
+fn scalar_bits(col: &Column, i: usize) -> Option<u64> {
+    if col.is_null(i) {
+        return None;
+    }
+    Some(match col {
+        Column::Int { values, .. } => values[i] as u64,
+        Column::Float { values, .. } => canonical_f64_bits(values[i]),
+        Column::Bool { values, .. } => values[i] as u64,
+        Column::Str { codes, .. } => codes[i] as u64,
+    })
 }
 
 #[cfg(test)]

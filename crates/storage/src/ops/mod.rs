@@ -4,6 +4,6 @@ pub mod aggregate;
 pub mod filter;
 pub mod join;
 
-pub use aggregate::{aggregate, AggExpr, AggFunc};
-pub use filter::filter;
+pub use aggregate::{aggregate, Accumulator, AggExpr, AggFunc};
+pub use filter::{filter, matching_rows};
 pub use join::hash_join;

@@ -172,48 +172,28 @@ impl LogicalPlan {
     }
 }
 
-/// Compute a projection: each output column is an expression over the input.
+/// Compute a projection: each output column is an expression over the
+/// input, evaluated vectorized into a typed column (plain column
+/// references are buffer clones; the output type is the evaluated
+/// column's type).
 pub fn project(input: &Table, exprs: &[(Expr, String)]) -> Result<Table> {
     let mut fields = Vec::with_capacity(exprs.len());
-    let mut bound = Vec::with_capacity(exprs.len());
+    let mut columns = Vec::with_capacity(exprs.len());
     for (e, alias) in exprs {
-        let b = e.bind(input.schema())?;
-        // Infer the output type from the expression shape: plain column
-        // references keep their type; everything else is typed by probing the
-        // first row (falling back to Float for empty inputs).
-        let dt = match e {
-            Expr::Column(name) => {
-                input
-                    .schema()
-                    .field(input.schema().index_of(name)?)
-                    .data_type
-            }
-            _ => {
-                if input.num_rows() > 0 {
-                    b.eval_at(input, 0)?
-                        .data_type()
-                        .unwrap_or(crate::value::DataType::Float)
-                } else {
-                    crate::value::DataType::Float
-                }
-            }
-        };
-        fields.push(Field::nullable(alias.clone(), dt));
-        bound.push(b);
+        let col = e.bind(input.schema())?.eval_column(input)?;
+        fields.push(Field::nullable(alias.clone(), col.data_type()));
+        columns.push(col);
     }
     let schema = Schema::new(fields)?;
-    let mut out = Table::new(format!("π({})", input.name()), schema);
-    for i in 0..input.num_rows() {
-        let mut row = Vec::with_capacity(bound.len());
-        for b in &bound {
-            row.push(b.eval_at(input, i)?);
-        }
-        out.push_row_unchecked(row);
-    }
-    Ok(out)
+    Ok(Table::from_columns(
+        format!("π({})", input.name()),
+        schema,
+        columns,
+    ))
 }
 
-/// Rename all columns positionally.
+/// Rename all columns positionally (a schema-only operation: the typed
+/// column buffers are cloned, never re-encoded).
 pub fn rename(input: &Table, new_names: &[String]) -> Result<Table> {
     if new_names.len() != input.num_columns() {
         return Err(StorageError::InvalidPlan(format!(
@@ -234,11 +214,10 @@ pub fn rename(input: &Table, new_names: &[String]) -> Result<Table> {
         })
         .collect();
     let schema = Schema::new(fields)?;
-    let mut out = Table::new(input.name(), schema);
-    for i in 0..input.num_rows() {
-        out.push_row_unchecked(input.row(i));
-    }
-    Ok(out)
+    let columns = (0..input.num_columns())
+        .map(|c| input.column(c).clone())
+        .collect();
+    Ok(Table::from_columns(input.name(), schema, columns))
 }
 
 impl fmt::Display for LogicalPlan {
@@ -351,9 +330,9 @@ mod tests {
         let out = plan.execute(&db()).unwrap();
         assert_eq!(out.num_rows(), 3);
         let rtng = out.column_by_name("rtng").unwrap();
-        assert_eq!(rtng[0], Value::Float(2.0)); // vaio
-        assert_eq!(rtng[1], Value::Float(2.5)); // asus
-        assert_eq!(rtng[2], Value::Float(4.0)); // hp
+        assert_eq!(rtng.value(0), Value::Float(2.0)); // vaio
+        assert_eq!(rtng.value(1), Value::Float(2.5)); // asus
+        assert_eq!(rtng.value(2), Value::Float(4.0)); // hp
     }
 
     #[test]
@@ -368,7 +347,7 @@ mod tests {
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.schema().names(), vec!["brand", "bumped"]);
         let b = out.column_by_name("bumped").unwrap();
-        assert!((b[0].as_f64().unwrap() - 529.0 * 1.1).abs() < 1e-9);
+        assert!((b.value(0).as_f64().unwrap() - 529.0 * 1.1).abs() < 1e-9);
     }
 
     #[test]
@@ -384,7 +363,7 @@ mod tests {
         let out = plan.execute(&db()).unwrap();
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.schema().names(), vec!["id", "b", "p"]);
-        assert_eq!(out.get(0, 1), &Value::str("asus"));
+        assert_eq!(out.get(0, 1), Value::str("asus"));
     }
 
     #[test]

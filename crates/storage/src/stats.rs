@@ -33,25 +33,25 @@ impl ColumnStats {
     /// Compute statistics for the named column of `table`.
     pub fn compute(table: &Table, column: &str) -> Result<ColumnStats> {
         let idx = table.schema().index_of(column)?;
-        let values = table.column(idx);
+        let col = table.column(idx);
         let mut freq: HashMap<Value, usize> = HashMap::new();
         let mut null_count = 0usize;
         let mut sum = 0.0f64;
         let mut numeric = 0usize;
-        for v in values {
+        for v in col.iter() {
             if v.is_null() {
                 null_count += 1;
                 continue;
             }
-            *freq.entry(v.clone()).or_insert(0) += 1;
             if let Some(x) = v.as_f64() {
                 sum += x;
                 numeric += 1;
             }
+            *freq.entry(v).or_insert(0) += 1;
         }
         let mut distinct: Vec<(Value, usize)> = freq.into_iter().collect();
         distinct.sort_by(|a, b| a.0.cmp(&b.0));
-        let count = values.len() - null_count;
+        let count = col.len() - null_count;
         Ok(ColumnStats {
             name: column.to_string(),
             count,

@@ -1,21 +1,33 @@
-//! In-memory tables with columnar storage.
+//! In-memory tables over typed columnar storage.
+//!
+//! A [`Table`] is a schema plus one typed [`Column`] per field: `Int`
+//! columns are `Vec<i64>`, `Float` are `Vec<f64>`, `Bool` are `Vec<bool>`,
+//! and `Str` columns are dictionary-encoded (`Vec<u32>` codes into an
+//! `Arc`-shared [`crate::StrDict`]); every column carries a null bitmap.
+//! Hot operators (`gather`, filtering, join key extraction, feature
+//! encoding) work on the typed buffers directly; the row-oriented API
+//! ([`Table::push_row`], [`Table::row`], [`Table::iter_rows`],
+//! [`Table::get`]) materializes [`Value`]s on demand and is kept as a
+//! compatibility layer for loaders and tests.
+//!
+//! NULL semantics: a NULL cell is a set bit in the column's bitmap; the
+//! payload slot holds a type-default placeholder that no reader observes.
+//! [`Table::get`] returns [`Value::Null`] for such cells, and typed readers
+//! check `is_null` (or the bitmap slice) before the payload.
 
 use std::fmt;
 
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::schema::{Field, Schema};
 use crate::value::{Row, Value};
 
-/// A named relation: schema + columnar data + optional primary key.
-///
-/// Storage is column-major (`Vec<Vec<Value>>`), which keeps aggregate scans
-/// and per-attribute statistics cache-friendly; row views are materialized on
-/// demand.
+/// A named relation: schema + typed columns + optional primary key.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    columns: Vec<Vec<Value>>,
+    columns: Vec<Column>,
     /// Indices of the primary-key columns (possibly empty for derived views).
     primary_key: Vec<usize>,
 }
@@ -23,7 +35,11 @@ pub struct Table {
 impl Table {
     /// Create an empty table.
     pub fn new(name: impl Into<String>, schema: Schema) -> Self {
-        let columns = (0..schema.len()).map(|_| Vec::new()).collect();
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.data_type))
+            .collect();
         Table {
             name: name.into(),
             schema,
@@ -41,6 +57,23 @@ impl Table {
         }
         t.primary_key = key;
         Ok(t)
+    }
+
+    /// Assemble a table directly from typed columns (lengths must agree
+    /// with each other; types must match the schema).
+    pub(crate) fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> Table {
+        debug_assert_eq!(schema.len(), columns.len());
+        debug_assert!(columns.windows(2).all(|w| w[0].len() == w[1].len()));
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            primary_key: Vec::new(),
+        }
     }
 
     /// Table name.
@@ -65,7 +98,7 @@ impl Table {
 
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
-        self.columns.first().map_or(0, Vec::len)
+        self.columns.first().map_or(0, Column::len)
     }
 
     /// Number of columns.
@@ -83,44 +116,36 @@ impl Table {
     /// Append a row after validating it against the schema.
     pub fn push_row(&mut self, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
-        for (col, v) in self.columns.iter_mut().zip(row) {
-            col.push(v);
+        for (col, v) in self.columns.iter_mut().zip(&row) {
+            col.push(v)?;
         }
         Ok(())
     }
 
-    /// Append a row without schema validation (hot path for operators whose
-    /// output schema is constructed alongside the data).
-    pub(crate) fn push_row_unchecked(&mut self, row: Row) {
-        debug_assert_eq!(row.len(), self.columns.len());
-        for (col, v) in self.columns.iter_mut().zip(row) {
-            col.push(v);
-        }
-    }
-
-    /// Full column by index.
-    pub fn column(&self, idx: usize) -> &[Value] {
+    /// Typed column by index.
+    pub fn column(&self, idx: usize) -> &Column {
         &self.columns[idx]
     }
 
-    /// Full column by name.
-    pub fn column_by_name(&self, name: &str) -> Result<&[Value]> {
+    /// Typed column by name.
+    pub fn column_by_name(&self, name: &str) -> Result<&Column> {
         Ok(self.column(self.schema.index_of(name)?))
     }
 
-    /// Mutable access to a cell (used by hypothetical-update application).
-    pub fn set(&mut self, row: usize, col: usize, v: Value) {
-        self.columns[col][row] = v;
+    /// Overwrite one cell. With typed columns this is fallible: the value
+    /// must match the column type (Ints coerce into Float columns).
+    pub fn set(&mut self, row: usize, col: usize, v: Value) -> Result<()> {
+        self.columns[col].set(row, &v)
     }
 
-    /// Cell value.
-    pub fn get(&self, row: usize, col: usize) -> &Value {
-        &self.columns[col][row]
+    /// Materialize one cell.
+    pub fn get(&self, row: usize, col: usize) -> Value {
+        self.columns[col].value(row)
     }
 
     /// Materialize row `i`.
     pub fn row(&self, i: usize) -> Row {
-        self.columns.iter().map(|c| c[i].clone()).collect()
+        self.columns.iter().map(|c| c.value(i)).collect()
     }
 
     /// Iterate over materialized rows.
@@ -129,24 +154,19 @@ impl Table {
     }
 
     /// Build a new table containing only the rows at `indices` (in order).
+    /// A typed copy per column — no `Value` materialization; string
+    /// dictionaries are shared, not rebuilt.
     pub fn gather(&self, indices: &[usize]) -> Table {
-        let mut columns: Vec<Vec<Value>> = Vec::with_capacity(self.columns.len());
-        for c in &self.columns {
-            let mut out = Vec::with_capacity(indices.len());
-            for &i in indices {
-                out.push(c[i].clone());
-            }
-            columns.push(out);
-        }
         Table {
             name: self.name.clone(),
             schema: self.schema.clone(),
-            columns,
+            columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
             primary_key: self.primary_key.clone(),
         }
     }
 
-    /// Project to the named columns, producing a new table.
+    /// Project to the named columns, producing a new table (columns are
+    /// cloned buffers; string dictionaries are shared).
     pub fn project(&self, names: &[&str]) -> Result<Table> {
         let mut fields = Vec::with_capacity(names.len());
         let mut idxs = Vec::with_capacity(names.len());
@@ -175,34 +195,40 @@ impl Table {
                 self.num_rows()
             )));
         }
+        let column = Column::from_values(field.data_type, &values)?;
         self.schema.push(field)?;
-        self.columns.push(values);
+        self.columns.push(column);
         Ok(())
     }
 
-    /// Sort rows by the given column (ascending), stable.
+    /// Sort rows by the given column (ascending), stable. Comparison runs
+    /// on the typed buffer ([`Column::cmp_rows`]); NULLs sort first.
     pub fn sort_by_column(&self, name: &str) -> Result<Table> {
         let idx = self.schema.index_of(name)?;
+        let col = &self.columns[idx];
         let mut order: Vec<usize> = (0..self.num_rows()).collect();
-        order.sort_by(|&a, &b| self.columns[idx][a].cmp(&self.columns[idx][b]));
+        order.sort_by(|&a, &b| col.cmp_rows(a, b));
         Ok(self.gather(&order))
     }
 
     /// Verify the declared primary key is unique; returns the offending key
-    /// rendering on failure.
+    /// rendering on failure. Hashes typed key parts straight off the
+    /// column buffers — no per-row `Value` materialization.
     pub fn check_key_unique(&self) -> Result<()> {
         if self.primary_key.is_empty() {
             return Ok(());
         }
+        let key_cols: Vec<&Column> = self.primary_key.iter().map(|&c| &self.columns[c]).collect();
         let mut seen = std::collections::HashSet::with_capacity(self.num_rows());
+        let mut key: Vec<u64> = Vec::with_capacity(key_cols.len() * 2);
         for i in 0..self.num_rows() {
-            let key: Vec<&Value> = self
-                .primary_key
-                .iter()
-                .map(|&c| &self.columns[c][i])
-                .collect();
-            if !seen.insert(key.iter().map(|v| (*v).clone()).collect::<Vec<_>>()) {
-                let rendered: Vec<String> = key.iter().map(|v| v.to_string()).collect();
+            key.clear();
+            for c in &key_cols {
+                c.write_key_part(i, &mut key);
+            }
+            if !seen.insert(key.clone()) {
+                let rendered: Vec<String> =
+                    key_cols.iter().map(|c| c.value(i).to_string()).collect();
                 return Err(StorageError::DuplicateKey(rendered.join(",")));
             }
         }
@@ -253,7 +279,7 @@ mod tests {
     fn push_and_read() {
         let t = sample();
         assert_eq!(t.num_rows(), 3);
-        assert_eq!(t.get(1, 1), &Value::str("asus"));
+        assert_eq!(t.get(1, 1), Value::str("asus"));
         assert_eq!(t.row(2), vec![3.into(), "hp".into(), 599.0.into()]);
     }
 
@@ -266,11 +292,21 @@ mod tests {
     }
 
     #[test]
+    fn columns_are_typed() {
+        let t = sample();
+        assert!(t.column(0).as_int().is_some());
+        assert!(t.column(2).as_float().is_some());
+        let (codes, dict, _) = t.column(1).as_str().unwrap();
+        assert_eq!(codes.len(), 3);
+        assert_eq!(dict.len(), 3);
+    }
+
+    #[test]
     fn gather_and_project() {
         let t = sample();
         let g = t.gather(&[2, 0]);
         assert_eq!(g.num_rows(), 2);
-        assert_eq!(g.get(0, 1), &Value::str("hp"));
+        assert_eq!(g.get(0, 1), Value::str("hp"));
         let p = t.project(&["brand"]).unwrap();
         assert_eq!(p.num_columns(), 1);
         assert_eq!(p.column(0).len(), 3);
@@ -281,8 +317,8 @@ mod tests {
     fn sort_by_column_orders_rows() {
         let t = sample();
         let s = t.sort_by_column("price").unwrap();
-        assert_eq!(s.get(0, 1), &Value::str("asus"));
-        assert_eq!(s.get(2, 1), &Value::str("vaio"));
+        assert_eq!(s.get(0, 1), Value::str("asus"));
+        assert_eq!(s.get(2, 1), Value::str("vaio"));
     }
 
     #[test]
@@ -292,6 +328,30 @@ mod tests {
         t.push_row(vec![2.into(), "dup".into(), 1.0.into()])
             .unwrap();
         assert!(t.check_key_unique().is_err());
+    }
+
+    #[test]
+    fn multi_column_key_uniqueness() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::new("x", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::with_key("t", schema, &["a", "b"]).unwrap();
+        t.push_row(vec![1.into(), "l".into(), 0.0.into()]).unwrap();
+        t.push_row(vec![1.into(), "r".into(), 0.0.into()]).unwrap();
+        t.push_row(vec![2.into(), "l".into(), 0.0.into()]).unwrap();
+        assert!(
+            t.check_key_unique().is_ok(),
+            "distinct (a, b) combinations are unique"
+        );
+        t.push_row(vec![1.into(), "r".into(), 9.0.into()]).unwrap();
+        let err = t.check_key_unique().unwrap_err();
+        assert!(
+            matches!(&err, StorageError::DuplicateKey(k) if k == "1,r"),
+            "duplicate composite key is reported: {err}"
+        );
     }
 
     #[test]
@@ -306,5 +366,20 @@ mod tests {
         assert!(t
             .add_column(Field::new("bad", DataType::Int), vec![1.into()])
             .is_err());
+    }
+
+    #[test]
+    fn nulls_round_trip_through_rows() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::nullable("b", DataType::Str),
+        ])
+        .unwrap();
+        let mut t = Table::new("t", schema);
+        t.push_row(vec![1.into(), Value::Null]).unwrap();
+        t.push_row(vec![2.into(), "x".into()]).unwrap();
+        assert_eq!(t.get(0, 1), Value::Null);
+        assert_eq!(t.row(0), vec![Value::Int(1), Value::Null]);
+        assert_eq!(t.column(1).null_count(), 1);
     }
 }

@@ -180,13 +180,20 @@ impl Value {
     /// Canonical float bits: normalizes `-0.0` and all NaNs so that
     /// `Hash`/`Eq` agree.
     fn canonical_f64_bits(f: f64) -> u64 {
-        if f.is_nan() {
-            f64::NAN.to_bits()
-        } else if f == 0.0 {
-            0.0f64.to_bits()
-        } else {
-            f.to_bits()
-        }
+        canonical_f64_bits(f)
+    }
+}
+
+/// Canonical float bits (`-0.0` and all NaNs normalized) — the bit pattern
+/// under which [`Value`]'s strict `Eq`/`Hash` and the typed columns'
+/// key-part encoding agree.
+pub(crate) fn canonical_f64_bits(f: f64) -> u64 {
+    if f.is_nan() {
+        f64::NAN.to_bits()
+    } else if f == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        f.to_bits()
     }
 }
 

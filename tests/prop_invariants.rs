@@ -134,7 +134,7 @@ proptest! {
             "Use d When z = 0 Update(b) = 1 Output Count(Post(y) = 1) For Pre(z) = 0");
         let c = exact_whatif(&scm, data, &q).unwrap();
         let z0 = data.column_by_name("z").unwrap().iter()
-            .filter(|v| **v == Value::Int(0)).count() as f64;
+            .filter(|v| *v == Value::Int(0)).count() as f64;
         prop_assert!(c >= -1e-9 && c <= z0 + 1e-9, "count {c} not in [0, {z0}]");
     }
 
@@ -224,7 +224,7 @@ proptest! {
         let right = hyper_repro::storage::plan::rename(&t, &renamed).unwrap();
         let joined = ops::join::hash_join(&t, &right, &["g".into()], &["r_g".into()]).unwrap();
         let mut counts: HashMap<i64, usize> = HashMap::new();
-        for v in t.column_by_name("g").unwrap() {
+        for v in t.column_by_name("g").unwrap().iter() {
             *counts.entry(v.as_i64().unwrap()).or_insert(0) += 1;
         }
         let expected: usize = counts.values().map(|c| c * c).sum();
