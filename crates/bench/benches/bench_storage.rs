@@ -29,6 +29,9 @@ fn table() -> Table {
 }
 
 /// Fully materializing variant: clone each row, evaluate over the `Row`.
+/// (Deliberately exercises the deprecated row shim — it is the baseline
+/// the vectorized speedup is measured against.)
+#[allow(deprecated)]
 fn filter_materialized_rows(t: &Table, pred: &Expr) -> usize {
     let bound = pred.bind(t.schema()).unwrap();
     let mut kept = 0;

@@ -224,7 +224,10 @@ pub mod storage_baseline {
     }
 
     /// The seed's per-row encode loop: materialize each row's feature
-    /// cells, encode, push into the matrix.
+    /// cells, encode, push into the matrix. (Deliberately exercises the
+    /// deprecated cell API — it *is* the `Value`-per-cell baseline the
+    /// speedup gates compare against.)
+    #[allow(deprecated)]
     pub fn encode_row_reference(enc: &TableEncoder, t: &Table) -> Matrix {
         let idxs: Vec<usize> = enc
             .columns()

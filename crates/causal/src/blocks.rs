@@ -64,7 +64,7 @@ impl BlockDecomposition {
                     // Union consecutive members of each group (chain).
                     let mut first_of_group: HashMap<Value, usize> = HashMap::new();
                     for row in 0..table.num_rows() {
-                        let v = table.get(row, gcol).clone();
+                        let v = table.column(gcol).value(row);
                         match first_of_group.get(&v) {
                             Some(&anchor) => {
                                 uf.union(offsets[ti] + anchor, offsets[ti] + row);
@@ -102,11 +102,12 @@ impl BlockDecomposition {
                 let mut parent_index: HashMap<Vec<Value>, usize> =
                     HashMap::with_capacity(parent.num_rows());
                 for r in 0..parent.num_rows() {
-                    let key: Vec<Value> = pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
+                    let key: Vec<Value> =
+                        pcols.iter().map(|&c| parent.column(c).value(r)).collect();
                     parent_index.insert(key, r);
                 }
                 for r in 0..child.num_rows() {
-                    let key: Vec<Value> = ccols.iter().map(|&c| child.get(r, c).clone()).collect();
+                    let key: Vec<Value> = ccols.iter().map(|&c| child.column(c).value(r)).collect();
                     if let Some(&p) = parent_index.get(&key) {
                         uf.union(offsets[ci] + r, offsets[pi] + p);
                     }

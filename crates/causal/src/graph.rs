@@ -140,6 +140,34 @@ impl CausalGraph {
         &self.edges
     }
 
+    /// Content fingerprint: a stable 64-bit hash of nodes (in id order)
+    /// and edges (in insertion order, with grounding kinds). Together with
+    /// [`hyper_storage::Database::fingerprint`] this keys the process-wide
+    /// shared artifact store — sessions over equal `(data, model)` pairs
+    /// share block decompositions and fitted estimators.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = hyper_storage::Fingerprint::new();
+        h.write_u64(self.nodes.len() as u64);
+        for n in &self.nodes {
+            h.write_str(&n.relation);
+            h.write_str(&n.attribute);
+        }
+        h.write_u64(self.edges.len() as u64);
+        for e in &self.edges {
+            h.write_u64(e.from as u64);
+            h.write_u64(e.to as u64);
+            match &e.kind {
+                EdgeKind::Intra => h.write_u8(b'i'),
+                EdgeKind::ForeignKey => h.write_u8(b'k'),
+                EdgeKind::SameValue { group_by } => {
+                    h.write_u8(b'g');
+                    h.write_str(group_by);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Add a directed edge, rejecting cycles and malformed kinds.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId, kind: EdgeKind) -> Result<()> {
         if from >= self.nodes.len() || to >= self.nodes.len() {

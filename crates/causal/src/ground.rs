@@ -253,12 +253,12 @@ fn fk_row_links(db: &Database) -> Result<FkRowLinks> {
             .collect::<hyper_storage::Result<_>>()?;
         let mut parent_index: HashMap<Vec<Value>, usize> = HashMap::new();
         for r in 0..parent.num_rows() {
-            let key: Vec<Value> = pcols.iter().map(|&c| parent.get(r, c).clone()).collect();
+            let key: Vec<Value> = pcols.iter().map(|&c| parent.column(c).value(r)).collect();
             parent_index.insert(key, r);
         }
         let links = out.entry(ordered_pair(ci, pi)).or_default();
         for r in 0..child.num_rows() {
-            let key: Vec<Value> = ccols.iter().map(|&c| child.get(r, c).clone()).collect();
+            let key: Vec<Value> = ccols.iter().map(|&c| child.column(c).value(r)).collect();
             if let Some(&p) = parent_index.get(&key) {
                 links.push((r, p));
             }
@@ -310,7 +310,7 @@ fn ground_same_value(
     let mut groups: HashMap<Value, Vec<usize>> = HashMap::new();
     for row in 0..from_table.num_rows() {
         groups
-            .entry(from_table.get(row, gcol).clone())
+            .entry(from_table.column(gcol).value(row))
             .or_default()
             .push(row);
     }
@@ -376,12 +376,12 @@ pub(crate) mod tests {
     use super::*;
     use crate::graph::amazon_example_graph;
     use hyper_storage::DataType;
-    use hyper_storage::{Field, ForeignKey, Schema, Table};
+    use hyper_storage::{Field, ForeignKey, Schema, TableBuilder};
 
     /// Figure-1 database: 5 products, 6 reviews.
     pub(crate) fn amazon_db() -> Database {
         let mut db = Database::new();
-        let mut prod = Table::with_key(
+        let mut prod = TableBuilder::with_key(
             "product",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -402,7 +402,7 @@ pub(crate) mod tests {
             (4, "DSLR Camera", 549.0, "Canon", "Black", 0.75),
             (5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4),
         ] {
-            prod.push_row(vec![
+            prod.push(vec![
                 pid.into(),
                 cat.into(),
                 price.into(),
@@ -412,7 +412,7 @@ pub(crate) mod tests {
             ])
             .unwrap();
         }
-        let mut rev = Table::with_key(
+        let mut rev = TableBuilder::with_key(
             "review",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -432,11 +432,11 @@ pub(crate) mod tests {
             (3, 5, 0.95, 5),
             (4, 5, 0.7, 4),
         ] {
-            rev.push_row(vec![pid.into(), rid.into(), s.into(), r.into()])
+            rev.push(vec![pid.into(), rid.into(), s.into(), r.into()])
                 .unwrap();
         }
-        db.add_table(prod).unwrap();
-        db.add_table(rev).unwrap();
+        db.add_table(prod.build()).unwrap();
+        db.add_table(rev.build()).unwrap();
         db.add_foreign_key(ForeignKey {
             child_table: "review".into(),
             child_columns: vec!["pid".into()],

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
-use hyper_storage::{DataType, Field, Schema, Table, Value};
+use hyper_storage::{Column, DataType, Field, Schema, Table, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -282,12 +282,11 @@ impl Scm {
         g
     }
 
-    fn compute(&self, node: &ScmNode, row: &[Value], noise: Noise) -> Result<Value> {
-        let parent_vals: Vec<Value> = node.parents.iter().map(|&p| row[p].clone()).collect();
+    fn compute(&self, node: &ScmNode, parent_vals: &[Value], noise: Noise) -> Result<Value> {
         Ok(match &node.mechanism {
             Mechanism::CategoricalPrior(dist) => sample_discrete(dist, noise.uniform),
             Mechanism::DiscreteCpd { table, default } => {
-                let dist = table.get(&parent_vals).unwrap_or(default);
+                let dist = table.get(parent_vals).unwrap_or(default);
                 sample_discrete(dist, noise.uniform)
             }
             Mechanism::LinearGaussian {
@@ -298,7 +297,7 @@ impl Scm {
                 round,
             } => {
                 let mut x = *intercept + noise_std * noise.gauss;
-                for (c, v) in coefs.iter().zip(&parent_vals) {
+                for (c, v) in coefs.iter().zip(parent_vals) {
                     x += c * v.as_f64().ok_or_else(|| {
                         CausalError::InvalidMechanism(format!(
                             "node `{}`: non-numeric parent value {v}",
@@ -322,7 +321,7 @@ impl Scm {
                 if_false,
             } => {
                 let mut score = *intercept;
-                for (c, v) in coefs.iter().zip(&parent_vals) {
+                for (c, v) in coefs.iter().zip(parent_vals) {
                     score += c * v.as_f64().ok_or_else(|| {
                         CausalError::InvalidMechanism(format!(
                             "node `{}`: non-numeric parent value {v}",
@@ -337,7 +336,7 @@ impl Scm {
                     if_false.clone()
                 }
             }
-            Mechanism::Deterministic(f) => f(&parent_vals),
+            Mechanism::Deterministic(f) => f(parent_vals),
         })
     }
 
@@ -364,46 +363,78 @@ impl Scm {
             .map(|iv| Ok((self.index_of(&iv.attr)?, &iv.op)))
             .collect::<Result<_>>()?;
 
-        let mut pre = Table::new(relation, self.schema());
-        let mut post = Table::new(relation, self.schema());
-        pre.reserve(n);
-        post.reserve(n);
-
         let k = self.nodes.len();
-        let mut noises: Vec<Noise> = Vec::with_capacity(k);
-        for _ in 0..n {
-            noises.clear();
-            for _ in 0..k {
-                noises.push(Noise {
-                    uniform: rng.gen::<f64>(),
-                    gauss: sample_std_normal(&mut rng),
-                });
-            }
-            // Pre world.
-            let mut pre_row: Vec<Value> = Vec::with_capacity(k);
-            for (i, node) in self.nodes.iter().enumerate() {
-                let v = self.compute(node, &pre_row, noises[i])?;
-                pre_row.push(v);
-            }
-            // Post world: same noise, intervened values substituted.
-            let applies = condition.is_none_or(|c| c(&pre_row));
-            let mut post_row: Vec<Value> = Vec::with_capacity(k);
-            for (i, node) in self.nodes.iter().enumerate() {
-                let forced = if applies {
-                    iv_idx.iter().find(|(idx, _)| *idx == i)
-                } else {
-                    None
-                };
-                let v = match forced {
-                    Some((_, op)) => op.apply(&pre_row[i])?,
-                    None => self.compute(node, &post_row, noises[i])?,
-                };
-                post_row.push(v);
-            }
-            pre.push_row(pre_row).map_err(CausalError::from)?;
-            post.push_row(post_row).map_err(CausalError::from)?;
+        // Exogenous noise is drawn up front, unit-major then node-minor —
+        // the exact order the former row-wise generator consumed the RNG
+        // in, so seeded datasets are unchanged by the columnar rewrite.
+        let mut noises: Vec<Noise> = Vec::with_capacity(n * k);
+        for _ in 0..n * k {
+            noises.push(Noise {
+                uniform: rng.gen::<f64>(),
+                gauss: sample_std_normal(&mut rng),
+            });
         }
-        Ok((pre, post))
+
+        // Pre world, one typed column per node in topological order: each
+        // mechanism reads its parents' already-completed columns.
+        let schema = self.schema();
+        let mut pre_cols: Vec<Column> = Vec::with_capacity(k);
+        let mut parent_vals: Vec<Value> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let mut col = Column::with_capacity(node.dtype, n);
+            for u in 0..n {
+                parent_vals.clear();
+                parent_vals.extend(node.parents.iter().map(|&p| pre_cols[p].value(u)));
+                let v = self.compute(node, &parent_vals, noises[u * k + i])?;
+                col.push(&v).map_err(CausalError::from)?;
+            }
+            pre_cols.push(col);
+        }
+
+        // Which units the intervention applies to (the `When` condition
+        // reads the completed pre world).
+        let applies: Vec<bool> = match condition {
+            None => vec![true; n],
+            Some(c) => {
+                let mut row: Vec<Value> = Vec::with_capacity(k);
+                (0..n)
+                    .map(|u| {
+                        row.clear();
+                        row.extend(pre_cols.iter().map(|col| col.value(u)));
+                        c(&row)
+                    })
+                    .collect()
+            }
+        };
+
+        // Post world: same noise; intervened nodes transform their pre
+        // values, descendants re-propagate off the post columns.
+        let mut post_cols: Vec<Column> = Vec::with_capacity(k);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let forced = iv_idx.iter().find(|(idx, _)| *idx == i);
+            let mut col = Column::with_capacity(node.dtype, n);
+            for u in 0..n {
+                let v = match forced {
+                    Some((_, op)) if applies[u] => op.apply(&pre_cols[i].value(u))?,
+                    _ => {
+                        parent_vals.clear();
+                        parent_vals.extend(node.parents.iter().map(|&p| post_cols[p].value(u)));
+                        self.compute(node, &parent_vals, noises[u * k + i])?
+                    }
+                };
+                col.push(&v).map_err(CausalError::from)?;
+            }
+            post_cols.push(col);
+        }
+
+        let assemble = |cols: Vec<Column>| -> Result<Table> {
+            let mut b = TableBuilder::new(relation, schema.clone());
+            for (node, col) in self.nodes.iter().zip(cols) {
+                b.set_column(&node.name, col).map_err(CausalError::from)?;
+            }
+            Ok(b.build())
+        };
+        Ok((assemble(pre_cols)?, assemble(post_cols)?))
     }
 
     /// Exact joint distribution for all-discrete models:
@@ -691,11 +722,19 @@ mod tests {
             .unwrap();
         for i in 0..pre.num_rows() {
             // z is a non-descendant: identical in both worlds.
-            assert_eq!(pre.get(i, 0), post.get(i, 0));
-            if pre.get(i, 0) == Value::Int(0) {
-                assert_eq!(post.get(i, 1), Value::Int(1), "intervened where z=0");
+            assert_eq!(pre.column(0).value(i), post.column(0).value(i));
+            if pre.column(0).value(i) == Value::Int(0) {
+                assert_eq!(
+                    post.column(1).value(i),
+                    Value::Int(1),
+                    "intervened where z=0"
+                );
             } else {
-                assert_eq!(pre.get(i, 1), post.get(i, 1), "untouched where z=1");
+                assert_eq!(
+                    pre.column(1).value(i),
+                    post.column(1).value(i),
+                    "untouched where z=1"
+                );
             }
         }
     }
@@ -761,8 +800,8 @@ mod tests {
             )
             .unwrap();
         // x: 10 → 15, y = 1 + 2x = 31.
-        assert_eq!(post.get(0, 0), Value::Float(15.0));
-        assert_eq!(post.get(0, 1), Value::Float(31.0));
+        assert_eq!(post.column(0).value(0), Value::Float(15.0));
+        assert_eq!(post.column(1).value(0), Value::Float(31.0));
 
         let (_, post) = scm
             .sample_paired(
@@ -773,8 +812,8 @@ mod tests {
                 None,
             )
             .unwrap();
-        assert_eq!(post.get(0, 0), Value::Float(6.0));
-        assert_eq!(post.get(0, 1), Value::Float(13.0));
+        assert_eq!(post.column(0).value(0), Value::Float(6.0));
+        assert_eq!(post.column(1).value(0), Value::Float(13.0));
     }
 
     #[test]

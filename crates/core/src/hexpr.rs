@@ -90,8 +90,8 @@ impl BoundHExpr {
     /// `pre` and `post` may be the same table (the unmodified world).
     pub fn eval_at(&self, pre: &Table, post: &Table, i: usize) -> Result<Value> {
         self.eval_with(&mut |t, c| match t {
-            Temporal::Pre => pre.get(i, c),
-            Temporal::Post => post.get(i, c),
+            Temporal::Pre => pre.column(c).value(i),
+            Temporal::Post => post.column(c).value(i),
         })
     }
 

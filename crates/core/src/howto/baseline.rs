@@ -9,6 +9,7 @@ use std::time::Instant;
 
 use hyper_causal::CausalGraph;
 use hyper_query::{HowToQuery, ObjectiveDirection, UpdateSpec};
+use hyper_runtime::HyperRuntime;
 use hyper_storage::Database;
 
 use crate::config::{EngineConfig, HowToOptions};
@@ -26,12 +27,13 @@ pub fn evaluate_howto_bruteforce(
     q: &HowToQuery,
     opts: &HowToOptions,
 ) -> Result<HowToResult> {
-    evaluate_howto_bruteforce_cached(db, graph, config, q, opts, None)
+    evaluate_howto_bruteforce_cached(db, graph, config, q, opts, None, HyperRuntime::global())
 }
 
 /// Exhaustive search, optionally sharing a session's artifact cache: all
 /// enumerated combinations reuse one relevant view, and re-runs reuse the
 /// per-combination estimators.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_howto_bruteforce_cached(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -39,9 +41,10 @@ pub(crate) fn evaluate_howto_bruteforce_cached(
     q: &HowToQuery,
     opts: &HowToOptions,
     cache: Option<&ArtifactCache>,
+    runtime: &HyperRuntime,
 ) -> Result<HowToResult> {
     let started = Instant::now();
-    let mut ctx = HowToContext::prepare(db, graph, config, q, opts, cache)?;
+    let mut ctx = HowToContext::prepare(db, graph, config, q, opts, cache, runtime)?;
     let maximize = q.objective.direction == ObjectiveDirection::Maximize;
 
     // Mixed-radix enumeration over (no-change + candidates) per attribute.
@@ -67,7 +70,7 @@ pub(crate) fn evaluate_howto_bruteforce_cached(
         let within_budget = opts.max_attrs_updated.is_none_or(|b| n_updated <= b);
         if within_budget && !updates.is_empty() {
             let wq = candidate_whatif(&ctx.whatif_template, updates.clone())?;
-            let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?;
+            let r = evaluate_whatif_maybe_cached(db, graph, config, &wq, cache, runtime)?;
             ctx.whatif_evals += 1;
             let better = match &best {
                 None => true,

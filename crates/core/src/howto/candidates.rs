@@ -78,9 +78,10 @@ pub fn generate_candidates(
         }
 
         // Pre-update values over S, for L1 costing.
+        let pre_col = view.table.column(col);
         let pre_s: Vec<Value> = (0..view.table.num_rows())
             .filter(|&i| when_mask[i])
-            .map(|i| view.table.get(i, col))
+            .map(|i| pre_col.value(i))
             .collect();
 
         let mean_l1 = |v: &Value| -> f64 {
@@ -164,7 +165,7 @@ mod tests {
     use super::*;
     use crate::view::ColumnOrigin;
     use hyper_query::parse_query;
-    use hyper_storage::{Field, Schema, Table};
+    use hyper_storage::{Field, Schema, TableBuilder};
 
     fn view() -> RelevantView {
         let schema = Schema::new(vec![
@@ -172,10 +173,11 @@ mod tests {
             Field::new("color", DataType::Str),
         ])
         .unwrap();
-        let mut t = Table::new("v", schema);
+        let mut t = TableBuilder::new("v", schema);
         for (p, c) in [(529.0, "Black"), (999.0, "Silver"), (599.0, "Silver")] {
-            t.push_row(vec![p.into(), c.into()]).unwrap();
+            t.push(vec![p.into(), c.into()]).unwrap();
         }
+        let t = t.build();
         RelevantView {
             origins: vec![
                 ColumnOrigin {

@@ -8,6 +8,7 @@ use std::time::Instant;
 use hyper_causal::CausalGraph;
 use hyper_ip::{solve_ilp, Model, Sense};
 use hyper_query::{HowToQuery, ObjectiveDirection, UpdateSpec};
+use hyper_runtime::HyperRuntime;
 use hyper_storage::Database;
 
 use crate::config::{EngineConfig, HowToOptions};
@@ -35,11 +36,20 @@ pub fn evaluate_howto_lexicographic(
     queries: &[HowToQuery],
     opts: &HowToOptions,
 ) -> Result<LexicographicResult> {
-    evaluate_howto_lexicographic_cached(db, graph, config, queries, opts, None)
+    evaluate_howto_lexicographic_cached(
+        db,
+        graph,
+        config,
+        queries,
+        opts,
+        None,
+        HyperRuntime::global(),
+    )
 }
 
 /// Lexicographic optimization, optionally sharing a session's artifact
 /// cache across the per-objective candidate evaluations.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_howto_lexicographic_cached(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -47,6 +57,7 @@ pub(crate) fn evaluate_howto_lexicographic_cached(
     queries: &[HowToQuery],
     opts: &HowToOptions,
     cache: Option<&ArtifactCache>,
+    runtime: &HyperRuntime,
 ) -> Result<LexicographicResult> {
     let started = Instant::now();
     let Some(first) = queries.first() else {
@@ -67,7 +78,9 @@ pub(crate) fn evaluate_howto_lexicographic_cached(
     // Candidate values per objective.
     let mut contexts: Vec<HowToContext> = Vec::with_capacity(queries.len());
     for q in queries {
-        contexts.push(HowToContext::prepare(db, graph, config, q, opts, cache)?);
+        contexts.push(HowToContext::prepare(
+            db, graph, config, q, opts, cache, runtime,
+        )?);
     }
     let candidates = &contexts[0].candidates;
 
@@ -166,8 +179,10 @@ pub(crate) fn evaluate_howto_lexicographic_cached(
         for (k, ctx) in contexts.iter().enumerate() {
             let wq =
                 crate::howto::optimizer::candidate_whatif(&ctx.whatif_template, chosen.clone())?;
-            achieved[k] =
-                crate::whatif::evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value;
+            achieved[k] = crate::whatif::evaluate_whatif_maybe_cached(
+                db, graph, config, &wq, cache, runtime,
+            )?
+            .value;
             whatif_evals += 1;
         }
     }

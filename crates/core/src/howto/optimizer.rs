@@ -12,9 +12,9 @@ use hyper_query::{
     validate_howto, HExpr, HowToQuery, ObjectiveDirection, OutputArg, OutputSpec, Temporal,
     UpdateSpec, WhatIf, WhatIfQuery,
 };
+use hyper_runtime::HyperRuntime;
 use hyper_storage::Database;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::config::{EngineConfig, HowToOptions};
@@ -47,6 +47,7 @@ pub(crate) fn candidate_whatif(template: &WhatIf, updates: Vec<UpdateSpec>) -> R
 }
 
 impl HowToContext {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn prepare(
         db: &Database,
         graph: Option<&CausalGraph>,
@@ -54,6 +55,7 @@ impl HowToContext {
         q: &HowToQuery,
         opts: &HowToOptions,
         cache: Option<&ArtifactCache>,
+        runtime: &HyperRuntime,
     ) -> Result<HowToContext> {
         // Every candidate what-if shares this view; inside a session it is
         // also shared with every other query over the same `Use` clause.
@@ -78,13 +80,27 @@ impl HowToContext {
         // the objective. A predicate objective (`Count(Post(credit) =
         // 'Good')`) becomes a boolean output expression. Kept as a typed
         // [`WhatIf`] builder so each candidate's query is assembled — and
-        // re-validated — through the same path API callers use.
+        // re-validated — through the same path API callers use. An
+        // objective constant still carrying a `Param(…)` placeholder
+        // cannot be evaluated — templates must be resolved through
+        // `Bindings` (e.g. `PreparedQuery::execute_with`) first.
         let output_expr = match &q.objective.predicate {
-            Some((op, value)) => hyper_query::HExpr::binary(
-                *op,
-                hyper_query::HExpr::post(q.objective.attr.clone()),
-                hyper_query::HExpr::Lit(value.clone()),
-            ),
+            Some((op, constant)) => {
+                let value = match constant {
+                    hyper_query::ObjectiveConst::Lit(v) => v.clone(),
+                    hyper_query::ObjectiveConst::Param(name) => {
+                        return Err(EngineError::Query(format!(
+                            "unresolved parameter `Param({name})` in the how-to objective; \
+                             supply Bindings before evaluation"
+                        )))
+                    }
+                };
+                hyper_query::HExpr::binary(
+                    *op,
+                    hyper_query::HExpr::post(q.objective.attr.clone()),
+                    hyper_query::HExpr::Lit(value),
+                )
+            }
             None => hyper_query::HExpr::post(q.objective.attr.clone()),
         };
         let output_spec = OutputSpec {
@@ -103,12 +119,14 @@ impl HowToContext {
         // already-materialized view.
         let baseline = evaluate_identity_objective(&view, &q.for_clause, &output_spec)?;
 
-        // Assemble every candidate's what-if query, then evaluate. Inside a
-        // session the candidates fan out across a scoped thread pool: the
-        // artifact cache is thread-safe and single-flight, so concurrent
-        // candidates share one relevant view, each estimator is trained at
-        // most once, and the values are identical to a sequential pass
-        // (training is seeded and order-independent).
+        // Assemble every candidate's what-if query, then evaluate. The
+        // candidates fan out over the session's persistent worker pool:
+        // the artifact cache is thread-safe and single-flight, so
+        // concurrent candidates share one relevant view, each estimator
+        // is trained at most once, and the values are identical to a
+        // sequential pass (training is seeded and order-independent).
+        // Nesting is safe — a batch of how-to queries and the forest
+        // trainers below them all draw from the same fixed pool.
         let mut flat: Vec<(usize, usize, WhatIfQuery)> = Vec::new();
         for (i, cands) in candidates.iter().enumerate() {
             for (j, c) in cands.iter().enumerate() {
@@ -124,37 +142,14 @@ impl HowToContext {
         }
         let whatif_evals = flat.len();
         let mut values: Vec<Vec<f64>> = candidates.iter().map(|c| vec![0.0; c.len()]).collect();
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(flat.len());
-        // Fan out only with a (thread-safe, single-flight) cache to share
-        // artifacts through, and never from inside an `execute_batch`
-        // worker — that would nest P threads per batch worker (P² total).
-        if cache.is_some() && workers > 1 && !crate::session::in_session_worker() {
-            let next = AtomicUsize::new(0);
-            let slots: Vec<OnceLock<Result<f64>>> =
-                (0..flat.len()).map(|_| OnceLock::new()).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let k = next.fetch_add(1, Ordering::Relaxed);
-                        if k >= flat.len() {
-                            break;
-                        }
-                        let r = evaluate_whatif_maybe_cached(db, graph, config, &flat[k].2, cache)
-                            .map(|r| r.value);
-                        let _ = slots[k].set(r);
-                    });
-                }
-            });
-            for ((i, j, _), slot) in flat.iter().zip(slots) {
-                values[*i][*j] = slot.into_inner().expect("every candidate slot is filled")?;
-            }
-        } else {
-            for (i, j, wq) in &flat {
-                values[*i][*j] = evaluate_whatif_maybe_cached(db, graph, config, wq, cache)?.value;
-            }
+        let slots: Vec<OnceLock<Result<f64>>> = (0..flat.len()).map(|_| OnceLock::new()).collect();
+        runtime.for_each_parallel(flat.len(), |k| {
+            let r = evaluate_whatif_maybe_cached(db, graph, config, &flat[k].2, cache, runtime)
+                .map(|r| r.value);
+            let _ = slots[k].set(r);
+        });
+        for ((i, j, _), slot) in flat.iter().zip(slots) {
+            values[*i][*j] = slot.into_inner().expect("every candidate slot is filled")?;
         }
 
         Ok(HowToContext {
@@ -246,11 +241,13 @@ pub fn evaluate_howto(
     q: &HowToQuery,
     opts: &HowToOptions,
 ) -> Result<HowToResult> {
-    evaluate_howto_cached(db, graph, config, q, opts, None)
+    evaluate_howto_cached(db, graph, config, q, opts, None, HyperRuntime::global())
 }
 
 /// Solve a how-to query with the IP formulation, optionally resolving
-/// views and estimators through a session's artifact cache.
+/// views and estimators through a session's artifact cache; candidate
+/// what-ifs fan out over `runtime`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn evaluate_howto_cached(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -258,9 +255,10 @@ pub(crate) fn evaluate_howto_cached(
     q: &HowToQuery,
     opts: &HowToOptions,
     cache: Option<&ArtifactCache>,
+    runtime: &HyperRuntime,
 ) -> Result<HowToResult> {
     let started = Instant::now();
-    let ctx = HowToContext::prepare(db, graph, config, q, opts, cache)?;
+    let ctx = HowToContext::prepare(db, graph, config, q, opts, cache, runtime)?;
 
     // Build the IP (Eqs. 7–9).
     let maximize = q.objective.direction == ObjectiveDirection::Maximize;
@@ -335,7 +333,7 @@ pub(crate) fn evaluate_howto_cached(
     } else {
         let wq = candidate_whatif(&ctx.whatif_template, chosen.clone())?;
         whatif_evals += 1;
-        evaluate_whatif_maybe_cached(db, graph, config, &wq, cache)?.value
+        evaluate_whatif_maybe_cached(db, graph, config, &wq, cache, runtime)?.value
     };
 
     Ok(HowToResult {

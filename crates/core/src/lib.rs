@@ -75,6 +75,47 @@
 //!
 //! The borrow-based [`HyperEngine`] remains as a deprecated shim that
 //! recomputes every artifact per call.
+//!
+//! ## The shared execution runtime
+//!
+//! Two process-wide facilities sit underneath every session:
+//!
+//! * **[`HyperRuntime`](hyper_runtime::HyperRuntime)** — one persistent
+//!   worker pool (fixed threads, shared injector queue) that
+//!   [`HyperSession::execute_batch`], how-to candidate evaluation, and
+//!   random-forest training all route through. Fan-outs nest freely —
+//!   a batch of how-to queries, each evaluating candidates, each
+//!   training trees, still runs on the same fixed thread count — and
+//!   seeded results are bit-identical whatever the worker count (every
+//!   tree derives its RNG from `(seed, tree index)`). Sessions use the
+//!   global pool by default; [`SessionBuilder::runtime`] installs a
+//!   private one.
+//! * **[`SharedArtifactStore`]** — a process-wide store of relevant
+//!   views, block decompositions, and fitted estimators, sharded by
+//!   `(database fingerprint, graph fingerprint)` *content* hashes. Each
+//!   session's [`ArtifactCache`] is a thin local tier (LRU budget,
+//!   per-session counters) over its shard: a local miss resolves through
+//!   the shared store single-flight **across sessions**, so N tenant
+//!   sessions over one dataset pay for each artifact once process-wide
+//!   (see `examples/multi_session.rs`). [`SessionStats`] separates local
+//!   hits, shared hits, and real builds;
+//!   [`SessionBuilder::share_artifacts`]`(false)` opts a session out.
+//!
+//! ```no_run
+//! use hyper_core::HyperSession;
+//! # fn demo(db: std::sync::Arc<hyper_storage::Database>,
+//! #          g: std::sync::Arc<hyper_causal::CausalGraph>) -> hyper_core::Result<()> {
+//! // Two tenants over the same data: the second session's first query
+//! // reuses the first session's view and estimator via the shared store.
+//! let a = HyperSession::builder(db.clone()).graph(g.clone()).build();
+//! let b = HyperSession::builder(db).graph(g).build();
+//! a.whatif_text("Use d Update(b) = 1 Output Count(Post(y) = 1)")?;
+//! b.whatif_text("Use d Update(b) = 1 Output Count(Post(y) = 1)")?;
+//! assert_eq!(b.stats().view_misses, 0);
+//! assert_eq!(b.stats().view_shared_hits, 1);
+//! assert_eq!(b.stats().estimator_shared_hits, 1);
+//! # Ok(()) }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -96,7 +137,7 @@ pub use howto::HowToResult;
 pub use session::{
     ArtifactCache, BlockPlan, CacheBudget, EstimatorPlan, ExplainReport, HowToPlan, HyperSession,
     IntoQuery, PreparedQuery, Provenance, QueryInput, QueryKind, QueryOutcome, SessionBuilder,
-    SessionStats, ViewPlan,
+    SessionStats, SharedArtifactStore, SharedStoreStats, ViewPlan,
 };
 pub use view::{build_relevant_view, ColumnOrigin, RelevantView};
 pub use whatif::exact::exact_whatif;

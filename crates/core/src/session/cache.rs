@@ -36,6 +36,17 @@
 //! build pushes a store over its cap. Eviction only drops the cache's own
 //! `Arc` — executions already holding the artifact keep it alive — and a
 //! later request for an evicted key simply rebuilds (one more miss).
+//!
+//! Two-level layout: since the shared runtime refactor this cache is a
+//! thin per-session tier over the process-wide
+//! [`super::SharedArtifactStore`]. A local hit never leaves the session;
+//! a local miss consults the session's shared shard (single-flight across
+//! *sessions*), recording either a real build
+//! ([`super::SessionStats::view_misses`]) or a shared hit
+//! ([`super::SessionStats::view_shared_hits`]) before installing the
+//! `Arc` in the local tier, where the LRU budget applies as before.
+//! Sessions built with [`super::SessionBuilder::share_artifacts`]`(false)`
+//! have no shard and behave exactly like the pre-refactor cache.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -47,6 +58,7 @@ use hyper_storage::Database;
 
 use crate::config::EngineConfig;
 use crate::error::Result;
+use crate::session::shared::{FetchOutcome, SharedCache, SharedShard};
 use crate::view::{build_relevant_view, RelevantView};
 use crate::whatif::estimator::CausalEstimator;
 
@@ -94,12 +106,15 @@ impl CacheBudget {
 pub(crate) struct CacheCounters {
     pub view_hits: AtomicU64,
     pub view_misses: AtomicU64,
+    pub view_shared_hits: AtomicU64,
     pub view_evictions: AtomicU64,
     pub estimator_hits: AtomicU64,
     pub estimator_misses: AtomicU64,
+    pub estimator_shared_hits: AtomicU64,
     pub estimator_evictions: AtomicU64,
     pub block_hits: AtomicU64,
     pub block_misses: AtomicU64,
+    pub block_shared_hits: AtomicU64,
 }
 
 /// One cache entry: a write-once cell plus the per-key init lock that
@@ -226,6 +241,32 @@ impl<T> KeyedCache<T> {
         }
     }
 
+    /// Fetch `key` if locally present (LRU touch, no counter movement —
+    /// the caller decides what a hit means).
+    fn get_if_present(&self, key: &str) -> Option<Arc<T>> {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let slot = map.get(key)?;
+        let v = slot.cell.get()?;
+        self.touch(slot);
+        Some(Arc::clone(v))
+    }
+
+    /// Install an already-built artifact (fetched from the shared tier)
+    /// under `key`, honoring the LRU cap. Racing installs of the same key
+    /// keep the first value; both point at the same shared artifact
+    /// anyway.
+    fn insert(&self, key: &str, value: Arc<T>, evictions: &AtomicU64) {
+        let slot = {
+            let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key.to_string()).or_default())
+        };
+        let _ = slot.cell.set(value);
+        self.touch(&slot);
+        if self.cap.is_some() {
+            self.evict_over_cap(key, evictions);
+        }
+    }
+
     /// Number of *built* entries (unfilled race slots don't count).
     fn len(&self) -> usize {
         self.map
@@ -237,12 +278,16 @@ impl<T> KeyedCache<T> {
     }
 }
 
-/// Shared store of session artifacts: relevant views, the block
-/// decomposition, and fitted estimators.
+/// Per-session store of session artifacts — relevant views, the block
+/// decomposition, and fitted estimators — optionally layered over a
+/// shard of the process-wide [`super::SharedArtifactStore`].
 pub struct ArtifactCache {
     views: KeyedCache<RelevantView>,
     estimators: KeyedCache<CausalEstimator>,
     blocks: KeyedCache<BlockDecomposition>,
+    /// The session's `(db, graph)` shard of the shared store; `None` for
+    /// isolated sessions.
+    shared: Option<Arc<SharedShard>>,
     pub(crate) counters: CacheCounters,
 }
 
@@ -251,20 +296,52 @@ impl std::fmt::Debug for ArtifactCache {
         f.debug_struct("ArtifactCache")
             .field("views", &self.views.len())
             .field("estimators", &self.estimators.len())
+            .field("shared", &self.shared.is_some())
             .field("counters", &self.counters)
             .finish()
     }
 }
 
 impl ArtifactCache {
-    /// An empty cache honoring `budget`.
-    pub(crate) fn new(budget: CacheBudget) -> ArtifactCache {
+    /// An empty cache honoring `budget`, layered over `shared` when the
+    /// session participates in cross-session sharing.
+    pub(crate) fn new(budget: CacheBudget, shared: Option<Arc<SharedShard>>) -> ArtifactCache {
         ArtifactCache {
             views: KeyedCache::new(budget.max_views),
             estimators: KeyedCache::new(budget.max_estimators),
             blocks: KeyedCache::new(None),
+            shared,
             counters: CacheCounters::default(),
         }
+    }
+
+    /// Two-level fetch shared by all three artifact kinds: local tier
+    /// first (a plain hit), then the shared shard (single-flight across
+    /// sessions; `Built` counts as this session's miss, `Shared` as a
+    /// shared hit), installing the `Arc` locally either way so the LRU
+    /// budget and later local hits behave exactly as without sharing.
+    #[allow(clippy::too_many_arguments)]
+    fn fetch_two_level<T>(
+        local: &KeyedCache<T>,
+        shared: &SharedCache<T>,
+        key: &str,
+        hits: &AtomicU64,
+        misses: &AtomicU64,
+        shared_hits: &AtomicU64,
+        evictions: &AtomicU64,
+        build: impl FnOnce() -> Result<T>,
+    ) -> Result<Arc<T>> {
+        if let Some(v) = local.get_if_present(key) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(v);
+        }
+        let (v, outcome) = shared.get_or_build(key, build)?;
+        match outcome {
+            FetchOutcome::Built => misses.fetch_add(1, Ordering::Relaxed),
+            FetchOutcome::Shared => shared_hits.fetch_add(1, Ordering::Relaxed),
+        };
+        local.insert(key, Arc::clone(&v), evictions);
+        Ok(v)
     }
 
     /// Canonical key of a `Use` clause: a structural fingerprint of the
@@ -335,13 +412,26 @@ impl ArtifactCache {
         use_clause: &UseClause,
     ) -> Result<(Arc<RelevantView>, QueryKey)> {
         let key = Self::view_key(use_clause);
-        let view = self.views.get_or_build(
-            key.as_str(),
-            &self.counters.view_hits,
-            &self.counters.view_misses,
-            &self.counters.view_evictions,
-            || build_relevant_view(db, use_clause),
-        )?;
+        let c = &self.counters;
+        let view = match &self.shared {
+            Some(shard) => Self::fetch_two_level(
+                &self.views,
+                &shard.views,
+                key.as_str(),
+                &c.view_hits,
+                &c.view_misses,
+                &c.view_shared_hits,
+                &c.view_evictions,
+                || build_relevant_view(db, use_clause),
+            )?,
+            None => self.views.get_or_build(
+                key.as_str(),
+                &c.view_hits,
+                &c.view_misses,
+                &c.view_evictions,
+                || build_relevant_view(db, use_clause),
+            )?,
+        };
         Ok((view, key))
     }
 
@@ -351,45 +441,86 @@ impl ArtifactCache {
         key: &str,
         fit: impl FnOnce() -> Result<CausalEstimator>,
     ) -> Result<Arc<CausalEstimator>> {
-        self.estimators.get_or_build(
-            key,
-            &self.counters.estimator_hits,
-            &self.counters.estimator_misses,
-            &self.counters.estimator_evictions,
-            fit,
-        )
+        let c = &self.counters;
+        match &self.shared {
+            Some(shard) => Self::fetch_two_level(
+                &self.estimators,
+                &shard.estimators,
+                key,
+                &c.estimator_hits,
+                &c.estimator_misses,
+                &c.estimator_shared_hits,
+                &c.estimator_evictions,
+                fit,
+            ),
+            None => self.estimators.get_or_build(
+                key,
+                &c.estimator_hits,
+                &c.estimator_misses,
+                &c.estimator_evictions,
+                fit,
+            ),
+        }
     }
 
     /// The session's block decomposition (Prop. 1), computed once per
-    /// (database, graph) pair — which a session fixes at construction.
+    /// (database, graph) pair — which a session fixes at construction
+    /// (and which is exactly what the shared shard is keyed by).
     pub(crate) fn blocks(
         &self,
         db: &Database,
         graph: &CausalGraph,
     ) -> Result<Arc<BlockDecomposition>> {
-        self.blocks.get_or_build(
-            "",
-            &self.counters.block_hits,
-            &self.counters.block_misses,
-            &AtomicU64::new(0),
-            || BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from),
-        )
+        let c = &self.counters;
+        let build =
+            || BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from);
+        match &self.shared {
+            Some(shard) => Self::fetch_two_level(
+                &self.blocks,
+                &shard.blocks,
+                "",
+                &c.block_hits,
+                &c.block_misses,
+                &c.block_shared_hits,
+                &AtomicU64::new(0),
+                build,
+            ),
+            None => self.blocks.get_or_build(
+                "",
+                &c.block_hits,
+                &c.block_misses,
+                &AtomicU64::new(0),
+                build,
+            ),
+        }
     }
 
-    /// Is the view for `key` currently cached? (Explain provenance; no
-    /// counter movement.)
+    /// Is the view for `key` currently cached, locally or in the shared
+    /// shard? (Explain provenance; no counter movement.)
     pub(crate) fn has_view(&self, key: &str) -> bool {
         self.views.peek(key)
+            || self
+                .shared
+                .as_ref()
+                .is_some_and(|shard| shard.views.peek(key))
     }
 
-    /// Is the estimator for `key` currently cached?
+    /// Is the estimator for `key` currently cached (either tier)?
     pub(crate) fn has_estimator(&self, key: &str) -> bool {
         self.estimators.peek(key)
+            || self
+                .shared
+                .as_ref()
+                .is_some_and(|shard| shard.estimators.peek(key))
     }
 
-    /// Is the block decomposition cached?
+    /// Is the block decomposition cached (either tier)?
     pub(crate) fn has_blocks(&self) -> bool {
         self.blocks.peek("")
+            || self
+                .shared
+                .as_ref()
+                .is_some_and(|shard| shard.blocks.peek(""))
     }
 
     /// Number of distinct cached views (diagnostics).
@@ -450,7 +581,7 @@ mod tests {
             max_views: Some(0),
             max_estimators: Some(0),
         };
-        let cache = ArtifactCache::new(budget);
+        let cache = ArtifactCache::new(budget, None);
         // Nothing to assert beyond construction not panicking and the store
         // still holding the most recent entry after a build; exercised via
         // the estimator store in session tests.

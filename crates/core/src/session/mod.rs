@@ -24,6 +24,15 @@
 //! per [`Bindings`]; [`HyperSession::explain`] reports the plan with cache
 //! provenance.
 //!
+//! Sessions sit on the shared execution runtime: parallel paths
+//! (`execute_batch`, how-to candidate fan-out, forest training) draw from
+//! a persistent [`HyperRuntime`] worker pool instead of spawning threads,
+//! and the [`ArtifactCache`] is a thin LRU tier over the process-wide
+//! [`SharedArtifactStore`] (see [`shared`]), so sessions over
+//! content-equal `(database, graph)` pairs build each artifact once
+//! process-wide. [`SessionBuilder::share_artifacts`] and
+//! [`SessionBuilder::runtime`] control both.
+//!
 //! ```no_run
 //! use hyper_core::{EngineConfig, HyperSession};
 //! use hyper_query::{Bindings, HExpr, WhatIf};
@@ -49,8 +58,9 @@
 
 pub mod cache;
 pub mod explain;
+pub mod shared;
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hyper_causal::{BlockDecomposition, CausalGraph};
@@ -58,6 +68,7 @@ use hyper_query::{
     parse_query, validate_howto, validate_whatif, Bindings, HowTo, HowToQuery, HypotheticalQuery,
     QueryKey, WhatIf, WhatIfQuery,
 };
+use hyper_runtime::HyperRuntime;
 use hyper_storage::Database;
 
 use crate::config::{EngineConfig, HowToOptions};
@@ -73,19 +84,7 @@ pub use cache::{ArtifactCache, CacheBudget};
 pub use explain::{
     BlockPlan, EstimatorPlan, ExplainReport, HowToPlan, Provenance, QueryKind, ViewPlan,
 };
-
-thread_local! {
-    /// True on worker threads spawned by [`HyperSession::execute_batch`].
-    /// Inner fan-outs (the how-to candidate evaluator) check this so a
-    /// batch of how-to queries spawns P workers total, not P per query.
-    static IN_SESSION_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Is the current thread already a session batch worker? (Nested
-/// parallelism guard — see [`HyperSession::execute_batch`].)
-pub(crate) fn in_session_worker() -> bool {
-    IN_SESSION_WORKER.with(|f| f.get())
-}
+pub use shared::{SharedArtifactStore, SharedStoreStats};
 
 /// Outcome of executing hypothetical query text: either kind of result.
 #[derive(Debug, Clone)]
@@ -102,22 +101,30 @@ pub enum QueryOutcome {
 /// the current number of distinct artifacts held.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
-    /// Relevant-view cache hits.
+    /// Relevant-view cache hits served by this session's local tier.
     pub view_hits: u64,
-    /// Relevant-view cache misses (views built).
+    /// Relevant-view cache misses — views this session actually built.
     pub view_misses: u64,
-    /// Relevant views evicted under a [`CacheBudget`].
+    /// Views served by the process-wide [`SharedArtifactStore`] (another
+    /// session — or a racing thread of this one — built them).
+    pub view_shared_hits: u64,
+    /// Relevant views evicted under a [`CacheBudget`] (local tier only;
+    /// the shared tier never evicts).
     pub view_evictions: u64,
-    /// Fitted-estimator cache hits.
+    /// Fitted-estimator cache hits served by the local tier.
     pub estimator_hits: u64,
-    /// Fitted-estimator cache misses (estimators trained).
+    /// Fitted-estimator cache misses — estimators this session trained.
     pub estimator_misses: u64,
-    /// Fitted estimators evicted under a [`CacheBudget`].
+    /// Estimators served by the shared store.
+    pub estimator_shared_hits: u64,
+    /// Fitted estimators evicted under a [`CacheBudget`] (local tier).
     pub estimator_evictions: u64,
-    /// Block-decomposition cache hits.
+    /// Block-decomposition cache hits served by the local tier.
     pub block_hits: u64,
     /// Block-decomposition cache misses (at most 1 per session).
     pub block_misses: u64,
+    /// Block decompositions served by the shared store.
+    pub block_shared_hits: u64,
     /// Distinct relevant views currently cached.
     pub views_cached: usize,
     /// Distinct fitted estimators currently cached.
@@ -138,6 +145,8 @@ struct SessionInner {
     config: EngineConfig,
     howto_opts: HowToOptions,
     cache_budget: CacheBudget,
+    share_artifacts: bool,
+    runtime: HyperRuntime,
     cache: ArtifactCache,
     queries_prepared: AtomicU64,
     queries_executed: AtomicU64,
@@ -151,6 +160,8 @@ pub struct SessionBuilder {
     config: EngineConfig,
     howto_opts: HowToOptions,
     cache_budget: CacheBudget,
+    share_artifacts: bool,
+    runtime: Option<HyperRuntime>,
 }
 
 impl SessionBuilder {
@@ -162,6 +173,8 @@ impl SessionBuilder {
             config: EngineConfig::default(),
             howto_opts: HowToOptions::default(),
             cache_budget: CacheBudget::default(),
+            share_artifacts: true,
+            runtime: None,
         }
     }
 
@@ -200,16 +213,52 @@ impl SessionBuilder {
         self
     }
 
-    /// Finish: an owned, shareable session with an empty artifact cache.
+    /// Participate in the process-wide [`SharedArtifactStore`] (the
+    /// default). Sessions over content-equal `(database, graph)` pairs
+    /// then share relevant views, block decompositions, and fitted
+    /// estimators, each built exactly once process-wide (single-flight);
+    /// [`SessionStats`] distinguishes shared hits from local ones. Pass
+    /// `false` for a fully isolated session — e.g. to benchmark cold
+    /// paths or keep a tenant's cache lifetime strictly session-scoped.
+    pub fn share_artifacts(mut self, share: bool) -> SessionBuilder {
+        self.share_artifacts = share;
+        self
+    }
+
+    /// Run this session's parallel work — [`HyperSession::execute_batch`]
+    /// fan-out, how-to candidate evaluation, and estimator (forest)
+    /// training — on the given runtime instead of
+    /// [`HyperRuntime::global`]. Training results are
+    /// worker-count-independent, so sessions with different runtimes can
+    /// still share fitted estimators through the shared store.
+    pub fn runtime(mut self, runtime: HyperRuntime) -> SessionBuilder {
+        self.runtime = Some(runtime);
+        self
+    }
+
+    /// Finish: an owned, shareable session with an empty local artifact
+    /// cache, attached to its `(db, graph)` shard of the shared store
+    /// unless [`SessionBuilder::share_artifacts`]`(false)` was set.
     pub fn build(self) -> HyperSession {
+        let shared = if self.share_artifacts {
+            let db_fp = self.db.fingerprint();
+            let graph_fp = self.graph.as_ref().map_or(0, |g| g.fingerprint());
+            Some(SharedArtifactStore::global().shard(db_fp, graph_fp))
+        } else {
+            None
+        };
         HyperSession {
             inner: Arc::new(SessionInner {
                 db: self.db,
                 graph: self.graph,
                 config: self.config,
                 howto_opts: self.howto_opts,
-                cache: ArtifactCache::new(self.cache_budget),
+                cache: ArtifactCache::new(self.cache_budget, shared),
                 cache_budget: self.cache_budget,
+                share_artifacts: self.share_artifacts,
+                runtime: self
+                    .runtime
+                    .unwrap_or_else(|| HyperRuntime::global().clone()),
                 queries_prepared: AtomicU64::new(0),
                 queries_executed: AtomicU64::new(0),
                 texts_parsed: AtomicU64::new(0),
@@ -341,19 +390,15 @@ impl HyperSession {
     /// cloned into the session; use [`HyperSession::builder`] with
     /// [`SessionBuilder::graph`] to share an existing `Arc`.
     pub fn new(db: impl Into<Arc<Database>>, graph: Option<&CausalGraph>) -> HyperSession {
-        SessionBuilder {
-            db: db.into(),
-            graph: graph.map(|g| Arc::new(g.clone())),
-            config: EngineConfig::default(),
-            howto_opts: HowToOptions::default(),
-            cache_budget: CacheBudget::default(),
-        }
-        .build()
+        let mut b = SessionBuilder::new(db);
+        b.graph = graph.map(|g| Arc::new(g.clone()));
+        b.build()
     }
 
     /// Replace the configuration, returning a session over the same
-    /// database/graph with a **fresh, empty cache** (cached artifacts
-    /// depend on the configuration).
+    /// database/graph with a **fresh, empty local cache** (estimator keys
+    /// include the configuration, so any shared-store entries that still
+    /// apply keep applying).
     pub fn with_config(self, config: EngineConfig) -> HyperSession {
         SessionBuilder {
             db: Arc::clone(&self.inner.db),
@@ -361,12 +406,14 @@ impl HyperSession {
             config,
             howto_opts: self.inner.howto_opts.clone(),
             cache_budget: self.inner.cache_budget,
+            share_artifacts: self.inner.share_artifacts,
+            runtime: Some(self.inner.runtime.clone()),
         }
         .build()
     }
 
     /// Replace the how-to options, returning a session over the same
-    /// database/graph with a fresh, empty cache.
+    /// database/graph with a fresh, empty local cache.
     pub fn with_howto_options(self, opts: HowToOptions) -> HyperSession {
         SessionBuilder {
             db: Arc::clone(&self.inner.db),
@@ -374,6 +421,8 @@ impl HyperSession {
             config: self.inner.config.clone(),
             howto_opts: opts,
             cache_budget: self.inner.cache_budget,
+            share_artifacts: self.inner.share_artifacts,
+            runtime: Some(self.inner.runtime.clone()),
         }
         .build()
     }
@@ -398,18 +447,27 @@ impl HyperSession {
         &self.inner.howto_opts
     }
 
+    /// The worker pool this session's parallel paths run on (the global
+    /// runtime unless overridden via [`SessionBuilder::runtime`]).
+    pub fn runtime(&self) -> &HyperRuntime {
+        &self.inner.runtime
+    }
+
     /// Snapshot of cache and execution counters.
     pub fn stats(&self) -> SessionStats {
         let c = &self.inner.cache.counters;
         SessionStats {
             view_hits: c.view_hits.load(Ordering::Relaxed),
             view_misses: c.view_misses.load(Ordering::Relaxed),
+            view_shared_hits: c.view_shared_hits.load(Ordering::Relaxed),
             view_evictions: c.view_evictions.load(Ordering::Relaxed),
             estimator_hits: c.estimator_hits.load(Ordering::Relaxed),
             estimator_misses: c.estimator_misses.load(Ordering::Relaxed),
+            estimator_shared_hits: c.estimator_shared_hits.load(Ordering::Relaxed),
             estimator_evictions: c.estimator_evictions.load(Ordering::Relaxed),
             block_hits: c.block_hits.load(Ordering::Relaxed),
             block_misses: c.block_misses.load(Ordering::Relaxed),
+            block_shared_hits: c.block_shared_hits.load(Ordering::Relaxed),
             views_cached: self.inner.cache.cached_views(),
             estimators_cached: self.inner.cache.cached_estimators(),
             queries_prepared: self.inner.queries_prepared.load(Ordering::Relaxed),
@@ -480,41 +538,22 @@ impl HyperSession {
     }
 
     /// Evaluate many queries concurrently over the shared artifact cache,
-    /// preserving input order in the output. Queries fan out across up to
-    /// `available_parallelism` worker threads; results are identical to
-    /// executing each query sequentially (estimator training is seeded and
-    /// deterministic, and cached artifacts are immutable once built).
+    /// preserving input order in the output. Queries fan out across the
+    /// session's persistent [`HyperRuntime`] worker pool — no threads are
+    /// spawned per batch, and nested fan-outs (a batch of how-to queries,
+    /// each evaluating candidates, each training a forest) all draw from
+    /// the same fixed pool. Results are identical to executing each query
+    /// sequentially (estimator training is seeded and deterministic, and
+    /// cached artifacts are immutable once built).
     pub fn execute_batch<S: AsRef<str> + Sync>(&self, queries: &[S]) -> Vec<Result<QueryOutcome>> {
         let n = queries.len();
         if n == 0 {
             return Vec::new();
         }
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        if workers <= 1 {
-            return queries.iter().map(|q| self.execute(q.as_ref())).collect();
-        }
-        let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<Result<QueryOutcome>>> = (0..n).map(|_| OnceLock::new()).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    // Mark this thread so nested evaluators (how-to
-                    // candidate fan-out) stay sequential instead of
-                    // spawning P threads per batch worker.
-                    IN_SESSION_WORKER.with(|f| f.set(true));
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        let r = self.execute(queries[i].as_ref());
-                        let _ = slots[i].set(r);
-                    }
-                });
-            }
+        self.inner.runtime.for_each_parallel(n, |i| {
+            let r = self.execute(queries[i].as_ref());
+            let _ = slots[i].set(r);
         });
         slots
             .into_iter()
@@ -531,6 +570,7 @@ impl HyperSession {
             &self.inner.config,
             q,
             &self.inner.cache,
+            &self.inner.runtime,
         )
     }
 
@@ -545,6 +585,7 @@ impl HyperSession {
             q,
             &self.inner.howto_opts,
             Some(&self.inner.cache),
+            &self.inner.runtime,
         )
     }
 
@@ -558,6 +599,7 @@ impl HyperSession {
             q,
             &self.inner.howto_opts,
             Some(&self.inner.cache),
+            &self.inner.runtime,
         )
     }
 
@@ -571,6 +613,7 @@ impl HyperSession {
             qs,
             &self.inner.howto_opts,
             Some(&self.inner.cache),
+            &self.inner.runtime,
         )
     }
 
@@ -727,6 +770,7 @@ impl PreparedQuery {
                 &self.view,
                 self.view_key.as_str(),
                 Some(&inner.cache),
+                &inner.runtime,
             )?)),
             HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(evaluate_howto_cached(
                 &inner.db,
@@ -735,6 +779,7 @@ impl PreparedQuery {
                 q,
                 &inner.howto_opts,
                 Some(&inner.cache),
+                &inner.runtime,
             )?)),
         }
     }

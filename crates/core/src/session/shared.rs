@@ -1,0 +1,209 @@
+//! The process-wide shared artifact store.
+//!
+//! Relevant views and Prop.-1 block decompositions depend only on the
+//! `(database, causal graph)` pair, and fitted estimators key every other
+//! input (query parts, adjustment set, estimator configuration) into
+//! their cache string — so none of them is inherently *session* state.
+//! This module hoists them to process scope: a [`SharedArtifactStore`]
+//! holds one [`SharedShard`] per `(database fingerprint, graph
+//! fingerprint)` pair, and every [`super::ArtifactCache`] whose session
+//! opted in (the default) resolves misses through its shard.
+//!
+//! That is the multi-tenant shape what-if serving needs: N concurrent
+//! sessions over one dataset — per-tenant configs, bounded per-session
+//! LRU budgets, independent [`super::SessionStats`] — paying for **one**
+//! view build and **one** estimator training per distinct artifact,
+//! process-wide. Keys are *content* fingerprints
+//! ([`hyper_storage::Database::fingerprint`] /
+//! [`hyper_causal::CausalGraph::fingerprint`]), so sessions share whether
+//! they clone one `Arc<Database>` or loaded equal data independently.
+//!
+//! Concurrency is single-flight per key, across sessions: when many
+//! sessions (or many threads of one session) miss the same key at once,
+//! exactly one builds while the rest wait and record a *shared hit*
+//! ([`super::SessionStats::view_shared_hits`] and friends). A failed or
+//! panicking build caches nothing; the next requester retries.
+//!
+//! The shared tier is deliberately unbounded — it holds one entry per
+//! *distinct* artifact, and per-session `CacheBudget`s bound the local
+//! tiers — but long-running processes cycling through many datasets can
+//! reclaim it wholesale with [`SharedArtifactStore::clear`].
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use hyper_causal::BlockDecomposition;
+
+use crate::error::Result;
+use crate::view::RelevantView;
+use crate::whatif::estimator::CausalEstimator;
+
+/// How a shared-store fetch was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FetchOutcome {
+    /// This caller ran the builder (counts as a miss for its session).
+    Built,
+    /// The artifact already existed — or another session/thread was
+    /// building it and this caller waited (a shared hit either way).
+    Shared,
+}
+
+/// One single-flight slot: a write-once cell plus the per-key init lock
+/// that serializes builders without blocking other keys.
+struct SharedSlot<T> {
+    cell: OnceLock<Arc<T>>,
+    init: Mutex<()>,
+}
+
+impl<T> Default for SharedSlot<T> {
+    fn default() -> SharedSlot<T> {
+        SharedSlot {
+            cell: OnceLock::new(),
+            init: Mutex::new(()),
+        }
+    }
+}
+
+/// A keyed, unbounded, single-flight cache shared across sessions.
+pub(crate) struct SharedCache<T> {
+    map: RwLock<HashMap<String, Arc<SharedSlot<T>>>>,
+}
+
+impl<T> Default for SharedCache<T> {
+    fn default() -> SharedCache<T> {
+        SharedCache {
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T> SharedCache<T> {
+    /// Fetch `key`, building via `build` if absent; reports whether this
+    /// caller performed the build.
+    pub(crate) fn get_or_build(
+        &self,
+        key: &str,
+        build: impl FnOnce() -> Result<T>,
+    ) -> Result<(Arc<T>, FetchOutcome)> {
+        if let Some(slot) = self.map.read().unwrap_or_else(|e| e.into_inner()).get(key) {
+            if let Some(v) = slot.cell.get() {
+                return Ok((Arc::clone(v), FetchOutcome::Shared));
+            }
+        }
+        let slot = {
+            let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key.to_string()).or_default())
+        };
+        // Serialize builders per key; a panicked builder poisons only
+        // this lock and leaves the cell empty — recover and retry.
+        let _guard = slot.init.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = slot.cell.get() {
+            return Ok((Arc::clone(v), FetchOutcome::Shared));
+        }
+        let built = Arc::new(build()?);
+        slot.cell
+            .set(Arc::clone(&built))
+            .unwrap_or_else(|_| unreachable!("init lock held"));
+        Ok((built, FetchOutcome::Built))
+    }
+
+    /// True when `key` is present and built (no side effects).
+    pub(crate) fn peek(&self, key: &str) -> bool {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(key)
+            .is_some_and(|slot| slot.cell.get().is_some())
+    }
+
+    /// Number of built entries.
+    fn len(&self) -> usize {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .filter(|slot| slot.cell.get().is_some())
+            .count()
+    }
+}
+
+/// The shared artifacts of one `(database, graph)` pair.
+#[derive(Default)]
+pub(crate) struct SharedShard {
+    pub(crate) views: SharedCache<RelevantView>,
+    pub(crate) estimators: SharedCache<CausalEstimator>,
+    pub(crate) blocks: SharedCache<BlockDecomposition>,
+}
+
+/// Counts of distinct artifacts held by the process-wide store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStoreStats {
+    /// Distinct `(database, graph)` shards.
+    pub shards: usize,
+    /// Relevant views held, across shards.
+    pub views: usize,
+    /// Fitted estimators held, across shards.
+    pub estimators: usize,
+    /// Block decompositions held, across shards.
+    pub blocks: usize,
+}
+
+/// Process-wide store of session-independent artifacts, sharded by
+/// `(database fingerprint, graph fingerprint)`. See the module docs.
+#[derive(Default)]
+pub struct SharedArtifactStore {
+    shards: Mutex<HashMap<(u64, u64), Arc<SharedShard>>>,
+}
+
+static GLOBAL: OnceLock<SharedArtifactStore> = OnceLock::new();
+
+impl SharedArtifactStore {
+    /// The process-wide store (created on first use).
+    pub fn global() -> &'static SharedArtifactStore {
+        GLOBAL.get_or_init(SharedArtifactStore::default)
+    }
+
+    /// The shard for a `(database, graph)` fingerprint pair, created
+    /// empty on first request.
+    pub(crate) fn shard(&self, db_fp: u64, graph_fp: u64) -> Arc<SharedShard> {
+        let mut shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(shards.entry((db_fp, graph_fp)).or_default())
+    }
+
+    /// Snapshot of the store's size.
+    pub fn stats(&self) -> SharedStoreStats {
+        let shards = self.shards.lock().unwrap_or_else(|e| e.into_inner());
+        let mut s = SharedStoreStats {
+            shards: shards.len(),
+            ..SharedStoreStats::default()
+        };
+        for shard in shards.values() {
+            s.views += shard.views.len();
+            s.estimators += shard.estimators.len();
+            s.blocks += shard.blocks.len();
+        }
+        s
+    }
+
+    /// Drop every shard. Existing sessions hold their shard by `Arc` and
+    /// keep their artifacts; *new* sessions start against empty shards.
+    /// Use this to reclaim memory after retiring a dataset.
+    pub fn clear(&self) {
+        self.shards
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+    }
+}
+
+impl std::fmt::Debug for SharedArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("SharedArtifactStore")
+            .field("shards", &s.shards)
+            .field("views", &s.views)
+            .field("estimators", &s.estimators)
+            .field("blocks", &s.blocks)
+            .finish()
+    }
+}

@@ -340,11 +340,11 @@ fn resolve_in_table(table: &Table, name: &str) -> Result<usize> {
 mod tests {
     use super::*;
     use hyper_query::parse_query;
-    use hyper_storage::{DataType, Field, ForeignKey, Schema, Value};
+    use hyper_storage::{DataType, Field, ForeignKey, Schema, TableBuilder, Value};
 
     fn amazon_db() -> Database {
         let mut db = Database::new();
-        let mut prod = Table::with_key(
+        let mut prod = TableBuilder::with_key(
             "product",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -361,10 +361,10 @@ mod tests {
             (2, "Laptop", 529.0, "Asus"),
             (3, "Laptop", 599.0, "HP"),
         ] {
-            prod.push_row(vec![pid.into(), cat.into(), price.into(), brand.into()])
+            prod.push(vec![pid.into(), cat.into(), price.into(), brand.into()])
                 .unwrap();
         }
-        let mut rev = Table::with_key(
+        let mut rev = TableBuilder::with_key(
             "review",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -383,11 +383,11 @@ mod tests {
             (3, 4, 0.23, 3),
             (3, 5, 0.95, 5),
         ] {
-            rev.push_row(vec![pid.into(), rid.into(), s.into(), r.into()])
+            rev.push(vec![pid.into(), rid.into(), s.into(), r.into()])
                 .unwrap();
         }
-        db.add_table(prod).unwrap();
-        db.add_table(rev).unwrap();
+        db.add_table(prod.build()).unwrap();
+        db.add_table(rev.build()).unwrap();
         db.add_foreign_key(ForeignKey {
             child_table: "review".into(),
             child_columns: vec!["pid".into()],

@@ -123,6 +123,10 @@ pub struct EstimatorSpec<'a> {
     pub seed: u64,
     /// Regression family.
     pub kind: crate::config::EstimatorKind,
+    /// Worker pool forest training fans out over (results are
+    /// worker-count-independent, so sharing fitted estimators across
+    /// sessions with different runtimes is safe).
+    pub runtime: &'a hyper_runtime::HyperRuntime,
 }
 
 /// Empirical cell-mean table over encoded feature combinations: the
@@ -348,7 +352,8 @@ impl CausalEstimator {
                         seed: spec.seed,
                     };
                     FittedModel::Forest(
-                        RandomForest::fit(&xt, targets, &params).map_err(EngineError::from)?,
+                        RandomForest::fit_on(spec.runtime, &xt, targets, &params)
+                            .map_err(EngineError::from)?,
                     )
                 }
                 crate::config::EstimatorKind::Linear => FittedModel::Linear(
@@ -545,7 +550,7 @@ impl CausalEstimator {
                 for (k, &c) in self.feature_cols.iter().enumerate() {
                     buf.push(match &post_value_cols[k] {
                         Some(vals) => vals[row].clone(),
-                        None => table.get(i, c),
+                        None => table.column(c).value(i),
                     });
                 }
                 m.push_row(&self.encoder.encode_values(&buf)?)

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use hyper_causal::CausalGraph;
 use hyper_query::{validate_whatif, HExpr, OutputArg, Temporal, UpdateFunc, WhatIfQuery};
+use hyper_runtime::HyperRuntime;
 use hyper_storage::{AggFunc, Database, Value};
 
 use crate::config::{BackdoorMode, EngineConfig};
@@ -221,7 +222,16 @@ pub fn evaluate_whatif(
     q: &WhatIfQuery,
 ) -> Result<WhatIfResult> {
     let view = Arc::new(build_relevant_view(db, &q.use_clause)?);
-    evaluate_whatif_on_view(db, graph, config, q, &view, "", None)
+    evaluate_whatif_on_view(
+        db,
+        graph,
+        config,
+        q,
+        &view,
+        "",
+        None,
+        HyperRuntime::global(),
+    )
 }
 
 /// Evaluate a what-if query, resolving the relevant view and the fitted
@@ -232,9 +242,19 @@ pub(crate) fn evaluate_whatif_cached(
     config: &EngineConfig,
     q: &WhatIfQuery,
     cache: &ArtifactCache,
+    runtime: &HyperRuntime,
 ) -> Result<WhatIfResult> {
     let (view, view_key) = cache.view(db, &q.use_clause)?;
-    evaluate_whatif_on_view(db, graph, config, q, &view, view_key.as_str(), Some(cache))
+    evaluate_whatif_on_view(
+        db,
+        graph,
+        config,
+        q,
+        &view,
+        view_key.as_str(),
+        Some(cache),
+        runtime,
+    )
 }
 
 /// Dispatch helper for call sites (the how-to optimizers) that may or may
@@ -245,10 +265,14 @@ pub(crate) fn evaluate_whatif_maybe_cached(
     config: &EngineConfig,
     q: &WhatIfQuery,
     cache: Option<&ArtifactCache>,
+    runtime: &HyperRuntime,
 ) -> Result<WhatIfResult> {
     match cache {
-        Some(c) => evaluate_whatif_cached(db, graph, config, q, c),
-        None => evaluate_whatif(db, graph, config, q),
+        Some(c) => evaluate_whatif_cached(db, graph, config, q, c, runtime),
+        None => {
+            let view = Arc::new(build_relevant_view(db, &q.use_clause)?);
+            evaluate_whatif_on_view(db, graph, config, q, &view, "", None, runtime)
+        }
     }
 }
 
@@ -256,7 +280,7 @@ pub(crate) fn evaluate_whatif_maybe_cached(
 /// (§3.3 steps 2–5). `view_key` is the cache key of `view` (empty outside
 /// a session); when `cache` is present the fitted estimator is fetched
 /// from / inserted into it under a fingerprint derived from `view_key`.
-#[allow(clippy::needless_range_loop)]
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
 pub(crate) fn evaluate_whatif_on_view(
     db: &Database,
     graph: Option<&CausalGraph>,
@@ -265,6 +289,7 @@ pub(crate) fn evaluate_whatif_on_view(
     view: &Arc<RelevantView>,
     view_key: &str,
     cache: Option<&ArtifactCache>,
+    runtime: &HyperRuntime,
 ) -> Result<WhatIfResult> {
     let started = Instant::now();
     reject_unresolved_params(q)?;
@@ -384,6 +409,7 @@ pub(crate) fn evaluate_whatif_on_view(
         max_depth: config.max_depth,
         seed: config.seed,
         kind: config.estimator,
+        runtime,
     };
     // Inside a session, fitted estimators are cached under a fingerprint of
     // (view, update set, output, adjustment set, estimator config): a
@@ -531,7 +557,7 @@ fn deterministic_eval(
                 }
             }
         }
-        table.get(i, c)
+        table.column(c).value(i)
     };
 
     let mut total = 0.0;
@@ -541,7 +567,7 @@ fn deterministic_eval(
             continue;
         }
         let mut get = |t: Temporal, c: usize| match t {
-            Temporal::Pre => table.get(i, c),
+            Temporal::Pre => table.column(c).value(i),
             Temporal::Post => post_at(i, c),
         };
         let sat = match psi {

@@ -94,8 +94,11 @@ fn execute_batch_matches_sequential_execution_exactly() {
         "Use d Update(status) = 1 Output Count(Post(credit) = 'Good')".into(),
     ];
 
+    // Isolated sessions: this test pins down *local* cache accounting
+    // (cross-session sharing has its own suite in shared_runtime_tests).
     let sequential_session = HyperSession::builder(db.clone())
         .graph(graph.clone())
+        .share_artifacts(false)
         .build();
     let sequential: Vec<f64> = queries
         .iter()
@@ -105,7 +108,10 @@ fn execute_batch_matches_sequential_execution_exactly() {
         })
         .collect();
 
-    let batch_session = HyperSession::builder(db).graph(graph).build();
+    let batch_session = HyperSession::builder(db)
+        .graph(graph)
+        .share_artifacts(false)
+        .build();
     let batch = batch_session.execute_batch(&queries);
     assert_eq!(batch.len(), queries.len());
     for (i, (seq, out)) in sequential.iter().zip(&batch).enumerate() {
@@ -474,9 +480,13 @@ fn explain_describes_howto_plans() {
 #[test]
 fn cache_budget_evicts_least_recently_used_estimators() {
     let (db, _, graph) = credit_db(500, 4);
+    // Isolated: with the shared store attached, an evicted estimator is
+    // re-served from the process-wide tier instead of retraining (covered
+    // in shared_runtime_tests); this test pins down the local LRU.
     let session = HyperSession::builder(db)
         .graph(graph)
         .cache_budget(CacheBudget::estimators(2))
+        .share_artifacts(false)
         .build();
     let q = |attr: &str, v: i64| {
         format!("Use d Update({attr}) = {v} Output Count(Post(credit) = 'Good')")
@@ -612,4 +622,59 @@ fn howto_limit_bound_sweep_rebuilds_only_the_optimizer() {
         before,
         "repeated bound binding retrains nothing"
     );
+}
+
+/// Objective constants accept `Param(…)` end-to-end: one prepared how-to
+/// template sweeps objective targets with a single view build and zero
+/// parses, and an unresolved objective parameter is rejected by name.
+#[test]
+fn parameterized_objective_constant_sweeps_targets() {
+    use hyper_query::{HOp, HowTo};
+
+    let (db, _, graph) = credit_db(1_200, 13);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .howto_options(HowToOptions {
+            buckets: 2,
+            ..HowToOptions::default()
+        })
+        .build();
+
+    let template = HowTo::maximize_count_param("credit", HOp::Eq, "target")
+        .over("d")
+        .update("status");
+    let prepared = session.prepare(template).unwrap();
+    assert_eq!(
+        prepared.params(),
+        &["target".to_string()],
+        "the objective constant surfaces as a template parameter"
+    );
+    assert_eq!(session.stats().view_misses, 1, "prepare builds the view");
+
+    // Unbound execution refuses and names the parameter.
+    let err = prepared.execute().unwrap_err();
+    assert!(err.to_string().contains("target"), "{err}");
+
+    let good = prepared
+        .execute_with(&Bindings::new().set("target", "Good"))
+        .unwrap();
+    let bad = prepared
+        .execute_with(&Bindings::new().set("target", "Bad"))
+        .unwrap();
+    let (QueryOutcome::HowTo(good), QueryOutcome::HowTo(bad)) = (good, bad) else {
+        panic!("expected how-to results");
+    };
+    // Maximizing Good-credit count and maximizing Bad-credit count pull
+    // the objective in opposite directions off the same baseline data.
+    assert!(good.objective >= good.baseline);
+    assert!(bad.objective >= bad.baseline);
+    let stats = session.stats();
+    assert_eq!(stats.view_misses, 1, "the sweep shares one view build");
+    assert_eq!(stats.texts_parsed, 0, "no text round-trips");
+
+    // The parsed form of the template produces the same prepared params.
+    let parsed = session
+        .prepare("Use d HowToUpdate status ToMaximize Count(Post(credit) = Param(target))")
+        .unwrap();
+    assert_eq!(parsed.params(), &["target".to_string()]);
 }

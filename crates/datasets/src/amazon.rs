@@ -9,7 +9,7 @@
 use hyper_causal::{amazon_example_graph, CausalGraph};
 #[cfg(test)]
 use hyper_storage::Value;
-use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table};
+use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, TableBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,7 +50,7 @@ fn brand_params(brand: &str) -> (f64, f64) {
 pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let mut product = Table::with_key(
+    let mut product = TableBuilder::with_key(
         "product",
         Schema::new(vec![
             Field::new("pid", DataType::Int),
@@ -64,7 +64,7 @@ pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Datas
         &["pid"],
     )
     .expect("key exists");
-    let mut review = Table::with_key(
+    let mut review = TableBuilder::with_key(
         "review",
         Schema::new(vec![
             Field::new("pid", DataType::Int),
@@ -92,7 +92,7 @@ pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Datas
             * (0.85 + 0.3 * rng.gen::<f64>()))
         .max(5.0);
         product
-            .push_row(vec![
+            .push(vec![
                 pid.into(),
                 category.into(),
                 price.into(),
@@ -113,7 +113,7 @@ pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Datas
                 + 0.5 * (rng.gen::<f64>() - 0.5);
             let rating = (score.round() as i64).clamp(1, 5);
             review
-                .push_row(vec![
+                .push(vec![
                     pid.into(),
                     review_id.into(),
                     sentiment.into(),
@@ -125,8 +125,8 @@ pub fn amazon(n_products: usize, reviews_per_product: usize, seed: u64) -> Datas
     }
 
     let mut db = Database::new();
-    db.add_table(product).expect("fresh db");
-    db.add_table(review).expect("fresh db");
+    db.add_table(product.build()).expect("fresh db");
+    db.add_table(review.build()).expect("fresh db");
     db.add_foreign_key(ForeignKey {
         child_table: "review".into(),
         child_columns: vec!["pid".into()],
@@ -152,7 +152,7 @@ pub fn amazon_graph() -> CausalGraph {
 /// The literal Figure-1 toy database (5 products, 6 reviews), for examples
 /// and documentation.
 pub fn amazon_figure1() -> Dataset {
-    let mut product = Table::with_key(
+    let mut product = TableBuilder::with_key(
         "product",
         Schema::new(vec![
             Field::new("pid", DataType::Int),
@@ -174,7 +174,7 @@ pub fn amazon_figure1() -> Dataset {
         (5, "Sci Fi eBooks", 15.99, "Fantasy Press", "Blue", 0.4),
     ] {
         product
-            .push_row(vec![
+            .push(vec![
                 pid.into(),
                 cat.into(),
                 price.into(),
@@ -184,7 +184,7 @@ pub fn amazon_figure1() -> Dataset {
             ])
             .expect("schema-conforming row");
     }
-    let mut review = Table::with_key(
+    let mut review = TableBuilder::with_key(
         "review",
         Schema::new(vec![
             Field::new("pid", DataType::Int),
@@ -205,12 +205,12 @@ pub fn amazon_figure1() -> Dataset {
         (4, 5, 0.7, 4),
     ] {
         review
-            .push_row(vec![pid.into(), rid.into(), s.into(), r.into()])
+            .push(vec![pid.into(), rid.into(), s.into(), r.into()])
             .expect("schema-conforming row");
     }
     let mut db = Database::new();
-    db.add_table(product).expect("fresh db");
-    db.add_table(review).expect("fresh db");
+    db.add_table(product.build()).expect("fresh db");
+    db.add_table(review.build()).expect("fresh db");
     db.add_foreign_key(ForeignKey {
         child_table: "review".into(),
         child_columns: vec!["pid".into()],
@@ -260,10 +260,10 @@ mod tests {
         let reviews = d.db.table("review").unwrap();
         let mut price_of = std::collections::HashMap::new();
         for i in 0..products.num_rows() {
-            if products.get(i, 1).as_str() == Some("Laptop") {
+            if products.column(1).value(i).as_str() == Some("Laptop") {
                 price_of.insert(
-                    products.get(i, 0).as_i64().unwrap(),
-                    products.get(i, 2).as_f64().unwrap(),
+                    products.column(0).value(i).as_i64().unwrap(),
+                    products.column(2).value(i).as_f64().unwrap(),
                 );
             }
         }
@@ -273,11 +273,11 @@ mod tests {
         let hi_cut = prices[2 * prices.len() / 3];
         let (mut lo_sum, mut lo_n, mut hi_sum, mut hi_n) = (0.0, 0, 0.0, 0);
         for i in 0..reviews.num_rows() {
-            let pid = reviews.get(i, 0).as_i64().unwrap();
+            let pid = reviews.column(0).value(i).as_i64().unwrap();
             let Some(&p) = price_of.get(&pid) else {
                 continue;
             };
-            let r = reviews.get(i, 3).as_f64().unwrap();
+            let r = reviews.column(3).value(i).as_f64().unwrap();
             if p <= lo_cut {
                 lo_sum += r;
                 lo_n += 1;
@@ -299,7 +299,10 @@ mod tests {
         let d = amazon_figure1();
         assert_eq!(d.db.table("product").unwrap().num_rows(), 5);
         assert_eq!(d.db.table("review").unwrap().num_rows(), 6);
-        assert_eq!(d.db.table("product").unwrap().get(1, 3), Value::str("Asus"));
+        assert_eq!(
+            d.db.table("product").unwrap().column(3).value(1),
+            Value::str("Asus")
+        );
     }
 
     #[test]

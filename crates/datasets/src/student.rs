@@ -13,7 +13,7 @@
 
 use hyper_causal::scm::{Mechanism, Scm};
 use hyper_causal::{CausalGraph, EdgeKind};
-use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, Table, Value};
+use hyper_storage::{DataType, Database, Field, ForeignKey, Schema, TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -182,7 +182,7 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
     let flat = scm.sample("flat", n_students, seed).expect("valid scm");
     let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
 
-    let mut student = Table::with_key(
+    let mut student = TableBuilder::with_key(
         "student",
         Schema::new(vec![
             Field::new("sid", DataType::Int),
@@ -195,7 +195,7 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
         &["sid"],
     )
     .expect("key exists");
-    let mut participation = Table::with_key(
+    let mut participation = TableBuilder::with_key(
         "participation",
         Schema::new(vec![
             Field::new("sid", DataType::Int),
@@ -224,12 +224,12 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
 
     for s in 0..n_students {
         student
-            .push_row(vec![
+            .push(vec![
                 (s as i64).into(),
-                flat.get(s, c_age).clone(),
-                flat.get(s, c_gender).clone(),
-                flat.get(s, c_country).clone(),
-                flat.get(s, c_att).clone(),
+                flat.column(c_age).value(s),
+                flat.column(c_gender).value(s),
+                flat.column(c_country).value(s),
+                flat.column(c_att).value(s),
             ])
             .expect("schema-conforming row");
         for course in 0..courses as i64 {
@@ -237,13 +237,13 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
             let jitter = |mean: f64, sd: f64, rng: &mut StdRng| -> f64 {
                 (mean + sd * (rng.gen::<f64>() - 0.5) * 2.0).clamp(0.0, 100.0)
             };
-            let disc = jitter(flat.get(s, c_disc).as_f64().unwrap(), 6.0, &mut rng);
-            let ann = jitter(flat.get(s, c_ann).as_f64().unwrap(), 6.0, &mut rng);
-            let hand = jitter(flat.get(s, c_hand).as_f64().unwrap(), 5.0, &mut rng);
-            let assign = jitter(flat.get(s, c_assign).as_f64().unwrap(), 8.0, &mut rng);
-            let grade = jitter(flat.get(s, c_grade).as_f64().unwrap(), 4.0, &mut rng);
+            let disc = jitter(flat.column(c_disc).f64_at(s).unwrap(), 6.0, &mut rng);
+            let ann = jitter(flat.column(c_ann).f64_at(s).unwrap(), 6.0, &mut rng);
+            let hand = jitter(flat.column(c_hand).f64_at(s).unwrap(), 5.0, &mut rng);
+            let assign = jitter(flat.column(c_assign).f64_at(s).unwrap(), 8.0, &mut rng);
+            let grade = jitter(flat.column(c_grade).f64_at(s).unwrap(), 4.0, &mut rng);
             participation
-                .push_row(vec![
+                .push(vec![
                     (s as i64).into(),
                     course.into(),
                     disc.into(),
@@ -257,8 +257,8 @@ pub fn student_syn(n_students: usize, courses: usize, seed: u64) -> Dataset {
     }
 
     let mut db = Database::new();
-    db.add_table(student).expect("fresh db");
-    db.add_table(participation).expect("fresh db");
+    db.add_table(student.build()).expect("fresh db");
+    db.add_table(participation.build()).expect("fresh db");
     db.add_foreign_key(ForeignKey {
         child_table: "participation".into(),
         child_columns: vec!["sid".into()],
@@ -357,9 +357,11 @@ mod tests {
             let mut dsum = 0.0;
             let mut n = 0usize;
             let gi = 8; // grade index
+            let pre_row =
+                |i: usize| -> Vec<Value> { (0..9).map(|c| pre.column(c).value(i)).collect() };
             for i in 0..pre.num_rows() {
-                if cond(&pre.row(i)) {
-                    dsum += post.get(i, gi).as_f64().unwrap() - pre.get(i, gi).as_f64().unwrap();
+                if cond(&pre_row(i)) {
+                    dsum += post.column(gi).f64_at(i).unwrap() - pre.column(gi).f64_at(i).unwrap();
                     n += 1;
                 }
             }

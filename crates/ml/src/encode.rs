@@ -252,7 +252,7 @@ impl TableEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyper_storage::{DataType, Field, Schema};
+    use hyper_storage::{DataType, Field, Schema, TableBuilder};
 
     fn table() -> Table {
         let schema = Schema::new(vec![
@@ -261,14 +261,14 @@ mod tests {
             Field::nullable("score", DataType::Float),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
-        t.push_row(vec![30.into(), "red".into(), 1.0.into()])
-            .unwrap();
-        t.push_row(vec![40.into(), "blue".into(), Value::Null])
-            .unwrap();
-        t.push_row(vec![50.into(), "red".into(), 3.0.into()])
-            .unwrap();
-        t
+        TableBuilder::new("t", schema)
+            .rows([
+                vec![30.into(), "red".into(), 1.0.into()],
+                vec![40.into(), "blue".into(), Value::Null],
+                vec![50.into(), "red".into(), 3.0.into()],
+            ])
+            .unwrap()
+            .build()
     }
 
     #[test]

@@ -2,14 +2,37 @@
 //!
 //! The reproduction's stand-in for the paper's sklearn
 //! `RandomForestRegressor` (§5, "Implementation and setup"): HypeR trains
-//! one of these per conditional-probability estimate.
+//! one of these per conditional-probability estimate — it dominates cold
+//! what-if latency, so training is the engine's hottest cold path.
+//!
+//! Training is histogram-based and parallel: the feature matrix is binned
+//! **once** ([`crate::hist::BinnedMatrix`]) and every tree fits over the
+//! shared bins with per-node histogram split search; trees train
+//! concurrently over a [`hyper_runtime::HyperRuntime`] worker pool. Each
+//! tree derives its own RNG from `(seed, tree_index)`, so a fitted forest
+//! is **bit-identical for a fixed seed regardless of worker count** —
+//! including the zero-worker sequential fallback.
 
+use std::sync::OnceLock;
+
+use hyper_runtime::HyperRuntime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::{MlError, Result};
+use crate::hist::{BinnedMatrix, CellIndex, MAX_BINS};
 use crate::matrix::Matrix;
 use crate::tree::{RegressionTree, TreeParams};
+
+/// Derive the per-tree RNG seed: a SplitMix64 scramble of the forest seed
+/// and the tree index, so tree streams are independent and assignment of
+/// trees to worker threads cannot change any tree's randomness.
+fn tree_seed(seed: u64, tree: usize) -> u64 {
+    let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// Hyper-parameters for the forest.
 #[derive(Debug, Clone)]
@@ -43,8 +66,22 @@ pub struct RandomForest {
 }
 
 impl RandomForest {
-    /// Fit on `(x, y)`.
+    /// Fit on `(x, y)` over the process-wide
+    /// [`HyperRuntime`](hyper_runtime::HyperRuntime).
     pub fn fit(x: &Matrix, y: &[f64], params: &ForestParams) -> Result<RandomForest> {
+        Self::fit_on(HyperRuntime::global(), x, y, params)
+    }
+
+    /// Fit on `(x, y)`, training trees in parallel over `runtime`. The
+    /// result depends only on `(x, y, params)` — never on the runtime's
+    /// worker count (each tree's randomness is derived from
+    /// `(params.seed, tree_index)`).
+    pub fn fit_on(
+        runtime: &HyperRuntime,
+        x: &Matrix,
+        y: &[f64],
+        params: &ForestParams,
+    ) -> Result<RandomForest> {
         if x.rows() == 0 {
             return Err(MlError::InvalidInput("empty training set".into()));
         }
@@ -58,26 +95,68 @@ impl RandomForest {
         if params.n_trees == 0 {
             return Err(MlError::InvalidInput("n_trees must be ≥ 1".into()));
         }
-        let mut rng = StdRng::seed_from_u64(params.seed);
         let mut tree_params = params.tree.clone();
         if tree_params.max_features.is_none() && x.cols() > 3 {
             tree_params.max_features = Some((x.cols() as f64).sqrt().ceil() as usize);
         }
         let n = x.rows();
-        let mut trees = Vec::with_capacity(params.n_trees);
-        for _ in 0..params.n_trees {
-            let idx: Vec<u32> = if params.bootstrap {
-                (0..n).map(|_| rng.gen_range(0..n) as u32).collect()
-            } else {
-                (0..n as u32).collect()
+        // Bin once, share across every tree (the expensive sort happens
+        // here, not per node). When the joint bin vectors collapse into
+        // few distinct cells — always true over HypeR's discrete
+        // adjustment sets — trees additionally fit over weighted cells
+        // instead of rows, so per-tree cost drops to one O(n) bootstrap
+        // accumulation plus an O(cells) tree build.
+        let binned = BinnedMatrix::from_matrix(x, MAX_BINS);
+        let cells = CellIndex::build(&binned, (n / 4).max(64));
+        let slots: Vec<OnceLock<Result<RegressionTree>>> =
+            (0..params.n_trees).map(|_| OnceLock::new()).collect();
+        runtime.for_each_parallel(params.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(tree_seed(params.seed, t));
+            let tree = match &cells {
+                Some(cells) => {
+                    // Accumulate this tree's bootstrap directly into
+                    // per-cell (count, Σy, Σy²) statistics.
+                    let mut stats = vec![(0u32, 0.0f64, 0.0f64); cells.num_cells()];
+                    let cell_of_row = cells.cell_of_row();
+                    if params.bootstrap {
+                        for _ in 0..n {
+                            let r = rng.gen_range(0..n);
+                            let slot = &mut stats[cell_of_row[r] as usize];
+                            let yv = y[r];
+                            slot.0 += 1;
+                            slot.1 += yv;
+                            slot.2 += yv * yv;
+                        }
+                    } else {
+                        for (r, &yv) in y.iter().enumerate() {
+                            let slot = &mut stats[cell_of_row[r] as usize];
+                            slot.0 += 1;
+                            slot.1 += yv;
+                            slot.2 += yv * yv;
+                        }
+                    }
+                    RegressionTree::fit_cells(&binned, cells, &stats, &tree_params, &mut rng)
+                }
+                None => {
+                    let idx: Vec<u32> = if params.bootstrap {
+                        let mut idx: Vec<u32> =
+                            (0..n).map(|_| rng.gen_range(0..n) as u32).collect();
+                        // Ascending order makes every histogram pass walk
+                        // the bin buffers forward (the multiset, not the
+                        // order, defines the fitted tree).
+                        idx.sort_unstable();
+                        idx
+                    } else {
+                        (0..n as u32).collect()
+                    };
+                    RegressionTree::fit_binned(&binned, y, idx, &tree_params, &mut rng)
+                }
             };
-            trees.push(RegressionTree::fit_indices(
-                x,
-                y,
-                idx,
-                &tree_params,
-                &mut rng,
-            )?);
+            let _ = slots[t].set(tree);
+        });
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for slot in slots {
+            trees.push(slot.into_inner().expect("every tree slot is filled")?);
         }
         Ok(RandomForest { trees })
     }
@@ -149,6 +228,23 @@ mod tests {
         let f1 = RandomForest::fit(&x, &y, &p).unwrap();
         let f2 = RandomForest::fit(&x, &y, &p).unwrap();
         assert_eq!(f1.predict_row(&[0.5]), f2.predict_row(&[0.5]));
+    }
+
+    #[test]
+    fn bit_identical_across_worker_counts() {
+        let (x, y) = quadratic(400, 11);
+        let p = ForestParams {
+            seed: 42,
+            ..Default::default()
+        };
+        let sequential = HyperRuntime::with_workers(0);
+        let parallel = HyperRuntime::with_workers(3);
+        let f0 = RandomForest::fit_on(&sequential, &x, &y, &p).unwrap();
+        let f3 = RandomForest::fit_on(&parallel, &x, &y, &p).unwrap();
+        let (xt, _) = quadratic(100, 12);
+        let p0 = f0.predict(&xt);
+        let p3 = f3.predict(&xt);
+        assert_eq!(p0, p3, "seeded training must not depend on worker count");
     }
 
     #[test]

@@ -8,7 +8,12 @@
 //!
 //! * [`matrix`] — dense feature matrices;
 //! * [`encode`] — table → feature-vector encoding (one-hot categoricals);
-//! * [`tree`] / [`forest`] — CART regression trees and bagged forests;
+//! * [`hist`] — histogram binning of feature matrices (bin once per
+//!   forest, search splits per node over bins instead of sorts);
+//! * [`tree`] / [`forest`] — CART regression trees and bagged forests
+//!   (trees train in parallel over the
+//!   [`hyper_runtime::HyperRuntime`] worker pool, deterministically for a
+//!   fixed seed whatever the worker count);
 //! * [`linear`] — OLS/ridge for the how-to objective linearization (§4.3);
 //! * [`discretize`] — equi-width/equi-frequency bucketization (§4.3, Fig 9);
 //! * [`metrics`] — MSE/MAE/R².
@@ -19,6 +24,7 @@ pub mod discretize;
 pub mod encode;
 pub mod error;
 pub mod forest;
+pub mod hist;
 pub mod linear;
 pub mod matrix;
 pub mod metrics;
@@ -28,6 +34,7 @@ pub use discretize::{BinStrategy, Discretizer};
 pub use encode::TableEncoder;
 pub use error::{MlError, Result};
 pub use forest::{ForestParams, RandomForest};
+pub use hist::{BinnedMatrix, MAX_BINS};
 pub use linear::LinearModel;
 pub use matrix::Matrix;
 pub use tree::{RegressionTree, TreeParams};

@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 use crate::error::{MlError, Result};
+use crate::hist::{BinnedMatrix, CellIndex};
 use crate::matrix::Matrix;
 
 /// Hyper-parameters for a regression tree.
@@ -53,6 +54,17 @@ pub struct RegressionTree {
     n_features: usize,
 }
 
+/// Per-tree scratch state for the binned builder, allocated once and
+/// reused by every node.
+struct BinnedCtx {
+    /// `(count, Σy)` per bin of the feature currently scanned.
+    hist: Vec<(u32, f64)>,
+    /// Staging buffer for the in-place stable partition.
+    scratch: Vec<u32>,
+    /// True when every target is 0 or 1 (then Σy² ≡ Σy).
+    y_is_binary: bool,
+}
+
 impl RegressionTree {
     /// Fit a tree on `(x, y)`; `rng` drives feature subsampling (pass any
     /// seeded rng; unused when `max_features` is `None`).
@@ -93,6 +105,420 @@ impl RegressionTree {
         };
         tree.build(x, y, idx, 0, params, rng);
         Ok(tree)
+    }
+
+    /// Fit using histogram-binned features (see [`crate::hist`]): split
+    /// search per node is one histogram accumulation over the node's rows
+    /// plus a bin-boundary scan, instead of a sort per feature. For
+    /// features whose distinct values all fit in the bin budget the
+    /// candidate split set is identical to the exhaustive search of
+    /// [`RegressionTree::fit_indices`]. This is the random forest's
+    /// training path; the binned matrix is built once and shared by every
+    /// tree.
+    pub fn fit_binned(
+        data: &BinnedMatrix,
+        y: &[f64],
+        mut idx: Vec<u32>,
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        if idx.is_empty() {
+            return Err(MlError::InvalidInput("empty bootstrap sample".into()));
+        }
+        if y.len() != data.rows() {
+            return Err(MlError::InvalidInput(format!(
+                "binned data has {} rows, y has {}",
+                data.rows(),
+                y.len()
+            )));
+        }
+        // Validated once so the per-node loops can skip bounds checks.
+        if idx.iter().any(|&i| i as usize >= data.rows()) {
+            return Err(MlError::InvalidInput("bootstrap index out of range".into()));
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: data.cols(),
+        };
+        let mut ctx = BinnedCtx {
+            // The split argmin never needs per-bin Σy²: both children's
+            // squared sums add up to the node's, which is constant across
+            // candidate splits, so minimizing child SSE equals maximizing
+            // `Σl²/nl + Σr²/nr`.
+            hist: Vec::new(),
+            scratch: vec![0u32; idx.len()],
+            // For indicator targets (Count queries, Avg denominators)
+            // y² = y, so children's Σy² come free from their Σy.
+            y_is_binary: y.iter().all(|&v| v == 0.0 || v == 1.0),
+        };
+        let sum: f64 = idx.iter().map(|&i| y[i as usize]).sum();
+        let sumsq: f64 = if ctx.y_is_binary {
+            sum
+        } else {
+            idx.iter().map(|&i| y[i as usize] * y[i as usize]).sum()
+        };
+        tree.build_binned(data, y, &mut idx, (sum, sumsq), 0, params, rng, &mut ctx);
+        Ok(tree)
+    }
+
+    /// One node of the binned builder. `idx` is this node's row multiset
+    /// (kept in ascending order so histogram reads walk memory forward,
+    /// and partitioned in place — no per-node allocation); `sum`/`sumsq`
+    /// are Σy and Σy² over `idx`, computed by the parent.
+    #[allow(clippy::too_many_arguments)]
+    fn build_binned(
+        &mut self,
+        data: &BinnedMatrix,
+        y: &[f64],
+        idx: &mut [u32],
+        (sum, sumsq): (f64, f64),
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        ctx: &mut BinnedCtx,
+    ) -> usize {
+        let n = idx.len();
+        let mean = sum / n as f64;
+
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || n < params.min_samples_split || data.cols() == 0 {
+            return make_leaf(&mut self.nodes);
+        }
+        let sse = sumsq - sum * sum / n as f64;
+        if sse < 1e-12 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        // Candidate features (same subsampling contract as the exhaustive
+        // path: shuffle + truncate under `max_features`).
+        let mut features: Vec<usize> = (0..data.cols()).collect();
+        if let Some(k) = params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(data.cols()));
+        }
+
+        // Best split: (feature, last bin of the left child, gain term,
+        // left count, left sum) — the left stats seed the child's node
+        // statistics without another pass.
+        let mut best: Option<(usize, u8, f64, u32, f64)> = None;
+        for &f in &features {
+            let feat = data.feature(f);
+            let nb = feat.num_bins();
+            if nb < 2 {
+                continue;
+            }
+            ctx.hist.clear();
+            ctx.hist.resize(nb, (0, 0.0));
+            let bins = feat.bins();
+            let hist = &mut ctx.hist[..];
+            for &i in idx.iter() {
+                // SAFETY: `i < data.rows() == bins.len() == y.len()` was
+                // validated in `fit_binned`, and every bin id is
+                // `< num_bins()` by `BinnedMatrix` construction (fields
+                // are private; `hist` was just resized to `num_bins()`).
+                unsafe {
+                    let b = *bins.get_unchecked(i as usize) as usize;
+                    let slot = hist.get_unchecked_mut(b);
+                    slot.0 += 1;
+                    slot.1 += *y.get_unchecked(i as usize);
+                }
+            }
+            let mut left_n = 0u32;
+            let mut left_sum = 0.0;
+            for (b, &(c, s)) in hist.iter().enumerate().take(nb - 1) {
+                left_n += c;
+                left_sum += s;
+                let right_n = n as u32 - left_n;
+                if left_n == 0 {
+                    continue; // no data below this boundary
+                }
+                if right_n == 0 {
+                    break; // nothing right of it either
+                }
+                if (left_n as usize) < params.min_samples_leaf
+                    || (right_n as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let gain =
+                    left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
+                if best.is_none_or(|(_, _, g, _, _)| gain > g) {
+                    best = Some((f, b as u8, gain, left_n, left_sum));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, split_bin, gain, left_n, left_sum)) if sumsq - gain < sse - 1e-12 => {
+                // Stable in-place partition through the shared scratch
+                // buffer: left rows compact forward, right rows stage in
+                // scratch and copy back behind them. Both children keep
+                // ascending row order.
+                let bins = data.feature(feature).bins();
+                let mut l = 0usize;
+                let mut r = 0usize;
+                for k in 0..n {
+                    let i = idx[k];
+                    if bins[i as usize] <= split_bin {
+                        idx[l] = i;
+                        l += 1;
+                    } else {
+                        ctx.scratch[r] = i;
+                        r += 1;
+                    }
+                }
+                debug_assert_eq!(l, left_n as usize);
+                idx[l..].copy_from_slice(&ctx.scratch[..r]);
+                let (left_idx, right_idx) = idx.split_at_mut(l);
+
+                let right_sum = sum - left_sum;
+                let (left_sq, right_sq) = if ctx.y_is_binary {
+                    (left_sum, right_sum)
+                } else {
+                    // One pass over the smaller child; the sibling's Σy²
+                    // falls out by subtraction.
+                    let (small, small_is_left) = if left_idx.len() <= right_idx.len() {
+                        (&*left_idx, true)
+                    } else {
+                        (&*right_idx, false)
+                    };
+                    let small_sq: f64 = small.iter().map(|&i| y[i as usize] * y[i as usize]).sum();
+                    if small_is_left {
+                        (small_sq, sumsq - small_sq)
+                    } else {
+                        (sumsq - small_sq, small_sq)
+                    }
+                };
+                let threshold = data.feature(feature).splits()[split_bin as usize];
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build_binned(
+                    data,
+                    y,
+                    left_idx,
+                    (left_sum, left_sq),
+                    depth + 1,
+                    params,
+                    rng,
+                    ctx,
+                );
+                let right = self.build_binned(
+                    data,
+                    y,
+                    right_idx,
+                    (right_sum, right_sq),
+                    depth + 1,
+                    params,
+                    rng,
+                    ctx,
+                );
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+            _ => make_leaf(&mut self.nodes),
+        }
+    }
+
+    /// Fit over the joint-cell decomposition of a binned matrix
+    /// (see [`crate::hist::CellIndex`]): `stats[c]` carries this tree's
+    /// bootstrap `(row count, Σy, Σy²)` for cell `c`. Split search and
+    /// leaf means are computed from the weighted cells — identical to the
+    /// row-wise fit up to floating-point summation order — so node cost
+    /// scales with the number of *cells*, not rows.
+    pub(crate) fn fit_cells(
+        data: &BinnedMatrix,
+        cells: &CellIndex,
+        stats: &[(u32, f64, f64)],
+        params: &TreeParams,
+        rng: &mut StdRng,
+    ) -> Result<Self> {
+        let m = cells.num_cells();
+        if stats.len() != m {
+            return Err(MlError::InvalidInput(format!(
+                "cell stats cover {} cells, index has {m}",
+                stats.len()
+            )));
+        }
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features: data.cols(),
+        };
+        let mut ctx = BinnedCtx {
+            hist: Vec::new(),
+            scratch: vec![0u32; m],
+            y_is_binary: false, // Σy² is already per-cell; no shortcut needed
+        };
+        let mut ids: Vec<u32> = (0..m as u32).collect();
+        let n: u32 = stats.iter().map(|s| s.0).sum();
+        if n == 0 {
+            return Err(MlError::InvalidInput("empty bootstrap sample".into()));
+        }
+        let sum: f64 = stats.iter().map(|s| s.1).sum();
+        let sumsq: f64 = stats.iter().map(|s| s.2).sum();
+        tree.build_cells(
+            data,
+            cells,
+            stats,
+            &mut ids,
+            (n, sum, sumsq),
+            0,
+            params,
+            rng,
+            &mut ctx,
+        );
+        Ok(tree)
+    }
+
+    /// One node of the cell builder: `ids` is the node's cell set,
+    /// `(n, sum, sumsq)` its bootstrap row count, Σy and Σy².
+    #[allow(clippy::too_many_arguments)]
+    fn build_cells(
+        &mut self,
+        data: &BinnedMatrix,
+        cells: &CellIndex,
+        stats: &[(u32, f64, f64)],
+        ids: &mut [u32],
+        (n, sum, sumsq): (u32, f64, f64),
+        depth: usize,
+        params: &TreeParams,
+        rng: &mut StdRng,
+        ctx: &mut BinnedCtx,
+    ) -> usize {
+        let mean = sum / n as f64;
+        let make_leaf = |nodes: &mut Vec<Node>| {
+            nodes.push(Node::Leaf { value: mean });
+            nodes.len() - 1
+        };
+
+        if depth >= params.max_depth || (n as usize) < params.min_samples_split || data.cols() == 0
+        {
+            return make_leaf(&mut self.nodes);
+        }
+        let sse = sumsq - sum * sum / n as f64;
+        if sse < 1e-12 {
+            return make_leaf(&mut self.nodes);
+        }
+
+        let mut features: Vec<usize> = (0..data.cols()).collect();
+        if let Some(k) = params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(data.cols()));
+        }
+
+        // Best split: (feature, left's last bin, gain, left rows, Σy_l,
+        // Σy²_l).
+        let mut best: Option<(usize, u8, f64, u32, f64, f64)> = None;
+        for &f in &features {
+            let feat = data.feature(f);
+            let nb = feat.num_bins();
+            if nb < 2 {
+                continue;
+            }
+            ctx.hist.clear();
+            ctx.hist.resize(nb, (0, 0.0));
+            // Per-bin Σy² only exists in cell mode; small, keep local.
+            let mut hist_sq = vec![0.0f64; nb];
+            let bin_of_cell = cells.cell_bins(f);
+            for &c in ids.iter() {
+                let (cnt, s, q) = stats[c as usize];
+                let b = bin_of_cell[c as usize] as usize;
+                ctx.hist[b].0 += cnt;
+                ctx.hist[b].1 += s;
+                hist_sq[b] += q;
+            }
+            let mut left_n = 0u32;
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for (b, (&(c, s), &q)) in ctx.hist.iter().zip(&hist_sq).enumerate().take(nb - 1) {
+                left_n += c;
+                left_sum += s;
+                left_sq += q;
+                let right_n = n - left_n;
+                if left_n == 0 {
+                    continue;
+                }
+                if right_n == 0 {
+                    break;
+                }
+                if (left_n as usize) < params.min_samples_leaf
+                    || (right_n as usize) < params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = sum - left_sum;
+                let gain =
+                    left_sum * left_sum / left_n as f64 + right_sum * right_sum / right_n as f64;
+                if best.is_none_or(|(_, _, g, _, _, _)| gain > g) {
+                    best = Some((f, b as u8, gain, left_n, left_sum, left_sq));
+                }
+            }
+        }
+
+        match best {
+            Some((feature, split_bin, gain, left_n, left_sum, left_sq))
+                if sumsq - gain < sse - 1e-12 =>
+            {
+                let bin_of_cell = cells.cell_bins(feature);
+                let total = ids.len();
+                let mut l = 0usize;
+                let mut r = 0usize;
+                for k in 0..total {
+                    let c = ids[k];
+                    if bin_of_cell[c as usize] <= split_bin {
+                        ids[l] = c;
+                        l += 1;
+                    } else {
+                        ctx.scratch[r] = c;
+                        r += 1;
+                    }
+                }
+                ids[l..].copy_from_slice(&ctx.scratch[..r]);
+                let (left_ids, right_ids) = ids.split_at_mut(l);
+                let threshold = data.feature(feature).splits()[split_bin as usize];
+                let slot = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: mean }); // placeholder
+                let left = self.build_cells(
+                    data,
+                    cells,
+                    stats,
+                    left_ids,
+                    (left_n, left_sum, left_sq),
+                    depth + 1,
+                    params,
+                    rng,
+                    ctx,
+                );
+                let right = self.build_cells(
+                    data,
+                    cells,
+                    stats,
+                    right_ids,
+                    (n - left_n, sum - left_sum, sumsq - left_sq),
+                    depth + 1,
+                    params,
+                    rng,
+                    ctx,
+                );
+                self.nodes[slot] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                slot
+            }
+            _ => make_leaf(&mut self.nodes),
+        }
     }
 
     fn build(

@@ -468,6 +468,48 @@ pub enum ObjectiveDirection {
     Minimize,
 }
 
+/// The constant of an objective predicate: a literal, or a `Param(name)`
+/// placeholder bound per execution through a [`crate::Bindings`] map — so
+/// one prepared how-to template can sweep objective targets
+/// (`ToMaximize Count(Post(credit) = Param(target))`) without
+/// re-preparing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObjectiveConst {
+    /// Literal constant.
+    Lit(Value),
+    /// Named placeholder, bound at execution time.
+    Param(String),
+}
+
+impl ObjectiveConst {
+    /// Placeholder helper.
+    pub fn param(name: impl Into<String>) -> ObjectiveConst {
+        ObjectiveConst::Param(name.into())
+    }
+
+    /// The literal value, if resolved.
+    pub fn as_value(&self) -> Option<&Value> {
+        match self {
+            ObjectiveConst::Lit(v) => Some(v),
+            ObjectiveConst::Param(_) => None,
+        }
+    }
+
+    /// The parameter name, if this is a placeholder.
+    pub fn param_name(&self) -> Option<&str> {
+        match self {
+            ObjectiveConst::Param(name) => Some(name),
+            ObjectiveConst::Lit(_) => None,
+        }
+    }
+}
+
+impl<V: Into<Value>> From<V> for ObjectiveConst {
+    fn from(v: V) -> ObjectiveConst {
+        ObjectiveConst::Lit(v.into())
+    }
+}
+
 /// `ToMaximize Avg(Post(Rtng))` or `ToMaximize Count(Post(Credit) = 'Good')`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ObjectiveSpec {
@@ -479,8 +521,18 @@ pub struct ObjectiveSpec {
     pub attr: String,
     /// Optional comparison turning the aggregate argument into a predicate
     /// (used with `Count` to maximize e.g. the number of good-credit
-    /// individuals).
-    pub predicate: Option<(HOp, Value)>,
+    /// individuals). The constant may be a `Param(…)` placeholder.
+    pub predicate: Option<(HOp, ObjectiveConst)>,
+}
+
+impl ObjectiveSpec {
+    /// Parameter names referenced by this objective's predicate constant.
+    pub fn param_names(&self) -> Vec<String> {
+        self.predicate
+            .iter()
+            .filter_map(|(_, c)| c.param_name().map(str::to_string))
+            .collect()
+    }
 }
 
 /// A numeric bound of a `Limit` constraint: either a literal or a
@@ -674,7 +726,8 @@ impl WhatIfQuery {
 
 impl HowToQuery {
     /// Parameter names mentioned anywhere in the query, in clause order
-    /// (`When`, then `Limit` bounds, then `For`), first occurrence only.
+    /// (`When`, then `Limit` bounds, then the objective constant, then
+    /// `For`), first occurrence only.
     pub fn param_names(&self) -> Vec<String> {
         let mut out = Vec::new();
         if let Some(w) = &self.when {
@@ -683,6 +736,7 @@ impl HowToQuery {
         for l in &self.limits {
             push_unique(&mut out, l.param_names());
         }
+        push_unique(&mut out, self.objective.param_names());
         if let Some(fc) = &self.for_clause {
             push_unique(&mut out, fc.param_names());
         }

@@ -28,8 +28,8 @@ use std::fmt;
 use hyper_storage::Value;
 
 use crate::ast::{
-    Bound, HExpr, HowToQuery, HypotheticalQuery, LimitConstraint, OutputArg, ParamMode, UpdateFunc,
-    UpdateSpec, WhatIfQuery,
+    Bound, HExpr, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveConst, ObjectiveSpec,
+    OutputArg, ParamMode, UpdateFunc, UpdateSpec, WhatIfQuery,
 };
 use crate::error::{QueryError, Result};
 
@@ -167,6 +167,32 @@ impl Bound {
     }
 }
 
+impl ObjectiveConst {
+    /// Resolve a placeholder constant into its bound literal.
+    pub fn bind(&self, bindings: &Bindings) -> Result<ObjectiveConst> {
+        Ok(match self {
+            ObjectiveConst::Param(name) => ObjectiveConst::Lit(bindings.require(name)?.clone()),
+            lit => lit.clone(),
+        })
+    }
+}
+
+impl ObjectiveSpec {
+    /// Resolve the predicate constant against `bindings`.
+    pub fn bind(&self, bindings: &Bindings) -> Result<ObjectiveSpec> {
+        Ok(ObjectiveSpec {
+            direction: self.direction,
+            agg: self.agg,
+            attr: self.attr.clone(),
+            predicate: self
+                .predicate
+                .as_ref()
+                .map(|(op, c)| Ok::<_, crate::error::QueryError>((*op, c.bind(bindings)?)))
+                .transpose()?,
+        })
+    }
+}
+
 impl LimitConstraint {
     /// Resolve every placeholder bound against `bindings`.
     pub fn bind(&self, bindings: &Bindings) -> Result<LimitConstraint> {
@@ -227,7 +253,7 @@ impl HowToQuery {
                 .iter()
                 .map(|l| l.bind(bindings))
                 .collect::<Result<_>>()?,
-            objective: self.objective.clone(),
+            objective: self.objective.bind(bindings)?,
             for_clause: bind_opt(&self.for_clause, bindings)?,
         })
     }
@@ -320,6 +346,28 @@ mod tests {
             .bind(&Bindings::new().set("lo", "x").set("hi", 1).set("c", 1))
             .unwrap_err();
         assert!(err.to_string().contains("lo"), "{err}");
+    }
+
+    #[test]
+    fn objective_constants_bind_to_literals() {
+        let template =
+            parse_query("Use d HowToUpdate status ToMaximize Count(Post(credit) = Param(target))")
+                .unwrap();
+        assert_eq!(template.param_names(), vec!["target"]);
+        let bound = template
+            .bind(&Bindings::new().set("target", "Good"))
+            .unwrap();
+        let literal =
+            parse_query("Use d HowToUpdate status ToMaximize Count(Post(credit) = 'Good')")
+                .unwrap();
+        assert_eq!(bound, literal);
+        assert!(bound.param_names().is_empty());
+        // Unbound objective params error with the offending name.
+        let err = template.bind(&Bindings::new()).unwrap_err();
+        assert!(err.to_string().contains("target"), "{err}");
+        // Round-trip: the template renders and re-parses identically.
+        let rendered = template.to_string();
+        assert_eq!(parse_query(&rendered).unwrap(), template, "{rendered}");
     }
 
     #[test]

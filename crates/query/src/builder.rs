@@ -35,8 +35,9 @@
 use hyper_storage::{AggFunc, Value};
 
 use crate::ast::{
-    Bound, HExpr, HOp, HowToQuery, LimitConstraint, ObjectiveDirection, ObjectiveSpec, OutputArg,
-    OutputSpec, ParamMode, SelectStmt, UpdateFunc, UpdateSpec, UseClause, WhatIfQuery,
+    Bound, HExpr, HOp, HowToQuery, LimitConstraint, ObjectiveConst, ObjectiveDirection,
+    ObjectiveSpec, OutputArg, OutputSpec, ParamMode, SelectStmt, UpdateFunc, UpdateSpec, UseClause,
+    WhatIfQuery,
 };
 use crate::error::{QueryError, Result};
 use crate::validate::{validate_howto, validate_whatif};
@@ -322,7 +323,7 @@ impl HowTo {
             direction: ObjectiveDirection::Maximize,
             agg: AggFunc::Count,
             attr: attr.into(),
-            predicate: Some((op, value.into())),
+            predicate: Some((op, ObjectiveConst::Lit(value.into()))),
         })
     }
 
@@ -332,7 +333,38 @@ impl HowTo {
             direction: ObjectiveDirection::Minimize,
             agg: AggFunc::Count,
             attr: attr.into(),
-            predicate: Some((op, value.into())),
+            predicate: Some((op, ObjectiveConst::Lit(value.into()))),
+        })
+    }
+
+    /// `ToMaximize Count(Post(attr) <op> Param(name))`: the objective
+    /// constant is a placeholder resolved per execution through
+    /// [`crate::Bindings`], so one prepared template sweeps objective
+    /// targets without re-preparing.
+    pub fn maximize_count_param(
+        attr: impl Into<String>,
+        op: HOp,
+        name: impl Into<String>,
+    ) -> HowTo {
+        HowTo::with_objective(ObjectiveSpec {
+            direction: ObjectiveDirection::Maximize,
+            agg: AggFunc::Count,
+            attr: attr.into(),
+            predicate: Some((op, ObjectiveConst::param(name))),
+        })
+    }
+
+    /// `ToMinimize Count(Post(attr) <op> Param(name))`.
+    pub fn minimize_count_param(
+        attr: impl Into<String>,
+        op: HOp,
+        name: impl Into<String>,
+    ) -> HowTo {
+        HowTo::with_objective(ObjectiveSpec {
+            direction: ObjectiveDirection::Minimize,
+            agg: AggFunc::Count,
+            attr: attr.into(),
+            predicate: Some((op, ObjectiveConst::param(name))),
         })
     }
 

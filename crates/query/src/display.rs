@@ -161,6 +161,15 @@ impl fmt::Display for LimitConstraint {
     }
 }
 
+impl fmt::Display for ObjectiveConst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveConst::Lit(v) => write!(f, "{}", fmt_value(v)),
+            ObjectiveConst::Param(name) => write!(f, "Param({name})"),
+        }
+    }
+}
+
 impl fmt::Display for ObjectiveSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kw = match self.direction {
@@ -168,13 +177,12 @@ impl fmt::Display for ObjectiveSpec {
             ObjectiveDirection::Minimize => "ToMinimize",
         };
         match &self.predicate {
-            Some((op, v)) => write!(
+            Some((op, c)) => write!(
                 f,
-                "{kw} {}(Post({}) {} {})",
+                "{kw} {}(Post({}) {} {c})",
                 self.agg,
                 self.attr,
                 op_symbol(*op),
-                fmt_value(v)
             ),
             None => write!(f, "{kw} {}(Post({}))", self.agg, self.attr),
         }

@@ -312,9 +312,15 @@ fn write_objective(out: &mut String, o: &ObjectiveSpec) {
     });
     let _ = write!(out, "{:?}", o.agg);
     write_str(out, &o.attr);
-    if let Some((op, v)) = &o.predicate {
+    if let Some((op, c)) = &o.predicate {
         out.push(op_tag(*op));
-        write_value(out, v);
+        match c {
+            ObjectiveConst::Lit(v) => write_value(out, v),
+            ObjectiveConst::Param(name) => {
+                out.push('$');
+                write_str(out, name);
+            }
+        }
     }
 }
 

@@ -51,9 +51,9 @@ pub mod token;
 pub mod validate;
 
 pub use ast::{
-    Bound, HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveDirection,
-    ObjectiveSpec, OutputArg, OutputSpec, ParamMode, QualifiedName, SelectItem, SelectStmt,
-    TableRef, Temporal, UpdateFunc, UpdateSpec, UseClause, UseCondition, WhatIfQuery,
+    Bound, HExpr, HOp, HowToQuery, HypotheticalQuery, LimitConstraint, ObjectiveConst,
+    ObjectiveDirection, ObjectiveSpec, OutputArg, OutputSpec, ParamMode, QualifiedName, SelectItem,
+    SelectStmt, TableRef, Temporal, UpdateFunc, UpdateSpec, UseClause, UseCondition, WhatIfQuery,
 };
 pub use bind::Bindings;
 pub use builder::{HowTo, WhatIf};

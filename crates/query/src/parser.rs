@@ -587,7 +587,8 @@ impl Parser {
         } else {
             self.expect_ident()?
         };
-        // Optional predicate: `Count(Post(Credit) = 'Good')`.
+        // Optional predicate: `Count(Post(Credit) = 'Good')`; the constant
+        // may be a `Param(name)` placeholder bound per execution.
         let predicate = match self.peek() {
             Some(Token::Eq) | Some(Token::Ne) | Some(Token::Lt) | Some(Token::Le)
             | Some(Token::Gt) | Some(Token::Ge) => {
@@ -600,7 +601,12 @@ impl Parser {
                     Some(Token::Ge) => HOp::Ge,
                     _ => unreachable!("peeked above"),
                 };
-                Some((op, self.parse_literal()?))
+                let constant = if self.peek_is_param_ref() {
+                    ObjectiveConst::Param(self.parse_param_ref()?)
+                } else {
+                    ObjectiveConst::Lit(self.parse_literal()?)
+                };
+                Some((op, constant))
             }
             _ => None,
         };

@@ -1,0 +1,444 @@
+//! The shared execution runtime: one persistent worker pool per process
+//! (or per [`HyperRuntime`] instance) that every parallel code path in the
+//! workspace routes through — session batch execution, how-to candidate
+//! fan-out, and random-forest training.
+//!
+//! Before this crate existed each of those paths spawned throwaway
+//! `std::thread::scope` threads per call, and nested fan-outs (a batch of
+//! how-to queries, each fanning out candidates, each training a forest)
+//! had to guard against spawning `P²` threads. The runtime replaces that
+//! with **fixed worker threads and a shared injector queue**:
+//!
+//! * [`HyperRuntime::for_each_parallel`] runs a scoped parallel-for. The
+//!   *calling thread participates* — it claims task indices from the same
+//!   atomic cursor the workers do — so the primitive is safe to call from
+//!   inside a task (nested jobs are helped to completion, never waited on
+//!   from an idle thread), and a zero-worker runtime degrades to a plain
+//!   sequential loop. Total live threads never exceed the pool size,
+//!   however deeply fan-outs nest.
+//! * [`HyperRuntime::join`] runs two closures potentially in parallel and
+//!   returns both results.
+//!
+//! Determinism is the caller's contract: tasks receive their index and
+//! must derive any randomness from it (see the forest trainer, which
+//! seeds one RNG per tree from `(seed, tree_index)`), so results are
+//! bit-identical whatever the worker count — including zero.
+//!
+//! [`HyperRuntime::global`] returns the process-wide pool (sized to the
+//! machine, overridable with the `HYPER_RUNTIME_WORKERS` environment
+//! variable); [`HyperRuntime::with_workers`] builds private pools for
+//! tests and benchmarks. Handles are cheap to clone; worker threads shut
+//! down when the last handle to their pool drops.
+//!
+//! ```
+//! use hyper_runtime::HyperRuntime;
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let rt = HyperRuntime::with_workers(2);
+//! let sum = AtomicU64::new(0);
+//! rt.for_each_parallel(100, |i| {
+//!     sum.fetch_add(i as u64, Ordering::Relaxed);
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 4950);
+//!
+//! let (a, b) = rt.join(|| 2 + 2, || "fast".len());
+//! assert_eq!((a, b), (4, 4));
+//! ```
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// One scoped parallel-for in flight: a lifetime-erased task closure plus
+/// the claim cursor and completion latch. The erased reference is only
+/// dereferenced while the submitting call frame is alive —
+/// `for_each_parallel` does not return before `remaining` hits zero, and
+/// exhausted jobs are dropped from the queue, so no worker can start a
+/// task after the closure is gone.
+struct Job {
+    /// The task body; `'static` here is a lie guarded by the scoped-wait
+    /// protocol above.
+    task: &'static (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total number of task indices.
+    total: usize,
+    /// Tasks claimed but not yet finished plus tasks never claimed.
+    remaining: AtomicUsize,
+    /// First panic payload observed in any task.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Signals `remaining == 0` (paired with `panic`'s mutex).
+    done: Condvar,
+}
+
+impl Job {
+    /// True when every index has been claimed (the job can leave the
+    /// queue; stragglers are tracked by `remaining`).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Claim-and-run loop shared by workers and the submitting caller.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                return;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| (self.task)(i)));
+            if let Err(payload) = result {
+                let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(payload);
+            }
+            if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last task: wake the submitter. Lock the latch mutex so
+                // the notify cannot race between its check and its wait.
+                let _guard = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                self.done.notify_all();
+            }
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work: Condvar,
+    workers: usize,
+    shutdown: AtomicBool,
+    /// Live external handles; the last one to drop stops the workers.
+    handles: AtomicUsize,
+    join_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A handle to a persistent worker pool. Cheap to clone (clones share the
+/// pool); the pool's threads exit when the last handle drops. See the
+/// crate docs for the execution model.
+pub struct HyperRuntime {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for HyperRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HyperRuntime")
+            .field("workers", &self.shared.workers)
+            .finish()
+    }
+}
+
+impl Clone for HyperRuntime {
+    fn clone(&self) -> HyperRuntime {
+        self.shared.handles.fetch_add(1, Ordering::Relaxed);
+        HyperRuntime {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for HyperRuntime {
+    fn drop(&mut self) {
+        if self.shared.handles.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        // Last handle: stop the workers and wait for them to exit (each
+        // finishes its current task first; queued jobs have no live
+        // submitter once every handle is gone).
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work.notify_all();
+        let handles = std::mem::take(
+            &mut *self
+                .shared
+                .join_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let job: Arc<Job> = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                // Drop fully-claimed jobs from the front; their stragglers
+                // are tracked by the submitter, not the queue.
+                while queue.front().is_some_and(|j| j.exhausted()) {
+                    queue.pop_front();
+                }
+                if let Some(job) = queue.iter().find(|j| !j.exhausted()) {
+                    break Arc::clone(job);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared.work.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job.run();
+    }
+}
+
+/// The process-wide pool, created on first use.
+static GLOBAL: OnceLock<HyperRuntime> = OnceLock::new();
+
+impl HyperRuntime {
+    /// A pool with exactly `workers` background threads (plus the calling
+    /// thread, which always participates in its own jobs). Zero workers is
+    /// valid: every primitive then runs inline on the caller.
+    pub fn with_workers(workers: usize) -> HyperRuntime {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            workers,
+            shutdown: AtomicBool::new(false),
+            handles: AtomicUsize::new(1),
+            join_handles: Mutex::new(Vec::with_capacity(workers)),
+        });
+        let mut joins = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("hyper-runtime-{i}"))
+                    .spawn(move || worker_loop(s))
+                    .expect("spawn runtime worker"),
+            );
+        }
+        *shared
+            .join_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner()) = joins;
+        HyperRuntime { shared }
+    }
+
+    /// The process-wide runtime. Sized to `available_parallelism − 1`
+    /// background workers (the submitting thread is the final lane), so
+    /// a single-core machine runs everything inline; override with the
+    /// `HYPER_RUNTIME_WORKERS` environment variable (read once, at first
+    /// use).
+    pub fn global() -> &'static HyperRuntime {
+        GLOBAL.get_or_init(|| {
+            let workers = std::env::var("HYPER_RUNTIME_WORKERS")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|p| p.get().saturating_sub(1))
+                        .unwrap_or(0)
+                });
+            HyperRuntime::with_workers(workers)
+        })
+    }
+
+    /// Number of background worker threads (the caller is always an
+    /// additional lane).
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Run `f(0..n)` across the pool and the calling thread, returning
+    /// when every call has finished. Tasks may run in any order and on any
+    /// thread; derive per-task state from the index, never from shared
+    /// mutable position. Panics in tasks are forwarded to the caller after
+    /// the whole job has drained (first payload wins).
+    ///
+    /// Safe to call from inside a task on the same runtime: the inner call
+    /// is helped to completion by its own caller, so nesting cannot
+    /// deadlock and never grows the thread count.
+    pub fn for_each_parallel<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        if self.shared.workers == 0 || n == 1 {
+            for i in 0..n {
+                f(i);
+            }
+            return;
+        }
+        let task: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: the job is removed from every worker's reach before this
+        // frame returns — `run()` below claims indices until exhaustion,
+        // and the wait loop only exits once `remaining == 0`, i.e. after
+        // the last borrow of `f` ended.
+        let task: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let job = Arc::new(Job {
+            task,
+            next: AtomicUsize::new(0),
+            total: n,
+            remaining: AtomicUsize::new(n),
+            panic: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            queue.push_back(Arc::clone(&job));
+        }
+        self.shared.work.notify_all();
+        // The caller is a full participant.
+        job.run();
+        // Wait for tasks claimed by workers but still running.
+        let mut guard = job.panic.lock().unwrap_or_else(|e| e.into_inner());
+        while job.remaining.load(Ordering::Acquire) > 0 {
+            guard = job.done.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+        if let Some(payload) = guard.take() {
+            drop(guard);
+            resume_unwind(payload);
+        }
+    }
+
+    /// Run two closures, potentially in parallel, and return both results.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let a = Mutex::new(Some(a));
+        let b = Mutex::new(Some(b));
+        let ra: Mutex<Option<RA>> = Mutex::new(None);
+        let rb: Mutex<Option<RB>> = Mutex::new(None);
+        self.for_each_parallel(2, |i| {
+            if i == 0 {
+                let f = a.lock().unwrap_or_else(|e| e.into_inner()).take();
+                let r = f.expect("join slot 0 claimed once")();
+                *ra.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            } else {
+                let f = b.lock().unwrap_or_else(|e| e.into_inner()).take();
+                let r = f.expect("join slot 1 claimed once")();
+                *rb.lock().unwrap_or_else(|e| e.into_inner()) = Some(r);
+            }
+        });
+        (
+            ra.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("join slot 0 filled"),
+            rb.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .expect("join slot 1 filled"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn zero_worker_pool_runs_inline() {
+        let rt = HyperRuntime::with_workers(0);
+        let mut hits = [false; 17];
+        let cells: Vec<Mutex<bool>> = (0..17).map(|_| Mutex::new(false)).collect();
+        rt.for_each_parallel(17, |i| *cells[i].lock().unwrap() = true);
+        for (i, c) in cells.iter().enumerate() {
+            hits[i] = *c.lock().unwrap();
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let rt = HyperRuntime::with_workers(3);
+        let counts: Vec<AtomicU64> = (0..1000).map(|_| AtomicU64::new(0)).collect();
+        rt.for_each_parallel(1000, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn nested_jobs_complete_without_deadlock() {
+        let rt = HyperRuntime::with_workers(2);
+        let total = AtomicU64::new(0);
+        rt.for_each_parallel(8, |_| {
+            rt.for_each_parallel(8, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 28);
+    }
+
+    #[test]
+    fn deeply_nested_jobs_on_one_worker() {
+        let rt = HyperRuntime::with_workers(1);
+        let total = AtomicU64::new(0);
+        rt.for_each_parallel(3, |_| {
+            rt.for_each_parallel(3, |_| {
+                rt.for_each_parallel(3, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 27);
+    }
+
+    #[test]
+    fn task_panics_propagate_after_drain() {
+        let rt = HyperRuntime::with_workers(2);
+        let ran = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            rt.for_each_parallel(32, |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // The pool survives a panicking job.
+        let after = AtomicU64::new(0);
+        rt.for_each_parallel(4, |_| {
+            after.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(after.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let rt = HyperRuntime::with_workers(2);
+        let (a, b) = rt.join(|| (0..100u64).sum::<u64>(), || "x".repeat(3));
+        assert_eq!(a, 4950);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn clones_share_the_pool_and_drop_cleans_up() {
+        let rt = HyperRuntime::with_workers(2);
+        let rt2 = rt.clone();
+        assert_eq!(rt2.workers(), 2);
+        drop(rt);
+        let sum = AtomicU64::new(0);
+        rt2.for_each_parallel(10, |i| {
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+        // Dropping the last handle joins the workers (no hang = pass).
+        drop(rt2);
+    }
+
+    #[test]
+    fn many_concurrent_submitters() {
+        let rt = HyperRuntime::with_workers(2);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    rt.for_each_parallel(100, |i| {
+                        total.fetch_add(i as u64, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 4950);
+    }
+}

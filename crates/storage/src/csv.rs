@@ -1,13 +1,17 @@
 //! Minimal CSV import/export for tables (debugging, experiment dumps).
 //!
-//! Supports quoted fields with embedded commas/quotes; types are taken from
-//! the target schema on import.
+//! Supports quoted fields with embedded commas/quotes; types are taken
+//! from the target schema on import. Import is **columnar**: each parsed
+//! cell appends straight to its field's typed [`Column`] builder — no
+//! intermediate `Row` materialization — and the columns assemble into a
+//! [`Table`] at the end.
 
 use std::fmt::Write as _;
 
+use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
-use crate::table::Table;
+use crate::table::{Table, TableBuilder};
 use crate::value::{DataType, Value};
 
 /// Serialize a table to CSV with a header row.
@@ -22,7 +26,7 @@ pub fn to_csv(table: &Table) -> String {
     let _ = writeln!(out, "{}", names.join(","));
     for i in 0..table.num_rows() {
         let cells: Vec<String> = (0..table.num_columns())
-            .map(|c| match table.get(i, c) {
+            .map(|c| match table.column(c).value(i) {
                 Value::Null => String::new(),
                 Value::Str(s) => escape(&s),
                 v => v.to_string(),
@@ -55,27 +59,31 @@ pub fn from_csv(name: &str, schema: Schema, text: &str) -> Result<Table> {
             )));
         }
     }
-    let mut table = Table::new(name, schema);
+    // One typed column builder per field; cells append as they parse.
+    let fields = schema.fields().to_vec();
+    let mut columns: Vec<Column> = fields.iter().map(|f| Column::new(f.data_type)).collect();
     for (lineno, line) in lines.enumerate() {
         if line.is_empty() {
             continue;
         }
         let cells = split_line(line)?;
-        if cells.len() != table.num_columns() {
+        if cells.len() != fields.len() {
             return Err(StorageError::Csv(format!(
                 "line {}: expected {} cells, got {}",
                 lineno + 2,
-                table.num_columns(),
+                fields.len(),
                 cells.len()
             )));
         }
-        let mut row = Vec::with_capacity(cells.len());
-        for (cell, f) in cells.iter().zip(table.schema().fields().to_vec()) {
-            row.push(parse_cell(cell, f.data_type, f.nullable, lineno + 2)?);
+        for ((cell, f), col) in cells.iter().zip(&fields).zip(&mut columns) {
+            col.push(&parse_cell(cell, f.data_type, f.nullable, lineno + 2)?)?;
         }
-        table.push_row(row)?;
     }
-    Ok(table)
+    let mut builder = TableBuilder::new(name, schema);
+    for (f, col) in fields.iter().zip(columns) {
+        builder.set_column(&f.name, col)?;
+    }
+    Ok(builder.build())
 }
 
 fn parse_cell(cell: &str, dt: DataType, nullable: bool, lineno: usize) -> Result<Value> {
@@ -155,19 +163,20 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        let mut t = Table::new("t", schema());
-        t.push_row(vec![1.into(), "plain".into(), 0.5.into()])
-            .unwrap();
-        t.push_row(vec![2.into(), "with,comma".into(), Value::Null])
-            .unwrap();
-        t.push_row(vec![3.into(), "with\"quote".into(), 1.5.into()])
-            .unwrap();
+        let t = TableBuilder::new("t", schema())
+            .rows([
+                vec![1.into(), "plain".into(), 0.5.into()],
+                vec![2.into(), "with,comma".into(), Value::Null],
+                vec![3.into(), "with\"quote".into(), 1.5.into()],
+            ])
+            .unwrap()
+            .build();
         let csv = to_csv(&t);
         let back = from_csv("t", schema(), &csv).unwrap();
         assert_eq!(back.num_rows(), 3);
-        assert_eq!(back.get(1, 1), Value::str("with,comma"));
-        assert_eq!(back.get(1, 2), Value::Null);
-        assert_eq!(back.get(2, 1), Value::str("with\"quote"));
+        assert_eq!(back.column(1).value(1), Value::str("with,comma"));
+        assert_eq!(back.column(2).value(1), Value::Null);
+        assert_eq!(back.column(1).value(2), Value::str("with\"quote"));
     }
 
     #[test]
@@ -186,7 +195,7 @@ mod tests {
     #[test]
     fn empty_cell_null_handling() {
         let t = from_csv("t", schema(), "id,name,score\n1,a,\n").unwrap();
-        assert_eq!(t.get(0, 2), Value::Null);
+        assert_eq!(t.column(2).value(0), Value::Null);
         let err = from_csv("t", schema(), "id,name,score\n,a,1.0\n").unwrap_err();
         assert!(matches!(err, StorageError::Csv(_)));
     }

@@ -1,6 +1,7 @@
 //! Multi-relation databases with foreign-key metadata.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::error::{Result, StorageError};
 use crate::table::Table;
@@ -27,6 +28,11 @@ pub struct Database {
     tables: Vec<Table>,
     by_name: HashMap<String, usize>,
     foreign_keys: Vec<ForeignKey>,
+    /// Memoized content fingerprint, cleared by every `&mut` accessor —
+    /// session construction fingerprints the (usually immutable,
+    /// `Arc`-shared) database per build, which must not re-hash every
+    /// cell each time.
+    fingerprint: OnceLock<u64>,
 }
 
 impl Database {
@@ -40,6 +46,7 @@ impl Database {
         if self.by_name.contains_key(table.name()) {
             return Err(StorageError::DuplicateTable(table.name().to_string()));
         }
+        self.fingerprint = OnceLock::new();
         self.by_name
             .insert(table.name().to_string(), self.tables.len());
         self.tables.push(table);
@@ -48,6 +55,7 @@ impl Database {
 
     /// Replace a table that already exists (e.g. after a hypothetical update).
     pub fn replace_table(&mut self, table: Table) -> Result<()> {
+        self.fingerprint = OnceLock::new();
         match self.by_name.get(table.name()) {
             Some(&i) => {
                 self.tables[i] = table;
@@ -74,6 +82,7 @@ impl Database {
                 ));
             }
         }
+        self.fingerprint = OnceLock::new();
         self.foreign_keys.push(fk);
         Ok(())
     }
@@ -86,8 +95,10 @@ impl Database {
             .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. (Invalidate the memoized fingerprint up front —
+    /// the caller may mutate the table through the returned reference.)
     pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.fingerprint = OnceLock::new();
         match self.by_name.get(name) {
             Some(&i) => Ok(&mut self.tables[i]),
             None => Err(StorageError::UnknownTable(name.to_string())),
@@ -115,6 +126,35 @@ impl Database {
     /// True iff the named table exists.
     pub fn contains(&self, name: &str) -> bool {
         self.by_name.contains_key(name)
+    }
+
+    /// Content fingerprint of the whole database: tables (in registration
+    /// order) and foreign keys. Databases with equal content fingerprint
+    /// equal whether or not they share `Arc`s or construction history —
+    /// this keys the process-wide shared artifact store. Computed once
+    /// and memoized (every `&mut` accessor clears the memo), so
+    /// per-request session construction over a shared `Arc<Database>`
+    /// does not re-hash the data.
+    pub fn fingerprint(&self) -> u64 {
+        *self.fingerprint.get_or_init(|| {
+            let mut h = crate::fingerprint::Fingerprint::new();
+            h.write_u64(self.tables.len() as u64);
+            for t in &self.tables {
+                h.write_u64(t.fingerprint());
+            }
+            h.write_u64(self.foreign_keys.len() as u64);
+            for fk in &self.foreign_keys {
+                h.write_str(&fk.child_table);
+                for c in &fk.child_columns {
+                    h.write_str(c);
+                }
+                h.write_str(&fk.parent_table);
+                for c in &fk.parent_columns {
+                    h.write_str(c);
+                }
+            }
+            h.finish()
+        })
     }
 
     /// Find the unique table holding a column named `attr`, if unambiguous.
@@ -223,10 +263,27 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_memo_invalidates_on_mutation() {
+        let mut db = db();
+        let before = db.fingerprint();
+        assert_eq!(before, db.fingerprint(), "memoized value is stable");
+        let schema = db.table("product").unwrap().schema().clone();
+        let t = crate::table::TableBuilder::new("product", schema)
+            .row(vec![9.into(), 1.0.into()])
+            .unwrap()
+            .build();
+        db.replace_table(t).unwrap();
+        assert_ne!(before, db.fingerprint(), "mutation clears the memo");
+    }
+
+    #[test]
     fn replace_table_swaps_contents() {
         let mut db = db();
-        let mut t = db.table("product").unwrap().clone();
-        t.push_row(vec![1.into(), 10.0.into()]).unwrap();
+        let schema = db.table("product").unwrap().schema().clone();
+        let t = crate::table::TableBuilder::new("product", schema)
+            .row(vec![1.into(), 10.0.into()])
+            .unwrap()
+            .build();
         db.replace_table(t).unwrap();
         assert_eq!(db.table("product").unwrap().num_rows(), 1);
     }

@@ -277,7 +277,7 @@ impl BoundExpr {
 
     /// Evaluate against row `i` of a columnar table without materializing it.
     pub fn eval_at(&self, table: &Table, i: usize) -> Result<Value> {
-        self.eval_with(&mut |idx| table.get(i, idx))
+        self.eval_with(&mut |idx| table.column(idx).value(i))
     }
 
     /// Core evaluator over an arbitrary cell accessor.

@@ -1,0 +1,218 @@
+//! Content fingerprints of databases and tables.
+//!
+//! A fingerprint is a deterministic 64-bit FNV-1a hash of *content* —
+//! schemas, keys, and every cell value — independent of construction
+//! history: a table loaded from CSV, built row-wise through the
+//! compatibility shim, or assembled from typed column builders hashes
+//! identically as long as the data agrees (string cells hash their
+//! characters, not their dictionary codes, so shared or re-built
+//! dictionaries don't matter).
+//!
+//! The process-wide shared artifact store keys its shards by
+//! `(database fingerprint, causal-graph fingerprint)`: sessions over
+//! equal data share relevant views, block decompositions, and fitted
+//! estimators, whether or not they share `Arc`s.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::canonical_f64_bits;
+
+/// Streaming FNV-1a over 64-bit words and byte strings. Stable across
+/// runs and platforms (unlike `DefaultHasher`, which is seeded per
+/// process) so fingerprints can be logged and compared externally.
+#[derive(Debug, Clone)]
+pub struct Fingerprint(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint(FNV_OFFSET)
+    }
+}
+
+impl Fingerprint {
+    /// Fresh hasher.
+    pub fn new() -> Fingerprint {
+        Fingerprint::default()
+    }
+
+    /// Mix one byte.
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Mix a 64-bit word (little-endian byte order).
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.write_u8(b);
+        }
+    }
+
+    /// Mix a byte string, length-prefixed so concatenations can't collide.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    /// Mix a string.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Hash one column's content: a type tag, then per row either a NULL
+/// marker or the canonical payload.
+pub(crate) fn hash_column(col: &Column, h: &mut Fingerprint) {
+    h.write_u64(col.len() as u64);
+    match col {
+        Column::Int { values, nulls } => {
+            h.write_u8(b'i');
+            for (i, &v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    h.write_u8(0);
+                } else {
+                    h.write_u8(1);
+                    h.write_u64(v as u64);
+                }
+            }
+        }
+        Column::Float { values, nulls } => {
+            h.write_u8(b'f');
+            for (i, &v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    h.write_u8(0);
+                } else {
+                    h.write_u8(1);
+                    h.write_u64(canonical_f64_bits(v));
+                }
+            }
+        }
+        Column::Bool { values, nulls } => {
+            h.write_u8(b'b');
+            for (i, &v) in values.iter().enumerate() {
+                if nulls.is_null(i) {
+                    h.write_u8(0);
+                } else {
+                    h.write_u8(if v { 2 } else { 1 });
+                }
+            }
+        }
+        Column::Str { codes, dict, nulls } => {
+            h.write_u8(b's');
+            // Hash characters, not codes: dictionaries are append-ordered
+            // by construction history, which must not leak into the
+            // fingerprint.
+            for (i, &c) in codes.iter().enumerate() {
+                if nulls.is_null(i) {
+                    h.write_u8(0);
+                } else {
+                    h.write_u8(1);
+                    h.write_str(dict.get(c));
+                }
+            }
+        }
+    }
+}
+
+/// Hash a table: name, schema (names, types, nullability), primary key,
+/// and every column's content.
+pub(crate) fn hash_table(table: &Table, h: &mut Fingerprint) {
+    h.write_str(table.name());
+    let schema = table.schema();
+    h.write_u64(schema.len() as u64);
+    for f in schema.fields() {
+        h.write_str(&f.name);
+        h.write_u8(f.data_type as u8);
+        h.write_u8(f.nullable as u8);
+    }
+    h.write_u64(table.primary_key().len() as u64);
+    for &k in table.primary_key() {
+        h.write_u64(k as u64);
+    }
+    for c in 0..table.num_columns() {
+        hash_column(table.column(c), h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("tag", DataType::Str),
+            Field::nullable("score", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn equal_content_hashes_equal() {
+        let a = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .row(vec![2.into(), "y".into(), Value::Null])
+            .unwrap()
+            .build();
+        let b = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .row(vec![2.into(), "y".into(), Value::Null])
+            .unwrap()
+            .build();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn content_differences_change_the_hash() {
+        let base = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .build();
+        let cell = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "z".into(), 0.5.into()])
+            .unwrap()
+            .build();
+        let name = TableBuilder::new("u", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .build();
+        let null = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), Value::Null])
+            .unwrap()
+            .build();
+        assert_ne!(base.fingerprint(), cell.fingerprint());
+        assert_ne!(base.fingerprint(), name.fingerprint());
+        assert_ne!(base.fingerprint(), null.fingerprint());
+    }
+
+    #[test]
+    fn dictionary_history_does_not_leak() {
+        // A gathered table shares a dictionary that is a superset of its
+        // rows; its fingerprint must equal a freshly built equivalent.
+        let big = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "only-in-big".into(), 1.0.into()])
+            .unwrap()
+            .row(vec![2.into(), "kept".into(), 2.0.into()])
+            .unwrap()
+            .build();
+        let gathered = big.gather(&[1]);
+        let fresh = TableBuilder::new("t", schema())
+            .row(vec![2.into(), "kept".into(), 2.0.into()])
+            .unwrap()
+            .build();
+        assert_eq!(gathered.fingerprint(), fresh.fingerprint());
+    }
+}

@@ -34,7 +34,7 @@ impl SupportIndex {
             .collect::<Result<_>>()?;
         let mut groups: HashMap<Row, Vec<u32>> = HashMap::new();
         for i in 0..table.num_rows() {
-            let key: Row = col_idx.iter().map(|&c| table.get(i, c)).collect();
+            let key: Row = col_idx.iter().map(|&c| table.column(c).value(i)).collect();
             groups.entry(key).or_default().push(i as u32);
         }
         Ok(SupportIndex {
@@ -105,11 +105,11 @@ mod tests {
             Field::new("b", DataType::Int),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
+        let mut t = crate::table::TableBuilder::new("t", schema);
         for (a, b) in [("x", 1), ("x", 1), ("x", 2), ("y", 1)] {
-            t.push_row(vec![a.into(), b.into()]).unwrap();
+            t.push(vec![a.into(), b.into()]).unwrap();
         }
-        t
+        t.build()
     }
 
     #[test]

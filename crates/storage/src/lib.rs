@@ -19,34 +19,45 @@
 //! [`BoundExpr::eval_selection`]) into selection vectors, `gather` and
 //! projection are typed buffer copies that share string dictionaries, and
 //! joins/aggregations key on `(tag, bits)` parts read straight off the
-//! buffers. The row-oriented API (`push_row`, `row`, `iter_rows`, `get`)
-//! remains as a compatibility layer for loaders and tests.
+//! buffers. Ingest is columnar too: [`TableBuilder`] validates rows (or
+//! whole typed columns) into `Column` buffers; the old row-oriented
+//! `Table` API (`push_row`, `row`, `iter_rows`, `get`) survives only as a
+//! `#[deprecated]` compatibility shim, semantically pinned to the typed
+//! paths by `tests/prop_parity.rs`.
+//!
+//! Tables and databases carry content [`Fingerprint`]s
+//! ([`Table::fingerprint`] / [`Database::fingerprint`]): stable 64-bit
+//! hashes of schema + cells, independent of construction history, which
+//! key the engine's process-wide shared artifact store.
 //!
 //! ## Quick example
 //!
 //! ```
 //! use hyper_storage::{
-//!     col, lit, AggExpr, AggFunc, Database, Field, LogicalPlan, Schema, Table, DataType,
+//!     col, lit, AggExpr, AggFunc, Database, Field, LogicalPlan, Schema, TableBuilder, DataType,
 //! };
 //!
 //! let mut db = Database::new();
-//! let mut t = Table::with_key(
+//! let t = TableBuilder::with_key(
 //!     "product",
 //!     Schema::new(vec![
 //!         Field::new("pid", DataType::Int),
 //!         Field::new("price", DataType::Float),
 //!     ]).unwrap(),
 //!     &["pid"],
-//! ).unwrap();
-//! t.push_row(vec![1.into(), 999.0.into()]).unwrap();
-//! t.push_row(vec![2.into(), 529.0.into()]).unwrap();
+//! ).unwrap()
+//! .rows([
+//!     vec![1.into(), 999.0.into()],
+//!     vec![2.into(), 529.0.into()],
+//! ]).unwrap()
+//! .build();
 //! db.add_table(t).unwrap();
 //!
 //! let plan = LogicalPlan::scan("product")
 //!     .filter(col("price").lt(lit(700.0)))
 //!     .aggregate(&[], vec![AggExpr::new(AggFunc::Count, None, "n")]);
 //! let out = plan.execute(&db).unwrap();
-//! assert_eq!(out.get(0, 0).as_i64(), Some(1));
+//! assert_eq!(out.column(0).value(0).as_i64(), Some(1));
 //! ```
 
 #![warn(missing_docs)]
@@ -56,6 +67,7 @@ pub mod csv;
 pub mod database;
 pub mod error;
 pub mod expr;
+pub mod fingerprint;
 pub mod index;
 pub mod ops;
 pub mod plan;
@@ -68,10 +80,11 @@ pub use column::{Column, NullBitmap, StrDict};
 pub use database::{Database, ForeignKey};
 pub use error::{Result, StorageError};
 pub use expr::{col, lit, BinOp, BoundExpr, Expr, UnaryOp};
+pub use fingerprint::Fingerprint;
 pub use index::SupportIndex;
 pub use ops::{AggExpr, AggFunc};
 pub use plan::LogicalPlan;
 pub use schema::{Field, Schema};
 pub use stats::ColumnStats;
-pub use table::Table;
+pub use table::{Table, TableBuilder};
 pub use value::{DataType, Row, Value};

@@ -280,11 +280,11 @@ mod tests {
             Field::new("rating", DataType::Int),
         ])
         .unwrap();
-        let mut t = Table::new("r", schema);
+        let mut t = crate::table::TableBuilder::new("r", schema);
         for (b, r) in [("asus", 4), ("asus", 2), ("hp", 3), ("hp", 5), ("vaio", 2)] {
-            t.push_row(vec![b.into(), r.into()]).unwrap();
+            t.push(vec![b.into(), r.into()]).unwrap();
         }
-        t
+        t.build()
     }
 
     #[test]
@@ -301,9 +301,9 @@ mod tests {
         .unwrap();
         assert_eq!(out.num_rows(), 3);
         // First group (insertion order) is asus.
-        assert_eq!(out.get(0, 0), Value::str("asus"));
-        assert_eq!(out.get(0, 1), Value::Float(3.0));
-        assert_eq!(out.get(0, 2), Value::Int(2));
+        assert_eq!(out.column(0).value(0), Value::str("asus"));
+        assert_eq!(out.column(1).value(0), Value::Float(3.0));
+        assert_eq!(out.column(2).value(0), Value::Int(2));
     }
 
     #[test]
@@ -320,9 +320,9 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.get(0, 0), Value::Float(16.0));
-        assert_eq!(out.get(0, 1), Value::Int(2));
-        assert_eq!(out.get(0, 2), Value::Int(5));
+        assert_eq!(out.column(0).value(0), Value::Float(16.0));
+        assert_eq!(out.column(1).value(0), Value::Int(2));
+        assert_eq!(out.column(2).value(0), Value::Int(5));
     }
 
     #[test]
@@ -338,7 +338,7 @@ mod tests {
             )],
         )
         .unwrap();
-        assert_eq!(out.get(0, 0), Value::Int(3));
+        assert_eq!(out.column(0).value(0), Value::Int(3));
     }
 
     #[test]
@@ -357,8 +357,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.num_rows(), 1);
-        assert_eq!(out.get(0, 0), Value::Int(0));
-        assert_eq!(out.get(0, 1), Value::Null);
+        assert_eq!(out.column(0).value(0), Value::Int(0));
+        assert_eq!(out.column(1).value(0), Value::Null);
     }
 
     #[test]
@@ -403,7 +403,7 @@ mod tests {
             &[AggExpr::new(AggFunc::Avg, Some(col("rating")), "m")],
         )
         .unwrap();
-        let m = full.get(0, 0).as_f64().unwrap();
+        let m = full.column(0).value(0).as_f64().unwrap();
 
         let blocks = [vec![0usize, 1], vec![2, 3], vec![4]];
         let n = t.num_rows() as f64;
@@ -416,7 +416,7 @@ mod tests {
                 &[AggExpr::new(AggFunc::Sum, Some(col("rating")), "s")],
             )
             .unwrap();
-            recombined += s.get(0, 0).as_f64().unwrap() / n;
+            recombined += s.column(0).value(0).as_f64().unwrap() / n;
         }
         assert!((m - recombined).abs() < 1e-12);
     }

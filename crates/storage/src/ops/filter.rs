@@ -32,11 +32,11 @@ mod tests {
             Field::new("tag", DataType::Str),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
+        let mut t = crate::table::TableBuilder::new("t", schema);
         for (x, tag) in [(1, "a"), (2, "b"), (3, "a"), (4, "c")] {
-            t.push_row(vec![x.into(), tag.into()]).unwrap();
+            t.push(vec![x.into(), tag.into()]).unwrap();
         }
-        t
+        t.build()
     }
 
     #[test]
@@ -64,9 +64,10 @@ mod tests {
         // guarded by the left side; both evaluators must keep row x=4 and
         // never surface the error.
         let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
-        let mut t = Table::new("t", schema);
-        t.push_row(vec![0.into()]).unwrap();
-        t.push_row(vec![4.into()]).unwrap();
+        let t = crate::table::TableBuilder::new("t", schema)
+            .rows([vec![0.into()], vec![4.into()]])
+            .unwrap()
+            .build();
         let ten_over_x = Expr::Binary(
             crate::expr::BinOp::Div,
             Box::new(lit(10)),
@@ -100,9 +101,10 @@ mod tests {
     #[test]
     fn int_overflow_with_trailing_null_errors_instead_of_panicking() {
         let schema = Schema::new(vec![Field::nullable("x", DataType::Int)]).unwrap();
-        let mut t = Table::new("t", schema);
-        t.push_row(vec![i64::MAX.into()]).unwrap();
-        t.push_row(vec![crate::value::Value::Null]).unwrap();
+        let t = crate::table::TableBuilder::new("t", schema)
+            .rows([vec![i64::MAX.into()], vec![crate::value::Value::Null]])
+            .unwrap()
+            .build();
         // Row 0 overflows the checked add (promoting the column to float);
         // row 1's NULL operand is a type error, exactly as in the row
         // evaluator — not a panic.

@@ -224,11 +224,11 @@ mod tests {
             Field::new("brand", DataType::Str),
         ])
         .unwrap();
-        let mut t = Table::new("product", schema);
+        let mut t = crate::table::TableBuilder::new("product", schema);
         for (pid, brand) in [(1, "vaio"), (2, "asus"), (3, "hp")] {
-            t.push_row(vec![pid.into(), brand.into()]).unwrap();
+            t.push(vec![pid.into(), brand.into()]).unwrap();
         }
-        t
+        t.build()
     }
 
     fn reviews() -> Table {
@@ -237,11 +237,11 @@ mod tests {
             Field::new("rating", DataType::Int),
         ])
         .unwrap();
-        let mut t = Table::new("review", schema);
+        let mut t = crate::table::TableBuilder::new("review", schema);
         for (pid, rating) in [(1, 2), (2, 4), (2, 1), (3, 3), (3, 5), (9, 5)] {
-            t.push_row(vec![pid.into(), rating.into()]).unwrap();
+            t.push(vec![pid.into(), rating.into()]).unwrap();
         }
-        t
+        t.build()
     }
 
     #[test]
@@ -266,15 +266,17 @@ mod tests {
     #[test]
     fn null_keys_never_join() {
         let schema = Schema::new(vec![Field::nullable("pid", DataType::Int)]).unwrap();
-        let mut l = Table::new("l", schema.clone());
-        l.push_row(vec![Value::Null]).unwrap();
-        l.push_row(vec![1.into()]).unwrap();
-        let mut r = Table::new(
+        let l = crate::table::TableBuilder::new("l", schema.clone())
+            .rows([vec![Value::Null], vec![1.into()]])
+            .unwrap()
+            .build();
+        let r = crate::table::TableBuilder::new(
             "r",
             Schema::new(vec![Field::nullable("k", DataType::Int)]).unwrap(),
-        );
-        r.push_row(vec![Value::Null]).unwrap();
-        r.push_row(vec![1.into()]).unwrap();
+        )
+        .rows([vec![Value::Null], vec![1.into()]])
+        .unwrap()
+        .build();
         let out = hash_join(&l, &r, &["pid".into()], &["k".into()]).unwrap();
         assert_eq!(out.num_rows(), 1);
     }

@@ -282,7 +282,7 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        let mut prod = Table::with_key(
+        let mut prod = crate::table::TableBuilder::with_key(
             "product",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -294,10 +294,10 @@ mod tests {
         )
         .unwrap();
         for (pid, brand, price) in [(1, "vaio", 999.0), (2, "asus", 529.0), (3, "hp", 599.0)] {
-            prod.push_row(vec![pid.into(), brand.into(), price.into()])
+            prod.push(vec![pid.into(), brand.into(), price.into()])
                 .unwrap();
         }
-        let mut rev = Table::with_key(
+        let mut rev = crate::table::TableBuilder::with_key(
             "review",
             Schema::new(vec![
                 Field::new("pid", DataType::Int),
@@ -309,11 +309,11 @@ mod tests {
         )
         .unwrap();
         for (pid, rid, rating) in [(1, 1, 2), (2, 2, 4), (2, 3, 1), (3, 4, 3), (3, 5, 5)] {
-            rev.push_row(vec![pid.into(), rid.into(), rating.into()])
+            rev.push(vec![pid.into(), rid.into(), rating.into()])
                 .unwrap();
         }
-        db.add_table(prod).unwrap();
-        db.add_table(rev).unwrap();
+        db.add_table(prod.build()).unwrap();
+        db.add_table(rev.build()).unwrap();
         db
     }
 
@@ -363,7 +363,7 @@ mod tests {
         let out = plan.execute(&db()).unwrap();
         assert_eq!(out.num_rows(), 2);
         assert_eq!(out.schema().names(), vec!["id", "b", "p"]);
-        assert_eq!(out.get(0, 1), Value::str("asus"));
+        assert_eq!(out.column(1).value(0), Value::str("asus"));
     }
 
     #[test]

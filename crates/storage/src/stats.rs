@@ -123,12 +123,12 @@ mod tests {
             Field::new("c", DataType::Str),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
+        let mut t = crate::table::TableBuilder::new("t", schema);
         for x in [10.0, 20.0, 20.0, 40.0, 100.0] {
-            t.push_row(vec![x.into(), "a".into()]).unwrap();
+            t.push(vec![x.into(), "a".into()]).unwrap();
         }
-        t.push_row(vec![Value::Null, "b".into()]).unwrap();
-        t
+        t.push(vec![Value::Null, "b".into()]).unwrap();
+        t.build()
     }
 
     #[test]

@@ -19,8 +19,170 @@ use std::fmt;
 
 use crate::column::Column;
 use crate::error::{Result, StorageError};
+use crate::fingerprint::{hash_table, Fingerprint};
 use crate::schema::{Field, Schema};
 use crate::value::{Row, Value};
+
+/// Columnar table construction: the supported ingest path now that the
+/// row-oriented [`Table`] mutators are deprecated. The builder owns one
+/// typed [`Column`] per schema field; rows validate against the schema as
+/// they are appended ([`TableBuilder::push`] / the chainable
+/// [`TableBuilder::row`]), and whole typed columns can be installed
+/// directly ([`TableBuilder::set_column`]) when the producer works
+/// column-at-a-time (CSV parsing, dataset generators).
+///
+/// ```
+/// use hyper_storage::{DataType, Field, Schema, TableBuilder, Value};
+///
+/// let schema = Schema::new(vec![
+///     Field::new("id", DataType::Int),
+///     Field::new("brand", DataType::Str),
+/// ]).unwrap();
+/// let t = TableBuilder::new("product", schema)
+///     .row(vec![1.into(), "asus".into()]).unwrap()
+///     .row(vec![2.into(), "hp".into()]).unwrap()
+///     .build();
+/// assert_eq!(t.num_rows(), 2);
+/// assert_eq!(t.column(1).value(0), Value::str("asus"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    primary_key: Vec<usize>,
+}
+
+impl TableBuilder {
+    /// Start an empty builder over `schema`.
+    pub fn new(name: impl Into<String>, schema: Schema) -> TableBuilder {
+        let columns = schema
+            .fields()
+            .iter()
+            .map(|f| Column::new(f.data_type))
+            .collect();
+        TableBuilder {
+            name: name.into(),
+            schema,
+            columns,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Start a builder and declare the primary-key columns by name.
+    pub fn with_key(
+        name: impl Into<String>,
+        schema: Schema,
+        key_columns: &[&str],
+    ) -> Result<TableBuilder> {
+        let mut b = TableBuilder::new(name, schema);
+        let mut key = Vec::with_capacity(key_columns.len());
+        for k in key_columns {
+            key.push(b.schema.index_of(k)?);
+        }
+        b.primary_key = key;
+        Ok(b)
+    }
+
+    /// Reserve capacity for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.columns {
+            c.reserve(additional);
+        }
+    }
+
+    /// Append one row after validating it against the schema.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        for (col, v) in self.columns.iter_mut().zip(&row) {
+            col.push(v)?;
+        }
+        Ok(())
+    }
+
+    /// Chainable [`TableBuilder::push`].
+    pub fn row(mut self, row: Row) -> Result<TableBuilder> {
+        self.push(row)?;
+        Ok(self)
+    }
+
+    /// Append many rows.
+    pub fn rows(mut self, rows: impl IntoIterator<Item = Row>) -> Result<TableBuilder> {
+        for r in rows {
+            self.push(r)?;
+        }
+        Ok(self)
+    }
+
+    /// Install a fully-built typed column for the named field, replacing
+    /// whatever the builder held for it. The column's type must match the
+    /// schema (Int columns are accepted for Float fields, mirroring the
+    /// row path's coercion), its length must agree with the builder's
+    /// other non-empty columns, and NULLs require a nullable field.
+    pub fn set_column(&mut self, name: &str, column: Column) -> Result<()> {
+        let idx = self.schema.index_of(name)?;
+        let field = self.schema.field(idx);
+        // Int → Float widening, mirroring `Column::push`'s row-path
+        // coercion.
+        let column = match (&column, field.data_type) {
+            (Column::Int { values, nulls }, crate::value::DataType::Float) => Column::Float {
+                values: values.iter().map(|&v| v as f64).collect(),
+                nulls: nulls.clone(),
+            },
+            _ => column,
+        };
+        if column.data_type() != field.data_type {
+            return Err(StorageError::TypeError(format!(
+                "column `{name}` is {}, got a {} column",
+                field.data_type,
+                column.data_type()
+            )));
+        }
+        if !field.nullable && column.null_count() > 0 {
+            return Err(StorageError::SchemaMismatch(format!(
+                "column `{name}` is not nullable but holds {} NULLs",
+                column.null_count()
+            )));
+        }
+        if let Some(n) = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|&(c, col)| c != idx && !col.is_empty())
+            .map(|(_, col)| col.len())
+            .next()
+        {
+            if column.len() != n {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column `{name}` has {} rows, builder has {n}",
+                    column.len()
+                )));
+            }
+        }
+        self.columns[idx] = column;
+        Ok(())
+    }
+
+    /// Rows appended so far.
+    pub fn num_rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Finish: every column must have the same length (guaranteed when
+    /// rows came through [`TableBuilder::push`]; asserted here because
+    /// [`TableBuilder::set_column`] can install columns independently and
+    /// mixing the two styles without filling every column is a
+    /// programming error).
+    pub fn build(self) -> Table {
+        assert!(
+            self.columns.windows(2).all(|w| w[0].len() == w[1].len()),
+            "ragged columns: install every column before build()"
+        );
+        let mut t = Table::from_columns(self.name, self.schema, self.columns);
+        t.primary_key = self.primary_key;
+        t
+    }
+}
 
 /// A named relation: schema + typed columns + optional primary key.
 #[derive(Debug, Clone)]
@@ -114,6 +276,11 @@ impl Table {
     }
 
     /// Append a row after validating it against the schema.
+    #[deprecated(
+        since = "0.1.0",
+        note = "row-oriented ingest materializes a `Value` per cell; build tables \
+                through the typed `TableBuilder` (or `Column` builders) instead"
+    )]
     pub fn push_row(&mut self, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
         for (col, v) in self.columns.iter_mut().zip(&row) {
@@ -139,17 +306,31 @@ impl Table {
     }
 
     /// Materialize one cell.
+    #[deprecated(
+        since = "0.1.0",
+        note = "per-cell `Value` materialization; read `table.column(col).value(row)` \
+                (or the column's typed accessors) instead"
+    )]
     pub fn get(&self, row: usize, col: usize) -> Value {
         self.columns[col].value(row)
     }
 
     /// Materialize row `i`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "whole-row `Value` materialization; iterate the typed columns instead"
+    )]
     pub fn row(&self, i: usize) -> Row {
         self.columns.iter().map(|c| c.value(i)).collect()
     }
 
     /// Iterate over materialized rows.
+    #[deprecated(
+        since = "0.1.0",
+        note = "whole-row `Value` materialization; iterate the typed columns instead"
+    )]
     pub fn iter_rows(&self) -> impl Iterator<Item = Row> + '_ {
+        #[allow(deprecated)]
         (0..self.num_rows()).map(move |i| self.row(i))
     }
 
@@ -211,6 +392,15 @@ impl Table {
         Ok(self.gather(&order))
     }
 
+    /// Content fingerprint: a stable 64-bit hash of name, schema, key,
+    /// and every cell (see [`crate::fingerprint`]). Equal-content tables
+    /// hash equal regardless of how they were built.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fingerprint::new();
+        hash_table(self, &mut h);
+        h.finish()
+    }
+
     /// Verify the declared primary key is unique; returns the offending key
     /// rendering on failure. Hashes typed key parts straight off the
     /// column buffers — no per-row `Value` materialization.
@@ -242,7 +432,7 @@ impl fmt::Display for Table {
         let n = self.num_rows().min(20);
         for i in 0..n {
             let cells: Vec<String> = (0..self.num_columns())
-                .map(|c| self.get(i, c).to_string())
+                .map(|c| self.column(c).value(i).to_string())
                 .collect();
             writeln!(f, "  {}", cells.join(" | "))?;
         }
@@ -265,30 +455,107 @@ mod tests {
             Field::new("price", DataType::Float),
         ])
         .unwrap();
-        let mut t = Table::with_key("product", schema, &["id"]).unwrap();
-        t.push_row(vec![1.into(), "vaio".into(), 999.0.into()])
-            .unwrap();
-        t.push_row(vec![2.into(), "asus".into(), 529.0.into()])
-            .unwrap();
-        t.push_row(vec![3.into(), "hp".into(), 599.0.into()])
-            .unwrap();
-        t
+        TableBuilder::with_key("product", schema, &["id"])
+            .unwrap()
+            .rows([
+                vec![1.into(), "vaio".into(), 999.0.into()],
+                vec![2.into(), "asus".into(), 529.0.into()],
+                vec![3.into(), "hp".into(), 599.0.into()],
+            ])
+            .unwrap()
+            .build()
     }
 
     #[test]
-    fn push_and_read() {
+    fn build_and_read() {
         let t = sample();
         assert_eq!(t.num_rows(), 3);
-        assert_eq!(t.get(1, 1), Value::str("asus"));
-        assert_eq!(t.row(2), vec![3.into(), "hp".into(), 599.0.into()]);
+        assert_eq!(t.column(1).value(1), Value::str("asus"));
+        assert_eq!(t.column(2).value(2), Value::Float(599.0));
     }
 
     #[test]
-    fn push_rejects_bad_rows() {
-        let mut t = sample();
-        assert!(t.push_row(vec![4.into(), 5.into(), 1.0.into()]).is_err());
-        assert!(t.push_row(vec![4.into()]).is_err());
-        assert_eq!(t.num_rows(), 3, "failed insert must not partially apply");
+    fn builder_rejects_bad_rows() {
+        let t = sample();
+        let mut b = TableBuilder::new("t", t.schema().clone());
+        assert!(b.push(vec![4.into(), 5.into(), 1.0.into()]).is_err());
+        assert!(b.push(vec![4.into()]).is_err());
+        assert_eq!(b.num_rows(), 0, "failed insert must not partially apply");
+    }
+
+    #[test]
+    fn set_column_widens_int_into_float_fields() {
+        let t = sample();
+        let mut b = TableBuilder::new("t", t.schema().clone());
+        b.set_column(
+            "price",
+            Column::from_values(DataType::Int, &[5.into(), 7.into()]).unwrap(),
+        )
+        .unwrap();
+        b.set_column(
+            "id",
+            Column::from_values(DataType::Int, &[1.into(), 2.into()]).unwrap(),
+        )
+        .unwrap();
+        b.set_column(
+            "brand",
+            Column::from_values(DataType::Str, &["a".into(), "b".into()]).unwrap(),
+        )
+        .unwrap();
+        let t = b.build();
+        assert_eq!(t.column(2).value(0), Value::Float(5.0));
+    }
+
+    #[test]
+    fn builder_set_column_validates() {
+        let t = sample();
+        let mut b = TableBuilder::new("t", t.schema().clone());
+        // Type mismatch.
+        assert!(b
+            .set_column(
+                "id",
+                Column::from_values(DataType::Str, &["x".into()]).unwrap()
+            )
+            .is_err());
+        // NULL into a non-nullable field.
+        assert!(b
+            .set_column(
+                "id",
+                Column::from_values(DataType::Int, &[Value::Null]).unwrap()
+            )
+            .is_err());
+        // Length mismatch against an installed column.
+        b.set_column(
+            "id",
+            Column::from_values(DataType::Int, &[1.into(), 2.into()]).unwrap(),
+        )
+        .unwrap();
+        assert!(b
+            .set_column(
+                "price",
+                Column::from_values(DataType::Float, &[1.0.into()]).unwrap()
+            )
+            .is_err());
+    }
+
+    /// The deprecated row-oriented shim stays semantically equivalent to
+    /// the builder path for loaders/tests that still depend on it.
+    #[test]
+    #[allow(deprecated)]
+    fn row_shim_matches_builder() {
+        let built = sample();
+        let mut shim = Table::with_key("product", built.schema().clone(), &["id"]).unwrap();
+        shim.push_row(vec![1.into(), "vaio".into(), 999.0.into()])
+            .unwrap();
+        shim.push_row(vec![2.into(), "asus".into(), 529.0.into()])
+            .unwrap();
+        shim.push_row(vec![3.into(), "hp".into(), 599.0.into()])
+            .unwrap();
+        assert_eq!(shim.fingerprint(), built.fingerprint());
+        assert_eq!(shim.get(1, 1), Value::str("asus"));
+        assert_eq!(shim.row(2), vec![3.into(), "hp".into(), 599.0.into()]);
+        assert_eq!(shim.iter_rows().count(), 3);
+        assert!(shim.push_row(vec![4.into(), 5.into(), 1.0.into()]).is_err());
     }
 
     #[test]
@@ -306,7 +573,7 @@ mod tests {
         let t = sample();
         let g = t.gather(&[2, 0]);
         assert_eq!(g.num_rows(), 2);
-        assert_eq!(g.get(0, 1), Value::str("hp"));
+        assert_eq!(g.column(1).value(0), Value::str("hp"));
         let p = t.project(&["brand"]).unwrap();
         assert_eq!(p.num_columns(), 1);
         assert_eq!(p.column(0).len(), 3);
@@ -317,17 +584,23 @@ mod tests {
     fn sort_by_column_orders_rows() {
         let t = sample();
         let s = t.sort_by_column("price").unwrap();
-        assert_eq!(s.get(0, 1), Value::str("asus"));
-        assert_eq!(s.get(2, 1), Value::str("vaio"));
+        assert_eq!(s.column(1).value(0), Value::str("asus"));
+        assert_eq!(s.column(1).value(2), Value::str("vaio"));
     }
 
     #[test]
     fn key_uniqueness() {
-        let mut t = sample();
+        let t = sample();
         assert!(t.check_key_unique().is_ok());
-        t.push_row(vec![2.into(), "dup".into(), 1.0.into()])
-            .unwrap();
-        assert!(t.check_key_unique().is_err());
+        let dup = TableBuilder::with_key("product", t.schema().clone(), &["id"])
+            .unwrap()
+            .rows([
+                vec![1.into(), "vaio".into(), 999.0.into()],
+                vec![1.into(), "dup".into(), 1.0.into()],
+            ])
+            .unwrap()
+            .build();
+        assert!(dup.check_key_unique().is_err());
     }
 
     #[test]
@@ -338,16 +611,16 @@ mod tests {
             Field::new("x", DataType::Float),
         ])
         .unwrap();
-        let mut t = Table::with_key("t", schema, &["a", "b"]).unwrap();
-        t.push_row(vec![1.into(), "l".into(), 0.0.into()]).unwrap();
-        t.push_row(vec![1.into(), "r".into(), 0.0.into()]).unwrap();
-        t.push_row(vec![2.into(), "l".into(), 0.0.into()]).unwrap();
+        let mut b = TableBuilder::with_key("t", schema, &["a", "b"]).unwrap();
+        b.push(vec![1.into(), "l".into(), 0.0.into()]).unwrap();
+        b.push(vec![1.into(), "r".into(), 0.0.into()]).unwrap();
+        b.push(vec![2.into(), "l".into(), 0.0.into()]).unwrap();
         assert!(
-            t.check_key_unique().is_ok(),
+            b.clone().build().check_key_unique().is_ok(),
             "distinct (a, b) combinations are unique"
         );
-        t.push_row(vec![1.into(), "r".into(), 9.0.into()]).unwrap();
-        let err = t.check_key_unique().unwrap_err();
+        b.push(vec![1.into(), "r".into(), 9.0.into()]).unwrap();
+        let err = b.build().check_key_unique().unwrap_err();
         assert!(
             matches!(&err, StorageError::DuplicateKey(k) if k == "1,r"),
             "duplicate composite key is reported: {err}"
@@ -369,17 +642,20 @@ mod tests {
     }
 
     #[test]
-    fn nulls_round_trip_through_rows() {
+    fn nulls_round_trip_through_columns() {
         let schema = Schema::new(vec![
             Field::new("a", DataType::Int),
             Field::nullable("b", DataType::Str),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
-        t.push_row(vec![1.into(), Value::Null]).unwrap();
-        t.push_row(vec![2.into(), "x".into()]).unwrap();
-        assert_eq!(t.get(0, 1), Value::Null);
-        assert_eq!(t.row(0), vec![Value::Int(1), Value::Null]);
+        let t = TableBuilder::new("t", schema)
+            .row(vec![1.into(), Value::Null])
+            .unwrap()
+            .row(vec![2.into(), "x".into()])
+            .unwrap()
+            .build();
+        assert_eq!(t.column(1).value(0), Value::Null);
+        assert_eq!(t.column(0).value(0), Value::Int(1));
         assert_eq!(t.column(1).null_count(), 1);
     }
 }

@@ -1,0 +1,78 @@
+//! Multi-tenant what-if serving over one shared dataset.
+//!
+//! The shape PRAXA-style what-if analysis systems need: many concurrent
+//! sessions — one per tenant, each with its own configuration, stats, and
+//! cache budget — answering hypothetical queries over the *same* data.
+//! The process-wide [`SharedArtifactStore`] makes the expensive artifacts
+//! (relevant views, block decompositions, fitted estimators) single-flight
+//! shared across all of them: the first tenant to need an artifact builds
+//! it, everyone else gets a shared hit.
+//!
+//! Run with `cargo run --release --example multi_session`.
+
+use hyper_repro::core::SharedArtifactStore;
+use hyper_repro::prelude::*;
+
+fn main() {
+    // One dataset, simulating the shared tenant corpus.
+    let data = hyper_repro::datasets::german_syn(10_000, 1);
+    let db = std::sync::Arc::new(data.db);
+    let graph = std::sync::Arc::new(data.graph);
+
+    // Tenant sessions: independent handles, budgets, and counters. They
+    // share artifacts because their (database, graph) *contents* agree —
+    // cloning the `Arc` is convenient but not required.
+    let tenants: Vec<HyperSession> = (0..4)
+        .map(|_| {
+            HyperSession::builder(db.clone())
+                .graph(graph.clone())
+                .config(EngineConfig::hyper())
+                .cache_budget(CacheBudget::estimators(32))
+                .build()
+        })
+        .collect();
+
+    // Every tenant asks the same family of questions concurrently.
+    let queries = [
+        "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')",
+        "Use german_syn Update(savings) = 3 Output Count(Post(credit) = 'Good')",
+        "Use german_syn Update(housing) = 2 Output Count(Post(credit) = 'Good')",
+    ];
+    std::thread::scope(|scope| {
+        for (t, session) in tenants.iter().enumerate() {
+            scope.spawn(move || {
+                for q in queries {
+                    let r = session.whatif_text(q).expect("query evaluates");
+                    println!("tenant {t}: {:>7.1}  <- {q}", r.value);
+                }
+            });
+        }
+    });
+
+    // The receipts: 4 tenants × 3 queries, but each artifact was built
+    // exactly once process-wide.
+    let mut built_views = 0;
+    let mut trained = 0;
+    let mut shared_hits = 0;
+    for (t, s) in tenants.iter().enumerate() {
+        let st = s.stats();
+        println!(
+            "tenant {t}: views built {}, estimators trained {}, shared hits {}, local hits {}",
+            st.view_misses,
+            st.estimator_misses,
+            st.view_shared_hits + st.estimator_shared_hits,
+            st.view_hits + st.estimator_hits,
+        );
+        built_views += st.view_misses;
+        trained += st.estimator_misses;
+        shared_hits += st.view_shared_hits + st.estimator_shared_hits;
+    }
+    println!("---");
+    println!(
+        "process-wide: {built_views} view build(s), {trained} training run(s), \
+         {shared_hits} shared hit(s)"
+    );
+    println!("store: {:?}", SharedArtifactStore::global());
+    assert_eq!(built_views, 1, "one view build for all tenants");
+    assert_eq!(trained, queries.len() as u64, "one training per query");
+}

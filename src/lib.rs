@@ -7,12 +7,13 @@
 //!
 //! | module | contents |
 //! |--------|----------|
-//! | [`storage`] | in-memory relational engine (tables, joins, group-by, stats, support index) |
+//! | [`storage`] | in-memory relational engine (typed columnar tables, joins, group-by, stats, content fingerprints) |
 //! | [`causal`]  | causal graphs, ground graphs, blocks, backdoor sets, SCMs |
-//! | [`ml`]      | regression forests, linear models, encoders, discretizers |
+//! | [`ml`]      | regression forests (parallel histogram training), linear models, encoders, discretizers |
 //! | [`ip`]      | simplex LP + branch-and-bound 0-1 ILP + enumeration oracle |
 //! | [`query`]   | the extended SQL language (`Use`/`When`/`Update`/`Output`/`For`, `HowToUpdate`/`Limit`/`ToMaximize`) |
-//! | [`core`]    | the HypeR engine: sessions, prepared queries, what-if estimation, how-to optimization |
+//! | [`runtime`] | the shared execution runtime: one persistent worker pool for every parallel path |
+//! | [`core`]    | the HypeR engine: sessions, prepared queries, the process-wide shared artifact store |
 //! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
 //!
 //! ## Quickstart
@@ -70,12 +71,43 @@
 //! assert!(report.deterministic);
 //! println!("{report}");
 //!
-//! // Ad-hoc text and parallel batches share the same cache.
+//! // Ad-hoc text and parallel batches share the same cache. Batches (and
+//! // how-to candidate evaluation, and forest training) fan out over one
+//! // persistent process-wide worker pool — never per-call threads.
 //! let outcomes = session.execute_batch(&[
 //!     "Use product Update(price) = 0.9 * Pre(price) Output Count(*)",
 //!     "Use product Update(price) = 1.2 * Pre(price) Output Count(*)",
 //! ]);
 //! assert!(outcomes.iter().all(|o| o.is_ok()));
+//! ```
+//!
+//! ## Multi-tenant serving: the shared artifact store
+//!
+//! Sessions are the unit of *tenancy* (own config, stats, cache budget),
+//! not the unit of *work*: relevant views, block decompositions, and
+//! fitted estimators live in a process-wide
+//! [`SharedArtifactStore`](core::SharedArtifactStore) keyed by content
+//! fingerprints of `(database, graph)`. Many sessions over one dataset —
+//! even loaded independently, without shared `Arc`s — build each artifact
+//! once, single-flight, process-wide (`examples/multi_session.rs` runs
+//! four concurrent tenants and asserts exactly one view build):
+//!
+//! ```
+//! use hyper_repro::prelude::*;
+//! let data = hyper_repro::datasets::amazon::amazon(200, 3, 5);
+//! let db = std::sync::Arc::new(data.db);
+//! let graph = std::sync::Arc::new(data.graph);
+//!
+//! let tenant_a = HyperSession::builder(db.clone()).graph(graph.clone()).build();
+//! let tenant_b = HyperSession::builder(db).graph(graph).build();
+//! let q = "Use product Update(price) = 500 Output Count(Post(price) > 400)";
+//! tenant_a.execute(q).unwrap();
+//! tenant_b.execute(q).unwrap();
+//! // Tenant B re-used A's artifacts through the shared store.
+//! assert_eq!(tenant_b.stats().view_misses, 0);
+//! assert_eq!(tenant_b.stats().view_shared_hits, 1);
+//! // Opt out per session with `.share_artifacts(false)`; scale the
+//! // worker pool with `.runtime(HyperRuntime::with_workers(n))`.
 //! ```
 
 pub use hyper_causal as causal;
@@ -84,6 +116,7 @@ pub use hyper_datasets as datasets;
 pub use hyper_ip as ip;
 pub use hyper_ml as ml;
 pub use hyper_query as query;
+pub use hyper_runtime as runtime;
 pub use hyper_storage as storage;
 
 /// Common imports for applications.
@@ -94,11 +127,12 @@ pub mod prelude {
     pub use hyper_core::{
         exact_whatif, BackdoorMode, CacheBudget, EngineConfig, ExplainReport, HowToOptions,
         HowToResult, HyperSession, IntoQuery, PreparedQuery, Provenance, QueryOutcome,
-        SessionBuilder, SessionStats, WhatIfResult,
+        SessionBuilder, SessionStats, SharedArtifactStore, WhatIfResult,
     };
     pub use hyper_datasets::Dataset;
     pub use hyper_query::{
         parse_query, Bindings, HExpr, HowTo, HypotheticalQuery, QueryKey, WhatIf,
     };
+    pub use hyper_runtime::HyperRuntime;
     pub use hyper_storage::{AggFunc, Database, Table, Value};
 }

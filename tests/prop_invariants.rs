@@ -177,11 +177,11 @@ fn arb_table() -> impl Strategy<Value = Table> {
             Field::new("x", DataType::Int),
         ])
         .unwrap();
-        let mut t = Table::new("t", schema);
+        let mut t = hyper_repro::storage::TableBuilder::new("t", schema);
         for (g, h, x) in rows {
-            t.push_row(vec![g.into(), h.into(), x.into()]).unwrap();
+            t.push(vec![g.into(), h.into(), x.into()]).unwrap();
         }
-        t
+        t.build()
     })
 }
 
@@ -208,9 +208,9 @@ proptest! {
         let grouped = ops::aggregate::aggregate(
             &t, &["g".into()], &[AggExpr::new(AggFunc::Sum, Some(col("x")), "s")]).unwrap();
         let total: f64 = (0..grouped.num_rows())
-            .map(|i| grouped.get(i, 1).as_f64().unwrap())
+            .map(|i| grouped.column(1).f64_at(i).unwrap())
             .sum();
-        prop_assert!((global.get(0, 0).as_f64().unwrap() - total).abs() < 1e-9);
+        prop_assert!((global.column(0).f64_at(0).unwrap() - total).abs() < 1e-9);
     }
 
     /// Self-join on the key column g: every output row satisfies the key
@@ -236,8 +236,8 @@ proptest! {
     fn gather_identity(t in arb_table()) {
         let idx: Vec<usize> = (0..t.num_rows()).collect();
         let g = t.gather(&idx);
-        for i in 0..t.num_rows() {
-            prop_assert_eq!(g.row(i), t.row(i));
+        for c in 0..t.num_columns() {
+            prop_assert_eq!(g.column(c), t.column(c));
         }
     }
 }
