@@ -5,23 +5,26 @@
 //! summary.
 //!
 //! Used by the CI `bench-smoke` job to track the perf trajectory: each
-//! run produces a `BENCH_4.json` artifact (override the path with
+//! run produces a `BENCH_5.json` artifact (override the path with
 //! `--out <path>` or the `BENCH_OUT` environment variable). Iteration
 //! counts are deliberately small — this guards against order-of-magnitude
-//! regressions, not microsecond drift. Two gates are enforced: the ≥3×
-//! vectorization speedups over the `Value`-per-cell baselines (PR 3), and
-//! the ≥2× cold-what-if speedup over the PR-3 sequential-sort-training
+//! regressions, not microsecond drift. Three gates are enforced: the ≥3×
+//! vectorization speedups over the `Value`-per-cell baselines (PR 3), the
+//! ≥2× cold-what-if speedup over the PR-3 sequential-sort-training
 //! measurement (28.9 ms) delivered by parallel histogram/cell-based
-//! forest training.
+//! forest training (PR 4), and the ≥3× warm-start speedup of a simulated
+//! process restart recovering its artifacts from a populated persist
+//! directory instead of retraining (PR 5).
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Duration;
 
 use hyper_bench::storage_baseline::{
     encode_row_reference, encoder_columns, filter_row_reference, german_predicate,
 };
 use hyper_bench::time_avg;
-use hyper_core::{evaluate_whatif, EngineConfig, HyperSession};
+use hyper_core::{evaluate_whatif, EngineConfig, HyperSession, SharedArtifactStore};
 use hyper_ml::{ForestParams, Matrix, RandomForest, RegressionTree, TableEncoder, TreeParams};
 use hyper_storage::ops::filter;
 use rand::rngs::StdRng;
@@ -73,7 +76,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| std::env::var("BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_4.json".to_string());
+        .unwrap_or_else(|| "BENCH_5.json".to_string());
     let reps: usize = std::env::var("BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -177,6 +180,44 @@ fn main() {
         baseline_micros: Some(PR3_COLD_WHATIF_US),
     });
 
+    // Warm start: the first what-if of a "restarted" process — in-memory
+    // artifact store cleared, session rebuilt over a persist directory
+    // populated by a previous life — vs the full-retrain cold path. The
+    // restarted process deserializes the relevant view and the fitted
+    // forest from `HYPR1` artifact files instead of rebuilding them.
+    let persist = std::env::temp_dir().join(format!("hyper_bench_warm_{}", std::process::id()));
+    std::fs::remove_dir_all(&persist).ok();
+    let db = Arc::new(data.db.clone());
+    let graph = Arc::new(data.graph.clone());
+    let restarted_session = || {
+        HyperSession::builder(Arc::clone(&db))
+            .graph(Arc::clone(&graph))
+            .config(EngineConfig::hyper())
+            .persist_dir(&persist)
+            .build()
+    };
+    // One cold run with persistence on populates the artifact files.
+    SharedArtifactStore::global().clear();
+    restarted_session().whatif(&q).unwrap();
+    let warm_t = time_avg(cold_reps, || {
+        SharedArtifactStore::global().clear(); // drop all in-memory state
+        let session = restarted_session();
+        let r = session.whatif(&q).unwrap();
+        let stats = session.stats();
+        assert_eq!(stats.estimator_misses, 0, "warm start must not retrain");
+        assert!(
+            stats.estimator_disk_hits > 0,
+            "estimator must come from disk"
+        );
+        r
+    });
+    std::fs::remove_dir_all(&persist).ok();
+    entries.push(Entry {
+        name: "warm_start_german_10k",
+        micros: secs_to_us(warm_t),
+        baseline_micros: Some(secs_to_us(cold_t)),
+    });
+
     // Render JSON by hand (no serde in the offline workspace).
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -201,7 +242,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 4\n}}\n"
+        "  ],\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 5\n}}\n"
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark summary");
@@ -234,6 +275,17 @@ fn main() {
                 eprintln!(
                     "REGRESSION: cold what-if {:.1}us is less than 2x faster than \
                      the PR-3 baseline {PR3_COLD_WHATIF_US:.1}us ({speedup:.2}x)",
+                    e.micros
+                );
+                std::process::exit(1);
+            }
+            // Warm-start gate: a restarted process recovering artifacts
+            // from the persist directory must beat full retraining by
+            // ≥3× (both sides measured live on this machine).
+            if e.name == "warm_start_german_10k" && speedup < 3.0 {
+                eprintln!(
+                    "REGRESSION: warm start {:.1}us is less than 3x faster than \
+                     retraining {b:.1}us ({speedup:.2}x)",
                     e.micros
                 );
                 std::process::exit(1);

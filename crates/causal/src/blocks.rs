@@ -140,6 +140,38 @@ impl BlockDecomposition {
         Ok(BlockDecomposition { blocks, block_of })
     }
 
+    /// Reassemble a decomposition from its blocks (the inverse of
+    /// [`BlockDecomposition::blocks`], for snapshot deserialization). A
+    /// tuple appearing in two blocks would make `block_of` ambiguous and
+    /// is rejected.
+    pub fn from_blocks(blocks: Vec<Vec<TupleRef>>) -> Result<BlockDecomposition> {
+        let mut block_of = HashMap::with_capacity(blocks.iter().map(Vec::len).sum());
+        for (bi, tuples) in blocks.iter().enumerate() {
+            for &t in tuples {
+                if block_of.insert(t, bi).is_some() {
+                    return Err(CausalError::InvalidEdge(format!(
+                        "tuple (table {}, row {}) appears in more than one block",
+                        t.table, t.row
+                    )));
+                }
+            }
+        }
+        Ok(BlockDecomposition { blocks, block_of })
+    }
+
+    /// Do every block's tuple references fall inside tables of the given
+    /// sizes (`table_rows[i]` = row count of table `i`)? Decompositions
+    /// computed in-process fit by construction; this guards ones
+    /// deserialized from a persist directory, whose indices are
+    /// untrusted bytes — a mismatch must read as a cache miss, never an
+    /// out-of-bounds panic during block-wise evaluation.
+    pub fn fits_tables(&self, table_rows: &[usize]) -> bool {
+        self.blocks
+            .iter()
+            .flatten()
+            .all(|t| table_rows.get(t.table).is_some_and(|&rows| t.row < rows))
+    }
+
     /// Number of blocks.
     pub fn num_blocks(&self) -> usize {
         self.blocks.len()

@@ -101,6 +101,38 @@
 //!   hits, shared hits, and real builds;
 //!   [`SessionBuilder::share_artifacts`]`(false)` opts a session out.
 //!
+//! ## The three-tier artifact cache
+//!
+//! With a persist directory configured, artifact resolution runs through
+//! three tiers, each consulted only when the tier above misses:
+//!
+//! ```text
+//!   ArtifactCache (per session)     local LRU tier — CacheBudget-bounded,
+//!        │ miss                     plain hits
+//!        ▼
+//!   SharedArtifactStore shard       in-memory, process-wide, single-flight
+//!        │ miss                     across sessions; byte-budgeted LRU
+//!        ▼                          (SessionBuilder::shared_budget_bytes)
+//!   persist_dir artifact files      checksummed HYPR1 files keyed by the
+//!        │ miss                     full cache key + shard fingerprints;
+//!        ▼                          survive restarts
+//!   build / train                   spills back to disk on completion
+//! ```
+//!
+//! [`SessionBuilder::persist_dir`] enables the disk tier: artifacts are
+//! spilled as `hyper-store` `HYPR1` files when built and recovered by
+//! deserialization after a restart — a reloaded forest predicts
+//! bit-identically, so a restarted process answers its first what-if at
+//! warm-cache speed with **zero** estimator builds
+//! ([`SessionStats::estimator_disk_hits`]; `examples/warm_start.rs`
+//! asserts exactly that, and `bench_smoke` gates the warm start at ≥3×
+//! faster than retraining). Stale directories (different data), hash
+//! collisions, truncated files, and flipped bytes all read as typed
+//! errors and fall back to a rebuild — never a panic, never a wrong
+//! artifact. When the shared tier's byte budget evicts an artifact whose
+//! builder had persistence enabled, the next request re-serves it from
+//! disk instead of retraining.
+//!
 //! ```no_run
 //! use hyper_core::HyperSession;
 //! # fn demo(db: std::sync::Arc<hyper_storage::Database>,
@@ -124,6 +156,7 @@ pub mod engine;
 pub mod error;
 pub mod hexpr;
 pub mod howto;
+pub(crate) mod persist;
 pub mod session;
 pub mod view;
 pub mod whatif;

@@ -37,17 +37,39 @@
 //! `Arc` — executions already holding the artifact keep it alive — and a
 //! later request for an evicted key simply rebuilds (one more miss).
 //!
-//! Two-level layout: since the shared runtime refactor this cache is a
-//! thin per-session tier over the process-wide
-//! [`super::SharedArtifactStore`]. A local hit never leaves the session;
-//! a local miss consults the session's shared shard (single-flight across
-//! *sessions*), recording either a real build
-//! ([`super::SessionStats::view_misses`]) or a shared hit
-//! ([`super::SessionStats::view_shared_hits`]) before installing the
-//! `Arc` in the local tier, where the LRU budget applies as before.
-//! Sessions built with [`super::SessionBuilder::share_artifacts`]`(false)`
-//! have no shard and behave exactly like the pre-refactor cache.
+//! Three-tier layout:
+//!
+//! ```text
+//! local LRU tier   (per session, CacheBudget-bounded, plain hits)
+//!       ↓ miss
+//! shared in-memory tier   (process-wide SharedArtifactStore shard,
+//!       ↓ miss             single-flight across sessions, shared hits)
+//! disk tier   (SessionBuilder::persist_dir artifact files,
+//!       ↓ miss             single-flight reads, disk hits)
+//! build / train
+//! ```
+//!
+//! A local hit never leaves the session; a local miss consults the
+//! session's shared shard (single-flight across *sessions*), and a shared
+//! miss — with persistence enabled — tries the disk tier before building.
+//! The resolution is recorded as a real build
+//! ([`super::SessionStats::view_misses`]), a shared hit
+//! ([`super::SessionStats::view_shared_hits`]), or a disk hit
+//! ([`super::SessionStats::view_disk_hits`]) before installing the `Arc`
+//! in the local tier, where the LRU budget applies as before. Freshly
+//! built artifacts are spilled to the disk tier at build time, so a
+//! restarted process (or an artifact evicted from the shared tier under
+//! its byte budget) recovers them by deserialization instead of
+//! rebuilding. A corrupt, truncated, or stale artifact file reads as a
+//! typed error and is treated as a miss — never a panic, never a wrong
+//! artifact (files carry the full key and shard fingerprints, verified on
+//! load). Sessions built with
+//! [`super::SessionBuilder::share_artifacts`]`(false)` skip the shared
+//! tier, and sessions without a persist directory skip the disk tier;
+//! with neither, the cache behaves exactly like the original
+//! single-level design.
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -58,6 +80,7 @@ use hyper_storage::Database;
 
 use crate::config::EngineConfig;
 use crate::error::Result;
+use crate::persist::{DiskArtifact, DiskTier};
 use crate::session::shared::{FetchOutcome, SharedCache, SharedShard};
 use crate::view::{build_relevant_view, RelevantView};
 use crate::whatif::estimator::CausalEstimator;
@@ -107,14 +130,27 @@ pub(crate) struct CacheCounters {
     pub view_hits: AtomicU64,
     pub view_misses: AtomicU64,
     pub view_shared_hits: AtomicU64,
+    pub view_disk_hits: AtomicU64,
     pub view_evictions: AtomicU64,
     pub estimator_hits: AtomicU64,
     pub estimator_misses: AtomicU64,
     pub estimator_shared_hits: AtomicU64,
+    pub estimator_disk_hits: AtomicU64,
     pub estimator_evictions: AtomicU64,
     pub block_hits: AtomicU64,
     pub block_misses: AtomicU64,
     pub block_shared_hits: AtomicU64,
+    pub block_disk_hits: AtomicU64,
+}
+
+/// The counter set of one artifact kind, bundled so the tiered fetch
+/// paths stay readable.
+struct TierCounters<'a> {
+    hits: &'a AtomicU64,
+    misses: &'a AtomicU64,
+    shared_hits: &'a AtomicU64,
+    disk_hits: &'a AtomicU64,
+    evictions: &'a AtomicU64,
 }
 
 /// One cache entry: a write-once cell plus the per-key init lock that
@@ -288,6 +324,8 @@ pub struct ArtifactCache {
     /// The session's `(db, graph)` shard of the shared store; `None` for
     /// isolated sessions.
     shared: Option<Arc<SharedShard>>,
+    /// The session's disk tier; `None` without a persist directory.
+    disk: Option<Arc<DiskTier>>,
     pub(crate) counters: CacheCounters,
 }
 
@@ -297,6 +335,7 @@ impl std::fmt::Debug for ArtifactCache {
             .field("views", &self.views.len())
             .field("estimators", &self.estimators.len())
             .field("shared", &self.shared.is_some())
+            .field("disk", &self.disk)
             .field("counters", &self.counters)
             .finish()
     }
@@ -304,43 +343,100 @@ impl std::fmt::Debug for ArtifactCache {
 
 impl ArtifactCache {
     /// An empty cache honoring `budget`, layered over `shared` when the
-    /// session participates in cross-session sharing.
-    pub(crate) fn new(budget: CacheBudget, shared: Option<Arc<SharedShard>>) -> ArtifactCache {
+    /// session participates in cross-session sharing and over `disk`
+    /// when it persists artifacts.
+    pub(crate) fn new(
+        budget: CacheBudget,
+        shared: Option<Arc<SharedShard>>,
+        disk: Option<Arc<DiskTier>>,
+    ) -> ArtifactCache {
         ArtifactCache {
             views: KeyedCache::new(budget.max_views),
             estimators: KeyedCache::new(budget.max_estimators),
             blocks: KeyedCache::new(None),
             shared,
+            disk,
             counters: CacheCounters::default(),
         }
     }
 
-    /// Two-level fetch shared by all three artifact kinds: local tier
-    /// first (a plain hit), then the shared shard (single-flight across
-    /// sessions; `Built` counts as this session's miss, `Shared` as a
-    /// shared hit), installing the `Arc` locally either way so the LRU
-    /// budget and later local hits behave exactly as without sharing.
+    /// Tiered fetch shared by all three artifact kinds: local tier first
+    /// (a plain hit), then the shared shard (single-flight across
+    /// sessions), then — inside the single-flight builder — the disk
+    /// tier, then the real build (spilled to disk on success). Exactly
+    /// one of `misses`/`shared_hits`/`disk_hits` moves per call that
+    /// leaves the local tier, and the fetched `Arc` is installed locally
+    /// so the LRU budget and later local hits behave exactly as without
+    /// the extra tiers.
+    ///
+    /// `valid` re-checks a *disk-recovered* artifact against live
+    /// context (view/database dimensions) the context-free decoder
+    /// cannot know; a failing artifact is a plain miss — it never enters
+    /// the memory tiers, and the rebuild overwrites its file.
     #[allow(clippy::too_many_arguments)]
-    fn fetch_two_level<T>(
+    fn fetch_tiered<T: DiskArtifact>(
         local: &KeyedCache<T>,
-        shared: &SharedCache<T>,
+        shared: Option<&SharedShard>,
+        select: fn(&SharedShard) -> &SharedCache<T>,
+        disk: Option<&DiskTier>,
         key: &str,
-        hits: &AtomicU64,
-        misses: &AtomicU64,
-        shared_hits: &AtomicU64,
-        evictions: &AtomicU64,
+        c: &TierCounters<'_>,
+        valid: impl Fn(&T) -> bool,
         build: impl FnOnce() -> Result<T>,
     ) -> Result<Arc<T>> {
         if let Some(v) = local.get_if_present(key) {
-            hits.fetch_add(1, Ordering::Relaxed);
+            c.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(v);
         }
-        let (v, outcome) = shared.get_or_build(key, build)?;
-        match outcome {
-            FetchOutcome::Built => misses.fetch_add(1, Ordering::Relaxed),
-            FetchOutcome::Shared => shared_hits.fetch_add(1, Ordering::Relaxed),
+        // The builder the memory tiers run on a miss: recover from disk
+        // when possible (any invalid file is a miss), otherwise build and
+        // spill. `from_disk` reports which happened — the distinction
+        // only affects counters, never the value.
+        let from_disk = Cell::new(false);
+        let wrapped = || {
+            if let Some(d) = disk {
+                if let Some(v) = d.load::<T>(key) {
+                    if valid(&v) {
+                        from_disk.set(true);
+                        return Ok(v);
+                    }
+                }
+            }
+            let v = build()?;
+            if let Some(d) = disk {
+                d.store(key, &v);
+            }
+            Ok(v)
         };
-        local.insert(key, Arc::clone(&v), evictions);
+        let v = match shared {
+            Some(shard) => {
+                let (v, outcome) = shard.fetch(select, key, T::approx_bytes, wrapped)?;
+                match outcome {
+                    FetchOutcome::Built if from_disk.get() => {
+                        c.disk_hits.fetch_add(1, Ordering::Relaxed)
+                    }
+                    FetchOutcome::Built => c.misses.fetch_add(1, Ordering::Relaxed),
+                    FetchOutcome::Shared => c.shared_hits.fetch_add(1, Ordering::Relaxed),
+                };
+                v
+            }
+            None => {
+                // Isolated session: the local tier itself is the
+                // single-flight point. Count the build outcome ourselves
+                // so a disk recovery is a disk hit, not a miss.
+                let built = AtomicU64::new(0);
+                let v = local.get_or_build(key, c.hits, &built, c.evictions, wrapped)?;
+                if built.load(Ordering::Relaxed) > 0 {
+                    if from_disk.get() {
+                        c.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        c.misses.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                return Ok(v);
+            }
+        };
+        local.insert(key, Arc::clone(&v), c.evictions);
         Ok(v)
     }
 
@@ -413,54 +509,61 @@ impl ArtifactCache {
     ) -> Result<(Arc<RelevantView>, QueryKey)> {
         let key = Self::view_key(use_clause);
         let c = &self.counters;
-        let view = match &self.shared {
-            Some(shard) => Self::fetch_two_level(
-                &self.views,
-                &shard.views,
-                key.as_str(),
-                &c.view_hits,
-                &c.view_misses,
-                &c.view_shared_hits,
-                &c.view_evictions,
-                || build_relevant_view(db, use_clause),
-            )?,
-            None => self.views.get_or_build(
-                key.as_str(),
-                &c.view_hits,
-                &c.view_misses,
-                &c.view_evictions,
-                || build_relevant_view(db, use_clause),
-            )?,
-        };
+        fn shard_views(s: &SharedShard) -> &SharedCache<RelevantView> {
+            &s.views
+        }
+        let view = Self::fetch_tiered(
+            &self.views,
+            self.shared.as_deref(),
+            shard_views,
+            self.disk.as_deref(),
+            key.as_str(),
+            &TierCounters {
+                hits: &c.view_hits,
+                misses: &c.view_misses,
+                shared_hits: &c.view_shared_hits,
+                disk_hits: &c.view_disk_hits,
+                evictions: &c.view_evictions,
+            },
+            // Views carry no raw indices into external state: origins are
+            // length-checked at decode and the table's fingerprint is
+            // re-validated, so no live-context check remains.
+            |_| true,
+            || build_relevant_view(db, use_clause),
+        )?;
         Ok((view, key))
     }
 
     /// The fitted estimator for `key`, fitting via `fit` on a miss.
+    /// `valid` vets a disk-recovered estimator against the live view
+    /// (see [`fetch_tiered`](Self::fetch_tiered)); pass
+    /// `CausalEstimator::fits_view` bound to the query's view.
     pub(crate) fn estimator(
         &self,
         key: &str,
+        valid: impl Fn(&CausalEstimator) -> bool,
         fit: impl FnOnce() -> Result<CausalEstimator>,
     ) -> Result<Arc<CausalEstimator>> {
         let c = &self.counters;
-        match &self.shared {
-            Some(shard) => Self::fetch_two_level(
-                &self.estimators,
-                &shard.estimators,
-                key,
-                &c.estimator_hits,
-                &c.estimator_misses,
-                &c.estimator_shared_hits,
-                &c.estimator_evictions,
-                fit,
-            ),
-            None => self.estimators.get_or_build(
-                key,
-                &c.estimator_hits,
-                &c.estimator_misses,
-                &c.estimator_evictions,
-                fit,
-            ),
+        fn shard_estimators(s: &SharedShard) -> &SharedCache<CausalEstimator> {
+            &s.estimators
         }
+        Self::fetch_tiered(
+            &self.estimators,
+            self.shared.as_deref(),
+            shard_estimators,
+            self.disk.as_deref(),
+            key,
+            &TierCounters {
+                hits: &c.estimator_hits,
+                misses: &c.estimator_misses,
+                shared_hits: &c.estimator_shared_hits,
+                disk_hits: &c.estimator_disk_hits,
+                evictions: &c.estimator_evictions,
+            },
+            valid,
+            fit,
+        )
     }
 
     /// The session's block decomposition (Prop. 1), computed once per
@@ -474,53 +577,73 @@ impl ArtifactCache {
         let c = &self.counters;
         let build =
             || BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from);
-        match &self.shared {
-            Some(shard) => Self::fetch_two_level(
-                &self.blocks,
-                &shard.blocks,
-                "",
-                &c.block_hits,
-                &c.block_misses,
-                &c.block_shared_hits,
-                &AtomicU64::new(0),
-                build,
-            ),
-            None => self.blocks.get_or_build(
-                "",
-                &c.block_hits,
-                &c.block_misses,
-                &AtomicU64::new(0),
-                build,
-            ),
+        fn shard_blocks(s: &SharedShard) -> &SharedCache<BlockDecomposition> {
+            &s.blocks
         }
+        Self::fetch_tiered(
+            &self.blocks,
+            self.shared.as_deref(),
+            shard_blocks,
+            self.disk.as_deref(),
+            "",
+            &TierCounters {
+                hits: &c.block_hits,
+                misses: &c.block_misses,
+                shared_hits: &c.block_shared_hits,
+                disk_hits: &c.block_disk_hits,
+                evictions: &AtomicU64::new(0),
+            },
+            // A disk-recovered decomposition must reference only rows the
+            // live database actually has (untrusted indices would
+            // otherwise panic during block-wise evaluation).
+            |b: &BlockDecomposition| {
+                let sizes: Vec<usize> = db.tables().iter().map(|t| t.num_rows()).collect();
+                b.fits_tables(&sizes)
+            },
+            build,
+        )
     }
 
-    /// Is the view for `key` currently cached, locally or in the shared
-    /// shard? (Explain provenance; no counter movement.)
+    /// Is the view for `key` currently cached — locally, in the shared
+    /// shard, or as a disk-tier file? (Explain provenance; no counter
+    /// movement; disk presence is a file check, validation still happens
+    /// on load.)
     pub(crate) fn has_view(&self, key: &str) -> bool {
         self.views.peek(key)
             || self
                 .shared
                 .as_ref()
                 .is_some_and(|shard| shard.views.peek(key))
+            || self
+                .disk
+                .as_ref()
+                .is_some_and(|d| d.has(hyper_store::ArtifactKind::View, key))
     }
 
-    /// Is the estimator for `key` currently cached (either tier)?
+    /// Is the estimator for `key` currently cached (any tier)?
     pub(crate) fn has_estimator(&self, key: &str) -> bool {
         self.estimators.peek(key)
             || self
                 .shared
                 .as_ref()
                 .is_some_and(|shard| shard.estimators.peek(key))
+            || self
+                .disk
+                .as_ref()
+                .is_some_and(|d| d.has(hyper_store::ArtifactKind::Estimator, key))
     }
 
-    /// Is the block decomposition cached (either tier)?
+    /// Is the block decomposition cached (any tier)?
     pub(crate) fn has_blocks(&self) -> bool {
         self.blocks.peek("")
             || self
                 .shared
                 .as_ref()
                 .is_some_and(|shard| shard.blocks.peek(""))
+            || self
+                .disk
+                .as_ref()
+                .is_some_and(|d| d.has(hyper_store::ArtifactKind::Blocks, ""))
     }
 
     /// Number of distinct cached views (diagnostics).
@@ -581,7 +704,7 @@ mod tests {
             max_views: Some(0),
             max_estimators: Some(0),
         };
-        let cache = ArtifactCache::new(budget, None);
+        let cache = ArtifactCache::new(budget, None, None);
         // Nothing to assert beyond construction not panicking and the store
         // still holding the most recent entry after a build; exercised via
         // the estimator store in session tests.

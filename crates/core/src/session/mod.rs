@@ -108,8 +108,11 @@ pub struct SessionStats {
     /// Views served by the process-wide [`SharedArtifactStore`] (another
     /// session — or a racing thread of this one — built them).
     pub view_shared_hits: u64,
+    /// Views recovered from the disk tier
+    /// ([`SessionBuilder::persist_dir`]) instead of being rebuilt.
+    pub view_disk_hits: u64,
     /// Relevant views evicted under a [`CacheBudget`] (local tier only;
-    /// the shared tier never evicts).
+    /// the shared tier evicts only under its byte budget).
     pub view_evictions: u64,
     /// Fitted-estimator cache hits served by the local tier.
     pub estimator_hits: u64,
@@ -117,6 +120,9 @@ pub struct SessionStats {
     pub estimator_misses: u64,
     /// Estimators served by the shared store.
     pub estimator_shared_hits: u64,
+    /// Estimators deserialized from the disk tier — warm starts that
+    /// skipped training entirely.
+    pub estimator_disk_hits: u64,
     /// Fitted estimators evicted under a [`CacheBudget`] (local tier).
     pub estimator_evictions: u64,
     /// Block-decomposition cache hits served by the local tier.
@@ -125,6 +131,8 @@ pub struct SessionStats {
     pub block_misses: u64,
     /// Block decompositions served by the shared store.
     pub block_shared_hits: u64,
+    /// Block decompositions recovered from the disk tier.
+    pub block_disk_hits: u64,
     /// Distinct relevant views currently cached.
     pub views_cached: usize,
     /// Distinct fitted estimators currently cached.
@@ -146,6 +154,7 @@ struct SessionInner {
     howto_opts: HowToOptions,
     cache_budget: CacheBudget,
     share_artifacts: bool,
+    persist_dir: Option<std::path::PathBuf>,
     runtime: HyperRuntime,
     cache: ArtifactCache,
     queries_prepared: AtomicU64,
@@ -161,6 +170,8 @@ pub struct SessionBuilder {
     howto_opts: HowToOptions,
     cache_budget: CacheBudget,
     share_artifacts: bool,
+    persist_dir: Option<std::path::PathBuf>,
+    shared_budget_bytes: Option<usize>,
     runtime: Option<HyperRuntime>,
 }
 
@@ -174,6 +185,8 @@ impl SessionBuilder {
             howto_opts: HowToOptions::default(),
             cache_budget: CacheBudget::default(),
             share_artifacts: true,
+            persist_dir: None,
+            shared_budget_bytes: None,
             runtime: None,
         }
     }
@@ -236,26 +249,75 @@ impl SessionBuilder {
         self
     }
 
+    /// Persist artifacts under `dir`, adding a **disk tier** below the
+    /// shared in-memory store: relevant views, fitted estimators, and
+    /// block decompositions are spilled as checksummed `HYPR1` files
+    /// when built and recovered by deserialization (single-flight, with
+    /// [`SessionStats::estimator_disk_hits`] and friends counting the
+    /// recoveries) instead of being rebuilt. A restarted process pointed
+    /// at the same directory answers its first what-if at warm-cache
+    /// speed — no CSV re-ingest, no retraining (see
+    /// `examples/warm_start.rs`).
+    ///
+    /// Artifact files embed the session's `(database, graph)` content
+    /// fingerprints and their own checksums; a stale directory (different
+    /// data), a truncated file, or a flipped byte reads as a typed error
+    /// and is treated as a cache miss, then overwritten by the rebuild.
+    pub fn persist_dir(mut self, dir: impl Into<std::path::PathBuf>) -> SessionBuilder {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
+    /// Cap the **process-wide** [`SharedArtifactStore`]'s approximate
+    /// footprint at `bytes` (0 = unbounded). Exceeding the budget evicts
+    /// globally least-recently-used artifacts across all shards; when
+    /// the building session also set [`SessionBuilder::persist_dir`],
+    /// evicted artifacts re-serve from the disk tier instead of
+    /// retraining. The budget is a store-level setting — the last
+    /// session to set it wins — exposed here for convenience next to
+    /// the per-session [`SessionBuilder::cache_budget`].
+    pub fn shared_budget_bytes(mut self, bytes: usize) -> SessionBuilder {
+        self.shared_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Finish: an owned, shareable session with an empty local artifact
     /// cache, attached to its `(db, graph)` shard of the shared store
-    /// unless [`SessionBuilder::share_artifacts`]`(false)` was set.
+    /// unless [`SessionBuilder::share_artifacts`]`(false)` was set, and
+    /// to a disk tier when [`SessionBuilder::persist_dir`] was set.
     pub fn build(self) -> HyperSession {
+        if let Some(bytes) = self.shared_budget_bytes {
+            SharedArtifactStore::global().set_budget_bytes(bytes);
+        }
+        // Fingerprints key the shared store and the disk tier; a fully
+        // isolated session (no sharing, no persistence) must not pay the
+        // whole-database hash for keys nothing will read.
+        let fingerprints = (self.share_artifacts || self.persist_dir.is_some()).then(|| {
+            (
+                self.db.fingerprint(),
+                self.graph.as_ref().map_or(0, |g| g.fingerprint()),
+            )
+        });
         let shared = if self.share_artifacts {
-            let db_fp = self.db.fingerprint();
-            let graph_fp = self.graph.as_ref().map_or(0, |g| g.fingerprint());
+            let (db_fp, graph_fp) = fingerprints.expect("computed when sharing");
             Some(SharedArtifactStore::global().shard(db_fp, graph_fp))
         } else {
             None
         };
+        let disk = self.persist_dir.as_deref().map(|dir| {
+            let (db_fp, graph_fp) = fingerprints.expect("computed when persisting");
+            Arc::new(crate::persist::DiskTier::new(dir, db_fp, graph_fp))
+        });
         HyperSession {
             inner: Arc::new(SessionInner {
                 db: self.db,
                 graph: self.graph,
                 config: self.config,
                 howto_opts: self.howto_opts,
-                cache: ArtifactCache::new(self.cache_budget, shared),
+                cache: ArtifactCache::new(self.cache_budget, shared, disk),
                 cache_budget: self.cache_budget,
                 share_artifacts: self.share_artifacts,
+                persist_dir: self.persist_dir,
                 runtime: self
                     .runtime
                     .unwrap_or_else(|| HyperRuntime::global().clone()),
@@ -407,6 +469,8 @@ impl HyperSession {
             howto_opts: self.inner.howto_opts.clone(),
             cache_budget: self.inner.cache_budget,
             share_artifacts: self.inner.share_artifacts,
+            persist_dir: self.inner.persist_dir.clone(),
+            shared_budget_bytes: None,
             runtime: Some(self.inner.runtime.clone()),
         }
         .build()
@@ -422,6 +486,8 @@ impl HyperSession {
             howto_opts: opts,
             cache_budget: self.inner.cache_budget,
             share_artifacts: self.inner.share_artifacts,
+            persist_dir: self.inner.persist_dir.clone(),
+            shared_budget_bytes: None,
             runtime: Some(self.inner.runtime.clone()),
         }
         .build()
@@ -460,14 +526,17 @@ impl HyperSession {
             view_hits: c.view_hits.load(Ordering::Relaxed),
             view_misses: c.view_misses.load(Ordering::Relaxed),
             view_shared_hits: c.view_shared_hits.load(Ordering::Relaxed),
+            view_disk_hits: c.view_disk_hits.load(Ordering::Relaxed),
             view_evictions: c.view_evictions.load(Ordering::Relaxed),
             estimator_hits: c.estimator_hits.load(Ordering::Relaxed),
             estimator_misses: c.estimator_misses.load(Ordering::Relaxed),
             estimator_shared_hits: c.estimator_shared_hits.load(Ordering::Relaxed),
+            estimator_disk_hits: c.estimator_disk_hits.load(Ordering::Relaxed),
             estimator_evictions: c.estimator_evictions.load(Ordering::Relaxed),
             block_hits: c.block_hits.load(Ordering::Relaxed),
             block_misses: c.block_misses.load(Ordering::Relaxed),
             block_shared_hits: c.block_shared_hits.load(Ordering::Relaxed),
+            block_disk_hits: c.block_disk_hits.load(Ordering::Relaxed),
             views_cached: self.inner.cache.cached_views(),
             estimators_cached: self.inner.cache.cached_estimators(),
             queries_prepared: self.inner.queries_prepared.load(Ordering::Relaxed),

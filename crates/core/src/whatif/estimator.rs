@@ -134,11 +134,11 @@ pub struct EstimatorSpec<'a> {
 /// of leading encoded dimensions occupied by the update attributes; the
 /// marginal table conditions only on the remaining (backdoor) dimensions
 /// and is the fallback for post-update combinations with zero support.
-struct CellTable {
-    cells: HashMap<Vec<u64>, (f64, u32)>,
-    marginal: HashMap<Vec<u64>, (f64, u32)>,
-    global: f64,
-    skip: usize,
+pub(crate) struct CellTable {
+    pub(crate) cells: HashMap<Vec<u64>, (f64, u32)>,
+    pub(crate) marginal: HashMap<Vec<u64>, (f64, u32)>,
+    pub(crate) global: f64,
+    pub(crate) skip: usize,
 }
 
 impl CellTable {
@@ -190,7 +190,7 @@ impl CellTable {
 }
 
 /// Either regression family, behind one prediction interface.
-enum FittedModel {
+pub(crate) enum FittedModel {
     Forest(RandomForest),
     Linear(LinearModel),
     Cells(CellTable),
@@ -208,26 +208,28 @@ impl FittedModel {
     }
 }
 
-/// A fitted causal estimator for one what-if query.
+/// A fitted causal estimator for one what-if query. Fields are
+/// crate-visible so `crate::persist` can serialize a fitted estimator for
+/// the disk cache tier.
 pub struct CausalEstimator {
-    agg: AggFunc,
-    feature_cols: Vec<usize>,
-    update_cols: Vec<(usize, UpdateFunc)>,
-    encoder: TableEncoder,
+    pub(crate) agg: AggFunc,
+    pub(crate) feature_cols: Vec<usize>,
+    pub(crate) update_cols: Vec<(usize, UpdateFunc)>,
+    pub(crate) encoder: TableEncoder,
     /// Main model: E[target | features] where target is `1{ψ}` (Count),
     /// `Y·1{ψ}` (Sum/Avg numerator).
-    model: FittedModel,
+    pub(crate) model: FittedModel,
     /// Denominator model for Avg when ψ exists: E[1{ψ} | features].
-    denom_model: Option<FittedModel>,
+    pub(crate) denom_model: Option<FittedModel>,
     /// ψ and Y bound expressions for unaffected-row evaluation — shared
     /// with the caller via `Arc` (one estimator per candidate update would
     /// otherwise deep-clone both trees per fit).
-    psi: Option<Arc<BoundHExpr>>,
-    y: Option<Arc<BoundHExpr>>,
+    pub(crate) psi: Option<Arc<BoundHExpr>>,
+    pub(crate) y: Option<Arc<BoundHExpr>>,
     /// Peer summary state: pre-update peer means per row + post-update peer
     /// means per row (computed at fit time over the whole view).
-    peer: Option<(PeerSummary, Vec<f64>, Vec<f64>)>,
-    trained_rows: usize,
+    pub(crate) peer: Option<(PeerSummary, Vec<f64>, Vec<f64>)>,
+    pub(crate) trained_rows: usize,
 }
 
 impl CausalEstimator {
@@ -390,6 +392,31 @@ impl CausalEstimator {
         self.trained_rows
     }
 
+    /// Do this estimator's column references and peer-state dimensions
+    /// fit `view`? Estimators fitted in-process fit by construction;
+    /// this guards estimators deserialized from a persist directory,
+    /// whose indices are untrusted bytes — a mismatch must surface as a
+    /// typed error at the fetch site, never an out-of-bounds panic at
+    /// evaluation time.
+    pub(crate) fn fits_view(&self, view: &RelevantView) -> bool {
+        let ncols = view.table.num_columns();
+        let nrows = view.table.num_rows();
+        let cols_ok = self.feature_cols.iter().all(|&c| c < ncols)
+            && self.update_cols.iter().all(|&(c, _)| c < ncols);
+        let exprs_ok = [&self.psi, &self.y].into_iter().all(|e| {
+            e.as_ref().is_none_or(|b| {
+                b.pre_columns()
+                    .into_iter()
+                    .chain(b.post_columns())
+                    .all(|c| c < ncols)
+            })
+        });
+        let peer_ok = self.peer.as_ref().is_none_or(|(p, pre, post)| {
+            p.update_col < ncols && p.group_col < ncols && pre.len() == nrows && post.len() == nrows
+        });
+        cols_ok && exprs_ok && peer_ok
+    }
+
     /// Evaluate the query value over the view given the update (`when`) and
     /// scope (`for`-pre) masks.
     pub fn evaluate(
@@ -519,6 +546,14 @@ impl CausalEstimator {
             match self.update_cols.iter().find(|(uc, _)| *uc == c) {
                 None => feat_cols.push(src.gather(&affected)),
                 Some((_, func)) => {
+                    // Typed kernel first: the common numeric / in-dictionary
+                    // updates build the post column straight off the typed
+                    // buffers. Falls back to per-row `Value`s when the
+                    // update mixes types or touches NULLs.
+                    if let Some(col) = post_update_column(src, func, &affected, when_mask) {
+                        feat_cols.push(col);
+                        continue;
+                    }
                     let mut post_vals = Vec::with_capacity(affected.len());
                     for &i in &affected {
                         let v = src.value(i);
@@ -550,7 +585,14 @@ impl CausalEstimator {
                 for (k, &c) in self.feature_cols.iter().enumerate() {
                     buf.push(match &post_value_cols[k] {
                         Some(vals) => vals[row].clone(),
-                        None => table.column(c).value(i),
+                        // Update columns the typed kernel handled have no
+                        // materialized values; recompute the post value.
+                        None => match self.update_cols.iter().find(|(uc, _)| *uc == c) {
+                            Some((_, func)) if when_mask[i] => {
+                                apply_update(func, &table.column(c).value(i))?
+                            }
+                            _ => table.column(c).value(i),
+                        },
                     });
                 }
                 m.push_row(&self.encoder.encode_values(&buf)?)
@@ -566,20 +608,26 @@ impl CausalEstimator {
         }
 
         // §3.3 support index: deduplicate feature combinations, then
-        // batch-predict the unique rows once per model.
-        let mut unique: HashMap<Vec<u64>, usize> = HashMap::new();
+        // batch-predict the unique rows once per model. Keys are borrowed
+        // slices into one flat bit-pattern buffer (filled before the map
+        // exists, so the borrows are stable) — no per-row allocation, one
+        // hash per row via the entry API.
+        let width = x.cols();
+        let mut flat: Vec<u64> = Vec::with_capacity(x.rows() * width);
+        for k in 0..x.rows() {
+            flat.extend(x.row(k).iter().map(|f| f.to_bits()));
+        }
+        let mut unique: HashMap<&[u64], usize> = HashMap::new();
         let mut row_slot: Vec<usize> = Vec::with_capacity(affected.len());
         let mut unique_x = Matrix::zeros(0, 0);
         for k in 0..x.rows() {
-            let row = x.row(k);
-            let key: Vec<u64> = row.iter().map(|f| f.to_bits()).collect();
-            let slot = match unique.get(&key) {
-                Some(&s) => s,
-                None => {
-                    unique_x.push_row(row).map_err(EngineError::from)?;
-                    let s = unique_x.rows() - 1;
-                    unique.insert(key, s);
-                    s
+            let next = unique_x.rows();
+            let slot = match unique.entry(&flat[k * width..(k + 1) * width]) {
+                std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(next);
+                    unique_x.push_row(x.row(k)).map_err(EngineError::from)?;
+                    next
                 }
             };
             row_slot.push(slot);
@@ -603,6 +651,75 @@ impl CausalEstimator {
         }
 
         Ok((numerator, denominator))
+    }
+}
+
+/// Typed fast path for assembling a post-update feature column over the
+/// `affected` rows: numeric scale/shift/set and in-dictionary string
+/// sets map the typed buffers directly — no per-row [`Value`]
+/// materialization. Returns `None` (caller falls back to the exact
+/// per-row path) when the source has NULLs, the update would change the
+/// column's type in a way the typed path can't express, or the set
+/// string is not already interned. Where it applies, it produces a
+/// column the feature encoder reads identically to the fallback's
+/// (numeric encodings compare by `f64`, one-hot strings by content).
+fn post_update_column(
+    src: &Column,
+    func: &UpdateFunc,
+    affected: &[usize],
+    when_mask: &[bool],
+) -> Option<Column> {
+    use hyper_storage::NullBitmap;
+    if src.nulls().any_null() {
+        return None;
+    }
+    let all_valid = NullBitmap::all_valid(affected.len());
+    let numeric_map = |f: &dyn Fn(f64) -> f64| -> Option<Column> {
+        matches!(
+            src,
+            Column::Int { .. } | Column::Float { .. } | Column::Bool { .. }
+        )
+        .then(|| Column::Float {
+            values: affected
+                .iter()
+                .map(|&i| {
+                    let x = src.f64_at(i).expect("no NULLs checked above");
+                    if when_mask[i] {
+                        f(x)
+                    } else {
+                        x
+                    }
+                })
+                .collect(),
+            nulls: all_valid.clone(),
+        })
+    };
+    match (func, src) {
+        (UpdateFunc::Scale(c), _) => numeric_map(&|x| x * c),
+        (UpdateFunc::Shift(c), _) => numeric_map(&|x| x + c),
+        (UpdateFunc::Set(Value::Int(v)), Column::Int { values, .. }) => Some(Column::Int {
+            values: affected
+                .iter()
+                .map(|&i| if when_mask[i] { *v } else { values[i] })
+                .collect(),
+            nulls: all_valid,
+        }),
+        (UpdateFunc::Set(val), _) if val.as_f64().is_some() => {
+            let v = val.as_f64().expect("checked");
+            numeric_map(&|_| v)
+        }
+        (UpdateFunc::Set(Value::Str(s)), Column::Str { codes, dict, .. }) => {
+            let code = dict.code_of(s)?;
+            Some(Column::Str {
+                codes: affected
+                    .iter()
+                    .map(|&i| if when_mask[i] { code } else { codes[i] })
+                    .collect(),
+                dict: Arc::clone(dict),
+                nulls: all_valid,
+            })
+        }
+        _ => None,
     }
 }
 

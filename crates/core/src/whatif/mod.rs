@@ -417,9 +417,15 @@ pub(crate) fn evaluate_whatif_on_view(
     let est: Arc<CausalEstimator> = match cache {
         Some(c) => {
             let key = ArtifactCache::estimator_key(view_key, q, &backdoor_cols, config);
-            c.estimator(&key, || {
-                CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)
-            })?
+            // The `fits_view` vet applies to disk-recovered estimators
+            // (untrusted bytes whose indices the context-free decoder
+            // cannot range-check); a failing artifact is a plain miss
+            // and this closure refits.
+            c.estimator(
+                &key,
+                |e| e.fits_view(view),
+                || CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg),
+            )?
         }
         None => Arc::new(CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)?),
     };

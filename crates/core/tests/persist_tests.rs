@@ -1,0 +1,273 @@
+//! Integration tests for the disk-backed artifact tier and the
+//! byte-budgeted shared-store eviction policy.
+//!
+//! Every test uses a dataset `(n, seed)` pair unique within the whole
+//! test suite (the shared store is keyed by content fingerprints) and
+//! its own persist directory under the system temp dir.
+
+mod common;
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use common::confounded_db;
+use hyper_core::{HyperSession, SharedArtifactStore};
+
+const WHATIF: &str = "Use d Update(b) = 1 Output Count(Post(y) = 1)";
+
+/// These tests clear and cap the process-global [`SharedArtifactStore`];
+/// serialize them so the harness's parallel threads cannot interleave
+/// those global effects.
+static GLOBAL_STORE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn store_lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBAL_STORE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A fresh, empty persist directory that cleans itself up.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir = std::env::temp_dir().join(format!("hyper_persist_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &PathBuf {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// The headline: a "restarted process" (shared store cleared, fresh
+/// session over a fresh but content-equal database) answers from disk —
+/// zero estimator trainings, identical value.
+#[test]
+fn warm_start_after_simulated_restart() {
+    let _guard = store_lock();
+    let dir = TempDir::new("warm_start");
+    let (db1, _, graph1) = confounded_db(1601, 41);
+
+    // First life of the process: build + spill.
+    let cold = HyperSession::builder(db1)
+        .graph(graph1)
+        .persist_dir(dir.path())
+        .build();
+    let before = cold.whatif_text(WHATIF).unwrap();
+    let cs = cold.stats();
+    assert_eq!(cs.estimator_misses, 1, "cold run trains");
+    assert_eq!(cs.estimator_disk_hits, 0);
+
+    // Simulated restart: all in-memory state gone, data re-loaded
+    // independently (equal content ⇒ equal fingerprints ⇒ same disk
+    // shard).
+    SharedArtifactStore::global().clear();
+    let (db2, _, graph2) = confounded_db(1601, 41);
+    let warm = HyperSession::builder(db2)
+        .graph(graph2)
+        .persist_dir(dir.path())
+        .build();
+    let after = warm.whatif_text(WHATIF).unwrap();
+    let ws = warm.stats();
+    assert_eq!(ws.estimator_misses, 0, "warm start must not retrain");
+    assert_eq!(ws.view_misses, 0, "…or rebuild the view");
+    assert_eq!(ws.estimator_disk_hits, 1, "the estimator came from disk");
+    assert_eq!(ws.view_disk_hits, 1, "the view came from disk");
+    assert_eq!(
+        before.value, after.value,
+        "a deserialized estimator answers bit-identically"
+    );
+}
+
+/// Isolated sessions (share_artifacts(false)) still get the disk tier.
+#[test]
+fn disk_tier_works_without_the_shared_store() {
+    let _guard = store_lock();
+    let dir = TempDir::new("isolated");
+    let (db, _, graph) = confounded_db(1602, 42);
+    let db = Arc::new(db);
+    let graph = Arc::new(graph);
+
+    let first = HyperSession::builder(Arc::clone(&db))
+        .graph(Arc::clone(&graph))
+        .share_artifacts(false)
+        .persist_dir(dir.path())
+        .build();
+    let a = first.whatif_text(WHATIF).unwrap();
+    assert_eq!(first.stats().estimator_misses, 1);
+
+    let second = HyperSession::builder(db)
+        .graph(graph)
+        .share_artifacts(false)
+        .persist_dir(dir.path())
+        .build();
+    let b = second.whatif_text(WHATIF).unwrap();
+    let st = second.stats();
+    assert_eq!(st.estimator_misses, 0);
+    assert_eq!(st.estimator_disk_hits, 1);
+    assert_eq!(a.value, b.value);
+}
+
+/// A persist dir written by *different* data is never trusted: the shard
+/// directory is fingerprint-addressed, so the session simply rebuilds.
+#[test]
+fn stale_persist_dir_is_ignored() {
+    let _guard = store_lock();
+    let dir = TempDir::new("stale");
+    let (db_a, _, graph_a) = confounded_db(1603, 43);
+    let warmup = HyperSession::builder(db_a)
+        .graph(graph_a)
+        .persist_dir(dir.path())
+        .build();
+    warmup.whatif_text(WHATIF).unwrap();
+
+    // Different data (another seed) against the same directory.
+    let (db_b, _, graph_b) = confounded_db(1604, 44);
+    let other = HyperSession::builder(db_b)
+        .graph(graph_b)
+        .persist_dir(dir.path())
+        .build();
+    other.whatif_text(WHATIF).unwrap();
+    let st = other.stats();
+    assert_eq!(st.estimator_disk_hits, 0, "foreign artifacts never load");
+    assert_eq!(st.estimator_misses, 1, "…so the session retrains");
+}
+
+/// Corrupt artifact files (truncated or bit-flipped) are typed-error
+/// misses: the query still answers correctly and the bad file is
+/// overwritten by the rebuilt artifact.
+#[test]
+fn corrupt_artifact_files_fall_back_to_rebuild() {
+    let _guard = store_lock();
+    let dir = TempDir::new("corrupt");
+    let (db, _, graph) = confounded_db(1605, 45);
+    let db = Arc::new(db);
+    let graph = Arc::new(graph);
+
+    let cold = HyperSession::builder(Arc::clone(&db))
+        .graph(Arc::clone(&graph))
+        .persist_dir(dir.path())
+        .build();
+    let expected = cold.whatif_text(WHATIF).unwrap();
+
+    // Damage every artifact file: truncate estimators, flip a byte in
+    // the rest.
+    let mut damaged = 0;
+    for entry in walk(dir.path()) {
+        let bytes = std::fs::read(&entry).unwrap();
+        if entry.to_string_lossy().contains("estimators") {
+            std::fs::write(&entry, &bytes[..bytes.len() / 2]).unwrap();
+        } else {
+            let mut bytes = bytes;
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x20;
+            std::fs::write(&entry, bytes).unwrap();
+        }
+        damaged += 1;
+    }
+    assert!(damaged >= 2, "expected spilled view + estimator files");
+
+    SharedArtifactStore::global().clear();
+    let warm = HyperSession::builder(db)
+        .graph(graph)
+        .persist_dir(dir.path())
+        .build();
+    let got = warm.whatif_text(WHATIF).unwrap();
+    let st = warm.stats();
+    assert_eq!(st.estimator_disk_hits, 0, "corrupt files never load");
+    assert_eq!(st.estimator_misses, 1, "…the estimator is retrained");
+    assert_eq!(got.value, expected.value);
+
+    // The rebuild overwrote the damaged files: a third restart warm-starts.
+    SharedArtifactStore::global().clear();
+    let (db3, _, graph3) = confounded_db(1605, 45);
+    let third = HyperSession::builder(db3)
+        .graph(graph3)
+        .persist_dir(dir.path())
+        .build();
+    third.whatif_text(WHATIF).unwrap();
+    assert_eq!(third.stats().estimator_disk_hits, 1);
+}
+
+/// The byte budget evicts LRU shared-store entries, and — with
+/// persistence on — evicted artifacts re-serve from disk instead of
+/// retraining.
+#[test]
+fn byte_budget_evicts_to_disk() {
+    let _guard = store_lock();
+    let dir = TempDir::new("budget");
+    let (db, _, graph) = confounded_db(1606, 46);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .persist_dir(dir.path())
+        .build();
+    // Distinct update constants → distinct estimator cache entries (the
+    // update set is part of the key).
+    let query = |c: i64| format!("Use d Update(b) = {c} Output Count(Post(y) = 1)");
+
+    let store = SharedArtifactStore::global();
+    session.whatif_text(&query(0)).unwrap();
+    // Cap the store just above its current footprint: every further
+    // estimator insert must now force LRU evictions.
+    let evictions_before = store.stats().evictions;
+    store.set_budget_bytes(store.stats().approx_bytes + 128);
+
+    for c in 1..6 {
+        session.whatif_text(&query(c)).unwrap();
+    }
+    let stats = store.stats();
+    assert!(
+        stats.evictions > evictions_before,
+        "budget must force evictions (held {} bytes, budget {})",
+        stats.approx_bytes,
+        stats.budget_bytes
+    );
+    assert!(
+        stats.approx_bytes <= stats.budget_bytes
+            || stats.views + stats.estimators + stats.blocks <= 1,
+        "store stays at its watermark"
+    );
+
+    // Restore the unbounded default for the rest of the suite.
+    store.set_budget_bytes(0);
+
+    // Evicted artifacts re-serve from disk: a fresh session (empty local
+    // tier) replays the sweep with zero retraining.
+    let (db2, _, graph2) = confounded_db(1606, 46);
+    let replay = HyperSession::builder(db2)
+        .graph(graph2)
+        .persist_dir(dir.path())
+        .build();
+    for c in 0..6 {
+        replay.whatif_text(&query(c)).unwrap();
+    }
+    let st = replay.stats();
+    assert_eq!(st.estimator_misses, 0, "nothing retrains after eviction");
+    assert!(
+        st.estimator_disk_hits + st.estimator_shared_hits >= 6,
+        "evicted estimators re-serve from disk (or survived in the store)"
+    );
+}
+
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            out.extend(walk(&p));
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}

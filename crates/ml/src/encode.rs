@@ -11,13 +11,22 @@ use hyper_storage::{Column, DataType, Table, Value};
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
 
-#[derive(Debug, Clone)]
-enum ColumnEncoding {
+/// How one input column maps to feature dimensions. Public so fitted
+/// encoders can be serialized ([`TableEncoder::parts`] /
+/// [`TableEncoder::from_parts`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnEncoding {
     /// Pass the numeric value through (NULL → column mean seen at fit).
-    Numeric { mean: f64 },
+    Numeric {
+        /// Mean observed at fit time, imputed for NULLs.
+        mean: f64,
+    },
     /// One-hot over observed categories; unseen categories encode to all
     /// zeros.
-    OneHot { categories: Vec<Value> },
+    OneHot {
+        /// Fitted categories, one feature dimension each (sorted).
+        categories: Vec<Value>,
+    },
 }
 
 /// Fitted table→matrix encoder.
@@ -114,6 +123,53 @@ impl TableEncoder {
     /// The input column names.
     pub fn columns(&self) -> &[String] {
         &self.columns
+    }
+
+    /// The fitted state — input column names and their per-column
+    /// encodings — exposed for serialization.
+    pub fn parts(&self) -> (&[String], &[ColumnEncoding]) {
+        (&self.columns, &self.encodings)
+    }
+
+    /// Reassemble a fitted encoder from its [`TableEncoder::parts`]. The
+    /// derived output width is recomputed; column and encoding counts
+    /// must agree.
+    pub fn from_parts(
+        columns: Vec<String>,
+        encodings: Vec<ColumnEncoding>,
+    ) -> Result<TableEncoder> {
+        if columns.len() != encodings.len() {
+            return Err(MlError::InvalidInput(format!(
+                "{} column name(s) but {} encoding(s)",
+                columns.len(),
+                encodings.len()
+            )));
+        }
+        let width = encodings
+            .iter()
+            .map(|e| match e {
+                ColumnEncoding::Numeric { .. } => 1,
+                ColumnEncoding::OneHot { categories } => categories.len(),
+            })
+            .sum();
+        Ok(TableEncoder {
+            columns,
+            encodings,
+            width,
+        })
+    }
+
+    /// Approximate memory footprint in bytes (category values dominate).
+    pub fn approx_bytes(&self) -> usize {
+        let cats: usize = self
+            .encodings
+            .iter()
+            .map(|e| match e {
+                ColumnEncoding::Numeric { .. } => 8,
+                ColumnEncoding::OneHot { categories } => categories.len() * 32,
+            })
+            .sum();
+        cats + self.columns.iter().map(|c| c.len() + 24).sum::<usize>()
     }
 
     /// Encode one logical row given as values aligned with `columns()`.

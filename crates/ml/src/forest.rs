@@ -182,6 +182,35 @@ impl RandomForest {
     pub fn num_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted trees, exposed for serialization.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// Reassemble a forest from fitted trees (the inverse of
+    /// [`RandomForest::trees`]). All trees must expect the same feature
+    /// width; predictions of the reassembled forest are bit-identical to
+    /// the original's (the mean is summed in tree order).
+    pub fn from_trees(trees: Vec<RegressionTree>) -> Result<RandomForest> {
+        let Some(first) = trees.first() else {
+            return Err(MlError::InvalidInput("forest has no trees".into()));
+        };
+        let width = first.n_features();
+        if trees.iter().any(|t| t.n_features() != width) {
+            return Err(MlError::InvalidInput(
+                "forest trees disagree on feature width".into(),
+            ));
+        }
+        Ok(RandomForest { trees })
+    }
+
+    /// Approximate memory footprint in bytes (arena nodes), for the
+    /// byte-budgeted shared-artifact eviction policy.
+    pub fn approx_bytes(&self) -> usize {
+        const NODE_BYTES: usize = 40; // enum tag + 4 words, rounded up
+        self.trees.iter().map(|t| t.num_nodes() * NODE_BYTES).sum()
+    }
 }
 
 #[cfg(test)]

@@ -31,10 +31,10 @@ pub mod metrics;
 pub mod tree;
 
 pub use discretize::{BinStrategy, Discretizer};
-pub use encode::TableEncoder;
+pub use encode::{ColumnEncoding, TableEncoder};
 pub use error::{MlError, Result};
 pub use forest::{ForestParams, RandomForest};
 pub use hist::{BinnedMatrix, MAX_BINS};
 pub use linear::LinearModel;
 pub use matrix::Matrix;
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{RegressionTree, TreeNode, TreeParams};

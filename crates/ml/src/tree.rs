@@ -47,6 +47,31 @@ enum Node {
     },
 }
 
+/// A flattened tree node, exposed for serialization
+/// ([`RegressionTree::export_nodes`] / [`RegressionTree::from_nodes`]).
+/// Node 0 is the root; children always carry larger indices than their
+/// parent (the arena reserves the parent slot before recursing), which is
+/// what makes an imported arena trivially acyclic to validate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TreeNode {
+    /// Terminal node carrying the predicted value.
+    Leaf {
+        /// Mean target of the training rows that reached this leaf.
+        value: f64,
+    },
+    /// Internal split: rows with `row[feature] <= threshold` go left.
+    Split {
+        /// Feature index examined.
+        feature: u32,
+        /// Split threshold (`<=` goes left).
+        threshold: f64,
+        /// Arena index of the left child.
+        left: u32,
+        /// Arena index of the right child.
+        right: u32,
+    },
+}
+
 /// A fitted regression tree (arena-allocated nodes).
 #[derive(Debug, Clone)]
 pub struct RegressionTree {
@@ -650,6 +675,78 @@ impl RegressionTree {
     /// Number of nodes in the tree.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Flatten the fitted arena for serialization. The exact `f64` bit
+    /// patterns of thresholds and leaf values are preserved, so a tree
+    /// rebuilt with [`RegressionTree::from_nodes`] predicts bit-identically.
+    pub fn export_nodes(&self) -> Vec<TreeNode> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { value } => TreeNode::Leaf { value: *value },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => TreeNode::Split {
+                    feature: *feature as u32,
+                    threshold: *threshold,
+                    left: *left as u32,
+                    right: *right as u32,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from a flattened arena (the inverse of
+    /// [`RegressionTree::export_nodes`]). Validates the structural
+    /// invariants — non-empty, every split's feature within
+    /// `n_features`, and every child index in range **and greater than
+    /// its parent's** (which guarantees the walk from the root
+    /// terminates) — so untrusted input can produce an error but never a
+    /// panic or an infinite prediction loop.
+    pub fn from_nodes(nodes: Vec<TreeNode>, n_features: usize) -> Result<RegressionTree> {
+        if nodes.is_empty() {
+            return Err(MlError::InvalidInput("tree has no nodes".into()));
+        }
+        let len = nodes.len();
+        let mut arena = Vec::with_capacity(len);
+        for (i, n) in nodes.into_iter().enumerate() {
+            arena.push(match n {
+                TreeNode::Leaf { value } => Node::Leaf { value },
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let (f, l, r) = (feature as usize, left as usize, right as usize);
+                    if f >= n_features {
+                        return Err(MlError::InvalidInput(format!(
+                            "node {i} splits on feature {f} but the tree has {n_features}"
+                        )));
+                    }
+                    if l <= i || r <= i || l >= len || r >= len {
+                        return Err(MlError::InvalidInput(format!(
+                            "node {i} has out-of-order child indices ({l}, {r}) in a \
+                             {len}-node arena"
+                        )));
+                    }
+                    Node::Split {
+                        feature: f,
+                        threshold,
+                        left: l,
+                        right: r,
+                    }
+                }
+            });
+        }
+        Ok(RegressionTree {
+            nodes: arena,
+            n_features,
+        })
     }
 
     /// Expected feature-vector width.

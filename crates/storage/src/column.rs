@@ -122,6 +122,42 @@ impl NullBitmap {
         let needed = (self.len + additional).div_ceil(64);
         self.words.reserve(needed.saturating_sub(self.words.len()));
     }
+
+    /// The packed words backing the bitmap (bit `i` of word `i / 64` is
+    /// row `i`'s NULL flag). Exposed for serialization.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a bitmap of `len` rows from its packed words (the inverse
+    /// of [`NullBitmap::words`]). The word count must be exactly
+    /// `len.div_ceil(64)` and bits at positions ≥ `len` must be zero —
+    /// both are validated so untrusted bytes cannot produce a bitmap
+    /// whose `null_count` disagrees with its reads.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Result<NullBitmap> {
+        if words.len() != len.div_ceil(64) {
+            return Err(StorageError::SchemaMismatch(format!(
+                "null bitmap for {len} rows needs {} word(s), got {}",
+                len.div_ceil(64),
+                words.len()
+            )));
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return Err(StorageError::SchemaMismatch(
+                        "null bitmap has bits set past its length".into(),
+                    ));
+                }
+            }
+        }
+        let set_bits = words.iter().map(|w| w.count_ones() as usize).sum();
+        Ok(NullBitmap {
+            words,
+            len,
+            set_bits,
+        })
+    }
 }
 
 /// An append-only string dictionary: `code → Arc<str>` with reverse
@@ -168,6 +204,17 @@ impl StrDict {
     /// All interned strings, in code order.
     pub fn strings(&self) -> &[Arc<str>] {
         &self.strings
+    }
+
+    /// Approximate heap footprint in bytes (strings + interning index).
+    pub fn approx_bytes(&self) -> usize {
+        self.strings
+            .iter()
+            // Each string is held twice (vec + index key) via `Arc`, so
+            // count the payload once plus two pointer-sized handles.
+            .map(|s| s.len() + 2 * std::mem::size_of::<Arc<str>>())
+            .sum::<usize>()
+            + self.index.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -544,6 +591,22 @@ impl Column {
             Column::Str { codes, dict, nulls } => Some((codes, dict, nulls)),
             _ => None,
         }
+    }
+
+    /// Approximate memory footprint in bytes: the typed payload buffer
+    /// plus the null bitmap. A `Str` column counts its codes and — because
+    /// dictionaries are shared across gathered/projected copies — an
+    /// *amortized* share of its dictionary. Used for the byte-budgeted
+    /// artifact-store eviction policy; approximate by design.
+    pub fn approx_bytes(&self) -> usize {
+        let bitmap = self.nulls().words().len() * 8;
+        bitmap
+            + match self {
+                Column::Int { values, .. } => values.len() * 8,
+                Column::Float { values, .. } => values.len() * 8,
+                Column::Bool { values, .. } => values.len(),
+                Column::Str { codes, dict, .. } => codes.len() * 4 + dict.approx_bytes(),
+            }
     }
 
     /// Compare rows `i` and `j` with the same total order as

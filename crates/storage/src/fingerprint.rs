@@ -17,9 +17,18 @@ use crate::column::Column;
 use crate::table::Table;
 use crate::value::canonical_f64_bits;
 
-/// Streaming FNV-1a over 64-bit words and byte strings. Stable across
-/// runs and platforms (unlike `DefaultHasher`, which is seeded per
-/// process) so fingerprints can be logged and compared externally.
+/// Streaming FNV-1a over 64-bit words and byte strings, with a
+/// SplitMix64 finalizer. Stable across runs and platforms (unlike
+/// `DefaultHasher`, which is seeded per process) so fingerprints can be
+/// logged and compared externally.
+///
+/// Words are mixed **one multiply per 64-bit word** (not per byte):
+/// fingerprinting sits on the session-construction and snapshot-load hot
+/// paths, where a whole database is hashed cell by cell, and the
+/// word-at-a-time variant is ~8× faster at the same 64-bit collision
+/// budget. FNV's weak low→high diffusion is compensated by the
+/// [`Fingerprint::finish`] finalizer, which avalanches the accumulated
+/// state across the whole output word.
 #[derive(Debug, Clone)]
 pub struct Fingerprint(u64);
 
@@ -44,18 +53,21 @@ impl Fingerprint {
         self.0 = (self.0 ^ b as u64).wrapping_mul(FNV_PRIME);
     }
 
-    /// Mix a 64-bit word (little-endian byte order).
+    /// Mix a 64-bit word in one step.
     #[inline]
     pub fn write_u64(&mut self, w: u64) {
-        for b in w.to_le_bytes() {
-            self.write_u8(b);
-        }
+        self.0 = (self.0 ^ w).wrapping_mul(FNV_PRIME);
     }
 
-    /// Mix a byte string, length-prefixed so concatenations can't collide.
+    /// Mix a byte string, length-prefixed so concatenations can't
+    /// collide; the body is consumed eight bytes at a time.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         self.write_u64(bytes.len() as u64);
-        for &b in bytes {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        for &b in chunks.remainder() {
             self.write_u8(b);
         }
     }
@@ -65,40 +77,67 @@ impl Fingerprint {
         self.write_bytes(s.as_bytes());
     }
 
-    /// The digest.
+    /// The digest (SplitMix64-finalized so every input bit avalanches
+    /// across the whole output word).
     pub fn finish(&self) -> u64 {
-        self.0
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
-/// Hash one column's content: a type tag, then per row either a NULL
-/// marker or the canonical payload.
-pub(crate) fn hash_column(col: &Column, h: &mut Fingerprint) {
+/// Hash one column's content: a type tag and the null count, then — for
+/// the common all-valid column — the bare payloads, or per row a NULL
+/// marker byte ahead of each payload. The dispatch is on *content*
+/// (`any_null`), so equal-content columns hash equal whichever way they
+/// were built, while all-valid columns skip 1 byte-mix per cell — this
+/// sits on the session-construction and snapshot-validation hot paths.
+pub(crate) fn hash_column(
+    col: &Column,
+    h: &mut Fingerprint,
+    dict_memos: &mut std::collections::HashMap<usize, std::rc::Rc<Vec<u64>>>,
+) {
     h.write_u64(col.len() as u64);
+    let nulls = col.nulls();
+    h.write_u64(nulls.null_count() as u64);
+    let dense = !nulls.any_null();
     match col {
-        Column::Int { values, nulls } => {
+        Column::Int { values, .. } => {
             h.write_u8(b'i');
-            for (i, &v) in values.iter().enumerate() {
-                if nulls.is_null(i) {
-                    h.write_u8(0);
-                } else {
-                    h.write_u8(1);
+            if dense {
+                for &v in values {
                     h.write_u64(v as u64);
                 }
-            }
-        }
-        Column::Float { values, nulls } => {
-            h.write_u8(b'f');
-            for (i, &v) in values.iter().enumerate() {
-                if nulls.is_null(i) {
-                    h.write_u8(0);
-                } else {
-                    h.write_u8(1);
-                    h.write_u64(canonical_f64_bits(v));
+            } else {
+                for (i, &v) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        h.write_u8(0);
+                    } else {
+                        h.write_u8(1);
+                        h.write_u64(v as u64);
+                    }
                 }
             }
         }
-        Column::Bool { values, nulls } => {
+        Column::Float { values, .. } => {
+            h.write_u8(b'f');
+            if dense {
+                for &v in values {
+                    h.write_u64(canonical_f64_bits(v));
+                }
+            } else {
+                for (i, &v) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        h.write_u8(0);
+                    } else {
+                        h.write_u8(1);
+                        h.write_u64(canonical_f64_bits(v));
+                    }
+                }
+            }
+        }
+        Column::Bool { values, .. } => {
             h.write_u8(b'b');
             for (i, &v) in values.iter().enumerate() {
                 if nulls.is_null(i) {
@@ -108,17 +147,45 @@ pub(crate) fn hash_column(col: &Column, h: &mut Fingerprint) {
                 }
             }
         }
-        Column::Str { codes, dict, nulls } => {
+        Column::Str { codes, dict, .. } => {
             h.write_u8(b's');
             // Hash characters, not codes: dictionaries are append-ordered
             // by construction history, which must not leak into the
-            // fingerprint.
-            for (i, &c) in codes.iter().enumerate() {
-                if nulls.is_null(i) {
-                    h.write_u8(0);
-                } else {
-                    h.write_u8(1);
-                    h.write_str(dict.get(c));
+            // fingerprint. Each distinct string is hashed once
+            // (content-only sub-digest) and cells mix the memoized word,
+            // so a 10k-row column over a handful of categories costs one
+            // multiply per cell, not one per character. The memo is
+            // shared across a table's columns by `Arc` identity, so a
+            // dictionary shared by k columns is digested once, not k
+            // times.
+            let memo = std::rc::Rc::clone(
+                dict_memos
+                    .entry(std::sync::Arc::as_ptr(dict) as usize)
+                    .or_insert_with(|| {
+                        std::rc::Rc::new(
+                            dict.strings()
+                                .iter()
+                                .map(|s| {
+                                    let mut sh = Fingerprint::new();
+                                    sh.write_str(s);
+                                    sh.finish()
+                                })
+                                .collect(),
+                        )
+                    }),
+            );
+            if dense {
+                for &c in codes {
+                    h.write_u64(memo[c as usize]);
+                }
+            } else {
+                for (i, &c) in codes.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        h.write_u8(0);
+                    } else {
+                        h.write_u8(1);
+                        h.write_u64(memo[c as usize]);
+                    }
                 }
             }
         }
@@ -140,8 +207,11 @@ pub(crate) fn hash_table(table: &Table, h: &mut Fingerprint) {
     for &k in table.primary_key() {
         h.write_u64(k as u64);
     }
+    // One dictionary-digest memo for the whole table (dictionaries are
+    // commonly shared across projected/gathered columns).
+    let mut dict_memos = std::collections::HashMap::new();
     for c in 0..table.num_columns() {
-        hash_column(table.column(c), h);
+        hash_column(table.column(c), h, &mut dict_memos);
     }
 }
 

@@ -401,6 +401,13 @@ impl Table {
         h.finish()
     }
 
+    /// Approximate memory footprint in bytes (typed column buffers, null
+    /// bitmaps, amortized dictionary shares). Used by the byte-budgeted
+    /// shared-artifact eviction policy.
+    pub fn approx_bytes(&self) -> usize {
+        self.columns.iter().map(Column::approx_bytes).sum()
+    }
+
     /// Verify the declared primary key is unique; returns the offending key
     /// rendering on failure. Hashes typed key parts straight off the
     /// column buffers — no per-row `Value` materialization.

@@ -1,0 +1,173 @@
+//! Disk-tier artifact files: one cached artifact (relevant view, fitted
+//! estimator, or block decomposition) per `HYPR1` file.
+//!
+//! The file carries an `AMET` metadata section — artifact kind, the full
+//! cache key, and the `(database, graph)` shard fingerprints — ahead of
+//! the `APAY` payload. Readers state what they expect and
+//! [`read_artifact`] verifies all of it before returning payload bytes:
+//! file names are derived from a *hash* of the cache key, so the full key
+//! stored inside the file is what rules out hash collisions, and the
+//! shard fingerprints rule out a stale persist directory re-used against
+//! different data. Any mismatch is a typed error the cache treats as a
+//! miss — never a wrong artifact.
+
+use std::path::Path;
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::container::{
+    Container, ContainerWriter, SECTION_ARTIFACT_META, SECTION_ARTIFACT_PAYLOAD,
+};
+use crate::error::{Result, StoreError};
+
+/// What kind of artifact a disk file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A materialized relevant view.
+    View,
+    /// A fitted causal estimator.
+    Estimator,
+    /// A Prop.-1 block decomposition.
+    Blocks,
+}
+
+impl ArtifactKind {
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::View => 0,
+            ArtifactKind::Estimator => 1,
+            ArtifactKind::Blocks => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<ArtifactKind> {
+        Ok(match tag {
+            0 => ArtifactKind::View,
+            1 => ArtifactKind::Estimator,
+            2 => ArtifactKind::Blocks,
+            t => {
+                return Err(StoreError::Corrupt(format!(
+                    "invalid artifact-kind tag {t}"
+                )))
+            }
+        })
+    }
+
+    /// Directory name the disk tier files this kind under.
+    pub fn dir_name(self) -> &'static str {
+        match self {
+            ArtifactKind::View => "views",
+            ArtifactKind::Estimator => "estimators",
+            ArtifactKind::Blocks => "blocks",
+        }
+    }
+}
+
+/// Identity of a disk-tier artifact: its kind, full cache key, and the
+/// `(database, graph)` fingerprints of the shard it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactMeta {
+    /// Artifact kind.
+    pub kind: ArtifactKind,
+    /// The full cache key (not the filename hash).
+    pub key: String,
+    /// Content fingerprint of the database.
+    pub db_fingerprint: u64,
+    /// Content fingerprint of the causal graph (0 when none).
+    pub graph_fingerprint: u64,
+}
+
+/// Write an artifact file atomically.
+pub fn write_artifact(path: &Path, meta: &ArtifactMeta, payload: Vec<u8>) -> Result<()> {
+    let mut m = ByteWriter::new();
+    m.write_u8(meta.kind.tag());
+    m.write_str(&meta.key);
+    m.write_u64(meta.db_fingerprint);
+    m.write_u64(meta.graph_fingerprint);
+    let mut c = ContainerWriter::new();
+    c.add_section(SECTION_ARTIFACT_META, m.into_bytes());
+    c.add_section(SECTION_ARTIFACT_PAYLOAD, payload);
+    c.write_to(path)
+}
+
+/// Read an artifact file, verifying checksums and that the stored
+/// identity equals `expected` exactly; returns the payload bytes.
+pub fn read_artifact(path: &Path, expected: &ArtifactMeta) -> Result<Vec<u8>> {
+    let c = Container::read_from(path)?;
+    let mut r = ByteReader::new(c.section(SECTION_ARTIFACT_META)?);
+    let kind = ArtifactKind::from_tag(r.read_u8("artifact kind")?)?;
+    let key = r.read_string("artifact key")?;
+    let db_fp = r.read_u64("artifact database fingerprint")?;
+    let graph_fp = r.read_u64("artifact graph fingerprint")?;
+    r.expect_end("artifact metadata")?;
+    if kind != expected.kind || key != expected.key {
+        return Err(StoreError::Corrupt(format!(
+            "artifact file holds a different {:?} entry (key hash collision or misfiled entry)",
+            kind
+        )));
+    }
+    if db_fp != expected.db_fingerprint {
+        return Err(StoreError::FingerprintMismatch {
+            expected: expected.db_fingerprint,
+            found: db_fp,
+            what: "artifact database".into(),
+        });
+    }
+    if graph_fp != expected.graph_fingerprint {
+        return Err(StoreError::FingerprintMismatch {
+            expected: expected.graph_fingerprint,
+            found: graph_fp,
+            what: "artifact graph".into(),
+        });
+    }
+    Ok(c.section(SECTION_ARTIFACT_PAYLOAD)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> ArtifactMeta {
+        ArtifactMeta {
+            kind: ArtifactKind::Estimator,
+            key: "view\u{1f}Update(x)=1".into(),
+            db_fingerprint: 0xdead_beef,
+            graph_fingerprint: 0x1234,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_identity_checks() {
+        let dir = std::env::temp_dir().join(format!("hyper_artifact_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e.hypr");
+        write_artifact(&path, &meta(), vec![1, 2, 3]).unwrap();
+        assert_eq!(read_artifact(&path, &meta()).unwrap(), vec![1, 2, 3]);
+
+        // Wrong key (hash collision scenario).
+        let mut other = meta();
+        other.key = "different".into();
+        assert!(matches!(
+            read_artifact(&path, &other).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+
+        // Stale persist dir against different data.
+        let mut other = meta();
+        other.db_fingerprint = 1;
+        assert!(matches!(
+            read_artifact(&path, &other).unwrap_err(),
+            StoreError::FingerprintMismatch { .. }
+        ));
+
+        // Flipped payload byte → container checksum failure.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            read_artifact(&path, &meta()).unwrap_err(),
+            StoreError::Corrupt(_)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,208 @@
+//! Whole-scenario snapshots: a database plus its causal graph in one
+//! `HYPR1` file.
+//!
+//! A [`Snapshot`] is what the `hyper-snapshot` CLI saves, inspects, and
+//! loads, and what `examples/warm_start.rs` restarts from: the full typed
+//! contents of every table (shared dictionaries written once), the
+//! schema-level causal graph, and the content fingerprints of both.
+//! Loading re-validates everything — container checksums, structural
+//! invariants, and recomputed-vs-recorded fingerprints — so a loaded
+//! scenario lands in exactly the artifact-store shard its data belongs
+//! to, which is what makes disk-cached estimators safe to reuse.
+
+use std::path::Path;
+
+use hyper_causal::CausalGraph;
+use hyper_storage::Database;
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::container::{
+    tag_str, Container, ContainerWriter, SECTION_DB, SECTION_GRAPH, SECTION_META,
+};
+use crate::error::Result;
+use crate::{causalcodec, tablecodec};
+
+/// A saved scenario: database + optional causal graph.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The relational data.
+    pub database: Database,
+    /// The schema-level causal model, when the scenario has one.
+    pub graph: Option<CausalGraph>,
+}
+
+/// Summary of a snapshot file, cheap to produce (decodes only the
+/// metadata section after the container checksums pass).
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo {
+    /// Total file size in bytes.
+    pub file_bytes: usize,
+    /// `(section tag, payload bytes)` in file order.
+    pub sections: Vec<(String, usize)>,
+    /// Recorded database content fingerprint.
+    pub database_fingerprint: u64,
+    /// Recorded graph fingerprint (0 when the snapshot has no graph).
+    pub graph_fingerprint: u64,
+    /// `(table name, rows, columns)` per table.
+    pub tables: Vec<(String, usize, usize)>,
+}
+
+impl Snapshot {
+    /// Snapshot a database and optional graph.
+    pub fn new(database: Database, graph: Option<CausalGraph>) -> Snapshot {
+        Snapshot { database, graph }
+    }
+
+    /// Serialize to `HYPR1` bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = ByteWriter::new();
+        meta.write_u64(self.database.fingerprint());
+        meta.write_u64(self.graph.as_ref().map_or(0, CausalGraph::fingerprint));
+        meta.write_u64(self.database.tables().len() as u64);
+        for t in self.database.tables() {
+            meta.write_str(t.name());
+            meta.write_u64(t.num_rows() as u64);
+            meta.write_u64(t.num_columns() as u64);
+        }
+
+        let mut db = ByteWriter::new();
+        tablecodec::encode_database(&mut db, &self.database);
+
+        let mut c = ContainerWriter::new();
+        c.add_section(SECTION_META, meta.into_bytes());
+        c.add_section(SECTION_DB, db.into_bytes());
+        if let Some(g) = &self.graph {
+            let mut gw = ByteWriter::new();
+            causalcodec::encode_graph(&mut gw, g);
+            c.add_section(SECTION_GRAPH, gw.into_bytes());
+        }
+        c.finish()
+    }
+
+    /// Deserialize from `HYPR1` bytes, validating checksums, structure,
+    /// and fingerprints.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Snapshot> {
+        let c = Container::from_bytes(bytes)?;
+        let mut r = ByteReader::new(c.section(SECTION_DB)?);
+        let database = tablecodec::decode_database(&mut r)?;
+        r.expect_end("database section")?;
+        let graph = match c.section_opt(SECTION_GRAPH) {
+            Some(bytes) => {
+                let mut r = ByteReader::new(bytes);
+                let g = causalcodec::decode_graph(&mut r)?;
+                r.expect_end("graph section")?;
+                Some(g)
+            }
+            None => None,
+        };
+        Ok(Snapshot { database, graph })
+    }
+
+    /// Save to a file (written atomically via a temporary sibling).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        crate::container::write_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Load and fully validate a snapshot file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Snapshot> {
+        Snapshot::from_bytes(std::fs::read(path.as_ref())?)
+    }
+
+    /// Summarize a snapshot file without decoding its data sections.
+    pub fn inspect(path: impl AsRef<Path>) -> Result<SnapshotInfo> {
+        let c = Container::read_from(path.as_ref())?;
+        let sections = c
+            .sections()
+            .map(|(tag, len)| (tag_str(&tag), len))
+            .collect();
+        let mut r = ByteReader::new(c.section(SECTION_META)?);
+        let database_fingerprint = r.read_u64("database fingerprint")?;
+        let graph_fingerprint = r.read_u64("graph fingerprint")?;
+        let n = r.read_len(24, "table count")?;
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.read_string("table name")?;
+            let rows = r.read_u64("row count")? as usize;
+            let cols = r.read_u64("column count")? as usize;
+            tables.push((name, rows, cols));
+        }
+        Ok(SnapshotInfo {
+            file_bytes: c.file_len(),
+            sections,
+            database_fingerprint,
+            graph_fingerprint,
+            tables,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_causal::amazon_example_graph;
+    use hyper_storage::{DataType, Field, Schema, TableBuilder};
+
+    fn scenario() -> Snapshot {
+        let mut db = Database::new();
+        let t = TableBuilder::with_key(
+            "product",
+            Schema::new(vec![
+                Field::new("pid", DataType::Int),
+                Field::new("category", DataType::Str),
+                Field::new("price", DataType::Float),
+            ])
+            .unwrap(),
+            &["pid"],
+        )
+        .unwrap()
+        .rows([
+            vec![1.into(), "Laptop".into(), 999.0.into()],
+            vec![2.into(), "Camera".into(), 120.0.into()],
+        ])
+        .unwrap()
+        .build();
+        db.add_table(t).unwrap();
+        Snapshot::new(db, Some(amazon_example_graph()))
+    }
+
+    #[test]
+    fn bytes_round_trip_fingerprint_identical() {
+        let s = scenario();
+        let back = Snapshot::from_bytes(s.to_bytes()).unwrap();
+        assert_eq!(
+            back.database.fingerprint(),
+            s.database.fingerprint(),
+            "reloaded database must be fingerprint-identical"
+        );
+        assert_eq!(
+            back.graph.as_ref().unwrap().fingerprint(),
+            s.graph.as_ref().unwrap().fingerprint()
+        );
+    }
+
+    #[test]
+    fn file_round_trip_and_inspect() {
+        let dir = std::env::temp_dir().join(format!("hyper_store_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scenario.hypr");
+        let s = scenario();
+        s.save(&path).unwrap();
+
+        let info = Snapshot::inspect(&path).unwrap();
+        assert_eq!(info.database_fingerprint, s.database.fingerprint());
+        assert_eq!(info.tables, vec![("product".to_string(), 2, 3)]);
+        assert!(info.sections.iter().any(|(t, _)| t == "GRPH"));
+
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.database.fingerprint(), s.database.fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn graphless_snapshot_loads_without_graph() {
+        let mut s = scenario();
+        s.graph = None;
+        let back = Snapshot::from_bytes(s.to_bytes()).unwrap();
+        assert!(back.graph.is_none());
+    }
+}

@@ -1,0 +1,196 @@
+//! Property tests for the `HYPR1` codecs.
+//!
+//! The contract under test: `decode(encode(x)) == x` for tables over
+//! random typed columns — every column type, NULL patterns included,
+//! dictionaries shared across gathered copies — and bit-identical
+//! predictions from a round-tripped [`RandomForest`]. Plus totality:
+//! decoding any *prefix* of valid bytes is a typed error, never a panic.
+
+use proptest::prelude::*;
+
+use hyper_ml::{ForestParams, Matrix, RandomForest};
+use hyper_storage::{DataType, Database, Field, Schema, Table, TableBuilder, Value};
+use hyper_store::{ByteReader, ByteWriter, Snapshot, StoreError};
+
+// ---------------------------------------------------------------- tables
+
+/// One generated column: a type tag plus per-row (null?, payload) seeds.
+type ColSpec = (u8, Vec<(bool, i32)>);
+
+fn dt_of(tag: u8) -> DataType {
+    match tag % 4 {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        _ => DataType::Str,
+    }
+}
+
+fn value_for(dt: DataType, null: bool, seed: i32) -> Value {
+    if null {
+        return Value::Null;
+    }
+    match dt {
+        // Extremes included: the codec must be exact, not merely close.
+        DataType::Int => Value::Int(match seed % 5 {
+            0 => i64::MIN,
+            1 => i64::MAX,
+            _ => seed as i64 * 7919 - 100,
+        }),
+        DataType::Float => Value::Float(match seed % 6 {
+            0 => -0.0,
+            1 => f64::INFINITY,
+            2 => f64::MIN_POSITIVE,
+            _ => seed as f64 / 3.0 - 5.0,
+        }),
+        DataType::Bool => Value::Bool(seed % 2 == 0),
+        DataType::Str => Value::str(format!("s{}·{}", seed % 6, "αβ")),
+    }
+}
+
+fn build_table(specs: &[ColSpec]) -> Table {
+    let rows = specs.first().map_or(0, |(_, cells)| cells.len());
+    let fields: Vec<Field> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (tag, _))| Field::nullable(format!("c{i}"), dt_of(*tag)))
+        .collect();
+    let mut t = TableBuilder::new("t", Schema::new(fields).unwrap());
+    for r in 0..rows {
+        let row: Vec<Value> = specs
+            .iter()
+            .map(|(tag, cells)| {
+                let (null, seed) = cells[r];
+                value_for(dt_of(*tag), null, seed)
+            })
+            .collect();
+        t.push(row).unwrap();
+    }
+    t.build()
+}
+
+fn arb_specs(max_cols: usize, max_rows: usize) -> impl Strategy<Value = Vec<ColSpec>> {
+    (1..=max_cols, 0..=max_rows).prop_flat_map(|(ncols, nrows)| {
+        prop::collection::vec(
+            (
+                0u8..8,
+                prop::collection::vec((prop::bool::ANY, 0i32..40), nrows..=nrows),
+            ),
+            ncols..=ncols,
+        )
+    })
+}
+
+fn tables_equal(a: &Table, b: &Table) -> bool {
+    a.fingerprint() == b.fingerprint()
+        && a.primary_key() == b.primary_key()
+        && (0..a.num_columns()).all(|c| a.column(c) == b.column(c))
+}
+
+proptest! {
+    /// `decode(encode(t)) == t` over random typed tables with NULLs.
+    #[test]
+    fn table_round_trips(specs in arb_specs(5, 24)) {
+        let t = build_table(&specs);
+        let mut w = ByteWriter::new();
+        hyper_store::encode_table(&mut w, &t);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = hyper_store::decode_table(&mut r).unwrap();
+        prop_assert!(r.is_at_end(), "decoder must consume every byte");
+        prop_assert!(tables_equal(&t, &back));
+    }
+
+    /// Database round trip with dictionary sharing: a gathered slice
+    /// shares its source table's dictionaries, and the whole database
+    /// (both tables + a snapshot container around it) survives exactly.
+    #[test]
+    fn database_round_trips_with_shared_dicts(
+        specs in arb_specs(4, 16),
+        keep in prop::collection::vec(0usize..16, 0..8),
+    ) {
+        let t = build_table(&specs);
+        let indices: Vec<usize> =
+            keep.into_iter().filter(|&i| i < t.num_rows()).collect();
+        let mut gathered = t.gather(&indices);
+        gathered.set_name("slice");
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        db.add_table(gathered).unwrap();
+
+        let snap = Snapshot::new(db, None);
+        let back = Snapshot::from_bytes(snap.to_bytes()).unwrap();
+        prop_assert_eq!(
+            back.database.fingerprint(),
+            snap.database.fingerprint(),
+            "snapshotted-and-reloaded databases are fingerprint-identical"
+        );
+        for (a, b) in snap.database.tables().iter().zip(back.database.tables()) {
+            prop_assert!(tables_equal(a, b));
+        }
+    }
+
+    /// Truncating a valid snapshot anywhere yields a typed error (and the
+    /// decoder never panics).
+    #[test]
+    fn truncations_are_typed_errors(specs in arb_specs(3, 8), frac in 0.0f64..1.0) {
+        let t = build_table(&specs);
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        let bytes = Snapshot::new(db, None).to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = Snapshot::from_bytes(bytes[..cut].to_vec()).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            StoreError::Corrupt(_) | StoreError::VersionMismatch { .. }
+        ));
+    }
+
+    /// Flipping any single byte of a valid snapshot is detected.
+    #[test]
+    fn bit_flips_are_typed_errors(specs in arb_specs(3, 8), pos in 0usize..10_000, bit in 0u8..8) {
+        let t = build_table(&specs);
+        let mut db = Database::new();
+        db.add_table(t).unwrap();
+        let mut bytes = Snapshot::new(db, None).to_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let err = Snapshot::from_bytes(bytes).unwrap_err();
+        prop_assert!(matches!(
+            err,
+            StoreError::Corrupt(_)
+                | StoreError::VersionMismatch { .. }
+                | StoreError::FingerprintMismatch { .. }
+        ));
+    }
+
+    /// A round-tripped forest predicts bit-identically to the original.
+    #[test]
+    fn forest_round_trip_bit_identical(seed in 0u64..1000, n in 50usize..300) {
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let v = ((i as u64).wrapping_mul(seed + 7) % 1000) as f64 / 100.0;
+                vec![v, (v * 1.7).sin()]
+            })
+            .collect();
+        let y: Vec<f64> = xs.iter().map(|r| r[0] * 0.5 + r[1]).collect();
+        let x = Matrix::from_rows(&xs).unwrap();
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            &ForestParams { n_trees: 4, seed, ..ForestParams::default() },
+        )
+        .unwrap();
+
+        let mut w = ByteWriter::new();
+        hyper_store::encode_forest(&mut w, &forest);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = hyper_store::decode_forest(&mut r).unwrap();
+        prop_assert!(r.is_at_end());
+
+        let p0: Vec<u64> = forest.predict(&x).iter().map(|f| f.to_bits()).collect();
+        let p1: Vec<u64> = back.predict(&x).iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(p0, p1);
+    }
+}

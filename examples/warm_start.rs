@@ -1,0 +1,100 @@
+//! Warm-starting a "restarted" HypeR process from durable state.
+//!
+//! A production deployment cannot afford to re-ingest CSVs and retrain
+//! every estimator each time a process restarts. This example runs the
+//! whole durability story end to end:
+//!
+//! 1. snapshot a dataset to a `HYPR1` file ([`Snapshot`]),
+//! 2. serve queries from a session whose artifacts spill to a persist
+//!    directory ([`SessionBuilder::persist_dir`]),
+//! 3. drop **all** in-memory state (`SharedArtifactStore::clear()` —
+//!    the simulated restart),
+//! 4. rebuild a session from the snapshot + persist dir, and
+//! 5. assert the first queries were answered from the disk tier:
+//!    [`SessionStats`] shows disk hits and **zero** estimator builds,
+//!    with values identical to the first life of the process.
+//!
+//! Run with `cargo run --release --example warm_start`.
+
+use hyper_repro::core::SharedArtifactStore;
+use hyper_repro::prelude::*;
+use hyper_repro::store::Snapshot;
+
+const QUERIES: [&str; 3] = [
+    "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')",
+    "Use german_syn Update(savings) = 3 Output Count(Post(credit) = 'Good')",
+    "Use german_syn Update(housing) = 2 Output Count(Post(credit) = 'Good')",
+];
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hyper_warm_start_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let snapshot_path = dir.join("german.hypr");
+    let persist_dir = dir.join("artifacts");
+
+    // ---- First life of the process -------------------------------------
+    let data = hyper_repro::datasets::german_syn(10_000, 1);
+    Snapshot::new(data.db.clone(), Some(data.graph.clone()))
+        .save(&snapshot_path)
+        .expect("save dataset snapshot");
+    println!(
+        "snapshotted german_syn 10k -> {} ({} KiB)",
+        snapshot_path.display(),
+        std::fs::metadata(&snapshot_path).unwrap().len() / 1024
+    );
+
+    let session = HyperSession::builder(data.db)
+        .graph(data.graph)
+        .config(EngineConfig::hyper())
+        .persist_dir(&persist_dir)
+        .build();
+    let mut first_life = Vec::new();
+    for q in QUERIES {
+        let r = session.whatif_text(q).expect("query evaluates");
+        println!("cold:  {:>7.1}  <- {q}", r.value);
+        first_life.push(r.value);
+    }
+    let cold = session.stats();
+    assert_eq!(cold.estimator_misses, 3, "first life trains each estimator");
+    drop(session);
+
+    // ---- The restart ----------------------------------------------------
+    // Every in-memory artifact is gone; only the snapshot file and the
+    // persist directory survive.
+    SharedArtifactStore::global().clear();
+    println!("\n-- process restarted (in-memory artifact store cleared) --\n");
+
+    // ---- Second life: rebuild from durable state ------------------------
+    let restored = Snapshot::load(&snapshot_path).expect("load dataset snapshot");
+    let session = HyperSession::builder(restored.database)
+        .maybe_graph(restored.graph)
+        .config(EngineConfig::hyper())
+        .persist_dir(&persist_dir)
+        .build();
+    for (q, &expected) in QUERIES.iter().zip(&first_life) {
+        let r = session.whatif_text(q).expect("query evaluates");
+        println!("warm:  {:>7.1}  <- {q}", r.value);
+        assert_eq!(
+            r.value, expected,
+            "deserialized artifacts answer identically"
+        );
+    }
+
+    let warm = session.stats();
+    println!(
+        "\nwarm-start stats: {} estimator builds, {} estimator disk hits, \
+         {} view disk hits, {} local hits",
+        warm.estimator_misses,
+        warm.estimator_disk_hits,
+        warm.view_disk_hits,
+        warm.estimator_hits + warm.view_hits,
+    );
+    assert_eq!(warm.estimator_misses, 0, "warm start retrains nothing");
+    assert_eq!(warm.view_misses, 0, "…and rebuilds no views");
+    assert_eq!(warm.estimator_disk_hits, 3, "estimators came from disk");
+    assert!(warm.view_disk_hits >= 1, "the relevant view came from disk");
+
+    std::fs::remove_dir_all(&dir).ok();
+    println!("OK: restarted process answered at warm-cache speed, zero retraining");
+}

@@ -13,7 +13,8 @@
 //! | [`ip`]      | simplex LP + branch-and-bound 0-1 ILP + enumeration oracle |
 //! | [`query`]   | the extended SQL language (`Use`/`When`/`Update`/`Output`/`For`, `HowToUpdate`/`Limit`/`ToMaximize`) |
 //! | [`runtime`] | the shared execution runtime: one persistent worker pool for every parallel path |
-//! | [`core`]    | the HypeR engine: sessions, prepared queries, the process-wide shared artifact store |
+//! | [`store`]   | durable `HYPR1` binary snapshots: tables, databases, graphs, fitted models; the disk-tier artifact files |
+//! | [`core`]    | the HypeR engine: sessions, prepared queries, the three-tier artifact cache (local LRU → shared in-memory → disk) |
 //! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
 //!
 //! ## Quickstart
@@ -109,6 +110,33 @@
 //! // Opt out per session with `.share_artifacts(false)`; scale the
 //! // worker pool with `.runtime(HyperRuntime::with_workers(n))`.
 //! ```
+//!
+//! ## Durability: snapshots and the three-tier cache
+//!
+//! Scenario state outlives a process. [`store::Snapshot`] serializes a
+//! whole database + causal graph to one checksummed, versioned `HYPR1`
+//! file (`hyper-snapshot save/inspect/load` is the CLI over it), and
+//! `SessionBuilder::persist_dir` adds a **disk tier** under the shared
+//! store, making artifact resolution three-tiered:
+//!
+//! ```text
+//! local LRU tier (per session)  →  shared in-memory store (process-wide)
+//!                               →  disk tier (persist_dir, survives restarts)
+//!                               →  build / train (spills back to disk)
+//! ```
+//!
+//! Fitted estimators, relevant views, and block decompositions are
+//! spilled as fingerprint-validated artifact files when built and
+//! recovered by deserialization after a restart — reloaded forests
+//! predict bit-identically, so a restarted process answers its first
+//! what-if at warm-cache speed with zero retraining
+//! (`examples/warm_start.rs` asserts it end to end; the `bench_smoke`
+//! gate holds warm start ≥3× faster than retraining, ~3.8× measured on
+//! the reference container). Corrupt, truncated, or stale-data files
+//! read as typed [`StoreError`](store::StoreError)s and fall back to a
+//! rebuild. The shared tier itself can be byte-budgeted
+//! (`SessionBuilder::shared_budget_bytes`), with evictions re-serving
+//! from the disk tier.
 
 pub use hyper_causal as causal;
 pub use hyper_core as core;
@@ -118,6 +146,7 @@ pub use hyper_ml as ml;
 pub use hyper_query as query;
 pub use hyper_runtime as runtime;
 pub use hyper_storage as storage;
+pub use hyper_store as store;
 
 /// Common imports for applications.
 pub mod prelude {
@@ -135,4 +164,5 @@ pub mod prelude {
     };
     pub use hyper_runtime::HyperRuntime;
     pub use hyper_storage::{AggFunc, Database, Table, Value};
+    pub use hyper_store::{Snapshot, StoreError};
 }
