@@ -5,16 +5,18 @@
 //! summary.
 //!
 //! Used by the CI `bench-smoke` job to track the perf trajectory: each
-//! run produces a `BENCH_5.json` artifact (override the path with
+//! run produces a `BENCH_6.json` artifact (override the path with
 //! `--out <path>` or the `BENCH_OUT` environment variable). Iteration
 //! counts are deliberately small — this guards against order-of-magnitude
-//! regressions, not microsecond drift. Three gates are enforced: the ≥3×
+//! regressions, not microsecond drift. Gates enforced: the ≥3×
 //! vectorization speedups over the `Value`-per-cell baselines (PR 3), the
 //! ≥2× cold-what-if speedup over the PR-3 sequential-sort-training
 //! measurement (28.9 ms) delivered by parallel histogram/cell-based
-//! forest training (PR 4), and the ≥3× warm-start speedup of a simulated
+//! forest training (PR 4), the ≥3× warm-start speedup of a simulated
 //! process restart recovering its artifacts from a populated persist
-//! directory instead of retraining (PR 5).
+//! directory instead of retraining (PR 5), and the hyper-serve HTTP
+//! throughput floor — ≥100 queries/sec sustained over 8 persistent
+//! connections with zero shed requests (PR 6).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -76,7 +78,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| std::env::var("BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_5.json".to_string());
+        .unwrap_or_else(|| "BENCH_6.json".to_string());
     let reps: usize = std::env::var("BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -218,6 +220,60 @@ fn main() {
         baseline_micros: Some(secs_to_us(cold_t)),
     });
 
+    // Serving: sustained queries/sec through the full HTTP + admission
+    // stack — 8 persistent connections pipelining the prepared what-if
+    // against a snapshot tenant. The queue (depth 64) can never fill at
+    // 8 sequential connections, so any shed request is a server bug, and
+    // the gate below requires zero.
+    let registry = std::env::temp_dir().join(format!("hyper_bench_serve_{}", std::process::id()));
+    std::fs::remove_dir_all(&registry).ok();
+    std::fs::create_dir_all(&registry).unwrap();
+    hyper_store::Snapshot::new(data.db.clone(), Some(data.graph.clone()))
+        .save(registry.join("t0.hypr"))
+        .unwrap();
+    let server = hyper_serve::Server::start(
+        &registry,
+        hyper_serve::ServeConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..hyper_serve::ServeConfig::default()
+        },
+    )
+    .expect("server starts");
+    let addr = server.addr();
+    const SERVE_TEXT: &str =
+        "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+    const CONNECTIONS: usize = 8;
+    const REQUESTS_PER_CONN: usize = 50;
+    // One warm request loads the snapshot and trains the estimator so the
+    // measured window is steady-state serving, not cold setup.
+    let mut warm = hyper_serve::Client::connect(addr).unwrap();
+    let warm_response = warm.query("/query", "t0", SERVE_TEXT, &[]).unwrap();
+    assert_eq!(warm_response.status, 200, "warmup must succeed");
+    let serve_start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..CONNECTIONS {
+            scope.spawn(|| {
+                let mut client = hyper_serve::Client::connect(addr).unwrap();
+                for _ in 0..REQUESTS_PER_CONN {
+                    let response = client.query("/query", "t0", SERVE_TEXT, &[]).unwrap();
+                    assert_eq!(response.status, 200, "steady-state request failed");
+                }
+            });
+        }
+    });
+    let serve_elapsed = serve_start.elapsed();
+    let total_requests = (CONNECTIONS * REQUESTS_PER_CONN) as f64;
+    let serve_qps = total_requests / serve_elapsed.as_secs_f64();
+    let shed_total = server.stats().total(|c| &c.shed);
+    server.shutdown();
+    std::fs::remove_dir_all(&registry).ok();
+    entries.push(Entry {
+        name: "serve_qps_german_10k",
+        micros: secs_to_us(serve_elapsed) / total_requests,
+        baseline_micros: None,
+    });
+
     // Render JSON by hand (no serde in the offline workspace).
     let mut json = String::from("{\n  \"benchmarks\": [\n");
     for (i, e) in entries.iter().enumerate() {
@@ -242,7 +298,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 5\n}}\n"
+        "  ],\n  \"serve_qps\": {serve_qps:.1},\n  \"serve_shed\": {shed_total},\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 6\n}}\n"
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark summary");
@@ -291,5 +347,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+    // Serving gates (PR 6): 8 persistent connections must sustain a qps
+    // floor through the full HTTP + admission stack, and the 64-deep
+    // queue must shed nothing at this well-under-capacity load. The
+    // floor is deliberately coarse (steady-state per-request cost is
+    // ~100x under it on the reference container) — this catches "the
+    // server serializes everything" or "keep-alive broke", not jitter.
+    if serve_qps < 100.0 {
+        eprintln!("REGRESSION: serve qps {serve_qps:.1} < 100 at 8 connections");
+        std::process::exit(1);
+    }
+    if shed_total != 0 {
+        eprintln!("REGRESSION: {shed_total} requests shed at a load far under queue capacity");
+        std::process::exit(1);
     }
 }

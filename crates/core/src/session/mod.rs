@@ -519,8 +519,40 @@ impl HyperSession {
         &self.inner.runtime
     }
 
-    /// Snapshot of cache and execution counters.
+    /// Snapshot of cache and execution counters. Equivalent to
+    /// [`HyperSession::snapshot`]; kept as the familiar short name.
     pub fn stats(&self) -> SessionStats {
+        self.snapshot()
+    }
+
+    /// A **consistent** snapshot of cache and execution counters.
+    ///
+    /// The counters live in independent atomics (and two map-size
+    /// gauges), so a single naive pass over them can observe a torn set
+    /// while another thread is mid-update — e.g. a view miss already
+    /// counted but `views_cached` not yet grown, or `queries_executed`
+    /// ahead of the estimator counters it implies. This accessor
+    /// re-reads until two consecutive passes agree, so the returned set
+    /// reflects one quiescent instant whenever the session is not under
+    /// *continuous* concurrent mutation (under sustained load it falls
+    /// back to the freshest pass after a bounded number of attempts —
+    /// every individual counter is still exact and monotone).
+    ///
+    /// `/stats` reporting in `hyper-serve` and the assertions in the
+    /// integration tests read through here.
+    pub fn snapshot(&self) -> SessionStats {
+        let mut prev = self.read_stats_once();
+        for _ in 0..8 {
+            let next = self.read_stats_once();
+            if next == prev {
+                return next;
+            }
+            prev = next;
+        }
+        prev
+    }
+
+    fn read_stats_once(&self) -> SessionStats {
         let c = &self.inner.cache.counters;
         SessionStats {
             view_hits: c.view_hits.load(Ordering::Relaxed),
@@ -884,5 +916,16 @@ mod tests {
         assert_send_sync_clone::<HyperSession>();
         assert_send_sync_clone::<PreparedQuery>();
         assert_send_sync_clone::<SessionStats>();
+    }
+
+    #[test]
+    fn stats_is_the_consistent_snapshot() {
+        let session = HyperSession::builder(hyper_storage::Database::new())
+            .share_artifacts(false)
+            .build();
+        // Idle sessions: two passes must agree immediately, and the two
+        // accessors are the same set.
+        assert_eq!(session.stats(), session.snapshot());
+        assert_eq!(session.snapshot(), session.snapshot());
     }
 }

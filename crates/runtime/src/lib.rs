@@ -45,6 +45,10 @@
 //! assert_eq!((a, b), (4, 4));
 //! ```
 
+pub mod queue;
+
+pub use queue::{FairQueue, PushError, QueueFull};
+
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};

@@ -1,0 +1,164 @@
+//! A minimal blocking HTTP/1.1 client for the serve protocol — enough
+//! for the integration tests, the qps bench, and the example to talk to
+//! the server over a persistent connection without external crates.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::json::{self, Json};
+
+/// A response as the client saw it.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `(lower-cased name, value)` response headers.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parse the body as JSON.
+    pub fn json(&self) -> Result<Json, String> {
+        let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
+        json::parse(text)
+    }
+}
+
+/// A persistent keep-alive connection to a server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to `addr`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        Client::connect_with_timeout(addr, Duration::from_secs(60))
+    }
+
+    /// Connect with an explicit read timeout (a hung server surfaces as
+    /// an `Err`, not a stuck test).
+    pub fn connect_with_timeout(addr: SocketAddr, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// One round-trip: send `method path` with an optional JSON body,
+    /// read the full response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&Json>,
+    ) -> std::io::Result<ClientResponse> {
+        let payload = body.map(Json::render).unwrap_or_default();
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: hyper-serve\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            payload.len(),
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(payload.as_bytes())?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    /// POST a `/query` (or `/explain`) protocol body.
+    pub fn query(
+        &mut self,
+        path: &str,
+        tenant: &str,
+        query: &str,
+        bindings: &[(&str, Json)],
+    ) -> std::io::Result<ClientResponse> {
+        let mut fields = vec![
+            ("tenant".to_string(), Json::Str(tenant.to_string())),
+            ("query".to_string(), Json::Str(query.to_string())),
+        ];
+        if !bindings.is_empty() {
+            fields.push((
+                "bindings".to_string(),
+                Json::Obj(
+                    bindings
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), v.clone()))
+                        .collect(),
+                ),
+            ));
+        }
+        self.request("POST", path, Some(&Json::Obj(fields)))
+    }
+
+    /// Send raw bytes down the connection (for malformed-input tests)
+    /// and read whatever response comes back.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<ClientResponse> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let status_line = self.read_line()?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(format!("bad status line: {status_line:?}")))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let line = self.read_line()?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad(format!("bad header: {line:?}")))?;
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut raw = Vec::new();
+        let n = self.reader.read_until(b'\n', &mut raw)?;
+        if n == 0 {
+            return Err(bad("server closed the connection"));
+        }
+        while matches!(raw.last(), Some(b'\n' | b'\r')) {
+            raw.pop();
+        }
+        String::from_utf8(raw).map_err(|_| bad("non-UTF-8 response head"))
+    }
+}
+
+fn bad(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}

@@ -1,0 +1,382 @@
+//! Minimal hand-rolled HTTP/1.1: request parsing and response writing
+//! over `std::net` (the build environment has no crates.io, so no hyper
+//! or tiny_http — the same vendored-stub discipline as the rest of the
+//! workspace).
+//!
+//! Supported surface, deliberately small:
+//!
+//! * request line `METHOD SP TARGET SP HTTP/1.0|1.1`,
+//! * headers (case-insensitive names, no continuation lines),
+//! * bodies via `Content-Length` only (no chunked encoding — requests
+//!   with `Transfer-Encoding` are refused with a typed 400/411),
+//! * keep-alive (default for 1.1, `Connection: close` honored, 1.0
+//!   closes unless `keep-alive` is asked for).
+//!
+//! Every way a request can be malformed maps to a *typed* [`HttpError`]
+//! carrying the status code the connection should answer with before
+//! closing or continuing — the accept loop never panics on hostile
+//! bytes, and the error strings double as response bodies.
+
+use std::io::{BufRead, Read, Write};
+
+/// Default cap on the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on a request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A typed request-parsing failure. [`HttpError::status`] is the
+/// response to send; [`HttpError::fatal`] says whether the connection
+/// can be kept (a framing error leaves the stream unsynchronized, so
+/// most are fatal).
+#[derive(Debug)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/x.y`.
+    BadRequestLine(String),
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion(String),
+    /// A header line has no `:` separator or a non-ASCII name.
+    BadHeader(String),
+    /// The request line + headers exceed [`MAX_HEAD_BYTES`].
+    HeadTooLarge(usize),
+    /// A body-bearing method arrived without `Content-Length` (chunked
+    /// encoding is unsupported).
+    LengthRequired,
+    /// `Content-Length` is not a decimal integer.
+    BadContentLength(String),
+    /// The declared body exceeds the configured cap.
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// Configured cap.
+        max: usize,
+    },
+    /// The peer closed the stream mid-request (no response possible).
+    UnexpectedEof,
+    /// Transport error (no response possible).
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// `(status code, reason phrase)` to answer with, or `None` when the
+    /// stream is gone and no response can be written.
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            HttpError::BadRequestLine(_)
+            | HttpError::UnsupportedVersion(_)
+            | HttpError::BadHeader(_)
+            | HttpError::BadContentLength(_) => Some((400, "Bad Request")),
+            HttpError::HeadTooLarge(_) => Some((431, "Request Header Fields Too Large")),
+            HttpError::LengthRequired => Some((411, "Length Required")),
+            HttpError::BodyTooLarge { .. } => Some((413, "Payload Too Large")),
+            HttpError::UnexpectedEof | HttpError::Io(_) => None,
+        }
+    }
+
+    /// True when the connection must close (framing is lost or the
+    /// transport failed). All parse errors are fatal except an oversized
+    /// body, which is fully read and discarded... which we don't do —
+    /// so every error closes. Kept as a method so the policy is in one
+    /// place.
+    pub fn fatal(&self) -> bool {
+        true
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            HttpError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            HttpError::BadHeader(h) => write!(f, "malformed header line: {h:?}"),
+            HttpError::HeadTooLarge(max) => write!(f, "request head exceeds {max} bytes"),
+            HttpError::LengthRequired => {
+                write!(f, "Content-Length required (chunked bodies unsupported)")
+            }
+            HttpError::BadContentLength(v) => write!(f, "bad Content-Length: {v:?}"),
+            HttpError::BodyTooLarge { declared, max } => {
+                write!(f, "body of {declared} bytes exceeds the {max}-byte cap")
+            }
+            HttpError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> HttpError {
+        HttpError::Io(e)
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component of the target (query string split off).
+    pub path: String,
+    /// Raw query string after `?`, empty when absent.
+    pub query: String,
+    /// `(lower-cased name, value)` in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, enforcing a byte cap
+/// shared across the whole head. Returns `None` on clean EOF before any
+/// byte of the line.
+fn read_line(r: &mut impl BufRead, budget: &mut usize) -> Result<Option<String>, HttpError> {
+    let mut raw = Vec::new();
+    let n = r
+        .by_ref()
+        .take(*budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    if raw.len() > *budget {
+        return Err(HttpError::HeadTooLarge(MAX_HEAD_BYTES));
+    }
+    *budget -= raw.len();
+    if raw.last() != Some(&b'\n') {
+        return Err(HttpError::UnexpectedEof);
+    }
+    raw.pop();
+    if raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw)
+        .map(Some)
+        .map_err(|e| HttpError::BadHeader(String::from_utf8_lossy(e.as_bytes()).into_owned()))
+}
+
+/// Parse one request off the stream. `Ok(None)` means the peer closed
+/// cleanly between requests (normal keep-alive termination).
+pub fn read_request(r: &mut impl BufRead, max_body: usize) -> Result<Option<Request>, HttpError> {
+    let mut budget = MAX_HEAD_BYTES;
+    let Some(line) = read_line(r, &mut budget)? else {
+        return Ok(None);
+    };
+    if line.is_empty() {
+        return Err(HttpError::BadRequestLine(String::new()));
+    }
+    let mut parts = line.split(' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(HttpError::BadRequestLine(line.clone())),
+    };
+    if !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::BadRequestLine(line.clone()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(HttpError::UnsupportedVersion(version.to_string())),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(r, &mut budget)? else {
+            return Err(HttpError::UnexpectedEof);
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadHeader(line));
+        };
+        if name.is_empty() || !name.bytes().all(|b| b.is_ascii_graphic()) {
+            return Err(HttpError::BadHeader(line.clone()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let header = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| v.as_str())
+    };
+    if header("transfer-encoding").is_some() {
+        return Err(HttpError::LengthRequired);
+    }
+    let body = match header("content-length") {
+        Some(v) => {
+            let declared: usize = v
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::BadContentLength(v.to_string()))?;
+            if declared > max_body {
+                return Err(HttpError::BodyTooLarge {
+                    declared,
+                    max: max_body,
+                });
+            }
+            let mut body = vec![0u8; declared];
+            r.read_exact(&mut body).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    HttpError::UnexpectedEof
+                } else {
+                    HttpError::Io(e)
+                }
+            })?;
+            body
+        }
+        None if method.eq_ignore_ascii_case("POST") || method.eq_ignore_ascii_case("PUT") => {
+            return Err(HttpError::LengthRequired);
+        }
+        None => Vec::new(),
+    };
+
+    let keep_alive = match header("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Write a response with a JSON (or plain) body and explicit framing.
+/// `extra_headers` are emitted verbatim (e.g. `("Retry-After", "1")`).
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    extra_headers: &[(&str, &str)],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        read_request(&mut BufReader::new(raw), MAX_BODY_BYTES)
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_keep_alive() {
+        let req = parse(b"POST /query?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nBODY")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/query");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.body, b"BODY");
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!req.keep_alive);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_400s() {
+        for raw in [
+            b"NOT-A-REQUEST\r\n\r\n".as_slice(),
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbroken header line\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap_err();
+            let (code, _) = err.status().expect("parse errors map to a status");
+            assert_eq!(code, 400, "{err}");
+        }
+    }
+
+    #[test]
+    fn post_without_length_is_411_and_oversize_is_413() {
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::LengthRequired
+        ));
+        let err = read_request(
+            &mut BufReader::new(b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\n".as_slice()),
+            10,
+        )
+        .unwrap_err();
+        assert_eq!(err.status(), Some((413, "Payload Too Large")));
+    }
+
+    #[test]
+    fn clean_eof_is_none_and_midstream_eof_is_typed() {
+        assert!(parse(b"").unwrap().is_none());
+        assert!(matches!(
+            parse(b"GET /x HT").unwrap_err(),
+            HttpError::UnexpectedEof
+        ));
+        assert!(matches!(
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").unwrap_err(),
+            HttpError::UnexpectedEof
+        ));
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{}",
+            false,
+            &[("Retry-After", "1")],
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

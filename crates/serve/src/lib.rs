@@ -1,0 +1,58 @@
+//! hyper-serve: a multi-tenant HTTP query server for the HypeR engine.
+//!
+//! Everything below runs on `std` alone — the HTTP layer, the JSON
+//! codec, the admission queue — because the build environment is
+//! offline. The serving pipeline, request to response:
+//!
+//! ```text
+//!             ┌──────────────────────────── hyper-serve ───────────────────────────┐
+//!  TCP ──────▶│ accept loop ─▶ connection thread                                   │
+//!             │                  │  parse HTTP (http.rs) ── malformed? ─▶ typed 4xx │
+//!             │                  │  parse protocol (json.rs)                        │
+//!             │                  │  route: /health /stats answered inline           │
+//!             │                  ▼                                                  │
+//!             │        admission (admission.rs)                                     │
+//!             │          bounded FairQueue, one lane per tenant                     │
+//!             │          full? ─▶ 503 + Retry-After (shed, no engine work)          │
+//!             │          admitted ─▶ executor pool (N = --workers)                  │
+//!             │                        │ tenants (registry.rs)                      │
+//!             │                        │   single-flight snapshot load              │
+//!             │                        │   prepared-template cache per tenant       │
+//!             │                        ▼                                            │
+//!             │                  HyperSession::execute_with(bindings)               │
+//!             │          waiter timed out? ─▶ 504 (executor finishes, result        │
+//!             │                               discarded, caches stay warm)          │
+//!             └────────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Tenancy: a registry directory of `<tenant>.hypr` snapshot files
+//! ([`hyper_store::SnapshotRegistry`]). Sessions are built lazily on
+//! first request and share the process-wide artifact store, so tenants
+//! serving content-identical data share views, block decompositions,
+//! and fitted estimators across sessions.
+//!
+//! Fidelity: the server is a transport, not a second engine. Responses
+//! render engine results with shortest-round-trip float formatting, so
+//! a client re-parsing `value` recovers the library-path `f64`
+//! **bit-for-bit** — the integration tests assert `==`, not a
+//! tolerance.
+//!
+//! See `crates/serve/README.md` for the wire protocol, the failure-mode
+//! table, and operational knobs.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
+pub use client::{Client, ClientResponse};
+pub use json::Json;
+pub use registry::{Tenant, TenantError, Tenants};
+pub use server::{outcome_json, ServeConfig, Server};
+pub use stats::{session_json, ServerStats, TenantCounters};

@@ -1,0 +1,618 @@
+//! The HTTP server: accept loop, connection handling, routing, and the
+//! JSON protocol over the admission layer.
+//!
+//! Thread model: one accept thread, one OS thread per live connection
+//! (connections are expected to be few and persistent — clients
+//! keep-alive and pipeline requests), and a fixed executor pool (see
+//! [`crate::admission`]) that runs all engine work. Connection threads
+//! never touch the engine directly: they parse, route, admit, and wait
+//! on a [`ResponseSlot`](crate::admission::ResponseSlot) with the
+//! configured request timeout.
+//!
+//! Routes:
+//!
+//! | method + path   | handled | answer |
+//! |-----------------|---------|--------|
+//! | `POST /query`   | admitted| query result (what-if or how-to) |
+//! | `POST /explain` | admitted| static plan with cache provenance |
+//! | `GET /stats`    | inline  | server + per-tenant counters |
+//! | `GET /health`   | inline  | liveness |
+//!
+//! `/stats` and `/health` bypass admission deliberately: they must stay
+//! answerable while the queue is saturated, or the operator is blind
+//! exactly when they need to look.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use hyper_core::{EngineError, QueryOutcome};
+use hyper_query::Bindings;
+use hyper_store::SnapshotRegistry;
+
+use crate::admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
+use crate::http::{self, Request, MAX_BODY_BYTES};
+use crate::json::{self, Json};
+use crate::registry::{TenantError, Tenants};
+use crate::stats::ServerStats;
+
+/// Server knobs. `Default` is sized for the CI container: 2 executors,
+/// a 64-deep queue, 30-second request timeout.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address. Use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Executor threads running engine work (`--workers`).
+    pub workers: usize,
+    /// Bounded admission queue depth (`--queue-depth`); offers beyond it
+    /// are shed with 503.
+    pub queue_depth: usize,
+    /// Per-request deadline (`--request-timeout-ms`); expiry answers 504
+    /// while the executor finishes in the background.
+    pub request_timeout: Duration,
+    /// Optional disk artifact tier handed to every tenant session.
+    pub persist_dir: Option<PathBuf>,
+    /// Request body cap in bytes.
+    pub max_body_bytes: usize,
+    /// Socket read timeout for idle keep-alive connections.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_depth: 64,
+            request_timeout: Duration::from_secs(30),
+            persist_dir: None,
+            max_body_bytes: MAX_BODY_BYTES,
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+struct Inner {
+    tenants: Tenants,
+    stats: Arc<ServerStats>,
+    admission: Admission,
+    shutdown: AtomicBool,
+    request_timeout: Duration,
+    max_body_bytes: usize,
+    idle_timeout: Duration,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts ungracefully (the listener closes but executors are not
+/// drained); call `shutdown()` for the orderly path.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Scan `registry_dir` for tenant snapshots and start serving.
+    /// Snapshots are *not* loaded here — each loads on first request.
+    pub fn start(registry_dir: impl Into<PathBuf>, config: ServeConfig) -> std::io::Result<Server> {
+        let registry = SnapshotRegistry::open(registry_dir.into())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::default());
+        let inner = Arc::new(Inner {
+            tenants: Tenants::new(registry, config.persist_dir.clone()),
+            admission: Admission::start(config.workers, config.queue_depth, Arc::clone(&stats)),
+            stats,
+            shutdown: AtomicBool::new(false),
+            request_timeout: config.request_timeout,
+            max_body_bytes: config.max_body_bytes,
+            idle_timeout: config.idle_timeout,
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name("hyper-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &accept_inner))?;
+        Ok(Server {
+            inner,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The tenant registry (for assertions in tests/examples).
+    pub fn tenants(&self) -> &Tenants {
+        &self.inner.tenants
+    }
+
+    /// The server counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.inner.stats
+    }
+
+    /// Graceful shutdown: stop accepting, refuse new admissions with
+    /// 503, drain every admitted job to its answer, then return.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.admission.close();
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        self.inner.admission.join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => continue,
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        inner.stats.connections_open.fetch_add(1, Ordering::Relaxed);
+        let inner = Arc::clone(inner);
+        // Connection threads are detached: they exit on client EOF, on a
+        // fatal parse error, or when the idle timeout trips.
+        let _ = std::thread::Builder::new()
+            .name("hyper-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &inner);
+                inner.stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+            });
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let _ = stream.set_read_timeout(Some(inner.idle_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match http::read_request(&mut reader, inner.max_body_bytes) {
+            Ok(Some(r)) => r,
+            Ok(None) => return,
+            Err(e) => {
+                // Hostile or broken bytes: answer the typed status when
+                // one applies, then drop the connection — never the
+                // accept loop.
+                if let Some((code, reason)) = e.status() {
+                    inner.stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    let body = Json::obj([("error", e.to_string().into())]).render();
+                    let _ = http::write_response(
+                        &mut writer,
+                        code,
+                        reason,
+                        "application/json",
+                        body.as_bytes(),
+                        false,
+                        &[],
+                    );
+                }
+                return;
+            }
+        };
+        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.keep_alive && !inner.shutdown.load(Ordering::SeqCst);
+        let (outcome, retry_after) = route(inner, &request);
+        let body = outcome.body.render();
+        let extra: &[(&str, &str)] = if retry_after {
+            &[("Retry-After", "1")]
+        } else {
+            &[]
+        };
+        if http::write_response(
+            &mut writer,
+            outcome.status,
+            reason_phrase(outcome.status),
+            "application/json",
+            body.as_bytes(),
+            keep_alive,
+            extra,
+        )
+        .is_err()
+            || !keep_alive
+        {
+            let _ = writer.flush();
+            return;
+        }
+    }
+}
+
+/// Dispatch one parsed request. The bool is "attach `Retry-After`".
+fn route(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/query") => admit(inner, request, Mode::Execute),
+        ("POST", "/explain") => admit(inner, request, Mode::Explain),
+        ("GET", "/stats") => (stats_outcome(inner), false),
+        ("GET", "/health") => (
+            Outcome {
+                status: 200,
+                body: Json::obj([
+                    ("status", "ok".into()),
+                    ("tenants", inner.tenants.registry().len().into()),
+                ]),
+            },
+            false,
+        ),
+        ("GET" | "POST", "/query" | "/explain" | "/stats" | "/health") => (
+            Outcome {
+                status: 405,
+                body: Json::obj([("error", "method not allowed for this path".into())]),
+            },
+            false,
+        ),
+        _ => {
+            inner.stats.not_found.fetch_add(1, Ordering::Relaxed);
+            (
+                Outcome {
+                    status: 404,
+                    body: Json::obj([("error", format!("no such path: {}", request.path).into())]),
+                },
+                false,
+            )
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Execute,
+    Explain,
+}
+
+/// Parse the protocol body, admit the engine work, wait with a deadline.
+fn admit(inner: &Arc<Inner>, request: &Request, mode: Mode) -> (Outcome, bool) {
+    let (tenant_id, query_text, bindings, timeout) = match parse_protocol(&request.body) {
+        Ok(parts) => parts,
+        Err(msg) => {
+            inner.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return (
+                Outcome {
+                    status: 400,
+                    body: Json::obj([("error", msg.into())]),
+                },
+                false,
+            );
+        }
+    };
+    // Unknown tenants are refused before admission — a hostile id costs
+    // a map lookup, not a queue slot, and never creates counters.
+    if !inner.tenants.contains(&tenant_id) {
+        inner.stats.not_found.fetch_add(1, Ordering::Relaxed);
+        return (
+            Outcome {
+                status: 404,
+                body: Json::obj([("error", format!("unknown tenant `{tenant_id}`").into())]),
+            },
+            false,
+        );
+    }
+    let counters = inner.stats.tenant(&tenant_id);
+    let slot = Arc::new(ResponseSlot::new());
+    let work_inner = Arc::clone(inner);
+    let work_tenant = tenant_id.clone();
+    let job = Job {
+        tenant: tenant_id.clone(),
+        slot: Arc::clone(&slot),
+        counters: Arc::clone(&counters),
+        work: Box::new(move || execute(&work_inner, &work_tenant, &query_text, &bindings, mode)),
+    };
+    match inner.admission.submit(job) {
+        Ok(()) => {}
+        Err(Rejected::QueueFull { depth }) => {
+            counters.shed.fetch_add(1, Ordering::Relaxed);
+            return (
+                Outcome {
+                    status: 503,
+                    body: Json::obj([
+                        ("error", "overloaded: admission queue is full".into()),
+                        ("queue_depth", depth.into()),
+                    ]),
+                },
+                true,
+            );
+        }
+        Err(Rejected::ShuttingDown) => {
+            return (
+                Outcome {
+                    status: 503,
+                    body: Json::obj([("error", "server is shutting down".into())]),
+                },
+                false,
+            );
+        }
+    }
+    // A request may tighten (never loosen) the server deadline.
+    let timeout = timeout
+        .unwrap_or(inner.request_timeout)
+        .min(inner.request_timeout);
+    match slot.wait(timeout) {
+        Some(outcome) => (outcome, false),
+        None => {
+            counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            (
+                Outcome {
+                    status: 504,
+                    body: Json::obj([(
+                        "error",
+                        format!(
+                            "deadline of {}ms exceeded; execution continues and will warm the cache",
+                            timeout.as_millis()
+                        )
+                        .into(),
+                    )]),
+                },
+                false,
+            )
+        }
+    }
+}
+
+/// Extract `(tenant, query, bindings, timeout override)` from a protocol
+/// body.
+type Protocol = (String, String, Bindings, Option<Duration>);
+
+fn parse_protocol(body: &[u8]) -> Result<Protocol, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `tenant`")?
+        .to_string();
+    let query = doc
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `query`")?
+        .to_string();
+    let mut bindings = Bindings::new();
+    if let Some(b) = doc.get("bindings") {
+        let fields = b
+            .as_obj()
+            .ok_or("`bindings` must be an object of scalars")?;
+        for (name, value) in fields {
+            let v = value
+                .to_value()
+                .ok_or_else(|| format!("binding `{name}` must be a scalar"))?;
+            bindings.insert(name.clone(), v);
+        }
+    }
+    let timeout = match doc.get("timeout_ms") {
+        None => None,
+        Some(t) => {
+            let ms = t
+                .as_i64()
+                .filter(|&ms| ms > 0)
+                .ok_or("`timeout_ms` must be a positive integer")?;
+            Some(Duration::from_millis(ms as u64))
+        }
+    };
+    Ok((tenant, query, bindings, timeout))
+}
+
+/// The engine work — runs on an executor thread.
+fn execute(
+    inner: &Arc<Inner>,
+    tenant_id: &str,
+    text: &str,
+    bindings: &Bindings,
+    mode: Mode,
+) -> Outcome {
+    let tenant = match inner.tenants.tenant(tenant_id) {
+        Ok(t) => t,
+        Err(e @ TenantError::Unknown(_)) => {
+            return Outcome {
+                status: 404,
+                body: Json::obj([("error", e.to_string().into())]),
+            }
+        }
+        Err(e @ TenantError::Load(_)) => {
+            return Outcome {
+                status: 500,
+                body: Json::obj([("error", e.to_string().into())]),
+            }
+        }
+    };
+    let prepared = match tenant.prepared(text) {
+        Ok(p) => p,
+        Err(e) => return engine_error(&e),
+    };
+    match mode {
+        Mode::Execute => match prepared.execute_with(bindings) {
+            Ok(outcome) => Outcome {
+                status: 200,
+                body: outcome_json(&outcome),
+            },
+            Err(e) => engine_error(&e),
+        },
+        Mode::Explain => match prepared.explain_with(bindings) {
+            Ok(report) => Outcome {
+                status: 200,
+                body: explain_json(&report),
+            },
+            Err(e) => engine_error(&e),
+        },
+    }
+}
+
+fn engine_error(e: &EngineError) -> Outcome {
+    // The caller's fault (bad query) is a 400; the server's (storage,
+    // model, solver) is a 500.
+    let status = match e {
+        EngineError::Query(_) | EngineError::Unsupported(_) | EngineError::Plan(_) => 400,
+        EngineError::Storage(_)
+        | EngineError::Causal(_)
+        | EngineError::Ml(_)
+        | EngineError::Ip(_) => 500,
+    };
+    Outcome {
+        status,
+        body: Json::obj([("error", e.to_string().into())]),
+    }
+}
+
+/// Render a query outcome. Floats use shortest-round-trip formatting, so
+/// a client parsing `value` recovers the library result bit-for-bit.
+pub fn outcome_json(outcome: &QueryOutcome) -> Json {
+    match outcome {
+        QueryOutcome::WhatIf(w) => Json::obj([
+            ("kind", "whatif".into()),
+            ("value", w.value.into()),
+            ("view_rows", w.n_view_rows.into()),
+            ("scope_rows", w.n_scope_rows.into()),
+            ("updated_rows", w.n_updated_rows.into()),
+            ("trained_rows", w.trained_rows.into()),
+            (
+                "backdoor",
+                Json::Arr(w.backdoor.iter().map(|c| c.as_str().into()).collect()),
+            ),
+            ("elapsed_us", (w.elapsed.as_micros() as u64).into()),
+        ]),
+        QueryOutcome::HowTo(h) => Json::obj([
+            ("kind", "howto".into()),
+            ("objective", h.objective.into()),
+            ("baseline", h.baseline.into()),
+            (
+                "chosen",
+                Json::Arr(
+                    h.chosen
+                        .iter()
+                        .map(|u| {
+                            Json::obj([
+                                ("attr", u.attr.as_str().into()),
+                                ("update", u.func.to_string().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("candidates", h.candidates.into()),
+            ("whatif_evals", h.whatif_evals.into()),
+            ("elapsed_us", (h.elapsed.as_micros() as u64).into()),
+        ]),
+    }
+}
+
+fn explain_json(r: &hyper_core::ExplainReport) -> Json {
+    let kind = match r.kind {
+        hyper_core::QueryKind::WhatIf => "whatif",
+        hyper_core::QueryKind::HowTo => "howto",
+    };
+    let view = Json::obj([
+        (
+            "source_tables",
+            Json::Arr(
+                r.view
+                    .source_tables
+                    .iter()
+                    .map(|t| t.as_str().into())
+                    .collect(),
+            ),
+        ),
+        ("rows", r.view.rows.into()),
+        ("columns", r.view.columns.into()),
+        ("provenance", r.view.provenance.to_string().into()),
+    ]);
+    let blocks = r.blocks.as_ref().map_or(Json::Null, |b| {
+        Json::obj([
+            ("count", b.count.into()),
+            ("used_in_evaluation", b.used_in_evaluation.into()),
+            ("provenance", b.provenance.to_string().into()),
+        ])
+    });
+    let estimator = r.estimator.as_ref().map_or(Json::Null, |e| {
+        Json::obj([
+            ("kind", format!("{:?}", e.kind).into()),
+            ("n_trees", e.n_trees.into()),
+            ("max_depth", e.max_depth.into()),
+            ("provenance", e.provenance.to_string().into()),
+        ])
+    });
+    let howto = r.howto.as_ref().map_or(Json::Null, |h| {
+        Json::obj([
+            (
+                "update_attrs",
+                Json::Arr(h.update_attrs.iter().map(|a| a.as_str().into()).collect()),
+            ),
+            ("buckets", h.buckets.into()),
+            ("limits", h.limits.into()),
+        ])
+    });
+    Json::obj([
+        ("kind", kind.into()),
+        ("query", r.query.as_str().into()),
+        ("deterministic", r.deterministic.into()),
+        ("view", view),
+        ("blocks", blocks),
+        (
+            "adjustment",
+            Json::Arr(r.adjustment.iter().map(|c| c.as_str().into()).collect()),
+        ),
+        ("estimator", estimator),
+        ("howto", howto),
+    ])
+}
+
+fn stats_outcome(inner: &Arc<Inner>) -> Outcome {
+    let mut tenants = std::collections::BTreeMap::new();
+    // Every *registered* tenant appears, loaded or not; per-tenant
+    // session stats use the torn-read-free snapshot accessor.
+    let ids: Vec<String> = inner
+        .tenants
+        .registry()
+        .tenants()
+        .map(str::to_string)
+        .collect();
+    for id in &ids {
+        let loaded = inner
+            .tenants
+            .loaded(id)
+            .map(|t| (inner.tenants.snapshot_loads(id), t.session().snapshot()));
+        tenants.insert(id.clone(), inner.stats.tenant_json(id, loaded));
+    }
+    let body = Json::obj([
+        (
+            "server",
+            inner.stats.server_json(
+                inner.admission.queue_len(),
+                inner.admission.queue_capacity(),
+                inner.admission.workers(),
+            ),
+        ),
+        ("tenants", Json::obj_sorted(tenants)),
+    ]);
+    Outcome { status: 200, body }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}

@@ -1,0 +1,174 @@
+//! Server-side counters: what the admission layer did to every request,
+//! per tenant and in aggregate — the server half of `/stats` (the other
+//! half is each tenant session's consistent
+//! [`SessionStats`](hyper_core::SessionStats) snapshot).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Admission counters for one tenant (or, summed, for the server).
+/// All counters are cumulative except [`TenantCounters::in_flight`],
+/// which is a gauge of requests admitted but not yet answered.
+#[derive(Debug, Default)]
+pub struct TenantCounters {
+    /// Requests admitted to the queue.
+    pub accepted: AtomicU64,
+    /// Requests refused with 503 because the queue was full.
+    pub shed: AtomicU64,
+    /// Admitted requests whose caller gave up with a 504 before the
+    /// executor finished (the execution still completes and populates
+    /// caches — the session is never poisoned).
+    pub timeouts: AtomicU64,
+    /// Admitted requests executed to completion (any status).
+    pub completed: AtomicU64,
+    /// Completed requests that answered 2xx.
+    pub ok: AtomicU64,
+    /// Admitted requests currently queued or executing.
+    pub in_flight: AtomicU64,
+}
+
+impl TenantCounters {
+    fn to_json(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("accepted", self.accepted.load(Ordering::Relaxed).into()),
+            ("shed", self.shed.load(Ordering::Relaxed).into()),
+            ("timeouts", self.timeouts.load(Ordering::Relaxed).into()),
+            ("completed", self.completed.load(Ordering::Relaxed).into()),
+            ("ok", self.ok.load(Ordering::Relaxed).into()),
+            ("in_flight", self.in_flight.load(Ordering::Relaxed).into()),
+        ]
+    }
+}
+
+/// All server counters: global request/connection totals plus one
+/// [`TenantCounters`] per tenant id that has been seen on `/query` or
+/// `/explain`. Only *registered* tenants get an entry — requests naming
+/// unknown tenants are counted globally (`not_found`), so hostile
+/// traffic cannot grow the map without bound.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Connections currently open.
+    pub connections_open: AtomicU64,
+    /// Requests parsed off connections (any path).
+    pub requests: AtomicU64,
+    /// Malformed HTTP requests answered with a typed 4xx.
+    pub malformed: AtomicU64,
+    /// Requests for unknown paths or unknown tenants (404s).
+    pub not_found: AtomicU64,
+    per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
+}
+
+impl ServerStats {
+    /// The counters for `tenant`, created on first touch.
+    pub fn tenant(&self, tenant: &str) -> Arc<TenantCounters> {
+        let mut map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(tenant.to_string()).or_default())
+    }
+
+    /// Per-tenant counters snapshot, sorted by tenant id.
+    pub fn tenants(&self) -> Vec<(String, Arc<TenantCounters>)> {
+        let map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Sum a counter across tenants.
+    pub fn total(&self, pick: impl Fn(&TenantCounters) -> &AtomicU64) -> u64 {
+        let map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
+        map.values().map(|c| pick(c).load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `"server"` object of the `/stats` response.
+    pub fn server_json(&self, queue_len: usize, queue_capacity: usize, workers: usize) -> Json {
+        Json::obj([
+            (
+                "connections",
+                self.connections.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "connections_open",
+                self.connections_open.load(Ordering::Relaxed).into(),
+            ),
+            ("requests", self.requests.load(Ordering::Relaxed).into()),
+            ("malformed", self.malformed.load(Ordering::Relaxed).into()),
+            ("not_found", self.not_found.load(Ordering::Relaxed).into()),
+            ("accepted", self.total(|c| &c.accepted).into()),
+            ("shed", self.total(|c| &c.shed).into()),
+            ("timeouts", self.total(|c| &c.timeouts).into()),
+            ("completed", self.total(|c| &c.completed).into()),
+            ("in_flight", self.total(|c| &c.in_flight).into()),
+            ("queue_len", queue_len.into()),
+            ("queue_capacity", queue_capacity.into()),
+            ("workers", workers.into()),
+        ])
+    }
+
+    /// One tenant's `/stats` entry: admission counters plus (when the
+    /// tenant's session is loaded) its consistent session snapshot.
+    pub fn tenant_json(
+        &self,
+        tenant: &str,
+        loaded: Option<(u64, hyper_core::SessionStats)>,
+    ) -> Json {
+        let counters = self.tenant(tenant);
+        let mut fields = counters.to_json();
+        match loaded {
+            Some((snapshot_loads, s)) => {
+                fields.push(("loaded", true.into()));
+                fields.push(("snapshot_loads", snapshot_loads.into()));
+                fields.push(("session", session_json(&s)));
+            }
+            None => fields.push(("loaded", false.into())),
+        }
+        Json::obj(fields)
+    }
+}
+
+/// Render a consistent [`SessionStats`](hyper_core::SessionStats)
+/// snapshot (taken via `HyperSession::snapshot()`).
+pub fn session_json(s: &hyper_core::SessionStats) -> Json {
+    Json::obj([
+        ("view_hits", s.view_hits.into()),
+        ("view_misses", s.view_misses.into()),
+        ("view_shared_hits", s.view_shared_hits.into()),
+        ("view_disk_hits", s.view_disk_hits.into()),
+        ("estimator_hits", s.estimator_hits.into()),
+        ("estimator_misses", s.estimator_misses.into()),
+        ("estimator_shared_hits", s.estimator_shared_hits.into()),
+        ("estimator_disk_hits", s.estimator_disk_hits.into()),
+        ("block_hits", s.block_hits.into()),
+        ("block_misses", s.block_misses.into()),
+        ("block_shared_hits", s.block_shared_hits.into()),
+        ("views_cached", s.views_cached.into()),
+        ("estimators_cached", s.estimators_cached.into()),
+        ("queries_prepared", s.queries_prepared.into()),
+        ("queries_executed", s.queries_executed.into()),
+        ("texts_parsed", s.texts_parsed.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_tenant_counters_are_shared_and_summed() {
+        let stats = ServerStats::default();
+        stats.tenant("a").accepted.fetch_add(2, Ordering::Relaxed);
+        stats.tenant("b").accepted.fetch_add(3, Ordering::Relaxed);
+        stats.tenant("a").shed.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(stats.total(|c| &c.accepted), 5);
+        assert_eq!(stats.total(|c| &c.shed), 1);
+        let names: Vec<String> = stats.tenants().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        let json = stats.server_json(0, 8, 2).render();
+        assert!(json.contains("\"accepted\":5"));
+        assert!(json.contains("\"queue_capacity\":8"));
+    }
+}

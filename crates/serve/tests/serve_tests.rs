@@ -1,0 +1,536 @@
+//! End-to-end tests for hyper-serve: each test boots a real server on an
+//! OS-assigned port, talks to it over real TCP, and (where applicable)
+//! compares responses against the library path on the same snapshot —
+//! **bit-for-bit**, not within a tolerance: the server renders floats
+//! with shortest-round-trip formatting, so `f64::to_bits` must agree.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use hyper_core::{EngineConfig, HyperSession, QueryOutcome};
+use hyper_serve::{Client, Json, ServeConfig, Server};
+use hyper_store::Snapshot;
+
+const WHATIF: &str = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+const WHATIF_PARAM: &str =
+    "Use german_syn Update(status) = Param(s) Output Count(Post(credit) = 'Good')";
+const HOWTO: &str = "Use german_syn HowToUpdate savings ToMaximize Count(Post(credit) = 'Good')";
+
+/// Build a registry directory holding one german-syn tenant per seed.
+fn registry_dir(tag: &str, rows: usize, seeds: &[u64]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("hyper_serve_it_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let data = hyper_datasets::german_syn(rows, seed);
+        Snapshot::new(data.db, Some(data.graph))
+            .save(dir.join(format!("t{i}.hypr")))
+            .unwrap();
+    }
+    dir
+}
+
+/// The library path over the same snapshot file the server serves.
+fn library_session(dir: &std::path::Path, tenant: &str) -> HyperSession {
+    let snapshot = Snapshot::load(dir.join(format!("{tenant}.hypr"))).unwrap();
+    HyperSession::builder(snapshot.database)
+        .maybe_graph(snapshot.graph)
+        .config(EngineConfig::hyper())
+        .build()
+}
+
+fn start(dir: &std::path::Path, config: ServeConfig) -> Server {
+    Server::start(dir, config).expect("server starts")
+}
+
+#[test]
+fn multi_tenant_responses_match_the_library_bit_for_bit() {
+    let dir = registry_dir("parity", 900, &[1, 2]);
+    let server = start(&dir, ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    for tenant in ["t0", "t1"] {
+        let lib = library_session(&dir, tenant);
+
+        // Plain what-if.
+        let response = client.query("/query", tenant, WHATIF, &[]).unwrap();
+        assert_eq!(response.status, 200, "{:?}", response.json());
+        let body = response.json().unwrap();
+        let expect = lib.whatif_text(WHATIF).unwrap();
+        let got = body.get("value").and_then(Json::as_f64).unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expect.value.to_bits(),
+            "{tenant}: server {got} vs library {}",
+            expect.value
+        );
+        assert_eq!(
+            body.get("view_rows").and_then(Json::as_i64).unwrap() as usize,
+            expect.n_view_rows
+        );
+        assert_eq!(
+            body.get("updated_rows").and_then(Json::as_i64).unwrap() as usize,
+            expect.n_updated_rows
+        );
+
+        // Parameterized what-if: bindings travel the wire.
+        for s in [0i64, 2] {
+            let response = client
+                .query("/query", tenant, WHATIF_PARAM, &[("s", Json::Int(s))])
+                .unwrap();
+            assert_eq!(response.status, 200);
+            let got = response
+                .json()
+                .unwrap()
+                .get("value")
+                .and_then(Json::as_f64)
+                .unwrap();
+            let prepared = lib.prepare(WHATIF_PARAM).unwrap();
+            let expect = prepared
+                .execute_whatif_with(&hyper_query::Bindings::new().set("s", s))
+                .unwrap();
+            assert_eq!(got.to_bits(), expect.value.to_bits(), "{tenant} s={s}");
+        }
+
+        // How-to: objective, baseline, and the chosen updates all match.
+        let response = client.query("/query", tenant, HOWTO, &[]).unwrap();
+        assert_eq!(response.status, 200, "{:?}", response.json());
+        let body = response.json().unwrap();
+        let expect = lib.howto_text(HOWTO).unwrap();
+        assert_eq!(
+            body.get("objective")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            expect.objective.to_bits()
+        );
+        assert_eq!(
+            body.get("baseline")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            expect.baseline.to_bits()
+        );
+        let chosen = match body.get("chosen").unwrap() {
+            Json::Arr(items) => items
+                .iter()
+                .map(|u| {
+                    format!(
+                        "{}={}",
+                        u.get("attr").and_then(Json::as_str).unwrap(),
+                        u.get("update").and_then(Json::as_str).unwrap()
+                    )
+                })
+                .collect::<Vec<_>>(),
+            other => panic!("chosen should be an array, got {other:?}"),
+        };
+        let expect_chosen: Vec<String> = expect
+            .chosen
+            .iter()
+            .map(|u| format!("{}={}", u.attr, u.func))
+            .collect();
+        assert_eq!(chosen, expect_chosen, "{tenant}");
+
+        // Explain mirrors the library plan.
+        let response = client.query("/explain", tenant, WHATIF, &[]).unwrap();
+        assert_eq!(response.status, 200);
+        let body = response.json().unwrap();
+        let report = lib.prepare(WHATIF).unwrap().explain().unwrap();
+        assert_eq!(body.get("kind").and_then(Json::as_str), Some("whatif"));
+        assert_eq!(
+            body.get("deterministic").and_then(Json::as_bool),
+            Some(report.deterministic)
+        );
+        assert_eq!(
+            body.get("view").unwrap().get("rows").and_then(Json::as_i64),
+            Some(report.view.rows as i64)
+        );
+    }
+
+    // The two tenants were generated with different seeds: their answers
+    // must differ, or the server is routing every tenant to one session.
+    let v0 = client
+        .query("/query", "t0", WHATIF, &[])
+        .unwrap()
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let v1 = client
+        .query("/query", "t1", WHATIF, &[])
+        .unwrap()
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_ne!(v0.to_bits(), v1.to_bits(), "tenants must be isolated");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn concurrent_first_requests_load_each_snapshot_once() {
+    let dir = registry_dir("singleflight", 600, &[3]);
+    let server = start(
+        &dir,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let barrier = Arc::new(Barrier::new(8));
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                let response = client.query("/query", "t0", WHATIF, &[]).unwrap();
+                assert_eq!(response.status, 200, "{:?}", response.json());
+            });
+        }
+    });
+
+    assert_eq!(
+        server.tenants().snapshot_loads("t0"),
+        1,
+        "8 concurrent first requests must trigger exactly one snapshot load"
+    );
+
+    // /stats agrees and includes the loaded session's counters.
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let t0 = stats.get("tenants").unwrap().get("t0").unwrap();
+    assert_eq!(t0.get("loaded").and_then(Json::as_bool), Some(true));
+    assert_eq!(t0.get("snapshot_loads").and_then(Json::as_i64), Some(1));
+    assert_eq!(t0.get("accepted").and_then(Json::as_i64), Some(8));
+    assert_eq!(t0.get("ok").and_then(Json::as_i64), Some(8));
+    assert_eq!(t0.get("in_flight").and_then(Json::as_i64), Some(0));
+    assert_eq!(
+        t0.get("session")
+            .unwrap()
+            .get("texts_parsed")
+            .and_then(Json::as_i64),
+        Some(1),
+        "identical query text parses once; 7 requests ride the template"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn saturation_sheds_with_typed_503_and_retry_after() {
+    let dir = registry_dir("shed", 1500, &[4]);
+    // One executor, queue of one: at most 2 requests in the house; a
+    // 12-wide simultaneous burst of *distinct* texts (each trains a fresh
+    // estimator) must shed.
+    let server = start(
+        &dir,
+        ServeConfig {
+            workers: 1,
+            queue_depth: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let ok = AtomicUsize::new(0);
+    let shed = AtomicUsize::new(0);
+    let barrier = Barrier::new(12);
+    std::thread::scope(|scope| {
+        for i in 0..12 {
+            let (ok, shed, barrier) = (&ok, &shed, &barrier);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let text = format!(
+                    "Use german_syn Update(status) = {} Output Count(Post(credit) = 'Good')",
+                    i % 4
+                );
+                barrier.wait();
+                let response = client.query("/query", "t0", &text, &[]).unwrap();
+                match response.status {
+                    200 => {
+                        ok.fetch_add(1, Ordering::Relaxed);
+                    }
+                    503 => {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        assert_eq!(
+                            response.header("retry-after"),
+                            Some("1"),
+                            "shed responses carry Retry-After"
+                        );
+                        let body = response.json().unwrap();
+                        let msg = body.get("error").and_then(Json::as_str).unwrap();
+                        assert!(msg.contains("queue"), "{msg}");
+                    }
+                    other => panic!("only 200 or 503 are acceptable, got {other}"),
+                }
+            });
+        }
+    });
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    assert_eq!(ok + shed, 12);
+    assert!(ok >= 1, "at least one request must be served");
+    assert!(shed >= 1, "a 12-wide burst into capacity 2 must shed");
+
+    // The server is alive and consistent after the storm: /health inline,
+    // /stats books every shed, and a fresh query succeeds.
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.request("GET", "/health", None).unwrap().status, 200);
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let t0 = stats.get("tenants").unwrap().get("t0").unwrap();
+    assert_eq!(t0.get("shed").and_then(Json::as_i64), Some(shed as i64));
+    assert_eq!(t0.get("accepted").and_then(Json::as_i64), Some(ok as i64));
+    let response = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(response.status, 200);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_answer_typed_4xx_and_never_kill_the_server() {
+    let dir = registry_dir("malformed", 300, &[5]);
+    let server = start(&dir, ServeConfig::default());
+    let addr = server.addr();
+
+    // Hostile bytes on the wire → 400, connection dropped, server fine.
+    let mut raw = Client::connect(addr).unwrap();
+    let response = raw.send_raw(b"EXPLODE !!! nonsense\r\n\r\n").unwrap();
+    assert_eq!(response.status, 400);
+
+    // Unsupported HTTP version → 400.
+    let mut raw = Client::connect(addr).unwrap();
+    let response = raw.send_raw(b"GET /health HTTP/2.0\r\n\r\n").unwrap();
+    assert_eq!(response.status, 400);
+
+    // POST without Content-Length → 411.
+    let mut raw = Client::connect(addr).unwrap();
+    let response = raw
+        .send_raw(b"POST /query HTTP/1.1\r\nHost: h\r\n\r\n")
+        .unwrap();
+    assert_eq!(response.status, 411);
+
+    // Oversized declared body → 413.
+    let mut raw = Client::connect(addr).unwrap();
+    let response = raw
+        .send_raw(b"POST /query HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+        .unwrap();
+    assert_eq!(response.status, 413);
+
+    let mut client = Client::connect(addr).unwrap();
+    // Bad JSON body → 400 (connection stays usable: protocol errors are
+    // not framing errors).
+    let response = client
+        .request("POST", "/query", Some(&Json::Str("not an object".into())))
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Missing fields → 400.
+    let response = client
+        .request(
+            "POST",
+            "/query",
+            Some(&Json::obj([("tenant", "t0".into())])),
+        )
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Non-scalar binding → 400.
+    let response = client
+        .query("/query", "t0", WHATIF_PARAM, &[("s", Json::Arr(vec![]))])
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Unparseable query text → 400 from the engine, typed.
+    let response = client
+        .query("/query", "t0", "Use nonsense !!!", &[])
+        .unwrap();
+    assert_eq!(response.status, 400);
+    // Unknown tenant → 404 without loading anything.
+    let response = client.query("/query", "intruder", WHATIF, &[]).unwrap();
+    assert_eq!(response.status, 404);
+    // Unknown path → 404; wrong method on a real path → 405.
+    assert_eq!(client.request("GET", "/nope", None).unwrap().status, 404);
+    assert_eq!(client.request("GET", "/query", None).unwrap().status, 405);
+
+    // After all of that: still healthy, still serving.
+    assert_eq!(client.request("GET", "/health", None).unwrap().status, 200);
+    let response = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(response.status, 200);
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let malformed = stats
+        .get("server")
+        .unwrap()
+        .get("malformed")
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(
+        malformed >= 5,
+        "typed failures are counted, got {malformed}"
+    );
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn timeout_answers_504_and_the_session_is_not_poisoned() {
+    let dir = registry_dir("timeout", 1200, &[6]);
+    let server = start(&dir, ServeConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A 1ms deadline on a cold tenant (snapshot load + view + training)
+    // cannot be met: the caller gets a typed 504 while the executor
+    // finishes in the background and warms every cache.
+    let body = Json::obj([
+        ("tenant", "t0".into()),
+        ("query", WHATIF.into()),
+        ("timeout_ms", Json::Int(1)),
+    ]);
+    let response = client.request("POST", "/query", Some(&body)).unwrap();
+    assert_eq!(response.status, 504, "{:?}", response.json());
+
+    // The same query with a sane deadline succeeds on the same session
+    // and still matches the library bit-for-bit.
+    let response = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.json());
+    let got = response
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let expect = library_session(&dir, "t0").whatif_text(WHATIF).unwrap();
+    assert_eq!(got.to_bits(), expect.value.to_bits());
+
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let t0 = stats.get("tenants").unwrap().get("t0").unwrap();
+    assert_eq!(t0.get("timeouts").and_then(Json::as_i64), Some(1));
+    assert_eq!(t0.get("snapshot_loads").and_then(Json::as_i64), Some(1));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let dir = registry_dir("drain", 1500, &[7]);
+    let server = start(
+        &dir,
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let addr = server.addr();
+
+    let in_flight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.query("/query", "t0", WHATIF, &[]).unwrap()
+    });
+
+    // Wait until the request is admitted (queued or executing)…
+    let counters = server.stats().tenant("t0");
+    let start = Instant::now();
+    while counters.in_flight.load(Ordering::Relaxed) == 0 {
+        assert!(
+            start.elapsed() < Duration::from_secs(30),
+            "request was never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // …then shut down mid-execution. shutdown() blocks until the
+    // admitted job drains, and the waiting client must still get its
+    // full, correct answer.
+    server.shutdown();
+
+    let response = in_flight.join().expect("client thread");
+    assert_eq!(response.status, 200, "in-flight work drains to an answer");
+    let got = response
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let expect = library_session(&dir, "t0").whatif_text(WHATIF).unwrap();
+    assert_eq!(got.to_bits(), expect.value.to_bits());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stats_is_served_inline_and_health_reports_tenant_count() {
+    let dir = registry_dir("inline", 300, &[8, 9]);
+    let server = start(&dir, ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let health = client.request("GET", "/health", None).unwrap();
+    assert_eq!(health.status, 200);
+    let body = health.json().unwrap();
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(body.get("tenants").and_then(Json::as_i64), Some(2));
+
+    // Both registered tenants appear in /stats before any load.
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    for t in ["t0", "t1"] {
+        let entry = stats.get("tenants").unwrap().get(t).unwrap();
+        assert_eq!(entry.get("loaded").and_then(Json::as_bool), Some(false));
+    }
+    let srv = stats.get("server").unwrap();
+    assert_eq!(srv.get("queue_capacity").and_then(Json::as_i64), Some(64));
+    assert_eq!(srv.get("workers").and_then(Json::as_i64), Some(2));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Outcome rendering itself is exercised against the engine types here
+/// (the servers above cover it end-to-end; this pins the float path).
+#[test]
+fn outcome_json_renders_floats_shortest_round_trip() {
+    let outcome = QueryOutcome::WhatIf(hyper_core::WhatIfResult {
+        value: 0.1 + 0.2,
+        n_view_rows: 3,
+        n_scope_rows: 2,
+        n_updated_rows: 1,
+        backdoor: vec!["z".to_string()],
+        trained_rows: 3,
+        elapsed: Duration::from_micros(7),
+    });
+    let rendered = hyper_serve::outcome_json(&outcome).render();
+    assert!(
+        rendered.contains("\"value\":0.30000000000000004"),
+        "{rendered}"
+    );
+    let back = hyper_serve::json::parse(&rendered).unwrap();
+    assert_eq!(
+        back.get("value").and_then(Json::as_f64).unwrap().to_bits(),
+        (0.1f64 + 0.2).to_bits()
+    );
+}

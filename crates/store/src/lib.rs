@@ -45,6 +45,9 @@
 //!
 //! * [`Snapshot`] — a whole scenario (database + causal graph) in one
 //!   file; `hyper-snapshot save/load/inspect` is a thin CLI over it.
+//! * [`SnapshotRegistry`] — a directory of `<tenant>.hypr` snapshot
+//!   files mapping tenant ids to scenarios; `hyper-serve` loads tenants
+//!   from one lazily (single-flight) on first request.
 //! * [`artifact`] — single-artifact files (relevant view / fitted
 //!   estimator / block decomposition) with kind + full cache key +
 //!   shard fingerprints in the header; `hyper-core` files these under a
@@ -59,6 +62,7 @@ pub mod codec;
 pub mod container;
 pub mod error;
 pub mod mlcodec;
+pub mod registry;
 pub mod snapshot;
 pub mod tablecodec;
 
@@ -71,6 +75,7 @@ pub use mlcodec::{
     decode_encoder, decode_forest, decode_linear, decode_tree, encode_encoder, encode_forest,
     encode_linear, encode_tree,
 };
+pub use registry::SnapshotRegistry;
 pub use snapshot::{Snapshot, SnapshotInfo};
 pub use tablecodec::{
     decode_database, decode_schema, decode_table, encode_database, encode_schema, encode_table,

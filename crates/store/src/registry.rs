@@ -1,0 +1,173 @@
+//! The tenant snapshot registry: a directory of `HYPR1` scenario files,
+//! one per tenant.
+//!
+//! `hyper-serve` maps tenant ids to `(database, graph)` scenarios via a
+//! [`SnapshotRegistry`]: a directory whose `*.hypr` files each hold one
+//! [`Snapshot`], with the file stem as the tenant id —
+//!
+//! ```text
+//! registry/
+//! ├── acme.hypr      ← tenant "acme"
+//! ├── globex.hypr    ← tenant "globex"
+//! └── initech.hypr   ← tenant "initech"
+//! ```
+//!
+//! The registry itself only resolves names to paths (one cheap directory
+//! scan at [`SnapshotRegistry::open`]); loading — the expensive,
+//! fully-validating decode — happens per tenant via
+//! [`SnapshotRegistry::load`], which callers are expected to wrap in
+//! their own single-flight cache (the server caches a `HyperSession` per
+//! tenant and guarantees N concurrent first requests cause exactly one
+//! load). [`SnapshotRegistry::inspect`] summarizes a tenant's file
+//! without decoding its data sections.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::error::{Result, StoreError};
+use crate::snapshot::{Snapshot, SnapshotInfo};
+
+/// The `*.hypr` extension registry files must carry.
+pub const SNAPSHOT_EXT: &str = "hypr";
+
+/// A directory mapping tenant ids to scenario snapshot files.
+///
+/// Tenant ids are the file stems, kept in sorted order for deterministic
+/// listings. The scan is a point-in-time view: files added to the
+/// directory later are picked up by re-`open`ing.
+#[derive(Debug, Clone)]
+pub struct SnapshotRegistry {
+    dir: PathBuf,
+    tenants: BTreeMap<String, PathBuf>,
+}
+
+impl SnapshotRegistry {
+    /// Scan `dir` for `*.hypr` snapshot files. Fails with a typed error
+    /// when the directory cannot be read; an empty directory is a valid
+    /// (empty) registry.
+    pub fn open(dir: impl AsRef<Path>) -> Result<SnapshotRegistry> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut tenants = BTreeMap::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let is_snapshot = path.is_file()
+                && path
+                    .extension()
+                    .is_some_and(|e| e.eq_ignore_ascii_case(SNAPSHOT_EXT));
+            if !is_snapshot {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            tenants.insert(stem.to_string(), path);
+        }
+        Ok(SnapshotRegistry { dir, tenants })
+    }
+
+    /// The scanned directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Registered tenant ids, sorted.
+    pub fn tenants(&self) -> impl Iterator<Item = &str> {
+        self.tenants.keys().map(String::as_str)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// True when no tenant is registered.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.is_empty()
+    }
+
+    /// True when `tenant` has a snapshot file.
+    pub fn contains(&self, tenant: &str) -> bool {
+        self.tenants.contains_key(tenant)
+    }
+
+    /// The snapshot path for `tenant`, if registered.
+    pub fn path(&self, tenant: &str) -> Option<&Path> {
+        self.tenants.get(tenant).map(PathBuf::as_path)
+    }
+
+    /// Load and fully validate `tenant`'s snapshot (checksums, structure,
+    /// fingerprints — see [`Snapshot::load`]). Unknown tenants are a
+    /// typed [`StoreError::Corrupt`]-free error: [`StoreError::Io`] with
+    /// `NotFound`, so servers can map it to a 404 without string
+    /// matching.
+    pub fn load(&self, tenant: &str) -> Result<Snapshot> {
+        let path = self.path(tenant).ok_or_else(|| {
+            StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("tenant `{tenant}` is not in the registry"),
+            ))
+        })?;
+        Snapshot::load(path)
+    }
+
+    /// Summarize `tenant`'s snapshot file without decoding data sections.
+    pub fn inspect(&self, tenant: &str) -> Result<SnapshotInfo> {
+        let path = self.path(tenant).ok_or_else(|| {
+            StoreError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("tenant `{tenant}` is not in the registry"),
+            ))
+        })?;
+        Snapshot::inspect(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{DataType, Database, Field, Schema, TableBuilder};
+
+    fn tiny_snapshot(seed: i64) -> Snapshot {
+        let mut db = Database::new();
+        let t = TableBuilder::with_key(
+            "t",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("x", DataType::Float),
+            ])
+            .unwrap(),
+            &["id"],
+        )
+        .unwrap()
+        .rows([vec![seed.into(), (seed as f64 * 0.5).into()]])
+        .unwrap()
+        .build();
+        db.add_table(t).unwrap();
+        Snapshot::new(db, None)
+    }
+
+    #[test]
+    fn open_lists_loads_and_rejects_unknown() {
+        let dir = std::env::temp_dir().join(format!("hyper_registry_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        tiny_snapshot(1).save(dir.join("acme.hypr")).unwrap();
+        tiny_snapshot(2).save(dir.join("globex.hypr")).unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+
+        let reg = SnapshotRegistry::open(&dir).unwrap();
+        assert_eq!(reg.tenants().collect::<Vec<_>>(), vec!["acme", "globex"]);
+        assert!(reg.contains("acme") && !reg.contains("notes"));
+
+        let acme = reg.load("acme").unwrap();
+        assert_eq!(acme.database.tables().len(), 1);
+        let info = reg.inspect("globex").unwrap();
+        assert_eq!(info.tables[0].1, 1);
+
+        match reg.load("missing") {
+            Err(StoreError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

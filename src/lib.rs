@@ -15,6 +15,7 @@
 //! | [`runtime`] | the shared execution runtime: one persistent worker pool for every parallel path |
 //! | [`store`]   | durable `HYPR1` binary snapshots: tables, databases, graphs, fitted models; the disk-tier artifact files |
 //! | [`core`]    | the HypeR engine: sessions, prepared queries, the three-tier artifact cache (local LRU → shared in-memory → disk) |
+//! | [`serve`]   | the multi-tenant HTTP query server: hand-rolled HTTP/1.1, tenant snapshot registry, admission control with fairness and load shedding |
 //! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
 //!
 //! ## Quickstart
@@ -137,6 +138,39 @@
 //! rebuild. The shared tier itself can be byte-budgeted
 //! (`SessionBuilder::shared_budget_bytes`), with evictions re-serving
 //! from the disk tier.
+//!
+//! ## Serving: HTTP, admission control, and tenancy over the wire
+//!
+//! The [`serve`] crate turns all of the above into a network service:
+//! the `hyper-serve` binary serves a *registry directory* of
+//! `<tenant>.hypr` snapshot files over hand-rolled HTTP/1.1 (`std::net`
+//! only — the workspace is offline). Each tenant's snapshot is loaded
+//! lazily on its first request behind a single-flight lock, its session
+//! cached for the life of the process, and repeat query texts ride the
+//! prepared-template path. In front of the engine sits an admission
+//! layer: a bounded queue with one lane per tenant drained round-robin
+//! by a fixed executor pool, so one tenant's burst cannot starve
+//! another; a full queue sheds typed `503 + Retry-After` responses
+//! without touching the engine, and per-request deadlines answer `504`
+//! while the executor finishes in the background (warming the caches —
+//! a timeout never poisons a session).
+//!
+//! ```text
+//! POST /query    {"tenant": "...", "query": "...", "bindings": {...}}
+//! POST /explain  same body — the static plan with cache provenance
+//! GET  /stats    server + per-tenant admission counters + SessionStats
+//! GET  /health   liveness (served inline, even under saturation)
+//! ```
+//!
+//! Responses render floats in shortest-round-trip form, so a client
+//! re-parsing `value` recovers the library-path `f64` bit-for-bit — the
+//! serve test suite asserts equality with `==`, not a tolerance.
+//! Because sessions share the process-wide artifact store, tenants
+//! serving content-identical snapshots share views and estimators
+//! across the wire too (`examples/serve_tenants.rs` boots a server with
+//! two tenants over one dataset and asserts via `/stats` that the
+//! second trained nothing). See `crates/serve/README.md` for the full
+//! protocol and the failure-mode table.
 
 pub use hyper_causal as causal;
 pub use hyper_core as core;
@@ -145,6 +179,7 @@ pub use hyper_ip as ip;
 pub use hyper_ml as ml;
 pub use hyper_query as query;
 pub use hyper_runtime as runtime;
+pub use hyper_serve as serve;
 pub use hyper_storage as storage;
 pub use hyper_store as store;
 
@@ -163,6 +198,7 @@ pub mod prelude {
         parse_query, Bindings, HExpr, HowTo, HypotheticalQuery, QueryKey, WhatIf,
     };
     pub use hyper_runtime::HyperRuntime;
+    pub use hyper_serve::{ServeConfig, Server};
     pub use hyper_storage::{AggFunc, Database, Table, Value};
-    pub use hyper_store::{Snapshot, StoreError};
+    pub use hyper_store::{Snapshot, SnapshotRegistry, StoreError};
 }
