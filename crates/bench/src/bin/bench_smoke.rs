@@ -5,7 +5,7 @@
 //! summary.
 //!
 //! Used by the CI `bench-smoke` job to track the perf trajectory: each
-//! run produces a `BENCH_6.json` artifact (override the path with
+//! run produces a `BENCH_7.json` artifact (override the path with
 //! `--out <path>` or the `BENCH_OUT` environment variable). Iteration
 //! counts are deliberately small — this guards against order-of-magnitude
 //! regressions, not microsecond drift. Gates enforced: the ≥3×
@@ -14,9 +14,12 @@
 //! measurement (28.9 ms) delivered by parallel histogram/cell-based
 //! forest training (PR 4), the ≥3× warm-start speedup of a simulated
 //! process restart recovering its artifacts from a populated persist
-//! directory instead of retraining (PR 5), and the hyper-serve HTTP
+//! directory instead of retraining (PR 5), the hyper-serve HTTP
 //! throughput floor — ≥100 queries/sec sustained over 8 persistent
-//! connections with zero shed requests (PR 6).
+//! connections with zero shed requests (PR 6) — and the ≥3× speedup of
+//! a block-scoped delta refresh over a from-scratch rebuild after a 1%
+//! append, with the untouched-block what-if required to be a pure cache
+//! hit (PR 7).
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -27,8 +30,10 @@ use hyper_bench::storage_baseline::{
 };
 use hyper_bench::time_avg;
 use hyper_core::{evaluate_whatif, EngineConfig, HyperSession, SharedArtifactStore};
+use hyper_ingest::DeltaBatch;
 use hyper_ml::{ForestParams, Matrix, RandomForest, RegressionTree, TableEncoder, TreeParams};
 use hyper_storage::ops::filter;
+use hyper_storage::{TableBuilder, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,7 +83,7 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .or_else(|| std::env::var("BENCH_OUT").ok())
-        .unwrap_or_else(|| "BENCH_6.json".to_string());
+        .unwrap_or_else(|| "BENCH_7.json".to_string());
     let reps: usize = std::env::var("BENCH_REPS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -220,6 +225,82 @@ fn main() {
         baseline_micros: Some(secs_to_us(cold_t)),
     });
 
+    // Ingest: block-scoped delta refresh vs a from-scratch rebuild. The
+    // session serves a working set of four filtered what-if templates
+    // over young applicants (`age = 0/1/< 2/< 1`); then a 1% append of
+    // senior applicants (every row has age = 2) lands. No filter admits
+    // any appended row, so every view, block, and estimator survives the
+    // refresh and the whole working set re-serves as pure cache hits —
+    // zero view rebuilds, zero retrains. Restoring service through
+    // `refresh` is gated ≥3× faster than the pre-ingest alternative: a
+    // cold session over the post-delta database rebuilding every view
+    // and retraining every estimator from scratch.
+    const UNTOUCHED_TEXTS: [&str; 4] = [
+        "Use (Select status, credit From german_syn Where age = 0) \
+         Update(status) = 3 Output Count(Post(credit) = 'Good')",
+        "Use (Select status, credit From german_syn Where age = 1) \
+         Update(status) = 3 Output Count(Post(credit) = 'Good')",
+        "Use (Select status, credit From german_syn Where age < 2) \
+         Update(status) = 3 Output Count(Post(credit) = 'Good')",
+        "Use (Select savings, credit From german_syn Where age < 1) \
+         Update(savings) = 0 Output Count(Post(credit) = 'Good')",
+    ];
+    for text in UNTOUCHED_TEXTS {
+        session.whatif_text(text).unwrap();
+    }
+    let mut appends = TableBuilder::new("german_syn", t.schema().clone());
+    for i in 0..(N / 100) as i64 {
+        appends = appends
+            .row(vec![
+                Value::Int(2),
+                Value::Int(i % 2),
+                Value::Int(i % 4),
+                Value::Int((i / 2) % 4),
+                Value::Int(i % 3),
+                Value::Int((i / 3) % 4),
+                Value::Str(if i % 4 == 0 { "Bad" } else { "Good" }.into()),
+            ])
+            .unwrap();
+    }
+    let delta = DeltaBatch::new().append(appends.build());
+    let refresh_t = time_avg(cold_reps, || {
+        let out = session.refresh(&delta).unwrap();
+        assert!(
+            out.report.views_kept >= UNTOUCHED_TEXTS.len(),
+            "every non-matching filtered view must survive the append"
+        );
+        let before = out.session.stats();
+        let mut sum = 0.0;
+        for text in UNTOUCHED_TEXTS {
+            sum += out.session.whatif_text(text).unwrap().value;
+        }
+        let after = out.session.stats();
+        assert_eq!(
+            (after.view_misses, after.estimator_misses),
+            (before.view_misses, before.estimator_misses),
+            "untouched-block what-ifs after a delta refresh must be pure cache hits"
+        );
+        sum
+    });
+    let post = Arc::new(delta.apply(session.database()).unwrap());
+    let rebuild_t = time_avg(cold_reps, || {
+        let cold = HyperSession::builder(Arc::clone(&post))
+            .graph(data.graph.clone())
+            .config(EngineConfig::hyper())
+            .share_artifacts(false)
+            .build();
+        let mut sum = 0.0;
+        for text in UNTOUCHED_TEXTS {
+            sum += cold.whatif_text(text).unwrap().value;
+        }
+        sum
+    });
+    entries.push(Entry {
+        name: "delta_refresh_german_10k",
+        micros: secs_to_us(refresh_t),
+        baseline_micros: Some(secs_to_us(rebuild_t)),
+    });
+
     // Serving: sustained queries/sec through the full HTTP + admission
     // stack — 8 persistent connections pipelining the prepared what-if
     // against a snapshot tenant. The queue (depth 64) can never fill at
@@ -298,7 +379,7 @@ fn main() {
     }
     let _ = write!(
         json,
-        "  ],\n  \"serve_qps\": {serve_qps:.1},\n  \"serve_shed\": {shed_total},\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 6\n}}\n"
+        "  ],\n  \"serve_qps\": {serve_qps:.1},\n  \"serve_shed\": {shed_total},\n  \"rows\": {N},\n  \"reps\": {reps},\n  \"issue\": 7\n}}\n"
     );
 
     std::fs::write(&out_path, &json).expect("write benchmark summary");
@@ -342,6 +423,18 @@ fn main() {
                 eprintln!(
                     "REGRESSION: warm start {:.1}us is less than 3x faster than \
                      retraining {b:.1}us ({speedup:.2}x)",
+                    e.micros
+                );
+                std::process::exit(1);
+            }
+            // Delta-refresh gate (PR 7): running the block-scoped
+            // survival analysis and re-serving the untouched what-if
+            // must beat a from-scratch session over the post-delta
+            // database by ≥3× (both sides measured live).
+            if e.name == "delta_refresh_german_10k" && speedup < 3.0 {
+                eprintln!(
+                    "REGRESSION: delta refresh {:.1}us is less than 3x faster than \
+                     a cold rebuild {b:.1}us ({speedup:.2}x)",
                     e.micros
                 );
                 std::process::exit(1);

@@ -62,6 +62,11 @@ impl From<hyper_ip::IpError> for EngineError {
         EngineError::Ip(e.to_string())
     }
 }
+impl From<hyper_ingest::IngestError> for EngineError {
+    fn from(e: hyper_ingest::IngestError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, EngineError>;

@@ -192,6 +192,10 @@ mod tests {
                 },
             ],
             table: t,
+            use_clause: hyper_query::UseClause::Table("v".into()),
+            provenance: crate::view::ViewProvenance::AllRows {
+                relation: "v".into(),
+            },
         }
     }
 

@@ -31,7 +31,10 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use hyper_causal::BlockDecomposition;
-use hyper_query::{HOp, Temporal, UpdateFunc};
+use hyper_query::{
+    HOp, QualifiedName, SelectItem, SelectStmt, TableRef, Temporal, UpdateFunc, UseClause,
+    UseCondition,
+};
 use hyper_storage::AggFunc;
 use hyper_store::{
     artifact::{read_artifact, write_artifact, ArtifactKind, ArtifactMeta},
@@ -39,7 +42,7 @@ use hyper_store::{
 };
 
 use crate::hexpr::BoundHExpr;
-use crate::view::{ColumnOrigin, RelevantView};
+use crate::view::{ColumnOrigin, RelevantView, ViewProvenance};
 use crate::whatif::estimator::{CausalEstimator, CellTable, FittedModel, PeerSummary};
 
 type SResult<T> = hyper_store::Result<T>;
@@ -223,6 +226,188 @@ fn decode_bound_hexpr(r: &mut ByteReader<'_>, depth: usize) -> SResult<BoundHExp
     })
 }
 
+// ----------------------------------------------------------- use clauses
+
+fn encode_opt_str(w: &mut ByteWriter, s: &Option<String>) {
+    match s {
+        None => w.write_u8(0),
+        Some(s) => {
+            w.write_u8(1);
+            w.write_str(s);
+        }
+    }
+}
+
+fn decode_opt_str(r: &mut ByteReader<'_>, what: &str) -> SResult<Option<String>> {
+    Ok(match r.read_u8(what)? {
+        0 => None,
+        1 => Some(r.read_string(what)?),
+        t => return Err(corrupt(format!("invalid option flag {t} for {what}"))),
+    })
+}
+
+fn encode_qname(w: &mut ByteWriter, q: &QualifiedName) {
+    encode_opt_str(w, &q.qualifier);
+    w.write_str(&q.name);
+}
+
+fn decode_qname(r: &mut ByteReader<'_>) -> SResult<QualifiedName> {
+    Ok(QualifiedName {
+        qualifier: decode_opt_str(r, "name qualifier")?,
+        name: r.read_string("qualified name")?,
+    })
+}
+
+fn encode_use_clause(w: &mut ByteWriter, u: &UseClause) {
+    match u {
+        UseClause::Table(name) => {
+            w.write_u8(0);
+            w.write_str(name);
+        }
+        UseClause::Select(s) => {
+            w.write_u8(1);
+            w.write_u64(s.items.len() as u64);
+            for item in &s.items {
+                match item {
+                    SelectItem::Column { name, alias } => {
+                        w.write_u8(0);
+                        encode_qname(w, name);
+                        encode_opt_str(w, alias);
+                    }
+                    SelectItem::Aggregate { func, arg, alias } => {
+                        w.write_u8(1);
+                        encode_agg(w, *func);
+                        encode_qname(w, arg);
+                        w.write_str(alias);
+                    }
+                }
+            }
+            w.write_u64(s.from.len() as u64);
+            for t in &s.from {
+                w.write_str(&t.table);
+                encode_opt_str(w, &t.alias);
+            }
+            w.write_u64(s.conditions.len() as u64);
+            for c in &s.conditions {
+                match c {
+                    UseCondition::Join(l, r) => {
+                        w.write_u8(0);
+                        encode_qname(w, l);
+                        encode_qname(w, r);
+                    }
+                    UseCondition::Filter { column, op, value } => {
+                        w.write_u8(1);
+                        encode_qname(w, column);
+                        encode_hop(w, *op);
+                        w.write_value(value);
+                    }
+                }
+            }
+            w.write_u64(s.group_by.len() as u64);
+            for g in &s.group_by {
+                encode_qname(w, g);
+            }
+        }
+    }
+}
+
+fn decode_use_clause(r: &mut ByteReader<'_>) -> SResult<UseClause> {
+    Ok(match r.read_u8("use-clause tag")? {
+        0 => UseClause::Table(r.read_string("use table")?),
+        1 => {
+            let n = r.read_len(2, "select item count")?;
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(match r.read_u8("select item tag")? {
+                    0 => SelectItem::Column {
+                        name: decode_qname(r)?,
+                        alias: decode_opt_str(r, "column alias")?,
+                    },
+                    1 => SelectItem::Aggregate {
+                        func: decode_agg(r)?,
+                        arg: decode_qname(r)?,
+                        alias: r.read_string("aggregate alias")?,
+                    },
+                    t => return Err(corrupt(format!("invalid select item tag {t}"))),
+                });
+            }
+            let n = r.read_len(9, "from count")?;
+            let mut from = Vec::with_capacity(n);
+            for _ in 0..n {
+                from.push(TableRef {
+                    table: r.read_string("from table")?,
+                    alias: decode_opt_str(r, "table alias")?,
+                });
+            }
+            let n = r.read_len(2, "condition count")?;
+            let mut conditions = Vec::with_capacity(n);
+            for _ in 0..n {
+                conditions.push(match r.read_u8("condition tag")? {
+                    0 => UseCondition::Join(decode_qname(r)?, decode_qname(r)?),
+                    1 => UseCondition::Filter {
+                        column: decode_qname(r)?,
+                        op: decode_hop(r)?,
+                        value: r.read_value("filter literal")?,
+                    },
+                    t => return Err(corrupt(format!("invalid condition tag {t}"))),
+                });
+            }
+            let n = r.read_len(9, "group-by count")?;
+            let mut group_by = Vec::with_capacity(n);
+            for _ in 0..n {
+                group_by.push(decode_qname(r)?);
+            }
+            UseClause::Select(SelectStmt {
+                items,
+                from,
+                conditions,
+                group_by,
+            })
+        }
+        t => return Err(corrupt(format!("invalid use-clause tag {t}"))),
+    })
+}
+
+fn encode_provenance(w: &mut ByteWriter, p: &ViewProvenance) {
+    match p {
+        ViewProvenance::AllRows { relation } => {
+            w.write_u8(0);
+            w.write_str(relation);
+        }
+        ViewProvenance::Filtered { relation } => {
+            w.write_u8(1);
+            w.write_str(relation);
+        }
+        ViewProvenance::Opaque { relations } => {
+            w.write_u8(2);
+            w.write_u64(relations.len() as u64);
+            for rel in relations {
+                w.write_str(rel);
+            }
+        }
+    }
+}
+
+fn decode_provenance(r: &mut ByteReader<'_>) -> SResult<ViewProvenance> {
+    Ok(match r.read_u8("provenance tag")? {
+        0 => ViewProvenance::AllRows {
+            relation: r.read_string("provenance relation")?,
+        },
+        1 => ViewProvenance::Filtered {
+            relation: r.read_string("provenance relation")?,
+        },
+        2 => {
+            let n = r.read_len(8, "provenance relation count")?;
+            let mut relations = Vec::with_capacity(n);
+            for _ in 0..n {
+                relations.push(r.read_string("provenance relation")?);
+            }
+            ViewProvenance::Opaque { relations }
+        }
+        t => return Err(corrupt(format!("invalid provenance tag {t}"))),
+    })
+}
+
 // -------------------------------------------------------- relevant views
 
 fn encode_view(w: &mut ByteWriter, view: &RelevantView) {
@@ -239,6 +424,8 @@ fn encode_view(w: &mut ByteWriter, view: &RelevantView) {
             }
         }
     }
+    encode_use_clause(w, &view.use_clause);
+    encode_provenance(w, &view.provenance);
 }
 
 fn decode_view(r: &mut ByteReader<'_>) -> SResult<RelevantView> {
@@ -265,7 +452,14 @@ fn decode_view(r: &mut ByteReader<'_>) -> SResult<RelevantView> {
             aggregated,
         });
     }
-    Ok(RelevantView { table, origins })
+    let use_clause = decode_use_clause(r)?;
+    let provenance = decode_provenance(r)?;
+    Ok(RelevantView {
+        table,
+        origins,
+        use_clause,
+        provenance,
+    })
 }
 
 // ------------------------------------------------------------ estimators
@@ -717,6 +911,32 @@ mod tests {
                     aggregated: Some(AggFunc::Min),
                 },
             ],
+            use_clause: UseClause::Select(SelectStmt {
+                items: vec![
+                    SelectItem::Column {
+                        name: QualifiedName::bare("price"),
+                        alias: None,
+                    },
+                    SelectItem::Aggregate {
+                        func: AggFunc::Min,
+                        arg: QualifiedName::qualified("T1", "brand"),
+                        alias: "brand".into(),
+                    },
+                ],
+                from: vec![TableRef {
+                    table: "product".into(),
+                    alias: Some("T1".into()),
+                }],
+                conditions: vec![UseCondition::Filter {
+                    column: QualifiedName::bare("price"),
+                    op: HOp::Gt,
+                    value: Value::Float(1.0),
+                }],
+                group_by: vec![QualifiedName::bare("price")],
+            }),
+            provenance: ViewProvenance::Opaque {
+                relations: vec!["product".into()],
+            },
         }
     }
 
@@ -727,6 +947,8 @@ mod tests {
         let back = RelevantView::decode_payload(&bytes).unwrap();
         assert_eq!(back.table.fingerprint(), v.table.fingerprint());
         assert_eq!(back.origins, v.origins);
+        assert_eq!(back.use_clause, v.use_clause);
+        assert_eq!(back.provenance, v.provenance);
     }
 
     #[test]

@@ -312,6 +312,18 @@ impl<T> KeyedCache<T> {
             .filter(|slot| slot.cell.get().is_some())
             .count()
     }
+
+    /// Every built entry as `(key, value)` — the survivor scan a delta
+    /// refresh runs over the local tier. No LRU touch: enumerating the
+    /// cache must not reorder eviction recency.
+    fn entries(&self) -> Vec<(String, Arc<T>)> {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter_map(|(k, slot)| slot.cell.get().map(|v| (k.clone(), Arc::clone(v))))
+            .collect()
+    }
 }
 
 /// Per-session store of session artifacts — relevant views, the block
@@ -326,7 +338,10 @@ pub struct ArtifactCache {
     shared: Option<Arc<SharedShard>>,
     /// The session's disk tier; `None` without a persist directory.
     disk: Option<Arc<DiskTier>>,
-    pub(crate) counters: CacheCounters,
+    /// Behind an `Arc` so a delta-refreshed session continues its
+    /// predecessor's cumulative [`super::SessionStats`] rather than
+    /// resetting them.
+    pub(crate) counters: Arc<CacheCounters>,
 }
 
 impl std::fmt::Debug for ArtifactCache {
@@ -350,13 +365,25 @@ impl ArtifactCache {
         shared: Option<Arc<SharedShard>>,
         disk: Option<Arc<DiskTier>>,
     ) -> ArtifactCache {
+        Self::with_counters(budget, shared, disk, Arc::new(CacheCounters::default()))
+    }
+
+    /// An empty cache that keeps counting into an existing counter set —
+    /// how [`super::HyperSession::refresh`] hands the post-delta session
+    /// its predecessor's cumulative statistics.
+    pub(crate) fn with_counters(
+        budget: CacheBudget,
+        shared: Option<Arc<SharedShard>>,
+        disk: Option<Arc<DiskTier>>,
+        counters: Arc<CacheCounters>,
+    ) -> ArtifactCache {
         ArtifactCache {
             views: KeyedCache::new(budget.max_views),
             estimators: KeyedCache::new(budget.max_estimators),
             blocks: KeyedCache::new(None),
             shared,
             disk,
-            counters: CacheCounters::default(),
+            counters,
         }
     }
 
@@ -654,6 +681,83 @@ impl ArtifactCache {
     /// Number of distinct cached estimators (diagnostics).
     pub(crate) fn cached_estimators(&self) -> usize {
         self.estimators.len()
+    }
+
+    /// Every locally cached view as `(key, view)` — the survivor scan of
+    /// a delta refresh.
+    pub(crate) fn view_entries(&self) -> Vec<(String, Arc<RelevantView>)> {
+        self.views.entries()
+    }
+
+    /// Every locally cached estimator as `(key, estimator)`.
+    pub(crate) fn estimator_entries(&self) -> Vec<(String, Arc<CausalEstimator>)> {
+        self.estimators.entries()
+    }
+
+    /// The locally cached block decomposition, if built (LRU-touching is
+    /// harmless here — the blocks store is uncapped).
+    pub(crate) fn cached_blocks(&self) -> Option<Arc<BlockDecomposition>> {
+        self.blocks.get_if_present("")
+    }
+
+    /// Install a delta-surviving artifact in **every** tier of this (new)
+    /// cache: the local tier, the session's shared shard (so sibling
+    /// sessions over the post-delta data inherit it without rebuilding),
+    /// and the disk tier (under the post-delta shard fingerprints).
+    /// Counters don't move — adoption is migration, not a hit.
+    fn adopt<T: DiskArtifact>(
+        &self,
+        local: &KeyedCache<T>,
+        select: fn(&SharedShard) -> &SharedCache<T>,
+        evictions: &AtomicU64,
+        key: &str,
+        value: Arc<T>,
+    ) {
+        if let Some(shard) = self.shared.as_deref() {
+            shard.insert_prebuilt(select, key, Arc::clone(&value), T::approx_bytes(&value));
+        }
+        if let Some(d) = self.disk.as_deref() {
+            d.store(key, &*value);
+        }
+        local.insert(key, value, evictions);
+    }
+
+    /// Adopt a surviving relevant view (see [`ArtifactCache::adopt`]).
+    pub(crate) fn adopt_view(&self, key: &str, view: Arc<RelevantView>) {
+        fn shard_views(s: &SharedShard) -> &SharedCache<RelevantView> {
+            &s.views
+        }
+        self.adopt(
+            &self.views,
+            shard_views,
+            &self.counters.view_evictions,
+            key,
+            view,
+        );
+    }
+
+    /// Adopt a surviving fitted estimator (see [`ArtifactCache::adopt`]).
+    pub(crate) fn adopt_estimator(&self, key: &str, est: Arc<CausalEstimator>) {
+        fn shard_estimators(s: &SharedShard) -> &SharedCache<CausalEstimator> {
+            &s.estimators
+        }
+        self.adopt(
+            &self.estimators,
+            shard_estimators,
+            &self.counters.estimator_evictions,
+            key,
+            est,
+        );
+    }
+
+    /// Adopt the freshly computed post-delta block decomposition, so the
+    /// refreshed session's first block-wise evaluation is a local hit.
+    pub(crate) fn adopt_blocks(&self, blocks: Arc<BlockDecomposition>) {
+        fn shard_blocks(s: &SharedShard) -> &SharedCache<BlockDecomposition> {
+            &s.blocks
+        }
+        let none = AtomicU64::new(0);
+        self.adopt(&self.blocks, shard_blocks, &none, "", blocks);
     }
 }
 

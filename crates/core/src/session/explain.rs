@@ -143,6 +143,9 @@ pub struct ExplainReport {
     pub estimator: Option<EstimatorPlan>,
     /// How-to plan (how-to only).
     pub howto: Option<HowToPlan>,
+    /// Delta version of the session's database snapshot: 0 for a freshly
+    /// built session, incremented by each [`HyperSession::refresh`].
+    pub data_version: u64,
 }
 
 impl ExplainReport {
@@ -174,6 +177,7 @@ impl fmt::Display for ExplainReport {
             },
             self.query
         )?;
+        writeln!(f, "  data version: {}", self.data_version)?;
         write!(
             f,
             "  view: tables=[{}] rows={} cols={}",
@@ -318,6 +322,7 @@ impl HyperSession {
                     deterministic: !plan.needs_estimation,
                     estimator,
                     howto: None,
+                    data_version: self.inner.data_version,
                 })
             }
             HypotheticalQuery::HowTo(q) => {
@@ -337,6 +342,7 @@ impl HyperSession {
                         max_attrs_updated: opts.max_attrs_updated,
                         limits: q.limits.len(),
                     }),
+                    data_version: self.inner.data_version,
                 })
             }
         }

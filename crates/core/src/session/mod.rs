@@ -58,6 +58,7 @@
 
 pub mod cache;
 pub mod explain;
+pub mod refresh;
 pub mod shared;
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -84,6 +85,7 @@ pub use cache::{ArtifactCache, CacheBudget};
 pub use explain::{
     BlockPlan, EstimatorPlan, ExplainReport, HowToPlan, Provenance, QueryKind, ViewPlan,
 };
+pub use refresh::{RefreshOutcome, RefreshReport};
 pub use shared::{SharedArtifactStore, SharedStoreStats};
 
 /// Outcome of executing hypothetical query text: either kind of result.
@@ -145,6 +147,36 @@ pub struct SessionStats {
     /// re-executions of prepared queries never parse, so a parameter sweep
     /// over one `PreparedQuery` leaves this unchanged.
     pub texts_parsed: u64,
+    /// Relevant views dropped by [`HyperSession::refresh`] because a
+    /// delta touched their source blocks (survivors migrate instead and
+    /// keep serving without a rebuild).
+    pub views_invalidated: u64,
+    /// Fitted estimators dropped by [`HyperSession::refresh`] — each one
+    /// is a retraining the next query on that key will pay.
+    pub estimators_invalidated: u64,
+    /// Prop.-1 blocks of the pre-delta decomposition whose content
+    /// fingerprint no longer occurs post-delta (the causally *touched*
+    /// blocks; untouched blocks keep their artifacts alive).
+    pub blocks_invalidated: u64,
+    /// Delta refreshes this session lineage has been through.
+    pub refreshes: u64,
+    /// The data version this session serves: the number of delta batches
+    /// applied since the base snapshot (0 = the snapshot itself).
+    pub data_version: u64,
+}
+
+/// Execution counters shared across a session's refresh lineage (a
+/// refreshed session continues its predecessor's counts, exactly like
+/// the cache counters behind [`ArtifactCache`]).
+#[derive(Debug, Default)]
+struct ExecCounters {
+    queries_prepared: AtomicU64,
+    queries_executed: AtomicU64,
+    texts_parsed: AtomicU64,
+    views_invalidated: AtomicU64,
+    estimators_invalidated: AtomicU64,
+    blocks_invalidated: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 struct SessionInner {
@@ -157,9 +189,9 @@ struct SessionInner {
     persist_dir: Option<std::path::PathBuf>,
     runtime: HyperRuntime,
     cache: ArtifactCache,
-    queries_prepared: AtomicU64,
-    queries_executed: AtomicU64,
-    texts_parsed: AtomicU64,
+    exec: Arc<ExecCounters>,
+    /// Number of delta batches applied since the base snapshot.
+    data_version: u64,
 }
 
 /// Builder for [`HyperSession`].
@@ -321,9 +353,8 @@ impl SessionBuilder {
                 runtime: self
                     .runtime
                     .unwrap_or_else(|| HyperRuntime::global().clone()),
-                queries_prepared: AtomicU64::new(0),
-                queries_executed: AtomicU64::new(0),
-                texts_parsed: AtomicU64::new(0),
+                exec: Arc::new(ExecCounters::default()),
+                data_version: 0,
             }),
         }
     }
@@ -571,16 +602,25 @@ impl HyperSession {
             block_disk_hits: c.block_disk_hits.load(Ordering::Relaxed),
             views_cached: self.inner.cache.cached_views(),
             estimators_cached: self.inner.cache.cached_estimators(),
-            queries_prepared: self.inner.queries_prepared.load(Ordering::Relaxed),
-            queries_executed: self.inner.queries_executed.load(Ordering::Relaxed),
-            texts_parsed: self.inner.texts_parsed.load(Ordering::Relaxed),
+            queries_prepared: self.inner.exec.queries_prepared.load(Ordering::Relaxed),
+            queries_executed: self.inner.exec.queries_executed.load(Ordering::Relaxed),
+            texts_parsed: self.inner.exec.texts_parsed.load(Ordering::Relaxed),
+            views_invalidated: self.inner.exec.views_invalidated.load(Ordering::Relaxed),
+            estimators_invalidated: self
+                .inner
+                .exec
+                .estimators_invalidated
+                .load(Ordering::Relaxed),
+            blocks_invalidated: self.inner.exec.blocks_invalidated.load(Ordering::Relaxed),
+            refreshes: self.inner.exec.refreshes.load(Ordering::Relaxed),
+            data_version: self.inner.data_version,
         }
     }
 
     /// Parse `text`, counting the parse in
     /// [`SessionStats::texts_parsed`].
     fn parse_text(&self, text: &str) -> Result<HypotheticalQuery> {
-        self.inner.texts_parsed.fetch_add(1, Ordering::Relaxed);
+        self.inner.exec.texts_parsed.fetch_add(1, Ordering::Relaxed);
         Ok(parse_query(text)?)
     }
 
@@ -616,7 +656,10 @@ impl HyperSession {
             HypotheticalQuery::WhatIf(q) => validate_whatif(q, Some(&cols))?,
             HypotheticalQuery::HowTo(q) => validate_howto(q, Some(&cols))?,
         }
-        self.inner.queries_prepared.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .exec
+            .queries_prepared
+            .fetch_add(1, Ordering::Relaxed);
         let params = query.param_names();
         Ok(PreparedQuery {
             session: self.clone(),
@@ -664,7 +707,10 @@ impl HyperSession {
 
     /// Evaluate a parsed what-if query through the artifact cache.
     pub fn whatif(&self, q: &WhatIfQuery) -> Result<WhatIfResult> {
-        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .exec
+            .queries_executed
+            .fetch_add(1, Ordering::Relaxed);
         evaluate_whatif_cached(
             &self.inner.db,
             self.graph(),
@@ -678,7 +724,10 @@ impl HyperSession {
     /// Evaluate a parsed how-to query via the IP formulation; the candidate
     /// what-if evaluations share the session caches.
     pub fn howto(&self, q: &HowToQuery) -> Result<HowToResult> {
-        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .exec
+            .queries_executed
+            .fetch_add(1, Ordering::Relaxed);
         evaluate_howto_cached(
             &self.inner.db,
             self.graph(),
@@ -692,7 +741,10 @@ impl HyperSession {
 
     /// Evaluate a how-to query by exhaustive enumeration (Opt-HowTo).
     pub fn howto_bruteforce(&self, q: &HowToQuery) -> Result<HowToResult> {
-        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .exec
+            .queries_executed
+            .fetch_add(1, Ordering::Relaxed);
         evaluate_howto_bruteforce_cached(
             &self.inner.db,
             self.graph(),
@@ -706,7 +758,10 @@ impl HyperSession {
 
     /// Lexicographic multi-objective how-to (§4.3 extension).
     pub fn howto_lexicographic(&self, qs: &[HowToQuery]) -> Result<LexicographicResult> {
-        self.inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .exec
+            .queries_executed
+            .fetch_add(1, Ordering::Relaxed);
         evaluate_howto_lexicographic_cached(
             &self.inner.db,
             self.graph(),
@@ -861,7 +916,7 @@ impl PreparedQuery {
 
     fn execute_query(&self, query: &HypotheticalQuery) -> Result<QueryOutcome> {
         let inner = &self.session.inner;
-        inner.queries_executed.fetch_add(1, Ordering::Relaxed);
+        inner.exec.queries_executed.fetch_add(1, Ordering::Relaxed);
         match query {
             HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(evaluate_whatif_on_view(
                 &inner.db,

@@ -143,6 +143,35 @@ impl<T> SharedCache<T> {
         Ok((built, FetchOutcome::Built, bytes))
     }
 
+    /// Install an already-built artifact (survivor migration after a
+    /// delta refresh). Returns the bytes newly charged; a concurrently
+    /// built entry wins and the insert is then a free no-op.
+    pub(crate) fn insert_prebuilt(
+        &self,
+        key: &str,
+        value: Arc<T>,
+        bytes: usize,
+        clock: Option<&AtomicU64>,
+    ) -> usize {
+        let slot = {
+            let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+            Arc::clone(map.entry(key.to_string()).or_default())
+        };
+        let _guard = slot.init.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.cell.get().is_some() {
+            return 0;
+        }
+        slot.bytes.store(bytes, Ordering::Relaxed);
+        slot.cell
+            .set(value)
+            .unwrap_or_else(|_| unreachable!("init lock held"));
+        if let Some(clock) = clock {
+            let now = clock.fetch_add(1, Ordering::Relaxed);
+            slot.last_used.store(now, Ordering::Relaxed);
+        }
+        bytes
+    }
+
     /// True when `key` is present and built (no side effects).
     pub(crate) fn peek(&self, key: &str) -> bool {
         self.map
@@ -239,27 +268,47 @@ impl SharedShard {
         let store = self.store.upgrade();
         let clock = store.as_deref().map(|s| &s.clock);
         let (v, outcome, bytes) = cache(self).get_or_build(key, clock, size_of, build)?;
-        if bytes > 0 {
-            if let Some(s) = &store {
-                // Charge the budget only while this shard is still
-                // attached: after a `clear()`, surviving sessions keep
-                // building into their detached shard, but those entries
-                // are invisible to the eviction scan — charging for them
-                // would permanently overcommit the budget and thrash the
-                // attached shards' entries.
-                let attached = {
-                    let shards = s.shards.lock().unwrap_or_else(|e| e.into_inner());
-                    shards
-                        .get(&self.key)
-                        .is_some_and(|cur| std::ptr::eq(Arc::as_ptr(cur), self))
-                };
-                if attached {
-                    s.total_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    s.enforce_budget();
-                }
-            }
-        }
+        self.charge(store.as_ref(), bytes);
         Ok((v, outcome))
+    }
+
+    /// Install an already-built artifact into one of this shard's caches
+    /// (survivor migration after a delta refresh), charging any newly
+    /// stored bytes against the store's budget exactly like a build.
+    pub(crate) fn insert_prebuilt<T>(
+        &self,
+        cache: impl FnOnce(&SharedShard) -> &SharedCache<T>,
+        key: &str,
+        value: Arc<T>,
+        bytes: usize,
+    ) {
+        let store = self.store.upgrade();
+        let clock = store.as_deref().map(|s| &s.clock);
+        let charged = cache(self).insert_prebuilt(key, value, bytes, clock);
+        self.charge(store.as_ref(), charged);
+    }
+
+    /// Charge freshly stored bytes against the store's budget — but only
+    /// while this shard is still attached: after a `clear()`, surviving
+    /// sessions keep building into their detached shard, but those
+    /// entries are invisible to the eviction scan — charging for them
+    /// would permanently overcommit the budget and thrash the attached
+    /// shards' entries.
+    fn charge(&self, store: Option<&Arc<StoreInner>>, bytes: usize) {
+        if bytes == 0 {
+            return;
+        }
+        let Some(s) = store else { return };
+        let attached = {
+            let shards = s.shards.lock().unwrap_or_else(|e| e.into_inner());
+            shards
+                .get(&self.key)
+                .is_some_and(|cur| std::ptr::eq(Arc::as_ptr(cur), self))
+        };
+        if attached {
+            s.total_bytes.fetch_add(bytes, Ordering::Relaxed);
+            s.enforce_budget();
+        }
     }
 }
 

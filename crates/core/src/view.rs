@@ -24,6 +24,44 @@ pub struct ColumnOrigin {
     pub aggregated: Option<AggFunc>,
 }
 
+/// How the view rows relate to base-relation rows — drives block-scoped
+/// invalidation on ingest (which deltas can leave the view bit-identical).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewProvenance {
+    /// `Use T`: the view is a verbatim copy of one relation. Any delta
+    /// to that relation changes the view.
+    AllRows {
+        /// The copied relation.
+        relation: String,
+    },
+    /// A single-table select with only constant filters (no joins, no
+    /// aggregates, no grouping): a delta row affects the view iff it
+    /// passes the filters. Ingest re-runs the `Use` over just the delta
+    /// rows to decide survival.
+    Filtered {
+        /// The single source relation.
+        relation: String,
+    },
+    /// Joins, aggregates, or grouping: any delta to any source relation
+    /// may ripple through, so the view is invalidated conservatively.
+    Opaque {
+        /// All source relations.
+        relations: Vec<String>,
+    },
+}
+
+impl ViewProvenance {
+    /// Source relations in declaration order.
+    pub fn relations(&self) -> Vec<&str> {
+        match self {
+            ViewProvenance::AllRows { relation } | ViewProvenance::Filtered { relation } => {
+                vec![relation.as_str()]
+            }
+            ViewProvenance::Opaque { relations } => relations.iter().map(String::as_str).collect(),
+        }
+    }
+}
+
 /// The materialized relevant view plus provenance of its columns.
 #[derive(Debug, Clone)]
 pub struct RelevantView {
@@ -31,6 +69,11 @@ pub struct RelevantView {
     pub table: Table,
     /// Per-column origins, parallel to the view schema.
     pub origins: Vec<ColumnOrigin>,
+    /// The `Use` clause this view materializes (replayed over delta rows
+    /// during ingest to decide whether the view survives).
+    pub use_clause: UseClause,
+    /// Row-level provenance class, for block-scoped invalidation.
+    pub provenance: ViewProvenance,
 }
 
 impl RelevantView {
@@ -66,7 +109,14 @@ pub fn build_relevant_view(db: &Database, use_clause: &UseClause) -> Result<Rele
                     aggregated: None,
                 })
                 .collect();
-            Ok(RelevantView { table, origins })
+            Ok(RelevantView {
+                table,
+                origins,
+                use_clause: use_clause.clone(),
+                provenance: ViewProvenance::AllRows {
+                    relation: name.clone(),
+                },
+            })
         }
         UseClause::Select(stmt) => lower_select(db, stmt),
     }
@@ -329,7 +379,26 @@ fn lower_select(db: &Database, stmt: &SelectStmt) -> Result<RelevantView> {
 
     let mut table = plan.execute(db)?;
     table.set_name("relevant_view");
-    Ok(RelevantView { table, origins })
+    let has_joins = stmt
+        .conditions
+        .iter()
+        .any(|c| matches!(c, UseCondition::Join(..)));
+    let provenance =
+        if stmt.from.len() == 1 && !has_joins && !has_aggregates && stmt.group_by.is_empty() {
+            ViewProvenance::Filtered {
+                relation: stmt.from[0].table.clone(),
+            }
+        } else {
+            ViewProvenance::Opaque {
+                relations: stmt.from.iter().map(|t| t.table.clone()).collect(),
+            }
+        };
+    Ok(RelevantView {
+        table,
+        origins,
+        use_clause: UseClause::Select(stmt.clone()),
+        provenance,
+    })
 }
 
 fn resolve_in_table(table: &Table, name: &str) -> Result<usize> {
@@ -450,6 +519,44 @@ mod tests {
         let v = build_relevant_view(&db, &UseClause::Table("product".into())).unwrap();
         assert_eq!(v.table.num_rows(), 3);
         assert_eq!(v.origins[2].attribute, "price");
+    }
+
+    #[test]
+    fn provenance_classification() {
+        let db = amazon_db();
+        let v = build_relevant_view(&db, &UseClause::Table("product".into())).unwrap();
+        assert_eq!(
+            v.provenance,
+            ViewProvenance::AllRows {
+                relation: "product".into()
+            }
+        );
+        assert_eq!(v.use_clause, UseClause::Table("product".into()));
+
+        // Single table + constant filter, no joins/aggregates → Filtered.
+        let text = "Use (Select T1.PID, T1.Price From product As T1 Where T1.Price < 700)
+                    Update(Price) = 1 Output Count(*)";
+        let q = match parse_query(text).unwrap() {
+            hyper_query::HypotheticalQuery::WhatIf(q) => q.use_clause,
+            _ => panic!(),
+        };
+        let v = build_relevant_view(&db, &q).unwrap();
+        assert_eq!(
+            v.provenance,
+            ViewProvenance::Filtered {
+                relation: "product".into()
+            }
+        );
+        assert_eq!(v.use_clause, q, "the lowered clause is kept verbatim");
+
+        // Joins + aggregates → Opaque over all source relations.
+        let v = build_relevant_view(&db, &figure4_use()).unwrap();
+        assert_eq!(
+            v.provenance,
+            ViewProvenance::Opaque {
+                relations: vec!["product".into(), "review".into()]
+            }
+        );
     }
 
     #[test]

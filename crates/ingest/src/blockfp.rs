@@ -1,0 +1,168 @@
+//! Per-block content fingerprints over a Prop.-1 decomposition.
+
+use std::collections::HashSet;
+
+use hyper_causal::BlockDecomposition;
+use hyper_storage::{Database, Table};
+
+/// Content digests of every block in a decomposition, order-insensitive
+/// within a block and index-free across the table: each block's digest is
+/// the XOR of its tuples' content digests
+/// ([`Table::row_fingerprints`]) mixed with the block size, so a block
+/// keeps its fingerprint when unrelated rows are appended or deleted
+/// around it — even though every tuple's *row index* may have shifted.
+///
+/// This is what makes invalidation causal: after a delta, a block of the
+/// old decomposition whose fingerprint still occurs in the new
+/// decomposition provably consists of the same tuples with the same
+/// causal independence, so artifacts scoped to it are still exact.
+#[derive(Debug, Clone)]
+pub struct BlockFingerprints {
+    fps: Vec<u64>,
+}
+
+/// Golden-ratio mixing constant (splitmix64 / FNV-style avalanche).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl BlockFingerprints {
+    /// Digest every block of `blocks` over `db` (the database the
+    /// decomposition was computed on).
+    pub fn compute(db: &Database, blocks: &BlockDecomposition) -> BlockFingerprints {
+        let row_fps: Vec<Vec<u64>> = db.tables().iter().map(Table::row_fingerprints).collect();
+        let fps = blocks
+            .blocks()
+            .iter()
+            .map(|block| {
+                let mut x = (block.len() as u64).wrapping_mul(MIX);
+                for t in block {
+                    x ^= row_fps[t.table][t.row];
+                }
+                x
+            })
+            .collect();
+        BlockFingerprints { fps }
+    }
+
+    /// Per-block digests, indexed like the decomposition's blocks.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.fps
+    }
+
+    /// Number of digested blocks.
+    pub fn len(&self) -> usize {
+        self.fps.len()
+    }
+
+    /// True when the decomposition had no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.fps.is_empty()
+    }
+
+    /// The digests as a set, for survival checks against a newer
+    /// decomposition.
+    pub fn to_set(&self) -> HashSet<u64> {
+        self.fps.iter().copied().collect()
+    }
+}
+
+/// Indices of blocks containing at least one tuple of any table in
+/// `tables` (registration-order table indices, as in
+/// [`hyper_causal::TupleRef::table`]).
+pub fn blocks_touching(blocks: &BlockDecomposition, tables: &HashSet<usize>) -> Vec<usize> {
+    blocks
+        .blocks()
+        .iter()
+        .enumerate()
+        .filter(|(_, block)| block.iter().any(|t| tables.contains(&t.table)))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_causal::TupleRef;
+    use hyper_storage::{DataType, Field, Schema, TableBuilder};
+
+    fn two_table_db(extra_row: bool) -> Database {
+        let mut db = Database::new();
+        let mut a = TableBuilder::new(
+            "a",
+            Schema::new(vec![Field::new("x", DataType::Int)]).unwrap(),
+        )
+        .rows([vec![1.into()], vec![2.into()]])
+        .unwrap();
+        if extra_row {
+            a.push(vec![3.into()]).unwrap();
+        }
+        let b = TableBuilder::new(
+            "b",
+            Schema::new(vec![Field::new("y", DataType::Int)]).unwrap(),
+        )
+        .rows([vec![7.into()]])
+        .unwrap()
+        .build();
+        db.add_table(a.build()).unwrap();
+        db.add_table(b).unwrap();
+        db
+    }
+
+    fn tr(table: usize, row: usize) -> TupleRef {
+        TupleRef { table, row }
+    }
+
+    #[test]
+    fn untouched_blocks_keep_their_digest() {
+        let db0 = two_table_db(false);
+        let db1 = two_table_db(true);
+        // Old decomposition: {a0}, {a1, b0}. New one gains a singleton {a2}.
+        let old = BlockDecomposition::from_blocks(vec![vec![tr(0, 0)], vec![tr(0, 1), tr(1, 0)]])
+            .unwrap();
+        let new = BlockDecomposition::from_blocks(vec![
+            vec![tr(0, 0)],
+            vec![tr(0, 1), tr(1, 0)],
+            vec![tr(0, 2)],
+        ])
+        .unwrap();
+        let old_fps = BlockFingerprints::compute(&db0, &old);
+        let new_fps = BlockFingerprints::compute(&db1, &new);
+        let new_set = new_fps.to_set();
+        assert!(new_set.contains(&old_fps.as_slice()[0]));
+        assert!(new_set.contains(&old_fps.as_slice()[1]));
+        assert_eq!(new_fps.len(), 3);
+        assert_ne!(
+            new_fps.as_slice()[2],
+            old_fps.as_slice()[0],
+            "different content, different digest"
+        );
+    }
+
+    #[test]
+    fn block_digest_is_order_insensitive_but_content_sensitive() {
+        let db = two_table_db(false);
+        let fwd =
+            BlockDecomposition::from_blocks(vec![vec![tr(0, 0), tr(0, 1), tr(1, 0)]]).unwrap();
+        let rev =
+            BlockDecomposition::from_blocks(vec![vec![tr(1, 0), tr(0, 1), tr(0, 0)]]).unwrap();
+        assert_eq!(
+            BlockFingerprints::compute(&db, &fwd).as_slice(),
+            BlockFingerprints::compute(&db, &rev).as_slice()
+        );
+        let smaller = BlockDecomposition::from_blocks(vec![vec![tr(0, 0), tr(0, 1)]]).unwrap();
+        assert_ne!(
+            BlockFingerprints::compute(&db, &fwd).as_slice()[0],
+            BlockFingerprints::compute(&db, &smaller).as_slice()[0]
+        );
+    }
+
+    #[test]
+    fn blocks_touching_selects_by_table() {
+        let blocks =
+            BlockDecomposition::from_blocks(vec![vec![tr(0, 0)], vec![tr(0, 1), tr(1, 0)]])
+                .unwrap();
+        let only_b: HashSet<usize> = [1].into();
+        assert_eq!(blocks_touching(&blocks, &only_b), vec![1]);
+        let only_a: HashSet<usize> = [0].into();
+        assert_eq!(blocks_touching(&blocks, &only_a), vec![0, 1]);
+    }
+}

@@ -1,0 +1,110 @@
+//! Wire codec for delta batches: the `HYPD1` append-log record payload
+//! and the `POST /ingest` body after JSON decoding.
+
+use hyper_store::{tablecodec, ByteReader, ByteWriter, StoreError};
+
+use crate::delta::{DeltaBatch, TableDelta};
+use crate::error::Result;
+
+/// Payload format version.
+const VERSION: u8 = 1;
+
+impl DeltaBatch {
+    /// Serialize the batch (self-contained, checksummed by the framing
+    /// layer — see `hyper_store::AppendLog`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.write_u8(VERSION);
+        w.write_u64(self.ops.len() as u64);
+        for op in &self.ops {
+            w.write_str(&op.relation);
+            match &op.appends {
+                None => w.write_u8(0),
+                Some(t) => {
+                    w.write_u8(1);
+                    tablecodec::encode_table(&mut w, t);
+                }
+            }
+            w.write_u64(op.deletes.len() as u64);
+            for &i in &op.deletes {
+                w.write_u64(i as u64);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Decode a batch serialized by [`DeltaBatch::to_bytes`]. Total:
+    /// corrupt or truncated bytes surface as a typed error, never a
+    /// panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<DeltaBatch> {
+        let mut r = ByteReader::new(bytes);
+        let version = r.read_u8("delta version")?;
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported delta payload version {version}"
+            ))
+            .into());
+        }
+        let n = r.read_len(10, "delta op count")?;
+        let mut ops = Vec::with_capacity(n);
+        for _ in 0..n {
+            let relation = r.read_string("delta relation")?;
+            let appends = match r.read_u8("delta append flag")? {
+                0 => None,
+                1 => Some(tablecodec::decode_table(&mut r)?),
+                t => {
+                    return Err(
+                        StoreError::Corrupt(format!("invalid delta append flag {t}")).into(),
+                    )
+                }
+            };
+            let d = r.read_len(8, "delta delete count")?;
+            let mut deletes = Vec::with_capacity(d);
+            for _ in 0..d {
+                deletes.push(r.read_u64("delta delete index")? as usize);
+            }
+            ops.push(TableDelta {
+                relation,
+                appends,
+                deletes,
+            });
+        }
+        r.expect_end("delta batch")?;
+        Ok(DeltaBatch { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{DataType, Field, Schema, TableBuilder};
+
+    #[test]
+    fn delta_round_trips() {
+        let t = TableBuilder::new(
+            "items",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("tag", DataType::Str),
+            ])
+            .unwrap(),
+        )
+        .rows([vec![1.into(), "a".into()], vec![2.into(), "b".into()]])
+        .unwrap()
+        .build();
+        let batch = DeltaBatch::new().append(t).delete("other", vec![0, 4]);
+        let bytes = batch.to_bytes();
+        let back = DeltaBatch::from_bytes(&bytes).unwrap();
+        assert_eq!(back.ops.len(), 2);
+        assert_eq!(back.ops[0].relation, "items");
+        assert_eq!(
+            back.ops[0].appends.as_ref().unwrap().fingerprint(),
+            batch.ops[0].appends.as_ref().unwrap().fingerprint()
+        );
+        assert_eq!(back.ops[1].deletes, vec![0, 4]);
+
+        // Corrupt bytes are a typed error, not a panic.
+        assert!(DeltaBatch::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(DeltaBatch::from_bytes(&[9, 0, 0]).is_err());
+    }
+}

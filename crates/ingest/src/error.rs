@@ -1,0 +1,69 @@
+//! Typed ingest errors.
+
+use std::fmt;
+
+use hyper_storage::StorageError;
+use hyper_store::StoreError;
+
+/// Errors produced while validating, applying, or (de)serializing a
+/// delta batch.
+#[derive(Debug)]
+pub enum IngestError {
+    /// A storage-level failure: unknown relation, schema mismatch between
+    /// the delta and the base table, duplicate primary key after apply, …
+    Storage(StorageError),
+    /// A codec-level failure while reading delta bytes (truncated or
+    /// corrupt payload).
+    Codec(StoreError),
+    /// A delete index points past the end of the target relation.
+    BadDelete {
+        /// The relation being deleted from.
+        relation: String,
+        /// The offending row index.
+        index: usize,
+        /// The relation's row count at apply time.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Storage(e) => write!(f, "delta rejected: {e}"),
+            IngestError::Codec(e) => write!(f, "delta bytes rejected: {e}"),
+            IngestError::BadDelete {
+                relation,
+                index,
+                rows,
+            } => write!(
+                f,
+                "delta deletes row {index} of `{relation}`, which has {rows} row(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IngestError::Storage(e) => Some(e),
+            IngestError::Codec(e) => Some(e),
+            IngestError::BadDelete { .. } => None,
+        }
+    }
+}
+
+impl From<StorageError> for IngestError {
+    fn from(e: StorageError) -> Self {
+        IngestError::Storage(e)
+    }
+}
+
+impl From<StoreError> for IngestError {
+    fn from(e: StoreError) -> Self {
+        IngestError::Codec(e)
+    }
+}
+
+/// Ingest result type.
+pub type Result<T> = std::result::Result<T, IngestError>;

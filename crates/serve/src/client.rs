@@ -105,6 +105,34 @@ impl Client {
         self.request("POST", path, Some(&Json::Obj(fields)))
     }
 
+    /// POST an `/ingest` body: append `rows` to `table` and/or delete
+    /// the row indices in `deletes` (pass an empty slice to skip one).
+    pub fn ingest(
+        &mut self,
+        tenant: &str,
+        table: &str,
+        rows: &[Vec<Json>],
+        deletes: &[usize],
+    ) -> std::io::Result<ClientResponse> {
+        let mut fields = vec![
+            ("tenant".to_string(), Json::Str(tenant.to_string())),
+            ("table".to_string(), Json::Str(table.to_string())),
+        ];
+        if !rows.is_empty() {
+            fields.push((
+                "rows".to_string(),
+                Json::Arr(rows.iter().map(|r| Json::Arr(r.clone())).collect()),
+            ));
+        }
+        if !deletes.is_empty() {
+            fields.push((
+                "deletes".to_string(),
+                Json::Arr(deletes.iter().map(|&i| i.into()).collect()),
+            ));
+        }
+        self.request("POST", "/ingest", Some(&Json::Obj(fields)))
+    }
+
     /// Send raw bytes down the connection (for malformed-input tests)
     /// and read whatever response comes back.
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<ClientResponse> {

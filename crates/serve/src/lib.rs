@@ -54,5 +54,5 @@ pub use admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
 pub use client::{Client, ClientResponse};
 pub use json::Json;
 pub use registry::{Tenant, TenantError, Tenants};
-pub use server::{outcome_json, ServeConfig, Server};
+pub use server::{outcome_json, refresh_json, ServeConfig, Server};
 pub use stats::{session_json, ServerStats, TenantCounters};

@@ -24,10 +24,13 @@
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
-use hyper_core::{EngineConfig, HyperSession, PreparedQuery, Result as CoreResult};
-use hyper_store::SnapshotRegistry;
+use hyper_core::{
+    EngineConfig, EngineError, HyperSession, PreparedQuery, RefreshReport, Result as CoreResult,
+};
+use hyper_ingest::DeltaBatch;
+use hyper_store::{AppendLog, SnapshotRegistry};
 
 /// Cap on distinct prepared templates kept per tenant. Exceeding it
 /// clears the map (a rare, self-healing event for workloads that
@@ -35,11 +38,21 @@ use hyper_store::SnapshotRegistry;
 /// the expensive state).
 const MAX_PREPARED_PER_TENANT: usize = 256;
 
-/// One loaded tenant: its session plus the prepared-template cache.
+/// One loaded tenant: its current session version, the prepared-template
+/// cache, and the durable delta log behind `POST /ingest`.
+///
+/// The session sits behind a `RwLock` so ingest can swap in the
+/// refreshed version while queries keep cloning the current one (a
+/// [`HyperSession`] is an `Arc` handle — clones are cheap and in-flight
+/// executions simply finish against the version they started with,
+/// MVCC-style).
 pub struct Tenant {
     id: String,
-    session: HyperSession,
+    session: RwLock<HyperSession>,
     prepared: Mutex<HashMap<String, Arc<PreparedQuery>>>,
+    /// Serializes ingests for this tenant and owns the append-log path.
+    /// Queries are never blocked by this lock.
+    ingest: Mutex<PathBuf>,
 }
 
 impl Tenant {
@@ -48,9 +61,39 @@ impl Tenant {
         &self.id
     }
 
-    /// The tenant's session.
-    pub fn session(&self) -> &HyperSession {
-        &self.session
+    /// The tenant's current session version (an owned `Arc` handle;
+    /// later ingests do not retroactively change it).
+    pub fn session(&self) -> HyperSession {
+        self.session
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Apply a delta batch: refresh the session with causal
+    /// invalidation, append the batch to the durable `HYPD1` log, and
+    /// swap the refreshed session in. Ingests for one tenant are
+    /// serialized; concurrent queries keep serving the prior version
+    /// until the swap.
+    ///
+    /// Ordering: the log append happens only after the refresh has
+    /// validated and applied the delta, and the in-memory swap happens
+    /// only after the append has been fsync'd — a crash can lose the
+    /// in-flight batch but never acknowledge one it didn't persist.
+    pub fn ingest(&self, delta: &DeltaBatch) -> CoreResult<RefreshReport> {
+        let log_path = self.ingest.lock().unwrap_or_else(|e| e.into_inner());
+        let out = self.session().refresh(delta)?;
+        let log = AppendLog::open(&*log_path).map_err(|e| EngineError::Storage(e.to_string()))?;
+        log.append(&delta.to_bytes())
+            .map_err(|e| EngineError::Storage(e.to_string()))?;
+        *self.session.write().unwrap_or_else(|e| e.into_inner()) = out.session;
+        // Prepared templates captured the old session; drop them so the
+        // next prepare binds the refreshed one.
+        self.prepared
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
+        Ok(out.report)
     }
 
     /// The prepared query for `text`, preparing (parse + validate +
@@ -68,7 +111,7 @@ impl Tenant {
         // serialize unrelated queries. A racing duplicate prepare is
         // harmless — the artifact cache single-flights the real work —
         // and the first insert wins.
-        let p = Arc::new(self.session.prepare(text)?);
+        let p = Arc::new(self.session().prepare(text)?);
         let mut map = self.prepared.lock().unwrap_or_else(|e| e.into_inner());
         if map.len() >= MAX_PREPARED_PER_TENANT {
             map.clear();
@@ -200,10 +243,27 @@ impl Tenants {
         if let Some(dir) = &self.persist_dir {
             builder = builder.persist_dir(dir.join(id));
         }
+        let mut session = builder.build();
+        // Replay the sidecar delta log (if any) over the snapshot: the
+        // loaded session resumes at the latest ingested version, with
+        // `data_version` = the number of intact log records.
+        let log_path = self.registry.delta_log_path(id);
+        if log_path.exists() {
+            let log = AppendLog::open(&log_path).map_err(|e| TenantError::Load(e.to_string()))?;
+            for payload in log.replay().map_err(|e| TenantError::Load(e.to_string()))? {
+                let delta = DeltaBatch::from_bytes(&payload)
+                    .map_err(|e| TenantError::Load(format!("delta log replay: {e}")))?;
+                session = session
+                    .refresh(&delta)
+                    .map_err(|e| TenantError::Load(format!("delta log replay: {e}")))?
+                    .session;
+            }
+        }
         let tenant = Arc::new(Tenant {
             id: id.to_string(),
-            session: builder.build(),
+            session: RwLock::new(session),
             prepared: Mutex::new(HashMap::new()),
+            ingest: Mutex::new(log_path),
         });
         slot.cell
             .set(Arc::clone(&tenant))

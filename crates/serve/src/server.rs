@@ -15,6 +15,7 @@
 //! |-----------------|---------|--------|
 //! | `POST /query`   | admitted| query result (what-if or how-to) |
 //! | `POST /explain` | admitted| static plan with cache provenance |
+//! | `POST /ingest`  | admitted| delta applied + invalidation report |
 //! | `GET /stats`    | inline  | server + per-tenant counters |
 //! | `GET /health`   | inline  | liveness |
 //!
@@ -30,8 +31,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use hyper_core::{EngineError, QueryOutcome};
+use hyper_core::{EngineError, QueryOutcome, RefreshReport};
+use hyper_ingest::DeltaBatch;
 use hyper_query::Bindings;
+use hyper_storage::{DataType, Table, TableBuilder, Value};
 use hyper_store::SnapshotRegistry;
 
 use crate::admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
@@ -240,6 +243,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/query") => admit(inner, request, Mode::Execute),
         ("POST", "/explain") => admit(inner, request, Mode::Explain),
+        ("POST", "/ingest") => admit_ingest(inner, request),
         ("GET", "/stats") => (stats_outcome(inner), false),
         ("GET", "/health") => (
             Outcome {
@@ -251,7 +255,7 @@ fn route(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
             },
             false,
         ),
-        ("GET" | "POST", "/query" | "/explain" | "/stats" | "/health") => (
+        ("GET" | "POST", "/query" | "/explain" | "/ingest" | "/stats" | "/health") => (
             Outcome {
                 status: 405,
                 body: Json::obj([("error", "method not allowed for this path".into())]),
@@ -292,9 +296,55 @@ fn admit(inner: &Arc<Inner>, request: &Request, mode: Mode) -> (Outcome, bool) {
             );
         }
     };
+    let work_inner = Arc::clone(inner);
+    let work_tenant = tenant_id.clone();
+    submit_and_wait(
+        inner,
+        &tenant_id,
+        timeout,
+        Box::new(move || execute(&work_inner, &work_tenant, &query_text, &bindings, mode)),
+    )
+}
+
+/// Parse, validate, and admit a `POST /ingest` body. The delta is
+/// materialized on the executor (it needs the tenant's schema), so a
+/// hostile body costs JSON parsing here, never engine work.
+fn admit_ingest(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
+    let (tenant_id, table, rows, deletes) = match parse_ingest(&request.body) {
+        Ok(parts) => parts,
+        Err(msg) => {
+            inner.stats.malformed.fetch_add(1, Ordering::Relaxed);
+            return (
+                Outcome {
+                    status: 400,
+                    body: Json::obj([("error", msg.into())]),
+                },
+                false,
+            );
+        }
+    };
+    let work_inner = Arc::clone(inner);
+    let work_tenant = tenant_id.clone();
+    submit_and_wait(
+        inner,
+        &tenant_id,
+        None,
+        Box::new(move || execute_ingest(&work_inner, &work_tenant, &table, &rows, &deletes)),
+    )
+}
+
+/// Shared admission tail: refuse unknown tenants before taking a queue
+/// slot, submit the work, and wait with the (possibly tightened)
+/// deadline.
+fn submit_and_wait(
+    inner: &Arc<Inner>,
+    tenant_id: &str,
+    timeout: Option<Duration>,
+    work: Box<dyn FnOnce() -> Outcome + Send>,
+) -> (Outcome, bool) {
     // Unknown tenants are refused before admission — a hostile id costs
     // a map lookup, not a queue slot, and never creates counters.
-    if !inner.tenants.contains(&tenant_id) {
+    if !inner.tenants.contains(tenant_id) {
         inner.stats.not_found.fetch_add(1, Ordering::Relaxed);
         return (
             Outcome {
@@ -304,15 +354,13 @@ fn admit(inner: &Arc<Inner>, request: &Request, mode: Mode) -> (Outcome, bool) {
             false,
         );
     }
-    let counters = inner.stats.tenant(&tenant_id);
+    let counters = inner.stats.tenant(tenant_id);
     let slot = Arc::new(ResponseSlot::new());
-    let work_inner = Arc::clone(inner);
-    let work_tenant = tenant_id.clone();
     let job = Job {
-        tenant: tenant_id.clone(),
+        tenant: tenant_id.to_string(),
         slot: Arc::clone(&slot),
         counters: Arc::clone(&counters),
-        work: Box::new(move || execute(&work_inner, &work_tenant, &query_text, &bindings, mode)),
+        work,
     };
     match inner.admission.submit(job) {
         Ok(()) => {}
@@ -405,6 +453,165 @@ fn parse_protocol(body: &[u8]) -> Result<Protocol, String> {
         }
     };
     Ok((tenant, query, bindings, timeout))
+}
+
+/// `(tenant, table, rows, deletes)` of a `POST /ingest` body:
+/// `{"tenant": "...", "table": "...", "rows": [[...], ...],
+/// "deletes": [i, ...]}` with at least one of `rows`/`deletes`
+/// non-empty. Row values stay as JSON here — typing them needs the
+/// tenant's schema, which lives on the executor side.
+type IngestParts = (String, String, Vec<Vec<Json>>, Vec<usize>);
+
+fn parse_ingest(body: &[u8]) -> Result<IngestParts, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = json::parse(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let tenant = doc
+        .get("tenant")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `tenant`")?
+        .to_string();
+    let table = doc
+        .get("table")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `table`")?
+        .to_string();
+    let mut rows = Vec::new();
+    if let Some(r) = doc.get("rows") {
+        let Json::Arr(items) = r else {
+            return Err("`rows` must be an array of arrays".to_string());
+        };
+        for (i, item) in items.iter().enumerate() {
+            match item {
+                Json::Arr(vals) => rows.push(vals.clone()),
+                _ => return Err(format!("`rows[{i}]` must be an array of scalars")),
+            }
+        }
+    }
+    let mut deletes = Vec::new();
+    if let Some(d) = doc.get("deletes") {
+        let Json::Arr(items) = d else {
+            return Err("`deletes` must be an array of row indices".to_string());
+        };
+        for (i, item) in items.iter().enumerate() {
+            let idx = item
+                .as_i64()
+                .filter(|&v| v >= 0)
+                .ok_or_else(|| format!("`deletes[{i}]` must be a non-negative integer"))?;
+            deletes.push(idx as usize);
+        }
+    }
+    if rows.is_empty() && deletes.is_empty() {
+        return Err("ingest body must carry `rows` and/or `deletes`".to_string());
+    }
+    Ok((tenant, table, rows, deletes))
+}
+
+/// The ingest work — runs on an executor thread, serialized per tenant
+/// by the tenant's ingest lock.
+fn execute_ingest(
+    inner: &Arc<Inner>,
+    tenant_id: &str,
+    table: &str,
+    rows: &[Vec<Json>],
+    deletes: &[usize],
+) -> Outcome {
+    let tenant = match inner.tenants.tenant(tenant_id) {
+        Ok(t) => t,
+        Err(e @ TenantError::Unknown(_)) => {
+            return Outcome {
+                status: 404,
+                body: Json::obj([("error", e.to_string().into())]),
+            }
+        }
+        Err(e @ TenantError::Load(_)) => {
+            return Outcome {
+                status: 500,
+                body: Json::obj([("error", e.to_string().into())]),
+            }
+        }
+    };
+    let mut delta = DeltaBatch::new();
+    if !rows.is_empty() {
+        // Type the JSON rows against the *current* session's schema for
+        // the target table.
+        let session = tenant.session();
+        let appends = match rows_to_table(session.database().table(table).ok(), table, rows) {
+            Ok(t) => t,
+            Err(msg) => {
+                return Outcome {
+                    status: 400,
+                    body: Json::obj([("error", msg.into())]),
+                }
+            }
+        };
+        delta = delta.append(appends);
+    }
+    if !deletes.is_empty() {
+        delta = delta.delete(table, deletes.to_vec());
+    }
+    match tenant.ingest(&delta) {
+        Ok(report) => Outcome {
+            status: 200,
+            body: refresh_json(&report),
+        },
+        Err(e) => engine_error(&e),
+    }
+}
+
+/// Build an append table from JSON rows, typed by the target table's
+/// schema (integers widen into `Float` columns, mirroring
+/// `Table::append_rows`).
+fn rows_to_table(source: Option<&Table>, name: &str, rows: &[Vec<Json>]) -> Result<Table, String> {
+    let source = source.ok_or_else(|| format!("unknown table `{name}`"))?;
+    let schema = source.schema().clone();
+    let mut typed = Vec::with_capacity(rows.len());
+    for (ri, row) in rows.iter().enumerate() {
+        if row.len() != schema.len() {
+            return Err(format!(
+                "rows[{ri}] has {} value(s); table `{name}` has {} column(s)",
+                row.len(),
+                schema.len()
+            ));
+        }
+        let mut vals = Vec::with_capacity(row.len());
+        for (ci, v) in row.iter().enumerate() {
+            let field = schema.field(ci);
+            let value = match (v, field.data_type) {
+                (Json::Int(i), DataType::Float) => Value::Float(*i as f64),
+                _ => v.to_value().ok_or_else(|| {
+                    format!("rows[{ri}] column `{}` must be a scalar", field.name)
+                })?,
+            };
+            vals.push(value);
+        }
+        typed.push(vals);
+    }
+    TableBuilder::new(name, schema)
+        .rows(typed)
+        .map_err(|e| e.to_string())
+        .map(TableBuilder::build)
+}
+
+/// Render a refresh report: what the delta touched and what survived.
+pub fn refresh_json(r: &RefreshReport) -> Json {
+    Json::obj([
+        ("status", "applied".into()),
+        ("data_version", r.data_version.into()),
+        (
+            "touched_relations",
+            Json::Arr(
+                r.touched_relations
+                    .iter()
+                    .map(|t| t.as_str().into())
+                    .collect(),
+            ),
+        ),
+        ("views_kept", r.views_kept.into()),
+        ("views_invalidated", r.views_invalidated.into()),
+        ("estimators_kept", r.estimators_kept.into()),
+        ("estimators_invalidated", r.estimators_invalidated.into()),
+        ("blocks_invalidated", r.blocks_invalidated.into()),
+    ])
 }
 
 /// The engine work — runs on an executor thread.
@@ -558,6 +765,7 @@ fn explain_json(r: &hyper_core::ExplainReport) -> Json {
     Json::obj([
         ("kind", kind.into()),
         ("query", r.query.as_str().into()),
+        ("data_version", r.data_version.into()),
         ("deterministic", r.deterministic.into()),
         ("view", view),
         ("blocks", blocks),

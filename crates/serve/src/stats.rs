@@ -150,6 +150,11 @@ pub fn session_json(s: &hyper_core::SessionStats) -> Json {
         ("queries_prepared", s.queries_prepared.into()),
         ("queries_executed", s.queries_executed.into()),
         ("texts_parsed", s.texts_parsed.into()),
+        ("views_invalidated", s.views_invalidated.into()),
+        ("estimators_invalidated", s.estimators_invalidated.into()),
+        ("blocks_invalidated", s.blocks_invalidated.into()),
+        ("refreshes", s.refreshes.into()),
+        ("data_version", s.data_version.into()),
     ])
 }
 

@@ -392,7 +392,10 @@ fn malformed_requests_answer_typed_4xx_and_never_kill_the_server() {
 
 #[test]
 fn timeout_answers_504_and_the_session_is_not_poisoned() {
-    let dir = registry_dir("timeout", 1200, &[6]);
+    // Big enough that the cold path (snapshot load + view + training)
+    // takes several milliseconds: the 1ms deadline below must stay
+    // unmeetable even when parallel suite load perturbs scheduling.
+    let dir = registry_dir("timeout", 12_000, &[6]);
     let server = start(&dir, ServeConfig::default());
     let addr = server.addr();
     let mut client = Client::connect(addr).unwrap();
@@ -505,6 +508,186 @@ fn stats_is_served_inline_and_health_reports_tenant_count() {
     let srv = stats.get("server").unwrap();
     assert_eq!(srv.get("queue_capacity").and_then(Json::as_i64), Some(64));
     assert_eq!(srv.get("workers").and_then(Json::as_i64), Some(2));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_invalidates_causally_and_survives_restart() {
+    let dir = registry_dir("ingest", 600, &[11]);
+    let server = start(&dir, ServeConfig::default());
+    let addr = server.addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    // A filtered view the delta will NOT touch (it admits only age = 0;
+    // the delta appends age = 2 rows) and the full-table view it WILL.
+    const UNTOUCHED: &str = "Use (Select status, credit From german_syn Where age = 0) \
+         Update(status) = 3 Output Count(Post(credit) = 'Good')";
+    let untouched_before = {
+        let r = client.query("/query", "t0", UNTOUCHED, &[]).unwrap();
+        assert_eq!(r.status, 200, "{:?}", r.json());
+        r.json()
+            .unwrap()
+            .get("value")
+            .and_then(Json::as_f64)
+            .unwrap()
+    };
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200);
+    let misses_before = {
+        let stats = client
+            .request("GET", "/stats", None)
+            .unwrap()
+            .json()
+            .unwrap();
+        let s = stats
+            .get("tenants")
+            .unwrap()
+            .get("t0")
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .clone();
+        (
+            s.get("view_misses").and_then(Json::as_i64).unwrap(),
+            s.get("estimator_misses").and_then(Json::as_i64).unwrap(),
+        )
+    };
+
+    // Append 20 rows, all age = 2 (columns: age, sex, status, savings,
+    // housing, credit_amount, credit — declaration order).
+    let rows: Vec<Vec<Json>> = (0..20)
+        .map(|i: i64| {
+            vec![
+                Json::Int(2),
+                Json::Int(i % 2),
+                Json::Int(3),
+                Json::Int(i % 4),
+                Json::Int(i % 3),
+                Json::Int(3 - i % 4),
+                Json::Str(if i % 3 == 0 { "Bad" } else { "Good" }.into()),
+            ]
+        })
+        .collect();
+    let r = client.ingest("t0", "german_syn", &rows, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let report = r.json().unwrap();
+    assert_eq!(report.get("status").and_then(Json::as_str), Some("applied"));
+    assert_eq!(report.get("data_version").and_then(Json::as_i64), Some(1));
+    assert!(
+        report.get("views_kept").and_then(Json::as_i64).unwrap() >= 1,
+        "the non-matching filtered view survives: {report:?}"
+    );
+    assert!(
+        report
+            .get("views_invalidated")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 1,
+        "the full-table view is invalidated: {report:?}"
+    );
+
+    // The untouched-block query re-serves from cache: the same value,
+    // zero new view builds, zero retrains.
+    let r = client.query("/query", "t0", UNTOUCHED, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let untouched_after = r
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(untouched_after.to_bits(), untouched_before.to_bits());
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let s = stats
+        .get("tenants")
+        .unwrap()
+        .get("t0")
+        .unwrap()
+        .get("session")
+        .unwrap()
+        .clone();
+    assert_eq!(
+        s.get("view_misses").and_then(Json::as_i64),
+        Some(misses_before.0),
+        "no view rebuild after refresh"
+    );
+    assert_eq!(
+        s.get("estimator_misses").and_then(Json::as_i64),
+        Some(misses_before.1),
+        "no retraining after refresh"
+    );
+    assert_eq!(s.get("data_version").and_then(Json::as_i64), Some(1));
+    assert_eq!(s.get("refreshes").and_then(Json::as_i64), Some(1));
+
+    // The touched full-table query matches a cold library session built
+    // on the post-delta database — bit-for-bit.
+    let post_delta = {
+        let snapshot = Snapshot::load(dir.join("t0.hypr")).unwrap();
+        let source = snapshot.database.table("german_syn").unwrap();
+        let mut b = hyper_storage::TableBuilder::new("german_syn", source.schema().clone());
+        for row in &rows {
+            let vals: Vec<hyper_storage::Value> =
+                row.iter().map(|v| v.to_value().unwrap()).collect();
+            b = b.row(vals).unwrap();
+        }
+        let delta = hyper_ingest::DeltaBatch::new().append(b.build());
+        let db = delta.apply(&snapshot.database).unwrap();
+        HyperSession::builder(db)
+            .maybe_graph(snapshot.graph)
+            .config(EngineConfig::hyper())
+            .build()
+    };
+    let expect = post_delta.whatif_text(WHATIF).unwrap();
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200);
+    let got = r
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(got.to_bits(), expect.value.to_bits(), "post-delta parity");
+
+    // Malformed ingests are typed 400s.
+    let r = client.ingest("t0", "no_such_table", &rows, &[]).unwrap();
+    assert_eq!(r.status, 400, "{:?}", r.json());
+    let r = client.ingest("t0", "german_syn", &[], &[]).unwrap();
+    assert_eq!(r.status, 400, "empty delta is refused");
+
+    // Restart on the same directory: the delta log replays over the
+    // snapshot and the server resumes at the ingested version.
+    server.shutdown();
+    let server = start(&dir, ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let got = r
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(got.to_bits(), expect.value.to_bits(), "replay parity");
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let s = stats
+        .get("tenants")
+        .unwrap()
+        .get("t0")
+        .unwrap()
+        .get("session")
+        .unwrap()
+        .clone();
+    assert_eq!(s.get("data_version").and_then(Json::as_i64), Some(1));
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -443,6 +443,95 @@ impl Column {
         Ok(())
     }
 
+    /// Append every row of `other`: typed concatenation straight off the
+    /// buffers — Ints widen into Float columns, string codes are
+    /// re-interned into this column's dictionary (copied verbatim when
+    /// both sides share one), NULLs carry over. No per-cell [`Value`]
+    /// materialization.
+    pub fn append_column(&mut self, other: &Column) -> Result<()> {
+        self.reserve(other.len());
+        match (self, other) {
+            (
+                Column::Int { values, nulls },
+                Column::Int {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(ov);
+                for i in 0..ov.len() {
+                    nulls.push(on.is_null(i));
+                }
+            }
+            (
+                Column::Float { values, nulls },
+                Column::Float {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(ov);
+                for i in 0..ov.len() {
+                    nulls.push(on.is_null(i));
+                }
+            }
+            (
+                Column::Float { values, nulls },
+                Column::Int {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend(ov.iter().map(|&v| v as f64));
+                for i in 0..ov.len() {
+                    nulls.push(on.is_null(i));
+                }
+            }
+            (
+                Column::Bool { values, nulls },
+                Column::Bool {
+                    values: ov,
+                    nulls: on,
+                },
+            ) => {
+                values.extend_from_slice(ov);
+                for i in 0..ov.len() {
+                    nulls.push(on.is_null(i));
+                }
+            }
+            (
+                Column::Str { codes, dict, nulls },
+                Column::Str {
+                    codes: oc,
+                    dict: od,
+                    nulls: on,
+                },
+            ) => {
+                if Arc::ptr_eq(dict, od) {
+                    codes.extend_from_slice(oc);
+                    for i in 0..oc.len() {
+                        nulls.push(on.is_null(i));
+                    }
+                } else {
+                    let d = Arc::make_mut(dict);
+                    for (i, &code) in oc.iter().enumerate() {
+                        let null = on.is_null(i);
+                        codes.push(if null { 0 } else { d.intern(od.get(code)) });
+                        nulls.push(null);
+                    }
+                }
+            }
+            (c, o) => {
+                return Err(StorageError::TypeError(format!(
+                    "cannot append a {} column to a {} column",
+                    o.data_type(),
+                    c.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
     /// Materialize row `i` as a [`Value`].
     #[inline]
     pub fn value(&self, i: usize) -> Value {

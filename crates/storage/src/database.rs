@@ -277,6 +277,28 @@ mod tests {
     }
 
     #[test]
+    fn sibling_append_rehashes_only_the_mutated_table() {
+        let mut db = db();
+        db.fingerprint(); // memoize every per-table digest + the combine
+        let before = crate::fingerprint::HASH_TABLE_CALLS.with(|c| c.get());
+
+        // Append a row to `review`; `product` is untouched.
+        #[allow(deprecated)]
+        db.table_mut("review")
+            .unwrap()
+            .push_row(vec![1.into(), 9.into(), 5.into()])
+            .unwrap();
+        db.fingerprint();
+
+        let after = crate::fingerprint::HASH_TABLE_CALLS.with(|c| c.get());
+        assert_eq!(
+            after - before,
+            1,
+            "only the mutated table re-hashes; the sibling's memo survives"
+        );
+    }
+
+    #[test]
     fn replace_table_swaps_contents() {
         let mut db = db();
         let schema = db.table("product").unwrap().schema().clone();

@@ -192,9 +192,20 @@ pub(crate) fn hash_column(
     }
 }
 
+// Test-only observability: how many whole-table hashes this thread has
+// run. The memoization regression tests use it to assert that an
+// untouched table is *not* re-hashed after a sibling mutation.
+// Thread-local so parallel tests can't perturb each other's counts.
+#[cfg(test)]
+thread_local! {
+    pub(crate) static HASH_TABLE_CALLS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
 /// Hash a table: name, schema (names, types, nullability), primary key,
 /// and every column's content.
 pub(crate) fn hash_table(table: &Table, h: &mut Fingerprint) {
+    #[cfg(test)]
+    HASH_TABLE_CALLS.with(|c| c.set(c.get() + 1));
     h.write_str(table.name());
     let schema = table.schema();
     h.write_u64(schema.len() as u64);
@@ -213,6 +224,83 @@ pub(crate) fn hash_table(table: &Table, h: &mut Fingerprint) {
     for c in 0..table.num_columns() {
         hash_column(table.column(c), h, &mut dict_memos);
     }
+}
+
+/// Per-row content digests of a table: each row's hash covers the table
+/// name plus every cell (type-tagged; floats canonicalized, strings by
+/// character content via memoized dictionary digests) — and nothing
+/// positional, so a row's digest survives re-ordering and sibling
+/// appends/deletes. Used to fingerprint Prop.-1 blocks for block-scoped
+/// invalidation: a block's digest is the XOR of its tuples' digests
+/// (order-insensitive by construction).
+pub(crate) fn hash_rows(table: &Table) -> Vec<u64> {
+    let mut seed = Fingerprint::new();
+    seed.write_str(table.name());
+    let mut hashers: Vec<Fingerprint> = vec![seed; table.num_rows()];
+    let mut dict_memos: std::collections::HashMap<usize, std::rc::Rc<Vec<u64>>> =
+        std::collections::HashMap::new();
+    for c in 0..table.num_columns() {
+        let col = table.column(c);
+        let nulls = col.nulls();
+        match col {
+            Column::Int { values, .. } => {
+                for (i, &v) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        hashers[i].write_u8(0);
+                    } else {
+                        hashers[i].write_u8(b'i');
+                        hashers[i].write_u64(v as u64);
+                    }
+                }
+            }
+            Column::Float { values, .. } => {
+                for (i, &v) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        hashers[i].write_u8(0);
+                    } else {
+                        hashers[i].write_u8(b'f');
+                        hashers[i].write_u64(canonical_f64_bits(v));
+                    }
+                }
+            }
+            Column::Bool { values, .. } => {
+                for (i, &v) in values.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        hashers[i].write_u8(0);
+                    } else {
+                        hashers[i].write_u8(if v { 2 } else { 1 });
+                    }
+                }
+            }
+            Column::Str { codes, dict, .. } => {
+                let memo = std::rc::Rc::clone(
+                    dict_memos
+                        .entry(std::sync::Arc::as_ptr(dict) as usize)
+                        .or_insert_with(|| {
+                            std::rc::Rc::new(
+                                dict.strings()
+                                    .iter()
+                                    .map(|s| {
+                                        let mut sh = Fingerprint::new();
+                                        sh.write_str(s);
+                                        sh.finish()
+                                    })
+                                    .collect(),
+                            )
+                        }),
+                );
+                for (i, &code) in codes.iter().enumerate() {
+                    if nulls.is_null(i) {
+                        hashers[i].write_u8(0);
+                    } else {
+                        hashers[i].write_u8(b's');
+                        hashers[i].write_u64(memo[code as usize]);
+                    }
+                }
+            }
+        }
+    }
+    hashers.into_iter().map(|h| h.finish()).collect()
 }
 
 #[cfg(test)]
@@ -284,5 +372,65 @@ mod tests {
             .unwrap()
             .build();
         assert_eq!(gathered.fingerprint(), fresh.fingerprint());
+    }
+
+    #[test]
+    fn row_fingerprints_are_content_and_position_independent() {
+        let a = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .row(vec![2.into(), "y".into(), Value::Null])
+            .unwrap()
+            .build();
+        let rows = a.row_fingerprints();
+        assert_eq!(rows.len(), 2);
+        assert_ne!(rows[0], rows[1], "distinct content → distinct digests");
+
+        // A row keeps its digest when siblings are appended around it and
+        // when its position shifts (gather), because digests are
+        // index-free content hashes.
+        let extended = TableBuilder::new("t", schema())
+            .row(vec![0.into(), "z".into(), 9.0.into()])
+            .unwrap()
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .row(vec![2.into(), "y".into(), Value::Null])
+            .unwrap()
+            .build();
+        let ext_rows = extended.row_fingerprints();
+        assert_eq!(ext_rows[1], rows[0]);
+        assert_eq!(ext_rows[2], rows[1]);
+        let shuffled = extended.gather(&[2, 0, 1]);
+        let mut sorted_a: Vec<u64> = ext_rows.clone();
+        let mut sorted_b = shuffled.row_fingerprints();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        assert_eq!(sorted_a, sorted_b);
+
+        // Same content in a differently-named table digests differently.
+        let renamed = TableBuilder::new("u", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .build();
+        assert_ne!(renamed.row_fingerprints()[0], rows[0]);
+    }
+
+    #[test]
+    fn table_fingerprint_is_memoized_until_mutation() {
+        let mut t = TableBuilder::new("t", schema())
+            .row(vec![1.into(), "x".into(), 0.5.into()])
+            .unwrap()
+            .build();
+        let before = super::HASH_TABLE_CALLS.with(|c| c.get());
+        let fp = t.fingerprint();
+        assert_eq!(fp, t.fingerprint());
+        let after = super::HASH_TABLE_CALLS.with(|c| c.get());
+        assert_eq!(after - before, 1, "second call served from the memo");
+
+        t.set(0, 0, Value::Int(7)).unwrap();
+        let changed = t.fingerprint();
+        assert_ne!(fp, changed, "mutation cleared the memo");
+        let rehash = super::HASH_TABLE_CALLS.with(|c| c.get());
+        assert_eq!(rehash - after, 1);
     }
 }

@@ -16,12 +16,13 @@
 //! check `is_null` (or the bitmap slice) before the payload.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::fingerprint::{hash_table, Fingerprint};
 use crate::schema::{Field, Schema};
-use crate::value::{Row, Value};
+use crate::value::{DataType, Row, Value};
 
 /// Columnar table construction: the supported ingest path now that the
 /// row-oriented [`Table`] mutators are deprecated. The builder owns one
@@ -192,6 +193,10 @@ pub struct Table {
     columns: Vec<Column>,
     /// Indices of the primary-key columns (possibly empty for derived views).
     primary_key: Vec<usize>,
+    /// Memoized content fingerprint, cleared by every content-mutating
+    /// method. A `Database::fingerprint` recombines per-table digests, so
+    /// only tables that actually changed re-hash their cells.
+    memo: OnceLock<u64>,
 }
 
 impl Table {
@@ -207,6 +212,7 @@ impl Table {
             schema,
             columns,
             primary_key: Vec::new(),
+            memo: OnceLock::new(),
         }
     }
 
@@ -235,6 +241,7 @@ impl Table {
             schema,
             columns,
             primary_key: Vec::new(),
+            memo: OnceLock::new(),
         }
     }
 
@@ -245,6 +252,7 @@ impl Table {
 
     /// Rename the table (used when registering derived views).
     pub fn set_name(&mut self, name: impl Into<String>) {
+        self.memo = OnceLock::new();
         self.name = name.into();
     }
 
@@ -283,6 +291,7 @@ impl Table {
     )]
     pub fn push_row(&mut self, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
+        self.memo = OnceLock::new();
         for (col, v) in self.columns.iter_mut().zip(&row) {
             col.push(v)?;
         }
@@ -302,6 +311,7 @@ impl Table {
     /// Overwrite one cell. With typed columns this is fallible: the value
     /// must match the column type (Ints coerce into Float columns).
     pub fn set(&mut self, row: usize, col: usize, v: Value) -> Result<()> {
+        self.memo = OnceLock::new();
         self.columns[col].set(row, &v)
     }
 
@@ -334,6 +344,56 @@ impl Table {
         (0..self.num_rows()).map(move |i| self.row(i))
     }
 
+    /// Append every row of `rows` (typed column concatenation — the
+    /// ingest path; see [`crate::Column::append_column`]). Schemas must
+    /// match by column name and type (Ints widen into Float columns);
+    /// NULLs in non-nullable fields are rejected.
+    pub fn append_rows(&mut self, rows: &Table) -> Result<()> {
+        if rows.num_columns() != self.num_columns() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "append to `{}`: {} column(s), got {}",
+                self.name,
+                self.num_columns(),
+                rows.num_columns()
+            )));
+        }
+        for (mine, theirs) in self.schema.fields().iter().zip(rows.schema.fields()) {
+            if !mine.name.eq_ignore_ascii_case(&theirs.name) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "append to `{}`: expected column `{}`, got `{}`",
+                    self.name, mine.name, theirs.name
+                )));
+            }
+        }
+        for (i, (col, incoming)) in self.columns.iter().zip(&rows.columns).enumerate() {
+            let field = self.schema.field(i);
+            let widens =
+                col.data_type() == DataType::Float && incoming.data_type() == DataType::Int;
+            if incoming.data_type() != col.data_type() && !widens {
+                return Err(StorageError::TypeError(format!(
+                    "append to `{}`: column `{}` is {}, got {}",
+                    self.name,
+                    field.name,
+                    col.data_type(),
+                    incoming.data_type()
+                )));
+            }
+            if !field.nullable && incoming.null_count() > 0 {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "append to `{}`: column `{}` is not nullable but the delta holds {} NULL(s)",
+                    self.name,
+                    field.name,
+                    incoming.null_count()
+                )));
+            }
+        }
+        self.memo = OnceLock::new();
+        for (col, incoming) in self.columns.iter_mut().zip(&rows.columns) {
+            col.append_column(incoming)?;
+        }
+        Ok(())
+    }
+
     /// Build a new table containing only the rows at `indices` (in order).
     /// A typed copy per column — no `Value` materialization; string
     /// dictionaries are shared, not rebuilt.
@@ -343,6 +403,7 @@ impl Table {
             schema: self.schema.clone(),
             columns: self.columns.iter().map(|c| c.gather(indices)).collect(),
             primary_key: self.primary_key.clone(),
+            memo: OnceLock::new(),
         }
     }
 
@@ -363,6 +424,7 @@ impl Table {
             schema,
             columns,
             primary_key: Vec::new(),
+            memo: OnceLock::new(),
         })
     }
 
@@ -377,6 +439,7 @@ impl Table {
             )));
         }
         let column = Column::from_values(field.data_type, &values)?;
+        self.memo = OnceLock::new();
         self.schema.push(field)?;
         self.columns.push(column);
         Ok(())
@@ -394,11 +457,25 @@ impl Table {
 
     /// Content fingerprint: a stable 64-bit hash of name, schema, key,
     /// and every cell (see [`crate::fingerprint`]). Equal-content tables
-    /// hash equal regardless of how they were built.
+    /// hash equal regardless of how they were built. Memoized per table:
+    /// sibling mutations in the same [`crate::Database`] do not force
+    /// this table to re-hash its cells.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fingerprint::new();
-        hash_table(self, &mut h);
-        h.finish()
+        *self.memo.get_or_init(|| {
+            let mut h = Fingerprint::new();
+            hash_table(self, &mut h);
+            h.finish()
+        })
+    }
+
+    /// Per-row content fingerprints: one stable 64-bit digest per tuple,
+    /// covering the table name and every cell's content (type-tagged;
+    /// strings hash their characters, not dictionary codes) but **not**
+    /// the row index — so a tuple keeps its digest when unrelated rows
+    /// are appended or deleted around it. Block-scoped invalidation XORs
+    /// these per Prop.-1 block to detect which blocks a delta touched.
+    pub fn row_fingerprints(&self) -> Vec<u64> {
+        crate::fingerprint::hash_rows(self)
     }
 
     /// Approximate memory footprint in bytes (typed column buffers, null

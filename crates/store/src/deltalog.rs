@@ -1,0 +1,232 @@
+//! The `HYPD1` append log: a durable, torn-tail-tolerant record stream
+//! of delta payloads, sitting beside a tenant's `HYPR1` snapshot.
+//!
+//! Snapshots are immutable scenario captures; ingest must not rewrite
+//! them on every append. Instead each applied delta batch is appended to
+//! a sidecar log, and loaders replay the log over the snapshot to
+//! reconstruct the latest version (`version = number of intact
+//! records`, with version 0 the bare snapshot).
+//!
+//! The `HYPR1` container closes with a **whole-file** checksum, which is
+//! exactly wrong for an append-only file — every append would rewrite
+//! the trailer. `HYPD1` therefore reuses the container's byte-level
+//! conventions (magic + version header, FNV-1a checksums, little-endian
+//! fixed-width words) but frames each record *self-contained*:
+//!
+//! ```text
+//! HYPD1\0 <version:u16>
+//! ┌ len:u64 ┬ fnv1a(payload):u64 ┬ payload… ┐   record 1
+//! ├ len:u64 ┼ fnv1a(payload):u64 ┼ payload… ┤   record 2
+//! └ …
+//! ```
+//!
+//! Replay stops at the first truncated or checksum-failing record — a
+//! torn tail from a crashed writer loses at most the in-flight record,
+//! never the log — and the next [`AppendLog::append`] truncates that
+//! tail before writing, so the file heals itself.
+//!
+//! Payloads are opaque bytes at this layer; `hyper-ingest` defines the
+//! actual delta-batch codec on top.
+
+use std::fs::{self, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use crate::codec::fnv1a;
+use crate::error::{Result, StoreError};
+
+/// The `*.hypd` extension delta logs carry (beside `*.hypr` snapshots).
+pub const DELTA_LOG_EXT: &str = "hypd";
+
+/// Magic bytes opening every delta log.
+pub const DELTA_MAGIC: &[u8; 6] = b"HYPD1\0";
+
+/// Format version this build reads and writes.
+pub const DELTA_FORMAT_VERSION: u16 = 1;
+
+const HEADER_LEN: usize = DELTA_MAGIC.len() + 2;
+const FRAME_LEN: usize = 16; // len:u64 + checksum:u64
+
+/// A durable append-only record log at a fixed path.
+///
+/// The handle is cheap (just the path); every operation re-reads the
+/// file, so multiple handles — or multiple processes — see each other's
+/// appends. Writers are expected to serialize externally (the server
+/// holds a per-tenant ingest lock).
+#[derive(Debug, Clone)]
+pub struct AppendLog {
+    path: PathBuf,
+}
+
+impl AppendLog {
+    /// Open the log at `path`, creating an empty one (header only) if the
+    /// file does not exist. An existing file must carry the `HYPD1`
+    /// header.
+    pub fn open(path: impl AsRef<Path>) -> Result<AppendLog> {
+        let path = path.as_ref().to_path_buf();
+        if path.exists() {
+            let bytes = fs::read(&path)?;
+            validate_header(&bytes)?;
+        } else {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    fs::create_dir_all(dir)?;
+                }
+            }
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(DELTA_MAGIC);
+            header.extend_from_slice(&DELTA_FORMAT_VERSION.to_le_bytes());
+            fs::write(&path, header)?;
+        }
+        Ok(AppendLog { path })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Every intact record payload, in append order. A torn or corrupt
+    /// tail silently ends the replay (by design — see the module docs).
+    pub fn replay(&self) -> Result<Vec<Vec<u8>>> {
+        Ok(self.scan()?.0)
+    }
+
+    /// The current version: the number of intact records (0 = bare
+    /// snapshot).
+    pub fn version(&self) -> Result<u64> {
+        Ok(self.scan()?.0.len() as u64)
+    }
+
+    /// Append one record, first truncating any torn tail left by a
+    /// crashed writer. Returns the version after the append.
+    pub fn append(&self, payload: &[u8]) -> Result<u64> {
+        let (records, valid_end) = self.scan()?;
+        let mut f = OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(valid_end)?;
+        f.seek(SeekFrom::Start(valid_end))?;
+        f.write_all(&(payload.len() as u64).to_le_bytes())?;
+        f.write_all(&fnv1a(payload).to_le_bytes())?;
+        f.write_all(payload)?;
+        f.sync_all()?;
+        Ok(records.len() as u64 + 1)
+    }
+
+    /// Scan the file: intact records plus the byte offset where they end
+    /// (= where the next append goes).
+    fn scan(&self) -> Result<(Vec<Vec<u8>>, u64)> {
+        let bytes = fs::read(&self.path)?;
+        validate_header(&bytes)?;
+        let mut records = Vec::new();
+        let mut pos = HEADER_LEN;
+        while bytes.len() - pos >= FRAME_LEN {
+            let len = u64::from_le_bytes(bytes[pos..pos + 8].try_into().unwrap()) as usize;
+            let sum = u64::from_le_bytes(bytes[pos + 8..pos + 16].try_into().unwrap());
+            let Some(end) = pos.checked_add(FRAME_LEN).and_then(|s| s.checked_add(len)) else {
+                break;
+            };
+            if end > bytes.len() {
+                break; // truncated tail
+            }
+            let payload = &bytes[pos + FRAME_LEN..end];
+            if fnv1a(payload) != sum {
+                break; // corrupt tail
+            }
+            records.push(payload.to_vec());
+            pos = end;
+        }
+        Ok((records, pos as u64))
+    }
+}
+
+fn validate_header(bytes: &[u8]) -> Result<()> {
+    if bytes.len() < HEADER_LEN || &bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+        return Err(StoreError::Corrupt(
+            "not a HYPD1 delta log (bad magic)".into(),
+        ));
+    }
+    let found = u16::from_le_bytes([bytes[6], bytes[7]]);
+    if found != DELTA_FORMAT_VERSION {
+        return Err(StoreError::VersionMismatch {
+            found,
+            expected: DELTA_FORMAT_VERSION,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_log(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hyper_deltalog_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir.join("t0.hypd")
+    }
+
+    #[test]
+    fn append_and_replay_round_trip() {
+        let path = temp_log("rt");
+        let log = AppendLog::open(&path).unwrap();
+        assert_eq!(log.version().unwrap(), 0);
+        assert_eq!(log.append(b"first").unwrap(), 1);
+        assert_eq!(log.append(b"second record").unwrap(), 2);
+        // A second handle (fresh process) sees both records.
+        let log2 = AppendLog::open(&path).unwrap();
+        let records = log2.replay().unwrap();
+        assert_eq!(records, vec![b"first".to_vec(), b"second record".to_vec()]);
+        assert_eq!(log2.version().unwrap(), 2);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_healed() {
+        let path = temp_log("torn");
+        let log = AppendLog::open(&path).unwrap();
+        log.append(b"keep me").unwrap();
+        log.append(b"casualty").unwrap();
+        // Tear the last record: chop two bytes off the file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 2]).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![b"keep me".to_vec()]);
+        // Appending truncates the torn tail before writing.
+        log.append(b"after the crash").unwrap();
+        assert_eq!(
+            log.replay().unwrap(),
+            vec![b"keep me".to_vec(), b"after the crash".to_vec()]
+        );
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn corrupt_record_ends_replay() {
+        let path = temp_log("corrupt");
+        let log = AppendLog::open(&path).unwrap();
+        log.append(b"good").unwrap();
+        log.append(b"flipped").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(log.replay().unwrap(), vec![b"good".to_vec()]);
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let path = temp_log("hdr");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, b"HYPR1\0junk").unwrap();
+        assert!(matches!(
+            AppendLog::open(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::write(&path, [b'H', b'Y', b'P', b'D', b'1', 0, 9, 0]).unwrap();
+        assert!(matches!(
+            AppendLog::open(&path),
+            Err(StoreError::VersionMismatch { found: 9, .. })
+        ));
+        std::fs::remove_dir_all(path.parent().unwrap()).ok();
+    }
+}

@@ -53,6 +53,10 @@
 //!   shard fingerprints in the header; `hyper-core` files these under a
 //!   `SessionBuilder::persist_dir` to give restarted processes
 //!   warm-cache first queries (see `examples/warm_start.rs`).
+//! * [`deltalog`] — the `HYPD1` append log: a `<tenant>.hypd` sidecar of
+//!   checksummed, torn-tail-tolerant delta records beside the snapshot,
+//!   so ingest appends durably without rewriting the `HYPR1` file and
+//!   loaders replay to the latest version.
 
 #![warn(missing_docs)]
 
@@ -60,6 +64,7 @@ pub mod artifact;
 pub mod causalcodec;
 pub mod codec;
 pub mod container;
+pub mod deltalog;
 pub mod error;
 pub mod mlcodec;
 pub mod registry;
@@ -70,6 +75,7 @@ pub use artifact::{read_artifact, write_artifact, ArtifactKind, ArtifactMeta};
 pub use causalcodec::{decode_blocks, decode_graph, encode_blocks, encode_graph};
 pub use codec::{fnv1a, ByteReader, ByteWriter};
 pub use container::{Container, ContainerWriter, FORMAT_VERSION, MAGIC};
+pub use deltalog::{AppendLog, DELTA_LOG_EXT};
 pub use error::{Result, StoreError};
 pub use mlcodec::{
     decode_encoder, decode_forest, decode_linear, decode_tree, encode_encoder, encode_forest,

@@ -95,6 +95,14 @@ impl SnapshotRegistry {
         self.tenants.get(tenant).map(PathBuf::as_path)
     }
 
+    /// Where `tenant`'s `HYPD1` delta log lives (beside its snapshot;
+    /// the file may not exist yet — [`crate::AppendLog::open`] creates
+    /// it on first ingest).
+    pub fn delta_log_path(&self, tenant: &str) -> PathBuf {
+        self.dir
+            .join(format!("{tenant}.{}", crate::deltalog::DELTA_LOG_EXT))
+    }
+
     /// Load and fully validate `tenant`'s snapshot (checksums, structure,
     /// fingerprints — see [`Snapshot::load`]). Unknown tenants are a
     /// typed [`StoreError::Corrupt`]-free error: [`StoreError::Io`] with

@@ -1,0 +1,181 @@
+//! Live ingest over HTTP: append rows to a served tenant and watch
+//! block-scoped causal invalidation keep the untouched artifacts warm.
+//!
+//! The scenario: a "lending" tenant serves the German-Syn table. Two
+//! query shapes are warmed — a *filtered* what-if over young applicants
+//! (`age = 0`) and a full-table what-if. Then a batch of senior
+//! applicants (`age = 2`) arrives via `POST /ingest`:
+//!
+//! 1. the filtered view's predicate admits none of the new rows, so the
+//!    view, its estimator, and its blocks all **survive** — re-running
+//!    the query is a pure cache hit with zero retraining;
+//! 2. the full-table view saw its relation grow, so it is invalidated
+//!    and the next execution rebuilds against the new version — and its
+//!    answer changes;
+//! 3. the delta is durably appended to the tenant's `HYPD1` sidecar
+//!    log, so a restarted server replays to the same version.
+//!
+//! Run with `cargo run --release --example live_ingest`.
+
+use hyper_repro::serve::{Client, Json, ServeConfig, Server};
+use hyper_repro::store::Snapshot;
+
+const UNTOUCHED: &str = "Use (Select status, credit From german_syn Where age = 0) \
+     Update(status) = 3 Output Count(Post(credit) = 'Good')";
+const TOUCHED: &str = "Use german_syn Update(status) = 3 Output Count(Post(credit) = 'Good')";
+
+fn value_of(response: &hyper_repro::serve::ClientResponse) -> f64 {
+    assert_eq!(response.status, 200, "{:?}", response.json());
+    response
+        .json()
+        .unwrap()
+        .get("value")
+        .and_then(Json::as_f64)
+        .unwrap()
+}
+
+fn session_stats(client: &mut Client, tenant: &str) -> Json {
+    client
+        .request("GET", "/stats", None)
+        .expect("stats")
+        .json()
+        .unwrap()
+        .get("tenants")
+        .unwrap()
+        .get(tenant)
+        .unwrap()
+        .get("session")
+        .unwrap()
+        .clone()
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("hyper_live_ingest_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create registry dir");
+
+    let data = hyper_repro::datasets::german_syn(5_000, 7);
+    Snapshot::new(data.db, Some(data.graph))
+        .save(dir.join("lending.hypr"))
+        .expect("save tenant snapshot");
+
+    let server = Server::start(&dir, ServeConfig::default()).expect("server starts");
+    println!("serving on http://{}\n", server.addr());
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // Warm both query shapes.
+    let untouched_v0 = value_of(&client.query("/query", "lending", UNTOUCHED, &[]).unwrap());
+    let touched_v0 = value_of(&client.query("/query", "lending", TOUCHED, &[]).unwrap());
+    println!("filtered (age = 0) what-if  -> {untouched_v0}");
+    println!("full-table what-if          -> {touched_v0}");
+    let before = session_stats(&mut client, "lending");
+    let misses_before = (
+        before.get("view_misses").and_then(Json::as_i64).unwrap(),
+        before
+            .get("estimator_misses")
+            .and_then(Json::as_i64)
+            .unwrap(),
+    );
+
+    // A batch of senior applicants lands: every appended row has
+    // age = 2, so the `age = 0` filter admits none of them. Columns are
+    // age, sex, status, savings, housing, credit_amount, credit.
+    let rows: Vec<Vec<Json>> = (0..200i64)
+        .map(|i| {
+            vec![
+                Json::Int(2),
+                Json::Int(i % 2),
+                Json::Int(i % 4),
+                Json::Int((i / 2) % 4),
+                Json::Int(i % 3),
+                Json::Int((i / 3) % 4),
+                Json::Str(if i % 4 == 0 { "Bad" } else { "Good" }.into()),
+            ]
+        })
+        .collect();
+    let response = client.ingest("lending", "german_syn", &rows, &[]).unwrap();
+    assert_eq!(response.status, 200, "{:?}", response.json());
+    let report = response.json().unwrap();
+    println!(
+        "\nPOST /ingest: {} row(s) -> data_version {}, views kept {} / invalidated {}, \
+         estimators kept {} / invalidated {}",
+        rows.len(),
+        report.get("data_version").and_then(Json::as_i64).unwrap(),
+        report.get("views_kept").and_then(Json::as_i64).unwrap(),
+        report
+            .get("views_invalidated")
+            .and_then(Json::as_i64)
+            .unwrap(),
+        report
+            .get("estimators_kept")
+            .and_then(Json::as_i64)
+            .unwrap(),
+        report
+            .get("estimators_invalidated")
+            .and_then(Json::as_i64)
+            .unwrap(),
+    );
+    assert!(
+        report.get("views_kept").and_then(Json::as_i64).unwrap() >= 1,
+        "the non-matching filtered view must survive"
+    );
+    assert!(
+        report
+            .get("views_invalidated")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 1,
+        "the full-table view must be invalidated"
+    );
+
+    // Untouched blocks: same answer, zero new builds, zero retrains.
+    let untouched_v1 = value_of(&client.query("/query", "lending", UNTOUCHED, &[]).unwrap());
+    assert_eq!(
+        untouched_v1.to_bits(),
+        untouched_v0.to_bits(),
+        "the filtered query's blocks were untouched — its answer may not move"
+    );
+    let after = session_stats(&mut client, "lending");
+    assert_eq!(
+        after.get("view_misses").and_then(Json::as_i64).unwrap(),
+        misses_before.0,
+        "no view rebuild"
+    );
+    assert_eq!(
+        after
+            .get("estimator_misses")
+            .and_then(Json::as_i64)
+            .unwrap(),
+        misses_before.1,
+        "zero trains — the estimator survived the delta"
+    );
+    println!("filtered what-if re-served from cache: {untouched_v1} (zero rebuilds, zero trains)");
+
+    // Touched blocks: the full-table answer must reflect the new rows.
+    let touched_v1 = value_of(&client.query("/query", "lending", TOUCHED, &[]).unwrap());
+    assert_ne!(
+        touched_v1.to_bits(),
+        touched_v0.to_bits(),
+        "200 appended rows must move a Count over the full table"
+    );
+    println!("full-table what-if recomputed:         {touched_v0} -> {touched_v1}");
+
+    // Durability: a restarted server replays the HYPD1 log and answers
+    // at the ingested version.
+    server.shutdown();
+    let server = Server::start(&dir, ServeConfig::default()).expect("restart");
+    let mut client = Client::connect(server.addr()).expect("reconnect");
+    let replayed = value_of(&client.query("/query", "lending", TOUCHED, &[]).unwrap());
+    assert_eq!(
+        replayed.to_bits(),
+        touched_v1.to_bits(),
+        "the restarted server must replay the delta log to the same version"
+    );
+    let s = session_stats(&mut client, "lending");
+    assert_eq!(s.get("data_version").and_then(Json::as_i64), Some(1));
+    println!("\nrestarted server replayed the delta log: {replayed} at data_version 1");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!("live ingest verified: causal invalidation kept the untouched artifacts warm");
+}

@@ -13,7 +13,8 @@
 //! | [`ip`]      | simplex LP + branch-and-bound 0-1 ILP + enumeration oracle |
 //! | [`query`]   | the extended SQL language (`Use`/`When`/`Update`/`Output`/`For`, `HowToUpdate`/`Limit`/`ToMaximize`) |
 //! | [`runtime`] | the shared execution runtime: one persistent worker pool for every parallel path |
-//! | [`store`]   | durable `HYPR1` binary snapshots: tables, databases, graphs, fitted models; the disk-tier artifact files |
+//! | [`store`]   | durable `HYPR1` binary snapshots: tables, databases, graphs, fitted models; the disk-tier artifact files; the `HYPD1` delta append log |
+//! | [`ingest`]  | typed [`DeltaBatch`](ingest::DeltaBatch) write batches and per-block content fingerprints — the incremental write path |
 //! | [`core`]    | the HypeR engine: sessions, prepared queries, the three-tier artifact cache (local LRU → shared in-memory → disk) |
 //! | [`serve`]   | the multi-tenant HTTP query server: hand-rolled HTTP/1.1, tenant snapshot registry, admission control with fairness and load shedding |
 //! | [`datasets`] | workload generators (German, German-Syn, Adult, Amazon, Student-Syn) |
@@ -158,9 +159,24 @@
 //! ```text
 //! POST /query    {"tenant": "...", "query": "...", "bindings": {...}}
 //! POST /explain  same body — the static plan with cache provenance
+//! POST /ingest   {"tenant": "...", "table": "...", "rows": [...], "deletes": [...]}
 //! GET  /stats    server + per-tenant admission counters + SessionStats
 //! GET  /health   liveness (served inline, even under saturation)
 //! ```
+//!
+//! `POST /ingest` is the write path: a typed
+//! [`DeltaBatch`](ingest::DeltaBatch) (appends and/or deletes against
+//! one table) is applied through [`HyperSession::refresh`]
+//! (core::HyperSession::refresh), which swaps in a post-delta session
+//! MVCC-style while keeping — as pure cache hits — every relevant view
+//! whose filter provably admits none of the changed rows and every
+//! estimator trained over a surviving view. The answer is the
+//! invalidation report (`views_kept`, `estimators_invalidated`,
+//! `blocks_invalidated`, …) plus a `data_version` counter that also
+//! appears in `/stats` and `/explain`, so answers correlate with the
+//! data they were computed over. Before the swap, the encoded delta is
+//! fsync'd onto a `HYPD1` append log beside the tenant's snapshot and
+//! replayed on restart: an acknowledged ingest survives a crash.
 //!
 //! Responses render floats in shortest-round-trip form, so a client
 //! re-parsing `value` recovers the library-path `f64` bit-for-bit — the
@@ -175,6 +191,7 @@
 pub use hyper_causal as causal;
 pub use hyper_core as core;
 pub use hyper_datasets as datasets;
+pub use hyper_ingest as ingest;
 pub use hyper_ip as ip;
 pub use hyper_ml as ml;
 pub use hyper_query as query;
@@ -191,9 +208,11 @@ pub mod prelude {
     pub use hyper_core::{
         exact_whatif, BackdoorMode, CacheBudget, EngineConfig, ExplainReport, HowToOptions,
         HowToResult, HyperSession, IntoQuery, PreparedQuery, Provenance, QueryOutcome,
-        SessionBuilder, SessionStats, SharedArtifactStore, WhatIfResult,
+        RefreshOutcome, RefreshReport, SessionBuilder, SessionStats, SharedArtifactStore,
+        WhatIfResult,
     };
     pub use hyper_datasets::Dataset;
+    pub use hyper_ingest::{DeltaBatch, TableDelta};
     pub use hyper_query::{
         parse_query, Bindings, HExpr, HowTo, HypotheticalQuery, QueryKey, WhatIf,
     };
