@@ -5,8 +5,11 @@
 //! reused at prediction time to encode hypothetical rows consistently.
 
 use std::collections::HashMap;
+use std::ops::Range;
+use std::sync::Mutex;
 
-use hyper_storage::{Column, DataType, Table, Value};
+use hyper_runtime::HyperRuntime;
+use hyper_storage::{Column, DataType, Table, Value, DEFAULT_MORSEL_ROWS, PARALLEL_ROW_THRESHOLD};
 
 use crate::error::{MlError, Result};
 use crate::matrix::Matrix;
@@ -203,7 +206,10 @@ impl TableEncoder {
     /// numeric features are slice reads with mean imputation, and one-hot
     /// features over string columns resolve each fitted category to a
     /// dictionary code once, then compare codes per row — no per-cell
-    /// `Value` materialization or hashing.
+    /// `Value` materialization or hashing. Large inputs fill disjoint row
+    /// slabs morsel-parallel over the global [`HyperRuntime`]; every cell
+    /// is computed the same way regardless of worker count, so the matrix
+    /// is bit-identical to the sequential encode.
     pub fn encode_table(&self, table: &Table) -> Result<Matrix> {
         let cols: Vec<&Column> = self
             .columns
@@ -217,6 +223,24 @@ impl TableEncoder {
     /// columns`] (the no-schema variant of [`TableEncoder::encode_table`],
     /// used when callers assemble hypothetical post-update columns).
     pub fn encode_columns(&self, cols: &[&Column]) -> Result<Matrix> {
+        let n = cols.first().map_or(0, |c| c.len());
+        let rt = HyperRuntime::global();
+        let morsel_rows = if n >= PARALLEL_ROW_THRESHOLD && rt.workers() > 0 {
+            DEFAULT_MORSEL_ROWS
+        } else {
+            n.max(1) // one slab: the plain sequential fill
+        };
+        self.encode_columns_on(rt, cols, morsel_rows)
+    }
+
+    /// [`TableEncoder::encode_columns`] on a caller-chosen runtime and
+    /// morsel size (the parity tests drive this across worker counts).
+    pub fn encode_columns_on(
+        &self,
+        rt: &HyperRuntime,
+        cols: &[&Column],
+        morsel_rows: usize,
+    ) -> Result<Matrix> {
         if cols.len() != self.encodings.len() {
             return Err(MlError::InvalidInput(format!(
                 "expected {} columns, got {}",
@@ -228,67 +252,64 @@ impl TableEncoder {
         if cols.iter().any(|c| c.len() != n) {
             return Err(MlError::InvalidInput("ragged input columns".into()));
         }
-        let mut m = Matrix::zeros(n, self.width);
-        let mut offset = 0usize;
-        for (&col, enc) in cols.iter().zip(&self.encodings) {
-            match enc {
-                ColumnEncoding::Numeric { mean } => {
-                    self.fill_numeric(&mut m, col, offset, *mean);
-                    offset += 1;
-                }
-                ColumnEncoding::OneHot { categories } => {
-                    self.fill_one_hot(&mut m, col, offset, categories);
-                    offset += categories.len();
-                }
-            }
+        let width = self.width;
+        let mut m = Matrix::zeros(n, width);
+        if n == 0 || width == 0 {
+            return Ok(m);
         }
-        Ok(m)
-    }
+        // Resolve one-hot dictionary slots once, shared by every morsel.
+        let slot_maps: Vec<Option<Vec<Option<usize>>>> = cols
+            .iter()
+            .zip(&self.encodings)
+            .map(|(&col, enc)| match (enc, col.as_str()) {
+                (ColumnEncoding::OneHot { categories }, Some((_, dict, _))) => {
+                    let mut slot_of_code: Vec<Option<usize>> = vec![None; dict.len()];
+                    for (k, cat) in categories.iter().enumerate() {
+                        if let Some(code) = cat.as_str().and_then(|s| dict.code_of(s)) {
+                            slot_of_code[code as usize] = Some(k);
+                        }
+                    }
+                    Some(slot_of_code)
+                }
+                _ => None,
+            })
+            .collect();
 
-    fn fill_numeric(&self, m: &mut Matrix, col: &Column, j: usize, mean: f64) {
-        match col.as_float() {
-            Some((values, nulls)) if !nulls.any_null() => {
-                for (i, &x) in values.iter().enumerate() {
-                    m.set(i, j, x);
-                }
-            }
-            _ => {
-                for i in 0..col.len() {
-                    m.set(i, j, col.f64_at(i).unwrap_or(mean));
-                }
-            }
-        }
-    }
-
-    fn fill_one_hot(&self, m: &mut Matrix, col: &Column, offset: usize, categories: &[Value]) {
-        if let Some((codes, dict, nulls)) = col.as_str() {
-            // Map each dictionary code to its category slot (if fitted).
-            let mut slot_of_code: Vec<Option<usize>> = vec![None; dict.len()];
-            for (k, cat) in categories.iter().enumerate() {
-                if let Some(code) = cat.as_str().and_then(|s| dict.code_of(s)) {
-                    slot_of_code[code as usize] = Some(k);
-                }
-            }
-            for (i, &code) in codes.iter().enumerate() {
-                if nulls.is_null(i) {
-                    continue;
-                }
-                if let Some(k) = slot_of_code[code as usize] {
-                    m.set(i, offset + k, 1.0);
-                }
-            }
-        } else {
-            // Fallback for non-string one-hot columns (e.g. re-typed
-            // inputs): strict Value comparison, as in `encode_values`.
-            for i in 0..col.len() {
-                let v = col.value(i);
-                for (k, cat) in categories.iter().enumerate() {
-                    if v == *cat {
-                        m.set(i, offset + k, 1.0);
+        // Fill disjoint row slabs, one morsel each. Each cell's value
+        // depends only on its own row, so the parallel fill is
+        // bit-identical to the sequential one.
+        let morsel_rows = morsel_rows.max(1);
+        let slabs: Vec<Mutex<&mut [f64]>> = m
+            .data_mut()
+            .chunks_mut(morsel_rows * width)
+            .map(Mutex::new)
+            .collect();
+        rt.for_each_chunked(n, morsel_rows, |rows| {
+            let mut slab = slabs[rows.start / morsel_rows].lock().expect("slab lock");
+            let mut offset = 0usize;
+            for ((&col, enc), slots) in cols.iter().zip(&self.encodings).zip(&slot_maps) {
+                match enc {
+                    ColumnEncoding::Numeric { mean } => {
+                        fill_numeric(&mut slab, width, col, rows.clone(), offset, *mean);
+                        offset += 1;
+                    }
+                    ColumnEncoding::OneHot { categories } => {
+                        fill_one_hot(
+                            &mut slab,
+                            width,
+                            col,
+                            rows.clone(),
+                            offset,
+                            categories,
+                            slots.as_deref(),
+                        );
+                        offset += categories.len();
                     }
                 }
             }
-        }
+        });
+        drop(slabs);
+        Ok(m)
     }
 
     /// Extract a numeric target column.
@@ -302,6 +323,64 @@ impl TableEncoder {
                     .ok_or_else(|| MlError::InvalidInput(format!("non-numeric target value {v}")))
             })
             .collect()
+    }
+}
+
+/// Fill feature column `j` for the rows in `rows` into a row slab whose
+/// first element is `rows.start`'s feature 0.
+fn fill_numeric(
+    out: &mut [f64],
+    width: usize,
+    col: &Column,
+    rows: Range<usize>,
+    j: usize,
+    mean: f64,
+) {
+    match col.as_float() {
+        Some((values, nulls)) if !nulls.any_null() => {
+            for (local, i) in rows.enumerate() {
+                out[local * width + j] = values[i];
+            }
+        }
+        _ => {
+            for (local, i) in rows.enumerate() {
+                out[local * width + j] = col.f64_at(i).unwrap_or(mean);
+            }
+        }
+    }
+}
+
+/// One-hot fill for the rows in `rows`; `slot_of_code` is the fitted
+/// dictionary-code → category-slot map when `col` is a string column.
+fn fill_one_hot(
+    out: &mut [f64],
+    width: usize,
+    col: &Column,
+    rows: Range<usize>,
+    offset: usize,
+    categories: &[Value],
+    slot_of_code: Option<&[Option<usize>]>,
+) {
+    if let (Some((codes, _, nulls)), Some(slots)) = (col.as_str(), slot_of_code) {
+        for (local, i) in rows.enumerate() {
+            if nulls.is_null(i) {
+                continue;
+            }
+            if let Some(k) = slots[codes[i] as usize] {
+                out[local * width + offset + k] = 1.0;
+            }
+        }
+    } else {
+        // Fallback for non-string one-hot columns (e.g. re-typed
+        // inputs): strict Value comparison, as in `encode_values`.
+        for (local, i) in rows.enumerate() {
+            let v = col.value(i);
+            for (k, cat) in categories.iter().enumerate() {
+                if v == *cat {
+                    out[local * width + offset + k] = 1.0;
+                }
+            }
+        }
     }
 }
 

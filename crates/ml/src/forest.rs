@@ -167,9 +167,42 @@ impl RandomForest {
         s / self.trees.len() as f64
     }
 
-    /// Batch prediction.
+    /// Batch prediction. Large batches split row ranges across the global
+    /// [`HyperRuntime`]'s workers (prediction is read-only per tree, so
+    /// this is pure fan-out); each row's mean-over-trees is computed
+    /// identically either way, so the output is bit-identical to the
+    /// sequential loop.
     pub fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|i| self.predict_row(x.row(i))).collect()
+        let rt = HyperRuntime::global();
+        let morsel_rows = if x.rows() >= hyper_storage::PARALLEL_ROW_THRESHOLD && rt.workers() > 0 {
+            hyper_storage::DEFAULT_MORSEL_ROWS
+        } else {
+            x.rows().max(1) // one range: the plain sequential loop
+        };
+        self.predict_on(rt, x, morsel_rows)
+    }
+
+    /// [`RandomForest::predict`] on a caller-chosen runtime and morsel
+    /// size (the parity tests drive this across worker counts).
+    pub fn predict_on(&self, rt: &HyperRuntime, x: &Matrix, morsel_rows: usize) -> Vec<f64> {
+        let n = x.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let morsel_rows = morsel_rows.max(1);
+        let mut out = vec![0.0f64; n];
+        let slabs: Vec<std::sync::Mutex<&mut [f64]>> = out
+            .chunks_mut(morsel_rows)
+            .map(std::sync::Mutex::new)
+            .collect();
+        rt.for_each_chunked(n, morsel_rows, |rows| {
+            let mut slab = slabs[rows.start / morsel_rows].lock().expect("slab lock");
+            for (local, i) in rows.enumerate() {
+                slab[local] = self.predict_row(x.row(i));
+            }
+        });
+        drop(slabs);
+        out
     }
 
     /// Mean prediction clamped to `[0, 1]`, for probability targets (the

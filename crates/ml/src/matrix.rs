@@ -74,6 +74,12 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
+    /// The full row-major buffer, mutably — lets the encoder hand
+    /// disjoint row slabs to parallel fill tasks.
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// A new matrix with `col` appended as an extra trailing column
     /// (re-laid out row-major in one pass).
     pub fn with_appended_column(&self, col: &[f64]) -> Result<Matrix> {

@@ -1,0 +1,143 @@
+//! Bit-determinism tests for the morsel-parallel ML paths: encoding and
+//! forest prediction must be bit-identical (`f64::to_bits`) to the
+//! sequential loops across worker counts {0, 1, 3} and morsel sizes
+//! {tiny, uneven tail, huge}, including NULLs and dictionary-coded
+//! string columns.
+
+use hyper_ml::{ForestParams, Matrix, RandomForest, TableEncoder};
+use hyper_runtime::HyperRuntime;
+use hyper_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
+
+const WORKERS: [usize; 3] = [0, 1, 3];
+const MORSELS: [usize; 4] = [1, 7, 64, 4096];
+
+/// Deterministic table: numeric with NULLs, categorical with NULLs.
+fn table(n: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("age", DataType::Int),
+        Field::nullable("score", DataType::Float),
+        Field::nullable("color", DataType::Str),
+        Field::new("flag", DataType::Bool),
+    ])
+    .unwrap();
+    let mut b = TableBuilder::new("t", schema);
+    for i in 0..n {
+        let score: Value = if i % 7 == 3 {
+            Value::Null
+        } else {
+            Value::Float((i as f64).sin() * 10.0)
+        };
+        let color: Value = if i % 11 == 5 {
+            Value::Null
+        } else {
+            ["red", "green", "blue", "cyan"][i % 4].into()
+        };
+        b.push(vec![
+            Value::Int((i % 90) as i64),
+            score,
+            color,
+            Value::Bool(i % 3 == 0),
+        ])
+        .unwrap();
+    }
+    b.build()
+}
+
+fn assert_matrix_bits_equal(a: &Matrix, b: &Matrix, ctx: &str) {
+    assert_eq!(a.rows(), b.rows(), "{ctx}: row count");
+    assert_eq!(a.cols(), b.cols(), "{ctx}: col count");
+    for i in 0..a.rows() {
+        for (j, (x, y)) in a.row(i).iter().zip(b.row(i)).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{ctx}: cell ({i}, {j}) differs: {x} vs {y}"
+            );
+        }
+    }
+}
+
+#[test]
+fn encode_table_is_bit_identical_across_workers_and_morsels() {
+    let t = table(533); // not a multiple of any morsel size: uneven tails
+    let cols: Vec<String> = ["age", "score", "color", "flag"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let enc = TableEncoder::fit(&t, &cols).unwrap();
+    let col_refs: Vec<&hyper_storage::Column> =
+        cols.iter().map(|c| t.column_by_name(c).unwrap()).collect();
+    let seq = enc
+        .encode_columns_on(&HyperRuntime::with_workers(0), &col_refs, t.num_rows())
+        .unwrap();
+    // The auto path must agree too.
+    assert_matrix_bits_equal(&seq, &enc.encode_table(&t).unwrap(), "auto");
+    for w in WORKERS {
+        let rt = HyperRuntime::with_workers(w);
+        for m in MORSELS {
+            let par = enc.encode_columns_on(&rt, &col_refs, m).unwrap();
+            assert_matrix_bits_equal(&seq, &par, &format!("workers={w}, morsel={m}"));
+        }
+    }
+}
+
+#[test]
+fn forest_predict_is_bit_identical_across_workers_and_morsels() {
+    let t = table(533);
+    let cols: Vec<String> = ["age", "score", "color", "flag"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let enc = TableEncoder::fit(&t, &cols).unwrap();
+    let x = enc.encode_table(&t).unwrap();
+    let y: Vec<f64> = (0..t.num_rows()).map(|i| (i % 2) as f64).collect();
+    let forest = RandomForest::fit(
+        &x,
+        &y,
+        &ForestParams {
+            n_trees: 5,
+            seed: 42,
+            ..ForestParams::default()
+        },
+    )
+    .unwrap();
+
+    let seq: Vec<u64> = forest
+        .predict_on(&HyperRuntime::with_workers(0), &x, x.rows())
+        .iter()
+        .map(|v| v.to_bits())
+        .collect();
+    // The auto path must agree too.
+    let auto: Vec<u64> = forest.predict(&x).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(seq, auto, "auto predict diverged from sequential");
+    for w in WORKERS {
+        let rt = HyperRuntime::with_workers(w);
+        for m in MORSELS {
+            let par: Vec<u64> = forest
+                .predict_on(&rt, &x, m)
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(seq, par, "predict diverged (workers={w}, morsel={m})");
+        }
+    }
+}
+
+#[test]
+fn empty_and_single_row_batches_are_safe() {
+    let t = table(40);
+    let cols = vec!["age".to_string(), "color".to_string()];
+    let enc = TableEncoder::fit(&t, &cols).unwrap();
+    let empty = t.gather(&[]);
+    let m = enc.encode_table(&empty).unwrap();
+    assert_eq!(m.rows(), 0);
+    let one = t.gather(&[7]);
+    let rt = HyperRuntime::with_workers(3);
+    let col_refs: Vec<&hyper_storage::Column> = cols
+        .iter()
+        .map(|c| one.column_by_name(c).unwrap())
+        .collect();
+    let m1 = enc.encode_columns_on(&rt, &col_refs, 4096).unwrap();
+    assert_eq!(m1.rows(), 1);
+    assert_matrix_bits_equal(&m1, &enc.encode_table(&one).unwrap(), "single-row");
+}

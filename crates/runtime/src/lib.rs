@@ -299,6 +299,35 @@ impl HyperRuntime {
         }
     }
 
+    /// Run `f` over `0..items` split into contiguous chunks of
+    /// `chunk_size` (the final chunk may be shorter), one pool task per
+    /// chunk, returning when every chunk has finished. This is the
+    /// morsel-loop primitive: a scan over a million rows pays one queue
+    /// push per chunk, not one per row, and each task receives the whole
+    /// row range so it can run a tight vectorized kernel over it.
+    ///
+    /// Chunk boundaries depend only on `(items, chunk_size)` — never on
+    /// the worker count — so a caller that merges per-chunk results in
+    /// chunk order gets bit-identical output on any pool, including a
+    /// zero-worker pool (which degrades to a sequential loop in chunk
+    /// order). Panics and nesting behave as in
+    /// [`for_each_parallel`](HyperRuntime::for_each_parallel).
+    pub fn for_each_chunked<F>(&self, items: usize, chunk_size: usize, f: F)
+    where
+        F: Fn(std::ops::Range<usize>) + Sync,
+    {
+        if items == 0 {
+            return;
+        }
+        let chunk = chunk_size.max(1);
+        let chunks = items.div_ceil(chunk);
+        self.for_each_parallel(chunks, |c| {
+            let start = c * chunk;
+            let end = (start + chunk).min(items);
+            f(start..end);
+        });
+    }
+
     /// Run two closures, potentially in parallel, and return both results.
     pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
     where
@@ -405,6 +434,38 @@ mod tests {
             after.fetch_add(1, Ordering::Relaxed);
         });
         assert_eq!(after.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn chunked_covers_every_index_once_with_uneven_tail() {
+        for workers in [0, 1, 3] {
+            let rt = HyperRuntime::with_workers(workers);
+            for (items, chunk) in [(10, 3), (1, 5), (64, 64), (1000, 7), (5, 1)] {
+                let counts: Vec<AtomicU64> = (0..items).map(|_| AtomicU64::new(0)).collect();
+                rt.for_each_chunked(items, chunk, |range| {
+                    assert!(range.end - range.start <= chunk);
+                    for i in range {
+                        counts[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+                assert!(
+                    counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "items={items} chunk={chunk} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_handles_zero_items_and_zero_chunk_size() {
+        let rt = HyperRuntime::with_workers(1);
+        rt.for_each_chunked(0, 8, |_| panic!("no chunks expected"));
+        // A zero chunk size is clamped to 1 instead of looping forever.
+        let n = AtomicU64::new(0);
+        rt.for_each_chunked(3, 0, |r| {
+            n.fetch_add((r.end - r.start) as u64, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 3);
     }
 
     #[test]

@@ -118,6 +118,35 @@ impl NullBitmap {
         out
     }
 
+    /// Bitmap covering rows `start..start + len`, in order. Word-aligned
+    /// starts copy whole words; unaligned starts fall back to a bit loop.
+    pub fn slice(&self, start: usize, len: usize) -> NullBitmap {
+        debug_assert!(start + len <= self.len);
+        if !self.any_null() {
+            return NullBitmap::all_valid(len);
+        }
+        if start.is_multiple_of(64) {
+            let first = start / 64;
+            let mut words: Vec<u64> = self.words[first..first + len.div_ceil(64)].to_vec();
+            if let (Some(last), false) = (words.last_mut(), len.is_multiple_of(64)) {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+            let set_bits = words.iter().map(|w| w.count_ones() as usize).sum();
+            return NullBitmap {
+                words,
+                len,
+                set_bits,
+            };
+        }
+        let mut out = NullBitmap::all_valid(len);
+        for i in 0..len {
+            if self.is_null(start + i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
     fn reserve(&mut self, additional: usize) {
         let needed = (self.len + additional).div_ceil(64);
         self.words.reserve(needed.saturating_sub(self.words.len()));
@@ -639,6 +668,33 @@ impl Column {
         }
     }
 
+    /// Typed copy of the contiguous rows `start..start + len` — the
+    /// column-level morsel primitive. Payload bytes are copied verbatim
+    /// (same bits, same null pattern), and string columns share the
+    /// dictionary, so a sliced column is indistinguishable from the same
+    /// rows of the original.
+    pub fn slice(&self, start: usize, len: usize) -> Column {
+        match self {
+            Column::Int { values, nulls } => Column::Int {
+                values: values[start..start + len].to_vec(),
+                nulls: nulls.slice(start, len),
+            },
+            Column::Float { values, nulls } => Column::Float {
+                values: values[start..start + len].to_vec(),
+                nulls: nulls.slice(start, len),
+            },
+            Column::Bool { values, nulls } => Column::Bool {
+                values: values[start..start + len].to_vec(),
+                nulls: nulls.slice(start, len),
+            },
+            Column::Str { codes, dict, nulls } => Column::Str {
+                codes: codes[start..start + len].to_vec(),
+                dict: Arc::clone(dict),
+                nulls: nulls.slice(start, len),
+            },
+        }
+    }
+
     /// Materialize every row (compatibility shim; prefer the typed
     /// accessors on hot paths).
     pub fn to_values(&self) -> Vec<Value> {
@@ -893,6 +949,45 @@ mod tests {
         assert_eq!(c.value(0), Value::str("new"));
         c.set(0, &Value::Null).unwrap();
         assert!(c.is_null(0));
+    }
+
+    #[test]
+    fn slice_matches_per_row_reads() {
+        let mut c = Column::new(DataType::Int);
+        for i in 0..200 {
+            let v = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
+            c.push(&v).unwrap();
+        }
+        // Aligned and unaligned starts, including a tail shorter than a word.
+        for (start, len) in [(0, 200), (64, 100), (3, 61), (190, 10), (5, 0)] {
+            let s = c.slice(start, len);
+            assert_eq!(s.len(), len);
+            for i in 0..len {
+                assert_eq!(s.value(i), c.value(start + i), "start={start} i={i}");
+            }
+            assert_eq!(
+                s.null_count(),
+                (0..len).filter(|&i| c.is_null(start + i)).count()
+            );
+        }
+    }
+
+    #[test]
+    fn slice_shares_string_dictionary() {
+        let mut c = Column::new(DataType::Str);
+        for s in ["a", "b", "c", "a", "b"] {
+            c.push(&Value::str(s)).unwrap();
+        }
+        let s = c.slice(2, 3);
+        let (_, sd, _) = s.as_str().unwrap();
+        let (_, cd, _) = c.as_str().unwrap();
+        assert!(std::ptr::eq(sd, cd) || sd.len() == cd.len());
+        assert_eq!(s.value(0), Value::str("c"));
+        assert_eq!(s.value(2), Value::str("b"));
     }
 
     #[test]

@@ -402,12 +402,38 @@ impl BoundExpr {
     /// expression is `true` (NULL collapses to `false`, as in
     /// [`BoundExpr::eval_predicate_at`]).
     pub fn eval_selection(&self, table: &Table) -> Result<Vec<usize>> {
-        let n = table.num_rows();
-        match self.eval_vec(table)? {
-            Ev::Scalar(Value::Bool(true)) => Ok((0..n).collect()),
+        self.eval_selection_range(table, 0, table.num_rows())
+    }
+
+    /// Range-restricted [`BoundExpr::eval_column`]: the expression's value
+    /// for rows `start..start + len` only, as a column of length `len`.
+    /// This is the per-morsel entry point: evaluating each morsel of a
+    /// table and concatenating the results in morsel order is bit-identical
+    /// to one whole-table evaluation (integer arithmetic that overflows in
+    /// *any* morsel promotes the concatenation to floats, exactly like the
+    /// whole-column promotion).
+    pub fn eval_column_range(&self, table: &Table, start: usize, len: usize) -> Result<Column> {
+        Ok(match self.eval_vec_range(table, start, len)? {
+            Ev::Col(c) => c.into_owned(),
+            Ev::Scalar(v) => broadcast(&v, len),
+        })
+    }
+
+    /// Range-restricted [`BoundExpr::eval_selection`]: matching rows within
+    /// `start..start + len`, reported as *global* row indices, so
+    /// concatenating per-morsel selections in morsel order reproduces the
+    /// whole-table selection exactly.
+    pub fn eval_selection_range(
+        &self,
+        table: &Table,
+        start: usize,
+        len: usize,
+    ) -> Result<Vec<usize>> {
+        match self.eval_vec_range(table, start, len)? {
+            Ev::Scalar(Value::Bool(true)) => Ok((start..start + len).collect()),
             Ev::Scalar(Value::Bool(false)) | Ev::Scalar(Value::Null) => Ok(Vec::new()),
             Ev::Scalar(v) => {
-                if n == 0 {
+                if len == 0 {
                     Ok(Vec::new())
                 } else {
                     Err(StorageError::TypeError(format!(
@@ -415,21 +441,48 @@ impl BoundExpr {
                     )))
                 }
             }
-            Ev::Col(c) => selection_from_column(&c),
+            Ev::Col(c) => {
+                let mut keep = selection_from_column(&c)?;
+                if start != 0 {
+                    for i in &mut keep {
+                        *i += start;
+                    }
+                }
+                Ok(keep)
+            }
         }
     }
 
     /// Internal vectorized evaluator; literals stay scalar until a kernel
     /// needs them, so `price < 700` never materializes a broadcast column.
     fn eval_vec<'a>(&'a self, table: &'a Table) -> Result<Ev<'a>> {
-        let n = table.num_rows();
+        self.eval_vec_range(table, 0, table.num_rows())
+    }
+
+    /// Vectorized evaluation over rows `start..start + len`. The full
+    /// range borrows column leaves; a strict sub-range slices them (a
+    /// verbatim typed copy of the morsel's rows, dictionary shared), after
+    /// which every kernel is oblivious to where the morsel came from.
+    fn eval_vec_range<'a>(&'a self, table: &'a Table, start: usize, len: usize) -> Result<Ev<'a>> {
+        let n = len;
         Ok(match self {
-            BoundExpr::Column(i) => Ev::Col(Cow::Borrowed(table.column(*i))),
+            BoundExpr::Column(i) => {
+                let col = table.column(*i);
+                if start == 0 && len == col.len() {
+                    Ev::Col(Cow::Borrowed(col))
+                } else {
+                    Ev::Col(Cow::Owned(col.slice(start, len)))
+                }
+            }
             BoundExpr::Lit(v) => Ev::Scalar(v.clone()),
-            BoundExpr::Unary(UnaryOp::Not, e) => kernel_not(e.eval_vec(table)?, n)?,
-            BoundExpr::Unary(UnaryOp::Neg, e) => kernel_neg(e.eval_vec(table)?, n)?,
+            BoundExpr::Unary(UnaryOp::Not, e) => {
+                kernel_not(e.eval_vec_range(table, start, len)?, n)?
+            }
+            BoundExpr::Unary(UnaryOp::Neg, e) => {
+                kernel_neg(e.eval_vec_range(table, start, len)?, n)?
+            }
             BoundExpr::Binary(op, l, r) => {
-                let lv = l.eval_vec(table)?;
+                let lv = l.eval_vec_range(table, start, len)?;
                 match op {
                     // Logical connectives: the row evaluator short-circuits
                     // (a false AND-side suppresses both right-hand
@@ -441,18 +494,18 @@ impl BoundExpr {
                     // `eval_predicate_at`.
                     BinOp::And | BinOp::Or => {
                         let vectorized = r
-                            .eval_vec(table)
+                            .eval_vec_range(table, start, len)
                             .and_then(|rv| kernel_logic(*op, lv, rv, n));
                         match vectorized {
                             Ok(ev) => ev,
-                            Err(_) => row_fallback(self, table, n)?,
+                            Err(_) => row_fallback(self, table, start, n)?,
                         }
                     }
                     BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                        kernel_compare(*op, lv, r.eval_vec(table)?, n)?
+                        kernel_compare(*op, lv, r.eval_vec_range(table, start, len)?, n)?
                     }
                     BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
-                        kernel_arith(*op, lv, r.eval_vec(table)?, n)?
+                        kernel_arith(*op, lv, r.eval_vec_range(table, start, len)?, n)?
                     }
                 }
             }
@@ -460,8 +513,8 @@ impl BoundExpr {
                 expr,
                 list,
                 negated,
-            } => kernel_in_list(expr.eval_vec(table)?, list, *negated, n)?,
-            BoundExpr::IsNull { expr, negated } => match expr.eval_vec(table)? {
+            } => kernel_in_list(expr.eval_vec_range(table, start, len)?, list, *negated, n)?,
+            BoundExpr::IsNull { expr, negated } => match expr.eval_vec_range(table, start, len)? {
                 Ev::Scalar(v) => Ev::Scalar(Value::Bool(v.is_null() != *negated)),
                 Ev::Col(c) => {
                     let nulls = c.nulls();
@@ -486,11 +539,13 @@ enum Ev<'a> {
 /// Row-at-a-time re-evaluation of a logical node whose vectorized path
 /// failed: reproduces the row evaluator's short-circuit semantics exactly
 /// (errors surface only on rows that actually evaluate the failing side).
-fn row_fallback<'a>(expr: &BoundExpr, table: &Table, n: usize) -> Result<Ev<'a>> {
+/// `start` offsets into the table for range evaluation; the result column
+/// is morsel-local (length `n`).
+fn row_fallback<'a>(expr: &BoundExpr, table: &Table, start: usize, n: usize) -> Result<Ev<'a>> {
     let mut values = Vec::with_capacity(n);
     let mut nulls = NullBitmap::all_valid(n);
     for i in 0..n {
-        match expr.eval_at(table, i)? {
+        match expr.eval_at(table, start + i)? {
             Value::Bool(b) => values.push(b),
             Value::Null => {
                 values.push(false);

@@ -30,6 +30,29 @@
 //! hashes of schema + cells, independent of construction history, which
 //! key the engine's process-wide shared artifact store.
 //!
+//! ## Execution model: morsel-driven parallelism
+//!
+//! Above ~8k rows the hot operators go **morsel-parallel** (see
+//! [`morsel`]): the input is split into fixed row ranges of
+//! [`morsel::DEFAULT_MORSEL_ROWS`] rows, each morsel is an independent
+//! task on the shared `HyperRuntime` worker pool, and per-morsel results
+//! are merged **in morsel order**. Morsel boundaries depend only on the
+//! row count and morsel size — never on the worker count — and every
+//! order-sensitive fold (float aggregate sums, group first-occurrence
+//! order, join match order) runs over the merged stream in global row
+//! order, so the parallel paths are **bit-identical** (`f64::to_bits`)
+//! to the sequential ones for any worker count. Concretely:
+//! [`ops::filter`] concatenates per-morsel selection vectors;
+//! [`ops::hash_join`] extracts key parts and probes per morsel and
+//! partitions the build side by key hash; [`ops::aggregate`] encodes
+//! group keys and evaluates agg inputs per morsel but folds accumulators
+//! sequentially in row order; [`BoundExpr::eval_column`] evaluates
+//! ranges via [`Column::slice`] leaves and re-concatenates (widening
+//! Int→Float when any morsel's arithmetic overflowed, matching the
+//! sequential whole-column promotion). Tables larger than memory scan
+//! chunk-at-a-time through the `hyper-store` paging tier, with chunk
+//! granularity = morsel granularity.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -69,6 +92,7 @@ pub mod error;
 pub mod expr;
 pub mod fingerprint;
 pub mod index;
+pub mod morsel;
 pub mod ops;
 pub mod plan;
 pub mod schema;
@@ -82,6 +106,7 @@ pub use error::{Result, StorageError};
 pub use expr::{col, lit, BinOp, BoundExpr, Expr, UnaryOp};
 pub use fingerprint::Fingerprint;
 pub use index::SupportIndex;
+pub use morsel::{Morsel, MorselScan, DEFAULT_MORSEL_ROWS, PARALLEL_ROW_THRESHOLD};
 pub use ops::{AggExpr, AggFunc};
 pub use plan::LogicalPlan;
 pub use schema::{Field, Schema};

@@ -5,9 +5,12 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use hyper_runtime::HyperRuntime;
+
 use crate::column::Column;
 use crate::error::{Result, StorageError};
 use crate::expr::Expr;
+use crate::morsel::{self, DEFAULT_MORSEL_ROWS};
 use crate::schema::{Field, Schema};
 use crate::table::Table;
 use crate::value::{DataType, Value};
@@ -189,18 +192,46 @@ impl Accumulator {
 /// whole table ([`crate::BoundExpr::eval_column`]), group keys are hashed
 /// as typed `(tag, bits)` parts straight off the column buffers, and the
 /// output's group columns are a typed `gather` of each group's first row.
+///
+/// Large inputs go morsel-parallel over the global [`HyperRuntime`]: the
+/// agg-input columns and flattened group-key parts are produced per morsel
+/// in parallel, but the accumulator fold runs over the merged stream in
+/// global row order, so float sums and first-occurrence group order are
+/// bit-identical to the sequential path (see [`crate::morsel`]).
 pub fn aggregate(input: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result<Table> {
+    let rt = HyperRuntime::global();
+    if morsel::should_parallelize(input.num_rows(), rt) {
+        aggregate_on(rt, input, group_by, aggs, DEFAULT_MORSEL_ROWS)
+    } else {
+        // One morsel spanning the whole table: the plain sequential fold.
+        aggregate_on(rt, input, group_by, aggs, input.num_rows().max(1))
+    }
+}
+
+/// [`aggregate`] on a caller-chosen runtime and morsel size (the parity
+/// tests drive this across worker counts and morsel sizes).
+pub fn aggregate_on(
+    rt: &HyperRuntime,
+    input: &Table,
+    group_by: &[String],
+    aggs: &[AggExpr],
+    morsel_rows: usize,
+) -> Result<Table> {
+    let morsel_rows = morsel_rows.max(1);
     let group_idx: Vec<usize> = group_by
         .iter()
         .map(|c| input.schema().index_of(c))
         .collect::<Result<_>>()?;
-    // Evaluate each aggregate's input over all rows, once.
+    // Evaluate each aggregate's input over all rows, morsel-parallel.
     let input_cols: Vec<Option<Column>> = aggs
         .iter()
         .map(|a| {
             a.input
                 .as_ref()
-                .map(|e| e.bind(input.schema())?.eval_column(input))
+                .map(|e| {
+                    let bound = e.bind(input.schema())?;
+                    morsel::eval_column_morsels(rt, &bound, input, morsel_rows)
+                })
                 .transpose()
         })
         .collect::<Result<_>>()?;
@@ -218,32 +249,67 @@ pub fn aggregate(input: &Table, group_by: &[String], aggs: &[AggExpr]) -> Result
     }
     let schema = Schema::new(fields)?;
 
-    // Group states keyed by typed parts; first-occurrence order preserved
-    // for deterministic output, with a representative row per group.
+    // Encode the group key of every row as typed `(tag, bits)` parts —
+    // one flat buffer per morsel, produced in parallel.
     let group_cols: Vec<&Column> = group_idx.iter().map(|&c| input.column(c)).collect();
+    let n = input.num_rows();
+    let ppr = group_cols.len() * 2; // u64 parts per row
+    let key_bufs: Vec<Vec<u64>> = if group_cols.is_empty() {
+        Vec::new()
+    } else {
+        morsel::for_each_morsel(rt, n, morsel_rows, |_, r| {
+            let mut buf = Vec::with_capacity(r.len() * ppr);
+            for i in r {
+                for c in &group_cols {
+                    c.write_key_part(i, &mut buf);
+                }
+            }
+            buf
+        })
+    };
+
+    // Group states keyed by typed parts; first-occurrence order preserved
+    // for deterministic output, with a representative row per group. This
+    // fold runs sequentially in global row order — float sums are
+    // order-sensitive, and this is what makes the parallel path
+    // bit-identical to the sequential one.
     let mut states: HashMap<Vec<u64>, usize> = HashMap::new();
     let mut reps: Vec<usize> = Vec::new();
     let mut accs: Vec<Vec<Accumulator>> = Vec::new();
-    let mut key: Vec<u64> = Vec::with_capacity(group_cols.len() * 2);
 
-    for i in 0..input.num_rows() {
-        key.clear();
-        for c in &group_cols {
-            c.write_key_part(i, &mut key);
-        }
-        let slot = match states.get(&key) {
-            Some(&s) => s,
-            None => {
-                reps.push(i);
-                accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
-                states.insert(key.clone(), accs.len() - 1);
-                accs.len() - 1
-            }
-        };
+    let fold = |slot: usize, i: usize, accs: &mut Vec<Vec<Accumulator>>| -> Result<()> {
         for (a, col) in accs[slot].iter_mut().zip(&input_cols) {
             match col {
                 Some(c) => a.update(&c.value(i))?,
                 None => a.update(&Value::Int(1))?,
+            }
+        }
+        Ok(())
+    };
+
+    if group_cols.is_empty() {
+        if n > 0 {
+            reps.push(0);
+            accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+            for i in 0..n {
+                fold(0, i, &mut accs)?;
+            }
+        }
+    } else {
+        for (m, buf) in key_bufs.iter().enumerate() {
+            let base = m * morsel_rows;
+            for (local, key) in buf.chunks(ppr).enumerate() {
+                let i = base + local;
+                let slot = match states.get(key) {
+                    Some(&s) => s,
+                    None => {
+                        reps.push(i);
+                        accs.push(aggs.iter().map(|a| Accumulator::new(a.func)).collect());
+                        states.insert(key.to_vec(), accs.len() - 1);
+                        accs.len() - 1
+                    }
+                };
+                fold(slot, i, &mut accs)?;
             }
         }
     }

@@ -1,22 +1,46 @@
 //! Selection (σ): keep rows satisfying a predicate.
 
+use hyper_runtime::HyperRuntime;
+
 use crate::error::Result;
 use crate::expr::Expr;
+use crate::morsel::{self, DEFAULT_MORSEL_ROWS};
 use crate::table::Table;
 
 /// Filter `input` by `predicate`, returning a new table with the same
 /// schema. The predicate is evaluated vectorized ([`crate::BoundExpr::
 /// eval_selection`]) into a selection vector, then the surviving rows are
-/// gathered as typed buffer copies.
+/// gathered as typed buffer copies. Large inputs evaluate the selection
+/// morsel-parallel over the global [`HyperRuntime`]; the result is
+/// bit-identical to the sequential scan (see [`crate::morsel`]).
 pub fn filter(input: &Table, predicate: &Expr) -> Result<Table> {
     let keep = matching_rows(input, predicate)?;
     Ok(input.gather(&keep))
 }
 
 /// Return the row indices of `input` satisfying `predicate` (the selection
-/// vector of the vectorized scan).
+/// vector of the vectorized scan). Auto-parallel above
+/// [`crate::morsel::PARALLEL_ROW_THRESHOLD`] rows.
 pub fn matching_rows(input: &Table, predicate: &Expr) -> Result<Vec<usize>> {
-    predicate.bind(input.schema())?.eval_selection(input)
+    let rt = HyperRuntime::global();
+    if morsel::should_parallelize(input.num_rows(), rt) {
+        matching_rows_on(rt, input, predicate, DEFAULT_MORSEL_ROWS)
+    } else {
+        predicate.bind(input.schema())?.eval_selection(input)
+    }
+}
+
+/// Explicit morsel-parallel [`matching_rows`] on a caller-chosen runtime
+/// and morsel size (always takes the morsel path; the parity tests drive
+/// this across worker counts).
+pub fn matching_rows_on(
+    rt: &HyperRuntime,
+    input: &Table,
+    predicate: &Expr,
+    morsel_rows: usize,
+) -> Result<Vec<usize>> {
+    let bound = predicate.bind(input.schema())?;
+    morsel::eval_selection_morsels(rt, &bound, input, morsel_rows)
 }
 
 #[cfg(test)]

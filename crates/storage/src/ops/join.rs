@@ -6,8 +6,11 @@
 
 use std::collections::HashMap;
 
+use hyper_runtime::HyperRuntime;
+
 use crate::column::Column;
 use crate::error::{Result, StorageError};
+use crate::morsel::{self, DEFAULT_MORSEL_ROWS};
 use crate::schema::Schema;
 use crate::table::Table;
 use crate::value::canonical_f64_bits;
@@ -21,12 +24,38 @@ use crate::value::Value;
 /// except that right-side join keys (which duplicate the left keys) are
 /// dropped. Any other column-name collision is an error; callers should
 /// project/rename first (the query layer qualifies names before joining).
+///
+/// Large inputs go morsel-parallel over the global [`HyperRuntime`]:
+/// build-side key extraction, hash-partitioned build, and the probe all
+/// run per morsel, with match lists merged in morsel order so the output
+/// rows are bit-identical to the sequential join (see [`crate::morsel`]).
 pub fn hash_join(
     left: &Table,
     right: &Table,
     left_on: &[String],
     right_on: &[String],
 ) -> Result<Table> {
+    let rt = HyperRuntime::global();
+    let rows = left.num_rows().max(right.num_rows());
+    let morsel_rows = if morsel::should_parallelize(rows, rt) {
+        DEFAULT_MORSEL_ROWS
+    } else {
+        rows.max(1) // one morsel: the plain sequential join
+    };
+    hash_join_on(rt, left, right, left_on, right_on, morsel_rows)
+}
+
+/// [`hash_join`] on a caller-chosen runtime and morsel size (the parity
+/// tests drive this across worker counts and morsel sizes).
+pub fn hash_join_on(
+    rt: &HyperRuntime,
+    left: &Table,
+    right: &Table,
+    left_on: &[String],
+    right_on: &[String],
+    morsel_rows: usize,
+) -> Result<Table> {
+    let morsel_rows = morsel_rows.max(1);
     if left_on.len() != right_on.len() || left_on.is_empty() {
         return Err(StorageError::InvalidPlan(
             "join requires equal, non-empty key lists".into(),
@@ -75,37 +104,85 @@ pub fn hash_join(
         .map(|(&bc, &pc)| KeyEncoder::new(build.column(bc), probe.column(pc)))
         .collect();
 
-    let mut index: HashMap<Vec<u64>, Vec<usize>> = HashMap::with_capacity(build.num_rows());
-    let mut key: Vec<u64> = Vec::with_capacity(encoders.len());
-    'build: for i in 0..build.num_rows() {
-        key.clear();
-        for e in &encoders {
-            match e.build_part(i) {
-                Some(p) => key.push(p),
-                None => continue 'build, // NULL never joins
-            }
-        }
-        index.entry(key.clone()).or_default().push(i);
-    }
+    let k = encoders.len();
 
-    // Probe, collecting matched (left, right) row indices.
+    // Phase 1 (parallel): per-morsel build-key extraction into flat
+    // fixed-stride part buffers (`k` parts per row; NULL rows flagged
+    // invalid — NULL never joins).
+    let build_bufs: Vec<(Vec<u64>, Vec<bool>)> =
+        morsel::for_each_morsel(rt, build.num_rows(), morsel_rows, |_, r| {
+            let mut parts = vec![0u64; r.len() * k];
+            let mut valid = vec![true; r.len()];
+            for (local, i) in r.enumerate() {
+                for (j, e) in encoders.iter().enumerate() {
+                    match e.build_part(i) {
+                        Some(p) => parts[local * k + j] = p,
+                        None => {
+                            valid[local] = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            (parts, valid)
+        });
+
+    // Phase 2 (parallel): hash-partitioned build. Each partition task
+    // scans the precomputed keys in ascending row order and keeps the
+    // keys that route to it, so every per-key row list is exactly the
+    // ascending list the sequential build would produce.
+    let partitions = rt.workers() + 1;
+    let maps: Vec<HashMap<Vec<u64>, Vec<usize>>> =
+        morsel::for_each_morsel(rt, partitions, 1, |p, _| {
+            let mut map: HashMap<Vec<u64>, Vec<usize>> = HashMap::new();
+            for (m, (parts, valid)) in build_bufs.iter().enumerate() {
+                let base = m * morsel_rows;
+                for (local, ok) in valid.iter().enumerate() {
+                    if !ok {
+                        continue;
+                    }
+                    let key = &parts[local * k..(local + 1) * k];
+                    if key_hash(key) as usize % partitions != p {
+                        continue;
+                    }
+                    map.entry(key.to_vec()).or_default().push(base + local);
+                }
+            }
+            map
+        });
+
+    // Phase 3 (parallel): probe per morsel, collecting matched
+    // (left, right) row indices; morsel-order concatenation reproduces
+    // the sequential probe order exactly.
+    let pair_bufs: Vec<(Vec<usize>, Vec<usize>)> =
+        morsel::for_each_morsel(rt, probe.num_rows(), morsel_rows, |_, r| {
+            let mut li: Vec<usize> = Vec::new();
+            let mut ri: Vec<usize> = Vec::new();
+            let mut key: Vec<u64> = Vec::with_capacity(k);
+            'probe: for p in r {
+                key.clear();
+                for e in &encoders {
+                    match e.probe_part(p) {
+                        Some(part) => key.push(part),
+                        None => continue 'probe, // NULL or unmatched dictionary code
+                    }
+                }
+                let map = &maps[key_hash(&key) as usize % partitions];
+                if let Some(matches) = map.get(&key) {
+                    for &b in matches {
+                        let (l, r2) = if build_is_left { (b, p) } else { (p, b) };
+                        li.push(l);
+                        ri.push(r2);
+                    }
+                }
+            }
+            (li, ri)
+        });
     let mut left_idx: Vec<usize> = Vec::new();
     let mut right_idx: Vec<usize> = Vec::new();
-    'probe: for p in 0..probe.num_rows() {
-        key.clear();
-        for e in &encoders {
-            match e.probe_part(p) {
-                Some(part) => key.push(part),
-                None => continue 'probe, // NULL or unmatched dictionary code
-            }
-        }
-        if let Some(matches) = index.get(&key) {
-            for &b in matches {
-                let (li, ri) = if build_is_left { (b, p) } else { (p, b) };
-                left_idx.push(li);
-                right_idx.push(ri);
-            }
-        }
+    for (li, ri) in pair_bufs {
+        left_idx.extend(li);
+        right_idx.extend(ri);
     }
 
     // Assemble with typed gathers: left columns, then the kept right ones.
@@ -197,6 +274,20 @@ impl<'a> KeyEncoder<'a> {
             KeyEncoder::Never => None,
         }
     }
+}
+
+/// Deterministic hash of a key's `u64` parts (SplitMix64-style mix),
+/// used only to route keys to build partitions — the routing affects
+/// which map holds a key, never which rows match.
+fn key_hash(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    for &p in parts {
+        h ^= p;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    }
+    h ^ (h >> 31)
 }
 
 /// Canonical payload bits of a non-string cell; `None` for NULL.

@@ -4,6 +4,6 @@ pub mod aggregate;
 pub mod filter;
 pub mod join;
 
-pub use aggregate::{aggregate, Accumulator, AggExpr, AggFunc};
-pub use filter::{filter, matching_rows};
-pub use join::hash_join;
+pub use aggregate::{aggregate, aggregate_on, Accumulator, AggExpr, AggFunc};
+pub use filter::{filter, matching_rows, matching_rows_on};
+pub use join::{hash_join, hash_join_on};

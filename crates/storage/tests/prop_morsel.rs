@@ -1,0 +1,324 @@
+//! Bit-determinism property tests for the morsel-parallel operators.
+//!
+//! Every morsel-parallel path — filter selection, expression column
+//! evaluation, group-by aggregation, hash join — must be **bit-identical**
+//! (`f64::to_bits`-level, dictionary codes verbatim) to the sequential
+//! path, across worker counts {0, 1, 3} and morsel sizes {1 row (tiny,
+//! every tail uneven), 7 rows (uneven tail), 4096 rows (huge — one
+//! morsel)}, on random tables of every column type with NULLs and shared
+//! string dictionaries.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use hyper_runtime::HyperRuntime;
+use hyper_storage::morsel::eval_column_morsels;
+use hyper_storage::ops::{
+    aggregate, aggregate_on, hash_join, hash_join_on, matching_rows, matching_rows_on,
+};
+use hyper_storage::{
+    col, lit, AggExpr, AggFunc, Column, DataType, Expr, Field, Schema, Table, TableBuilder, Value,
+};
+
+/// Worker counts under test. 0 = caller-only (sequential degradation),
+/// 1 = one background worker, 3 = more workers than this container has
+/// cores (oversubscription must not change a single bit).
+const WORKERS: [usize; 3] = [0, 1, 3];
+
+/// Morsel sizes under test: tiny (1), uneven tail (7), huge (4096 — a
+/// single morsel for these tables).
+const MORSELS: [usize; 3] = [1, 7, 4096];
+
+fn runtimes() -> &'static Vec<(usize, HyperRuntime)> {
+    static POOLS: OnceLock<Vec<(usize, HyperRuntime)>> = OnceLock::new();
+    POOLS.get_or_init(|| {
+        WORKERS
+            .iter()
+            .map(|&w| (w, HyperRuntime::with_workers(w)))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------- tables
+
+type ColSpec = (u8, Vec<(bool, i32)>);
+
+fn dt_of(tag: u8) -> DataType {
+    match tag % 4 {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        _ => DataType::Str,
+    }
+}
+
+fn value_for(dt: DataType, null: bool, seed: i32) -> Value {
+    if null {
+        return Value::Null;
+    }
+    match dt {
+        DataType::Int => Value::Int((seed % 7) as i64),
+        DataType::Float => Value::Float((seed % 9) as f64 / 2.0),
+        DataType::Bool => Value::Bool(seed % 2 == 0),
+        DataType::Str => Value::str(format!("s{}", seed % 5)),
+    }
+}
+
+fn build_table(specs: &[ColSpec]) -> Table {
+    let rows = specs.first().map_or(0, |(_, cells)| cells.len());
+    let fields: Vec<Field> = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (tag, _))| Field::nullable(format!("c{i}"), dt_of(*tag)))
+        .collect();
+    let mut t = TableBuilder::new("t", Schema::new(fields).unwrap());
+    for r in 0..rows {
+        let row: Vec<Value> = specs
+            .iter()
+            .map(|(tag, cells)| {
+                let (null, seed) = cells[r];
+                value_for(dt_of(*tag), null, seed)
+            })
+            .collect();
+        t.push(row).unwrap();
+    }
+    t.build()
+}
+
+fn arb_specs(max_cols: usize, max_rows: usize) -> impl Strategy<Value = Vec<ColSpec>> {
+    (1..=max_cols, 0..=max_rows).prop_flat_map(|(ncols, nrows)| {
+        prop::collection::vec(
+            (
+                0u8..8,
+                prop::collection::vec((prop::bool::ANY, 0i32..40), nrows..=nrows),
+            ),
+            ncols..=ncols,
+        )
+    })
+}
+
+fn arb_predicate(specs: Vec<ColSpec>) -> impl Strategy<Value = Expr> {
+    let ncols = specs.len();
+    let leaf =
+        (0..ncols, 0u8..6, 0i32..40, prop::bool::ANY).prop_map(move |(c, kind, seed, negated)| {
+            let dt = dt_of(specs[c].0);
+            let name = format!("c{c}");
+            let v = value_for(dt, false, seed);
+            match kind {
+                0 => col(name).eq(lit(v)),
+                1 => col(name).lt(lit(v)),
+                2 => col(name).ge(lit(v)),
+                3 => col(name).ne(lit(v)),
+                4 => Expr::IsNull {
+                    expr: Box::new(col(name)),
+                    negated,
+                },
+                _ => Expr::InList {
+                    expr: Box::new(col(name)),
+                    list: vec![v, value_for(dt, false, seed + 1)],
+                    negated,
+                },
+            }
+        });
+    (leaf.clone(), leaf, 0u8..4).prop_map(|(a, b, joiner)| match joiner {
+        0 => a.and(b),
+        1 => a.or(b),
+        2 => a.and(b.not()),
+        _ => a,
+    })
+}
+
+// --------------------------------------------------- bit-exact comparison
+
+/// Strict bit-level column equality: same type, same null bitmap, raw
+/// payload bits equal (`f64::to_bits` for floats, verbatim dictionary
+/// codes for strings — not just equal string values).
+fn columns_bit_identical(a: &Column, b: &Column) -> std::result::Result<(), String> {
+    if a.data_type() != b.data_type() {
+        return Err(format!("type {:?} != {:?}", a.data_type(), b.data_type()));
+    }
+    if a.len() != b.len() {
+        return Err(format!("len {} != {}", a.len(), b.len()));
+    }
+    for i in 0..a.len() {
+        if a.is_null(i) != b.is_null(i) {
+            return Err(format!("null mismatch at row {i}"));
+        }
+    }
+    match (a.data_type(), a, b) {
+        (DataType::Float, _, _) => {
+            let (av, _) = a.as_float().unwrap();
+            let (bv, _) = b.as_float().unwrap();
+            for i in 0..av.len() {
+                if av[i].to_bits() != bv[i].to_bits() {
+                    return Err(format!(
+                        "float bits differ at row {i}: {:#018x} != {:#018x}",
+                        av[i].to_bits(),
+                        bv[i].to_bits()
+                    ));
+                }
+            }
+        }
+        (DataType::Int, _, _) => {
+            let (av, _) = a.as_int().unwrap();
+            let (bv, _) = b.as_int().unwrap();
+            if av != bv {
+                return Err("int payloads differ".into());
+            }
+        }
+        (DataType::Bool, _, _) => {
+            let (av, _) = a.as_bool().unwrap();
+            let (bv, _) = b.as_bool().unwrap();
+            if av != bv {
+                return Err("bool payloads differ".into());
+            }
+        }
+        (DataType::Str, _, _) => {
+            let (ac, ad, _) = a.as_str().unwrap();
+            let (bc, bd, _) = b.as_str().unwrap();
+            for i in 0..ac.len() {
+                if a.is_null(i) {
+                    continue;
+                }
+                if ad.get(ac[i]) != bd.get(bc[i]) {
+                    return Err(format!("string mismatch at row {i}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn tables_bit_identical(a: &Table, b: &Table) -> std::result::Result<(), String> {
+    if a.num_columns() != b.num_columns() {
+        return Err(format!(
+            "columns {} != {}",
+            a.num_columns(),
+            b.num_columns()
+        ));
+    }
+    if a.num_rows() != b.num_rows() {
+        return Err(format!("rows {} != {}", a.num_rows(), b.num_rows()));
+    }
+    for c in 0..a.num_columns() {
+        columns_bit_identical(a.column(c), b.column(c))
+            .map_err(|e| format!("column {c} ({}): {e}", a.schema().field(c).name))?;
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ tests
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Morsel-parallel filter selections equal the sequential selection
+    /// exactly, for every worker count × morsel size.
+    #[test]
+    fn filter_selection_is_bit_identical(
+        (specs, pred) in arb_specs(3, 24)
+            .prop_flat_map(|s| (Just(s.clone()), arb_predicate(s)))
+    ) {
+        let t = build_table(&specs);
+        let seq = matching_rows(&t, &pred);
+        for (w, rt) in runtimes() {
+            for m in MORSELS {
+                let par = matching_rows_on(rt, &t, &pred, m);
+                match (&seq, &par) {
+                    (Ok(s), Ok(p)) => prop_assert_eq!(
+                        s, p, "selection diverged (workers={}, morsel={})", w, m
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "ok/err diverged (workers={w}, morsel={m}): seq={seq:?} par={par:?}"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Morsel-parallel expression evaluation produces bit-identical
+    /// columns (including NULL bitmaps and dictionary-coded strings).
+    #[test]
+    fn eval_column_is_bit_identical(
+        (specs, pred) in arb_specs(3, 24)
+            .prop_flat_map(|s| (Just(s.clone()), arb_predicate(s)))
+    ) {
+        let t = build_table(&specs);
+        let bound = pred.bind(t.schema()).unwrap();
+        let seq = bound.eval_column(&t);
+        for (w, rt) in runtimes() {
+            for m in MORSELS {
+                let par = eval_column_morsels(rt, &bound, &t, m);
+                match (&seq, &par) {
+                    (Ok(s), Ok(p)) => {
+                        if let Err(e) = columns_bit_identical(s, p) {
+                            prop_assert!(false, "workers={w}, morsel={m}: {e}");
+                        }
+                    }
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "ok/err diverged (workers={w}, morsel={m})"
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Morsel-parallel aggregation (parallel key encode + input eval,
+    /// sequential fold) is bit-identical: same group order, same float
+    /// accumulation bits.
+    #[test]
+    fn aggregate_is_bit_identical(specs in arb_specs(2, 24)) {
+        let t = build_table(&specs);
+        let group_by = vec!["c0".to_string()];
+        let numeric = matches!(t.schema().field(0).data_type, DataType::Int | DataType::Float);
+        let mut aggs = vec![
+            AggExpr::new(AggFunc::Count, None, "n"),
+            AggExpr::new(AggFunc::Min, Some(col("c0")), "lo"),
+            AggExpr::new(AggFunc::Max, Some(col("c0")), "hi"),
+        ];
+        if numeric {
+            aggs.push(AggExpr::new(AggFunc::Sum, Some(col("c0")), "s"));
+            aggs.push(AggExpr::new(AggFunc::Avg, Some(col("c0")), "m"));
+        }
+        let seq = aggregate(&t, &group_by, &aggs).unwrap();
+        for (w, rt) in runtimes() {
+            for m in MORSELS {
+                let par = aggregate_on(rt, &t, &group_by, &aggs, m).unwrap();
+                if let Err(e) = tables_bit_identical(&seq, &par) {
+                    prop_assert!(false, "workers={w}, morsel={m}: {e}");
+                }
+            }
+        }
+    }
+
+    /// Morsel-parallel hash join (parallel key extraction, partitioned
+    /// build, parallel probe) emits exactly the sequential row order.
+    #[test]
+    fn join_is_bit_identical(
+        left in arb_specs(2, 14),
+        right in arb_specs(2, 14),
+    ) {
+        let l = build_table(&left);
+        let mut r = build_table(&right);
+        let names: Vec<String> = (0..r.num_columns())
+            .map(|i| if i == 0 { "c0".into() } else { format!("r{i}") })
+            .collect();
+        r = hyper_storage::plan::rename(&r, &names).unwrap();
+
+        let on = ["c0".to_string()];
+        let seq = hash_join(&l, &r, &on, &on).unwrap();
+        for (w, rt) in runtimes() {
+            for m in MORSELS {
+                let par = hash_join_on(rt, &l, &r, &on, &on, m).unwrap();
+                if let Err(e) = tables_bit_identical(&seq, &par) {
+                    prop_assert!(false, "workers={w}, morsel={m}: {e}");
+                }
+            }
+        }
+    }
+}

@@ -39,6 +39,9 @@ pub enum StoreError {
     /// The value cannot be serialized (e.g. an estimator still carrying an
     /// unresolved `Param(…)` placeholder).
     Unsupported(String),
+    /// A relational operation over paged data failed (bad predicate,
+    /// schema drift between chunks, …) — see [`crate::paging`].
+    Query(String),
 }
 
 impl fmt::Display for StoreError {
@@ -59,6 +62,7 @@ impl fmt::Display for StoreError {
                 "fingerprint mismatch for {what}: expected {expected:#018x}, found {found:#018x}"
             ),
             StoreError::Unsupported(msg) => write!(f, "cannot serialize: {msg}"),
+            StoreError::Query(msg) => write!(f, "query over paged data failed: {msg}"),
         }
     }
 }

@@ -57,6 +57,11 @@
 //!   checksummed, torn-tail-tolerant delta records beside the snapshot,
 //!   so ingest appends durably without rewriting the `HYPR1` file and
 //!   loaders replay to the latest version.
+//! * [`paging`] — out-of-core tables: [`PagedTable::spill`] slices a
+//!   table into fixed-row chunks written as individual `HYPR1` files,
+//!   then scans chunk-at-a-time under a resident-byte LRU budget (chunk
+//!   granularity = morsel granularity), so a table larger than memory —
+//!   or larger than a deliberately tiny budget — still scans correctly.
 
 #![warn(missing_docs)]
 
@@ -67,6 +72,7 @@ pub mod container;
 pub mod deltalog;
 pub mod error;
 pub mod mlcodec;
+pub mod paging;
 pub mod registry;
 pub mod snapshot;
 pub mod tablecodec;
@@ -81,6 +87,7 @@ pub use mlcodec::{
     decode_encoder, decode_forest, decode_linear, decode_tree, encode_encoder, encode_forest,
     encode_linear, encode_tree,
 };
+pub use paging::{PagedTable, PagingStats};
 pub use registry::SnapshotRegistry;
 pub use snapshot::{Snapshot, SnapshotInfo};
 pub use tablecodec::{

@@ -1,0 +1,364 @@
+//! Out-of-core tables: the `HYPR1` store doubling as a paging layer.
+//!
+//! [`PagedTable::spill`] slices a table into fixed-row chunks (chunk
+//! granularity = morsel granularity — see `hyper_storage::morsel`) and
+//! writes each chunk as its own checksummed `HYPR1` file. Scans then run
+//! **chunk-at-a-time** through a resident-byte budget: [`PagedTable::
+//! chunk`] loads chunk files on demand, keeps recently used chunks
+//! resident, and evicts least-recently-used chunks once the budget is
+//! exceeded — the chunk being handed out is always retained, so a budget
+//! smaller than a single chunk (or a single column) still scans
+//! correctly, just with zero reuse between chunks.
+//!
+//! Every chunk file round-trips through [`crate::encode_table`] /
+//! [`crate::decode_table`], so loads inherit the container's totality
+//! and fingerprint-validation guarantees: a flipped byte in a spilled
+//! chunk surfaces as a typed [`StoreError`], never as wrong rows.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use hyper_storage::{Expr, Table};
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::container::{Container, ContainerWriter, SECTION_PAGE};
+use crate::error::{Result, StoreError};
+use crate::tablecodec::{decode_table, encode_table};
+
+/// Counters describing how a [`PagedTable`] has behaved so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Chunk files decoded from disk.
+    pub loads: u64,
+    /// Chunks served from the resident set without touching disk.
+    pub hits: u64,
+    /// Chunks evicted to stay inside the resident-byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident (sum of loaded chunk file sizes).
+    pub resident_bytes: u64,
+}
+
+/// LRU bookkeeping + resident chunks, behind one lock so `PagedTable`
+/// can be shared across scan workers.
+#[derive(Debug, Default)]
+struct CacheState {
+    resident: HashMap<usize, Arc<Table>>,
+    /// `last_used[chunk]` = tick of the most recent access.
+    last_used: HashMap<usize, u64>,
+    tick: u64,
+    stats: PagingStats,
+}
+
+/// A table spilled to disk as `HYPR1` chunk files and scanned
+/// chunk-at-a-time under a resident-byte budget.
+#[derive(Debug)]
+pub struct PagedTable {
+    name: String,
+    /// Zero-row slice of the source: schema + name + key, no payload.
+    prototype: Table,
+    chunk_rows: usize,
+    num_rows: usize,
+    budget_bytes: u64,
+    chunk_paths: Vec<PathBuf>,
+    chunk_bytes: Vec<u64>,
+    cache: Mutex<CacheState>,
+}
+
+impl PagedTable {
+    /// Slice `table` into chunks of `chunk_rows` rows, write each as an
+    /// `HYPR1` file under `dir` (created if absent), and return the
+    /// paged handle with the given resident-byte `budget_bytes`.
+    pub fn spill(
+        table: &Table,
+        dir: impl AsRef<Path>,
+        chunk_rows: usize,
+        budget_bytes: u64,
+    ) -> Result<PagedTable> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let chunk_rows = chunk_rows.max(1);
+        let n = table.num_rows();
+        let chunks = n.div_ceil(chunk_rows);
+        let mut chunk_paths = Vec::with_capacity(chunks);
+        let mut chunk_bytes = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let start = c * chunk_rows;
+            let len = chunk_rows.min(n - start);
+            let slice = table.slice(start, len);
+            let mut body = ByteWriter::new();
+            encode_table(&mut body, &slice);
+            let mut w = ContainerWriter::new();
+            w.add_section(SECTION_PAGE, body.into_bytes());
+            let path = dir.join(format!("{}.page{c:05}.hypr", table.name()));
+            w.write_to(&path)?;
+            chunk_bytes.push(std::fs::metadata(&path)?.len());
+            chunk_paths.push(path);
+        }
+        Ok(PagedTable {
+            name: table.name().to_string(),
+            prototype: table.slice(0, 0),
+            chunk_rows,
+            num_rows: n,
+            budget_bytes,
+            chunk_paths,
+            chunk_bytes,
+            cache: Mutex::new(CacheState::default()),
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total logical rows across all chunks.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Rows per chunk (the final chunk may be shorter).
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of spilled chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunk_paths.len()
+    }
+
+    /// Total bytes on disk across all chunk files.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.chunk_bytes.iter().sum()
+    }
+
+    /// A zero-row table with the source's name, schema, and key.
+    pub fn prototype(&self) -> &Table {
+        &self.prototype
+    }
+
+    /// Paging counters so far.
+    pub fn stats(&self) -> PagingStats {
+        self.cache.lock().expect("paging cache lock").stats
+    }
+
+    /// Chunk `c`, loaded from disk if not resident. The returned chunk
+    /// stays valid even if it is evicted from the resident set while the
+    /// caller still holds it (the `Arc` keeps it alive).
+    pub fn chunk(&self, c: usize) -> Result<Arc<Table>> {
+        if c >= self.chunk_paths.len() {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {c} out of range ({} chunks)",
+                self.chunk_paths.len()
+            )));
+        }
+        let mut cache = self.cache.lock().expect("paging cache lock");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some(t) = cache.resident.get(&c).cloned() {
+            cache.stats.hits += 1;
+            cache.last_used.insert(c, tick);
+            return Ok(t);
+        }
+        drop(cache); // don't hold the lock across file I/O
+        let container = Container::read_from(&self.chunk_paths[c])?;
+        let mut r = ByteReader::new(container.section(SECTION_PAGE)?);
+        let t = Arc::new(decode_table(&mut r)?);
+
+        let mut cache = self.cache.lock().expect("paging cache lock");
+        cache.stats.loads += 1;
+        cache.last_used.insert(c, tick);
+        if cache.resident.insert(c, Arc::clone(&t)).is_none() {
+            cache.stats.resident_bytes += self.chunk_bytes[c];
+        }
+        // Evict least-recently-used chunks (never the one just handed
+        // out) until we are back inside the budget. A budget smaller
+        // than one chunk degenerates to exactly one resident chunk.
+        while cache.stats.resident_bytes > self.budget_bytes && cache.resident.len() > 1 {
+            let victim = cache
+                .resident
+                .keys()
+                .filter(|&&k| k != c)
+                .min_by_key(|&&k| cache.last_used.get(&k).copied().unwrap_or(0))
+                .copied();
+            match victim {
+                Some(v) => {
+                    cache.resident.remove(&v);
+                    cache.last_used.remove(&v);
+                    cache.stats.evictions += 1;
+                    cache.stats.resident_bytes -= self.chunk_bytes[v];
+                }
+                None => break,
+            }
+        }
+        Ok(t)
+    }
+
+    /// Run `f(chunk_index, first_global_row, chunk)` over every chunk in
+    /// row order, loading chunk-at-a-time under the budget.
+    pub fn for_each_chunk(
+        &self,
+        mut f: impl FnMut(usize, usize, &Table) -> Result<()>,
+    ) -> Result<()> {
+        for c in 0..self.chunk_count() {
+            let t = self.chunk(c)?;
+            f(c, c * self.chunk_rows, &t)?;
+        }
+        Ok(())
+    }
+
+    /// Global row indices satisfying `predicate`, evaluated
+    /// chunk-at-a-time (each chunk's selection runs through the morsel
+    /// engine, so chunk granularity = morsel granularity). Matches the
+    /// in-memory `matching_rows` over the unspilled table exactly.
+    pub fn matching_rows(&self, predicate: &Expr) -> Result<Vec<usize>> {
+        let mut keep = Vec::new();
+        self.for_each_chunk(|_, base, t| {
+            let local = hyper_storage::ops::matching_rows(t, predicate)
+                .map_err(|e| StoreError::Query(e.to_string()))?;
+            keep.extend(local.into_iter().map(|i| base + i));
+            Ok(())
+        })?;
+        Ok(keep)
+    }
+
+    /// Reassemble the full in-memory table (test/debug aid — the point
+    /// of paging is normally *not* to do this).
+    pub fn collect(&self) -> Result<Table> {
+        let mut out = self.prototype.clone();
+        self.for_each_chunk(|_, _, t| {
+            out.append_rows(t)
+                .map_err(|e| StoreError::Query(format!("chunk append failed: {e}")))
+        })?;
+        Ok(out)
+    }
+
+    /// Delete every spilled chunk file (the handle is consumed).
+    pub fn remove_files(self) -> Result<()> {
+        for p in &self.chunk_paths {
+            std::fs::remove_file(p)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{col, lit, DataType, Field, Schema, TableBuilder, Value};
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hyper_paging_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("score", DataType::Float),
+            Field::nullable("tag", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("pages", schema);
+        for i in 0..n {
+            let tag: Value = if i % 11 == 0 {
+                Value::Null
+            } else {
+                ["alpha", "beta", "gamma"][i % 3].into()
+            };
+            b.push(vec![
+                Value::Int(i as i64),
+                Value::Float(i as f64 * 0.25),
+                tag,
+            ])
+            .unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn spill_and_collect_round_trips_fingerprint() {
+        let dir = test_dir("roundtrip");
+        let t = table(1000);
+        let paged = PagedTable::spill(&t, &dir, 128, u64::MAX).unwrap();
+        assert_eq!(paged.chunk_count(), 8);
+        assert_eq!(paged.num_rows(), 1000);
+        let back = paged.collect().unwrap();
+        assert_eq!(back.fingerprint(), t.fingerprint());
+        paged.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_smaller_than_one_column_still_scans_correctly() {
+        let dir = test_dir("tiny_budget");
+        let t = table(1000);
+        // One column alone is ≥ 8 bytes per row; a 64-byte budget is far
+        // smaller than any column, let alone a chunk file.
+        let paged = PagedTable::spill(&t, &dir, 100, 64).unwrap();
+        let pred = col("score").ge(lit(200.0)).and(col("tag").eq(lit("beta")));
+        let expect = hyper_storage::ops::matching_rows(&t, &pred).unwrap();
+        let got = paged.matching_rows(&pred).unwrap();
+        assert_eq!(got, expect);
+        let stats = paged.stats();
+        assert_eq!(stats.loads, 10, "every chunk loaded from disk");
+        assert!(
+            stats.evictions >= 9,
+            "tiny budget must keep evicting ({stats:?})"
+        );
+        assert!(stats.resident_bytes <= paged.spilled_bytes() / 5);
+        // A second scan reloads everything: nothing could stay resident.
+        let again = paged.matching_rows(&pred).unwrap();
+        assert_eq!(again, expect);
+        assert_eq!(paged.stats().loads, 20);
+        paged.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generous_budget_serves_second_scan_from_memory() {
+        let dir = test_dir("warm");
+        let t = table(500);
+        let paged = PagedTable::spill(&t, &dir, 100, u64::MAX).unwrap();
+        let pred = col("id").lt(lit(250));
+        paged.matching_rows(&pred).unwrap();
+        paged.matching_rows(&pred).unwrap();
+        let stats = paged.stats();
+        assert_eq!(stats.loads, 5);
+        assert_eq!(stats.hits, 5);
+        assert_eq!(stats.evictions, 0);
+        paged.remove_files().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chunk_out_of_range_is_an_error_and_empty_table_has_no_chunks() {
+        let dir = test_dir("edge");
+        let t = table(0);
+        let paged = PagedTable::spill(&t, &dir, 100, 1024).unwrap();
+        assert_eq!(paged.chunk_count(), 0);
+        assert_eq!(paged.num_rows(), 0);
+        assert!(paged.chunk(0).is_err());
+        let back = paged.collect().unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.fingerprint(), t.fingerprint());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_chunk_file_surfaces_as_typed_error() {
+        let dir = test_dir("corrupt");
+        let t = table(300);
+        let paged = PagedTable::spill(&t, &dir, 100, u64::MAX).unwrap();
+        // Flip one byte in the middle of chunk 1's payload.
+        let path = &paged.chunk_paths[1];
+        let mut bytes = std::fs::read(path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(path, bytes).unwrap();
+        assert!(paged.chunk(0).is_ok());
+        assert!(paged.chunk(1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

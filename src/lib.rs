@@ -187,6 +187,32 @@
 //! two tenants over one dataset and asserts via `/stats` that the
 //! second trained nothing). See `crates/serve/README.md` for the full
 //! protocol and the failure-mode table.
+//!
+//! ## Execution model: morsels, determinism, and out-of-core tables
+//!
+//! Every data-parallel path in the workspace follows one morsel-driven
+//! execution model (see `crates/storage/src/lib.rs` for the full
+//! contract). Tables are processed as **morsels** — fixed row ranges of
+//! [`DEFAULT_MORSEL_ROWS`](storage::DEFAULT_MORSEL_ROWS) rows — fanned
+//! out over the process-wide [`HyperRuntime`](runtime::HyperRuntime)
+//! worker pool and merged back **in morsel order**. Morsel boundaries
+//! depend only on the row count and the morsel size, never on how many
+//! workers happen to drain them, and any fold whose result depends on
+//! operation order (float accumulation, group first-occurrence order,
+//! join match order) runs sequentially over the merged stream. The
+//! result: filter, expression evaluation, group-by aggregation, hash
+//! join, table encoding, and forest prediction are all **bit-identical**
+//! (`f64::to_bits`-level) to their sequential runs regardless of worker
+//! count — property-tested across worker counts and morsel sizes in
+//! `crates/storage/tests/prop_morsel.rs` and
+//! `crates/ml/tests/morsel_parity.rs`.
+//!
+//! Tables larger than memory (or than a configured budget) ride the
+//! same granularity out of core: [`store::PagedTable`] spills a table
+//! into per-morsel `HYPR1` column chunks on disk and scans them
+//! chunk-at-a-time under a resident-byte LRU budget, so the 1M-row
+//! benchmark scale point (`*_german_1m` in `bench_smoke`, with serve
+//! p50/p99 tail latency) runs under budgets far smaller than the data.
 
 pub use hyper_causal as causal;
 pub use hyper_core as core;
