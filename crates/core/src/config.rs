@@ -56,6 +56,15 @@ pub struct EngineConfig {
     pub peer_summaries: bool,
     /// RNG seed for estimator training and sampling.
     pub seed: u64,
+    /// Resident-byte budget for estimator training. When the dense
+    /// encoded feature matrix would exceed this many bytes, forest
+    /// training streams the view through the two-pass binned layout
+    /// ([`hyper_ml::StreamedLayout`]) instead of materializing the
+    /// matrix — bit-identical results, O(bins + cells) peak memory.
+    /// `None` (the default) always materializes. Only the forest
+    /// estimator without peer summaries or row sampling can stream;
+    /// other shapes ignore the budget.
+    pub train_budget_bytes: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +78,7 @@ impl Default for EngineConfig {
             use_blocks: false,
             peer_summaries: true,
             seed: 0,
+            train_budget_bytes: None,
         }
     }
 }

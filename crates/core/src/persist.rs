@@ -698,6 +698,9 @@ fn decode_estimator(r: &mut ByteReader<'_>) -> SResult<CausalEstimator> {
         y,
         peer,
         trained_rows,
+        // Stream counters describe a training run, not the model; a
+        // disk-recovered estimator never trained in this process.
+        stream_stats: None,
     })
 }
 

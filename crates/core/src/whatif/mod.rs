@@ -409,7 +409,22 @@ pub(crate) fn evaluate_whatif_on_view(
         max_depth: config.max_depth,
         seed: config.seed,
         kind: config.estimator,
+        train_budget_bytes: config.train_budget_bytes,
         runtime,
+    };
+    // When a fresh fit took the streaming route, fold its counters into
+    // the session stats (inside the miss closure: cache hits must not
+    // re-count a training that never ran).
+    let record_stream = |est: &CausalEstimator| {
+        if let (Some(c), Some(s)) = (cache, est.stream_stats) {
+            use std::sync::atomic::Ordering;
+            let k = &c.counters;
+            k.trainings_streamed.fetch_add(1, Ordering::Relaxed);
+            k.train_chunks_streamed
+                .fetch_add(s.chunks_streamed, Ordering::Relaxed);
+            k.train_peak_resident_bytes
+                .fetch_max(s.peak_resident_bytes, Ordering::Relaxed);
+        }
     };
     // Inside a session, fitted estimators are cached under a fingerprint of
     // (view, update set, output, adjustment set, estimator config): a
@@ -424,10 +439,18 @@ pub(crate) fn evaluate_whatif_on_view(
             c.estimator(
                 &key,
                 |e| e.fits_view(view),
-                || CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg),
+                || {
+                    let est = CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)?;
+                    record_stream(&est);
+                    Ok(est)
+                },
             )?
         }
-        None => Arc::new(CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)?),
+        None => {
+            let est = CausalEstimator::fit(view, &spec, &psi, &y, q.output.agg)?;
+            record_stream(&est);
+            Arc::new(est)
+        }
     };
     let value = if config.use_blocks {
         evaluate_by_blocks(db, graph, q, view, &est, &when_mask, &scope_mask, cache)?

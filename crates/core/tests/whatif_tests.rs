@@ -335,3 +335,42 @@ fn cells_estimator_handles_unseen_update_values() {
         .unwrap();
     assert!(cells.value >= 0.0 && cells.value <= 2000.0);
 }
+
+#[test]
+fn budgeted_training_streams_and_matches_resident() {
+    // A 1-byte budget forces every forest training through the streaming
+    // two-pass layout; the what-if value must be bit-identical to the
+    // resident trainer's, and the session counters must show the reroute.
+    use hyper_core::HyperSession;
+    use std::sync::Arc;
+    let (db, _, graph) = confounded_db(N, 29);
+    let db = Arc::new(db);
+    let graph = Arc::new(graph);
+    let q = whatif("Use d Update(b) = 1 Output Count(Post(y) = 1)");
+
+    let resident = HyperSession::builder(Arc::clone(&db))
+        .graph(Arc::clone(&graph))
+        .share_artifacts(false)
+        .build();
+    let streamed = HyperSession::builder(db)
+        .graph(graph)
+        .share_artifacts(false)
+        .train_budget_bytes(1)
+        .build();
+
+    let a = resident.whatif(&q).unwrap();
+    let b = streamed.whatif(&q).unwrap();
+    assert_eq!(
+        a.value.to_bits(),
+        b.value.to_bits(),
+        "streamed training must be bit-identical to resident"
+    );
+    assert_eq!(b.trained_rows, N);
+
+    let stats = streamed.stats();
+    assert_eq!(stats.trainings_streamed, 1);
+    // Two binner passes, each over at least ⌈N / morsel⌉ chunks.
+    assert!(stats.train_chunks_streamed >= 2 * (N as u64 / 4096));
+    assert!(stats.train_peak_resident_bytes > 0);
+    assert_eq!(resident.stats().trainings_streamed, 0);
+}

@@ -27,7 +27,7 @@ use crate::tree::{RegressionTree, TreeParams};
 /// Derive the per-tree RNG seed: a SplitMix64 scramble of the forest seed
 /// and the tree index, so tree streams are independent and assignment of
 /// trees to worker threads cannot change any tree's randomness.
-fn tree_seed(seed: u64, tree: usize) -> u64 {
+pub(crate) fn tree_seed(seed: u64, tree: usize) -> u64 {
     let mut z = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(tree as u64 + 1);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -36,6 +36,17 @@ pub struct BinnedFeature {
 }
 
 impl BinnedFeature {
+    /// A splits-only view with **no per-row bins**, for the streaming
+    /// trainer (`crate::stream`): cell-mode tree fitting reads only
+    /// `num_bins()` / `splits()` plus the [`CellIndex`], never the
+    /// per-row bin ids, so the dense bin vector need not exist.
+    pub(crate) fn from_splits(splits: Vec<f64>) -> BinnedFeature {
+        BinnedFeature {
+            bins: Vec::new(),
+            splits,
+        }
+    }
+
     /// Number of bins (`splits().len() + 1`, or 1 for a constant feature).
     pub fn num_bins(&self) -> usize {
         self.splits.len() + 1
@@ -78,6 +89,12 @@ impl BinnedMatrix {
             n_rows: n,
             features,
         }
+    }
+
+    /// Assemble from pre-built (possibly splits-only) features — the
+    /// streaming trainer's constructor.
+    pub(crate) fn from_features(features: Vec<BinnedFeature>, n_rows: usize) -> BinnedMatrix {
+        BinnedMatrix { n_rows, features }
     }
 
     /// Number of rows.
@@ -149,6 +166,21 @@ impl CellIndex {
         })
     }
 
+    /// Assemble from pre-computed parts (the streaming builder replays
+    /// [`CellIndex::build`]'s exact first-occurrence id assignment
+    /// chunk-at-a-time; see `crate::stream`).
+    pub(crate) fn from_parts(
+        cell_of_row: Vec<u32>,
+        cell_bins: Vec<Vec<u8>>,
+        num_cells: usize,
+    ) -> CellIndex {
+        CellIndex {
+            cell_of_row,
+            cell_bins,
+            num_cells,
+        }
+    }
+
     /// Number of distinct cells.
     pub fn num_cells(&self) -> usize {
         self.num_cells
@@ -173,8 +205,18 @@ fn bin_column(values: &[f64], max_bins: usize) -> BinnedFeature {
     distinct.sort_unstable_by(f64::total_cmp);
     distinct.dedup_by(|a, b| a.total_cmp(b).is_eq());
 
+    let splits = splits_from_distinct(&distinct, max_bins);
+    let bins: Vec<u8> = values.iter().map(|&v| bin_value(&splits, v)).collect();
+    BinnedFeature { bins, splits }
+}
+
+/// Thresholds for a feature whose sorted (by `total_cmp`), deduplicated
+/// distinct values are `distinct` — shared by the resident
+/// [`bin_column`] and the streaming pass-one binner so both produce the
+/// same splits from the same distinct set.
+pub(crate) fn splits_from_distinct(distinct: &[f64], max_bins: usize) -> Vec<f64> {
     let m = distinct.len();
-    let splits: Vec<f64> = if m <= 1 {
+    if m <= 1 {
         Vec::new()
     } else if m <= max_bins {
         (0..m - 1)
@@ -193,13 +235,13 @@ fn bin_column(values: &[f64], max_bins: usize) -> BinnedFeature {
         }
         cuts.dedup_by(|a, b| a.total_cmp(b).is_eq());
         cuts
-    };
+    }
+}
 
-    let bins: Vec<u8> = values
-        .iter()
-        .map(|v| splits.partition_point(|s| s < v) as u8)
-        .collect();
-    BinnedFeature { bins, splits }
+/// The bin id of `v` under `splits` (the same `partition_point` the
+/// resident binner uses).
+pub(crate) fn bin_value(splits: &[f64], v: f64) -> u8 {
+    splits.partition_point(|s| *s < v) as u8
 }
 
 /// Midpoint that can never round onto either endpoint into a degenerate

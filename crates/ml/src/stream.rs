@@ -1,0 +1,484 @@
+//! Streaming, two-pass construction of the histogram training layout —
+//! forest training without ever materializing the dense encoded matrix.
+//!
+//! The resident trainer ([`crate::forest::RandomForest::fit_on`]) takes a
+//! fully materialized `rows × width` feature [`Matrix`], bins it
+//! ([`crate::hist::BinnedMatrix`]), collapses the rows into joint cells
+//! ([`crate::hist::CellIndex`]), and fits every tree over the cells. The
+//! matrix exists only to be binned: once the cell layout is built, tree
+//! fitting reads per-cell statistics plus a per-row cell id. For a 1M-row
+//! view with a 60-wide one-hot encoding that transient matrix is ~480 MB
+//! — the last resident-memory cliff in the cold-query path.
+//!
+//! This module streams the encoded rows **twice** in fixed-row chunks
+//! (chunk granularity = morsel granularity, so out-of-core chunk layouts
+//! line up) and builds the identical layout directly:
+//!
+//! 1. **Pass one** merges each feature's *exact* distinct-value set
+//!    across chunks (sorted by `total_cmp`, deduplicated — the same set
+//!    the resident binner sorts out of the whole column) and derives the
+//!    identical split thresholds. An approximate quantile sketch would be
+//!    cheaper but could pick different thresholds; exactness is what buys
+//!    the bit-identity guarantee below. Features with more than
+//!    [`STREAM_DISTINCT_CAP`] distinct values abort the stream (`None`),
+//!    and the caller falls back to the resident path.
+//! 2. **Pass two** re-streams the chunks, bins each row against the
+//!    fixed splits, and replays [`crate::hist::CellIndex::build`]'s
+//!    first-occurrence cell-id assignment in global row order. More than
+//!    `max_cells` distinct cells also aborts to the resident path
+//!    (continuous features keep the row-wise trainer).
+//!
+//! Peak resident footprint is O(bins × features + cells) for the layout
+//! plus O(rows) for the per-row cell ids (4 B/row) and the caller's
+//! target vectors (8 B/row each) — the dense matrix (8 B × width/row)
+//! never exists.
+//!
+//! ## Determinism contract
+//!
+//! [`StreamedLayout::fit_forest`] is **bit-identical** (`f64::to_bits`)
+//! to [`crate::forest::RandomForest::fit_on`] over the materialized
+//! matrix, for any worker count and any chunk size, whenever the stream
+//! succeeds: the distinct sets (hence splits), the cell ids, and the
+//! per-tree `(seed, tree_index)` RNG derivation all match the resident
+//! trainer exactly, and per-tree bootstrap accumulation into disjoint
+//! cell-stat slabs is the same code in the same order. This is
+//! property-tested across workers × chunk sizes × budgets in
+//! `hyper-store`'s `prop_stream_train` suite.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use hyper_runtime::HyperRuntime;
+use hyper_storage::Table;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::encode::TableEncoder;
+use crate::error::{MlError, Result};
+use crate::forest::{tree_seed, ForestParams, RandomForest};
+use crate::hist::{bin_value, splits_from_distinct, BinnedFeature, BinnedMatrix, CellIndex};
+use crate::matrix::Matrix;
+use crate::tree::RegressionTree;
+
+/// Pass-one cap on tracked distinct values per feature. Beyond this the
+/// distinct set itself approaches O(rows) resident bytes, so the stream
+/// aborts and the caller uses the resident trainer instead.
+pub const STREAM_DISTINCT_CAP: usize = 1 << 16;
+
+/// A restartable source of encoded feature chunks in global row order.
+///
+/// [`StreamedLayout::build`] calls [`TrainChunkSource::for_each_chunk`]
+/// twice (pass one and pass two); both scans must yield the same chunks
+/// in the same order. Concatenated chunk rows must equal the rows of the
+/// matrix the resident encoder would produce, bit for bit — per-row
+/// encodings depend only on their own row, so chunk-wise encoding
+/// satisfies this by construction.
+pub trait TrainChunkSource {
+    /// Total rows across all chunks.
+    fn num_rows(&self) -> usize;
+    /// Encoded feature width (columns of every yielded chunk).
+    fn num_cols(&self) -> usize;
+    /// Stream every encoded chunk in row order.
+    fn for_each_chunk(&mut self, f: &mut dyn FnMut(&Matrix) -> Result<()>) -> Result<()>;
+}
+
+/// Counters from one streaming layout build, surfaced through
+/// `SessionStats` so out-of-core training is observable in serving.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainStreamStats {
+    /// Encoded chunks streamed across both passes.
+    pub chunks_streamed: u64,
+    /// Peak resident bytes of the builder (distinct sets, splits, cell
+    /// ids, cell bins, and the one in-flight chunk — never the dense
+    /// matrix).
+    pub peak_resident_bytes: u64,
+}
+
+/// The streaming trainer's materialized state: a splits-only
+/// [`BinnedMatrix`] plus the joint-[`CellIndex`] — everything cell-mode
+/// forest fitting needs, with no dense matrix and no per-row bin
+/// vectors.
+pub struct StreamedLayout {
+    binned: BinnedMatrix,
+    cells: CellIndex,
+    rows: usize,
+    stats: TrainStreamStats,
+}
+
+impl StreamedLayout {
+    /// Build the layout from two streaming passes over `source`.
+    ///
+    /// Returns `Ok(None)` when the workload is not cell-trainable under
+    /// the caps — some feature exceeds [`STREAM_DISTINCT_CAP`] distinct
+    /// values, or the joint cells exceed `max_cells` (the same cap
+    /// [`crate::hist::CellIndex::build`] enforces) — in which case the
+    /// caller should materialize the matrix and use the resident
+    /// trainer. `max_bins` is clamped exactly as
+    /// [`BinnedMatrix::from_matrix`] clamps it.
+    pub fn build<S: TrainChunkSource + ?Sized>(
+        source: &mut S,
+        max_bins: usize,
+        max_cells: usize,
+    ) -> Result<Option<StreamedLayout>> {
+        let max_bins = max_bins.clamp(2, crate::hist::MAX_BINS);
+        let n = source.num_rows();
+        let d = source.num_cols();
+        if n == 0 || d == 0 {
+            return Ok(None);
+        }
+        let mut stats = TrainStreamStats::default();
+
+        // Pass one: exact per-feature distinct sets, merged chunk by
+        // chunk.
+        let mut distinct: Vec<Vec<f64>> = vec![Vec::new(); d];
+        let mut chunk_vals: Vec<f64> = Vec::new();
+        let mut merged: Vec<f64> = Vec::new();
+        let mut overflow = false;
+        source.for_each_chunk(&mut |chunk| {
+            if chunk.cols() != d {
+                return Err(MlError::InvalidInput(format!(
+                    "chunk has {} columns, source declares {d}",
+                    chunk.cols()
+                )));
+            }
+            stats.chunks_streamed += 1;
+            if overflow {
+                return Ok(());
+            }
+            for (j, dj) in distinct.iter_mut().enumerate() {
+                chunk_vals.clear();
+                chunk_vals.extend((0..chunk.rows()).map(|i| chunk.get(i, j)));
+                chunk_vals.sort_unstable_by(f64::total_cmp);
+                chunk_vals.dedup_by(|a, b| a.total_cmp(b).is_eq());
+                merge_distinct(dj, &chunk_vals, &mut merged);
+                std::mem::swap(dj, &mut merged);
+                if dj.len() > STREAM_DISTINCT_CAP {
+                    overflow = true;
+                    break;
+                }
+            }
+            let resident = distinct.iter().map(|v| v.len() as u64 * 8).sum::<u64>()
+                + (chunk.rows() * d) as u64 * 8;
+            stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
+            Ok(())
+        })?;
+        if overflow {
+            return Ok(None);
+        }
+        let features: Vec<BinnedFeature> = distinct
+            .iter()
+            .map(|dv| BinnedFeature::from_splits(splits_from_distinct(dv, max_bins)))
+            .collect();
+        drop(distinct);
+        let splits_bytes: u64 = features.iter().map(|f| f.splits().len() as u64 * 8).sum();
+
+        // Pass two: bin each row against the fixed splits and replay
+        // `CellIndex::build`'s first-occurrence id assignment in global
+        // row order.
+        let mut key = vec![0u8; d];
+        let mut ids: HashMap<Vec<u8>, u32> = HashMap::new();
+        let mut cell_of_row: Vec<u32> = Vec::with_capacity(n);
+        let mut cell_bins: Vec<Vec<u8>> = vec![Vec::new(); d];
+        let mut too_many_cells = false;
+        source.for_each_chunk(&mut |chunk| {
+            stats.chunks_streamed += 1;
+            if too_many_cells {
+                return Ok(());
+            }
+            for i in 0..chunk.rows() {
+                for (f, k) in key.iter_mut().enumerate() {
+                    *k = bin_value(features[f].splits(), chunk.get(i, f));
+                }
+                let next_id = ids.len() as u32;
+                let id = *ids.entry(key.clone()).or_insert(next_id);
+                if id == next_id {
+                    if ids.len() > max_cells {
+                        too_many_cells = true;
+                        return Ok(());
+                    }
+                    for (f, bins) in cell_bins.iter_mut().enumerate() {
+                        bins.push(key[f]);
+                    }
+                }
+                cell_of_row.push(id);
+            }
+            let resident = splits_bytes
+                + cell_of_row.len() as u64 * 4
+                + ids.len() as u64 * (d as u64 + 48)
+                + (ids.len() * d) as u64
+                + (chunk.rows() * d) as u64 * 8;
+            stats.peak_resident_bytes = stats.peak_resident_bytes.max(resident);
+            Ok(())
+        })?;
+        if too_many_cells {
+            return Ok(None);
+        }
+        if cell_of_row.len() != n {
+            return Err(MlError::InvalidInput(format!(
+                "source streamed {} rows, declared {n}",
+                cell_of_row.len()
+            )));
+        }
+        let num_cells = ids.len();
+        Ok(Some(StreamedLayout {
+            binned: BinnedMatrix::from_features(features, n),
+            cells: CellIndex::from_parts(cell_of_row, cell_bins, num_cells),
+            rows: n,
+            stats,
+        }))
+    }
+
+    /// Rows covered by the layout.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Distinct joint cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells.num_cells()
+    }
+
+    /// Streaming counters from the build.
+    pub fn stats(&self) -> TrainStreamStats {
+        self.stats
+    }
+
+    /// Fit a forest over the streamed layout — the exact cell-mode
+    /// training loop of [`RandomForest::fit_on`] (same validation, same
+    /// √d feature-subsampling default, same `(seed, tree_index)` RNG
+    /// derivation, same per-tree bootstrap accumulation), so the result
+    /// is bit-identical to the resident trainer for any worker count.
+    /// One layout can fit several forests (e.g. a numerator and a
+    /// denominator model over different targets).
+    pub fn fit_forest(
+        &self,
+        runtime: &HyperRuntime,
+        y: &[f64],
+        params: &ForestParams,
+    ) -> Result<RandomForest> {
+        if self.rows == 0 {
+            return Err(MlError::InvalidInput("empty training set".into()));
+        }
+        if self.rows != y.len() {
+            return Err(MlError::InvalidInput(format!(
+                "x has {} rows, y has {}",
+                self.rows,
+                y.len()
+            )));
+        }
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidInput("n_trees must be ≥ 1".into()));
+        }
+        let mut tree_params = params.tree.clone();
+        if tree_params.max_features.is_none() && self.binned.cols() > 3 {
+            tree_params.max_features = Some((self.binned.cols() as f64).sqrt().ceil() as usize);
+        }
+        let n = self.rows;
+        let cells = &self.cells;
+        let slots: Vec<OnceLock<Result<RegressionTree>>> =
+            (0..params.n_trees).map(|_| OnceLock::new()).collect();
+        runtime.for_each_parallel(params.n_trees, |t| {
+            let mut rng = StdRng::seed_from_u64(tree_seed(params.seed, t));
+            let mut stats = vec![(0u32, 0.0f64, 0.0f64); cells.num_cells()];
+            let cell_of_row = cells.cell_of_row();
+            if params.bootstrap {
+                for _ in 0..n {
+                    let r = rng.gen_range(0..n);
+                    let slot = &mut stats[cell_of_row[r] as usize];
+                    let yv = y[r];
+                    slot.0 += 1;
+                    slot.1 += yv;
+                    slot.2 += yv * yv;
+                }
+            } else {
+                for (r, &yv) in y.iter().enumerate() {
+                    let slot = &mut stats[cell_of_row[r] as usize];
+                    slot.0 += 1;
+                    slot.1 += yv;
+                    slot.2 += yv * yv;
+                }
+            }
+            let tree =
+                RegressionTree::fit_cells(&self.binned, cells, &stats, &tree_params, &mut rng);
+            let _ = slots[t].set(tree);
+        });
+        let mut trees = Vec::with_capacity(params.n_trees);
+        for slot in slots {
+            trees.push(slot.into_inner().expect("every tree slot is filled")?);
+        }
+        RandomForest::from_trees(trees)
+    }
+}
+
+/// Merge two `total_cmp`-sorted deduplicated runs into `out` (cleared
+/// first), keeping the result sorted and deduplicated.
+fn merge_distinct(a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].total_cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+/// [`TrainChunkSource`] over a resident table: slices `chunk_rows`-row
+/// windows (chunk granularity = morsel granularity when callers pass
+/// `DEFAULT_MORSEL_ROWS`) and encodes each through a fitted
+/// [`TableEncoder`]. Every encoded cell depends only on its own row, so
+/// the chunked encode is bit-identical to encoding the whole table —
+/// this is the `train_budget_bytes` route, where the *table* fits in
+/// memory but the much wider one-hot matrix must not be materialized.
+pub struct EncodedTableSource<'a> {
+    encoder: &'a TableEncoder,
+    table: &'a Table,
+    chunk_rows: usize,
+}
+
+impl<'a> EncodedTableSource<'a> {
+    /// Stream `table` through `encoder` in `chunk_rows`-row chunks
+    /// (clamped to ≥ 1).
+    pub fn new(
+        encoder: &'a TableEncoder,
+        table: &'a Table,
+        chunk_rows: usize,
+    ) -> EncodedTableSource<'a> {
+        EncodedTableSource {
+            encoder,
+            table,
+            chunk_rows: chunk_rows.max(1),
+        }
+    }
+}
+
+impl TrainChunkSource for EncodedTableSource<'_> {
+    fn num_rows(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    fn num_cols(&self) -> usize {
+        self.encoder.width()
+    }
+
+    fn for_each_chunk(&mut self, f: &mut dyn FnMut(&Matrix) -> Result<()>) -> Result<()> {
+        let n = self.table.num_rows();
+        let mut start = 0usize;
+        while start < n {
+            let len = self.chunk_rows.min(n - start);
+            let slice = self.table.slice(start, len);
+            let m = self.encoder.encode_table(&slice)?;
+            f(&m)?;
+            start += len;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyper_storage::{DataType, Field, Schema, TableBuilder, Value};
+
+    fn sample(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Str),
+            Field::nullable("c", DataType::Float),
+            Field::new("y", DataType::Float),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..n {
+            let c: Value = if i % 6 == 0 {
+                Value::Null
+            } else {
+                Value::Float((i % 2) as f64 * 0.5)
+            };
+            b.push(vec![
+                Value::Int((i % 4) as i64),
+                ["u", "v", "w"][i % 3].into(),
+                c,
+                Value::Float((i % 4) as f64 + 0.25),
+            ])
+            .unwrap();
+        }
+        b.build()
+    }
+
+    fn cols() -> Vec<String> {
+        vec!["a".into(), "b".into(), "c".into()]
+    }
+
+    #[test]
+    fn streamed_forest_is_bit_identical_to_resident() {
+        let t = sample(500);
+        let enc = TableEncoder::fit(&t, &cols()).unwrap();
+        let x = enc.encode_table(&t).unwrap();
+        let y = TableEncoder::target_vector(&t, "y").unwrap();
+        let params = ForestParams {
+            n_trees: 7,
+            seed: 42,
+            ..Default::default()
+        };
+        let rt = HyperRuntime::with_workers(0);
+        let resident = RandomForest::fit_on(&rt, &x, &y, &params).unwrap();
+        for chunk_rows in [1usize, 7, 4096] {
+            let mut src = EncodedTableSource::new(&enc, &t, chunk_rows);
+            let layout = StreamedLayout::build(&mut src, crate::hist::MAX_BINS, 500 / 4)
+                .unwrap()
+                .expect("discrete features stay cell-trainable");
+            let streamed = layout.fit_forest(&rt, &y, &params).unwrap();
+            let probe: Vec<f64> = (0..x.cols()).map(|j| x.get(3, j)).collect();
+            assert_eq!(
+                resident.predict_row(&probe).to_bits(),
+                streamed.predict_row(&probe).to_bits(),
+                "chunk_rows={chunk_rows}"
+            );
+            assert_eq!(resident.num_trees(), streamed.num_trees());
+            assert!(layout.stats().chunks_streamed >= 2);
+            assert!(layout.stats().peak_resident_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn cell_cap_overflow_falls_back_to_none() {
+        let t = sample(200);
+        let enc = TableEncoder::fit(&t, &cols()).unwrap();
+        let mut src = EncodedTableSource::new(&enc, &t, 64);
+        // A 1-cell cap cannot hold the joint distinct cells.
+        let layout = StreamedLayout::build(&mut src, crate::hist::MAX_BINS, 1).unwrap();
+        assert!(layout.is_none());
+    }
+
+    #[test]
+    fn empty_source_is_none() {
+        let t = sample(0);
+        let enc = TableEncoder::fit(&t, &cols()).unwrap();
+        let mut src = EncodedTableSource::new(&enc, &t, 64);
+        assert!(StreamedLayout::build(&mut src, 255, 64).unwrap().is_none());
+    }
+
+    #[test]
+    fn merge_distinct_keeps_sorted_dedup() {
+        let mut out = Vec::new();
+        merge_distinct(&[1.0, 3.0, 5.0], &[0.0, 3.0, 9.0], &mut out);
+        assert_eq!(out, vec![0.0, 1.0, 3.0, 5.0, 9.0]);
+        merge_distinct(&[], &[2.0], &mut out);
+        assert_eq!(out, vec![2.0]);
+    }
+}

@@ -200,7 +200,11 @@ pub fn eval_selection_morsels(
     table: &Table,
     morsel_rows: usize,
 ) -> Result<Vec<usize>> {
-    if table.num_rows() == 0 {
+    // With no background workers every morsel would run inline on this
+    // thread anyway; the whole-table evaluation is bit-identical (see the
+    // determinism contract above) and skips the per-morsel slot
+    // allocation, which showed up as a 1-core regression in bench_smoke.
+    if table.num_rows() == 0 || rt.workers() == 0 {
         return expr.eval_selection(table);
     }
     let parts = for_each_morsel(rt, table.num_rows(), morsel_rows, |_, r| {
@@ -224,7 +228,9 @@ pub fn eval_column_morsels(
     table: &Table,
     morsel_rows: usize,
 ) -> Result<Column> {
-    if table.num_rows() == 0 {
+    // Same zero-worker fast path as `eval_selection_morsels`:
+    // bit-identical by contract, no morsel-slot allocation.
+    if table.num_rows() == 0 || rt.workers() == 0 {
         return expr.eval_column(table);
     }
     let parts = for_each_morsel(rt, table.num_rows(), morsel_rows, |_, r| {

@@ -62,6 +62,13 @@
 //!   then scans chunk-at-a-time under a resident-byte LRU budget (chunk
 //!   granularity = morsel granularity), so a table larger than memory —
 //!   or larger than a deliberately tiny budget — still scans correctly.
+//!   Predicate scans decode **column-projected** chunks with a reused
+//!   byte buffer ([`PagedTable::scan_projected`]), skipping every
+//!   unreferenced column's payload.
+//! * [`train`] — streaming forest training over paged tables:
+//!   [`PagedTrainSource`] feeds projected, encoded chunks to
+//!   [`hyper_ml::StreamedLayout`], bit-identical to resident training
+//!   without ever materializing the dense feature matrix.
 
 #![warn(missing_docs)]
 
@@ -76,6 +83,7 @@ pub mod paging;
 pub mod registry;
 pub mod snapshot;
 pub mod tablecodec;
+pub mod train;
 
 pub use artifact::{read_artifact, write_artifact, ArtifactKind, ArtifactMeta};
 pub use causalcodec::{decode_blocks, decode_graph, encode_blocks, encode_graph};
@@ -87,9 +95,11 @@ pub use mlcodec::{
     decode_encoder, decode_forest, decode_linear, decode_tree, encode_encoder, encode_forest,
     encode_linear, encode_tree,
 };
-pub use paging::{PagedTable, PagingStats};
+pub use paging::{global_paging_stats, PagedTable, PagingStats};
 pub use registry::SnapshotRegistry;
 pub use snapshot::{Snapshot, SnapshotInfo};
 pub use tablecodec::{
-    decode_database, decode_schema, decode_table, encode_database, encode_schema, encode_table,
+    decode_database, decode_schema, decode_table, decode_table_projected, encode_database,
+    encode_schema, encode_table,
 };
+pub use train::{fit_encoder_paged, target_vector_paged, PagedTrainSource};

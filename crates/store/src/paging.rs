@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hyper_storage::{Expr, Table};
@@ -24,7 +25,26 @@ use hyper_storage::{Expr, Table};
 use crate::codec::{ByteReader, ByteWriter};
 use crate::container::{Container, ContainerWriter, SECTION_PAGE};
 use crate::error::{Result, StoreError};
-use crate::tablecodec::{decode_table, encode_table};
+use crate::tablecodec::{decode_table, decode_table_projected, encode_table};
+
+/// Process-wide paging counters, summed across every [`PagedTable`] this
+/// process has scanned (projected chunk decodes count as loads — they
+/// read disk). `resident_bytes` is always 0 here: residency is a
+/// per-table property that ends with the table. Surfaced through
+/// `SessionStats::snapshot()` / `/stats` so out-of-core behavior is
+/// observable in serving.
+pub fn global_paging_stats() -> PagingStats {
+    PagingStats {
+        loads: GLOBAL_LOADS.load(Ordering::Relaxed),
+        hits: GLOBAL_HITS.load(Ordering::Relaxed),
+        evictions: GLOBAL_EVICTIONS.load(Ordering::Relaxed),
+        resident_bytes: 0,
+    }
+}
+
+static GLOBAL_LOADS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_HITS: AtomicU64 = AtomicU64::new(0);
+static GLOBAL_EVICTIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Counters describing how a [`PagedTable`] has behaved so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -157,6 +177,7 @@ impl PagedTable {
         let tick = cache.tick;
         if let Some(t) = cache.resident.get(&c).cloned() {
             cache.stats.hits += 1;
+            GLOBAL_HITS.fetch_add(1, Ordering::Relaxed);
             cache.last_used.insert(c, tick);
             return Ok(t);
         }
@@ -167,6 +188,7 @@ impl PagedTable {
 
         let mut cache = self.cache.lock().expect("paging cache lock");
         cache.stats.loads += 1;
+        GLOBAL_LOADS.fetch_add(1, Ordering::Relaxed);
         cache.last_used.insert(c, tick);
         if cache.resident.insert(c, Arc::clone(&t)).is_none() {
             cache.stats.resident_bytes += self.chunk_bytes[c];
@@ -186,6 +208,7 @@ impl PagedTable {
                     cache.resident.remove(&v);
                     cache.last_used.remove(&v);
                     cache.stats.evictions += 1;
+                    GLOBAL_EVICTIONS.fetch_add(1, Ordering::Relaxed);
                     cache.stats.resident_bytes -= self.chunk_bytes[v];
                 }
                 None => break,
@@ -207,18 +230,59 @@ impl PagedTable {
         Ok(())
     }
 
+    /// Run `f(chunk_index, first_global_row, projected_chunk)` over every
+    /// chunk in row order, decoding **only** the columns named in `keep`
+    /// and reusing one file-byte buffer across the whole scan (see
+    /// [`crate::tablecodec::decode_table_projected`]). Projected chunks
+    /// bypass the resident LRU — nothing is retained between chunks, so
+    /// a scan's footprint is one projected chunk regardless of budget —
+    /// and each decode counts as a load (disk was read).
+    pub fn scan_projected(
+        &self,
+        keep: &[&str],
+        mut f: impl FnMut(usize, usize, &Table) -> Result<()>,
+    ) -> Result<()> {
+        let mut buf = Vec::new();
+        for c in 0..self.chunk_count() {
+            let container = Container::read_into(&self.chunk_paths[c], buf)?;
+            {
+                let mut r = ByteReader::new(container.section(SECTION_PAGE)?);
+                let t = decode_table_projected(&mut r, keep)?;
+                self.cache.lock().expect("paging cache lock").stats.loads += 1;
+                GLOBAL_LOADS.fetch_add(1, Ordering::Relaxed);
+                f(c, c * self.chunk_rows, &t)?;
+            }
+            buf = container.into_bytes();
+        }
+        Ok(())
+    }
+
     /// Global row indices satisfying `predicate`, evaluated
     /// chunk-at-a-time (each chunk's selection runs through the morsel
     /// engine, so chunk granularity = morsel granularity). Matches the
     /// in-memory `matching_rows` over the unspilled table exactly.
+    ///
+    /// Chunks decode **column-projected** to the predicate's referenced
+    /// columns with a reused byte buffer ([`PagedTable::scan_projected`])
+    /// — the other columns' payload bytes are skipped, which is most of
+    /// the previous scan cost on wide tables. Predicates referencing no
+    /// columns fall back to full chunks (a projected chunk with zero
+    /// columns would lose the row count).
     pub fn matching_rows(&self, predicate: &Expr) -> Result<Vec<usize>> {
+        let referenced = predicate.referenced_columns();
         let mut keep = Vec::new();
-        self.for_each_chunk(|_, base, t| {
+        let collect = |keep: &mut Vec<usize>, base: usize, t: &Table| -> Result<()> {
             let local = hyper_storage::ops::matching_rows(t, predicate)
                 .map_err(|e| StoreError::Query(e.to_string()))?;
             keep.extend(local.into_iter().map(|i| base + i));
             Ok(())
-        })?;
+        };
+        if referenced.is_empty() {
+            self.for_each_chunk(|_, base, t| collect(&mut keep, base, t))?;
+        } else {
+            let names: Vec<&str> = referenced.iter().map(String::as_str).collect();
+            self.scan_projected(&names, |_, base, t| collect(&mut keep, base, t))?;
+        }
         Ok(keep)
     }
 
@@ -303,15 +367,22 @@ mod tests {
         assert_eq!(got, expect);
         let stats = paged.stats();
         assert_eq!(stats.loads, 10, "every chunk loaded from disk");
+        assert_eq!(stats.evictions, 0, "projected scans retain nothing");
+        // Full-chunk scans go through the resident LRU and must keep
+        // evicting under the tiny budget.
+        paged.for_each_chunk(|_, _, _| Ok(())).unwrap();
+        let stats = paged.stats();
+        assert_eq!(stats.loads, 20);
         assert!(
             stats.evictions >= 9,
             "tiny budget must keep evicting ({stats:?})"
         );
         assert!(stats.resident_bytes <= paged.spilled_bytes() / 5);
-        // A second scan reloads everything: nothing could stay resident.
+        // A second predicate scan reloads everything: nothing is shared
+        // with the projected path.
         let again = paged.matching_rows(&pred).unwrap();
         assert_eq!(again, expect);
-        assert_eq!(paged.stats().loads, 20);
+        assert_eq!(paged.stats().loads, 30);
         paged.remove_files().unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -321,9 +392,8 @@ mod tests {
         let dir = test_dir("warm");
         let t = table(500);
         let paged = PagedTable::spill(&t, &dir, 100, u64::MAX).unwrap();
-        let pred = col("id").lt(lit(250));
-        paged.matching_rows(&pred).unwrap();
-        paged.matching_rows(&pred).unwrap();
+        paged.for_each_chunk(|_, _, _| Ok(())).unwrap();
+        paged.for_each_chunk(|_, _, _| Ok(())).unwrap();
         let stats = paged.stats();
         assert_eq!(stats.loads, 5);
         assert_eq!(stats.hits, 5);

@@ -213,6 +213,23 @@
 //! chunk-at-a-time under a resident-byte LRU budget, so the 1M-row
 //! benchmark scale point (`*_german_1m` in `bench_smoke`, with serve
 //! p50/p99 tail latency) runs under budgets far smaller than the data.
+//!
+//! Forest **training** streams over the same chunks. When
+//! `SessionBuilder::train_budget_bytes` is set and the dense encoded
+//! matrix would exceed it, estimator fitting routes through
+//! [`ml::StreamedLayout`]: pass one streams the chunks to fix per-feature
+//! bin boundaries, pass two fills the binned cell statistics, and the
+//! morsel-parallel per-tree fit runs off that layout — resident state
+//! is one chunk plus splits, cell statistics, and a 4-byte-per-row
+//! cell-id vector instead of the 8·width-bytes-per-row dense matrix,
+//! which never exists. The streamed forest is
+//! **bit-identical** to the resident trainer's for any worker count,
+//! chunk size, and paging budget (property-tested in
+//! `crates/store/tests/prop_stream_train.rs`), so budgeted and
+//! unbudgeted sessions share fitted estimators through the artifact
+//! cache. `SessionStats::snapshot()` and `/stats` report
+//! `trainings_streamed`, `train_chunks_streamed`,
+//! `train_peak_resident_bytes`, and the process-wide paging counters.
 
 pub use hyper_causal as causal;
 pub use hyper_core as core;
