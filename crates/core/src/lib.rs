@@ -172,6 +172,46 @@
 //! a from-scratch session. Each refresh bumps
 //! [`SessionStats::data_version`], which [`ExplainReport`] carries so
 //! answers correlate with the data they were computed over.
+//!
+//! ## Observability: phase tracing and timing counters
+//!
+//! Every layer of the query path is instrumented with `hyper-trace`
+//! spans, keyed by a fixed [`Phase`] taxonomy:
+//!
+//! | phase | recorded where |
+//! |---|---|
+//! | `parse` | query-text parsing ([`SessionStats::texts_parsed`] sites) |
+//! | `plan` | validation, expression binding, masks, adjustment-set selection |
+//! | `view_build` | [`build_relevant_view`] |
+//! | `block_decomp` | Prop.-1 decomposition computation |
+//! | `encoder_fit` | feature-encoder fitting (`hyper-ml`) |
+//! | `forest_train` | estimator training, resident and streamed |
+//! | `predict` | forest inference during mask evaluation |
+//! | `cache_lookup` | [`ArtifactCache`] tiered fetches (lookup overhead only) |
+//! | `queue_wait` / `execute` | `hyper-serve` admission queue vs. work |
+//! | `snapshot_load` | disk-tier artifact recovery, server snapshot loads |
+//! | `refresh` | [`HyperSession::refresh`] root span |
+//! | `paged_io` | out-of-core chunk reads (`hyper-store` paging) |
+//!
+//! Tracing is **per session** ([`SessionBuilder::tracing`], default off)
+//! and attributes **exclusive** time: nested spans subtract, so the
+//! per-phase totals of one traced query partition its root span exactly
+//! — phases always sum to the attributed total, and parallel fan-outs
+//! (morsel workers, batch items) are credited to the query that spawned
+//! them via trace-context propagation through the
+//! [`HyperRuntime`](hyper_runtime::HyperRuntime) pool.
+//!
+//! **Overhead contract**: with tracing off, the entire cost is one
+//! relaxed atomic load per potential span — `bench_smoke` gates the
+//! traced prepared what-if path at ≤ 1.05× the untraced one. Tracing
+//! never changes results; the bit-identity property suites run with it
+//! enabled.
+//!
+//! Cumulative per-phase totals surface in the [`SessionStats`] timing
+//! fields ([`SessionStats::phase_ns`]), per-query measurements in
+//! [`HyperSession::explain_analyze`] (`EXPLAIN ANALYZE`-style:
+//! [`ExplainReport::timings`]), and over HTTP as per-tenant latency
+//! percentiles in `hyper-serve`'s `/stats` and Prometheus `/metrics`.
 
 #![warn(missing_docs)]
 
@@ -191,10 +231,12 @@ pub use engine::HyperEngine;
 pub use error::{EngineError, Result};
 pub use howto::multi::LexicographicResult;
 pub use howto::HowToResult;
+pub use hyper_trace::{Phase, NUM_PHASES};
 pub use session::{
     ArtifactCache, BlockPlan, CacheBudget, EstimatorPlan, ExplainReport, HowToPlan, HyperSession,
-    IntoQuery, PreparedQuery, Provenance, QueryInput, QueryKind, QueryOutcome, RefreshOutcome,
-    RefreshReport, SessionBuilder, SessionStats, SharedArtifactStore, SharedStoreStats, ViewPlan,
+    IntoQuery, PhaseTiming, PreparedQuery, Provenance, QueryInput, QueryKind, QueryOutcome,
+    QueryTimings, RefreshOutcome, RefreshReport, SessionBuilder, SessionStats, SharedArtifactStore,
+    SharedStoreStats, ViewPlan,
 };
 pub use view::{build_relevant_view, ColumnOrigin, RelevantView, ViewProvenance};
 pub use whatif::exact::exact_whatif;

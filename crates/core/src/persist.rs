@@ -859,6 +859,7 @@ impl DiskTier {
     /// Load an artifact, treating *any* failure as a miss (the cache will
     /// rebuild and overwrite the bad file).
     pub(crate) fn load<T: DiskArtifact>(&self, key: &str) -> Option<T> {
+        let _span = hyper_trace::span(hyper_trace::Phase::SnapshotLoad);
         self.try_load(key).ok().flatten()
     }
 

@@ -543,6 +543,9 @@ impl ArtifactCache {
         db: &Database,
         use_clause: &UseClause,
     ) -> Result<(Arc<RelevantView>, QueryKey)> {
+        // Exclusive-time accounting: a miss's build opens its own
+        // `ViewBuild` span, so this span's self time is lookup overhead.
+        let _span = hyper_trace::span(hyper_trace::Phase::CacheLookup);
         let key = Self::view_key(use_clause);
         let c = &self.counters;
         fn shard_views(s: &SharedShard) -> &SharedCache<RelevantView> {
@@ -580,6 +583,7 @@ impl ArtifactCache {
         valid: impl Fn(&CausalEstimator) -> bool,
         fit: impl FnOnce() -> Result<CausalEstimator>,
     ) -> Result<Arc<CausalEstimator>> {
+        let _span = hyper_trace::span(hyper_trace::Phase::CacheLookup);
         let c = &self.counters;
         fn shard_estimators(s: &SharedShard) -> &SharedCache<CausalEstimator> {
             &s.estimators
@@ -610,9 +614,12 @@ impl ArtifactCache {
         db: &Database,
         graph: &CausalGraph,
     ) -> Result<Arc<BlockDecomposition>> {
+        let _span = hyper_trace::span(hyper_trace::Phase::CacheLookup);
         let c = &self.counters;
-        let build =
-            || BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from);
+        let build = || {
+            let _span = hyper_trace::span(hyper_trace::Phase::BlockDecomp);
+            BlockDecomposition::compute(db, graph).map_err(crate::error::EngineError::from)
+        };
         fn shard_blocks(s: &SharedShard) -> &SharedCache<BlockDecomposition> {
             &s.blocks
         }

@@ -15,8 +15,10 @@
 //! suite and usable as a regression oracle.
 
 use std::fmt;
+use std::time::Instant;
 
 use hyper_query::{HypotheticalQuery, QueryKey, UseClause};
+use hyper_trace::{Phase, TraceSnapshot, TraceTree};
 
 use crate::config::EstimatorKind;
 use crate::error::Result;
@@ -118,6 +120,63 @@ pub struct HowToPlan {
     pub limits: usize,
 }
 
+/// One phase's measured share of an analyzed execution: **exclusive**
+/// (self) time — nested spans subtract — plus the number of spans
+/// entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseTiming {
+    /// Which phase.
+    pub phase: Phase,
+    /// Exclusive time, nanoseconds.
+    pub self_ns: u64,
+    /// Spans entered.
+    pub count: u64,
+}
+
+/// Measured per-phase timings of one traced execution
+/// ([`HyperSession::explain_analyze`]). Exclusive times partition the
+/// span tree, so [`QueryTimings::total_ns`] (their sum) equals the
+/// traced wall time on a single-threaded runtime; with pool workers it
+/// is a CPU-time-like sum and can exceed [`QueryTimings::wall_ns`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryTimings {
+    /// Wall-clock time of the analyzed execution, nanoseconds.
+    pub wall_ns: u64,
+    /// Phases that recorded any time or spans, in [`Phase::ALL`] order.
+    pub phases: Vec<PhaseTiming>,
+}
+
+impl QueryTimings {
+    /// Build from a trace snapshot plus the separately measured wall time.
+    pub(crate) fn from_snapshot(snap: &TraceSnapshot, wall_ns: u64) -> QueryTimings {
+        let phases = Phase::ALL
+            .iter()
+            .filter_map(|&phase| {
+                let (self_ns, count) = (snap.self_ns(phase), snap.count(phase));
+                (self_ns != 0 || count != 0).then_some(PhaseTiming {
+                    phase,
+                    self_ns,
+                    count,
+                })
+            })
+            .collect();
+        QueryTimings { wall_ns, phases }
+    }
+
+    /// Sum of the per-phase exclusive times (the attributed total).
+    pub fn total_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.self_ns).sum()
+    }
+
+    /// Exclusive time of `phase`, nanoseconds (0 when absent).
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.phases
+            .iter()
+            .find(|p| p.phase == phase)
+            .map_or(0, |p| p.self_ns)
+    }
+}
+
 /// A structured query plan: what a session would do to answer the query,
 /// and which parts are already cached. Render with `Display` for the
 /// textual form.
@@ -146,6 +205,10 @@ pub struct ExplainReport {
     /// Delta version of the session's database snapshot: 0 for a freshly
     /// built session, incremented by each [`HyperSession::refresh`].
     pub data_version: u64,
+    /// Measured per-phase durations — present only on reports from
+    /// [`HyperSession::explain_analyze`], which executes the query under
+    /// tracing; plain [`HyperSession::explain`] leaves this `None`.
+    pub timings: Option<QueryTimings>,
 }
 
 impl ExplainReport {
@@ -162,6 +225,8 @@ impl ExplainReport {
         if let Some(e) = &mut out.estimator {
             e.provenance = Provenance::WouldBuild;
         }
+        // Timings are a measurement, not part of the plan.
+        out.timings = None;
         out
     }
 }
@@ -228,7 +293,38 @@ impl fmt::Display for ExplainReport {
                 h.limits
             )?;
         }
+        if let Some(t) = &self.timings {
+            writeln!(
+                f,
+                "  timings: attributed={} wall={}",
+                fmt_ns(t.total_ns()),
+                fmt_ns(t.wall_ns)
+            )?;
+            for p in &t.phases {
+                writeln!(
+                    f,
+                    "    {}: {} ({} span{})",
+                    p.phase.name(),
+                    fmt_ns(p.self_ns),
+                    p.count,
+                    if p.count == 1 { "" } else { "s" }
+                )?;
+            }
+        }
         Ok(())
+    }
+}
+
+/// Human-scale duration: nanoseconds rendered at the natural unit.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
     }
 }
 
@@ -323,6 +419,7 @@ impl HyperSession {
                     estimator,
                     howto: None,
                     data_version: self.inner.data_version,
+                    timings: None,
                 })
             }
             HypotheticalQuery::HowTo(q) => {
@@ -343,9 +440,42 @@ impl HyperSession {
                         limits: q.limits.len(),
                     }),
                     data_version: self.inner.data_version,
+                    timings: None,
                 })
             }
         }
+    }
+}
+
+impl HyperSession {
+    /// `EXPLAIN ANALYZE`: execute the query under a dedicated trace, then
+    /// return the plan report with [`ExplainReport::timings`] populated
+    /// from the measured span tree — each plan step annotated with the
+    /// phase time it actually cost, and provenance reflecting the
+    /// post-execution cache (a second analyze shows the estimator as a
+    /// hit and near-zero `forest_train` time).
+    ///
+    /// Works regardless of the session's tracing switch; the trace lives
+    /// only for this call, and its totals are folded into the cumulative
+    /// [`super::SessionStats`] timing counters like any traced query.
+    pub fn explain_analyze(&self, input: impl IntoQuery) -> Result<ExplainReport> {
+        let query = self.resolve_input(input)?;
+        let tree = TraceTree::new();
+        let started = Instant::now();
+        let run = hyper_trace::with_trace(&tree, || {
+            let _root = hyper_trace::span(Phase::Execute);
+            match &query {
+                HypotheticalQuery::WhatIf(q) => self.whatif(q).map(drop),
+                HypotheticalQuery::HowTo(q) => self.howto(q).map(drop),
+            }
+        });
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        run?;
+        let snap = tree.snapshot();
+        self.fold_trace(&snap);
+        let mut report = self.explain(&query)?;
+        report.timings = Some(QueryTimings::from_snapshot(&snap, wall_ns));
+        Ok(report)
     }
 }
 

@@ -61,7 +61,7 @@ pub mod explain;
 pub mod refresh;
 pub mod shared;
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use hyper_causal::{BlockDecomposition, CausalGraph};
@@ -71,6 +71,7 @@ use hyper_query::{
 };
 use hyper_runtime::HyperRuntime;
 use hyper_storage::Database;
+use hyper_trace::{Phase, TraceSnapshot, TraceTree, NUM_PHASES};
 
 use crate::config::{EngineConfig, HowToOptions};
 use crate::error::{EngineError, Result};
@@ -83,7 +84,8 @@ use crate::whatif::{evaluate_whatif_cached, evaluate_whatif_on_view, WhatIfResul
 
 pub use cache::{ArtifactCache, CacheBudget};
 pub use explain::{
-    BlockPlan, EstimatorPlan, ExplainReport, HowToPlan, Provenance, QueryKind, ViewPlan,
+    BlockPlan, EstimatorPlan, ExplainReport, HowToPlan, PhaseTiming, Provenance, QueryKind,
+    QueryTimings, ViewPlan,
 };
 pub use refresh::{RefreshOutcome, RefreshReport};
 pub use shared::{SharedArtifactStore, SharedStoreStats};
@@ -180,6 +182,37 @@ pub struct SessionStats {
     pub paging_hits: u64,
     /// Out-of-core chunk evictions under a resident budget, process-wide.
     pub paging_evictions: u64,
+    /// Cumulative **exclusive** (self) time per [`Phase`], in nanoseconds,
+    /// across every traced query this session lineage ran. Zero unless
+    /// tracing was enabled ([`SessionBuilder::tracing`] /
+    /// [`HyperSession::set_tracing`]). Indexed by `Phase as usize`; use
+    /// [`SessionStats::phase_ns`] for named access. Self times partition
+    /// each traced query's span tree, so the per-phase entries of one
+    /// query sum exactly to that query's [`SessionStats::trace_total_ns`]
+    /// contribution — `train_ns` can never exceed `total_ns` in a
+    /// consistent snapshot.
+    pub trace_phase_ns: [u64; NUM_PHASES],
+    /// Cumulative spans entered per [`Phase`] across traced queries
+    /// (indexed by `Phase as usize`).
+    pub trace_phase_counts: [u64; NUM_PHASES],
+    /// Sum of `trace_phase_ns` — total attributed time across traced
+    /// queries. On multi-worker runtimes this is CPU-time-like (parallel
+    /// phase work sums), not wall clock.
+    pub trace_total_ns: u64,
+    /// Queries (and refreshes) that ran with tracing enabled.
+    pub traced_queries: u64,
+}
+
+impl SessionStats {
+    /// Cumulative exclusive time spent in `phase`, in nanoseconds.
+    pub fn phase_ns(&self, phase: Phase) -> u64 {
+        self.trace_phase_ns[phase as usize]
+    }
+
+    /// Cumulative spans entered for `phase`.
+    pub fn phase_count(&self, phase: Phase) -> u64 {
+        self.trace_phase_counts[phase as usize]
+    }
 }
 
 /// Execution counters shared across a session's refresh lineage (a
@@ -194,6 +227,13 @@ struct ExecCounters {
     estimators_invalidated: AtomicU64,
     blocks_invalidated: AtomicU64,
     refreshes: AtomicU64,
+    /// Per-phase exclusive-time totals folded in from traced queries
+    /// (indexed by `Phase as usize`).
+    phase_ns: [AtomicU64; NUM_PHASES],
+    /// Per-phase span counts from traced queries.
+    phase_counts: [AtomicU64; NUM_PHASES],
+    trace_total_ns: AtomicU64,
+    traced_queries: AtomicU64,
 }
 
 struct SessionInner {
@@ -209,6 +249,8 @@ struct SessionInner {
     exec: Arc<ExecCounters>,
     /// Number of delta batches applied since the base snapshot.
     data_version: u64,
+    /// Phase-level tracing switch (see [`HyperSession::set_tracing`]).
+    tracing: AtomicBool,
 }
 
 /// Builder for [`HyperSession`].
@@ -222,6 +264,7 @@ pub struct SessionBuilder {
     persist_dir: Option<std::path::PathBuf>,
     shared_budget_bytes: Option<usize>,
     runtime: Option<HyperRuntime>,
+    tracing: bool,
 }
 
 impl SessionBuilder {
@@ -237,6 +280,7 @@ impl SessionBuilder {
             persist_dir: None,
             shared_budget_bytes: None,
             runtime: None,
+            tracing: false,
         }
     }
 
@@ -307,6 +351,19 @@ impl SessionBuilder {
     /// still share fitted estimators through the shared store.
     pub fn runtime(mut self, runtime: HyperRuntime) -> SessionBuilder {
         self.runtime = Some(runtime);
+        self
+    }
+
+    /// Enable phase-level tracing (off by default). Traced sessions wrap
+    /// each query in a [`hyper_trace`] span tree rooted at
+    /// [`Phase::Execute`] and fold the per-phase **exclusive** durations
+    /// into the cumulative [`SessionStats`] timing counters. The cost is
+    /// one span per instrumented phase boundary (two `Instant` reads and
+    /// a few thread-local bumps); disabled sessions pay a single relaxed
+    /// atomic load per query. Tracing never changes results — the
+    /// bit-identity property suites run with it on.
+    pub fn tracing(mut self, on: bool) -> SessionBuilder {
+        self.tracing = on;
         self
     }
 
@@ -384,6 +441,7 @@ impl SessionBuilder {
                     .unwrap_or_else(|| HyperRuntime::global().clone()),
                 exec: Arc::new(ExecCounters::default()),
                 data_version: 0,
+                tracing: AtomicBool::new(self.tracing),
             }),
         }
     }
@@ -532,6 +590,7 @@ impl HyperSession {
             persist_dir: self.inner.persist_dir.clone(),
             shared_budget_bytes: None,
             runtime: Some(self.inner.runtime.clone()),
+            tracing: self.inner.tracing.load(Ordering::Relaxed),
         }
         .build()
     }
@@ -549,6 +608,7 @@ impl HyperSession {
             persist_dir: self.inner.persist_dir.clone(),
             shared_budget_bytes: None,
             runtime: Some(self.inner.runtime.clone()),
+            tracing: self.inner.tracing.load(Ordering::Relaxed),
         }
         .build()
     }
@@ -577,6 +637,56 @@ impl HyperSession {
     /// runtime unless overridden via [`SessionBuilder::runtime`]).
     pub fn runtime(&self) -> &HyperRuntime {
         &self.inner.runtime
+    }
+
+    /// Is phase-level tracing on for this session?
+    pub fn tracing_enabled(&self) -> bool {
+        self.inner.tracing.load(Ordering::Relaxed)
+    }
+
+    /// Toggle phase-level tracing at runtime (see
+    /// [`SessionBuilder::tracing`]). Queries already in flight keep the
+    /// setting they started with.
+    pub fn set_tracing(&self, on: bool) {
+        self.inner.tracing.store(on, Ordering::Relaxed);
+    }
+
+    /// Run `f` under a fresh trace rooted at `root` when tracing is on,
+    /// folding the resulting span tree into the cumulative counters.
+    /// No-op passthrough when tracing is off **or** the thread already
+    /// carries a trace (a nested entry point — e.g. `execute` delegating
+    /// to `whatif`, or a batch item on a worker — keeps attributing to
+    /// the enclosing query's tree instead of starting its own).
+    fn traced<T>(&self, root: Phase, f: impl FnOnce() -> T) -> T {
+        if !self.inner.tracing.load(Ordering::Relaxed) || hyper_trace::current_context().is_some() {
+            return f();
+        }
+        let tree = TraceTree::new();
+        let out = hyper_trace::with_trace(&tree, || {
+            let _root = hyper_trace::span(root);
+            f()
+        });
+        self.fold_trace(&tree.snapshot());
+        out
+    }
+
+    /// Fold one traced query's per-phase exclusive times and span counts
+    /// into the lineage-cumulative counters behind [`SessionStats`].
+    pub(crate) fn fold_trace(&self, snap: &TraceSnapshot) {
+        let exec = &self.inner.exec;
+        for phase in Phase::ALL {
+            let ns = snap.self_ns(phase);
+            if ns != 0 {
+                exec.phase_ns[phase as usize].fetch_add(ns, Ordering::Relaxed);
+            }
+            let n = snap.count(phase);
+            if n != 0 {
+                exec.phase_counts[phase as usize].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        exec.trace_total_ns
+            .fetch_add(snap.total_ns(), Ordering::Relaxed);
+        exec.traced_queries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Snapshot of cache and execution counters. Equivalent to
@@ -650,12 +760,21 @@ impl HyperSession {
             paging_loads: paging.loads,
             paging_hits: paging.hits,
             paging_evictions: paging.evictions,
+            trace_phase_ns: std::array::from_fn(|i| {
+                self.inner.exec.phase_ns[i].load(Ordering::Relaxed)
+            }),
+            trace_phase_counts: std::array::from_fn(|i| {
+                self.inner.exec.phase_counts[i].load(Ordering::Relaxed)
+            }),
+            trace_total_ns: self.inner.exec.trace_total_ns.load(Ordering::Relaxed),
+            traced_queries: self.inner.exec.traced_queries.load(Ordering::Relaxed),
         }
     }
 
     /// Parse `text`, counting the parse in
     /// [`SessionStats::texts_parsed`].
     fn parse_text(&self, text: &str) -> Result<HypotheticalQuery> {
+        let _span = hyper_trace::span(Phase::Parse);
         self.inner.exec.texts_parsed.fetch_add(1, Ordering::Relaxed);
         Ok(parse_query(text)?)
     }
@@ -681,6 +800,10 @@ impl HyperSession {
     /// binding; only the estimator re-keys when the resolved update/output
     /// literals actually differ.
     pub fn prepare(&self, input: impl IntoQuery) -> Result<PreparedQuery> {
+        self.traced(Phase::Execute, || self.prepare_inner(input))
+    }
+
+    fn prepare_inner(&self, input: impl IntoQuery) -> Result<PreparedQuery> {
         let query = self.resolve_input(input)?;
         let use_clause = match &query {
             HypotheticalQuery::WhatIf(q) => &q.use_clause,
@@ -711,10 +834,10 @@ impl HyperSession {
     /// inputs as [`HyperSession::prepare`] (text is parsed once, builders
     /// and ASTs skip parsing entirely).
     pub fn execute(&self, input: impl IntoQuery) -> Result<QueryOutcome> {
-        match self.resolve_input(input)? {
+        self.traced(Phase::Execute, || match self.resolve_input(input)? {
             HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(self.whatif(&q)?)),
             HypotheticalQuery::HowTo(q) => Ok(QueryOutcome::HowTo(self.howto(&q)?)),
-        }
+        })
     }
 
     /// Evaluate many queries concurrently over the shared artifact cache,
@@ -731,9 +854,11 @@ impl HyperSession {
             return Vec::new();
         }
         let slots: Vec<OnceLock<Result<QueryOutcome>>> = (0..n).map(|_| OnceLock::new()).collect();
-        self.inner.runtime.for_each_parallel(n, |i| {
-            let r = self.execute(queries[i].as_ref());
-            let _ = slots[i].set(r);
+        self.traced(Phase::Execute, || {
+            self.inner.runtime.for_each_parallel(n, |i| {
+                let r = self.execute(queries[i].as_ref());
+                let _ = slots[i].set(r);
+            });
         });
         slots
             .into_iter()
@@ -747,14 +872,16 @@ impl HyperSession {
             .exec
             .queries_executed
             .fetch_add(1, Ordering::Relaxed);
-        evaluate_whatif_cached(
-            &self.inner.db,
-            self.graph(),
-            &self.inner.config,
-            q,
-            &self.inner.cache,
-            &self.inner.runtime,
-        )
+        self.traced(Phase::Execute, || {
+            evaluate_whatif_cached(
+                &self.inner.db,
+                self.graph(),
+                &self.inner.config,
+                q,
+                &self.inner.cache,
+                &self.inner.runtime,
+            )
+        })
     }
 
     /// Evaluate a parsed how-to query via the IP formulation; the candidate
@@ -764,15 +891,17 @@ impl HyperSession {
             .exec
             .queries_executed
             .fetch_add(1, Ordering::Relaxed);
-        evaluate_howto_cached(
-            &self.inner.db,
-            self.graph(),
-            &self.inner.config,
-            q,
-            &self.inner.howto_opts,
-            Some(&self.inner.cache),
-            &self.inner.runtime,
-        )
+        self.traced(Phase::Execute, || {
+            evaluate_howto_cached(
+                &self.inner.db,
+                self.graph(),
+                &self.inner.config,
+                q,
+                &self.inner.howto_opts,
+                Some(&self.inner.cache),
+                &self.inner.runtime,
+            )
+        })
     }
 
     /// Evaluate a how-to query by exhaustive enumeration (Opt-HowTo).
@@ -781,15 +910,17 @@ impl HyperSession {
             .exec
             .queries_executed
             .fetch_add(1, Ordering::Relaxed);
-        evaluate_howto_bruteforce_cached(
-            &self.inner.db,
-            self.graph(),
-            &self.inner.config,
-            q,
-            &self.inner.howto_opts,
-            Some(&self.inner.cache),
-            &self.inner.runtime,
-        )
+        self.traced(Phase::Execute, || {
+            evaluate_howto_bruteforce_cached(
+                &self.inner.db,
+                self.graph(),
+                &self.inner.config,
+                q,
+                &self.inner.howto_opts,
+                Some(&self.inner.cache),
+                &self.inner.runtime,
+            )
+        })
     }
 
     /// Lexicographic multi-objective how-to (§4.3 extension).
@@ -798,35 +929,37 @@ impl HyperSession {
             .exec
             .queries_executed
             .fetch_add(1, Ordering::Relaxed);
-        evaluate_howto_lexicographic_cached(
-            &self.inner.db,
-            self.graph(),
-            &self.inner.config,
-            qs,
-            &self.inner.howto_opts,
-            Some(&self.inner.cache),
-            &self.inner.runtime,
-        )
+        self.traced(Phase::Execute, || {
+            evaluate_howto_lexicographic_cached(
+                &self.inner.db,
+                self.graph(),
+                &self.inner.config,
+                qs,
+                &self.inner.howto_opts,
+                Some(&self.inner.cache),
+                &self.inner.runtime,
+            )
+        })
     }
 
     /// Parse and evaluate what-if text.
     pub fn whatif_text(&self, text: &str) -> Result<WhatIfResult> {
-        match self.parse_text(text)? {
+        self.traced(Phase::Execute, || match self.parse_text(text)? {
             HypotheticalQuery::WhatIf(q) => self.whatif(&q),
             HypotheticalQuery::HowTo(_) => Err(EngineError::Query(
                 "expected a what-if query, got a how-to query".into(),
             )),
-        }
+        })
     }
 
     /// Parse and evaluate how-to text.
     pub fn howto_text(&self, text: &str) -> Result<HowToResult> {
-        match self.parse_text(text)? {
+        self.traced(Phase::Execute, || match self.parse_text(text)? {
             HypotheticalQuery::HowTo(q) => self.howto(&q),
             HypotheticalQuery::WhatIf(_) => Err(EngineError::Query(
                 "expected a how-to query, got a what-if query".into(),
             )),
-        }
+        })
     }
 
     /// The block-independent decomposition of the bound database under the
@@ -953,6 +1086,12 @@ impl PreparedQuery {
     fn execute_query(&self, query: &HypotheticalQuery) -> Result<QueryOutcome> {
         let inner = &self.session.inner;
         inner.exec.queries_executed.fetch_add(1, Ordering::Relaxed);
+        self.session
+            .traced(Phase::Execute, || self.execute_query_inner(query))
+    }
+
+    fn execute_query_inner(&self, query: &HypotheticalQuery) -> Result<QueryOutcome> {
+        let inner = &self.session.inner;
         match query {
             HypotheticalQuery::WhatIf(q) => Ok(QueryOutcome::WhatIf(evaluate_whatif_on_view(
                 &inner.db,

@@ -115,6 +115,10 @@ impl HyperSession {
     /// [`super::SessionStats::views_invalidated`] and friends advanced
     /// by what this refresh dropped.
     pub fn refresh(&self, delta: &DeltaBatch) -> Result<RefreshOutcome> {
+        self.traced(hyper_trace::Phase::Refresh, || self.refresh_inner(delta))
+    }
+
+    fn refresh_inner(&self, delta: &DeltaBatch) -> Result<RefreshOutcome> {
         let inner = &self.inner;
         let old_db = &inner.db;
         let new_db = Arc::new(delta.apply(old_db)?);
@@ -150,6 +154,7 @@ impl HyperSession {
                 true
             }
             Some(g) => {
+                let _decomp = hyper_trace::span(hyper_trace::Phase::BlockDecomp);
                 let old_blocks = match inner.cache.cached_blocks() {
                     Some(b) => b,
                     None => Arc::new(BlockDecomposition::compute(old_db, g)?),
@@ -262,6 +267,7 @@ impl HyperSession {
                 cache,
                 exec: Arc::clone(exec),
                 data_version,
+                tracing: std::sync::atomic::AtomicBool::new(inner.tracing.load(Ordering::Relaxed)),
             }),
         };
         Ok(RefreshOutcome {

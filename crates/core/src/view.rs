@@ -96,6 +96,7 @@ impl RelevantView {
 
 /// Build the relevant view for a `Use` clause.
 pub fn build_relevant_view(db: &Database, use_clause: &UseClause) -> Result<RelevantView> {
+    let _span = hyper_trace::span(hyper_trace::Phase::ViewBuild);
     match use_clause {
         UseClause::Table(name) => {
             let table = db.table(name)?.clone();

@@ -257,6 +257,10 @@ impl CausalEstimator {
         y: &Option<Arc<BoundHExpr>>,
         agg: AggFunc,
     ) -> Result<CausalEstimator> {
+        // Covers the whole fit (target evaluation, sampling, encoding);
+        // the nested `EncoderFit`/`ForestTrain` spans from `hyper-ml`
+        // subtract their own time, leaving the glue here.
+        let _span = hyper_trace::span(hyper_trace::Phase::ForestTrain);
         let table = &view.table;
         let n = table.num_rows();
         if n == 0 {

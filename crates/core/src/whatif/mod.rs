@@ -144,6 +144,7 @@ pub(crate) fn plan_whatif(
     view: &RelevantView,
     view_key: &str,
 ) -> Result<WhatIfQueryPlan> {
+    let _span = hyper_trace::span(hyper_trace::Phase::Plan);
     reject_unresolved_params(q)?;
     let cols = view.column_names();
     validate_whatif(q, Some(&cols))?;
@@ -292,6 +293,9 @@ pub(crate) fn evaluate_whatif_on_view(
     runtime: &HyperRuntime,
 ) -> Result<WhatIfResult> {
     let started = Instant::now();
+    // Planning: validation, expression binding, mask evaluation, and
+    // adjustment-set selection (dropped before estimator training).
+    let plan_span = hyper_trace::span(hyper_trace::Phase::Plan);
     reject_unresolved_params(q)?;
     let cols = view.column_names();
     validate_whatif(q, Some(&cols))?;
@@ -392,6 +396,7 @@ pub(crate) fn evaluate_whatif_on_view(
         &post_cols,
         &for_pre_cols,
     )?;
+    drop(plan_span);
 
     // Optional cross-tuple peer summary (ψ of §2.2).
     let peer = if config.peer_summaries {
@@ -499,7 +504,10 @@ fn evaluate_by_blocks(
         // for a session's lifetime: compute it once and cache it.
         (Some(g), true) => Some(match cache {
             Some(c) => c.blocks(db, g)?,
-            None => Arc::new(BlockDecomposition::compute(db, g).map_err(EngineError::from)?),
+            None => {
+                let _span = hyper_trace::span(hyper_trace::Phase::BlockDecomp);
+                Arc::new(BlockDecomposition::compute(db, g).map_err(EngineError::from)?)
+            }
         }),
         _ => None,
     };

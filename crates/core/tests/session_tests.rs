@@ -678,3 +678,93 @@ fn parameterized_objective_constant_sweeps_targets() {
         .unwrap();
     assert_eq!(parsed.params(), &["target".to_string()]);
 }
+
+/// Tracing attributes phase-level time without changing any result: a
+/// traced session returns bit-identical answers and accumulates
+/// exclusive-time totals that partition the attributed total.
+#[test]
+fn tracing_attributes_phases_and_preserves_results() {
+    let (db, _, graph) = confounded_db(600, 5);
+    let (db, graph) = (Arc::new(db), Arc::new(graph));
+    let plain = HyperSession::builder(Arc::clone(&db))
+        .graph(Arc::clone(&graph))
+        .share_artifacts(false)
+        .build();
+    let traced = HyperSession::builder(db)
+        .graph(graph)
+        .share_artifacts(false)
+        .tracing(true)
+        .build();
+
+    let a = plain.whatif_text(WHATIF).unwrap();
+    let b = traced.whatif_text(WHATIF).unwrap();
+    assert_eq!(
+        a.value.to_bits(),
+        b.value.to_bits(),
+        "tracing must not perturb results"
+    );
+
+    let off = plain.stats();
+    assert_eq!(off.traced_queries, 0);
+    assert_eq!(off.trace_total_ns, 0);
+
+    let on = traced.stats();
+    assert_eq!(on.traced_queries, 1);
+    assert!(on.trace_total_ns > 0);
+    assert!(
+        on.phase_ns(hyper_trace::Phase::ForestTrain) > 0,
+        "training time attributed: {on:?}"
+    );
+    assert_eq!(on.phase_count(hyper_trace::Phase::Execute), 1);
+    // Exclusive times partition each traced query's tree, so the phase
+    // totals sum exactly to the attributed total.
+    let sum: u64 = on.trace_phase_ns.iter().sum();
+    assert_eq!(sum, on.trace_total_ns, "phases partition the total");
+    // `set_tracing(false)` stops accumulation.
+    traced.set_tracing(false);
+    traced.whatif_text(WHATIF).unwrap();
+    assert_eq!(traced.stats().traced_queries, 1);
+}
+
+/// `explain_analyze` executes under a dedicated trace and reports phase
+/// durations that sum to the attributed total and (single-threaded)
+/// track the measured wall time; `normalized()` clears the measurement.
+#[test]
+fn explain_analyze_reports_phase_timings() {
+    use hyper_trace::Phase;
+    let (db, _, graph) = confounded_db(500, 9);
+    let session = HyperSession::builder(db)
+        .graph(graph)
+        .share_artifacts(false)
+        .runtime(hyper_runtime::HyperRuntime::with_workers(0))
+        .build();
+
+    let cold = session.explain_analyze(WHATIF).unwrap();
+    let t = cold.timings.as_ref().expect("analyze measures");
+    assert!(t.total_ns() > 0);
+    assert!(t.phase_ns(Phase::ForestTrain) > 0, "{t:?}");
+    let sum: u64 = t.phases.iter().map(|p| p.self_ns).sum();
+    assert_eq!(sum, t.total_ns(), "phases sum to the attributed total");
+    // Single-threaded runtime: the attributed total is the traced wall
+    // time minus only the instants outside the root span — within slop.
+    assert!(t.total_ns() <= t.wall_ns, "{t:?}");
+    let slop = (t.wall_ns / 5).max(5_000_000);
+    assert!(
+        t.wall_ns - t.total_ns() < slop,
+        "attributed {} vs wall {}",
+        t.total_ns(),
+        t.wall_ns
+    );
+    // Post-execution provenance: the analyzed run trained the estimator.
+    assert_eq!(cold.estimator.as_ref().unwrap().provenance, Provenance::Hit);
+    // The measurement is not part of the plan.
+    assert!(cold.normalized().timings.is_none());
+    // A warm analyze attributes (almost) no training time.
+    let warm = session.explain_analyze(WHATIF).unwrap();
+    let wt = warm.timings.as_ref().unwrap();
+    assert!(wt.phase_ns(Phase::ForestTrain) < t.phase_ns(Phase::ForestTrain));
+    // The rendered report carries the timings section.
+    let text = warm.to_string();
+    assert!(text.contains("timings:"), "{text}");
+    assert!(text.contains("cache_lookup"), "{text}");
+}

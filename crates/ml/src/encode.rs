@@ -46,6 +46,7 @@ impl TableEncoder {
     /// string categories are the dictionary codes observed in the column
     /// (no per-cell `Value` hashing).
     pub fn fit(table: &Table, columns: &[String]) -> Result<TableEncoder> {
+        let _span = hyper_trace::span(hyper_trace::Phase::EncoderFit);
         let mut encodings = Vec::with_capacity(columns.len());
         let mut width = 0usize;
         for name in columns {

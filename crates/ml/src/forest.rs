@@ -95,6 +95,7 @@ impl RandomForest {
         if params.n_trees == 0 {
             return Err(MlError::InvalidInput("n_trees must be ≥ 1".into()));
         }
+        let _span = hyper_trace::span(hyper_trace::Phase::ForestTrain);
         let mut tree_params = params.tree.clone();
         if tree_params.max_features.is_none() && x.cols() > 3 {
             tree_params.max_features = Some((x.cols() as f64).sqrt().ceil() as usize);
@@ -189,6 +190,7 @@ impl RandomForest {
         if n == 0 {
             return Vec::new();
         }
+        let _span = hyper_trace::span(hyper_trace::Phase::Predict);
         let morsel_rows = morsel_rows.max(1);
         let mut out = vec![0.0f64; n];
         let slabs: Vec<std::sync::Mutex<&mut [f64]>> = out

@@ -126,6 +126,7 @@ impl StreamedLayout {
         if n == 0 || d == 0 {
             return Ok(None);
         }
+        let _span = hyper_trace::span(hyper_trace::Phase::ForestTrain);
         let mut stats = TrainStreamStats::default();
 
         // Pass one: exact per-feature distinct sets, merged chunk by
@@ -269,6 +270,7 @@ impl StreamedLayout {
         if params.n_trees == 0 {
             return Err(MlError::InvalidInput("n_trees must be ≥ 1".into()));
         }
+        let _span = hyper_trace::span(hyper_trace::Phase::ForestTrain);
         let mut tree_params = params.tree.clone();
         if tree_params.max_features.is_none() && self.binned.cols() > 3 {
             tree_params.max_features = Some((self.binned.cols() as f64).sqrt().ceil() as usize);

@@ -267,7 +267,17 @@ impl HyperRuntime {
             }
             return;
         }
-        let task: &(dyn Fn(usize) + Sync) = &f;
+        // Carry the submitter's trace context (if any) into the pool:
+        // worker threads attach it around each task so per-morsel work
+        // is attributed to the submitting query's trace, while the
+        // participating caller (which already carries it) runs tasks
+        // directly. `None` (tracing disabled) adds no per-task cost.
+        let trace_ctx = hyper_trace::current_context();
+        let traced = move |i: usize| match &trace_ctx {
+            Some(ctx) => ctx.attach(|| f(i)),
+            None => f(i),
+        };
+        let task: &(dyn Fn(usize) + Sync) = &traced;
         // SAFETY: the job is removed from every worker's reach before this
         // frame returns — `run()` below claims indices until exhaustion,
         // and the wait loop only exits once `remaining == 0`, i.e. after
@@ -489,6 +499,28 @@ mod tests {
         assert_eq!(sum.load(Ordering::Relaxed), 45);
         // Dropping the last handle joins the workers (no hang = pass).
         drop(rt2);
+    }
+
+    #[test]
+    fn trace_context_propagates_to_workers() {
+        use hyper_trace::{span, with_trace, Phase, TraceTree};
+        for workers in [0, 2] {
+            let rt = HyperRuntime::with_workers(workers);
+            let tree = TraceTree::new();
+            with_trace(&tree, || {
+                let _root = span(Phase::Execute);
+                rt.for_each_parallel(16, |_| {
+                    let _s = span(Phase::ForestTrain);
+                });
+            });
+            let snap = tree.snapshot();
+            assert_eq!(
+                snap.count(Phase::ForestTrain),
+                16,
+                "every task attributed (workers={workers})"
+            );
+            assert_eq!(snap.count(Phase::Execute), 1);
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 use hyper_runtime::{FairQueue, PushError};
 
 use crate::json::Json;
-use crate::stats::{ServerStats, TenantCounters};
+use crate::stats::{Route, ServerStats, TenantCounters};
 
 /// A finished HTTP payload: status code plus JSON body.
 #[derive(Debug, Clone)]
@@ -106,8 +106,14 @@ pub struct Job {
     pub work: Box<dyn FnOnce() -> Outcome + Send>,
     /// Where the connection thread is waiting.
     pub slot: Arc<ResponseSlot>,
-    /// The tenant's admission counters (in-flight/completed upkeep).
+    /// The tenant's admission counters (in-flight/completed upkeep and
+    /// the per-route latency histograms).
     pub counters: Arc<TenantCounters>,
+    /// Which admitted route this is — labels the latency samples.
+    pub route: Route,
+    /// When the job was built for submission; the executor records
+    /// `admitted.elapsed()` at pop time as the queue-wait sample.
+    pub admitted: Instant,
 }
 
 /// Why [`Admission::submit`] refused a job.
@@ -205,14 +211,27 @@ fn executor_loop(queue: &FairQueue<Job>, _stats: &ServerStats) {
             work,
             slot,
             counters,
+            route,
+            admitted,
             ..
         } = job;
+        // The pop is the split point between the two latency stages:
+        // everything before it was queue wait, everything after is
+        // execution. Both are recorded whatever the outcome — a 504'd
+        // caller is gone, but the sample is exactly the kind an
+        // operator needs to see.
+        let latency = counters.latency(route);
+        latency
+            .queue_wait
+            .record(admitted.elapsed().as_nanos() as u64);
+        let started = Instant::now();
         // A panicking job must not take the executor down with it — the
         // slot gets a 500 and the loop continues.
         let outcome = catch_unwind(AssertUnwindSafe(work)).unwrap_or_else(|_| Outcome {
             status: 500,
             body: Json::obj([("error", "internal panic while executing the query".into())]),
         });
+        latency.execute.record(started.elapsed().as_nanos() as u64);
         counters.completed.fetch_add(1, Ordering::Relaxed);
         if (200..300).contains(&outcome.status) {
             counters.ok.fetch_add(1, Ordering::Relaxed);
@@ -238,6 +257,8 @@ mod tests {
                 work: Box::new(f),
                 slot: Arc::clone(&slot),
                 counters: Arc::clone(counters),
+                route: Route::Query,
+                admitted: Instant::now(),
             },
             slot,
         )
@@ -258,6 +279,13 @@ mod tests {
         assert_eq!(counters.accepted.load(Ordering::Relaxed), 1);
         assert_eq!(counters.completed.load(Ordering::Relaxed), 1);
         assert_eq!(counters.in_flight.load(Ordering::Relaxed), 0);
+        let latency = counters.latency(Route::Query);
+        assert_eq!(latency.queue_wait.snapshot().count(), 1);
+        assert_eq!(latency.execute.snapshot().count(), 1);
+        assert_eq!(
+            counters.latency(Route::Ingest).execute.snapshot().count(),
+            0
+        );
         adm.close();
         adm.join();
     }

@@ -33,6 +33,11 @@ impl ClientResponse {
         let text = std::str::from_utf8(&self.body).map_err(|e| e.to_string())?;
         json::parse(text)
     }
+
+    /// The body as UTF-8 text (for non-JSON routes like `/metrics`).
+    pub fn text(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|e| e.to_string())
+    }
 }
 
 /// A persistent keep-alive connection to a server.

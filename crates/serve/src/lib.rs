@@ -46,6 +46,7 @@ pub mod admission;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod registry;
 pub mod server;
 pub mod stats;
@@ -53,6 +54,7 @@ pub mod stats;
 pub use admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
 pub use client::{Client, ClientResponse};
 pub use json::Json;
+pub use metrics::MetricsWriter;
 pub use registry::{Tenant, TenantError, Tenants};
 pub use server::{outcome_json, refresh_json, ServeConfig, Server};
-pub use stats::{session_json, ServerStats, TenantCounters};
+pub use stats::{histogram_json, session_json, Route, RouteLatency, ServerStats, TenantCounters};

@@ -1,0 +1,277 @@
+//! Prometheus text exposition, hand-rolled for the offline build: a
+//! small writer that renders the 0.0.4 text format and a strict
+//! validator shared by the CI bench (which scrapes `GET /metrics` and
+//! fails the run on malformed output).
+//!
+//! The writer is deliberately minimal — `# HELP`/`# TYPE` headers and
+//! samples with escaped label values — because the server's metric set
+//! is fixed and enumerable. The validator is stricter than real
+//! Prometheus ingestion: every sample must belong to a family whose
+//! `# TYPE` appeared earlier, types may not be redeclared, and values
+//! must parse as floats. That strictness is the point — it turns a
+//! renderer regression into a red CI job instead of a silently dropped
+//! series.
+
+use std::collections::BTreeMap;
+
+/// Incremental renderer for the Prometheus text format.
+///
+/// ```
+/// use hyper_serve::metrics::MetricsWriter;
+/// let mut w = MetricsWriter::new();
+/// w.header("up", "gauge", "1 while the server is alive");
+/// w.sample("up", &[("tenant", "t0")], 1.0);
+/// let text = w.finish();
+/// assert!(text.contains("up{tenant=\"t0\"} 1"));
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsWriter {
+    out: String,
+}
+
+impl MetricsWriter {
+    /// An empty exposition.
+    pub fn new() -> MetricsWriter {
+        MetricsWriter::default()
+    }
+
+    /// Emit the `# HELP` and `# TYPE` lines for a metric family. Call
+    /// once per family, before its samples.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        debug_assert!(valid_name(name), "invalid metric name `{name}`");
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one sample. `name` may extend the family name (`_sum`,
+    /// `_count` for summaries); floats render shortest-round-trip, so a
+    /// scraper recovers the value bit-for-bit.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        if value.is_nan() {
+            self.out.push_str("NaN");
+        } else {
+            self.out.push_str(&format!("{value}"));
+        }
+        self.out.push('\n');
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Validate a text exposition. Returns the sorted metric family names
+/// on success; on failure, an error naming the first offending line.
+///
+/// Checks, per line: comments are free-form but `# TYPE` must carry a
+/// known kind and may not repeat; every sample's family (after
+/// stripping a summary/histogram `_sum`/`_count`/`_bucket` suffix) must
+/// have a preceding `# TYPE`; label pairs must be `name="escaped"`;
+/// values must parse as `f64` (`NaN`/`+Inf`/`-Inf` included). An
+/// exposition with zero samples is an error — a scrape that returns
+/// only headers means the server rendered nothing.
+pub fn validate(text: &str) -> Result<Vec<String>, String> {
+    const KINDS: [&str; 5] = ["counter", "gauge", "summary", "histogram", "untyped"];
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or(format!("line {n}: TYPE without a name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or(format!("line {n}: TYPE without a kind"))?;
+                if !valid_name(name) {
+                    return Err(format!("line {n}: invalid metric name `{name}`"));
+                }
+                if !KINDS.contains(&kind) {
+                    return Err(format!("line {n}: unknown metric type `{kind}`"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for `{name}`"));
+                }
+            }
+            // HELP lines and free comments need no further checks.
+            continue;
+        }
+        let (name, rest) = split_name(line).ok_or(format!("line {n}: malformed sample"))?;
+        let rest = if let Some(after) = rest.strip_prefix('{') {
+            parse_labels(after).ok_or(format!("line {n}: malformed labels"))?
+        } else {
+            rest
+        };
+        let value = rest.trim();
+        if value.is_empty() || parse_value(value).is_none() {
+            return Err(format!("line {n}: unparseable sample value `{value}`"));
+        }
+        let family = family_of(&name, &types);
+        if !types.contains_key(&family) {
+            return Err(format!("line {n}: sample `{name}` has no preceding TYPE"));
+        }
+        samples += 1;
+    }
+    if samples == 0 {
+        return Err("exposition contains no samples".to_string());
+    }
+    Ok(types.into_keys().collect())
+}
+
+/// Split a sample line into `(metric name, remainder)`.
+fn split_name(line: &str) -> Option<(String, &str)> {
+    let end = line
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == ':'))
+        .unwrap_or(line.len());
+    let name = &line[..end];
+    if !valid_name(name) {
+        return None;
+    }
+    Some((name.to_string(), &line[end..]))
+}
+
+/// Consume a `name="value",...}` label block; returns the text after
+/// the closing brace, or `None` if the block is malformed.
+fn parse_labels(mut s: &str) -> Option<&str> {
+    loop {
+        if let Some(rest) = s.strip_prefix('}') {
+            return Some(rest);
+        }
+        let eq = s.find('=')?;
+        if !valid_name(&s[..eq]) {
+            return None;
+        }
+        s = s[eq + 1..].strip_prefix('"')?;
+        // Scan the escaped string body.
+        let mut escaped = false;
+        let mut close = None;
+        for (i, c) in s.char_indices() {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => {
+                    close = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        s = &s[close? + 1..];
+        s = s.strip_prefix(',').unwrap_or(s);
+    }
+}
+
+fn parse_value(v: &str) -> Option<f64> {
+    match v {
+        "NaN" => Some(f64::NAN),
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        v => v.parse().ok(),
+    }
+}
+
+/// The family a sample belongs to: summary/histogram children
+/// (`_sum`, `_count`, `_bucket`) report under their parent's name.
+fn family_of(name: &str, types: &BTreeMap<String, String>) -> String {
+    for suffix in ["_sum", "_count", "_bucket"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            if let Some(kind) = types.get(base) {
+                if kind == "summary" || kind == "histogram" {
+                    return base.to_string();
+                }
+            }
+        }
+    }
+    name.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_output_validates_and_escapes_labels() {
+        let mut w = MetricsWriter::new();
+        w.header("requests_total", "counter", "requests seen");
+        w.sample("requests_total", &[("tenant", "a\"b\\c")], 3.0);
+        w.header("latency_seconds", "summary", "request latency");
+        w.sample("latency_seconds", &[("quantile", "0.5")], 0.25);
+        w.sample("latency_seconds_sum", &[], 1.5);
+        w.sample("latency_seconds_count", &[], 6.0);
+        let text = w.finish();
+        assert!(text.contains("tenant=\"a\\\"b\\\\c\""), "{text}");
+        let families = validate(&text).unwrap();
+        assert_eq!(families, vec!["latency_seconds", "requests_total"]);
+    }
+
+    #[test]
+    fn validator_rejects_untyped_and_malformed_samples() {
+        assert!(
+            validate("orphan_metric 1\n").is_err(),
+            "sample without TYPE"
+        );
+        assert!(
+            validate("# TYPE m counter\nm notanumber\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            validate("# TYPE m wat\nm 1\n").is_err(),
+            "unknown metric kind"
+        );
+        assert!(
+            validate("# TYPE m counter\n# TYPE m counter\nm 1\n").is_err(),
+            "duplicate TYPE"
+        );
+        assert!(
+            validate("# TYPE m counter\nm{l=\"unterminated} 1\n").is_err(),
+            "unterminated label"
+        );
+        assert!(validate("# TYPE m counter\n").is_err(), "no samples at all");
+        assert!(validate("# TYPE m gauge\nm NaN\nm{x=\"y\"} +Inf\n").is_ok());
+    }
+}

@@ -192,6 +192,19 @@ impl Tenants {
         slots.get(id).and_then(|s| s.cell.get().cloned())
     }
 
+    /// Ids of tenants whose sessions are currently loaded, sorted.
+    /// Never triggers a load.
+    pub fn loaded_ids(&self) -> Vec<String> {
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ids: Vec<String> = slots
+            .iter()
+            .filter(|(_, s)| s.cell.get().is_some())
+            .map(|(id, _)| id.clone())
+            .collect();
+        ids.sort();
+        ids
+    }
+
     /// Snapshot decodes performed for `id` so far (0 = not yet loaded).
     pub fn snapshot_loads(&self, id: &str) -> u64 {
         let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
@@ -226,10 +239,14 @@ impl Tenants {
             return Ok(Arc::clone(t));
         }
         slot.loads.fetch_add(1, Ordering::Relaxed);
-        let snapshot = self
-            .registry
-            .load(id)
-            .map_err(|e| TenantError::Load(e.to_string()))?;
+        let snapshot = {
+            // No-op unless an ambient trace context is installed (e.g. a
+            // traced query triggering a lazy first-touch load).
+            let _span = hyper_trace::span(hyper_trace::Phase::SnapshotLoad);
+            self.registry
+                .load(id)
+                .map_err(|e| TenantError::Load(e.to_string()))?
+        };
         // Plain HypeR needs the causal graph; graphless snapshots fall
         // back to HypeR-NB (canonical adjustment set, no graph needed).
         let config = if snapshot.graph.is_some() {
@@ -237,9 +254,14 @@ impl Tenants {
         } else {
             EngineConfig::hyper_nb()
         };
+        // Tenant sessions serve with tracing on: per-phase self-time
+        // lands in `SessionStats` and surfaces on `/stats` and
+        // `/metrics`. The cost is one relaxed load plus a small
+        // allocation per query; results are bit-identical either way.
         let mut builder = HyperSession::builder(snapshot.database)
             .maybe_graph(snapshot.graph)
-            .config(config);
+            .config(config)
+            .tracing(true);
         if let Some(dir) = &self.persist_dir {
             builder = builder.persist_dir(dir.join(id));
         }

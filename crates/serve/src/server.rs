@@ -16,12 +16,13 @@
 //! | `POST /query`   | admitted| query result (what-if or how-to) |
 //! | `POST /explain` | admitted| static plan with cache provenance |
 //! | `POST /ingest`  | admitted| delta applied + invalidation report |
-//! | `GET /stats`    | inline  | server + per-tenant counters |
-//! | `GET /health`   | inline  | liveness |
+//! | `GET /stats`    | inline  | server + per-tenant counters and latency percentiles |
+//! | `GET /health`   | inline  | liveness, uptime, loaded tenants and their versions |
+//! | `GET /metrics`  | inline  | Prometheus text exposition (see [`crate::metrics`]) |
 //!
-//! `/stats` and `/health` bypass admission deliberately: they must stay
-//! answerable while the queue is saturated, or the operator is blind
-//! exactly when they need to look.
+//! `/stats`, `/health`, and `/metrics` bypass admission deliberately:
+//! they must stay answerable while the queue is saturated, or the
+//! operator is blind exactly when they need to look.
 
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -29,7 +30,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use hyper_core::{EngineError, QueryOutcome, RefreshReport};
 use hyper_ingest::DeltaBatch;
@@ -40,8 +41,9 @@ use hyper_store::SnapshotRegistry;
 use crate::admission::{Admission, Job, Outcome, Rejected, ResponseSlot};
 use crate::http::{self, Request, MAX_BODY_BYTES};
 use crate::json::{self, Json};
+use crate::metrics::MetricsWriter;
 use crate::registry::{TenantError, Tenants};
-use crate::stats::ServerStats;
+use crate::stats::{Route, ServerStats};
 
 /// Server knobs. `Default` is sized for the CI container: 2 executors,
 /// a 64-deep queue, 30-second request timeout.
@@ -213,8 +215,20 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
         };
         inner.stats.requests.fetch_add(1, Ordering::Relaxed);
         let keep_alive = request.keep_alive && !inner.shutdown.load(Ordering::SeqCst);
-        let (outcome, retry_after) = route(inner, &request);
-        let body = outcome.body.render();
+        // `/metrics` is the one non-JSON route: Prometheus text, served
+        // inline like `/stats` so it stays answerable under saturation.
+        let (status, content_type, body, retry_after) =
+            if request.method == "GET" && request.path == "/metrics" {
+                (200, "text/plain; version=0.0.4", metrics_text(inner), false)
+            } else {
+                let (outcome, retry_after) = route(inner, &request);
+                (
+                    outcome.status,
+                    "application/json",
+                    outcome.body.render(),
+                    retry_after,
+                )
+            };
         let extra: &[(&str, &str)] = if retry_after {
             &[("Retry-After", "1")]
         } else {
@@ -222,9 +236,9 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
         };
         if http::write_response(
             &mut writer,
-            outcome.status,
-            reason_phrase(outcome.status),
-            "application/json",
+            status,
+            reason_phrase(status),
+            content_type,
             body.as_bytes(),
             keep_alive,
             extra,
@@ -245,23 +259,16 @@ fn route(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
         ("POST", "/explain") => admit(inner, request, Mode::Explain),
         ("POST", "/ingest") => admit_ingest(inner, request),
         ("GET", "/stats") => (stats_outcome(inner), false),
-        ("GET", "/health") => (
-            Outcome {
-                status: 200,
-                body: Json::obj([
-                    ("status", "ok".into()),
-                    ("tenants", inner.tenants.registry().len().into()),
-                ]),
-            },
-            false,
-        ),
-        ("GET" | "POST", "/query" | "/explain" | "/ingest" | "/stats" | "/health") => (
-            Outcome {
-                status: 405,
-                body: Json::obj([("error", "method not allowed for this path".into())]),
-            },
-            false,
-        ),
+        ("GET", "/health") => (health_outcome(inner), false),
+        ("GET" | "POST", "/query" | "/explain" | "/ingest" | "/stats" | "/health" | "/metrics") => {
+            (
+                Outcome {
+                    status: 405,
+                    body: Json::obj([("error", "method not allowed for this path".into())]),
+                },
+                false,
+            )
+        }
         _ => {
             inner.stats.not_found.fetch_add(1, Ordering::Relaxed);
             (
@@ -298,9 +305,14 @@ fn admit(inner: &Arc<Inner>, request: &Request, mode: Mode) -> (Outcome, bool) {
     };
     let work_inner = Arc::clone(inner);
     let work_tenant = tenant_id.clone();
+    let route = match mode {
+        Mode::Execute => Route::Query,
+        Mode::Explain => Route::Explain,
+    };
     submit_and_wait(
         inner,
         &tenant_id,
+        route,
         timeout,
         Box::new(move || execute(&work_inner, &work_tenant, &query_text, &bindings, mode)),
     )
@@ -328,6 +340,7 @@ fn admit_ingest(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
     submit_and_wait(
         inner,
         &tenant_id,
+        Route::Ingest,
         None,
         Box::new(move || execute_ingest(&work_inner, &work_tenant, &table, &rows, &deletes)),
     )
@@ -339,6 +352,7 @@ fn admit_ingest(inner: &Arc<Inner>, request: &Request) -> (Outcome, bool) {
 fn submit_and_wait(
     inner: &Arc<Inner>,
     tenant_id: &str,
+    route: Route,
     timeout: Option<Duration>,
     work: Box<dyn FnOnce() -> Outcome + Send>,
 ) -> (Outcome, bool) {
@@ -361,6 +375,8 @@ fn submit_and_wait(
         slot: Arc::clone(&slot),
         counters: Arc::clone(&counters),
         work,
+        route,
+        admitted: Instant::now(),
     };
     match inner.admission.submit(job) {
         Ok(()) => {}
@@ -807,6 +823,279 @@ fn stats_outcome(inner: &Arc<Inner>) -> Outcome {
         ("tenants", Json::obj_sorted(tenants)),
     ]);
     Outcome { status: 200, body }
+}
+
+/// `GET /health`: liveness plus enough shape to tell a fresh process
+/// from a warmed one — uptime, how many of the registered tenants have
+/// actually loaded, and each loaded tenant's current data version.
+fn health_outcome(inner: &Arc<Inner>) -> Outcome {
+    let loaded = inner.tenants.loaded_ids();
+    let mut versions = std::collections::BTreeMap::new();
+    for id in &loaded {
+        if let Some(t) = inner.tenants.loaded(id) {
+            versions.insert(id.clone(), t.session().snapshot().data_version.into());
+        }
+    }
+    Outcome {
+        status: 200,
+        body: Json::obj([
+            ("status", "ok".into()),
+            (
+                "uptime_ms",
+                (inner.stats.uptime().as_millis() as u64).into(),
+            ),
+            ("tenants", inner.tenants.registry().len().into()),
+            ("tenants_loaded", loaded.len().into()),
+            ("data_versions", Json::obj_sorted(versions)),
+        ]),
+    }
+}
+
+/// Render the whole `/metrics` exposition: server totals, queue state,
+/// per-tenant admission counters, queue-wait/execute latency summaries
+/// per tenant × route, and per-tenant session phase timings.
+fn metrics_text(inner: &Arc<Inner>) -> String {
+    const NS: f64 = 1e-9;
+    let mut w = MetricsWriter::new();
+
+    w.header(
+        "hyper_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the server started.",
+    );
+    w.sample(
+        "hyper_serve_uptime_seconds",
+        &[],
+        inner.stats.uptime().as_secs_f64(),
+    );
+    let server: [(&str, &str, u64); 5] = [
+        (
+            "hyper_serve_connections_total",
+            "Connections accepted.",
+            inner.stats.connections.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_requests_total",
+            "HTTP requests parsed (any path).",
+            inner.stats.requests.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_malformed_total",
+            "Malformed requests answered with a typed 4xx.",
+            inner.stats.malformed.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_not_found_total",
+            "Requests for unknown paths or unknown tenants.",
+            inner.stats.not_found.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_snapshot_loads_total",
+            "Tenant snapshot decodes performed.",
+            inner.tenants.total_snapshot_loads(),
+        ),
+    ];
+    for (name, help, value) in server {
+        w.header(name, "counter", help);
+        w.sample(name, &[], value as f64);
+    }
+    w.header(
+        "hyper_serve_queue_len",
+        "gauge",
+        "Jobs waiting in the admission queue.",
+    );
+    w.sample(
+        "hyper_serve_queue_len",
+        &[],
+        inner.admission.queue_len() as f64,
+    );
+    w.header(
+        "hyper_serve_queue_capacity",
+        "gauge",
+        "Admission queue depth limit.",
+    );
+    w.sample(
+        "hyper_serve_queue_capacity",
+        &[],
+        inner.admission.queue_capacity() as f64,
+    );
+
+    let tenants = inner.stats.tenants();
+    type AdmissionMetric = (
+        &'static str,
+        &'static str,
+        fn(&crate::stats::TenantCounters) -> u64,
+    );
+    let admission: [AdmissionMetric; 6] = [
+        ("hyper_serve_accepted_total", "Requests admitted.", |c| {
+            c.accepted.load(Ordering::Relaxed)
+        }),
+        ("hyper_serve_shed_total", "Requests shed with 503.", |c| {
+            c.shed.load(Ordering::Relaxed)
+        }),
+        (
+            "hyper_serve_timeouts_total",
+            "Requests whose caller timed out with 504.",
+            |c| c.timeouts.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_completed_total",
+            "Admitted requests executed to completion.",
+            |c| c.completed.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_ok_total",
+            "Completed requests that answered 2xx.",
+            |c| c.ok.load(Ordering::Relaxed),
+        ),
+        (
+            "hyper_serve_in_flight",
+            "Requests admitted but not yet answered.",
+            |c| c.in_flight.load(Ordering::Relaxed),
+        ),
+    ];
+    for (name, help, pick) in admission {
+        let kind = if name.ends_with("_total") {
+            "counter"
+        } else {
+            "gauge"
+        };
+        w.header(name, kind, help);
+        for (tenant, counters) in &tenants {
+            w.sample(name, &[("tenant", tenant)], pick(counters) as f64);
+        }
+    }
+
+    w.header(
+        "hyper_serve_latency_seconds",
+        "summary",
+        "Admitted request latency, split into queue-wait and execute \
+         stages at the executor pop.",
+    );
+    for (tenant, counters) in &tenants {
+        for route in Route::ALL {
+            let latency = counters.latency(route);
+            for (stage, hist) in [
+                ("queue_wait", &latency.queue_wait),
+                ("execute", &latency.execute),
+            ] {
+                let snap = hist.snapshot();
+                if snap.count() == 0 {
+                    continue;
+                }
+                let labels = |q: &'static str| {
+                    [
+                        ("tenant", tenant.as_str()),
+                        ("route", route.name()),
+                        ("stage", stage),
+                        ("quantile", q),
+                    ]
+                };
+                w.sample(
+                    "hyper_serve_latency_seconds",
+                    &labels("0.5"),
+                    snap.p50() * NS,
+                );
+                w.sample(
+                    "hyper_serve_latency_seconds",
+                    &labels("0.9"),
+                    snap.p90() * NS,
+                );
+                w.sample(
+                    "hyper_serve_latency_seconds",
+                    &labels("0.99"),
+                    snap.p99() * NS,
+                );
+                w.sample(
+                    "hyper_serve_latency_seconds",
+                    &labels("0.999"),
+                    snap.p999() * NS,
+                );
+                let base = [
+                    ("tenant", tenant.as_str()),
+                    ("route", route.name()),
+                    ("stage", stage),
+                ];
+                w.sample(
+                    "hyper_serve_latency_seconds_sum",
+                    &base,
+                    snap.sum() as f64 * NS,
+                );
+                w.sample(
+                    "hyper_serve_latency_seconds_count",
+                    &base,
+                    snap.count() as f64,
+                );
+            }
+        }
+    }
+
+    // Session-level phase timings for loaded tenants, from the same
+    // stabilized snapshot `/stats` uses.
+    let loaded: Vec<(String, hyper_core::SessionStats)> = inner
+        .tenants
+        .loaded_ids()
+        .into_iter()
+        .filter_map(|id| {
+            let t = inner.tenants.loaded(&id)?;
+            Some((id, t.session().snapshot()))
+        })
+        .collect();
+    w.header(
+        "hyper_session_data_version",
+        "gauge",
+        "Current data version of a loaded tenant session.",
+    );
+    for (tenant, s) in &loaded {
+        w.sample(
+            "hyper_session_data_version",
+            &[("tenant", tenant)],
+            s.data_version as f64,
+        );
+    }
+    w.header(
+        "hyper_session_traced_queries_total",
+        "counter",
+        "Queries that ran under a phase trace.",
+    );
+    for (tenant, s) in &loaded {
+        w.sample(
+            "hyper_session_traced_queries_total",
+            &[("tenant", tenant)],
+            s.traced_queries as f64,
+        );
+    }
+    w.header(
+        "hyper_session_phase_seconds_total",
+        "counter",
+        "Exclusive (self) time attributed to each engine phase.",
+    );
+    for (tenant, s) in &loaded {
+        for phase in hyper_core::Phase::ALL {
+            let (ns, n) = (s.phase_ns(phase), s.phase_count(phase));
+            if ns == 0 && n == 0 {
+                continue;
+            }
+            let labels = [("tenant", tenant.as_str()), ("phase", phase.name())];
+            w.sample("hyper_session_phase_seconds_total", &labels, ns as f64 * NS);
+        }
+    }
+    w.header(
+        "hyper_session_phase_spans_total",
+        "counter",
+        "Spans recorded for each engine phase.",
+    );
+    for (tenant, s) in &loaded {
+        for phase in hyper_core::Phase::ALL {
+            let (ns, n) = (s.phase_ns(phase), s.phase_count(phase));
+            if ns == 0 && n == 0 {
+                continue;
+            }
+            let labels = [("tenant", tenant.as_str()), ("phase", phase.name())];
+            w.sample("hyper_session_phase_spans_total", &labels, n as f64);
+        }
+    }
+    w.finish()
 }
 
 fn reason_phrase(status: u16) -> &'static str {

@@ -6,8 +6,52 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use hyper_trace::{HistogramSnapshot, LatencyHistogram, Phase};
 
 use crate::json::Json;
+
+/// The admitted routes — everything that takes a queue slot and runs on
+/// an executor. Inline routes (`/stats`, `/health`, `/metrics`) are not
+/// here on purpose: they never queue, so they have no queue-wait to
+/// measure, and measuring them would perturb exactly the signal they
+/// exist to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /query`.
+    Query,
+    /// `POST /explain`.
+    Explain,
+    /// `POST /ingest`.
+    Ingest,
+}
+
+impl Route {
+    /// Every admitted route, in label order.
+    pub const ALL: [Route; 3] = [Route::Query, Route::Explain, Route::Ingest];
+
+    /// The metric/JSON label for this route.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Query => "query",
+            Route::Explain => "explain",
+            Route::Ingest => "ingest",
+        }
+    }
+}
+
+/// The two latency stages of one admitted route, split at the moment an
+/// executor pops the job: time spent waiting in the admission queue vs
+/// time spent executing. Recording is two relaxed atomic adds per
+/// stage — always on, never sampled.
+#[derive(Debug, Default)]
+pub struct RouteLatency {
+    /// Admission-to-pop wait, in nanoseconds.
+    pub queue_wait: LatencyHistogram,
+    /// Pop-to-answer execution time, in nanoseconds.
+    pub execute: LatencyHistogram,
+}
 
 /// Admission counters for one tenant (or, summed, for the server).
 /// All counters are cumulative except [`TenantCounters::in_flight`],
@@ -28,10 +72,32 @@ pub struct TenantCounters {
     pub ok: AtomicU64,
     /// Admitted requests currently queued or executing.
     pub in_flight: AtomicU64,
+    /// Per-route queue-wait/execute histograms, indexed by `Route`.
+    pub latency: [RouteLatency; 3],
 }
 
 impl TenantCounters {
+    /// The latency histograms for `route`.
+    pub fn latency(&self, route: Route) -> &RouteLatency {
+        &self.latency[route as usize]
+    }
+
     fn to_json(&self) -> Vec<(&'static str, Json)> {
+        let mut latency = BTreeMap::new();
+        for route in Route::ALL {
+            let l = self.latency(route);
+            let (queue_wait, execute) = (l.queue_wait.snapshot(), l.execute.snapshot());
+            if queue_wait.count() == 0 && execute.count() == 0 {
+                continue;
+            }
+            latency.insert(
+                route.name().to_string(),
+                Json::obj([
+                    ("queue_wait", histogram_json(&queue_wait)),
+                    ("execute", histogram_json(&execute)),
+                ]),
+            );
+        }
         vec![
             ("accepted", self.accepted.load(Ordering::Relaxed).into()),
             ("shed", self.shed.load(Ordering::Relaxed).into()),
@@ -39,8 +105,28 @@ impl TenantCounters {
             ("completed", self.completed.load(Ordering::Relaxed).into()),
             ("ok", self.ok.load(Ordering::Relaxed).into()),
             ("in_flight", self.in_flight.load(Ordering::Relaxed).into()),
+            ("latency", Json::obj_sorted(latency)),
         ]
     }
+}
+
+/// Render one histogram snapshot (values recorded in nanoseconds) as a
+/// percentile object in microseconds.
+pub fn histogram_json(h: &HistogramSnapshot) -> Json {
+    let us = |ns: f64| ns / 1_000.0;
+    let mean = if h.count() == 0 {
+        0.0
+    } else {
+        h.sum() as f64 / h.count() as f64
+    };
+    Json::obj([
+        ("count", h.count().into()),
+        ("mean_us", us(mean).into()),
+        ("p50_us", us(h.p50()).into()),
+        ("p90_us", us(h.p90()).into()),
+        ("p99_us", us(h.p99()).into()),
+        ("p999_us", us(h.p999()).into()),
+    ])
 }
 
 /// All server counters: global request/connection totals plus one
@@ -48,7 +134,7 @@ impl TenantCounters {
 /// `/explain`. Only *registered* tenants get an entry — requests naming
 /// unknown tenants are counted globally (`not_found`), so hostile
 /// traffic cannot grow the map without bound.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     /// Connections accepted.
     pub connections: AtomicU64,
@@ -60,10 +146,31 @@ pub struct ServerStats {
     pub malformed: AtomicU64,
     /// Requests for unknown paths or unknown tenants (404s).
     pub not_found: AtomicU64,
+    /// When the stats (and therefore the server) came up.
+    pub started: Instant,
     per_tenant: Mutex<BTreeMap<String, Arc<TenantCounters>>>,
 }
 
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats {
+            connections: AtomicU64::new(0),
+            connections_open: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            not_found: AtomicU64::new(0),
+            started: Instant::now(),
+            per_tenant: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
 impl ServerStats {
+    /// Time since the server came up.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
     /// The counters for `tenant`, created on first touch.
     pub fn tenant(&self, tenant: &str) -> Arc<TenantCounters> {
         let mut map = self.per_tenant.lock().unwrap_or_else(|e| e.into_inner());
@@ -133,6 +240,20 @@ impl ServerStats {
 /// Render a consistent [`SessionStats`](hyper_core::SessionStats)
 /// snapshot (taken via `HyperSession::snapshot()`).
 pub fn session_json(s: &hyper_core::SessionStats) -> Json {
+    // Phase totals come from the same stabilized snapshot as the cache
+    // counters, so a query landing mid-read never shows torn totals
+    // (e.g. a phase sum exceeding `trace_total_ns`).
+    let mut phases = BTreeMap::new();
+    for phase in Phase::ALL {
+        let (ns, n) = (s.phase_ns(phase), s.phase_count(phase));
+        if ns == 0 && n == 0 {
+            continue;
+        }
+        phases.insert(
+            phase.name().to_string(),
+            Json::obj([("self_ns", ns.into()), ("count", n.into())]),
+        );
+    }
     Json::obj([
         ("view_hits", s.view_hits.into()),
         ("view_misses", s.view_misses.into()),
@@ -164,6 +285,9 @@ pub fn session_json(s: &hyper_core::SessionStats) -> Json {
         ("paging_loads", s.paging_loads.into()),
         ("paging_hits", s.paging_hits.into()),
         ("paging_evictions", s.paging_evictions.into()),
+        ("traced_queries", s.traced_queries.into()),
+        ("trace_total_ns", s.trace_total_ns.into()),
+        ("phases", Json::obj_sorted(phases)),
     ])
 }
 

@@ -494,6 +494,8 @@ fn stats_is_served_inline_and_health_reports_tenant_count() {
     let body = health.json().unwrap();
     assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
     assert_eq!(body.get("tenants").and_then(Json::as_i64), Some(2));
+    assert!(body.get("uptime_ms").and_then(Json::as_i64).is_some());
+    assert_eq!(body.get("tenants_loaded").and_then(Json::as_i64), Some(0));
 
     // Both registered tenants appear in /stats before any load.
     let stats = client
@@ -508,6 +510,23 @@ fn stats_is_served_inline_and_health_reports_tenant_count() {
     let srv = stats.get("server").unwrap();
     assert_eq!(srv.get("queue_capacity").and_then(Json::as_i64), Some(64));
     assert_eq!(srv.get("workers").and_then(Json::as_i64), Some(2));
+
+    // Touch one tenant, then /health shows it loaded with its version.
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let body = client
+        .request("GET", "/health", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    assert_eq!(body.get("tenants_loaded").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        body.get("data_versions")
+            .and_then(|v| v.get("t0"))
+            .and_then(Json::as_i64),
+        Some(0),
+        "fresh tenant serves at data_version 0"
+    );
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();
@@ -688,6 +707,110 @@ fn ingest_invalidates_causally_and_survives_restart() {
         .unwrap()
         .clone();
     assert_eq!(s.get("data_version").and_then(Json::as_i64), Some(1));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_exposition_is_valid_and_carries_latency_and_phase_series() {
+    let dir = registry_dir("metrics", 600, &[12]);
+    let server = start(&dir, ServeConfig::default());
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Drive every admitted route once so each family has samples.
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+    let r = client.query("/query", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200);
+    let r = client.query("/explain", "t0", WHATIF, &[]).unwrap();
+    assert_eq!(r.status, 200);
+    let rows = vec![vec![
+        Json::Int(2),
+        Json::Int(1),
+        Json::Int(3),
+        Json::Int(0),
+        Json::Int(1),
+        Json::Int(2),
+        Json::Str("Good".into()),
+    ]];
+    let r = client.ingest("t0", "german_syn", &rows, &[]).unwrap();
+    assert_eq!(r.status, 200, "{:?}", r.json());
+
+    let response = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(response.status, 200);
+    assert!(
+        response
+            .header("content-type")
+            .unwrap()
+            .contains("text/plain"),
+        "Prometheus scrapes expect text/plain"
+    );
+    let text = response.text().unwrap();
+    let families = hyper_serve::metrics::validate(text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+    for family in [
+        "hyper_serve_uptime_seconds",
+        "hyper_serve_requests_total",
+        "hyper_serve_accepted_total",
+        "hyper_serve_latency_seconds",
+        "hyper_session_phase_seconds_total",
+        "hyper_session_data_version",
+    ] {
+        assert!(families.iter().any(|f| f == family), "missing {family}");
+    }
+    // Per-tenant quantiles for both stages of the query route.
+    for stage in ["queue_wait", "execute"] {
+        for q in ["0.5", "0.99"] {
+            let series = format!(
+                "hyper_serve_latency_seconds{{tenant=\"t0\",route=\"query\",stage=\"{stage}\",quantile=\"{q}\"}}"
+            );
+            assert!(text.contains(&series), "missing series {series}\n{text}");
+        }
+    }
+    assert!(
+        text.contains("route=\"ingest\",stage=\"execute\""),
+        "ingest latency is recorded"
+    );
+    // Tracing is on for tenant sessions: phase self-time shows up.
+    assert!(
+        text.contains("hyper_session_phase_seconds_total{tenant=\"t0\",phase=\"forest_train\"}"),
+        "{text}"
+    );
+    assert!(text.contains("hyper_session_data_version{tenant=\"t0\"} 1"));
+
+    // Wrong method on /metrics is a 405, like every other route.
+    assert_eq!(
+        client.request("POST", "/metrics", None).unwrap().status,
+        405
+    );
+
+    // /stats carries the matching percentile objects and phase totals.
+    let stats = client
+        .request("GET", "/stats", None)
+        .unwrap()
+        .json()
+        .unwrap();
+    let t0 = stats.get("tenants").unwrap().get("t0").unwrap();
+    let query_latency = t0.get("latency").unwrap().get("query").unwrap();
+    for stage in ["queue_wait", "execute"] {
+        let h = query_latency.get(stage).unwrap();
+        assert!(h.get("count").and_then(Json::as_i64).unwrap() >= 2);
+        let p50 = h.get("p50_us").and_then(Json::as_f64).unwrap();
+        let p99 = h.get("p99_us").and_then(Json::as_f64).unwrap();
+        assert!(p50 >= 0.0 && p99 >= p50, "{stage}: p50={p50} p99={p99}");
+    }
+    let session = t0.get("session").unwrap();
+    assert!(
+        session
+            .get("traced_queries")
+            .and_then(Json::as_i64)
+            .unwrap()
+            >= 3
+    );
+    let phases = session.get("phases").unwrap();
+    let train = phases.get("forest_train").unwrap();
+    assert!(train.get("self_ns").and_then(Json::as_i64).unwrap() > 0);
 
     server.shutdown();
     std::fs::remove_dir_all(&dir).ok();

@@ -7,6 +7,12 @@
 //! every tail uneven), 7 rows (uneven tail), 4096 rows (huge — one
 //! morsel)}, on random tables of every column type with NULLs and shared
 //! string dictionaries.
+//!
+//! Every parallel call runs inside an installed [`hyper_trace`] context
+//! (`with_trace`), so the suite also proves that phase tracing — the
+//! runtime pool captures the submitter's context and attaches it on
+//! worker threads — observes without participating: the traced parallel
+//! result must match the *untraced* sequential reference bit for bit.
 
 use std::sync::OnceLock;
 
@@ -20,6 +26,7 @@ use hyper_storage::ops::{
 use hyper_storage::{
     col, lit, AggExpr, AggFunc, Column, DataType, Expr, Field, Schema, Table, TableBuilder, Value,
 };
+use hyper_trace::{with_trace, TraceTree};
 
 /// Worker counts under test. 0 = caller-only (sequential degradation),
 /// 1 = one background worker, 3 = more workers than this container has
@@ -222,9 +229,10 @@ proptest! {
     ) {
         let t = build_table(&specs);
         let seq = matching_rows(&t, &pred);
+        let trace = TraceTree::new();
         for (w, rt) in runtimes() {
             for m in MORSELS {
-                let par = matching_rows_on(rt, &t, &pred, m);
+                let par = with_trace(&trace, || matching_rows_on(rt, &t, &pred, m));
                 match (&seq, &par) {
                     (Ok(s), Ok(p)) => prop_assert_eq!(
                         s, p, "selection diverged (workers={}, morsel={})", w, m
@@ -249,9 +257,10 @@ proptest! {
         let t = build_table(&specs);
         let bound = pred.bind(t.schema()).unwrap();
         let seq = bound.eval_column(&t);
+        let trace = TraceTree::new();
         for (w, rt) in runtimes() {
             for m in MORSELS {
-                let par = eval_column_morsels(rt, &bound, &t, m);
+                let par = with_trace(&trace, || eval_column_morsels(rt, &bound, &t, m));
                 match (&seq, &par) {
                     (Ok(s), Ok(p)) => {
                         if let Err(e) = columns_bit_identical(s, p) {
@@ -286,9 +295,10 @@ proptest! {
             aggs.push(AggExpr::new(AggFunc::Avg, Some(col("c0")), "m"));
         }
         let seq = aggregate(&t, &group_by, &aggs).unwrap();
+        let trace = TraceTree::new();
         for (w, rt) in runtimes() {
             for m in MORSELS {
-                let par = aggregate_on(rt, &t, &group_by, &aggs, m).unwrap();
+                let par = with_trace(&trace, || aggregate_on(rt, &t, &group_by, &aggs, m)).unwrap();
                 if let Err(e) = tables_bit_identical(&seq, &par) {
                     prop_assert!(false, "workers={w}, morsel={m}: {e}");
                 }
@@ -312,9 +322,10 @@ proptest! {
 
         let on = ["c0".to_string()];
         let seq = hash_join(&l, &r, &on, &on).unwrap();
+        let trace = TraceTree::new();
         for (w, rt) in runtimes() {
             for m in MORSELS {
-                let par = hash_join_on(rt, &l, &r, &on, &on, m).unwrap();
+                let par = with_trace(&trace, || hash_join_on(rt, &l, &r, &on, &on, m)).unwrap();
                 if let Err(e) = tables_bit_identical(&seq, &par) {
                     prop_assert!(false, "workers={w}, morsel={m}: {e}");
                 }

@@ -182,9 +182,11 @@ impl PagedTable {
             return Ok(t);
         }
         drop(cache); // don't hold the lock across file I/O
+        let io_span = hyper_trace::span(hyper_trace::Phase::PagedIO);
         let container = Container::read_from(&self.chunk_paths[c])?;
         let mut r = ByteReader::new(container.section(SECTION_PAGE)?);
         let t = Arc::new(decode_table(&mut r)?);
+        drop(io_span);
 
         let mut cache = self.cache.lock().expect("paging cache lock");
         cache.stats.loads += 1;
@@ -244,12 +246,14 @@ impl PagedTable {
     ) -> Result<()> {
         let mut buf = Vec::new();
         for c in 0..self.chunk_count() {
+            let io_span = hyper_trace::span(hyper_trace::Phase::PagedIO);
             let container = Container::read_into(&self.chunk_paths[c], buf)?;
             {
                 let mut r = ByteReader::new(container.section(SECTION_PAGE)?);
                 let t = decode_table_projected(&mut r, keep)?;
                 self.cache.lock().expect("paging cache lock").stats.loads += 1;
                 GLOBAL_LOADS.fetch_add(1, Ordering::Relaxed);
+                drop(io_span);
                 f(c, c * self.chunk_rows, &t)?;
             }
             buf = container.into_bytes();

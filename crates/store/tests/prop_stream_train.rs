@@ -14,6 +14,13 @@
 //!
 //! over random tables with NULLs in a dictionary-encoded feature (whose
 //! spilled chunks share the source dictionary `Arc`).
+//!
+//! The streamed fit runs inside an installed [`hyper_trace`] context,
+//! while the resident reference stays untraced: recording `ForestTrain`
+//! spans (on the caller and, via the pool's context capture, on worker
+//! threads) must not perturb a single prediction bit. The suite asserts
+//! the spans really fired, so a silently-disabled trace can't turn this
+//! check into a no-op.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -23,6 +30,7 @@ use hyper_ml::{ForestParams, RandomForest, StreamedLayout, TableEncoder, MAX_BIN
 use hyper_runtime::HyperRuntime;
 use hyper_storage::{DataType, Field, Schema, Table, TableBuilder, Value};
 use hyper_store::{fit_encoder_paged, target_vector_paged, PagedTable, PagedTrainSource};
+use hyper_trace::{with_trace, Phase, TraceTree};
 
 /// Per-row seeds: (int feature, string NULL?, string pick, float pick,
 /// target pick). Domains are small so the joint cells stay under the
@@ -107,7 +115,15 @@ proptest! {
 
                 for workers in [0usize, 1, 3] {
                     let rt = HyperRuntime::with_workers(workers);
-                    let streamed = layout.fit_forest(&rt, &yp, &params).unwrap();
+                    let trace = TraceTree::new();
+                    let streamed =
+                        with_trace(&trace, || layout.fit_forest(&rt, &yp, &params)).unwrap();
+                    let spans = trace.snapshot().count(Phase::ForestTrain);
+                    prop_assert!(
+                        spans > 0,
+                        "streamed fit recorded no ForestTrain spans (workers={})",
+                        workers
+                    );
                     for i in [0, n / 2, n - 1] {
                         prop_assert_eq!(
                             reference.predict_row(x.row(i)).to_bits(),

@@ -1,0 +1,100 @@
+//! Property tests for [`hyper_trace::LatencyHistogram`]: over random
+//! samples, every extracted quantile must land within one bucket width
+//! of the exact order statistic, and merging two histograms must equal
+//! recording both sample sets into one.
+
+use proptest::prelude::*;
+
+use hyper_trace::{percentile, LatencyHistogram};
+
+/// Exact order statistic matching the histogram's rank convention
+/// (`ceil(q·n)`-th smallest, 1-based).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// The containing bucket's width for a value: 1 below 16, else
+/// 2^(exp-4) where exp = floor(log2 v).
+fn bucket_width(v: u64) -> u64 {
+    if v < 16 {
+        1
+    } else {
+        1u64 << (63 - v.leading_zeros() as u64 - 4)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram quantiles are within one bucket width of exact.
+    #[test]
+    fn quantiles_within_one_bucket_width(
+        samples in prop::collection::vec(0u64..2_000_000_000, 1..400),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count(), samples.len() as u64);
+        prop_assert_eq!(snap.sum(), samples.iter().sum::<u64>());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            let width = bucket_width(exact) as f64;
+            prop_assert!(
+                (est - exact as f64).abs() <= width,
+                "q={} est={} exact={} width={}", q, est, exact, width
+            );
+        }
+    }
+
+    /// merge(a, b) == record(a ∪ b).
+    #[test]
+    fn merge_equals_combined_recording(
+        a in prop::collection::vec(0u64..1_000_000_000, 0..100),
+        b in prop::collection::vec(0u64..1_000_000_000, 0..100),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        let hc = LatencyHistogram::new();
+        for &v in &a {
+            ha.record(v);
+            hc.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hc.record(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let combined = hc.snapshot();
+        prop_assert_eq!(merged.count(), combined.count());
+        prop_assert_eq!(merged.sum(), combined.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), combined.quantile(q));
+        }
+    }
+
+    /// The exact-percentile helper is monotone in p, bounded by the
+    /// sample extremes, and agrees with the sample at the endpoints.
+    #[test]
+    fn percentile_is_monotone_and_bounded(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+    ) {
+        xs.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = percentile(&xs, p);
+            prop_assert!(v >= prev - 1e-9, "p={} v={} prev={}", p, v, prev);
+            prop_assert!(v >= xs[0] - 1e-9 && v <= xs[xs.len() - 1] + 1e-9);
+            prev = v;
+        }
+        prop_assert_eq!(percentile(&xs, 0.0), xs[0]);
+        prop_assert_eq!(percentile(&xs, 100.0), xs[xs.len() - 1]);
+    }
+}

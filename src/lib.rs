@@ -250,9 +250,9 @@ pub mod prelude {
     pub use hyper_core::HyperEngine;
     pub use hyper_core::{
         exact_whatif, BackdoorMode, CacheBudget, EngineConfig, ExplainReport, HowToOptions,
-        HowToResult, HyperSession, IntoQuery, PreparedQuery, Provenance, QueryOutcome,
-        RefreshOutcome, RefreshReport, SessionBuilder, SessionStats, SharedArtifactStore,
-        WhatIfResult,
+        HowToResult, HyperSession, IntoQuery, Phase, PreparedQuery, Provenance, QueryOutcome,
+        QueryTimings, RefreshOutcome, RefreshReport, SessionBuilder, SessionStats,
+        SharedArtifactStore, WhatIfResult,
     };
     pub use hyper_datasets::Dataset;
     pub use hyper_ingest::{DeltaBatch, TableDelta};
